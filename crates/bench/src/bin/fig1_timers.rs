@@ -1,0 +1,109 @@
+//! Experiment E1 — Figure 1: asymptotically well-behaved timers.
+//!
+//! The paper's Figure 1 shows a timer curve `T_R(τ, x)` that oscillates but
+//! eventually dominates a monotone unbounded `f_R(τ, x)`. This binary
+//! sweeps a `(τ, x)` grid for every timer model in the suite, reports the
+//! minimum margin `T − f` past the cut-off `(τ_f, x_f)`, and verifies the
+//! (f1)/(f2) properties of the candidate `f_R`. AWB₂-violating models must
+//! fail the check; all others must pass.
+
+use omega_bench::table::Table;
+use omega_sim::timers::{
+    check_domination, check_f_properties, AffineTimer, ChaoticThen, ExactTimer, JitteredTimer,
+    StuckLowTimer, TimerModel,
+};
+use omega_sim::SimTime;
+
+fn main() {
+    // Candidate f_R(τ, x) = x / 2 with (τ_f, x_f) = (5000, 1): monotone and
+    // unbounded, per (f1)/(f2).
+    let f = |_tau: u64, x: u64| x / 2;
+    assert!(
+        check_f_properties(f, &[0, 10, 1_000, 100_000], &[1, 2, 16, 1 << 20], 1 << 40),
+        "candidate f_R must satisfy (f1) and (f2)"
+    );
+    println!("candidate f_R(tau, x) = x/2   cut-off (tau_f, x_f) = (5000, 1)");
+    println!("grid: tau in {{5k, 10k, 50k, 100k}}  x in {{1, 4, 16, 256, 4096, 65536}}");
+    println!();
+
+    let taus = [5_000u64, 10_000, 50_000, 100_000];
+    let xs = [1u64, 4, 16, 256, 4_096, 65_536];
+
+    let mut models: Vec<(&str, Box<dyn TimerModel>, bool)> = vec![
+        ("exact: T = x", Box::new(ExactTimer), true),
+        ("affine: T = 2x + 3", Box::new(AffineTimer::new(2, 3)), true),
+        (
+            "jittered: T = x + U[0,9]",
+            Box::new(JitteredTimer::new(7, 9)),
+            true,
+        ),
+        (
+            "chaotic<5k then exact",
+            Box::new(ChaoticThen::new(SimTime::from_ticks(5_000), 50, 3, ExactTimer)),
+            true,
+        ),
+        (
+            "chaotic<5k then jittered",
+            Box::new(ChaoticThen::new(
+                SimTime::from_ticks(5_000),
+                100,
+                9,
+                JitteredTimer::new(5, 17),
+            )),
+            true,
+        ),
+        (
+            "VIOLATOR stuck-low: T = min(x, 12)",
+            Box::new(StuckLowTimer::new(12)),
+            false,
+        ),
+    ];
+
+    let mut table = Table::new(&[
+        "timer model",
+        "points",
+        "violations",
+        "min(T - f)",
+        "AWB2 holds",
+        "expected",
+    ]);
+    for (name, model, expected) in models.iter_mut() {
+        let report = check_domination(model.as_mut(), f, &taus, &xs);
+        // Recompute the margin for display (fresh sweep; jitter models are
+        // reseeded deterministically inside check_domination's caller, so
+        // use the violation list for the margin instead).
+        let min_margin: i128 = if report.holds() {
+            let mut margin = i128::MAX;
+            for &tau in &taus {
+                for &x in &xs {
+                    let t = model.duration(SimTime::from_ticks(tau), x);
+                    margin = margin.min(t as i128 - f(tau, x) as i128);
+                }
+            }
+            margin
+        } else {
+            report
+                .violations
+                .iter()
+                .map(|&(_, _, t, fv)| t as i128 - fv as i128)
+                .min()
+                .unwrap_or(0)
+        };
+        let holds = report.holds();
+        table.row(&[
+            (*name).to_string(),
+            report.checked.to_string(),
+            report.violations.len().to_string(),
+            min_margin.to_string(),
+            holds.to_string(),
+            expected.to_string(),
+        ]);
+        assert_eq!(
+            holds, *expected,
+            "{name}: domination outcome diverged from the paper's classification"
+        );
+    }
+    println!("{table}");
+    println!("shape check: every AWB2 model dominates f_R past the cut-off; the");
+    println!("stuck-low violator fails (f3) — exactly Figure 1's geometry.");
+}

@@ -1,0 +1,67 @@
+//! Experiment E11 — the cross-variant comparison table.
+//!
+//! The paper's central trade-off (Section 5): Algorithm 1 is write-optimal
+//! but needs one unbounded register; Algorithm 2 is fully bounded but every
+//! process writes forever. The §3.5 variants trade register count (nWnR)
+//! and clock hardware (step timer). This table puts all four on one common
+//! AWB workload and reports every axis of the trade-off.
+
+use omega_bench::table::Table;
+use omega_bench::{run_election, AwbParams};
+use omega_core::OmegaVariant;
+
+fn main() {
+    let n = 6;
+    let horizon = 80_000;
+    println!("== E11: variant comparison (n={n}, horizon={horizon}, common AWB workload) ==");
+    println!();
+    let mut t = Table::new(&[
+        "variant",
+        "registers",
+        "stab tick",
+        "tail writers",
+        "tail regs written",
+        "writes/1k (tail)",
+        "hwm bits",
+        "unbounded regs",
+    ]);
+    for variant in OmegaVariant::all() {
+        let s = run_election(variant, n, horizon, AwbParams::for_variant(variant), None);
+        assert!(s.stabilized, "{variant} must stabilize");
+        t.row(&[
+            s.variant.to_string(),
+            s.register_count.to_string(),
+            s.stable_from.map_or("-".into(), |v| v.to_string()),
+            s.tail_writers.to_string(),
+            s.tail_written_registers.to_string(),
+            format!("{:.1}", s.tail_writes_per_1k),
+            s.hwm_bits.to_string(),
+            s.grown_in_tail.len().to_string(),
+        ]);
+
+        // The trade-off, asserted:
+        match variant {
+            OmegaVariant::Alg1 | OmegaVariant::StepClock => {
+                assert_eq!(s.tail_writers, 1, "{variant}: write-optimal");
+                assert!(s.grown_in_tail.len() <= 1, "{variant}: one unbounded register");
+            }
+            OmegaVariant::Mwmr => {
+                assert_eq!(s.tail_writers, 1, "{variant}: write-optimal");
+                assert_eq!(
+                    s.register_count,
+                    3 * n,
+                    "{variant}: linear register count (vs quadratic)"
+                );
+            }
+            OmegaVariant::Alg2 => {
+                assert_eq!(s.tail_writers, n, "{variant}: everyone writes forever");
+                assert!(s.grown_in_tail.is_empty(), "{variant}: fully bounded");
+            }
+        }
+    }
+    println!("{t}");
+    println!("shape check (the paper's inherent trade-off):");
+    println!("  - alg1/mwmr/stepclock: 1 tail writer, 1 unbounded register");
+    println!("  - alg2: n tail writers, 0 unbounded registers");
+    println!("  - mwmr: 3n registers instead of n^2 + 2n");
+}

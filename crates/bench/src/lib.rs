@@ -1,0 +1,15 @@
+//! Shared infrastructure for the experiment harness.
+//!
+//! Every figure and theorem of the paper has a binary in `src/bin/` that
+//! regenerates its observable shape (see `EXPERIMENTS.md` at the workspace
+//! root for the index). This library holds what those binaries share: plain
+//! text table rendering and the standard election-run summary.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod table;
+
+mod summary;
+
+pub use summary::{run_election, AwbParams, ElectionSummary};

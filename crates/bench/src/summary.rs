@@ -1,0 +1,212 @@
+//! The standard election experiment: run a variant, summarize the paper's
+//! observables.
+
+use omega_core::OmegaVariant;
+use omega_registers::ProcessId;
+use omega_sim::adversary::{AwbEnvelope, SeededRandom};
+use omega_sim::crash::CrashPlan;
+use omega_sim::{SimTime, Simulation};
+
+/// AWB parameters for an experiment run.
+#[derive(Debug, Clone, Copy)]
+pub struct AwbParams {
+    /// The AWB₁ timely process.
+    pub timely: ProcessId,
+    /// Time τ₁ after which its step delay is clamped.
+    pub tau1: u64,
+    /// The clamp σ.
+    pub sigma: u64,
+    /// Uniform step-delay range of the underlying random adversary.
+    pub delay: (u64, u64),
+    /// Adversary seed.
+    pub seed: u64,
+}
+
+impl Default for AwbParams {
+    fn default() -> Self {
+        AwbParams {
+            timely: ProcessId::new(0),
+            tau1: 1_000,
+            sigma: 4,
+            delay: (1, 6),
+            seed: 42,
+        }
+    }
+}
+
+impl AwbParams {
+    /// Parameters suited to `variant` (the step-clock variant needs
+    /// bounded step-rate variance; see EXPERIMENTS.md E11).
+    #[must_use]
+    pub fn for_variant(variant: OmegaVariant) -> Self {
+        let mut params = AwbParams::default();
+        if variant == OmegaVariant::StepClock {
+            params.delay = (2, 6);
+        }
+        params
+    }
+}
+
+/// Everything the figure/table binaries report about one election run.
+#[derive(Debug, Clone)]
+pub struct ElectionSummary {
+    /// Variant name.
+    pub variant: &'static str,
+    /// System size.
+    pub n: usize,
+    /// Registers allocated by the variant's layout.
+    pub register_count: usize,
+    /// Whether the run reached a stable correct leader.
+    pub stabilized: bool,
+    /// The elected leader.
+    pub leader: Option<ProcessId>,
+    /// First sample tick of the stable suffix.
+    pub stable_from: Option<u64>,
+    /// Processes writing during the final quarter of the run.
+    pub tail_writers: usize,
+    /// Distinct registers written during the final quarter.
+    pub tail_written_registers: usize,
+    /// Shared-memory writes per 1000 ticks in the final quarter.
+    pub tail_writes_per_1k: f64,
+    /// Processes reading during the final quarter.
+    pub tail_readers: usize,
+    /// Total shared-memory high-water footprint (bits) at the end.
+    pub hwm_bits: u64,
+    /// Registers whose footprint still grew in the final quarter.
+    pub grown_in_tail: Vec<String>,
+}
+
+/// Runs one election experiment and summarizes it.
+///
+/// `crash_leader_at` optionally crashes the plurality leader at the given
+/// tick (failover experiments).
+#[must_use]
+pub fn run_election(
+    variant: OmegaVariant,
+    n: usize,
+    horizon: u64,
+    params: AwbParams,
+    crash_leader_at: Option<u64>,
+) -> ElectionSummary {
+    let sys = variant.build(n);
+    let register_count = sys.space.register_count();
+    let space = sys.space.clone();
+    let mut plan = CrashPlan::none();
+    if let Some(t) = crash_leader_at {
+        plan = plan.with_leader_crash_at(SimTime::from_ticks(t));
+    }
+    let report = Simulation::builder(sys.actors)
+        .adversary(AwbEnvelope::new(
+            SeededRandom::new(params.seed, params.delay.0, params.delay.1),
+            params.timely,
+            SimTime::from_ticks(params.tau1),
+            params.sigma,
+        ))
+        .crash_plan(plan)
+        .memory(space)
+        .horizon(horizon)
+        .sample_every((horizon / 400).max(1))
+        .stats_checkpoints(16)
+        .run();
+
+    let stabilization = report.stabilization();
+    let tail = report.windowed.tail(0.25);
+    let (tail_writers, tail_written, tail_rate, tail_readers) = tail
+        .map(|w| {
+            let span = (w.end - w.start).max(1);
+            (
+                w.stats.writer_set().len(),
+                w.stats.written_registers().len(),
+                w.stats.total_writes() as f64 * 1000.0 / span as f64,
+                w.stats.reader_set().len(),
+            )
+        })
+        .unwrap_or((0, 0, 0.0, 0));
+    let grown_in_tail = match report.footprints.len() {
+        0 | 1 => Vec::new(),
+        len => {
+            let mid = &report.footprints[len * 3 / 4].1;
+            let last = &report.footprints[len - 1].1;
+            last.grown_since(mid)
+                .into_iter()
+                .map(String::from)
+                .collect()
+        }
+    };
+    ElectionSummary {
+        variant: variant.name(),
+        n,
+        register_count,
+        stabilized: report.stabilized_for(0.2),
+        leader: stabilization.map(|s| s.leader),
+        stable_from: stabilization.map(|s| s.stable_from.ticks()),
+        tail_writers,
+        tail_written_registers: tail_written,
+        tail_writes_per_1k: tail_rate,
+        tail_readers,
+        hwm_bits: report
+            .footprints
+            .last()
+            .map(|(_, fp)| fp.total_hwm_bits())
+            .unwrap_or(0),
+        grown_in_tail,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_captures_the_alg1_shape() {
+        let s = run_election(
+            OmegaVariant::Alg1,
+            4,
+            30_000,
+            AwbParams::default(),
+            None,
+        );
+        assert!(s.stabilized);
+        assert_eq!(s.tail_writers, 1, "Theorem 3: single writer after stabilization");
+        assert_eq!(s.tail_written_registers, 1);
+        assert_eq!(s.tail_readers, 4, "Lemma 6: everyone keeps reading");
+        assert!(s.grown_in_tail.len() <= 1, "Theorem 2: one unbounded register");
+        assert_eq!(s.register_count, 4 + 4 + 16);
+    }
+
+    #[test]
+    fn summary_captures_the_alg2_shape() {
+        let s = run_election(
+            OmegaVariant::Alg2,
+            4,
+            30_000,
+            AwbParams::default(),
+            None,
+        );
+        assert!(s.stabilized);
+        assert_eq!(s.tail_writers, 4, "Corollary 1: everyone writes forever");
+        assert!(s.grown_in_tail.is_empty(), "Theorem 6: fully bounded");
+    }
+
+    #[test]
+    fn failover_summary() {
+        let s = run_election(
+            OmegaVariant::Alg1,
+            4,
+            60_000,
+            AwbParams {
+                timely: ProcessId::new(1),
+                ..AwbParams::default()
+            },
+            Some(20_000),
+        );
+        assert!(s.stabilized, "re-election after the crash");
+        assert!(s.stable_from.unwrap() >= 20_000);
+    }
+
+    #[test]
+    fn variant_params_bound_stepclock_variance() {
+        assert_eq!(AwbParams::for_variant(OmegaVariant::StepClock).delay.0, 2);
+        assert_eq!(AwbParams::for_variant(OmegaVariant::Alg1).delay.0, 1);
+    }
+}

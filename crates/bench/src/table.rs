@@ -1,0 +1,119 @@
+//! Minimal aligned-text table rendering for experiment output.
+
+use std::fmt;
+
+/// A left-aligned plain-text table.
+///
+/// # Examples
+///
+/// ```
+/// use omega_bench::table::Table;
+///
+/// let mut t = Table::new(&["n", "leader", "stab time"]);
+/// t.row(&["3", "p0", "1240"]);
+/// t.row(&["8", "p2", "3805"]);
+/// let out = t.to_string();
+/// assert!(out.contains("leader"));
+/// assert!(out.contains("p2"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are kept.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) {
+        self.rows
+            .push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        (0..cols)
+            .map(|c| {
+                std::iter::once(self.headers.get(c).map_or(0, String::len))
+                    .chain(self.rows.iter().map(|r| r.get(c).map_or(0, String::len)))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut line = String::new();
+            for (c, w) in widths.iter().enumerate() {
+                let cell = cells.get(c).map_or("", String::as_str);
+                line.push_str(&format!("{cell:<w$}  "));
+            }
+            writeln!(f, "{}", line.trim_end())
+        };
+        render(f, &self.headers)?;
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        writeln!(f, "{}", "-".repeat(total.saturating_sub(2)))?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["short", "1"]);
+        t.row(&["a-much-longer-name", "22"]);
+        let out = t.to_string();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        // The value column starts at the same offset in every data row.
+        let offset = lines[2].find('1').unwrap();
+        assert_eq!(lines[3].find("22").unwrap(), offset);
+    }
+
+    #[test]
+    fn handles_ragged_rows() {
+        let mut t = Table::new(&["a"]);
+        t.row(&["x", "extra"]);
+        t.row::<&str>(&[]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let out = t.to_string();
+        assert!(out.contains("extra"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Simulator integration: Ω and consensus co-located on one process.
+//!
+//! A real deployment runs the failure detector and the application on the
+//! same machine; these actors do the same inside the simulator. Each
+//! simulated step first advances the local Ω task (`T2`) and then hands the
+//! fresh leader estimate to the consensus layer — which is exactly the
+//! `Ω + alpha` architecture of indulgent consensus protocols.
+
+use omega_core::OmegaProcess;
+use omega_registers::{ProcessId, RegisterValue};
+use omega_sim::{Actor, StepCtx};
+
+use crate::log::LogHandle;
+use crate::proposer::{ConsensusProcess, ProposerStatus};
+
+/// One simulated process running Ω plus a single-shot consensus proposer.
+pub struct ConsensusActor<V: RegisterValue> {
+    omega: Box<dyn OmegaProcess>,
+    proposer: ConsensusProcess<V>,
+    /// Virtual step at which this actor's proposal becomes available (lets
+    /// experiments model clients arriving at different times).
+    decided_at_step: Option<u64>,
+    steps: u64,
+}
+
+impl<V: RegisterValue + PartialEq> ConsensusActor<V> {
+    /// Co-locates `omega` and `proposer` on one process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two components disagree on the process identity.
+    #[must_use]
+    pub fn new(omega: Box<dyn OmegaProcess>, proposer: ConsensusProcess<V>) -> Self {
+        assert_eq!(omega.pid(), proposer.pid(), "Ω and proposer must be co-located");
+        ConsensusActor {
+            omega,
+            proposer,
+            decided_at_step: None,
+            steps: 0,
+        }
+    }
+
+    /// The decided value, if this process has learned it.
+    #[must_use]
+    pub fn decided(&self) -> Option<&V> {
+        self.proposer.decided()
+    }
+
+    /// The local step count at which the decision was learned.
+    #[must_use]
+    pub fn decided_at_step(&self) -> Option<u64> {
+        self.decided_at_step
+    }
+}
+
+impl<V: RegisterValue + PartialEq> Actor for ConsensusActor<V> {
+    fn on_step(&mut self, _ctx: StepCtx) {
+        self.steps += 1;
+        self.omega.t2_step();
+        let leader = self
+            .omega
+            .cached_leader()
+            .expect("estimate available after t2_step");
+        if self.proposer.decided().is_none() {
+            if let ProposerStatus::Decided(_) = self.proposer.step(leader) {
+                self.decided_at_step = Some(self.steps);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: StepCtx) -> u64 {
+        self.omega.on_timer_expire()
+    }
+
+    fn initial_timeout(&self) -> u64 {
+        self.omega.initial_timeout()
+    }
+
+    fn current_leader(&self) -> Option<ProcessId> {
+        self.omega.cached_leader()
+    }
+}
+
+/// One simulated process running Ω plus a replicated-log replica.
+pub struct LogActor<V: RegisterValue> {
+    omega: Box<dyn OmegaProcess>,
+    log: LogHandle<V>,
+}
+
+impl<V: RegisterValue + PartialEq> LogActor<V> {
+    /// Co-locates `omega` and `log` on one process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two components disagree on the process identity.
+    #[must_use]
+    pub fn new(omega: Box<dyn OmegaProcess>, log: LogHandle<V>) -> Self {
+        assert_eq!(omega.pid(), log.pid(), "Ω and log replica must be co-located");
+        LogActor { omega, log }
+    }
+
+    /// Queues a command for replication.
+    pub fn submit(&mut self, command: V) {
+        self.log.submit(command);
+    }
+
+    /// The replica's view of the committed prefix.
+    #[must_use]
+    pub fn committed(&self) -> &[V] {
+        self.log.committed()
+    }
+
+    /// The underlying log handle.
+    #[must_use]
+    pub fn log(&self) -> &LogHandle<V> {
+        &self.log
+    }
+}
+
+impl<V: RegisterValue + PartialEq> Actor for LogActor<V> {
+    fn on_step(&mut self, _ctx: StepCtx) {
+        self.omega.t2_step();
+        let leader = self
+            .omega
+            .cached_leader()
+            .expect("estimate available after t2_step");
+        self.log.step(leader);
+    }
+
+    fn on_timer(&mut self, _ctx: StepCtx) -> u64 {
+        self.omega.on_timer_expire()
+    }
+
+    fn initial_timeout(&self) -> u64 {
+        self.omega.initial_timeout()
+    }
+
+    fn current_leader(&self) -> Option<ProcessId> {
+        self.omega.cached_leader()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::ConsensusInstance;
+    use omega_core::{Alg1Memory, Alg1Process};
+    use omega_registers::MemorySpace;
+
+    #[test]
+    #[should_panic(expected = "co-located")]
+    fn mismatched_pids_rejected() {
+        let space = MemorySpace::new(2);
+        let mem = Alg1Memory::new(&space);
+        let omega = Box::new(Alg1Process::new(mem, ProcessId::new(0)));
+        let inst = ConsensusInstance::<u64>::new(&space, "C");
+        let proposer = ConsensusProcess::new(inst, ProcessId::new(1), 5);
+        let _ = ConsensusActor::new(omega, proposer);
+    }
+
+    #[test]
+    fn actor_advances_both_layers() {
+        let space = MemorySpace::new(1);
+        let mem = Alg1Memory::new(&space);
+        let omega = Box::new(Alg1Process::new(mem, ProcessId::new(0)));
+        let inst = ConsensusInstance::<u64>::new(&space, "C");
+        let proposer = ConsensusProcess::new(inst, ProcessId::new(0), 42);
+        let mut actor = ConsensusActor::new(omega, proposer);
+        let ctx = StepCtx {
+            pid: ProcessId::new(0),
+            now: omega_sim::SimTime::ZERO,
+        };
+        for _ in 0..20 {
+            actor.on_step(ctx);
+        }
+        assert_eq!(actor.decided(), Some(&42), "single process decides alone");
+        assert!(actor.decided_at_step().unwrap() <= 20);
+        assert_eq!(actor.current_leader(), Some(ProcessId::new(0)));
+    }
+}

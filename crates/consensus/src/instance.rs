@@ -1,0 +1,112 @@
+//! The shared-register layout of one consensus instance.
+
+use std::sync::Arc;
+
+use omega_registers::{MemorySpace, ProcessId, RegisterValue, SwmrRegister};
+
+/// Contents of a proposer's round register `RR[i]`:
+/// `(mbal, bal, inp)` — the highest round promised, the round of the last
+/// accepted value, and that value.
+pub type RoundEntry<V> = (u64, u64, Option<V>);
+
+/// The 1WnR registers of a single-shot consensus instance.
+///
+/// Each process owns one *round register* `RR[i]` (its Disk-Paxos-style
+/// block) and one *decision register* `DEC[i]`; everyone reads all of them.
+/// Consensus over such registers is exactly what the paper motivates Ω
+/// with: Ω is the weakest failure detector that makes this terminate
+/// (\[19\]; Disk Paxos \[9\]).
+#[derive(Debug)]
+pub struct ConsensusInstance<V: RegisterValue> {
+    n: usize,
+    rounds: Vec<SwmrRegister<RoundEntry<V>>>,
+    decisions: Vec<SwmrRegister<Option<V>>>,
+}
+
+impl<V: RegisterValue> ConsensusInstance<V> {
+    /// Allocates the instance's registers in `space`, prefixed with `name`
+    /// so multiple instances (log slots) can share one space.
+    #[must_use]
+    pub fn new(space: &MemorySpace, name: &str) -> Arc<Self> {
+        let n = space.n_processes();
+        let rounds = ProcessId::all(n)
+            .map(|pid| {
+                space.swmr::<RoundEntry<V>>(&format!("{name}.RR[{}]", pid.index()), pid, (0, 0, None))
+            })
+            .collect();
+        let decisions = ProcessId::all(n)
+            .map(|pid| {
+                space.swmr::<Option<V>>(&format!("{name}.DEC[{}]", pid.index()), pid, None)
+            })
+            .collect();
+        Arc::new(ConsensusInstance {
+            n,
+            rounds,
+            decisions,
+        })
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The round register owned by `pid`.
+    #[must_use]
+    pub fn round_reg(&self, pid: ProcessId) -> &SwmrRegister<RoundEntry<V>> {
+        &self.rounds[pid.index()]
+    }
+
+    /// The decision register owned by `pid`.
+    #[must_use]
+    pub fn decision_reg(&self, pid: ProcessId) -> &SwmrRegister<Option<V>> {
+        &self.decisions[pid.index()]
+    }
+
+    /// Unattributed view of any decision present in the instance (harness
+    /// use only).
+    #[must_use]
+    pub fn peek_decision(&self) -> Option<V> {
+        self.decisions.iter().find_map(SwmrRegister::peek)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_names_and_owners() {
+        let space = MemorySpace::new(3);
+        let inst = ConsensusInstance::<u64>::new(&space, "C0");
+        assert_eq!(inst.n(), 3);
+        for pid in ProcessId::all(3) {
+            assert_eq!(inst.round_reg(pid).owner(), pid);
+            assert_eq!(inst.decision_reg(pid).owner(), pid);
+            assert_eq!(
+                inst.round_reg(pid).name(),
+                format!("C0.RR[{}]", pid.index())
+            );
+        }
+        assert_eq!(space.register_count(), 6);
+    }
+
+    #[test]
+    fn peek_decision_scans_all() {
+        let space = MemorySpace::new(2);
+        let inst = ConsensusInstance::<u64>::new(&space, "C0");
+        assert_eq!(inst.peek_decision(), None);
+        let p1 = ProcessId::new(1);
+        inst.decision_reg(p1).write(p1, Some(9));
+        assert_eq!(inst.peek_decision(), Some(9));
+    }
+
+    #[test]
+    fn initial_round_entries_are_empty() {
+        let space = MemorySpace::new(2);
+        let inst = ConsensusInstance::<u64>::new(&space, "X");
+        let p0 = ProcessId::new(0);
+        assert_eq!(inst.round_reg(p0).peek(), (0, 0, None));
+    }
+}

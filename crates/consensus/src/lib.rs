@@ -1,0 +1,63 @@
+//! Ω-driven consensus and state-machine replication over 1WnR registers.
+//!
+//! The paper's introduction motivates the Ω oracle as *the* weakest failure
+//! detector for solving consensus in crash-prone asynchronous shared
+//! memory (\[19\]; see also Disk Paxos \[9\] and Paxos \[16\]). This crate closes
+//! that loop for the reproduction: it implements
+//!
+//! * [`ConsensusInstance`] / [`ConsensusProcess`] — single-shot round-based
+//!   consensus whose **safety** (agreement, validity) holds under *any*
+//!   schedule and any crashes, and whose **liveness** follows once the
+//!   co-located Ω stabilizes;
+//! * [`LogShared`] / [`LogHandle`] — a replicated log (multi-slot
+//!   consensus) with per-replica command queues;
+//! * [`KvStore`] — a deterministic state machine replaying the log;
+//! * [`ConsensusActor`] / [`LogActor`] — simulator actors co-locating Ω
+//!   and the application on one process, as a real node would.
+//!
+//! # Single-shot consensus in simulation
+//!
+//! ```
+//! use omega_consensus::{ConsensusActor, ConsensusInstance, ConsensusProcess};
+//! use omega_core::{Alg1Memory, Alg1Process};
+//! use omega_registers::{MemorySpace, ProcessId};
+//! use omega_sim::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let n = 3;
+//! let space = MemorySpace::new(n);
+//! let omega_memory = Alg1Memory::new(&space);
+//! let instance = ConsensusInstance::<u64>::new(&space, "C0");
+//!
+//! let actors: Vec<Box<dyn Actor>> = ProcessId::all(n)
+//!     .map(|pid| {
+//!         let omega = Box::new(Alg1Process::new(Arc::clone(&omega_memory), pid));
+//!         let proposer =
+//!             ConsensusProcess::new(Arc::clone(&instance), pid, 100 + pid.index() as u64);
+//!         Box::new(ConsensusActor::new(omega, proposer)) as Box<dyn Actor>
+//!     })
+//!     .collect();
+//!
+//! let _report = Simulation::builder(actors)
+//!     .adversary(SeededRandom::new(9, 1, 6))
+//!     .horizon(20_000)
+//!     .run();
+//! assert!(instance.peek_decision().is_some(), "a value was decided");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod actor;
+mod adopt;
+mod instance;
+mod kv;
+mod log;
+mod proposer;
+
+pub use actor::{ConsensusActor, LogActor};
+pub use adopt::{AdoptCommit, AdoptCommitOutcome};
+pub use instance::{ConsensusInstance, RoundEntry};
+pub use kv::{KvCommand, KvStore};
+pub use log::{LogHandle, LogShared};
+pub use proposer::{ConsensusProcess, ProposerStatus};

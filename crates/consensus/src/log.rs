@@ -1,0 +1,272 @@
+//! A replicated log: one consensus instance per slot.
+//!
+//! The standard way to turn single-shot consensus into a service (state
+//! machine replication, as in Paxos \[16\]): slot `k` of the log is decided
+//! by consensus instance `k`; every replica applies the decided prefix in
+//! order. Ω drives liveness exactly as for single-shot consensus — the
+//! stable leader commits its queue of commands slot by slot.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use omega_registers::{MemorySpace, ProcessId, RegisterValue};
+use parking_lot::RwLock;
+
+use crate::instance::ConsensusInstance;
+use crate::proposer::{ConsensusProcess, ProposerStatus};
+
+/// The shared side of a replicated log: lazily-created consensus instances
+/// over one memory space.
+#[derive(Debug)]
+pub struct LogShared<V: RegisterValue> {
+    space: MemorySpace,
+    instances: RwLock<Vec<Arc<ConsensusInstance<V>>>>,
+}
+
+impl<V: RegisterValue> LogShared<V> {
+    /// Creates an empty log over `space`.
+    #[must_use]
+    pub fn new(space: MemorySpace) -> Arc<Self> {
+        Arc::new(LogShared {
+            space,
+            instances: RwLock::new(Vec::new()),
+        })
+    }
+
+    /// The consensus instance deciding slot `slot`, creating it (and all
+    /// earlier slots) on first use.
+    #[must_use]
+    pub fn instance(&self, slot: usize) -> Arc<ConsensusInstance<V>> {
+        {
+            let instances = self.instances.read();
+            if let Some(inst) = instances.get(slot) {
+                return Arc::clone(inst);
+            }
+        }
+        let mut instances = self.instances.write();
+        while instances.len() <= slot {
+            let name = format!("LOG[{}]", instances.len());
+            instances.push(ConsensusInstance::new(&self.space, &name));
+        }
+        Arc::clone(&instances[slot])
+    }
+
+    /// Number of slots allocated so far.
+    #[must_use]
+    pub fn allocated_slots(&self) -> usize {
+        self.instances.read().len()
+    }
+}
+
+/// One replica's handle on the replicated log.
+///
+/// Drive it with [`step`](LogHandle::step) (passing the replica's current Ω
+/// output); queue commands with [`submit`](LogHandle::submit); read the
+/// decided prefix with [`committed`](LogHandle::committed).
+#[derive(Debug)]
+pub struct LogHandle<V: RegisterValue> {
+    pid: ProcessId,
+    shared: Arc<LogShared<V>>,
+    committed: Vec<V>,
+    pending: VecDeque<V>,
+    /// Proposer for the slot `committed.len()`, if one is running.
+    active: Option<ConsensusProcess<V>>,
+}
+
+impl<V: RegisterValue + PartialEq> LogHandle<V> {
+    /// Creates replica `pid`'s handle.
+    #[must_use]
+    pub fn new(shared: Arc<LogShared<V>>, pid: ProcessId) -> Self {
+        LogHandle {
+            pid,
+            shared,
+            committed: Vec::new(),
+            pending: VecDeque::new(),
+            active: None,
+        }
+    }
+
+    /// This replica's identity.
+    #[must_use]
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// Queues `command` for replication.
+    pub fn submit(&mut self, command: V) {
+        self.pending.push_back(command);
+    }
+
+    /// Commands queued but not yet known committed.
+    #[must_use]
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The decided prefix of the log, in slot order.
+    #[must_use]
+    pub fn committed(&self) -> &[V] {
+        &self.committed
+    }
+
+    /// Absorbs a decided slot: appends it and retires the matching pending
+    /// command if it was ours.
+    fn absorb(&mut self, value: V) {
+        if self.pending.front() == Some(&value) {
+            self.pending.pop_front();
+        }
+        self.committed.push(value);
+        self.active = None;
+    }
+
+    /// Performs one chunk of work: learn decided slots, and — while this
+    /// replica is the leader — drive a proposer for the next free slot.
+    pub fn step(&mut self, leader: ProcessId) {
+        // Catch up on slots decided by others (reads, not peeks: learning
+        // is part of the protocol).
+        loop {
+            let slot = self.committed.len();
+            if self.active.is_some() {
+                break;
+            }
+            let inst = self.shared.instance(slot);
+            let decided = ProcessId::all(inst.n())
+                .find_map(|j| inst.decision_reg(j).read(self.pid));
+            match decided {
+                Some(v) => self.absorb(v),
+                None => break,
+            }
+        }
+
+        // Drive (or start) a proposer for the next slot.
+        if let Some(proposer) = &mut self.active {
+            if let ProposerStatus::Decided(v) = proposer.step(leader) {
+                self.absorb(v);
+            }
+            return;
+        }
+        if leader == self.pid {
+            if let Some(command) = self.pending.front().cloned() {
+                let slot = self.committed.len();
+                let inst = self.shared.instance(slot);
+                let mut proposer = ConsensusProcess::new(inst, self.pid, command);
+                if let ProposerStatus::Decided(v) = proposer.step(leader) {
+                    self.absorb(v);
+                } else {
+                    self.active = Some(proposer);
+                }
+            }
+        }
+    }
+
+    /// Steps with a fixed leader until `target` commands are committed or
+    /// `max_steps` exhausted; returns whether the target was reached.
+    pub fn step_until_committed(
+        &mut self,
+        leader: ProcessId,
+        target: usize,
+        max_steps: usize,
+    ) -> bool {
+        for _ in 0..max_steps {
+            if self.committed.len() >= target {
+                return true;
+            }
+            self.step(leader);
+        }
+        self.committed.len() >= target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn setup(n: usize) -> (Arc<LogShared<u64>>, Vec<LogHandle<u64>>) {
+        let space = MemorySpace::new(n);
+        let shared = LogShared::<u64>::new(space);
+        let handles = ProcessId::all(n)
+            .map(|pid| LogHandle::new(Arc::clone(&shared), pid))
+            .collect();
+        (shared, handles)
+    }
+
+    #[test]
+    fn instances_are_created_once_and_shared() {
+        let (shared, _h) = setup(2);
+        let a = shared.instance(3);
+        let b = shared.instance(3);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(shared.allocated_slots(), 4, "slots 0..=3 allocated");
+    }
+
+    #[test]
+    fn sole_leader_commits_in_submission_order() {
+        let (_shared, mut handles) = setup(3);
+        for v in [10u64, 20, 30] {
+            handles[0].submit(v);
+        }
+        assert!(handles[0].step_until_committed(p(0), 3, 500));
+        assert_eq!(handles[0].committed(), &[10, 20, 30]);
+        assert_eq!(handles[0].pending_len(), 0);
+    }
+
+    #[test]
+    fn followers_replicate_the_prefix() {
+        let (_shared, mut handles) = setup(2);
+        handles[0].submit(7);
+        handles[0].submit(8);
+        assert!(handles[0].step_until_committed(p(0), 2, 500));
+        assert!(handles[1].step_until_committed(p(0), 2, 500));
+        assert_eq!(handles[1].committed(), &[7, 8]);
+    }
+
+    #[test]
+    fn competing_submissions_all_commit_without_duplication() {
+        let (_shared, mut handles) = setup(2);
+        handles[0].submit(100);
+        handles[1].submit(200);
+        // Leadership alternates; both commands must eventually commit, in
+        // the same order everywhere, each exactly once.
+        for round in 0..3_000 {
+            let leader = p((round / 10) % 2);
+            for h in handles.iter_mut() {
+                h.step(leader);
+            }
+            if handles.iter().all(|h| h.committed().len() >= 2) {
+                break;
+            }
+        }
+        assert_eq!(handles[0].committed().len(), 2, "both commands commit");
+        assert_eq!(handles[0].committed(), handles[1].committed());
+        let mut sorted = handles[0].committed().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![100, 200], "no loss, no duplication");
+    }
+
+    #[test]
+    fn losing_proposal_is_retried_at_next_slot() {
+        let (_shared, mut handles) = setup(2);
+        handles[0].submit(1);
+        handles[1].submit(2);
+        // p1 commits its command at slot 0 first.
+        assert!(handles[1].step_until_committed(p(1), 1, 500));
+        // p0 then leads: learns slot 0 = 2, retries its own at slot 1.
+        assert!(handles[0].step_until_committed(p(0), 2, 500));
+        assert_eq!(handles[0].committed(), &[2, 1]);
+    }
+
+    #[test]
+    fn non_leader_makes_no_proposals() {
+        let (shared, mut handles) = setup(2);
+        handles[1].submit(9);
+        for _ in 0..50 {
+            handles[1].step(p(0));
+        }
+        assert_eq!(handles[1].committed().len(), 0);
+        assert_eq!(shared.allocated_slots(), 1, "only the catch-up slot exists");
+    }
+}

@@ -1,0 +1,170 @@
+//! Exhaustive schedule exploration: bounded model checking of consensus
+//! safety.
+//!
+//! [`ConsensusProcess::step`] performs at most one shared-register
+//! operation, so a *schedule* — the sequence of which process steps next —
+//! fully determines a run. For small systems and bounded depth we can
+//! enumerate **every** schedule and check agreement/validity on each, which
+//! is far stronger than sampling: if any interleaving of the first `d`
+//! operations could violate safety, this finds it.
+//!
+//! All proposers run with `leader() = self` (maximal contention — the
+//! adversarial Ω), then a deterministic tail with a single leader checks
+//! that termination remains reachable from every explored prefix.
+
+use std::sync::Arc;
+
+use omega_consensus::{ConsensusInstance, ConsensusProcess, ProposerStatus};
+use omega_registers::{MemorySpace, ProcessId};
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+/// Replays one schedule from scratch; returns decided values per process.
+fn replay(n: usize, schedule: &[usize], settle_steps: usize) -> Vec<Option<u64>> {
+    let space = MemorySpace::new(n);
+    let inst = ConsensusInstance::<u64>::new(&space, "X");
+    let mut procs: Vec<ConsensusProcess<u64>> = ProcessId::all(n)
+        .map(|pid| ConsensusProcess::new(Arc::clone(&inst), pid, 10 + pid.index() as u64))
+        .collect();
+    let mut decided: Vec<Option<u64>> = vec![None; n];
+
+    // The explored prefix: adversarial Ω (everyone is its own leader).
+    for &who in schedule {
+        if decided[who].is_none() {
+            if let ProposerStatus::Decided(v) = procs[who].step(p(who)) {
+                decided[who] = Some(v);
+            }
+        }
+    }
+    // Deterministic tail: Ω stabilizes on p0; everyone must terminate.
+    for _ in 0..settle_steps {
+        for (i, proc) in procs.iter_mut().enumerate() {
+            if decided[i].is_none() {
+                if let ProposerStatus::Decided(v) = proc.step(p(0)) {
+                    decided[i] = Some(v);
+                }
+            }
+        }
+        if decided.iter().all(Option::is_some) {
+            break;
+        }
+    }
+    decided
+}
+
+fn check_outcome(n: usize, schedule: &[usize], decided: &[Option<u64>]) {
+    let values: Vec<u64> = decided.iter().copied().flatten().collect();
+    assert_eq!(
+        values.len(),
+        n,
+        "schedule {schedule:?}: some process never decided"
+    );
+    assert!(
+        values.windows(2).all(|w| w[0] == w[1]),
+        "schedule {schedule:?}: AGREEMENT VIOLATED: {values:?}"
+    );
+    assert!(
+        (10..10 + n as u64).contains(&values[0]),
+        "schedule {schedule:?}: VALIDITY VIOLATED: {}",
+        values[0]
+    );
+}
+
+/// Enumerates every length-`depth` schedule over `n` processes.
+fn exhaust(n: usize, depth: usize, settle_steps: usize) -> u64 {
+    let mut schedule = vec![0usize; depth];
+    let mut explored = 0u64;
+    loop {
+        let decided = replay(n, &schedule, settle_steps);
+        check_outcome(n, &schedule, &decided);
+        explored += 1;
+        // Next schedule in base-n counting order.
+        let mut i = 0;
+        loop {
+            if i == depth {
+                return explored;
+            }
+            schedule[i] += 1;
+            if schedule[i] < n {
+                break;
+            }
+            schedule[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[test]
+fn two_processes_every_interleaving_to_depth_14() {
+    let explored = exhaust(2, 14, 100);
+    assert_eq!(explored, 1 << 14, "2^14 schedules explored");
+}
+
+#[test]
+fn three_processes_every_interleaving_to_depth_9() {
+    let explored = exhaust(3, 9, 150);
+    assert_eq!(explored, 3u64.pow(9), "3^9 schedules explored");
+}
+
+#[test]
+fn adversarial_omega_prefix_with_recovered_value() {
+    // Exhaustive check of a nastier scenario: a phantom accept (a crashed
+    // proposer left `(3, 3, Some(99))` in its register) must be adopted by
+    // every schedule — value 99 may have been decided, so nothing else may
+    // ever be.
+    let n = 2;
+    let depth = 12;
+    let mut schedule = vec![0usize; depth];
+    let mut explored = 0u64;
+    loop {
+        let space = MemorySpace::new(3);
+        let inst = ConsensusInstance::<u64>::new(&space, "X");
+        inst.round_reg(p(2)).poke((3, 3, Some(99)));
+        let mut procs: Vec<ConsensusProcess<u64>> = (0..n)
+            .map(|i| ConsensusProcess::new(Arc::clone(&inst), p(i), 10 + i as u64))
+            .collect();
+        let mut decided: Vec<Option<u64>> = vec![None; n];
+        for &who in &schedule {
+            if decided[who].is_none() {
+                if let ProposerStatus::Decided(v) = procs[who].step(p(who)) {
+                    decided[who] = Some(v);
+                }
+            }
+        }
+        for _ in 0..100 {
+            for (i, proc) in procs.iter_mut().enumerate() {
+                if decided[i].is_none() {
+                    if let ProposerStatus::Decided(v) = proc.step(p(0)) {
+                        decided[i] = Some(v);
+                    }
+                }
+            }
+            if decided.iter().all(Option::is_some) {
+                break;
+            }
+        }
+        for (i, d) in decided.iter().enumerate() {
+            assert_eq!(
+                *d,
+                Some(99),
+                "schedule {schedule:?}: p{i} decided {d:?}, but 99 may already be decided"
+            );
+        }
+        explored += 1;
+        let mut i = 0;
+        loop {
+            if i == depth {
+                assert_eq!(explored, 1 << depth);
+                return;
+            }
+            schedule[i] += 1;
+            if schedule[i] < n {
+                break;
+            }
+            schedule[i] = 0;
+            i += 1;
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Property-based safety tests: agreement and validity under arbitrary
+//! schedules and arbitrary (even adversarial) Ω outputs.
+//!
+//! Consensus built on Ω is *indulgent*: the oracle can lie for arbitrarily
+//! long — give different processes different leaders, name crashed
+//! processes, flip every step — and agreement/validity must still never
+//! break. These tests drive the proposer state machines through
+//! proptest-generated schedules where both the interleaving and every
+//! process's leader view are adversarial.
+
+use std::sync::Arc;
+
+use omega_consensus::{ConsensusInstance, ConsensusProcess, LogHandle, LogShared, ProposerStatus};
+use omega_registers::{MemorySpace, ProcessId};
+use proptest::prelude::*;
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Single-shot consensus: any decided values agree and were proposed,
+    /// under arbitrary step schedules and leader views.
+    #[test]
+    fn agreement_and_validity_under_adversarial_omega(
+        n in 2usize..5,
+        schedule in prop::collection::vec((0usize..5, 0usize..5), 0..600),
+    ) {
+        let space = MemorySpace::new(n);
+        let inst = ConsensusInstance::<u64>::new(&space, "C");
+        let mut procs: Vec<ConsensusProcess<u64>> = ProcessId::all(n)
+            .map(|pid| ConsensusProcess::new(Arc::clone(&inst), pid, 1000 + pid.index() as u64))
+            .collect();
+        let proposals: Vec<u64> = (0..n).map(|i| 1000 + i as u64).collect();
+
+        let mut decisions: Vec<Option<u64>> = vec![None; n];
+        for (who, claimed_leader) in schedule {
+            let who = who % n;
+            // The adversarial oracle: an arbitrary identity, possibly wrong,
+            // possibly different per step.
+            let leader = p(claimed_leader % n);
+            if let ProposerStatus::Decided(v) = procs[who].step(leader) {
+                if let Some(prev) = decisions[who] {
+                    prop_assert_eq!(prev, v, "a process may never change its decision");
+                }
+                decisions[who] = Some(v);
+            }
+        }
+
+        let decided: Vec<u64> = decisions.iter().copied().flatten().collect();
+        // Agreement: all decided values identical.
+        prop_assert!(
+            decided.windows(2).all(|w| w[0] == w[1]),
+            "agreement violated: {:?}",
+            decided
+        );
+        // Validity: the decided value was someone's proposal.
+        for v in decided {
+            prop_assert!(proposals.contains(&v), "decided unproposed value {v}");
+        }
+    }
+
+    /// The replicated log: committed prefixes of any two replicas are
+    /// consistent (one is a prefix of the other), and every committed
+    /// command was submitted by someone, exactly once.
+    #[test]
+    fn log_prefix_consistency_under_adversarial_omega(
+        n in 2usize..4,
+        submissions in prop::collection::vec((0usize..4, 1u64..1_000), 1..6),
+        schedule in prop::collection::vec((0usize..4, 0usize..4), 0..800),
+    ) {
+        let space = MemorySpace::new(n);
+        let shared = LogShared::<u64>::new(space);
+        let mut handles: Vec<LogHandle<u64>> = ProcessId::all(n)
+            .map(|pid| LogHandle::new(Arc::clone(&shared), pid))
+            .collect();
+
+        // Make submissions unique so "exactly once" is checkable: encode the
+        // submitter in the low bits.
+        let mut all_submitted = Vec::new();
+        for (i, (who, value)) in submissions.iter().enumerate() {
+            let who = who % n;
+            let command = value * 100 + (i as u64) * 10 + who as u64;
+            handles[who].submit(command);
+            all_submitted.push(command);
+        }
+
+        for (who, claimed_leader) in schedule {
+            let who = who % n;
+            let leader = p(claimed_leader % n);
+            handles[who].step(leader);
+        }
+
+        // Prefix consistency across replicas.
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let (short, long) = if handles[a].committed().len() <= handles[b].committed().len()
+                {
+                    (handles[a].committed(), handles[b].committed())
+                } else {
+                    (handles[b].committed(), handles[a].committed())
+                };
+                prop_assert_eq!(
+                    short,
+                    &long[..short.len()],
+                    "replica logs diverged"
+                );
+            }
+        }
+
+        // Every committed command was submitted, and no duplicates.
+        let longest = handles
+            .iter()
+            .max_by_key(|h| h.committed().len())
+            .unwrap()
+            .committed();
+        let mut seen = std::collections::HashSet::new();
+        for cmd in longest {
+            prop_assert!(all_submitted.contains(cmd), "unsubmitted command committed");
+            prop_assert!(seen.insert(*cmd), "command {} committed twice", cmd);
+        }
+    }
+}
+
+/// Deterministic end-to-end: consensus over each Ω variant in simulation.
+#[test]
+fn consensus_decides_over_every_omega_variant() {
+    use omega_consensus::ConsensusActor;
+    use omega_core::OmegaVariant;
+    use omega_sim::prelude::*;
+    use omega_sim::Simulation;
+
+    for variant in OmegaVariant::all() {
+        let n = 4;
+        let (space, omegas) = variant.build_processes(n);
+        let inst = ConsensusInstance::<u64>::new(&space, "C");
+        let actors: Vec<Box<dyn Actor>> = omegas
+            .into_iter()
+            .map(|omega| {
+                let pid = omega.pid();
+                let proposer =
+                    ConsensusProcess::new(Arc::clone(&inst), pid, 500 + pid.index() as u64);
+                Box::new(ConsensusActor::new(omega, proposer)) as Box<dyn Actor>
+            })
+            .collect();
+        let min_delay = match variant {
+            OmegaVariant::StepClock => 2,
+            _ => 1,
+        };
+        let _report = Simulation::builder(actors)
+            .adversary(AwbEnvelope::new(
+                SeededRandom::new(17, min_delay, 6),
+                p(0),
+                SimTime::from_ticks(500),
+                4,
+            ))
+            .horizon(40_000)
+            .run();
+        let decision = inst.peek_decision();
+        assert!(
+            decision.is_some(),
+            "{variant}: consensus failed to decide once Ω stabilized"
+        );
+        let v = decision.unwrap();
+        assert!((500..504).contains(&v), "{variant}: decided unproposed {v}");
+    }
+}
+
+/// True parallelism: contending proposers on real threads, each initially
+/// convinced it is the leader. Safety must hold under genuine hardware
+/// interleavings; termination arrives once the "oracle" settles on p0.
+#[test]
+fn threaded_contention_agreement() {
+    for round in 0..10u64 {
+        let n = 4;
+        let space = MemorySpace::new(n);
+        let inst = ConsensusInstance::<u64>::new(&space, "C");
+        let decisions: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|i| {
+                    let inst = Arc::clone(&inst);
+                    s.spawn(move || {
+                        let mut proc =
+                            ConsensusProcess::new(inst, p(i), round * 100 + i as u64);
+                        // Contention phase: everyone thinks it leads.
+                        if let Some(v) = proc.step_until_decided(p(i), 200) {
+                            return v;
+                        }
+                        // Ω "stabilizes": p0 leads; all must now terminate.
+                        proc.step_until_decided(p(0), 100_000)
+                            .expect("decision after stabilization")
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(
+            decisions.windows(2).all(|w| w[0] == w[1]),
+            "round {round}: threads disagreed: {decisions:?}"
+        );
+        assert!(
+            (round * 100..round * 100 + n as u64).contains(&decisions[0]),
+            "round {round}: unproposed value {}",
+            decisions[0]
+        );
+    }
+}
+
+/// Crash the first elected leader mid-run: consensus still decides.
+#[test]
+fn consensus_survives_leader_crash() {
+    use omega_consensus::ConsensusActor;
+    use omega_core::OmegaVariant;
+    use omega_sim::crash::CrashPlan;
+    use omega_sim::prelude::*;
+    use omega_sim::Simulation;
+
+    let n = 4;
+    let (space, omegas) = OmegaVariant::Alg1.build_processes(n);
+    let inst = ConsensusInstance::<u64>::new(&space, "C");
+    let actors: Vec<Box<dyn Actor>> = omegas
+        .into_iter()
+        .map(|omega| {
+            let pid = omega.pid();
+            let proposer = ConsensusProcess::new(Arc::clone(&inst), pid, pid.index() as u64);
+            Box::new(ConsensusActor::new(omega, proposer)) as Box<dyn Actor>
+        })
+        .collect();
+    // Crash whoever leads very early — likely before or just as the
+    // decision propagates; a quorum-free register consensus must still
+    // converge for the survivors.
+    let report = Simulation::builder(actors)
+        .adversary(AwbEnvelope::new(
+            SeededRandom::new(23, 1, 6),
+            p(1),
+            SimTime::from_ticks(2_000),
+            4,
+        ))
+        .crash_plan(CrashPlan::none().with_leader_crash_at(SimTime::from_ticks(300)))
+        .horizon(60_000)
+        .sample_every(50)
+        .run();
+    assert_eq!(report.crashed.len(), 1);
+    assert!(
+        inst.peek_decision().is_some(),
+        "survivors must still decide after the leader crash"
+    );
+}

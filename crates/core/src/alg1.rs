@@ -1,0 +1,507 @@
+//! Algorithm 1 (Figure 2): the write-efficient Ω for `AS_n[AWB]`.
+//!
+//! Shared variables (all 1WnR):
+//!
+//! * `PROGRESS[0..n]` — naturals; `p_i` increments its own entry while it
+//!   believes it is the leader (the heartbeat).
+//! * `STOP[0..n]` — booleans; `p_i` raises its entry when it stops
+//!   competing for leadership.
+//! * `SUSPICIONS[0..n][0..n]` — naturals; `SUSPICIONS[i][k]` counts how many
+//!   times `p_i` has suspected `p_k`. Row `i` is owned by `p_i`.
+//!
+//! Per Theorems 1–4, in every AWB run: a single correct leader is
+//! eventually elected; all shared variables except the leader's `PROGRESS`
+//! entry stay bounded; and after stabilization only the leader writes the
+//! shared memory (one register) — which is write-optimal.
+//!
+//! The paper observes (Section 3.2) that a process may keep local copies of
+//! the registers it owns and read those instead of the shared memory; this
+//! implementation does so for `PROGRESS[i]`, `STOP[i]` and the
+//! `SUSPICIONS[i][·]` row, so the remaining shared *reads* are exactly the
+//! ones the model requires.
+
+use std::sync::Arc;
+
+use omega_registers::{FlagArray, MemorySpace, NatArray, NatMatrix, ProcessId, ProcessSet};
+
+use crate::candidates::{elect_least_suspected, CandidateInit};
+use crate::OmegaProcess;
+
+/// The Figure-2 shared register layout.
+///
+/// One instance is shared (via [`Arc`]) by all `n` [`Alg1Process`]es of a
+/// system.
+#[derive(Debug)]
+pub struct Alg1Memory {
+    n: usize,
+    progress: NatArray,
+    stop: FlagArray,
+    suspicions: NatMatrix,
+}
+
+impl Alg1Memory {
+    /// Allocates the `PROGRESS`/`STOP`/`SUSPICIONS` registers in `space`
+    /// with the paper's initial values (naturals 0, booleans `true`).
+    #[must_use]
+    pub fn new(space: &MemorySpace) -> Arc<Self> {
+        let n = space.n_processes();
+        Arc::new(Alg1Memory {
+            n,
+            progress: space.nat_array("PROGRESS", |_| 0),
+            stop: space.flag_array("STOP", |_| true),
+            suspicions: space.nat_row_matrix("SUSPICIONS", |_, _| 0),
+        })
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Unattributed view of `PROGRESS[k]`, for harnesses and experiments.
+    #[must_use]
+    pub fn peek_progress(&self, k: ProcessId) -> u64 {
+        self.progress.get(k).peek()
+    }
+
+    /// Unattributed view of `STOP[k]`.
+    #[must_use]
+    pub fn peek_stop(&self, k: ProcessId) -> bool {
+        self.stop.get(k).peek()
+    }
+
+    /// Unattributed view of `SUSPICIONS[j][k]`.
+    #[must_use]
+    pub fn peek_suspicions(&self, j: ProcessId, k: ProcessId) -> u64 {
+        self.suspicions.get(j, k).peek()
+    }
+
+    /// Unattributed total suspicion count of `k`: `Σ_j SUSPICIONS[j][k]`.
+    #[must_use]
+    pub fn peek_total_suspicions(&self, k: ProcessId) -> u64 {
+        ProcessId::all(self.n)
+            .map(|j| self.suspicions.get(j, k).peek())
+            .sum()
+    }
+
+    /// Overwrites every register with arbitrary values derived from `seed`
+    /// — the paper's footnote 7 allows arbitrary initial shared state; the
+    /// self-stabilization experiments start from here.
+    pub fn corrupt(&self, seed: u64) {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for pid in ProcessId::all(self.n) {
+            self.progress.get(pid).poke(next() % 1_000);
+            self.stop.get(pid).poke(next() % 2 == 0);
+        }
+        for j in ProcessId::all(self.n) {
+            for k in ProcessId::all(self.n) {
+                self.suspicions.get(j, k).poke(next() % 100);
+            }
+        }
+    }
+}
+
+/// One process of Algorithm 1.
+///
+/// # Examples
+///
+/// Driving two processes by hand (outside any scheduler):
+///
+/// ```
+/// use std::sync::Arc;
+/// use omega_core::{Alg1Memory, Alg1Process, OmegaProcess};
+/// use omega_registers::{MemorySpace, ProcessId};
+///
+/// let space = MemorySpace::new(2);
+/// let memory = Alg1Memory::new(&space);
+/// let mut p0 = Alg1Process::new(Arc::clone(&memory), ProcessId::new(0));
+/// let mut p1 = Alg1Process::new(memory, ProcessId::new(1));
+///
+/// // Both initially trust everyone; identities break the tie: p0 leads.
+/// assert_eq!(p0.leader(), ProcessId::new(0));
+/// assert_eq!(p1.leader(), ProcessId::new(0));
+/// p0.t2_step(); // p0 heartbeats
+/// p1.t2_step(); // p1 demotes itself (sets STOP)
+/// ```
+#[derive(Debug)]
+pub struct Alg1Process {
+    pid: ProcessId,
+    mem: Arc<Alg1Memory>,
+    /// `candidates_i` — invariant: always contains `pid`.
+    candidates: ProcessSet,
+    /// `last_i[k]` — greatest `PROGRESS[k]` value seen (line 19).
+    last: Vec<u64>,
+    /// Whether `last[k]` holds a real observation yet; arbitrary initial
+    /// register values make `0` an unsafe sentinel.
+    last_valid: Vec<bool>,
+    /// Local mirror of `PROGRESS[pid]` (owner-side copy).
+    my_progress: u64,
+    /// Local mirror of `STOP[pid]`.
+    my_stop: bool,
+    /// Local mirror of the owned `SUSPICIONS[pid][·]` row.
+    my_suspicions: Vec<u64>,
+    /// Additive slack of the line-27 timeout (the paper uses 1).
+    timeout_slack: u64,
+    /// Leader estimate cached from the latest `T2` evaluation.
+    cached: Option<ProcessId>,
+}
+
+impl Alg1Process {
+    /// Creates process `pid` over `mem`, initially trusting everyone.
+    #[must_use]
+    pub fn new(mem: Arc<Alg1Memory>, pid: ProcessId) -> Self {
+        Alg1Process::with_candidates(mem, pid, CandidateInit::Full)
+    }
+
+    /// Creates process `pid` with an explicit initial candidate set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range for the memory's system size.
+    #[must_use]
+    pub fn with_candidates(mem: Arc<Alg1Memory>, pid: ProcessId, init: CandidateInit) -> Self {
+        let n = mem.n();
+        assert!(pid.index() < n, "{pid} out of range for n={n}");
+        // Owner-side mirrors start from the *actual* register contents so
+        // that a corrupted initial state is handled like the paper requires
+        // (the algorithm is self-stabilizing w.r.t. shared variables).
+        let my_progress = mem.progress.get(pid).peek();
+        let my_stop = mem.stop.get(pid).peek();
+        let my_suspicions = ProcessId::all(n)
+            .map(|k| mem.suspicions.get(pid, k).peek())
+            .collect();
+        Alg1Process {
+            pid,
+            candidates: init.materialize(n, pid),
+            last: vec![0; n],
+            last_valid: vec![false; n],
+            my_progress,
+            my_stop,
+            my_suspicions,
+            timeout_slack: 1,
+            cached: None,
+            mem,
+        }
+    }
+
+    /// Sets the additive slack of the timer formula (Figure 2, line 27
+    /// uses `max_k SUSPICIONS[i][k] + 1`, i.e. slack 1). Larger slack makes
+    /// followers more patient: fewer spurious suspicions during chaotic
+    /// periods, slower reaction to a genuinely crashed leader. Provided for
+    /// the ablation experiments; correctness holds for any slack ≥ 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slack == 0` (the timeout must exceed the suspicion max
+    /// for Lemma 2's argument to apply).
+    #[must_use]
+    pub fn with_timeout_slack(mut self, slack: u64) -> Self {
+        assert!(slack >= 1, "timeout slack must be at least 1");
+        self.timeout_slack = slack;
+        self
+    }
+
+    /// The shared memory this process runs over.
+    #[must_use]
+    pub fn memory(&self) -> &Arc<Alg1Memory> {
+        &self.mem
+    }
+
+    /// Current candidate set (test/diagnostic view).
+    #[must_use]
+    pub fn candidates(&self) -> &ProcessSet {
+        &self.candidates
+    }
+
+    /// Total suspicions of candidate `k` as seen by this process —
+    /// `Σ_j SUSPICIONS[j][k]` (line 3). Reads the shared matrix, except the
+    /// process's own row, which is mirrored locally.
+    fn total_suspicions(&self, k: ProcessId) -> u64 {
+        ProcessId::all(self.mem.n())
+            .map(|j| {
+                if j == self.pid {
+                    self.my_suspicions[k.index()]
+                } else {
+                    self.mem.suspicions.get(j, k).read(self.pid)
+                }
+            })
+            .sum()
+    }
+}
+
+impl OmegaProcess for Alg1Process {
+    fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    fn n(&self) -> usize {
+        self.mem.n()
+    }
+
+    /// Task `T1` (lines 1–5): elect the least-suspected candidate.
+    fn leader(&self) -> ProcessId {
+        elect_least_suspected(&self.candidates, |k| self.total_suspicions(k))
+            .expect("candidates always contain self")
+    }
+
+    /// One iteration of task `T2` (lines 6–12).
+    fn t2_step(&mut self) {
+        let leader = self.leader();
+        self.cached = Some(leader);
+        if leader == self.pid {
+            // Line 8: heartbeat.
+            self.my_progress = self.my_progress.wrapping_add(1);
+            self.mem.progress.get(self.pid).write(self.pid, self.my_progress);
+            // Line 9: announce candidacy.
+            if self.my_stop {
+                self.my_stop = false;
+                self.mem.stop.get(self.pid).write(self.pid, false);
+            }
+        } else {
+            // Line 11: withdraw.
+            if !self.my_stop {
+                self.my_stop = true;
+                self.mem.stop.get(self.pid).write(self.pid, true);
+            }
+        }
+    }
+
+    /// Task `T3` body (lines 13–27). Returns the next timeout value
+    /// `max_k SUSPICIONS[i][k] + 1`.
+    fn on_timer_expire(&mut self) -> u64 {
+        let n = self.mem.n();
+        for k in ProcessId::all(n) {
+            if k == self.pid {
+                continue;
+            }
+            // Lines 15–16.
+            let stop_k = self.mem.stop.get(k).read(self.pid);
+            let progress_k = self.mem.progress.get(k).read(self.pid);
+            let fresh = !self.last_valid[k.index()] || progress_k != self.last[k.index()];
+            if fresh {
+                // Lines 17–19: k made progress — it is a live candidate.
+                self.candidates.insert(k);
+                self.last[k.index()] = progress_k;
+                self.last_valid[k.index()] = true;
+            } else if stop_k {
+                // Lines 20–21: k resigned voluntarily.
+                self.candidates.remove(k);
+            } else if self.candidates.contains(k) {
+                // Lines 22–24: suspect k.
+                let bumped = self.my_suspicions[k.index()] + 1;
+                self.my_suspicions[k.index()] = bumped;
+                self.mem.suspicions.get(self.pid, k).write(self.pid, bumped);
+                self.candidates.remove(k);
+            }
+        }
+        // Line 27 — computed entirely from owned (mirrored) registers.
+        self.my_suspicions.iter().copied().max().unwrap_or(0) + self.timeout_slack
+    }
+
+    fn initial_timeout(&self) -> u64 {
+        self.my_suspicions.iter().copied().max().unwrap_or(0) + self.timeout_slack
+    }
+
+    fn cached_leader(&self) -> Option<ProcessId> {
+        self.cached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn system(n: usize) -> (MemorySpace, Arc<Alg1Memory>, Vec<Alg1Process>) {
+        let space = MemorySpace::new(n);
+        let mem = Alg1Memory::new(&space);
+        let procs = ProcessId::all(n)
+            .map(|pid| Alg1Process::new(Arc::clone(&mem), pid))
+            .collect();
+        (space, mem, procs)
+    }
+
+    #[test]
+    fn initial_leader_is_smallest_id() {
+        let (_s, _m, procs) = system(4);
+        for proc in &procs {
+            assert_eq!(proc.leader(), p(0));
+        }
+    }
+
+    #[test]
+    fn t2_heartbeats_only_for_leader() {
+        let (_s, mem, mut procs) = system(3);
+        procs[0].t2_step();
+        procs[1].t2_step();
+        procs[2].t2_step();
+        assert_eq!(mem.peek_progress(p(0)), 1);
+        assert_eq!(mem.peek_progress(p(1)), 0);
+        assert!(!mem.peek_stop(p(0)), "leader lowers its STOP flag");
+        assert!(mem.peek_stop(p(1)), "followers raise STOP");
+        assert_eq!(procs[1].cached_leader(), Some(p(0)));
+    }
+
+    #[test]
+    fn t3_detects_progress_and_suspects_silent_candidates() {
+        let (_s, mem, mut procs) = system(2);
+        // p0 heartbeats once; p1's first scan observes fresh progress.
+        procs[0].t2_step();
+        let timeout = procs[1].on_timer_expire();
+        assert!(procs[1].candidates().contains(p(0)));
+        assert_eq!(timeout, 1, "no suspicions yet: timeout = 0 + 1");
+        // p0 stays silent with STOP low: second scan suspects it.
+        let _ = procs[1].on_timer_expire();
+        assert_eq!(mem.peek_suspicions(p(1), p(0)), 1);
+        assert!(!procs[1].candidates().contains(p(0)));
+        // Timeout grew with the suspicion row.
+        assert_eq!(procs[1].initial_timeout(), 2);
+    }
+
+    #[test]
+    fn t3_respects_voluntary_stop() {
+        let (_s, mem, mut procs) = system(2);
+        // p1 resigns: STOP[1] stays true (initial) and no progress is made.
+        // First scan by p0: PROGRESS[1] == 0 == last sentinel, but the
+        // sentinel is invalid so the first scan treats it as fresh.
+        let _ = procs[0].on_timer_expire();
+        assert!(procs[0].candidates().contains(p(1)));
+        // Second scan: no progress, STOP set → removed without suspicion.
+        let _ = procs[0].on_timer_expire();
+        assert!(!procs[0].candidates().contains(p(1)));
+        assert_eq!(mem.peek_suspicions(p(0), p(1)), 0, "no suspicion on voluntary stop");
+    }
+
+    #[test]
+    fn election_uses_global_suspicion_totals() {
+        let space = MemorySpace::new(3);
+        let mem = Alg1Memory::new(&space);
+        // Totals: p0 → 2+1 = 3, p1 → 2, p2 → 4. Poke before spawning so the
+        // owner-side mirrors pick the values up.
+        mem.suspicions.get(p(1), p(0)).poke(2);
+        mem.suspicions.get(p(2), p(0)).poke(1);
+        mem.suspicions.get(p(0), p(1)).poke(2);
+        mem.suspicions.get(p(0), p(2)).poke(4);
+        let procs: Vec<Alg1Process> = ProcessId::all(3)
+            .map(|pid| Alg1Process::new(Arc::clone(&mem), pid))
+            .collect();
+        for proc in &procs {
+            assert_eq!(proc.leader(), p(1), "{} must elect the least suspected", proc.pid());
+        }
+    }
+
+    #[test]
+    fn silent_self_proclaimed_candidate_gets_suspected_and_demoted() {
+        let (_s, mem, mut procs) = system(2);
+        // p0 claims candidacy (STOP low) but never heartbeats.
+        mem.stop.get(p(0)).poke(false);
+        let _ = procs[1].on_timer_expire(); // first scan: fresh (sentinel)
+        let _ = procs[1].on_timer_expire(); // silent + STOP low → suspected
+        assert_eq!(mem.peek_suspicions(p(1), p(0)), 1);
+        assert_eq!(procs[1].leader(), p(1), "suspect removed from candidates");
+    }
+
+    #[test]
+    fn own_candidacy_never_dropped() {
+        let (_s, _m, mut procs) = system(3);
+        for _ in 0..5 {
+            for proc in procs.iter_mut() {
+                proc.t2_step();
+                let _ = proc.on_timer_expire();
+            }
+        }
+        for proc in &procs {
+            assert!(proc.candidates().contains(proc.pid()));
+        }
+    }
+
+    #[test]
+    fn wrapping_progress_still_registers_as_fresh() {
+        let (_s, mem, mut procs) = system(2);
+        mem.progress.get(p(0)).poke(u64::MAX);
+        let mut proc0 = Alg1Process::new(Arc::clone(&mem), p(0));
+        // Scan once so p1's `last` records MAX.
+        let _ = procs[1].on_timer_expire();
+        // Owner mirrors picked up the corrupted value and wrap on heartbeat.
+        proc0.t2_step();
+        assert_eq!(mem.peek_progress(p(0)), 0, "wrapped");
+        let _ = procs[1].on_timer_expire();
+        assert!(procs[1].candidates().contains(p(0)), "wrap is still progress");
+        assert_eq!(mem.peek_suspicions(p(1), p(0)), 0);
+    }
+
+    #[test]
+    fn corrupt_produces_arbitrary_but_deterministic_state() {
+        let (_s, mem, _) = system(3);
+        mem.corrupt(42);
+        let a: Vec<u64> = ProcessId::all(3).map(|k| mem.peek_progress(k)).collect();
+        let (_s2, mem2, _) = {
+            let space = MemorySpace::new(3);
+            let m = Alg1Memory::new(&space);
+            (space, m, ())
+        };
+        mem2.corrupt(42);
+        let b: Vec<u64> = ProcessId::all(3).map(|k| mem2.peek_progress(k)).collect();
+        assert_eq!(a, b, "same seed, same corruption");
+        assert_eq!(mem.n(), 3);
+    }
+
+    #[test]
+    fn mirrors_initialized_from_corrupted_registers() {
+        let space = MemorySpace::new(2);
+        let mem = Alg1Memory::new(&space);
+        mem.suspicions.get(p(0), p(1)).poke(41);
+        let mut proc = Alg1Process::new(Arc::clone(&mem), p(0));
+        // Timeout derives from the mirrored corrupted row (41 + 1).
+        assert_eq!(proc.initial_timeout(), 42);
+        // First scan observes p1 as fresh (sentinel invalid); second scan
+        // sees STOP[1] = true (initial), so p1 resigns without a suspicion.
+        let _ = proc.on_timer_expire();
+        let _ = proc.on_timer_expire();
+        assert_eq!(mem.peek_suspicions(p(0), p(1)), 41, "voluntary stop: count unchanged");
+        // Once p1 claims candidacy without progressing, the suspicion
+        // continues from the corrupted count — but only after p1 re-enters
+        // the candidate set via fresh progress.
+        mem.stop.get(p(1)).poke(false);
+        mem.progress.get(p(1)).poke(7);
+        let _ = proc.on_timer_expire(); // fresh → candidate again
+        let _ = proc.on_timer_expire(); // silent + STOP low → suspicion 42
+        assert_eq!(mem.peek_suspicions(p(0), p(1)), 42);
+        assert_eq!(proc.initial_timeout(), 43);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn process_pid_out_of_range_rejected() {
+        let space = MemorySpace::new(2);
+        let mem = Alg1Memory::new(&space);
+        let _ = Alg1Process::new(mem, p(2));
+    }
+
+    #[test]
+    fn two_process_mutual_election_converges_round_robin() {
+        let (_s, _m, mut procs) = system(2);
+        // Interleave T2 and T3 round-robin; p0 should end up sole leader.
+        for _ in 0..20 {
+            for proc in procs.iter_mut() {
+                proc.t2_step();
+            }
+            for proc in procs.iter_mut() {
+                let _ = proc.on_timer_expire();
+            }
+        }
+        assert_eq!(procs[0].leader(), p(0));
+        assert_eq!(procs[1].leader(), p(0));
+        assert_eq!(procs[0].cached_leader(), Some(p(0)));
+    }
+}

@@ -1,0 +1,280 @@
+//! The related-work baseline: Ω for *eventually synchronous* shared memory.
+//!
+//! The paper's only shared-memory predecessor (\[13\]: Guerraoui & Raynal,
+//! SEUS'06) assumes an **eventually synchronous** system — after some
+//! unknown time there are lower *and upper* bounds on every process's step
+//! time. That is strictly stronger than AWB, which bounds only *one*
+//! process's write cadence and asks everyone else merely for
+//! asymptotically well-behaved timers.
+//!
+//! [`EsOmega`] is a faithful representative of that model's standard
+//! recipe (the SEUS'06 text fixes details differently, but the assumption
+//! it needs is the same):
+//!
+//! * every process heartbeats its own counter on every step (so, unlike
+//!   Figure 2, *all* processes write forever);
+//! * a follower suspects `p_k` after `threshold_k` consecutive scans
+//!   without progress, and doubles `threshold_k` whenever a suspicion
+//!   proves false — the classic adaptive-timeout trick, which converges
+//!   exactly when step delays are eventually bounded;
+//! * `leader()` returns the smallest currently-unsuspected identity.
+//!
+//! Under eventual synchrony this elects and stabilizes. Under the paper's
+//! weaker AWB assumption it can fail: a correct process whose stall
+//! lengths grow without bound (allowed by AWB!) beats every doubled
+//! threshold, is falsely suspected infinitely often, and — having the
+//! smallest identity — yo-yos the election forever. Experiment E14
+//! (`table_baseline`) shows exactly this separation; it is the executable
+//! version of the paper's claim that AWB is "weaker than the assumption
+//! used in \[13\]".
+
+use std::sync::Arc;
+
+use omega_registers::{MemorySpace, NatArray, ProcessId};
+
+use crate::OmegaProcess;
+
+/// Shared layout of the baseline: one heartbeat counter per process.
+#[derive(Debug)]
+pub struct EsMemory {
+    n: usize,
+    heartbeat: NatArray,
+}
+
+impl EsMemory {
+    /// Allocates the heartbeat registers in `space`.
+    #[must_use]
+    pub fn new(space: &MemorySpace) -> Arc<Self> {
+        let n = space.n_processes();
+        Arc::new(EsMemory {
+            n,
+            heartbeat: space.nat_array("ESHB", |_| 0),
+        })
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Unattributed view of `ESHB[k]`.
+    #[must_use]
+    pub fn peek_heartbeat(&self, k: ProcessId) -> u64 {
+        self.heartbeat.get(k).peek()
+    }
+}
+
+/// One process of the eventually-synchronous baseline algorithm.
+#[derive(Debug)]
+pub struct EsOmega {
+    pid: ProcessId,
+    mem: Arc<EsMemory>,
+    my_heartbeat: u64,
+    last_seen: Vec<u64>,
+    seen_valid: Vec<bool>,
+    misses: Vec<u64>,
+    /// Adaptive per-target miss thresholds; doubled on false suspicion.
+    thresholds: Vec<u64>,
+    suspected: Vec<bool>,
+    /// Fixed scan period (the model's timers are trustworthy).
+    scan_period: u64,
+    /// False suspicions observed so far (diagnostics).
+    false_suspicions: u64,
+    cached: Option<ProcessId>,
+}
+
+impl EsOmega {
+    /// Creates process `pid` with the given initial miss threshold and
+    /// scan period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range or any parameter is zero.
+    #[must_use]
+    pub fn new(mem: Arc<EsMemory>, pid: ProcessId, initial_threshold: u64, scan_period: u64) -> Self {
+        let n = mem.n();
+        assert!(pid.index() < n, "{pid} out of range");
+        assert!(initial_threshold > 0 && scan_period > 0);
+        EsOmega {
+            pid,
+            my_heartbeat: 0,
+            last_seen: vec![0; n],
+            seen_valid: vec![false; n],
+            misses: vec![0; n],
+            thresholds: vec![initial_threshold; n],
+            suspected: vec![false; n],
+            scan_period,
+            false_suspicions: 0,
+            cached: None,
+            mem,
+        }
+    }
+
+    /// False suspicions this process has retracted so far.
+    #[must_use]
+    pub fn false_suspicions(&self) -> u64 {
+        self.false_suspicions
+    }
+
+    /// Current miss threshold for target `k` (diagnostics).
+    #[must_use]
+    pub fn threshold_of(&self, k: ProcessId) -> u64 {
+        self.thresholds[k.index()]
+    }
+}
+
+impl OmegaProcess for EsOmega {
+    fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    fn n(&self) -> usize {
+        self.mem.n()
+    }
+
+    /// The baseline election rule: smallest unsuspected identity.
+    fn leader(&self) -> ProcessId {
+        ProcessId::all(self.mem.n())
+            .find(|k| !self.suspected[k.index()])
+            .unwrap_or(self.pid)
+    }
+
+    fn t2_step(&mut self) {
+        // Everyone heartbeats, always — the baseline is not write-optimal.
+        self.my_heartbeat = self.my_heartbeat.wrapping_add(1);
+        self.mem
+            .heartbeat
+            .get(self.pid)
+            .write(self.pid, self.my_heartbeat);
+        self.cached = Some(self.leader());
+    }
+
+    fn on_timer_expire(&mut self) -> u64 {
+        for k in ProcessId::all(self.mem.n()) {
+            if k == self.pid {
+                continue;
+            }
+            let idx = k.index();
+            let hb = self.mem.heartbeat.get(k).read(self.pid);
+            let progressed = !self.seen_valid[idx] || hb != self.last_seen[idx];
+            self.seen_valid[idx] = true;
+            self.last_seen[idx] = hb;
+            if progressed {
+                self.misses[idx] = 0;
+                if self.suspected[idx] {
+                    // False suspicion: retract and become more patient.
+                    self.suspected[idx] = false;
+                    self.false_suspicions += 1;
+                    self.thresholds[idx] = self.thresholds[idx].saturating_mul(2);
+                }
+            } else {
+                self.misses[idx] += 1;
+                if self.misses[idx] >= self.thresholds[idx] {
+                    self.suspected[idx] = true;
+                }
+            }
+        }
+        self.cached = Some(self.leader());
+        self.scan_period
+    }
+
+    fn initial_timeout(&self) -> u64 {
+        self.scan_period
+    }
+
+    fn cached_leader(&self) -> Option<ProcessId> {
+        self.cached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn system(n: usize) -> (MemorySpace, Arc<EsMemory>, Vec<EsOmega>) {
+        let space = MemorySpace::new(n);
+        let mem = EsMemory::new(&space);
+        let procs = ProcessId::all(n)
+            .map(|pid| EsOmega::new(Arc::clone(&mem), pid, 2, 4))
+            .collect();
+        (space, mem, procs)
+    }
+
+    #[test]
+    fn everyone_heartbeats() {
+        let (space, mem, mut procs) = system(3);
+        for _ in 0..5 {
+            for proc in procs.iter_mut() {
+                proc.t2_step();
+            }
+        }
+        for k in ProcessId::all(3) {
+            assert_eq!(mem.peek_heartbeat(k), 5);
+        }
+        assert_eq!(space.stats().writer_set().len(), 3, "not write-optimal by design");
+    }
+
+    #[test]
+    fn live_min_id_wins_under_lockstep() {
+        let (_s, _m, mut procs) = system(3);
+        for _ in 0..10 {
+            for proc in procs.iter_mut() {
+                proc.t2_step();
+            }
+            for proc in procs.iter_mut() {
+                let _ = proc.on_timer_expire();
+            }
+        }
+        for proc in &procs {
+            assert_eq!(proc.leader(), p(0));
+        }
+    }
+
+    #[test]
+    fn silent_process_gets_suspected_after_threshold() {
+        let (_s, _m, mut procs) = system(2);
+        // p0 never steps. p1 scans: first scan latches, then misses 1, 2 →
+        // threshold 2 reached → suspected.
+        let _ = procs[1].on_timer_expire();
+        let _ = procs[1].on_timer_expire();
+        let _ = procs[1].on_timer_expire();
+        assert_eq!(procs[1].leader(), p(1));
+    }
+
+    #[test]
+    fn false_suspicion_doubles_threshold() {
+        let (_s, _m, mut procs) = system(2);
+        assert_eq!(procs[1].threshold_of(p(0)), 2);
+        // Suspect p0…
+        for _ in 0..3 {
+            let _ = procs[1].on_timer_expire();
+        }
+        assert_eq!(procs[1].leader(), p(1));
+        // …then p0 revives: retraction doubles patience.
+        procs[0].t2_step();
+        let _ = procs[1].on_timer_expire();
+        assert_eq!(procs[1].leader(), p(0));
+        assert_eq!(procs[1].false_suspicions(), 1);
+        assert_eq!(procs[1].threshold_of(p(0)), 4);
+    }
+
+    #[test]
+    fn scan_period_is_constant() {
+        let (_s, _m, mut procs) = system(2);
+        assert_eq!(procs[0].initial_timeout(), 4);
+        assert_eq!(procs[0].on_timer_expire(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pid_out_of_range_rejected() {
+        let space = MemorySpace::new(1);
+        let mem = EsMemory::new(&space);
+        let _ = EsOmega::new(mem, p(4), 1, 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! Candidate bookkeeping and the least-suspected election rule.
+//!
+//! Task `T1` of both algorithms elects, among the processes a process
+//! currently considers candidates, the one with the *lexicographically
+//! smallest* `(suspicion count, identity)` pair (Figure 2, lines 2–5):
+//! ties in the global suspicion count break towards the smaller identity.
+
+use omega_registers::{ProcessId, ProcessSet};
+
+/// Elects the candidate with the lexicographically smallest
+/// `(suspicions, identity)` pair.
+///
+/// Returns `None` only for an empty candidate set — which the algorithms
+/// never produce, since a process always keeps itself as a candidate.
+///
+/// # Examples
+///
+/// ```
+/// use omega_core::elect_least_suspected;
+/// use omega_registers::{ProcessId, ProcessSet};
+///
+/// let candidates = ProcessSet::full(3);
+/// let counts = [5u64, 2, 2];
+/// let leader = elect_least_suspected(&candidates, |p| counts[p.index()]);
+/// // p1 and p2 tie on 2 suspicions; the smaller identity wins.
+/// assert_eq!(leader, Some(ProcessId::new(1)));
+/// ```
+#[must_use]
+pub fn elect_least_suspected(
+    candidates: &ProcessSet,
+    mut suspicions_of: impl FnMut(ProcessId) -> u64,
+) -> Option<ProcessId> {
+    candidates
+        .iter()
+        .map(|p| (suspicions_of(p), p))
+        .min_by(|a, b| a.cmp(b))
+        .map(|(_, p)| p)
+}
+
+/// Initial contents of a process's candidate set.
+///
+/// The paper only requires the initial `candidates_i` to contain `i`
+/// (Section 3.2); the choice affects convergence speed, not correctness,
+/// and the self-stabilization tests exercise all of them.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum CandidateInit {
+    /// Start from `{p_0, …, p_{n−1}}` — every process initially trusted.
+    #[default]
+    Full,
+    /// Start from `{i}` — nobody else trusted until observed alive.
+    SelfOnly,
+    /// Start from an explicit set (the process's own identity is added if
+    /// missing, preserving the paper's invariant `i ∈ candidates_i`).
+    Custom(ProcessSet),
+}
+
+impl CandidateInit {
+    /// Materializes the initial candidate set for process `pid` in a system
+    /// of `n` processes.
+    #[must_use]
+    pub fn materialize(&self, n: usize, pid: ProcessId) -> ProcessSet {
+        let mut set = match self {
+            CandidateInit::Full => ProcessSet::full(n),
+            CandidateInit::SelfOnly => ProcessSet::new(n),
+            CandidateInit::Custom(set) => {
+                let mut out = ProcessSet::new(n);
+                for p in set.iter().filter(|p| p.index() < n) {
+                    out.insert(p);
+                }
+                out
+            }
+        };
+        set.insert(pid);
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn empty_candidates_elect_nobody() {
+        assert_eq!(elect_least_suspected(&ProcessSet::new(3), |_| 0), None);
+    }
+
+    #[test]
+    fn least_suspected_wins() {
+        let counts = [9u64, 1, 4];
+        let leader = elect_least_suspected(&ProcessSet::full(3), |p| counts[p.index()]);
+        assert_eq!(leader, Some(p(1)));
+    }
+
+    #[test]
+    fn ties_break_to_smaller_identity() {
+        let leader = elect_least_suspected(&ProcessSet::full(4), |_| 7);
+        assert_eq!(leader, Some(p(0)));
+    }
+
+    #[test]
+    fn election_restricted_to_candidates() {
+        let mut cands = ProcessSet::new(4);
+        cands.insert(p(2));
+        cands.insert(p(3));
+        // p0 has the fewest suspicions but is not a candidate.
+        let counts = [0u64, 0, 5, 3];
+        let leader = elect_least_suspected(&cands, |q| counts[q.index()]);
+        assert_eq!(leader, Some(p(3)));
+    }
+
+    #[test]
+    fn init_full_contains_all() {
+        let set = CandidateInit::Full.materialize(3, p(1));
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn init_self_only_contains_self() {
+        let set = CandidateInit::SelfOnly.materialize(5, p(4));
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![p(4)]);
+    }
+
+    #[test]
+    fn init_custom_always_adds_self() {
+        let mut base = ProcessSet::new(4);
+        base.insert(p(0));
+        let set = CandidateInit::Custom(base).materialize(4, p(2));
+        assert!(set.contains(p(0)));
+        assert!(set.contains(p(2)), "invariant i ∈ candidates_i enforced");
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn init_custom_clips_out_of_range_members() {
+        let mut base = ProcessSet::new(8);
+        base.insert(p(7));
+        let set = CandidateInit::Custom(base).materialize(4, p(0));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn default_is_full() {
+        assert_eq!(CandidateInit::default(), CandidateInit::Full);
+    }
+}

@@ -1,0 +1,255 @@
+//! Section 3.5(a): Algorithm 1 over nWnR registers.
+//!
+//! With multi-writer/multi-reader atomic registers, each column
+//! `SUSPICIONS[·][k]` of the Figure-2 matrix collapses into a single shared
+//! counter `SUSPICIONS[k]`: `n` registers instead of `n²`. A suspicion is
+//! then a read-increment-write on the shared counter; concurrent increments
+//! may overlap (an increment can be lost), which is harmless for the
+//! algorithm's properties — the counter still only grows when some process
+//! suspects `k`, and it stops growing exactly when suspicions stop.
+
+use std::sync::Arc;
+
+use omega_registers::{FlagArray, MemorySpace, MwmrNatArray, NatArray, ProcessId, ProcessSet};
+
+use crate::candidates::{elect_least_suspected, CandidateInit};
+use crate::OmegaProcess;
+
+/// Shared register layout of the nWnR variant: `PROGRESS`/`STOP` as in
+/// Figure 2, plus a single multi-writer suspicion counter per process.
+#[derive(Debug)]
+pub struct MwmrMemory {
+    n: usize,
+    progress: NatArray,
+    stop: FlagArray,
+    suspicions: MwmrNatArray,
+}
+
+impl MwmrMemory {
+    /// Allocates the variant's registers in `space`.
+    #[must_use]
+    pub fn new(space: &MemorySpace) -> Arc<Self> {
+        let n = space.n_processes();
+        Arc::new(MwmrMemory {
+            n,
+            progress: space.nat_array("PROGRESS", |_| 0),
+            stop: space.flag_array("STOP", |_| true),
+            suspicions: space.nat_mwmr_array("SUSPICIONS", n, |_| 0),
+        })
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Unattributed view of the shared suspicion counter of `k`.
+    #[must_use]
+    pub fn peek_suspicions(&self, k: ProcessId) -> u64 {
+        self.suspicions.get(k.index()).peek()
+    }
+
+    /// Unattributed view of `PROGRESS[k]`.
+    #[must_use]
+    pub fn peek_progress(&self, k: ProcessId) -> u64 {
+        self.progress.get(k).peek()
+    }
+}
+
+/// One process of the nWnR variant.
+#[derive(Debug)]
+pub struct MwmrProcess {
+    pid: ProcessId,
+    mem: Arc<MwmrMemory>,
+    candidates: ProcessSet,
+    last: Vec<u64>,
+    last_valid: Vec<bool>,
+    my_progress: u64,
+    my_stop: bool,
+    cached: Option<ProcessId>,
+}
+
+impl MwmrProcess {
+    /// Creates process `pid` over `mem`, initially trusting everyone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range for the memory's system size.
+    #[must_use]
+    pub fn new(mem: Arc<MwmrMemory>, pid: ProcessId) -> Self {
+        let n = mem.n();
+        assert!(pid.index() < n, "{pid} out of range for n={n}");
+        let my_progress = mem.progress.get(pid).peek();
+        let my_stop = mem.stop.get(pid).peek();
+        MwmrProcess {
+            pid,
+            candidates: CandidateInit::Full.materialize(n, pid),
+            last: vec![0; n],
+            last_valid: vec![false; n],
+            my_progress,
+            my_stop,
+            cached: None,
+            mem,
+        }
+    }
+
+    /// The shared memory this process runs over.
+    #[must_use]
+    pub fn memory(&self) -> &Arc<MwmrMemory> {
+        &self.mem
+    }
+}
+
+impl OmegaProcess for MwmrProcess {
+    fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    fn n(&self) -> usize {
+        self.mem.n()
+    }
+
+    fn leader(&self) -> ProcessId {
+        elect_least_suspected(&self.candidates, |k| {
+            self.mem.suspicions.get(k.index()).read(self.pid)
+        })
+        .expect("candidates always contain self")
+    }
+
+    fn t2_step(&mut self) {
+        let leader = self.leader();
+        self.cached = Some(leader);
+        if leader == self.pid {
+            self.my_progress = self.my_progress.wrapping_add(1);
+            self.mem.progress.get(self.pid).write(self.pid, self.my_progress);
+            if self.my_stop {
+                self.my_stop = false;
+                self.mem.stop.get(self.pid).write(self.pid, false);
+            }
+        } else if !self.my_stop {
+            self.my_stop = true;
+            self.mem.stop.get(self.pid).write(self.pid, true);
+        }
+    }
+
+    fn on_timer_expire(&mut self) -> u64 {
+        let n = self.mem.n();
+        for k in ProcessId::all(n) {
+            if k == self.pid {
+                continue;
+            }
+            let stop_k = self.mem.stop.get(k).read(self.pid);
+            let progress_k = self.mem.progress.get(k).read(self.pid);
+            let fresh = !self.last_valid[k.index()] || progress_k != self.last[k.index()];
+            if fresh {
+                self.candidates.insert(k);
+                self.last[k.index()] = progress_k;
+                self.last_valid[k.index()] = true;
+            } else if stop_k {
+                self.candidates.remove(k);
+            } else if self.candidates.contains(k) {
+                // Read-increment-write on the shared counter; increments may
+                // race and be lost, which the variant tolerates.
+                let reg = self.mem.suspicions.get(k.index());
+                let bumped = reg.read(self.pid) + 1;
+                reg.write(self.pid, bumped);
+                self.candidates.remove(k);
+            }
+        }
+        // Line 27 analogue: the timeout tracks the largest suspicion count
+        // this process can observe (shared counters, so read them all).
+        ProcessId::all(n)
+            .map(|k| self.mem.suspicions.get(k.index()).read(self.pid))
+            .max()
+            .unwrap_or(0)
+            + 1
+    }
+
+    fn initial_timeout(&self) -> u64 {
+        1
+    }
+
+    fn cached_leader(&self) -> Option<ProcessId> {
+        self.cached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn system(n: usize) -> (MemorySpace, Arc<MwmrMemory>, Vec<MwmrProcess>) {
+        let space = MemorySpace::new(n);
+        let mem = MwmrMemory::new(&space);
+        let procs = ProcessId::all(n)
+            .map(|pid| MwmrProcess::new(Arc::clone(&mem), pid))
+            .collect();
+        (space, mem, procs)
+    }
+
+    #[test]
+    fn register_count_is_linear_not_quadratic() {
+        let space = MemorySpace::new(8);
+        let _mem = MwmrMemory::new(&space);
+        // PROGRESS(8) + STOP(8) + SUSPICIONS(8) = 24, vs 8+8+64 for Figure 2.
+        assert_eq!(space.register_count(), 24);
+    }
+
+    #[test]
+    fn any_process_can_bump_any_counter() {
+        let (_s, mem, mut procs) = system(3);
+        // p0 claims candidacy but stays silent.
+        mem.stop.get(p(0)).poke(false);
+        let _ = procs[1].on_timer_expire(); // fresh
+        let _ = procs[2].on_timer_expire(); // fresh
+        let _ = procs[1].on_timer_expire(); // p1 suspects p0
+        let _ = procs[2].on_timer_expire(); // p2 suspects p0 (same counter)
+        assert_eq!(mem.peek_suspicions(p(0)), 2);
+    }
+
+    #[test]
+    fn election_follows_shared_counters() {
+        let (_s, mem, procs) = system(3);
+        mem.suspicions.get(0).poke(5);
+        mem.suspicions.get(2).poke(1);
+        for proc in &procs {
+            assert_eq!(proc.leader(), p(1));
+        }
+    }
+
+    #[test]
+    fn timeout_tracks_global_max() {
+        let (_s, mem, mut procs) = system(2);
+        mem.suspicions.get(0).poke(9);
+        let t = procs[1].on_timer_expire();
+        assert_eq!(t, 10);
+    }
+
+    #[test]
+    fn round_robin_converges() {
+        let (_s, _m, mut procs) = system(3);
+        for _ in 0..30 {
+            for proc in procs.iter_mut() {
+                proc.t2_step();
+            }
+            for proc in procs.iter_mut() {
+                let _ = proc.on_timer_expire();
+            }
+        }
+        let leaders: Vec<ProcessId> = procs.iter().map(|q| q.leader()).collect();
+        assert!(leaders.windows(2).all(|w| w[0] == w[1]), "agree: {leaders:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pid_out_of_range_rejected() {
+        let space = MemorySpace::new(1);
+        let mem = MwmrMemory::new(&space);
+        let _ = MwmrProcess::new(mem, p(9));
+    }
+}

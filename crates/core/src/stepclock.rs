@@ -1,0 +1,178 @@
+//! Section 3.5(b): eliminating local clocks with a counted-step timer.
+//!
+//! The paper notes that the hardware timers (and the local clocks behind
+//! them) can be removed entirely: replace task `T3`'s timer with a local
+//! countdown that is decremented once per pass of a loop, under the sole
+//! assumption that each decrement takes **at least one time unit**. In the
+//! simulator this assumption holds by construction — every scheduled step
+//! is at least one tick after the previous one.
+//!
+//! [`StepClockProcess`] wraps any [`OmegaProcess`] and folds the timer into
+//! the main task: each `t2_step` performs one `T2` iteration *and* one
+//! countdown decrement, running the wrapped `T3` body when the countdown
+//! reaches zero. The real timer is armed once with [`NEVER_TIMEOUT`] and
+//! plays no further role.
+
+use omega_registers::ProcessId;
+
+use crate::OmegaProcess;
+
+/// Timeout value used to park the hardware timer of a step-clock process:
+/// effectively "never" for any practical horizon.
+pub const NEVER_TIMEOUT: u64 = u64::MAX / 4;
+
+/// Clock-free wrapper: drives the inner process's timer task from a step
+/// counter instead of a hardware timer.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use omega_core::{Alg1Memory, Alg1Process, OmegaProcess, StepClockProcess};
+/// use omega_registers::{MemorySpace, ProcessId};
+///
+/// let space = MemorySpace::new(2);
+/// let memory = Alg1Memory::new(&space);
+/// let inner = Alg1Process::new(memory, ProcessId::new(0));
+/// let mut proc = StepClockProcess::new(inner);
+///
+/// proc.t2_step(); // runs T2 and ticks the virtual timer
+/// assert_eq!(proc.initial_timeout(), omega_core::NEVER_TIMEOUT);
+/// ```
+#[derive(Debug)]
+pub struct StepClockProcess<P> {
+    inner: P,
+    /// Steps remaining until the virtual timer "expires".
+    countdown: u64,
+    /// Timer-task executions performed so far (diagnostics).
+    virtual_fires: u64,
+}
+
+impl<P: OmegaProcess> StepClockProcess<P> {
+    /// Wraps `inner`, arming the virtual timer with its initial timeout.
+    #[must_use]
+    pub fn new(inner: P) -> Self {
+        let countdown = inner.initial_timeout().max(1);
+        StepClockProcess {
+            inner,
+            countdown,
+            virtual_fires: 0,
+        }
+    }
+
+    /// The wrapped process.
+    #[must_use]
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Number of virtual timer expirations handled so far.
+    #[must_use]
+    pub fn virtual_fires(&self) -> u64 {
+        self.virtual_fires
+    }
+}
+
+impl<P: OmegaProcess> OmegaProcess for StepClockProcess<P> {
+    fn pid(&self) -> ProcessId {
+        self.inner.pid()
+    }
+
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn leader(&self) -> ProcessId {
+        self.inner.leader()
+    }
+
+    fn t2_step(&mut self) {
+        self.inner.t2_step();
+        self.countdown = self.countdown.saturating_sub(1);
+        if self.countdown == 0 {
+            self.countdown = self.inner.on_timer_expire().max(1);
+            self.virtual_fires += 1;
+        }
+    }
+
+    /// The hardware timer never drives this process; if it does fire, the
+    /// expiration is absorbed and the timer re-parked.
+    fn on_timer_expire(&mut self) -> u64 {
+        NEVER_TIMEOUT
+    }
+
+    fn initial_timeout(&self) -> u64 {
+        NEVER_TIMEOUT
+    }
+
+    fn cached_leader(&self) -> Option<ProcessId> {
+        self.inner.cached_leader()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg1::{Alg1Memory, Alg1Process};
+    use omega_registers::MemorySpace;
+    use std::sync::Arc;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn wrapped_system(n: usize) -> Vec<StepClockProcess<Alg1Process>> {
+        let space = MemorySpace::new(n);
+        let mem = Alg1Memory::new(&space);
+        ProcessId::all(n)
+            .map(|pid| StepClockProcess::new(Alg1Process::new(Arc::clone(&mem), pid)))
+            .collect()
+    }
+
+    #[test]
+    fn virtual_timer_fires_on_schedule() {
+        let mut procs = wrapped_system(2);
+        // Initial timeout of Alg1 with clean state is 1: first step fires.
+        procs[1].t2_step();
+        assert_eq!(procs[1].virtual_fires(), 1);
+        // Next timeout is still small; several steps keep firing.
+        for _ in 0..5 {
+            procs[1].t2_step();
+        }
+        assert!(procs[1].virtual_fires() >= 2);
+    }
+
+    #[test]
+    fn hardware_timer_is_parked() {
+        let mut procs = wrapped_system(2);
+        assert_eq!(procs[0].initial_timeout(), NEVER_TIMEOUT);
+        assert_eq!(procs[0].on_timer_expire(), NEVER_TIMEOUT);
+        assert_eq!(procs[0].virtual_fires(), 0, "hardware expiry does not run T3");
+    }
+
+    #[test]
+    fn delegates_identity_and_election() {
+        let mut procs = wrapped_system(3);
+        assert_eq!(procs[2].pid(), p(2));
+        assert_eq!(procs[2].n(), 3);
+        assert_eq!(procs[2].leader(), p(0));
+        procs[2].t2_step();
+        assert_eq!(procs[2].cached_leader(), Some(p(0)));
+        assert_eq!(procs[2].inner().pid(), p(2));
+    }
+
+    #[test]
+    fn converges_without_any_timer() {
+        let mut procs = wrapped_system(3);
+        for _ in 0..60 {
+            for proc in procs.iter_mut() {
+                proc.t2_step();
+            }
+        }
+        let leaders: Vec<ProcessId> = procs.iter().map(|q| q.leader()).collect();
+        assert!(
+            leaders.windows(2).all(|w| w[0] == w[1]),
+            "step-clock processes agree: {leaders:?}"
+        );
+    }
+}

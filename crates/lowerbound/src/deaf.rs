@@ -1,0 +1,157 @@
+//! `DeafFollower`: the Lemma-6 counterexample wrapper.
+//!
+//! Lemma 6 states that in any Ω algorithm **every** correct process other
+//! than the leader must keep *reading* shared memory forever. This wrapper
+//! turns any correct process into one that stops reading after a budget of
+//! steps — it freezes: no more scans, no more leader re-evaluation, its
+//! `leader()` output pinned to whatever it believed last.
+//!
+//! The violation run (the lemma's proof construction, executable as
+//! [`crate::lemma6_evidence`]): let the system stabilize, let the follower
+//! go deaf, then crash the leader. Correct-and-reading processes re-elect;
+//! the deaf one keeps returning the crashed identity forever, so the
+//! system never reaches a common correct leader.
+
+use omega_core::OmegaProcess;
+use omega_registers::ProcessId;
+
+/// Timeout used to park the timer of a frozen process.
+const PARKED_TIMEOUT: u64 = u64::MAX / 4;
+
+/// Wraps an Ω process and cuts off all its shared-memory activity after a
+/// step budget, freezing its leader estimate.
+#[derive(Debug)]
+pub struct DeafFollower<P> {
+    inner: P,
+    steps_before_deaf: u64,
+    frozen_estimate: Option<ProcessId>,
+}
+
+impl<P: OmegaProcess> DeafFollower<P> {
+    /// Wraps `inner`; it behaves faithfully for `steps_before_deaf` `T2`
+    /// steps and then stops accessing shared memory forever.
+    #[must_use]
+    pub fn new(inner: P, steps_before_deaf: u64) -> Self {
+        DeafFollower {
+            inner,
+            steps_before_deaf,
+            frozen_estimate: None,
+        }
+    }
+
+    /// Whether the process has gone deaf.
+    #[must_use]
+    pub fn is_deaf(&self) -> bool {
+        self.steps_before_deaf == 0
+    }
+}
+
+impl<P: OmegaProcess> OmegaProcess for DeafFollower<P> {
+    fn pid(&self) -> ProcessId {
+        self.inner.pid()
+    }
+
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn leader(&self) -> ProcessId {
+        if self.is_deaf() {
+            // Frozen: answers from stale local state, touching no registers.
+            self.frozen_estimate.unwrap_or_else(|| self.inner.pid())
+        } else {
+            self.inner.leader()
+        }
+    }
+
+    fn t2_step(&mut self) {
+        if self.is_deaf() {
+            return;
+        }
+        self.inner.t2_step();
+        self.steps_before_deaf -= 1;
+        if self.steps_before_deaf == 0 {
+            self.frozen_estimate = self.inner.cached_leader();
+        }
+    }
+
+    fn on_timer_expire(&mut self) -> u64 {
+        if self.is_deaf() {
+            PARKED_TIMEOUT
+        } else {
+            self.inner.on_timer_expire()
+        }
+    }
+
+    fn initial_timeout(&self) -> u64 {
+        self.inner.initial_timeout()
+    }
+
+    fn cached_leader(&self) -> Option<ProcessId> {
+        if self.is_deaf() {
+            self.frozen_estimate
+        } else {
+            self.inner.cached_leader()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega_core::{Alg1Memory, Alg1Process};
+    use omega_registers::MemorySpace;
+    use std::sync::Arc;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn faithful_until_budget_then_frozen() {
+        let space = MemorySpace::new(2);
+        let mem = Alg1Memory::new(&space);
+        let p0 = Alg1Process::new(Arc::clone(&mem), p(0));
+        let mut deaf = DeafFollower::new(p0, 3);
+        assert!(!deaf.is_deaf());
+        for _ in 0..3 {
+            deaf.t2_step();
+        }
+        assert!(deaf.is_deaf());
+        let frozen = deaf.cached_leader();
+        assert!(frozen.is_some());
+
+        let reads_before = space.stats().total_reads();
+        let writes_before = space.stats().total_writes();
+        for _ in 0..10 {
+            deaf.t2_step();
+            let _ = deaf.leader();
+            assert_eq!(deaf.on_timer_expire(), PARKED_TIMEOUT);
+        }
+        assert_eq!(space.stats().total_reads(), reads_before, "no reads while deaf");
+        assert_eq!(space.stats().total_writes(), writes_before, "no writes while deaf");
+        assert_eq!(deaf.cached_leader(), frozen, "estimate frozen forever");
+    }
+
+    #[test]
+    fn delegates_identity() {
+        let space = MemorySpace::new(3);
+        let mem = Alg1Memory::new(&space);
+        let deaf = DeafFollower::new(Alg1Process::new(mem, p(2)), 1);
+        assert_eq!(deaf.pid(), p(2));
+        assert_eq!(deaf.n(), 3);
+        assert!(deaf.initial_timeout() >= 1);
+    }
+
+    #[test]
+    fn zero_budget_is_deaf_immediately() {
+        let space = MemorySpace::new(2);
+        let mem = Alg1Memory::new(&space);
+        let mut deaf = DeafFollower::new(Alg1Process::new(mem, p(1)), 0);
+        assert!(deaf.is_deaf());
+        deaf.t2_step();
+        assert_eq!(space.stats().total_reads(), 0);
+        // With no estimate ever formed, it answers its own identity.
+        assert_eq!(deaf.leader(), p(1));
+    }
+}

@@ -1,0 +1,238 @@
+//! `FrugalOmega`: the Theorem-5 counterexample algorithm.
+//!
+//! Theorem 5 / Corollary 1 state that any Ω algorithm using **bounded**
+//! shared memory has runs in which at least `t + 1` (here: all) processes
+//! write forever. `FrugalOmega` tries to beat the bound with an appealing
+//! design: every shared variable is a single *bit* (bounded!), only the
+//! leader writes (write-optimal!), and liveness is signalled by toggling —
+//! a follower treats the leader as alive iff the bit changed since its
+//! last scan, with a constant timeout (a growing timeout would need an
+//! unbounded register).
+//!
+//! The flaw is exactly the one the theorem's proof exploits: with finitely
+//! many memory states, some state recurs forever, and an adversary can
+//! align the followers' reads with that recurring state so that they
+//! cannot distinguish a live, toggling leader from a dead one. Concretely,
+//! if the leader toggles with period `2s` and a follower's scans land
+//! every `k·2s` ticks, every scan sees the same bit value — "no change" —
+//! and the live leader is demoted, forever. [`crate::theorem5_evidence`]
+//! builds that aliased run; Algorithm 2, whose handshake makes followers
+//! *write back* acknowledgements, survives the same schedule (its signal
+//! is "flags unequal", which only the follower itself resets).
+
+use std::sync::Arc;
+
+use omega_core::OmegaProcess;
+use omega_registers::{FlagArray, MemorySpace, ProcessId, ProcessSet};
+
+/// Shared layout of `FrugalOmega`: one toggle bit per process. Fully
+/// bounded — `n` bits of shared memory in total.
+#[derive(Debug)]
+pub struct FrugalMemory {
+    n: usize,
+    bit: FlagArray,
+}
+
+impl FrugalMemory {
+    /// Allocates the toggle bits in `space`.
+    #[must_use]
+    pub fn new(space: &MemorySpace) -> Arc<Self> {
+        let n = space.n_processes();
+        Arc::new(FrugalMemory {
+            n,
+            bit: space.flag_array("BIT", |_| false),
+        })
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Unattributed view of `BIT[k]`.
+    #[must_use]
+    pub fn peek_bit(&self, k: ProcessId) -> bool {
+        self.bit.get(k).peek()
+    }
+}
+
+/// One process of the frugal (broken) algorithm.
+#[derive(Debug)]
+pub struct FrugalOmega {
+    pid: ProcessId,
+    mem: Arc<FrugalMemory>,
+    candidates: ProcessSet,
+    last_seen: Vec<bool>,
+    seen_valid: Vec<bool>,
+    my_bit: bool,
+    /// Constant timeout — bounded memory leaves no room for growing ones.
+    timeout: u64,
+    cached: Option<ProcessId>,
+}
+
+impl FrugalOmega {
+    /// Creates process `pid` with the given constant timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range or `timeout == 0`.
+    #[must_use]
+    pub fn new(mem: Arc<FrugalMemory>, pid: ProcessId, timeout: u64) -> Self {
+        let n = mem.n();
+        assert!(pid.index() < n, "{pid} out of range");
+        assert!(timeout > 0);
+        FrugalOmega {
+            pid,
+            candidates: ProcessSet::full(n),
+            last_seen: vec![false; n],
+            seen_valid: vec![false; n],
+            my_bit: false,
+            timeout,
+            cached: None,
+            mem,
+        }
+    }
+
+    /// Current candidate set (diagnostics).
+    #[must_use]
+    pub fn candidates(&self) -> &ProcessSet {
+        &self.candidates
+    }
+}
+
+impl OmegaProcess for FrugalOmega {
+    fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    fn n(&self) -> usize {
+        self.mem.n()
+    }
+
+    /// No suspicion counts to compare (they would be unbounded): elect the
+    /// smallest live candidate.
+    fn leader(&self) -> ProcessId {
+        self.candidates.min().unwrap_or(self.pid)
+    }
+
+    fn t2_step(&mut self) {
+        let leader = self.leader();
+        self.cached = Some(leader);
+        if leader == self.pid {
+            self.my_bit = !self.my_bit;
+            self.mem.bit.get(self.pid).write(self.pid, self.my_bit);
+        }
+    }
+
+    fn on_timer_expire(&mut self) -> u64 {
+        for k in ProcessId::all(self.mem.n()) {
+            if k == self.pid {
+                continue;
+            }
+            let bit = self.mem.bit.get(k).read(self.pid);
+            let idx = k.index();
+            if !self.seen_valid[idx] {
+                self.seen_valid[idx] = true;
+                self.last_seen[idx] = bit;
+                self.candidates.insert(k);
+            } else if bit != self.last_seen[idx] {
+                self.last_seen[idx] = bit;
+                self.candidates.insert(k);
+            } else {
+                self.candidates.remove(k);
+            }
+        }
+        self.timeout
+    }
+
+    fn initial_timeout(&self) -> u64 {
+        self.timeout
+    }
+
+    fn cached_leader(&self) -> Option<ProcessId> {
+        self.cached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn system(n: usize) -> (MemorySpace, Arc<FrugalMemory>, Vec<FrugalOmega>) {
+        let space = MemorySpace::new(n);
+        let mem = FrugalMemory::new(&space);
+        let procs = ProcessId::all(n)
+            .map(|pid| FrugalOmega::new(Arc::clone(&mem), pid, 8))
+            .collect();
+        (space, mem, procs)
+    }
+
+    #[test]
+    fn memory_is_fully_bounded() {
+        let (space, _mem, mut procs) = system(3);
+        for _ in 0..100 {
+            for proc in procs.iter_mut() {
+                proc.t2_step();
+                let _ = proc.on_timer_expire();
+            }
+        }
+        let fp = space.footprint();
+        assert_eq!(fp.total_hwm_bits(), 3, "n single-bit registers, nothing more");
+    }
+
+    #[test]
+    fn only_the_leader_writes() {
+        let (space, _mem, mut procs) = system(3);
+        for _ in 0..20 {
+            for proc in procs.iter_mut() {
+                proc.t2_step();
+                let _ = proc.on_timer_expire();
+            }
+        }
+        let writers: Vec<ProcessId> = space.stats().writer_set().iter().collect();
+        assert_eq!(writers, vec![p(0)], "write-optimal — which is exactly its sin");
+    }
+
+    #[test]
+    fn toggling_leader_is_seen_alive_without_aliasing() {
+        let (_s, _m, mut procs) = system(2);
+        // Interleave one toggle between consecutive scans: no aliasing.
+        for _ in 0..10 {
+            procs[0].t2_step(); // toggle
+            let _ = procs[1].on_timer_expire(); // scan sees the change
+        }
+        assert!(procs[1].candidates().contains(p(0)));
+        assert_eq!(procs[1].leader(), p(0));
+    }
+
+    #[test]
+    fn aliased_scans_demote_a_live_leader() {
+        let (_s, _m, mut procs) = system(2);
+        // First scan latches the initial bit value.
+        let _ = procs[1].on_timer_expire();
+        // Two toggles between scans: the bit returns to its latched value.
+        for _ in 0..5 {
+            procs[0].t2_step();
+            procs[0].t2_step();
+            let _ = procs[1].on_timer_expire();
+        }
+        assert!(
+            !procs[1].candidates().contains(p(0)),
+            "perfect aliasing: the live leader looks dead"
+        );
+        assert_eq!(procs[1].leader(), p(1), "follower elects itself — split brain");
+    }
+
+    #[test]
+    fn constant_timeout_never_grows() {
+        let (_s, _m, mut procs) = system(2);
+        for _ in 0..50 {
+            assert_eq!(procs[1].on_timer_expire(), 8);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Executable falsification of the paper's lower bounds.
+//!
+//! The paper proves three impossibility-flavored results about *any*
+//! eventual-leader algorithm in asynchronous shared memory:
+//!
+//! * **Lemma 5** — the eventually elected leader must write shared memory
+//!   forever;
+//! * **Lemma 6** — every other correct process must read shared memory
+//!   forever;
+//! * **Theorem 5 / Corollary 1** — with bounded shared memory, there are
+//!   runs in which at least `t + 1` (up to all) processes write forever.
+//!
+//! Proofs of this kind construct adversarial runs; this crate makes those
+//! constructions executable. For each bound it provides a *plausible but
+//! broken* algorithm that tries to beat it —
+//!
+//! * [`NaiveOmega`] — leader campaigns, wins, then goes silent (beats
+//!   Lemma 5?),
+//! * [`DeafFollower`] — a follower that stops reading once settled (beats
+//!   Lemma 6?),
+//! * [`FrugalOmega`] — all-boolean shared memory with only the leader
+//!   writing (beats Theorem 5?),
+//!
+//! — and the corresponding detector ([`lemma5_evidence`],
+//! [`lemma6_evidence`], [`theorem5_evidence`]) that replays the proof's run
+//! construction in the deterministic simulator and returns the observable
+//! violation, together with a control experiment showing the paper's real
+//! algorithms survive the identical construction.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod deaf;
+mod detector;
+mod frugal;
+mod naive;
+
+pub use deaf::DeafFollower;
+pub use detector::{
+    lemma5_control, lemma5_evidence, lemma6_evidence, theorem5_evidence, BoundedMemoryEvidence,
+    DeafEvidence, TwinRunEvidence,
+};
+pub use frugal::{FrugalMemory, FrugalOmega};
+pub use naive::{NaiveMemory, NaiveOmega};

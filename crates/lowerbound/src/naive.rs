@@ -1,0 +1,209 @@
+//! `NaiveOmega`: the Lemma-5 counterexample algorithm.
+//!
+//! Lemma 5 states that in **any** Ω algorithm the eventually elected leader
+//! must keep writing shared memory forever. `NaiveOmega` is the tempting
+//! design that ignores this: a process campaigns by bumping its heartbeat
+//! register a fixed number of times ("I'm here, elect me") and then — once
+//! elected — goes silent to save shared-memory bandwidth; followers stay
+//! loyal to the smallest identity they have ever heard from.
+//!
+//! In a crash-free run this *works*: a unique correct leader emerges and
+//! never changes. The twin-run construction from the lemma's proof breaks
+//! it: crash the leader right after its last write, and the followers'
+//! shared-memory observations are byte-for-byte identical to the crash-free
+//! run — so they keep electing a dead process forever. See
+//! [`crate::lemma5_evidence`].
+
+use std::sync::Arc;
+
+use omega_core::OmegaProcess;
+use omega_registers::{MemorySpace, NatArray, ProcessId};
+
+/// Shared layout of `NaiveOmega`: one heartbeat counter per process.
+#[derive(Debug)]
+pub struct NaiveMemory {
+    n: usize,
+    heartbeat: NatArray,
+}
+
+impl NaiveMemory {
+    /// Allocates the heartbeat registers in `space`.
+    #[must_use]
+    pub fn new(space: &MemorySpace) -> Arc<Self> {
+        let n = space.n_processes();
+        Arc::new(NaiveMemory {
+            n,
+            heartbeat: space.nat_array("HB", |_| 0),
+        })
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Unattributed view of `HB[k]`.
+    #[must_use]
+    pub fn peek_heartbeat(&self, k: ProcessId) -> u64 {
+        self.heartbeat.get(k).peek()
+    }
+}
+
+/// One process of the naive (broken) algorithm.
+#[derive(Debug)]
+pub struct NaiveOmega {
+    pid: ProcessId,
+    mem: Arc<NaiveMemory>,
+    /// Writes the leader still intends to perform before going silent.
+    write_budget: u64,
+    my_heartbeat: u64,
+    cached: Option<ProcessId>,
+}
+
+impl NaiveOmega {
+    /// Creates process `pid`; once elected it will write at most
+    /// `write_budget` heartbeats before falling silent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range or `write_budget == 0`.
+    #[must_use]
+    pub fn new(mem: Arc<NaiveMemory>, pid: ProcessId, write_budget: u64) -> Self {
+        assert!(pid.index() < mem.n(), "{pid} out of range");
+        assert!(write_budget > 0, "a campaign needs at least one write");
+        NaiveOmega {
+            pid,
+            mem,
+            write_budget,
+            my_heartbeat: 0,
+            cached: None,
+        }
+    }
+}
+
+impl OmegaProcess for NaiveOmega {
+    fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    fn n(&self) -> usize {
+        self.mem.n()
+    }
+
+    /// The loyal-follower rule: the smallest identity ever heard from
+    /// (falling back to self before anyone has campaigned).
+    fn leader(&self) -> ProcessId {
+        ProcessId::all(self.mem.n())
+            .find(|&k| {
+                if k == self.pid {
+                    self.my_heartbeat > 0
+                } else {
+                    self.mem.heartbeat.get(k).read(self.pid) > 0
+                }
+            })
+            .unwrap_or(self.pid)
+    }
+
+    fn t2_step(&mut self) {
+        let leader = self.leader();
+        self.cached = Some(leader);
+        if leader == self.pid && self.write_budget > 0 {
+            self.write_budget -= 1;
+            self.my_heartbeat += 1;
+            self.mem
+                .heartbeat
+                .get(self.pid)
+                .write(self.pid, self.my_heartbeat);
+        }
+        // Budget exhausted: the "optimization" — stay leader, write nothing.
+    }
+
+    fn on_timer_expire(&mut self) -> u64 {
+        8
+    }
+
+    fn initial_timeout(&self) -> u64 {
+        8
+    }
+
+    fn cached_leader(&self) -> Option<ProcessId> {
+        self.cached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn system(n: usize, budget: u64) -> (MemorySpace, Arc<NaiveMemory>, Vec<NaiveOmega>) {
+        let space = MemorySpace::new(n);
+        let mem = NaiveMemory::new(&space);
+        let procs = ProcessId::all(n)
+            .map(|pid| NaiveOmega::new(Arc::clone(&mem), pid, budget))
+            .collect();
+        (space, mem, procs)
+    }
+
+    #[test]
+    fn campaign_elects_smallest_and_goes_silent() {
+        let (space, mem, mut procs) = system(3, 2);
+        for _ in 0..6 {
+            for proc in procs.iter_mut() {
+                proc.t2_step();
+            }
+        }
+        // p0 campaigned and won; everyone follows.
+        for proc in &procs {
+            assert_eq!(proc.leader(), p(0));
+        }
+        assert_eq!(mem.peek_heartbeat(p(0)), 2, "budget exhausted");
+        let writes_before = space.stats().total_writes();
+        for _ in 0..10 {
+            for proc in procs.iter_mut() {
+                proc.t2_step();
+            }
+        }
+        assert_eq!(
+            space.stats().total_writes(),
+            writes_before,
+            "the naive leader never writes again — the Lemma 5 violation"
+        );
+    }
+
+    #[test]
+    fn followers_cannot_distinguish_silent_from_crashed() {
+        let (_s, mem, mut procs) = system(2, 1);
+        procs[0].t2_step(); // campaign write
+        procs[1].t2_step();
+        assert_eq!(procs[1].leader(), p(0));
+        // "Crash" p0 by simply never stepping it again: p1's view is
+        // unchanged forever.
+        for _ in 0..20 {
+            procs[1].t2_step();
+            let _ = procs[1].on_timer_expire();
+        }
+        assert_eq!(procs[1].leader(), p(0), "loyal forever, even to a corpse");
+        assert_eq!(mem.peek_heartbeat(p(0)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one write")]
+    fn zero_budget_rejected() {
+        let space = MemorySpace::new(1);
+        let mem = NaiveMemory::new(&space);
+        let _ = NaiveOmega::new(mem, p(0), 0);
+    }
+
+    #[test]
+    fn timer_is_inert() {
+        let (_s, _m, mut procs) = system(2, 1);
+        assert_eq!(procs[0].on_timer_expire(), 8);
+        assert_eq!(procs[0].initial_timeout(), 8);
+        assert_eq!(procs[0].n(), 2);
+    }
+}

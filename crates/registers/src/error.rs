@@ -1,0 +1,88 @@
+//! Errors reported by the register substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ProcessId;
+
+/// A process attempted to write a one-writer register it does not own.
+///
+/// The paper's model is built from 1WnR (one-writer/multi-reader) atomic
+/// registers; ownership violations are programming errors in an algorithm,
+/// so [`SwmrRegister::write`](crate::SwmrRegister::write) panics, while
+/// [`SwmrRegister::try_write`](crate::SwmrRegister::try_write) surfaces this
+/// error for callers that prefer recoverable validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OwnershipError {
+    register: String,
+    owner: ProcessId,
+    writer: ProcessId,
+}
+
+impl OwnershipError {
+    pub(crate) fn new(register: impl Into<String>, owner: ProcessId, writer: ProcessId) -> Self {
+        OwnershipError {
+            register: register.into(),
+            owner,
+            writer,
+        }
+    }
+
+    /// Name of the violated register (e.g. `PROGRESS\[3\]`).
+    #[must_use]
+    pub fn register(&self) -> &str {
+        &self.register
+    }
+
+    /// The register's owner — the only process allowed to write it.
+    #[must_use]
+    pub fn owner(&self) -> ProcessId {
+        self.owner
+    }
+
+    /// The process that attempted the write.
+    #[must_use]
+    pub fn writer(&self) -> ProcessId {
+        self.writer
+    }
+}
+
+impl fmt::Display for OwnershipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "process {} attempted to write register {} owned by {}",
+            self.writer, self.register, self.owner
+        )
+    }
+}
+
+impl Error for OwnershipError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = OwnershipError::new("STOP[2]", ProcessId::new(2), ProcessId::new(0));
+        let msg = e.to_string();
+        assert!(msg.contains("STOP[2]"));
+        assert!(msg.contains("p0"));
+        assert!(msg.contains("p2"));
+    }
+
+    #[test]
+    fn accessors() {
+        let e = OwnershipError::new("X", ProcessId::new(1), ProcessId::new(3));
+        assert_eq!(e.register(), "X");
+        assert_eq!(e.owner(), ProcessId::new(1));
+        assert_eq!(e.writer(), ProcessId::new(3));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: std::error::Error + Send + Sync>() {}
+        assert_error::<OwnershipError>();
+    }
+}

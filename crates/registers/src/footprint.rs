@@ -1,0 +1,202 @@
+//! Bit-footprint reporting: which registers stay bounded.
+//!
+//! Theorem 2 of the paper states that with Algorithm 1 every shared variable
+//! except `PROGRESS[ℓ]` has a bounded domain; Theorem 6 states that with
+//! Algorithm 2 *every* shared variable is bounded. A [`FootprintReport`]
+//! exposes, for every register, the footprint of its current value and the
+//! high-water mark over the whole run, so an experiment can compare reports
+//! taken at increasing horizons and check which registers plateau.
+
+use std::fmt;
+
+use crate::ProcessId;
+
+/// Footprint of a single register.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FootprintRow {
+    /// Register name, e.g. `PROGRESS\[3\]`.
+    pub name: String,
+    /// Owner for 1WnR registers, `None` for nWnR registers.
+    pub owner: Option<ProcessId>,
+    /// Largest footprint (in bits) any stored value has had.
+    pub hwm_bits: u64,
+    /// Footprint of the value stored right now.
+    pub current_bits: u64,
+}
+
+/// Snapshot of every register's bit footprint.
+///
+/// # Examples
+///
+/// ```
+/// use omega_registers::{MemorySpace, ProcessId};
+///
+/// let space = MemorySpace::new(1);
+/// let p0 = ProcessId::new(0);
+/// let reg = space.nat_register("PROGRESS[0]", p0, 0);
+/// reg.write(p0, 1000);
+///
+/// let report = space.footprint();
+/// assert_eq!(report.total_hwm_bits(), 10);
+/// assert_eq!(report.max_hwm_bits_where(|name| name.starts_with("PROGRESS")), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FootprintReport {
+    rows: Vec<FootprintRow>,
+}
+
+impl FootprintReport {
+    pub(crate) fn new(rows: Vec<FootprintRow>) -> Self {
+        FootprintReport { rows }
+    }
+
+    /// Per-register rows in register-creation order.
+    #[must_use]
+    pub fn rows(&self) -> &[FootprintRow] {
+        &self.rows
+    }
+
+    /// Sum of all high-water marks: an upper bound on the shared-memory bits
+    /// the run has ever needed.
+    #[must_use]
+    pub fn total_hwm_bits(&self) -> u64 {
+        self.rows.iter().map(|r| r.hwm_bits).sum()
+    }
+
+    /// Sum of all current footprints.
+    #[must_use]
+    pub fn total_current_bits(&self) -> u64 {
+        self.rows.iter().map(|r| r.current_bits).sum()
+    }
+
+    /// Largest high-water mark among registers whose name satisfies `pred`.
+    ///
+    /// Returns 0 if no register matches.
+    #[must_use]
+    pub fn max_hwm_bits_where(&self, pred: impl Fn(&str) -> bool) -> u64 {
+        self.rows
+            .iter()
+            .filter(|r| pred(&r.name))
+            .map(|r| r.hwm_bits)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sum of high-water marks among registers whose name satisfies `pred`.
+    #[must_use]
+    pub fn hwm_bits_where(&self, pred: impl Fn(&str) -> bool) -> u64 {
+        self.rows
+            .iter()
+            .filter(|r| pred(&r.name))
+            .map(|r| r.hwm_bits)
+            .sum()
+    }
+
+    /// The row for a register by exact name, if present.
+    #[must_use]
+    pub fn row(&self, name: &str) -> Option<&FootprintRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+
+    /// Registers whose high-water mark grew between `earlier` and `self`.
+    ///
+    /// This is the primitive behind the boundedness experiments: registers
+    /// that keep appearing in successive `grown_since` reports as the
+    /// horizon doubles are the unbounded ones. With Algorithm 1 exactly
+    /// the leader's `PROGRESS` entry should keep growing; with Algorithm 2
+    /// the result should eventually be empty.
+    #[must_use]
+    pub fn grown_since(&self, earlier: &FootprintReport) -> Vec<&str> {
+        self.rows
+            .iter()
+            .filter(|row| {
+                earlier
+                    .row(&row.name)
+                    .is_none_or(|prev| row.hwm_bits > prev.hwm_bits)
+            })
+            .map(|row| row.name.as_str())
+            .collect()
+    }
+}
+
+impl fmt::Display for FootprintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<24} {:>9} {:>12}", "register", "hwm bits", "current bits")?;
+        for row in &self.rows {
+            writeln!(f, "{:<24} {:>9} {:>12}", row.name, row.hwm_bits, row.current_bits)?;
+        }
+        writeln!(f, "total hwm: {} bits", self.total_hwm_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::{MemorySpace, ProcessId};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn totals_sum_rows() {
+        let s = MemorySpace::new(2);
+        let a = s.nat_register("A", p(0), 0);
+        let b = s.flag_register("B", p(1), false);
+        a.write(p(0), 255);
+        b.write(p(1), true);
+        let fp = s.footprint();
+        assert_eq!(fp.total_hwm_bits(), 8 + 1);
+        assert_eq!(fp.total_current_bits(), 8 + 1);
+        assert_eq!(fp.rows().len(), 2);
+    }
+
+    #[test]
+    fn hwm_survives_shrinking_values() {
+        let s = MemorySpace::new(1);
+        let a = s.nat_register("A", p(0), 0);
+        a.write(p(0), u64::MAX);
+        a.write(p(0), 1);
+        let fp = s.footprint();
+        assert_eq!(fp.row("A").unwrap().hwm_bits, 64);
+        assert_eq!(fp.row("A").unwrap().current_bits, 1);
+    }
+
+    #[test]
+    fn predicate_queries() {
+        let s = MemorySpace::new(2);
+        let progress = s.nat_array("PROGRESS", |_| 0);
+        let _susp = s.nat_row_matrix("SUSPICIONS", |_, _| 0);
+        progress.get(p(1)).write(p(1), 1 << 30);
+        let fp = s.footprint();
+        assert_eq!(fp.max_hwm_bits_where(|n| n.starts_with("PROGRESS")), 31);
+        assert_eq!(fp.max_hwm_bits_where(|n| n.starts_with("SUSPICIONS")), 1);
+        assert_eq!(fp.max_hwm_bits_where(|n| n.starts_with("NOPE")), 0);
+        assert!(fp.hwm_bits_where(|n| n.starts_with("PROGRESS")) >= 31);
+    }
+
+    #[test]
+    fn grown_since_identifies_unbounded_registers() {
+        let s = MemorySpace::new(2);
+        let progress = s.nat_array("PROGRESS", |_| 0);
+        let stop = s.flag_array("STOP", |_| true);
+        progress.get(p(0)).write(p(0), 10);
+        stop.get(p(0)).write(p(0), false);
+        let early = s.footprint();
+        // Only PROGRESS[0] keeps growing.
+        progress.get(p(0)).write(p(0), 1 << 40);
+        stop.get(p(0)).write(p(0), true);
+        let late = s.footprint();
+        assert_eq!(late.grown_since(&early), vec!["PROGRESS[0]"]);
+        assert!(late.grown_since(&late).is_empty());
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let s = MemorySpace::new(1);
+        let _ = s.nat_register("A", p(0), 7);
+        let out = s.footprint().to_string();
+        assert!(out.contains("A"));
+        assert!(out.contains("total hwm"));
+    }
+}

@@ -1,0 +1,419 @@
+//! Linearizability checking for register histories.
+//!
+//! The paper's model assumes *atomic* (linearizable) registers: every read
+//! or write appears to take effect instantaneously at some point between its
+//! invocation and response (Herlihy & Wing \[15\]). This module records
+//! concurrent histories of register operations and decides, by an explicit
+//! Wing–Gong search with memoization, whether a linearization exists — so
+//! the substrate's atomicity is a *checked* property rather than an article
+//! of faith.
+//!
+//! # Examples
+//!
+//! ```
+//! use omega_registers::lincheck::{HistoryRecorder, is_linearizable};
+//! use omega_registers::ProcessId;
+//!
+//! let recorder = HistoryRecorder::new();
+//! let p0 = ProcessId::new(0);
+//! let mut value = 0u64;
+//! recorder.write(p0, 7, || value = 7);
+//! let got = recorder.read(p0, || value);
+//! assert_eq!(got, 7);
+//! assert!(is_linearizable(&recorder.finish(), 0));
+//! ```
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::ProcessId;
+
+/// One operation on a register.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RegOp<T> {
+    /// A read; its observed value is stored in [`CompletedOp::result`].
+    Read,
+    /// A write of the carried value.
+    Write(T),
+}
+
+/// A completed operation with its real-time interval.
+#[derive(Debug, Clone)]
+pub struct CompletedOp<T> {
+    /// The process that performed the operation.
+    pub process: ProcessId,
+    /// What the operation was.
+    pub op: RegOp<T>,
+    /// Value returned by a read (`None` for writes).
+    pub result: Option<T>,
+    /// Logical invocation timestamp.
+    pub invoke: u64,
+    /// Logical response timestamp; always greater than `invoke`.
+    pub response: u64,
+}
+
+/// A finished concurrent history ready for checking.
+#[derive(Debug, Clone, Default)]
+pub struct History<T> {
+    ops: Vec<CompletedOp<T>>,
+}
+
+impl<T> History<T> {
+    /// Creates an empty history (useful for handcrafting test cases).
+    #[must_use]
+    pub fn new() -> Self {
+        History { ops: Vec::new() }
+    }
+
+    /// Adds a completed operation.
+    pub fn push(&mut self, op: CompletedOp<T>) {
+        self.ops.push(op);
+    }
+
+    /// The recorded operations, in recording order.
+    #[must_use]
+    pub fn ops(&self) -> &[CompletedOp<T>] {
+        &self.ops
+    }
+
+    /// Number of operations recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the history is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+struct Pending<T> {
+    process: ProcessId,
+    op: RegOp<T>,
+    invoke: u64,
+    done: Option<(u64, Option<T>)>,
+}
+
+/// Thread-safe recorder producing a [`History`].
+///
+/// Wrap each register operation in [`read`](HistoryRecorder::read) or
+/// [`write`](HistoryRecorder::write); the recorder takes invocation and
+/// response timestamps around the wrapped closure using a shared logical
+/// clock, which preserves the real-time precedence relation between
+/// non-overlapping operations.
+#[derive(Default)]
+pub struct HistoryRecorder<T> {
+    clock: AtomicU64,
+    slots: Mutex<Vec<Pending<T>>>,
+}
+
+impl<T: Clone> HistoryRecorder<T> {
+    /// Creates a recorder with an empty history.
+    #[must_use]
+    pub fn new() -> Self {
+        HistoryRecorder {
+            clock: AtomicU64::new(0),
+            slots: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::SeqCst)
+    }
+
+    fn invoke(&self, process: ProcessId, op: RegOp<T>) -> usize {
+        let invoke = self.tick();
+        let mut slots = self.slots.lock();
+        slots.push(Pending {
+            process,
+            op,
+            invoke,
+            done: None,
+        });
+        slots.len() - 1
+    }
+
+    fn complete(&self, token: usize, result: Option<T>) {
+        let response = self.tick();
+        let mut slots = self.slots.lock();
+        slots[token].done = Some((response, result));
+    }
+
+    /// Records a read performed by `process`; `f` performs the actual read.
+    pub fn read(&self, process: ProcessId, f: impl FnOnce() -> T) -> T {
+        let token = self.invoke(process, RegOp::Read);
+        let value = f();
+        self.complete(token, Some(value.clone()));
+        value
+    }
+
+    /// Records a write of `value` by `process`; `f` performs the actual write.
+    pub fn write(&self, process: ProcessId, value: T, f: impl FnOnce()) {
+        let token = self.invoke(process, RegOp::Write(value));
+        f();
+        self.complete(token, None);
+    }
+
+    /// Consumes the recorder, returning the completed history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any recorded operation never completed.
+    #[must_use]
+    pub fn finish(self) -> History<T> {
+        let slots = self.slots.into_inner();
+        let ops = slots
+            .into_iter()
+            .map(|p| {
+                let (response, result) = p.done.expect("operation never completed");
+                CompletedOp {
+                    process: p.process,
+                    op: p.op,
+                    result,
+                    invoke: p.invoke,
+                    response,
+                }
+            })
+            .collect();
+        History { ops }
+    }
+}
+
+/// Maximum history size the checker accepts.
+pub const MAX_CHECKED_OPS: usize = 128;
+
+/// Decides whether `history` is linearizable as a single atomic register
+/// with initial value `initial`.
+///
+/// Implements the Wing–Gong search: repeatedly pick a *minimal* pending
+/// operation (one whose invocation precedes the response of every other
+/// pending operation), apply it to the register state, and recurse;
+/// memoizing `(set of linearized ops, register value)` pairs keeps the
+/// search tractable for the history sizes used in testing.
+///
+/// # Panics
+///
+/// Panics if the history contains more than [`MAX_CHECKED_OPS`] operations.
+#[must_use]
+pub fn is_linearizable<T: Clone + Eq + Hash>(history: &History<T>, initial: T) -> bool {
+    let n = history.len();
+    assert!(
+        n <= MAX_CHECKED_OPS,
+        "history of {n} ops exceeds MAX_CHECKED_OPS ({MAX_CHECKED_OPS})"
+    );
+    if n == 0 {
+        return true;
+    }
+
+    let ops = history.ops();
+    let full: u128 = if n == 128 { u128::MAX } else { (1u128 << n) - 1 };
+    let mut memo: HashSet<(u128, T)> = HashSet::new();
+    search(ops, 0, initial, full, &mut memo)
+}
+
+fn search<T: Clone + Eq + Hash>(
+    ops: &[CompletedOp<T>],
+    done: u128,
+    value: T,
+    full: u128,
+    memo: &mut HashSet<(u128, T)>,
+) -> bool {
+    if done == full {
+        return true;
+    }
+    if !memo.insert((done, value.clone())) {
+        return false;
+    }
+    // The next linearized op must be minimal: no *pending* op's response
+    // precedes its invocation.
+    let min_pending_response = ops
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| done & (1 << i) == 0)
+        .map(|(_, op)| op.response)
+        .min()
+        .expect("at least one pending op");
+    for (i, op) in ops.iter().enumerate() {
+        if done & (1 << i) != 0 || op.invoke > min_pending_response {
+            continue;
+        }
+        match &op.op {
+            RegOp::Read => {
+                if op.result.as_ref() == Some(&value)
+                    && search(ops, done | (1 << i), value.clone(), full, memo)
+                {
+                    return true;
+                }
+            }
+            RegOp::Write(v) => {
+                if search(ops, done | (1 << i), v.clone(), full, memo) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn op<T>(process: usize, op: RegOp<T>, result: Option<T>, invoke: u64, response: u64) -> CompletedOp<T> {
+        CompletedOp {
+            process: p(process),
+            op,
+            result,
+            invoke,
+            response,
+        }
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        assert!(is_linearizable(&History::<u64>::new(), 0));
+    }
+
+    #[test]
+    fn sequential_history_accepted() {
+        let mut h = History::new();
+        h.push(op(0, RegOp::Write(1), None, 0, 1));
+        h.push(op(1, RegOp::Read, Some(1), 2, 3));
+        h.push(op(0, RegOp::Write(2), None, 4, 5));
+        h.push(op(1, RegOp::Read, Some(2), 6, 7));
+        assert!(is_linearizable(&h, 0));
+    }
+
+    #[test]
+    fn read_of_initial_value_accepted() {
+        let mut h = History::new();
+        h.push(op(0, RegOp::Read, Some(42u64), 0, 1));
+        assert!(is_linearizable(&h, 42));
+        assert!(!is_linearizable(&h, 0));
+    }
+
+    #[test]
+    fn stale_read_after_completed_write_rejected() {
+        // Write(5) completes strictly before the read starts; reading the
+        // initial value afterwards is not linearizable.
+        let mut h = History::new();
+        h.push(op(0, RegOp::Write(5u64), None, 0, 1));
+        h.push(op(1, RegOp::Read, Some(0), 2, 3));
+        assert!(!is_linearizable(&h, 0));
+    }
+
+    #[test]
+    fn overlapping_read_may_see_old_or_new() {
+        // Read overlaps the write: both outcomes linearize.
+        for observed in [0u64, 5] {
+            let mut h = History::new();
+            h.push(op(0, RegOp::Write(5u64), None, 0, 10));
+            h.push(op(1, RegOp::Read, Some(observed), 1, 2));
+            assert!(is_linearizable(&h, 0), "observed {observed} should linearize");
+        }
+    }
+
+    #[test]
+    fn torn_value_rejected() {
+        // A read returning a value nobody ever wrote cannot linearize.
+        let mut h = History::new();
+        h.push(op(0, RegOp::Write(0xffff_0000u64), None, 0, 10));
+        h.push(op(1, RegOp::Read, Some(0xffff_ffff), 1, 2));
+        assert!(!is_linearizable(&h, 0));
+    }
+
+    #[test]
+    fn new_old_inversion_rejected() {
+        // Two sequential reads around a write: the second read must not
+        // travel back in time (read 5, then read 0 after both complete).
+        let mut h = History::new();
+        h.push(op(0, RegOp::Write(5u64), None, 0, 20));
+        h.push(op(1, RegOp::Read, Some(5), 1, 2));
+        h.push(op(1, RegOp::Read, Some(0), 3, 4));
+        assert!(!is_linearizable(&h, 0));
+    }
+
+    #[test]
+    fn concurrent_writes_allow_either_order() {
+        let mut h = History::new();
+        h.push(op(0, RegOp::Write(1u64), None, 0, 10));
+        h.push(op(1, RegOp::Write(2u64), None, 0, 10));
+        h.push(op(2, RegOp::Read, Some(1), 11, 12));
+        assert!(is_linearizable(&h, 0));
+        let mut h2 = History::new();
+        h2.push(op(0, RegOp::Write(1u64), None, 0, 10));
+        h2.push(op(1, RegOp::Write(2u64), None, 0, 10));
+        h2.push(op(2, RegOp::Read, Some(2), 11, 12));
+        assert!(is_linearizable(&h2, 0));
+    }
+
+    #[test]
+    fn recorder_produces_well_formed_history() {
+        let rec = HistoryRecorder::new();
+        let mut cell = 0u64;
+        rec.write(p(0), 3, || cell = 3);
+        let v = rec.read(p(1), || cell);
+        assert_eq!(v, 3);
+        let h = rec.finish();
+        assert_eq!(h.len(), 2);
+        assert!(!h.is_empty());
+        assert!(h.ops()[0].invoke < h.ops()[0].response);
+        assert!(h.ops()[0].response < h.ops()[1].invoke);
+        assert!(is_linearizable(&h, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_CHECKED_OPS")]
+    fn oversized_history_rejected() {
+        let mut h = History::new();
+        for i in 0..(MAX_CHECKED_OPS as u64 + 1) {
+            h.push(op(0, RegOp::Write(i), None, 2 * i, 2 * i + 1));
+        }
+        let _ = is_linearizable(&h, 0);
+    }
+
+    #[test]
+    fn concurrent_threads_on_swmr_register_linearize() {
+        use crate::MemorySpace;
+        use std::sync::Arc;
+
+        let space = MemorySpace::new(3);
+        let owner = p(0);
+        let reg = space.nat_register("R", owner, 0);
+        let rec = Arc::new(HistoryRecorder::new());
+
+        std::thread::scope(|s| {
+            {
+                let reg = reg.clone();
+                let rec = Arc::clone(&rec);
+                s.spawn(move || {
+                    for v in 1..=20u64 {
+                        rec.write(owner, v, || reg.write(owner, v));
+                    }
+                });
+            }
+            for reader in [p(1), p(2)] {
+                let reg = reg.clone();
+                let rec = Arc::clone(&rec);
+                s.spawn(move || {
+                    for _ in 0..20 {
+                        rec.read(reader, || reg.read(reader));
+                    }
+                });
+            }
+        });
+
+        let history = Arc::into_inner(rec).unwrap().finish();
+        assert_eq!(history.len(), 60);
+        assert!(is_linearizable(&history, 0));
+    }
+}

@@ -1,0 +1,116 @@
+//! Per-register metadata and access counters (internal).
+//!
+//! Every register created through a [`MemorySpace`](crate::MemorySpace)
+//! carries a [`Counters`] block recording, per process, how many reads and
+//! writes it has performed, plus the high-water mark of the register's bit
+//! footprint. The election algorithms never see these counters; the
+//! experiment harness reads them to verify the paper's optimality claims
+//! (Theorems 3, 4, 7 and Lemmas 5, 6).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::ProcessId;
+
+/// Stable identity of a register within its memory space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegisterId(pub(crate) usize);
+
+impl RegisterId {
+    /// Index of this register in its space's creation order.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Cumulative access counters for one register.
+#[derive(Debug)]
+pub(crate) struct Counters {
+    reads: Box<[AtomicU64]>,
+    writes: Box<[AtomicU64]>,
+    hwm_bits: AtomicU64,
+}
+
+impl Counters {
+    pub(crate) fn new(n_processes: usize) -> Self {
+        Counters {
+            reads: (0..n_processes).map(|_| AtomicU64::new(0)).collect(),
+            writes: (0..n_processes).map(|_| AtomicU64::new(0)).collect(),
+            hwm_bits: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn note_read(&self, reader: ProcessId) {
+        self.reads[reader.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_write(&self, writer: ProcessId, bits: u64) {
+        self.writes[writer.index()].fetch_add(1, Ordering::Relaxed);
+        self.hwm_bits.fetch_max(bits, Ordering::Relaxed);
+    }
+
+    /// Records the footprint of the initial value without counting a write.
+    pub(crate) fn note_initial(&self, bits: u64) {
+        self.hwm_bits.fetch_max(bits, Ordering::Relaxed);
+    }
+
+    pub(crate) fn reads_by(&self, pid: ProcessId) -> u64 {
+        self.reads[pid.index()].load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn writes_by(&self, pid: ProcessId) -> u64 {
+        self.writes[pid.index()].load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn hwm_bits(&self) -> u64 {
+        self.hwm_bits.load(Ordering::Relaxed)
+    }
+
+    #[cfg(test)]
+    pub(crate) fn n_processes(&self) -> usize {
+        self.reads.len()
+    }
+}
+
+/// Type-erased view of a register used by the registry for reporting.
+pub(crate) trait RegisterMeta: Send + Sync {
+    fn name(&self) -> &str;
+    fn owner(&self) -> Option<ProcessId>;
+    fn counters(&self) -> &Counters;
+    /// Footprint of the value currently stored.
+    fn current_bits(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_process() {
+        let c = Counters::new(3);
+        let p0 = ProcessId::new(0);
+        let p2 = ProcessId::new(2);
+        c.note_read(p0);
+        c.note_read(p0);
+        c.note_write(p2, 5);
+        c.note_write(p2, 3);
+        assert_eq!(c.reads_by(p0), 2);
+        assert_eq!(c.reads_by(p2), 0);
+        assert_eq!(c.writes_by(p2), 2);
+        assert_eq!(c.hwm_bits(), 5, "high-water mark keeps the max footprint");
+        assert_eq!(c.n_processes(), 3);
+    }
+
+    #[test]
+    fn initial_footprint_counts_no_write() {
+        let c = Counters::new(1);
+        c.note_initial(17);
+        assert_eq!(c.hwm_bits(), 17);
+        assert_eq!(c.writes_by(ProcessId::new(0)), 0);
+    }
+
+    #[test]
+    fn register_id_index() {
+        assert_eq!(RegisterId(4).index(), 4);
+    }
+}

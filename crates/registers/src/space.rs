@@ -1,0 +1,490 @@
+//! The shared memory space: register factory, registry, and reporting root.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::array::{MwmrArray, SwmrArray};
+use crate::cell::{AtomicFlagCell, AtomicNatCell, LockCell, SharedCell};
+use crate::footprint::{FootprintReport, FootprintRow};
+use crate::matrix::OwnedMatrix;
+use crate::meta::{RegisterId, RegisterMeta};
+use crate::stats::{RegisterRow, StatsSnapshot};
+use crate::swmr::{MwmrRegister, RegCore, SwmrRegister};
+use crate::value::RegisterValue;
+use crate::ProcessId;
+
+/// 1WnR natural-number register backed by a lock-free `AtomicU64`.
+pub type NatRegister = SwmrRegister<u64, AtomicNatCell>;
+/// 1WnR boolean register backed by a lock-free `AtomicBool`.
+pub type FlagRegister = SwmrRegister<bool, AtomicFlagCell>;
+/// Array of lock-free natural-number registers, slot `i` owned by `p_i`.
+pub type NatArray = SwmrArray<u64, AtomicNatCell>;
+/// Array of lock-free boolean registers, slot `i` owned by `p_i`.
+pub type FlagArray = SwmrArray<bool, AtomicFlagCell>;
+/// Matrix of lock-free natural-number registers.
+pub type NatMatrix = OwnedMatrix<u64, AtomicNatCell>;
+/// Matrix of lock-free boolean registers.
+pub type FlagMatrix = OwnedMatrix<bool, AtomicFlagCell>;
+/// nWnR array of lock-free natural-number registers.
+pub type MwmrNatArray = MwmrArray<u64, AtomicNatCell>;
+
+struct SpaceInner {
+    n_processes: usize,
+    regs: RwLock<Vec<Arc<dyn RegisterMeta>>>,
+    next_id: AtomicUsize,
+}
+
+/// A shared memory made of atomic registers, with built-in instrumentation.
+///
+/// All registers of one algorithm instance are created through a single
+/// `MemorySpace`, which assigns them stable identities and names and keeps
+/// the per-process access counters and footprint high-water marks that the
+/// experiment harness queries through [`stats`](MemorySpace::stats) and
+/// [`footprint`](MemorySpace::footprint).
+///
+/// Handles are cheap to clone; every clone views the same memory.
+///
+/// # Examples
+///
+/// ```
+/// use omega_registers::{MemorySpace, ProcessId};
+///
+/// let space = MemorySpace::new(2);
+/// let progress = space.nat_array("PROGRESS", |_| 0);
+/// let p0 = ProcessId::new(0);
+/// progress.get(p0).write(p0, 1);
+///
+/// let stats = space.stats();
+/// assert_eq!(stats.total_writes(), 1);
+/// assert_eq!(stats.writer_set().len(), 1);
+/// ```
+#[derive(Clone)]
+pub struct MemorySpace {
+    inner: Arc<SpaceInner>,
+}
+
+impl MemorySpace {
+    /// Creates an empty memory space for a system of `n_processes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_processes == 0`.
+    #[must_use]
+    pub fn new(n_processes: usize) -> Self {
+        assert!(n_processes > 0, "a system needs at least one process");
+        MemorySpace {
+            inner: Arc::new(SpaceInner {
+                n_processes,
+                regs: RwLock::new(Vec::new()),
+                next_id: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Number of processes `n` of the system this memory serves.
+    #[must_use]
+    pub fn n_processes(&self) -> usize {
+        self.inner.n_processes
+    }
+
+    /// Number of registers created so far.
+    #[must_use]
+    pub fn register_count(&self) -> usize {
+        self.inner.regs.read().len()
+    }
+
+    fn next_id(&self) -> RegisterId {
+        RegisterId(self.inner.next_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn register(&self, meta: Arc<dyn RegisterMeta>) {
+        self.inner.regs.write().push(meta);
+    }
+
+    /// Creates a 1WnR register with an explicit storage cell type.
+    pub fn swmr_cell<T, C>(&self, name: &str, owner: ProcessId, initial: T) -> SwmrRegister<T, C>
+    where
+        T: RegisterValue,
+        C: SharedCell<T>,
+    {
+        assert!(
+            owner.index() < self.inner.n_processes,
+            "owner {owner} out of range for n={}",
+            self.inner.n_processes
+        );
+        let core = RegCore::<T, C>::new(
+            name.to_string(),
+            self.next_id(),
+            Some(owner),
+            self.inner.n_processes,
+            initial,
+        );
+        let reg = SwmrRegister::from_core(core);
+        self.register(reg.meta());
+        reg
+    }
+
+    /// Creates a 1WnR register owned by `owner` (lock-backed storage).
+    pub fn swmr<T: RegisterValue>(
+        &self,
+        name: &str,
+        owner: ProcessId,
+        initial: T,
+    ) -> SwmrRegister<T> {
+        self.swmr_cell::<T, LockCell<T>>(name, owner, initial)
+    }
+
+    /// Creates an nWnR register with an explicit storage cell type.
+    pub fn mwmr_cell<T, C>(&self, name: &str, initial: T) -> MwmrRegister<T, C>
+    where
+        T: RegisterValue,
+        C: SharedCell<T>,
+    {
+        let core = RegCore::<T, C>::new(
+            name.to_string(),
+            self.next_id(),
+            None,
+            self.inner.n_processes,
+            initial,
+        );
+        let reg = MwmrRegister::from_core(core);
+        self.register(reg.meta());
+        reg
+    }
+
+    /// Creates an nWnR register (lock-backed storage).
+    pub fn mwmr<T: RegisterValue>(&self, name: &str, initial: T) -> MwmrRegister<T> {
+        self.mwmr_cell::<T, LockCell<T>>(name, initial)
+    }
+
+    /// Creates an array `NAME[0..n]` of 1WnR registers, slot `i` owned by
+    /// `p_i` and initialized to `init(p_i)`.
+    pub fn swmr_array_cell<T, C>(
+        &self,
+        name: &str,
+        mut init: impl FnMut(ProcessId) -> T,
+    ) -> SwmrArray<T, C>
+    where
+        T: RegisterValue,
+        C: SharedCell<T>,
+    {
+        let regs = ProcessId::all(self.inner.n_processes)
+            .map(|pid| self.swmr_cell::<T, C>(&format!("{name}[{}]", pid.index()), pid, init(pid)))
+            .collect();
+        SwmrArray::from_regs(regs)
+    }
+
+    /// Lock-backed convenience form of [`swmr_array_cell`](Self::swmr_array_cell).
+    pub fn swmr_array<T: RegisterValue>(
+        &self,
+        name: &str,
+        init: impl FnMut(ProcessId) -> T,
+    ) -> SwmrArray<T> {
+        self.swmr_array_cell::<T, LockCell<T>>(name, init)
+    }
+
+    /// Creates an nWnR array `NAME[0..len]` initialized to `init(i)`.
+    pub fn mwmr_array_cell<T, C>(
+        &self,
+        name: &str,
+        len: usize,
+        mut init: impl FnMut(usize) -> T,
+    ) -> MwmrArray<T, C>
+    where
+        T: RegisterValue,
+        C: SharedCell<T>,
+    {
+        let regs = (0..len)
+            .map(|i| self.mwmr_cell::<T, C>(&format!("{name}[{i}]"), init(i)))
+            .collect();
+        MwmrArray::from_regs(regs)
+    }
+
+    /// Lock-backed convenience form of [`mwmr_array_cell`](Self::mwmr_array_cell).
+    pub fn mwmr_array<T: RegisterValue>(
+        &self,
+        name: &str,
+        len: usize,
+        init: impl FnMut(usize) -> T,
+    ) -> MwmrArray<T> {
+        self.mwmr_array_cell::<T, LockCell<T>>(name, len, init)
+    }
+
+    /// Creates an `n × n` matrix `NAME[r][c]` where entry `[r][c]` is owned
+    /// by the **row** process `p_r` (the `SUSPICIONS` layout).
+    pub fn row_matrix_cell<T, C>(
+        &self,
+        name: &str,
+        mut init: impl FnMut(usize, usize) -> T,
+    ) -> OwnedMatrix<T, C>
+    where
+        T: RegisterValue,
+        C: SharedCell<T>,
+    {
+        let n = self.inner.n_processes;
+        let regs = (0..n)
+            .map(|r| {
+                (0..n)
+                    .map(|c| {
+                        self.swmr_cell::<T, C>(
+                            &format!("{name}[{r}][{c}]"),
+                            ProcessId::new(r),
+                            init(r, c),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        OwnedMatrix::from_regs(regs)
+    }
+
+    /// Lock-backed convenience form of [`row_matrix_cell`](Self::row_matrix_cell).
+    pub fn row_matrix<T: RegisterValue>(
+        &self,
+        name: &str,
+        init: impl FnMut(usize, usize) -> T,
+    ) -> OwnedMatrix<T> {
+        self.row_matrix_cell::<T, LockCell<T>>(name, init)
+    }
+
+    /// Creates an `n × n` matrix `NAME[r][c]` where entry `[r][c]` is owned
+    /// by the **column** process `p_c` (the `LAST` handshake layout of
+    /// Figure 5, written by the reader side).
+    pub fn column_matrix_cell<T, C>(
+        &self,
+        name: &str,
+        mut init: impl FnMut(usize, usize) -> T,
+    ) -> OwnedMatrix<T, C>
+    where
+        T: RegisterValue,
+        C: SharedCell<T>,
+    {
+        let n = self.inner.n_processes;
+        let regs = (0..n)
+            .map(|r| {
+                (0..n)
+                    .map(|c| {
+                        self.swmr_cell::<T, C>(
+                            &format!("{name}[{r}][{c}]"),
+                            ProcessId::new(c),
+                            init(r, c),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        OwnedMatrix::from_regs(regs)
+    }
+
+    /// Lock-backed convenience form of [`column_matrix_cell`](Self::column_matrix_cell).
+    pub fn column_matrix<T: RegisterValue>(
+        &self,
+        name: &str,
+        init: impl FnMut(usize, usize) -> T,
+    ) -> OwnedMatrix<T> {
+        self.column_matrix_cell::<T, LockCell<T>>(name, init)
+    }
+
+    // ------------------------------------------------------------------
+    // Lock-free convenience constructors for the layouts the algorithms use.
+    // ------------------------------------------------------------------
+
+    /// Lock-free `u64` 1WnR register.
+    pub fn nat_register(&self, name: &str, owner: ProcessId, initial: u64) -> NatRegister {
+        self.swmr_cell::<u64, AtomicNatCell>(name, owner, initial)
+    }
+
+    /// Lock-free `bool` 1WnR register.
+    pub fn flag_register(&self, name: &str, owner: ProcessId, initial: bool) -> FlagRegister {
+        self.swmr_cell::<bool, AtomicFlagCell>(name, owner, initial)
+    }
+
+    /// Lock-free `u64` array, slot `i` owned by `p_i` (`PROGRESS` layout).
+    pub fn nat_array(&self, name: &str, init: impl FnMut(ProcessId) -> u64) -> NatArray {
+        self.swmr_array_cell::<u64, AtomicNatCell>(name, init)
+    }
+
+    /// Lock-free `bool` array, slot `i` owned by `p_i` (`STOP` layout).
+    pub fn flag_array(&self, name: &str, init: impl FnMut(ProcessId) -> bool) -> FlagArray {
+        self.swmr_array_cell::<bool, AtomicFlagCell>(name, init)
+    }
+
+    /// Lock-free `u64` row-owned matrix (`SUSPICIONS` layout).
+    pub fn nat_row_matrix(&self, name: &str, init: impl FnMut(usize, usize) -> u64) -> NatMatrix {
+        self.row_matrix_cell::<u64, AtomicNatCell>(name, init)
+    }
+
+    /// Lock-free `bool` row-owned matrix (Figure 5 `PROGRESS` layout).
+    pub fn flag_row_matrix(
+        &self,
+        name: &str,
+        init: impl FnMut(usize, usize) -> bool,
+    ) -> FlagMatrix {
+        self.row_matrix_cell::<bool, AtomicFlagCell>(name, init)
+    }
+
+    /// Lock-free `bool` column-owned matrix (Figure 5 `LAST` layout).
+    pub fn flag_column_matrix(
+        &self,
+        name: &str,
+        init: impl FnMut(usize, usize) -> bool,
+    ) -> FlagMatrix {
+        self.column_matrix_cell::<bool, AtomicFlagCell>(name, init)
+    }
+
+    /// Lock-free `u64` nWnR array (§3.5 collapsed `SUSPICIONS` layout).
+    pub fn nat_mwmr_array(
+        &self,
+        name: &str,
+        len: usize,
+        init: impl FnMut(usize) -> u64,
+    ) -> MwmrNatArray {
+        self.mwmr_array_cell::<u64, AtomicNatCell>(name, len, init)
+    }
+
+    // ------------------------------------------------------------------
+    // Reporting.
+    // ------------------------------------------------------------------
+
+    /// Takes a snapshot of all cumulative access counters.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        let regs = self.inner.regs.read();
+        let n = self.inner.n_processes;
+        let rows = regs
+            .iter()
+            .map(|meta| {
+                let counters = meta.counters();
+                RegisterRow {
+                    name: meta.name().to_string(),
+                    owner: meta.owner(),
+                    reads: ProcessId::all(n).map(|p| counters.reads_by(p)).collect(),
+                    writes: ProcessId::all(n).map(|p| counters.writes_by(p)).collect(),
+                }
+            })
+            .collect();
+        StatsSnapshot::new(n, rows)
+    }
+
+    /// Reports the bit-footprint of every register: current size and
+    /// high-water mark since creation.
+    #[must_use]
+    pub fn footprint(&self) -> FootprintReport {
+        let regs = self.inner.regs.read();
+        let rows = regs
+            .iter()
+            .map(|meta| FootprintRow {
+                name: meta.name().to_string(),
+                owner: meta.owner(),
+                hwm_bits: meta.counters().hwm_bits(),
+                current_bits: meta.current_bits(),
+            })
+            .collect();
+        FootprintReport::new(rows)
+    }
+}
+
+impl std::fmt::Debug for MemorySpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemorySpace")
+            .field("n_processes", &self.inner.n_processes)
+            .field("registers", &self.register_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_processes_rejected() {
+        let _ = MemorySpace::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn owner_out_of_range_rejected() {
+        let s = MemorySpace::new(2);
+        let _ = s.swmr::<u64>("X", ProcessId::new(2), 0);
+    }
+
+    #[test]
+    fn register_ids_are_sequential() {
+        let s = MemorySpace::new(2);
+        let a = s.swmr::<u64>("A", ProcessId::new(0), 0);
+        let b = s.mwmr::<u64>("B", 0);
+        assert_eq!(a.id().index(), 0);
+        assert_eq!(b.id().index(), 1);
+        assert_eq!(s.register_count(), 2);
+    }
+
+    #[test]
+    fn clone_views_same_registry() {
+        let s = MemorySpace::new(2);
+        let s2 = s.clone();
+        let _ = s.swmr::<u64>("A", ProcessId::new(0), 0);
+        assert_eq!(s2.register_count(), 1);
+    }
+
+    #[test]
+    fn lock_free_constructors_wire_names_and_owners() {
+        let s = MemorySpace::new(2);
+        let p = s.nat_register("P", ProcessId::new(1), 3);
+        assert_eq!(p.owner(), ProcessId::new(1));
+        assert_eq!(p.peek(), 3);
+        let f = s.flag_register("F", ProcessId::new(0), true);
+        assert!(f.peek());
+        let arr = s.nat_array("PROGRESS", |_| 0);
+        assert_eq!(arr.len(), 2);
+        let flags = s.flag_array("STOP", |_| true);
+        assert!(flags.get(ProcessId::new(1)).peek());
+        let m = s.nat_row_matrix("SUSPICIONS", |_, _| 0);
+        assert_eq!(m.n(), 2);
+        let pm = s.flag_row_matrix("HPROGRESS", |_, _| false);
+        assert_eq!(pm.get(ProcessId::new(0), ProcessId::new(1)).owner(), ProcessId::new(0));
+        let lm = s.flag_column_matrix("LAST", |_, _| false);
+        assert_eq!(lm.get(ProcessId::new(0), ProcessId::new(1)).owner(), ProcessId::new(1));
+        let mw = s.nat_mwmr_array("S", 2, |_| 0);
+        assert_eq!(mw.len(), 2);
+    }
+
+    #[test]
+    fn stats_snapshot_shapes() {
+        let s = MemorySpace::new(3);
+        let arr = s.nat_array("A", |_| 0);
+        let p1 = ProcessId::new(1);
+        arr.get(p1).write(p1, 7);
+        arr.get(p1).read(ProcessId::new(0));
+        let snap = s.stats();
+        assert_eq!(snap.n_processes(), 3);
+        assert_eq!(snap.rows().len(), 3);
+        assert_eq!(snap.total_writes(), 1);
+        assert_eq!(snap.total_reads(), 1);
+    }
+
+    #[test]
+    fn footprint_tracks_hwm_and_current() {
+        let s = MemorySpace::new(1);
+        let p0 = ProcessId::new(0);
+        let r = s.nat_register("X", p0, 0);
+        r.write(p0, 1 << 20);
+        r.write(p0, 1);
+        let fp = s.footprint();
+        let row = &fp.rows()[0];
+        assert_eq!(row.hwm_bits, 21);
+        assert_eq!(row.current_bits, 1);
+    }
+
+    #[test]
+    fn debug_shows_counts() {
+        let s = MemorySpace::new(4);
+        let _ = s.nat_array("A", |_| 0);
+        let out = format!("{s:?}");
+        assert!(out.contains("n_processes: 4"));
+        assert!(out.contains("registers: 4"));
+    }
+}

@@ -1,0 +1,298 @@
+//! Access-count snapshots: who read and wrote what.
+//!
+//! The paper's efficiency results are statements about *who keeps accessing
+//! shared memory forever*:
+//!
+//! * Theorem 3 — with Algorithm 1, after stabilization only the elected
+//!   leader writes, and only one register.
+//! * Lemma 5 / Lemma 6 — the leader must write forever; everyone else must
+//!   read forever.
+//! * Theorem 7 — with Algorithm 2, after stabilization the writes are exactly
+//!   `PROGRESS[ℓ][·]` (by the leader) and `LAST[ℓ][·]` (by the followers).
+//!
+//! A [`StatsSnapshot`] captures cumulative counters; subtracting two
+//! snapshots ([`StatsSnapshot::delta_since`]) yields the accesses of a
+//! window, from which writer/reader sets and per-register activity are
+//! derived.
+
+use std::fmt;
+
+use crate::{ProcessId, ProcessSet};
+
+/// Counters of a single register within a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterRow {
+    /// Register name, e.g. `SUSPICIONS\[2\]\[5\]`.
+    pub name: String,
+    /// Owner for 1WnR registers, `None` for nWnR registers.
+    pub owner: Option<ProcessId>,
+    /// Reads performed by each process (indexed by process).
+    pub reads: Vec<u64>,
+    /// Writes performed by each process (indexed by process).
+    pub writes: Vec<u64>,
+}
+
+impl RegisterRow {
+    /// Total reads of this register by all processes.
+    #[must_use]
+    pub fn total_reads(&self) -> u64 {
+        self.reads.iter().sum()
+    }
+
+    /// Total writes to this register by all processes.
+    #[must_use]
+    pub fn total_writes(&self) -> u64 {
+        self.writes.iter().sum()
+    }
+}
+
+/// A snapshot of every register's cumulative access counters.
+///
+/// # Examples
+///
+/// ```
+/// use omega_registers::{MemorySpace, ProcessId};
+///
+/// let space = MemorySpace::new(2);
+/// let arr = space.nat_array("A", |_| 0);
+/// let p0 = ProcessId::new(0);
+///
+/// let before = space.stats();
+/// arr.get(p0).write(p0, 1);
+/// let delta = space.stats().delta_since(&before);
+/// assert_eq!(delta.total_writes(), 1);
+/// assert_eq!(delta.writer_set().iter().collect::<Vec<_>>(), vec![p0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    n_processes: usize,
+    rows: Vec<RegisterRow>,
+}
+
+impl StatsSnapshot {
+    pub(crate) fn new(n_processes: usize, rows: Vec<RegisterRow>) -> Self {
+        StatsSnapshot { n_processes, rows }
+    }
+
+    /// Number of processes in the system.
+    #[must_use]
+    pub fn n_processes(&self) -> usize {
+        self.n_processes
+    }
+
+    /// Per-register rows, in register-creation order.
+    #[must_use]
+    pub fn rows(&self) -> &[RegisterRow] {
+        &self.rows
+    }
+
+    /// Total reads across all registers and processes.
+    #[must_use]
+    pub fn total_reads(&self) -> u64 {
+        self.rows.iter().map(RegisterRow::total_reads).sum()
+    }
+
+    /// Total writes across all registers and processes.
+    #[must_use]
+    pub fn total_writes(&self) -> u64 {
+        self.rows.iter().map(RegisterRow::total_writes).sum()
+    }
+
+    /// Reads performed by `pid` across all registers.
+    #[must_use]
+    pub fn reads_of(&self, pid: ProcessId) -> u64 {
+        self.rows.iter().map(|r| r.reads[pid.index()]).sum()
+    }
+
+    /// Writes performed by `pid` across all registers.
+    #[must_use]
+    pub fn writes_of(&self, pid: ProcessId) -> u64 {
+        self.rows.iter().map(|r| r.writes[pid.index()]).sum()
+    }
+
+    /// The set of processes that performed at least one write.
+    #[must_use]
+    pub fn writer_set(&self) -> ProcessSet {
+        let mut set = ProcessSet::new(self.n_processes);
+        for pid in ProcessId::all(self.n_processes) {
+            if self.writes_of(pid) > 0 {
+                set.insert(pid);
+            }
+        }
+        set
+    }
+
+    /// The set of processes that performed at least one read.
+    #[must_use]
+    pub fn reader_set(&self) -> ProcessSet {
+        let mut set = ProcessSet::new(self.n_processes);
+        for pid in ProcessId::all(self.n_processes) {
+            if self.reads_of(pid) > 0 {
+                set.insert(pid);
+            }
+        }
+        set
+    }
+
+    /// Names of registers written at least once, in creation order.
+    #[must_use]
+    pub fn written_registers(&self) -> Vec<&str> {
+        self.rows
+            .iter()
+            .filter(|r| r.total_writes() > 0)
+            .map(|r| r.name.as_str())
+            .collect()
+    }
+
+    /// Counter-wise difference `self − earlier`.
+    ///
+    /// Both snapshots must come from the same memory space; registers that
+    /// were created after `earlier` was taken are kept with their full
+    /// counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` has more registers than `self` or the shared
+    /// prefix of registers does not match by name (snapshots from different
+    /// spaces).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        assert!(
+            earlier.rows.len() <= self.rows.len(),
+            "earlier snapshot has more registers than later one"
+        );
+        let rows = self
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let mut out = row.clone();
+                if let Some(prev) = earlier.rows.get(i) {
+                    assert_eq!(prev.name, row.name, "snapshots from different spaces");
+                    for (a, b) in out.reads.iter_mut().zip(&prev.reads) {
+                        *a -= b;
+                    }
+                    for (a, b) in out.writes.iter_mut().zip(&prev.writes) {
+                        *a -= b;
+                    }
+                }
+                out
+            })
+            .collect();
+        StatsSnapshot::new(self.n_processes, rows)
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<24} {:>10} {:>10}  writers",
+            "register", "reads", "writes"
+        )?;
+        for row in &self.rows {
+            let writers: Vec<String> = ProcessId::all(self.n_processes)
+                .filter(|p| row.writes[p.index()] > 0)
+                .map(|p| p.to_string())
+                .collect();
+            writeln!(
+                f,
+                "{:<24} {:>10} {:>10}  {}",
+                row.name,
+                row.total_reads(),
+                row.total_writes(),
+                writers.join(",")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemorySpace;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn totals_and_sets() {
+        let s = MemorySpace::new(3);
+        let arr = s.nat_array("A", |_| 0);
+        arr.get(p(0)).write(p(0), 1);
+        arr.get(p(0)).write(p(0), 2);
+        arr.get(p(1)).write(p(1), 1);
+        arr.get(p(2)).read(p(1));
+        let snap = s.stats();
+        assert_eq!(snap.total_writes(), 3);
+        assert_eq!(snap.total_reads(), 1);
+        assert_eq!(snap.writes_of(p(0)), 2);
+        assert_eq!(snap.reads_of(p(1)), 1);
+        let writers: Vec<_> = snap.writer_set().iter().collect();
+        assert_eq!(writers, vec![p(0), p(1)]);
+        let readers: Vec<_> = snap.reader_set().iter().collect();
+        assert_eq!(readers, vec![p(1)]);
+        assert_eq!(snap.written_registers(), vec!["A[0]", "A[1]"]);
+    }
+
+    #[test]
+    fn delta_subtracts_counters() {
+        let s = MemorySpace::new(2);
+        let arr = s.nat_array("A", |_| 0);
+        arr.get(p(0)).write(p(0), 1);
+        let before = s.stats();
+        arr.get(p(0)).write(p(0), 2);
+        arr.get(p(1)).write(p(1), 1);
+        let delta = s.stats().delta_since(&before);
+        assert_eq!(delta.total_writes(), 2);
+        assert_eq!(delta.writes_of(p(0)), 1);
+        assert_eq!(delta.writes_of(p(1)), 1);
+    }
+
+    #[test]
+    fn delta_keeps_registers_created_after_baseline() {
+        let s = MemorySpace::new(2);
+        let a = s.nat_register("A", p(0), 0);
+        let before = s.stats();
+        let b = s.nat_register("B", p(1), 0);
+        a.write(p(0), 1);
+        b.write(p(1), 1);
+        let delta = s.stats().delta_since(&before);
+        assert_eq!(delta.total_writes(), 2);
+        assert_eq!(delta.rows().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different spaces")]
+    fn delta_rejects_foreign_snapshots() {
+        let s1 = MemorySpace::new(1);
+        let s2 = MemorySpace::new(1);
+        let _ = s1.nat_register("A", p(0), 0);
+        let _ = s2.nat_register("B", p(0), 0);
+        let _ = s2.stats().delta_since(&s1.stats());
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let s = MemorySpace::new(2);
+        let arr = s.nat_array("A", |_| 0);
+        arr.get(p(1)).write(p(1), 1);
+        let out = s.stats().to_string();
+        assert!(out.contains("A[1]"));
+        assert!(out.contains("p1"));
+    }
+
+    #[test]
+    fn register_row_totals() {
+        let row = RegisterRow {
+            name: "X".into(),
+            owner: Some(p(0)),
+            reads: vec![1, 2],
+            writes: vec![3, 0],
+        };
+        assert_eq!(row.total_reads(), 3);
+        assert_eq!(row.total_writes(), 3);
+    }
+}

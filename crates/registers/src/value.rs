@@ -1,0 +1,156 @@
+//! Values storable in shared registers, with bit-footprint accounting.
+
+use std::fmt;
+
+/// A value that can live in an atomic register.
+///
+/// Beyond the obvious bounds, a register value knows how many bits its
+/// *current* contents occupy — this is what lets the substrate measure the
+/// paper's boundedness claims (Theorems 2 and 6: which shared variables stay
+/// in a bounded domain as the run grows).
+///
+/// For integers the footprint is the position of the highest set bit (a
+/// counter that grows forever has an unbounded footprint); for booleans it is
+/// one bit; for compound values it is the sum of the parts.
+///
+/// # Examples
+///
+/// ```
+/// use omega_registers::RegisterValue;
+///
+/// assert_eq!(0u64.footprint_bits(), 1);
+/// assert_eq!(255u64.footprint_bits(), 8);
+/// assert_eq!(true.footprint_bits(), 1);
+/// assert_eq!((7u64, false).footprint_bits(), 4);
+/// ```
+pub trait RegisterValue: Clone + Send + Sync + fmt::Debug + 'static {
+    /// Number of bits needed to represent the current value.
+    ///
+    /// Must be at least 1 for any value (even "empty" values occupy a slot).
+    fn footprint_bits(&self) -> u64;
+}
+
+macro_rules! impl_uint_value {
+    ($($t:ty),*) => {$(
+        impl RegisterValue for $t {
+            fn footprint_bits(&self) -> u64 {
+                let bits = (<$t>::BITS - self.leading_zeros()) as u64;
+                bits.max(1)
+            }
+        }
+    )*};
+}
+
+impl_uint_value!(u8, u16, u32, u64, usize);
+
+impl RegisterValue for bool {
+    fn footprint_bits(&self) -> u64 {
+        1
+    }
+}
+
+impl RegisterValue for i64 {
+    fn footprint_bits(&self) -> u64 {
+        // Sign bit plus magnitude.
+        1 + self.unsigned_abs().footprint_bits()
+    }
+}
+
+impl<T: RegisterValue> RegisterValue for Option<T> {
+    fn footprint_bits(&self) -> u64 {
+        1 + self.as_ref().map_or(0, RegisterValue::footprint_bits)
+    }
+}
+
+impl<A: RegisterValue, B: RegisterValue> RegisterValue for (A, B) {
+    fn footprint_bits(&self) -> u64 {
+        self.0.footprint_bits() + self.1.footprint_bits()
+    }
+}
+
+impl<A: RegisterValue, B: RegisterValue, C: RegisterValue> RegisterValue for (A, B, C) {
+    fn footprint_bits(&self) -> u64 {
+        self.0.footprint_bits() + self.1.footprint_bits() + self.2.footprint_bits()
+    }
+}
+
+impl RegisterValue for String {
+    fn footprint_bits(&self) -> u64 {
+        (8 * self.len() as u64).max(1)
+    }
+}
+
+impl<T: RegisterValue> RegisterValue for Vec<T> {
+    fn footprint_bits(&self) -> u64 {
+        self.iter()
+            .map(RegisterValue::footprint_bits)
+            .sum::<u64>()
+            .max(1)
+    }
+}
+
+impl RegisterValue for crate::ProcessId {
+    fn footprint_bits(&self) -> u64 {
+        (self.index() as u64).footprint_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProcessId;
+
+    #[test]
+    fn uint_footprints() {
+        assert_eq!(0u64.footprint_bits(), 1, "zero still occupies one bit");
+        assert_eq!(1u64.footprint_bits(), 1);
+        assert_eq!(2u64.footprint_bits(), 2);
+        assert_eq!(u64::MAX.footprint_bits(), 64);
+        assert_eq!(1024u32.footprint_bits(), 11);
+        assert_eq!(7u8.footprint_bits(), 3);
+    }
+
+    #[test]
+    fn growth_is_monotone_in_magnitude() {
+        let mut prev = 0;
+        for v in [0u64, 1, 3, 9, 100, 10_000, 1 << 40] {
+            let bits = v.footprint_bits();
+            assert!(bits >= prev);
+            prev = bits;
+        }
+    }
+
+    #[test]
+    fn bool_and_option() {
+        assert_eq!(false.footprint_bits(), 1);
+        assert_eq!(Some(255u64).footprint_bits(), 9);
+        assert_eq!(None::<u64>.footprint_bits(), 1);
+    }
+
+    #[test]
+    fn signed_includes_sign_bit() {
+        assert_eq!(0i64.footprint_bits(), 2);
+        assert_eq!((-4i64).footprint_bits(), 4);
+    }
+
+    #[test]
+    fn tuples_sum_parts() {
+        assert_eq!((3u64, true).footprint_bits(), 3);
+        assert_eq!((1u64, 1u64, 1u64).footprint_bits(), 3);
+    }
+
+    #[test]
+    fn strings_and_vecs() {
+        assert_eq!(String::new().footprint_bits(), 1);
+        assert_eq!("ab".to_string().footprint_bits(), 16);
+        assert_eq!(vec![0u8; 4].footprint_bits(), 4);
+        assert_eq!(vec![255u8; 4].footprint_bits(), 32);
+        assert_eq!(vec![1u64, 255].footprint_bits(), 9);
+    }
+
+    #[test]
+    fn process_id_footprint() {
+        assert_eq!(ProcessId::new(0).footprint_bits(), 1);
+        assert_eq!(ProcessId::new(255).footprint_bits(), 8);
+    }
+}

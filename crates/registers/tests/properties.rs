@@ -1,0 +1,270 @@
+//! Property-based tests for the register substrate.
+
+use omega_registers::lincheck::{is_linearizable, CompletedOp, History, HistoryRecorder, RegOp};
+use omega_registers::{MemorySpace, ProcessId, ProcessSet, RegisterValue};
+use proptest::prelude::*;
+
+fn pid(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+proptest! {
+    /// Footprints are monotone in magnitude for naturals.
+    #[test]
+    fn footprint_monotone(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(lo.footprint_bits() <= hi.footprint_bits());
+    }
+
+    /// Footprint bounds: 1 ≤ bits ≤ 64 and 2^(bits-1) ≤ v (for v > 0).
+    #[test]
+    fn footprint_is_bit_length(v in any::<u64>()) {
+        let bits = v.footprint_bits();
+        prop_assert!((1..=64).contains(&bits));
+        if v > 0 {
+            prop_assert!(v >= 1u64 << (bits - 1));
+            if bits < 64 {
+                prop_assert!(v < 1u64 << bits);
+            }
+        }
+    }
+
+    /// Last write wins: after an arbitrary sequence of owner writes, a read
+    /// observes the final value, and the write counters match.
+    #[test]
+    fn swmr_last_write_wins(values in prop::collection::vec(any::<u64>(), 1..50)) {
+        let space = MemorySpace::new(2);
+        let owner = pid(0);
+        let reg = space.nat_register("R", owner, 0);
+        for &v in &values {
+            reg.write(owner, v);
+        }
+        prop_assert_eq!(reg.read(pid(1)), *values.last().unwrap());
+        let stats = space.stats();
+        prop_assert_eq!(stats.writes_of(owner), values.len() as u64);
+        prop_assert_eq!(stats.reads_of(pid(1)), 1);
+    }
+
+    /// The footprint high-water mark equals the max footprint over all
+    /// values ever stored (including the initial value).
+    #[test]
+    fn footprint_hwm_is_max(init in any::<u64>(), values in prop::collection::vec(any::<u64>(), 0..40)) {
+        let space = MemorySpace::new(1);
+        let owner = pid(0);
+        let reg = space.nat_register("R", owner, init);
+        for &v in &values {
+            reg.write(owner, v);
+        }
+        let expect = std::iter::once(init)
+            .chain(values.iter().copied())
+            .map(|v| v.footprint_bits())
+            .max()
+            .unwrap();
+        prop_assert_eq!(space.footprint().row("R").unwrap().hwm_bits, expect);
+    }
+
+    /// Stats deltas are exact: delta counts precisely the accesses between
+    /// the two snapshots.
+    #[test]
+    fn stats_delta_exact(
+        pre in prop::collection::vec((0usize..3, any::<bool>()), 0..30),
+        post in prop::collection::vec((0usize..3, any::<bool>()), 0..30),
+    ) {
+        let space = MemorySpace::new(3);
+        let arr = space.nat_array("A", |_| 0);
+        let apply = |ops: &[(usize, bool)]| {
+            for &(i, is_write) in ops {
+                let p = pid(i);
+                if is_write {
+                    arr.get(p).write(p, 1);
+                } else {
+                    arr.get(p).read(p);
+                }
+            }
+        };
+        apply(&pre);
+        let baseline = space.stats();
+        apply(&post);
+        let delta = space.stats().delta_since(&baseline);
+        let expect_writes = post.iter().filter(|(_, w)| *w).count() as u64;
+        let expect_reads = post.len() as u64 - expect_writes;
+        prop_assert_eq!(delta.total_writes(), expect_writes);
+        prop_assert_eq!(delta.total_reads(), expect_reads);
+    }
+
+    /// ProcessSet behaves like a set of indices.
+    #[test]
+    fn process_set_models_btreeset(ops in prop::collection::vec((0usize..100, any::<bool>()), 0..200)) {
+        use std::collections::BTreeSet;
+        let mut set = ProcessSet::new(100);
+        let mut model = BTreeSet::new();
+        for (i, insert) in ops {
+            if insert {
+                prop_assert_eq!(set.insert(pid(i)), model.insert(i));
+            } else {
+                prop_assert_eq!(set.remove(pid(i)), model.remove(&i));
+            }
+        }
+        prop_assert_eq!(set.len(), model.len());
+        let got: Vec<usize> = set.iter().map(ProcessId::index).collect();
+        let want: Vec<usize> = model.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Any *sequential* history over a register is linearizable, and reads
+    /// that report anything other than the latest written value are not.
+    #[test]
+    fn sequential_histories_linearize(writes in prop::collection::vec(any::<u64>(), 1..20)) {
+        let mut h = History::new();
+        let mut t = 0u64;
+        let mut latest = 0u64;
+        for &v in &writes {
+            h.push(CompletedOp {
+                process: pid(0),
+                op: RegOp::Write(v),
+                result: None,
+                invoke: t,
+                response: t + 1,
+            });
+            t += 2;
+            latest = v;
+            h.push(CompletedOp {
+                process: pid(1),
+                op: RegOp::Read,
+                result: Some(latest),
+                invoke: t,
+                response: t + 1,
+            });
+            t += 2;
+        }
+        prop_assert!(is_linearizable(&h, 0));
+
+        // Corrupt the last read to a value that was never the latest there.
+        let bad = h.clone();
+        let last = bad.len() - 1;
+        let mut ops: Vec<_> = bad.ops().to_vec();
+        ops[last].result = Some(latest.wrapping_add(1));
+        let mut corrupted = History::new();
+        for op in ops {
+            corrupted.push(op);
+        }
+        // The corrupted value may coincidentally equal an overlapping write;
+        // sequential histories have no overlap, so it must be rejected.
+        prop_assert!(!is_linearizable(&corrupted, 0));
+    }
+}
+
+/// Concurrent stress: many threads hammer a lock-free register while the
+/// recorder captures the history; the result must linearize.
+#[test]
+fn concurrent_stress_linearizes() {
+    for round in 0..8 {
+        let space = MemorySpace::new(4);
+        let owner = pid(0);
+        let reg = space.nat_register("R", owner, 0);
+        let rec = std::sync::Arc::new(HistoryRecorder::new());
+
+        std::thread::scope(|s| {
+            {
+                let reg = reg.clone();
+                let rec = rec.clone();
+                s.spawn(move || {
+                    for v in 1..=25u64 {
+                        rec.write(owner, v + round, || reg.write(owner, v + round));
+                    }
+                });
+            }
+            for r in 1..4 {
+                let reg = reg.clone();
+                let rec = rec.clone();
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        rec.read(pid(r), || reg.read(pid(r)));
+                    }
+                });
+            }
+        });
+
+        let history = std::sync::Arc::into_inner(rec).unwrap().finish();
+        assert_eq!(history.len(), 100);
+        assert!(
+            is_linearizable(&history, 0),
+            "round {round}: lock-free register produced a non-linearizable history"
+        );
+    }
+}
+
+/// The deliberately torn cell must produce a rejected history when a torn
+/// read is observed. We drive it single-threadedly to *construct* the tear
+/// deterministically rather than relying on thread timing.
+#[test]
+fn torn_reads_are_rejected_when_observed() {
+    // Handcraft what a torn read looks like: Write(A) then Write(B) complete,
+    // then a read returns a mix of A and B.
+    let a = 0x0000_0001_0000_0002u64;
+    let b = 0x0000_0003_0000_0004u64;
+    let torn = 0x0000_0001_0000_0004u64; // hi of A, lo of B — never written
+    let mut h = History::new();
+    h.push(CompletedOp {
+        process: pid(0),
+        op: RegOp::Write(a),
+        result: None,
+        invoke: 0,
+        response: 1,
+    });
+    h.push(CompletedOp {
+        process: pid(0),
+        op: RegOp::Write(b),
+        result: None,
+        invoke: 2,
+        response: 3,
+    });
+    h.push(CompletedOp {
+        process: pid(1),
+        op: RegOp::Read,
+        result: Some(torn),
+        invoke: 4,
+        response: 5,
+    });
+    assert!(!is_linearizable(&h, 0));
+}
+
+/// Multi-writer register stress: several writers with disjoint value
+/// ranges plus readers; the recorded history must linearize.
+#[test]
+fn mwmr_concurrent_stress_linearizes() {
+    for round in 0..6 {
+        let space = MemorySpace::new(4);
+        let reg = space.mwmr_cell::<u64, omega_registers::cell::AtomicNatCell>("M", 0);
+        let rec = std::sync::Arc::new(HistoryRecorder::new());
+        std::thread::scope(|s| {
+            // Two writers with disjoint value ranges.
+            for w in 0..2usize {
+                let reg = reg.clone();
+                let rec = rec.clone();
+                s.spawn(move || {
+                    for v in 1..=15u64 {
+                        let value = (w as u64 + 1) * 1000 + v + round;
+                        rec.write(pid(w), value, || reg.write(pid(w), value));
+                    }
+                });
+            }
+            // Two readers.
+            for r in 2..4usize {
+                let reg = reg.clone();
+                let rec = rec.clone();
+                s.spawn(move || {
+                    for _ in 0..15 {
+                        rec.read(pid(r), || reg.read(pid(r)));
+                    }
+                });
+            }
+        });
+        let history = std::sync::Arc::into_inner(rec).unwrap().finish();
+        assert_eq!(history.len(), 60);
+        assert!(
+            is_linearizable(&history, 0),
+            "round {round}: nWnR register produced a non-linearizable history"
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! A full election cluster on real threads.
+
+use std::time::{Duration, Instant};
+
+use omega_core::OmegaVariant;
+use omega_registers::{MemorySpace, ProcessId, ProcessSet};
+
+use crate::node::{Node, NodeConfig};
+
+/// An `n`-process shared-memory system running one of the Ω variants on
+/// operating-system threads.
+///
+/// # Examples
+///
+/// ```no_run
+/// use omega_runtime::{Cluster, NodeConfig};
+/// use omega_core::OmegaVariant;
+/// use std::time::Duration;
+///
+/// let cluster = Cluster::start(OmegaVariant::Alg1, 4, NodeConfig::default());
+/// let leader = cluster
+///     .await_stable_leader(Duration::from_millis(50), Duration::from_secs(5))
+///     .expect("election settles");
+/// println!("elected {leader}");
+/// cluster.shutdown();
+/// ```
+pub struct Cluster {
+    space: MemorySpace,
+    nodes: Vec<Node>,
+    variant: OmegaVariant,
+}
+
+impl Cluster {
+    /// Builds the shared memory for `variant` and spawns `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn start(variant: OmegaVariant, n: usize, config: NodeConfig) -> Self {
+        let (space, processes) = variant.build_processes(n);
+        let nodes = processes
+            .into_iter()
+            .map(|p| Node::spawn(p, config))
+            .collect();
+        Cluster {
+            space,
+            nodes,
+            variant,
+        }
+    }
+
+    /// The variant this cluster runs.
+    #[must_use]
+    pub fn variant(&self) -> OmegaVariant {
+        self.variant
+    }
+
+    /// The memory space backing the cluster (for statistics and footprint
+    /// inspection).
+    #[must_use]
+    pub fn space(&self) -> &MemorySpace {
+        &self.space
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node hosting `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    #[must_use]
+    pub fn node(&self, pid: ProcessId) -> &Node {
+        &self.nodes[pid.index()]
+    }
+
+    /// Every live node's current leader estimate (`None` for crashed nodes).
+    #[must_use]
+    pub fn leaders(&self) -> Vec<Option<ProcessId>> {
+        self.nodes.iter().map(Node::cached_leader).collect()
+    }
+
+    /// The set of processes that have not crashed.
+    #[must_use]
+    pub fn correct(&self) -> ProcessSet {
+        let mut set = ProcessSet::new(self.n());
+        for node in &self.nodes {
+            if !node.is_crashed() {
+                set.insert(node.pid());
+            }
+        }
+        set
+    }
+
+    /// Crash-stops `pid`.
+    pub fn crash(&self, pid: ProcessId) {
+        self.nodes[pid.index()].crash();
+    }
+
+    /// Crashes the process the (plurality of) live nodes currently trust,
+    /// returning its identity, or `None` when no estimate exists yet.
+    pub fn crash_current_leader(&self) -> Option<ProcessId> {
+        let mut counts: Vec<(ProcessId, usize)> = Vec::new();
+        for leader in self.leaders().into_iter().flatten() {
+            match counts.iter_mut().find(|(p, _)| *p == leader) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((leader, 1)),
+            }
+        }
+        let target = counts
+            .into_iter()
+            .max_by_key(|&(p, c)| (c, std::cmp::Reverse(p)))
+            .map(|(p, _)| p)?;
+        self.crash(target);
+        Some(target)
+    }
+
+    /// Polls until every correct node has reported the same correct leader
+    /// continuously for `window`, or `timeout` real time has elapsed.
+    ///
+    /// Returns the agreed leader, or `None` on timeout. Uses the cached
+    /// estimates, so polling does not add shared-memory traffic.
+    #[must_use]
+    pub fn await_stable_leader(&self, window: Duration, timeout: Duration) -> Option<ProcessId> {
+        let start = Instant::now();
+        let poll = Duration::from_millis(2);
+        let mut agreed_since: Option<(ProcessId, Instant)> = None;
+        while start.elapsed() < timeout {
+            let correct = self.correct();
+            let mut estimates = correct.iter().map(|p| self.nodes[p.index()].cached_leader());
+            let first = estimates.next().flatten();
+            let agreed = match first {
+                Some(leader)
+                    if correct.contains(leader) && estimates.all(|e| e == Some(leader)) =>
+                {
+                    Some(leader)
+                }
+                _ => None,
+            };
+            match (agreed, agreed_since) {
+                (Some(leader), Some((prev, since))) if leader == prev => {
+                    if since.elapsed() >= window {
+                        return Some(leader);
+                    }
+                }
+                (Some(leader), _) => agreed_since = Some((leader, Instant::now())),
+                (None, _) => agreed_since = None,
+            }
+            std::thread::sleep(poll);
+        }
+        None
+    }
+
+    /// Stops every node and joins their threads.
+    pub fn shutdown(mut self) {
+        for node in &mut self.nodes {
+            node.shutdown();
+        }
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("variant", &self.variant)
+            .field("n", &self.n())
+            .field("correct", &self.correct())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> NodeConfig {
+        NodeConfig {
+            step_interval: Duration::from_micros(200),
+            tick: Duration::from_micros(300),
+        }
+    }
+
+    #[test]
+    fn cluster_elects_a_leader_on_threads() {
+        let cluster = Cluster::start(OmegaVariant::Alg1, 4, fast());
+        let leader = cluster
+            .await_stable_leader(Duration::from_millis(40), Duration::from_secs(10))
+            .expect("threads must elect a leader");
+        assert!(cluster.correct().contains(leader));
+        assert_eq!(cluster.n(), 4);
+        assert_eq!(cluster.variant(), OmegaVariant::Alg1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn alg2_cluster_elects_on_threads() {
+        let cluster = Cluster::start(OmegaVariant::Alg2, 3, fast());
+        let leader = cluster
+            .await_stable_leader(Duration::from_millis(40), Duration::from_secs(10))
+            .expect("bounded-memory variant elects too");
+        assert!(cluster.correct().contains(leader));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn failover_after_leader_crash() {
+        let cluster = Cluster::start(OmegaVariant::Alg1, 3, fast());
+        let first = cluster
+            .await_stable_leader(Duration::from_millis(40), Duration::from_secs(10))
+            .expect("initial election");
+        let crashed = cluster.crash_current_leader().expect("has a leader");
+        assert_eq!(crashed, first);
+        let second = cluster
+            .await_stable_leader(Duration::from_millis(40), Duration::from_secs(10))
+            .expect("re-election after crash");
+        assert_ne!(second, first, "a crashed process cannot stay leader");
+        assert!(cluster.correct().contains(second));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn leaders_view_reports_crashed_nodes_as_none() {
+        let cluster = Cluster::start(OmegaVariant::Alg1, 3, fast());
+        cluster.crash(ProcessId::new(2));
+        std::thread::sleep(Duration::from_millis(10));
+        let leaders = cluster.leaders();
+        assert_eq!(leaders[2], None);
+        assert_eq!(cluster.correct().len(), 2);
+        let dbg = format!("{cluster:?}");
+        assert!(dbg.contains("Alg1"));
+        cluster.shutdown();
+    }
+}

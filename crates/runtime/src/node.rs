@@ -1,0 +1,248 @@
+//! One Ω process running on real operating-system threads.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use omega_core::OmegaProcess;
+use omega_registers::ProcessId;
+use parking_lot::Mutex;
+
+/// Real-time pacing of a node's two background tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeConfig {
+    /// Pause between consecutive `T2` iterations. This is the node's
+    /// heartbeat cadence; the OS scheduler's fairness plays the role of the
+    /// AWB₁ assumption.
+    pub step_interval: Duration,
+    /// Real-time length of one abstract timeout unit: a timeout value `x`
+    /// from the algorithm sleeps `x × tick`. A faithful (hence trivially
+    /// asymptotically well-behaved) timer.
+    pub tick: Duration,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            step_interval: Duration::from_micros(300),
+            tick: Duration::from_micros(500),
+        }
+    }
+}
+
+impl NodeConfig {
+    /// Pacing that mimics registers on a storage-area network: accesses are
+    /// orders of magnitude slower than local memory, so both the heartbeat
+    /// cadence and the timeout unit stretch accordingly.
+    #[must_use]
+    pub fn san_like() -> Self {
+        NodeConfig {
+            step_interval: Duration::from_millis(3),
+            tick: Duration::from_millis(5),
+        }
+    }
+}
+
+struct NodeShared {
+    process: Mutex<Box<dyn OmegaProcess>>,
+    crashed: AtomicBool,
+    stop: AtomicBool,
+}
+
+/// A process of the election algorithm hosted on dedicated threads: one for
+/// the `T2` heartbeat loop, one for the `T3` timer loop.
+///
+/// The Ω query [`leader`](Node::leader) can be called from any thread at
+/// any time — it is the client-facing primitive. Crashing a node
+/// ([`crash`](Node::crash)) halts both task threads permanently, exactly
+/// the paper's crash-stop fault model.
+pub struct Node {
+    pid: ProcessId,
+    shared: Arc<NodeShared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Node {
+    /// Spawns the task threads for `process`.
+    #[must_use]
+    pub fn spawn(process: Box<dyn OmegaProcess>, config: NodeConfig) -> Self {
+        let pid = process.pid();
+        let shared = Arc::new(NodeShared {
+            process: Mutex::new(process),
+            crashed: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+        });
+
+        // Task T2: heartbeat loop.
+        let t2 = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("{pid}-t2"))
+                .spawn(move || loop {
+                    if shared.stop.load(Ordering::Acquire) || shared.crashed.load(Ordering::Acquire)
+                    {
+                        return;
+                    }
+                    shared.process.lock().t2_step();
+                    std::thread::sleep(config.step_interval);
+                })
+                .expect("spawn T2 thread")
+        };
+
+        // Task T3: timer loop.
+        let t3 = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("{pid}-t3"))
+                .spawn(move || {
+                    let mut timeout = shared.process.lock().initial_timeout();
+                    loop {
+                        // Sleep in small slices so crash/stop are honored
+                        // promptly even when timeouts grow long.
+                        let deadline =
+                            std::time::Instant::now() + config.tick.saturating_mul(timeout as u32);
+                        while std::time::Instant::now() < deadline {
+                            if shared.stop.load(Ordering::Acquire)
+                                || shared.crashed.load(Ordering::Acquire)
+                            {
+                                return;
+                            }
+                            std::thread::sleep(config.tick.min(Duration::from_millis(5)));
+                        }
+                        if shared.stop.load(Ordering::Acquire)
+                            || shared.crashed.load(Ordering::Acquire)
+                        {
+                            return;
+                        }
+                        timeout = shared.process.lock().on_timer_expire().max(1);
+                    }
+                })
+                .expect("spawn T3 thread")
+        };
+
+        Node {
+            pid,
+            shared,
+            threads: vec![t2, t3],
+        }
+    }
+
+    /// This node's process identity.
+    #[must_use]
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// The Ω query (task `T1`): the node's current leader estimate.
+    ///
+    /// Returns `None` if the node has crashed — a crashed process answers
+    /// nothing.
+    #[must_use]
+    pub fn leader(&self) -> Option<ProcessId> {
+        if self.is_crashed() {
+            return None;
+        }
+        Some(self.shared.process.lock().leader())
+    }
+
+    /// The estimate cached by the last `T2` iteration (cheap; no shared
+    /// memory reads).
+    #[must_use]
+    pub fn cached_leader(&self) -> Option<ProcessId> {
+        if self.is_crashed() {
+            return None;
+        }
+        self.shared.process.lock().cached_leader()
+    }
+
+    /// Crash-stops the node: both task threads halt permanently.
+    pub fn crash(&self) {
+        self.shared.crashed.store(true, Ordering::Release);
+    }
+
+    /// Whether the node has crashed.
+    #[must_use]
+    pub fn is_crashed(&self) -> bool {
+        self.shared.crashed.load(Ordering::Acquire)
+    }
+
+    /// Stops the task threads and waits for them to exit.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Node {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("pid", &self.pid)
+            .field("crashed", &self.is_crashed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega_core::{Alg1Memory, Alg1Process};
+    use omega_registers::MemorySpace;
+
+    fn single_node() -> (MemorySpace, Node) {
+        let space = MemorySpace::new(1);
+        let mem = Alg1Memory::new(&space);
+        let process = Box::new(Alg1Process::new(mem, ProcessId::new(0)));
+        let node = Node::spawn(process, NodeConfig::default());
+        (space, node)
+    }
+
+    #[test]
+    fn node_runs_and_answers_queries() {
+        let (space, mut node) = single_node();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(node.leader(), Some(ProcessId::new(0)));
+        assert_eq!(node.pid(), ProcessId::new(0));
+        node.shutdown();
+        // The single process heartbeated: its PROGRESS register was written.
+        assert!(space.stats().total_writes() > 0);
+    }
+
+    #[test]
+    fn crash_halts_progress() {
+        let (space, node) = single_node();
+        std::thread::sleep(Duration::from_millis(20));
+        node.crash();
+        assert!(node.is_crashed());
+        assert_eq!(node.leader(), None, "crashed nodes answer nothing");
+        // Give threads a moment to observe the flag, then measure quiescence.
+        std::thread::sleep(Duration::from_millis(20));
+        let before = space.stats().total_writes();
+        std::thread::sleep(Duration::from_millis(40));
+        let after = space.stats().total_writes();
+        assert_eq!(before, after, "a crashed process takes no more steps");
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        let (_space, mut node) = single_node();
+        node.shutdown();
+        node.shutdown();
+        drop(node);
+    }
+
+    #[test]
+    fn debug_shows_state() {
+        let (_space, node) = single_node();
+        let out = format!("{node:?}");
+        assert!(out.contains("p0"));
+    }
+}

@@ -1,0 +1,393 @@
+//! A simulated storage-area-network (SAN) disk, and atomic registers on it.
+//!
+//! The paper motivates shared-memory Ω with systems where "computers
+//! communicate through a network of attached disks" (Section 1, citing
+//! Disk Paxos \[9\], Petal \[18\], NASD \[10\]): each disk block behaves as an
+//! atomic register, written by one machine and read by all. This module
+//! reproduces that substrate in miniature:
+//!
+//! * [`SanDisk`] — a block device with configurable, seeded access latency
+//!   (network round-trip + seek), shared by all client machines;
+//! * [`DiskNatRegister`] / [`DiskFlagRegister`] — 1WnR atomic registers
+//!   mapped onto blocks, ownership-enforced exactly like their in-memory
+//!   counterparts.
+//!
+//! Reads and writes take real time (the latency model sleeps), which is why
+//! the `omega-runtime` cluster exposes [`NodeConfig::san_like`] pacing: on
+//! a SAN, heartbeat cadence and timeout units stretch by the same factor,
+//! and the election algorithms are unaffected — their assumptions only
+//! speak about *eventual* timeliness.
+//!
+//! [`NodeConfig::san_like`]: crate::NodeConfig::san_like
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use omega_registers::ProcessId;
+use parking_lot::Mutex;
+
+/// Latency model of one disk: fixed base plus deterministic pseudo-random
+/// jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SanLatency {
+    /// Minimum time for any block access.
+    pub base: Duration,
+    /// Maximum extra jitter added per access.
+    pub jitter: Duration,
+}
+
+impl SanLatency {
+    /// Zero-latency model (for tests).
+    #[must_use]
+    pub fn instant() -> Self {
+        SanLatency {
+            base: Duration::ZERO,
+            jitter: Duration::ZERO,
+        }
+    }
+
+    /// A commodity-iSCSI-like profile: ~0.5 ms ± 0.5 ms per access.
+    #[must_use]
+    pub fn commodity() -> Self {
+        SanLatency {
+            base: Duration::from_micros(500),
+            jitter: Duration::from_micros(500),
+        }
+    }
+}
+
+/// A shared block device: the network-attached disk.
+///
+/// Blocks are 8-byte values addressed by `u64`. Every access sleeps
+/// according to the latency model; the block map itself is protected by a
+/// lock, so individual block reads/writes are trivially linearizable —
+/// exactly the atomic-register abstraction a SAN controller provides.
+#[derive(Debug)]
+pub struct SanDisk {
+    blocks: Mutex<HashMap<u64, u64>>,
+    latency: SanLatency,
+    rng_state: AtomicU64,
+    accesses: AtomicU64,
+}
+
+impl SanDisk {
+    /// Creates a disk with the given latency model; `seed` drives the
+    /// jitter sequence.
+    #[must_use]
+    pub fn new(latency: SanLatency, seed: u64) -> Arc<Self> {
+        Arc::new(SanDisk {
+            blocks: Mutex::new(HashMap::new()),
+            latency,
+            rng_state: AtomicU64::new(seed | 1),
+            accesses: AtomicU64::new(0),
+        })
+    }
+
+    fn simulate_latency(&self) {
+        self.accesses.fetch_add(1, Ordering::Relaxed);
+        if self.latency.base.is_zero() && self.latency.jitter.is_zero() {
+            return;
+        }
+        // xorshift for deterministic jitter.
+        let mut s = self.rng_state.load(Ordering::Relaxed);
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        self.rng_state.store(s, Ordering::Relaxed);
+        let jitter_ns = if self.latency.jitter.is_zero() {
+            0
+        } else {
+            s % (self.latency.jitter.as_nanos() as u64)
+        };
+        std::thread::sleep(self.latency.base + Duration::from_nanos(jitter_ns));
+    }
+
+    /// Reads block `addr` (zero if never written).
+    #[must_use]
+    pub fn read_block(&self, addr: u64) -> u64 {
+        self.simulate_latency();
+        *self.blocks.lock().get(&addr).unwrap_or(&0)
+    }
+
+    /// Writes block `addr`.
+    pub fn write_block(&self, addr: u64, value: u64) {
+        self.simulate_latency();
+        self.blocks.lock().insert(addr, value);
+    }
+
+    /// Total block accesses served (reads + writes).
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.accesses.load(Ordering::Relaxed)
+    }
+}
+
+/// A 1WnR natural-number register stored in a disk block.
+///
+/// The owner machine writes the block; everyone reads it. This is the
+/// standard SAN realization of the paper's register model (one block — or
+/// one disk sector per writer — per register).
+///
+/// # Examples
+///
+/// ```
+/// use omega_runtime::san::{DiskNatRegister, SanDisk, SanLatency};
+/// use omega_registers::ProcessId;
+///
+/// let disk = SanDisk::new(SanLatency::instant(), 7);
+/// let owner = ProcessId::new(0);
+/// let reg = DiskNatRegister::new(disk, 0x10, owner);
+/// reg.write(owner, 42);
+/// assert_eq!(reg.read(ProcessId::new(1)), 42);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiskNatRegister {
+    disk: Arc<SanDisk>,
+    addr: u64,
+    owner: ProcessId,
+}
+
+impl DiskNatRegister {
+    /// Maps a register onto block `addr`, owned by `owner`.
+    #[must_use]
+    pub fn new(disk: Arc<SanDisk>, addr: u64, owner: ProcessId) -> Self {
+        DiskNatRegister { disk, addr, owner }
+    }
+
+    /// The owning machine.
+    #[must_use]
+    pub fn owner(&self) -> ProcessId {
+        self.owner
+    }
+
+    /// Reads the register on behalf of any machine.
+    #[must_use]
+    pub fn read(&self, _reader: ProcessId) -> u64 {
+        self.disk.read_block(self.addr)
+    }
+
+    /// Writes the register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `writer` is not the owner.
+    pub fn write(&self, writer: ProcessId, value: u64) {
+        assert_eq!(
+            writer, self.owner,
+            "machine {writer} attempted to write a disk register owned by {}",
+            self.owner
+        );
+        self.disk.write_block(self.addr, value);
+    }
+}
+
+/// A 1WnR boolean register stored in a disk block.
+#[derive(Debug, Clone)]
+pub struct DiskFlagRegister {
+    inner: DiskNatRegister,
+}
+
+impl DiskFlagRegister {
+    /// Maps a flag register onto block `addr`, owned by `owner`.
+    #[must_use]
+    pub fn new(disk: Arc<SanDisk>, addr: u64, owner: ProcessId) -> Self {
+        DiskFlagRegister {
+            inner: DiskNatRegister::new(disk, addr, owner),
+        }
+    }
+
+    /// Reads the flag on behalf of any machine.
+    #[must_use]
+    pub fn read(&self, reader: ProcessId) -> bool {
+        self.inner.read(reader) != 0
+    }
+
+    /// Writes the flag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `writer` is not the owner.
+    pub fn write(&self, writer: ProcessId, value: bool) {
+        self.inner.write(writer, u64::from(value));
+    }
+}
+
+/// The Figure-2 register layout mapped onto one shared disk: `PROGRESS[i]`
+/// at block `i`, `STOP[i]` at block `n + i`, `SUSPICIONS[i][k]` at block
+/// `2n + i·n + k`.
+#[derive(Debug)]
+pub struct DiskRegisterLayout {
+    n: usize,
+    /// `PROGRESS[i]`, owned by machine `i`.
+    pub progress: Vec<DiskNatRegister>,
+    /// `STOP[i]`, owned by machine `i`.
+    pub stop: Vec<DiskFlagRegister>,
+    /// `SUSPICIONS[i][k]`, row-owned.
+    pub suspicions: Vec<Vec<DiskNatRegister>>,
+}
+
+impl DiskRegisterLayout {
+    /// Lays out the Figure-2 registers for `n` machines on `disk`.
+    #[must_use]
+    pub fn new(disk: &Arc<SanDisk>, n: usize) -> Self {
+        let progress = (0..n)
+            .map(|i| DiskNatRegister::new(Arc::clone(disk), i as u64, ProcessId::new(i)))
+            .collect();
+        let stop = (0..n)
+            .map(|i| DiskFlagRegister::new(Arc::clone(disk), (n + i) as u64, ProcessId::new(i)))
+            .collect();
+        let suspicions = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|k| {
+                        DiskNatRegister::new(
+                            Arc::clone(disk),
+                            (2 * n + i * n + k) as u64,
+                            ProcessId::new(i),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        DiskRegisterLayout {
+            n,
+            progress,
+            stop,
+            suspicions,
+        }
+    }
+
+    /// Number of machines.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total disk blocks the layout occupies.
+    #[must_use]
+    pub fn blocks(&self) -> usize {
+        2 * self.n + self.n * self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega_registers::lincheck::{is_linearizable, HistoryRecorder};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn blocks_default_to_zero() {
+        let disk = SanDisk::new(SanLatency::instant(), 1);
+        assert_eq!(disk.read_block(99), 0);
+    }
+
+    #[test]
+    fn block_roundtrip_and_access_count() {
+        let disk = SanDisk::new(SanLatency::instant(), 1);
+        disk.write_block(4, 123);
+        assert_eq!(disk.read_block(4), 123);
+        assert_eq!(disk.accesses(), 2);
+    }
+
+    #[test]
+    fn disk_register_enforces_ownership() {
+        let disk = SanDisk::new(SanLatency::instant(), 1);
+        let reg = DiskNatRegister::new(disk, 0, p(1));
+        assert_eq!(reg.owner(), p(1));
+        reg.write(p(1), 9);
+        assert_eq!(reg.read(p(0)), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "attempted to write a disk register")]
+    fn disk_register_rejects_foreign_writer() {
+        let disk = SanDisk::new(SanLatency::instant(), 1);
+        let reg = DiskNatRegister::new(disk, 0, p(1));
+        reg.write(p(0), 9);
+    }
+
+    #[test]
+    fn flag_register_roundtrip() {
+        let disk = SanDisk::new(SanLatency::instant(), 1);
+        let flag = DiskFlagRegister::new(disk, 7, p(0));
+        assert!(!flag.read(p(1)), "unwritten flag reads false");
+        flag.write(p(0), true);
+        assert!(flag.read(p(1)));
+        flag.write(p(0), false);
+        assert!(!flag.read(p(1)));
+    }
+
+    #[test]
+    fn layout_assigns_distinct_blocks_and_owners() {
+        let disk = SanDisk::new(SanLatency::instant(), 1);
+        let layout = DiskRegisterLayout::new(&disk, 3);
+        assert_eq!(layout.n(), 3);
+        assert_eq!(layout.blocks(), 6 + 9);
+        // Write through every register; each must land in its own block.
+        for i in 0..3 {
+            layout.progress[i].write(p(i), 100 + i as u64);
+            layout.stop[i].write(p(i), true);
+            for k in 0..3 {
+                layout.suspicions[i][k].write(p(i), (10 * i + k) as u64);
+            }
+        }
+        for i in 0..3 {
+            assert_eq!(layout.progress[i].read(p(0)), 100 + i as u64);
+            for k in 0..3 {
+                assert_eq!(layout.suspicions[i][k].read(p(0)), (10 * i + k) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn latency_model_is_deterministic_in_value_space() {
+        // Same seed → same jitter sequence → identical data outcomes.
+        let run = |seed| {
+            let disk = SanDisk::new(SanLatency::instant(), seed);
+            disk.write_block(0, 5);
+            disk.read_block(0)
+        };
+        assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn concurrent_disk_register_accesses_linearize() {
+        let disk = SanDisk::new(
+            SanLatency {
+                base: Duration::from_micros(10),
+                jitter: Duration::from_micros(20),
+            },
+            42,
+        );
+        let reg = DiskNatRegister::new(disk, 0, p(0));
+        let rec = Arc::new(HistoryRecorder::new());
+        std::thread::scope(|s| {
+            {
+                let reg = reg.clone();
+                let rec = Arc::clone(&rec);
+                s.spawn(move || {
+                    for v in 1..=15u64 {
+                        rec.write(p(0), v, || reg.write(p(0), v));
+                    }
+                });
+            }
+            for r in 1..3 {
+                let reg = reg.clone();
+                let rec = Arc::clone(&rec);
+                s.spawn(move || {
+                    for _ in 0..15 {
+                        rec.read(p(r), || reg.read(p(r)));
+                    }
+                });
+            }
+        });
+        let history = Arc::into_inner(rec).unwrap().finish();
+        assert!(is_linearizable(&history, 0), "disk registers must be atomic");
+    }
+}

@@ -1,0 +1,132 @@
+//! Crash plans: when processes fail.
+//!
+//! Processes in the paper's model fail by *crashing* — halting permanently.
+//! There is no bound on how many may crash (`t ≤ n − 1`). A [`CrashPlan`]
+//! scripts the failures of a run; the directive
+//! [`CrashDirective::LeaderAt`] crashes whichever process the correct
+//! majority currently trusts, which is how failover experiments exercise
+//! re-election without knowing the elected identity in advance.
+
+use omega_registers::ProcessId;
+
+use crate::time::SimTime;
+
+/// One scripted failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashDirective {
+    /// Crash a specific process at a specific time.
+    At {
+        /// When the crash happens.
+        time: SimTime,
+        /// The process that crashes.
+        pid: ProcessId,
+    },
+    /// At `time`, crash whichever process most processes currently report
+    /// as their leader (resolved by the harness at that sampling point).
+    LeaderAt {
+        /// When the crash happens.
+        time: SimTime,
+    },
+}
+
+impl CrashDirective {
+    /// The scheduled time of the directive.
+    #[must_use]
+    pub fn time(&self) -> SimTime {
+        match *self {
+            CrashDirective::At { time, .. } | CrashDirective::LeaderAt { time } => time,
+        }
+    }
+}
+
+/// The failures scripted for one run.
+///
+/// # Examples
+///
+/// ```
+/// use omega_sim::crash::CrashPlan;
+/// use omega_sim::SimTime;
+/// use omega_registers::ProcessId;
+///
+/// let plan = CrashPlan::none()
+///     .with_crash_at(SimTime::from_ticks(100), ProcessId::new(2))
+///     .with_leader_crash_at(SimTime::from_ticks(5_000));
+/// assert_eq!(plan.directives().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrashPlan {
+    directives: Vec<CrashDirective>,
+}
+
+impl CrashPlan {
+    /// A fault-free run.
+    #[must_use]
+    pub fn none() -> Self {
+        CrashPlan::default()
+    }
+
+    /// Adds a crash of `pid` at `time`.
+    #[must_use]
+    pub fn with_crash_at(mut self, time: SimTime, pid: ProcessId) -> Self {
+        self.directives.push(CrashDirective::At { time, pid });
+        self
+    }
+
+    /// Adds a crash of the then-current plurality leader at `time`.
+    #[must_use]
+    pub fn with_leader_crash_at(mut self, time: SimTime) -> Self {
+        self.directives.push(CrashDirective::LeaderAt { time });
+        self
+    }
+
+    /// The scripted directives, in insertion order.
+    #[must_use]
+    pub fn directives(&self) -> &[CrashDirective] {
+        &self.directives
+    }
+
+    /// Crashes of specific processes, ignoring leader-relative directives.
+    #[must_use]
+    pub fn fixed_crashes(&self) -> Vec<(SimTime, ProcessId)> {
+        self.directives
+            .iter()
+            .filter_map(|d| match *d {
+                CrashDirective::At { time, pid } => Some((time, pid)),
+                CrashDirective::LeaderAt { .. } => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn builder_accumulates_directives() {
+        let plan = CrashPlan::none()
+            .with_crash_at(SimTime::from_ticks(5), p(0))
+            .with_leader_crash_at(SimTime::from_ticks(9));
+        assert_eq!(plan.directives().len(), 2);
+        assert_eq!(plan.directives()[0].time(), SimTime::from_ticks(5));
+        assert_eq!(plan.directives()[1].time(), SimTime::from_ticks(9));
+    }
+
+    #[test]
+    fn fixed_crashes_filters_leader_directives() {
+        let plan = CrashPlan::none()
+            .with_leader_crash_at(SimTime::from_ticks(1))
+            .with_crash_at(SimTime::from_ticks(2), p(3));
+        assert_eq!(plan.fixed_crashes(), vec![(SimTime::from_ticks(2), p(3))]);
+    }
+
+    #[test]
+    fn none_is_empty() {
+        assert!(CrashPlan::none().directives().is_empty());
+        assert_eq!(CrashPlan::none(), CrashPlan::default());
+    }
+}

@@ -1,0 +1,171 @@
+//! The deterministic event queue driving a simulation.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use omega_registers::ProcessId;
+
+use crate::time::SimTime;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The process performs one step of its main task (task T2 of the
+    /// paper's algorithms).
+    Step(ProcessId),
+    /// The process's local timer expires (task T3). The epoch guards
+    /// against stale expirations after the timer was re-armed.
+    TimerExpire(ProcessId, u64),
+    /// The process crashes (stops executing steps forever).
+    Crash(ProcessId),
+    /// The harness samples leader estimates and statistics.
+    Sample,
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Tie-break sequence number; assigned by the queue in scheduling order
+    /// so that runs are fully deterministic.
+    pub seq: u64,
+    /// What fires.
+    pub kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Priority queue of events ordered by `(time, seq)`.
+///
+/// # Examples
+///
+/// ```
+/// use omega_sim::event::{EventKind, EventQueue};
+/// use omega_sim::SimTime;
+/// use omega_registers::ProcessId;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_ticks(5), EventKind::Sample);
+/// q.schedule(SimTime::from_ticks(2), EventKind::Step(ProcessId::new(0)));
+/// let first = q.pop().unwrap();
+/// assert_eq!(first.time, SimTime::from_ticks(2));
+/// ```
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `kind` to fire at `time`. Events scheduled earlier sort
+    /// first among equal times, making runs deterministic.
+    pub fn schedule(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// The time of the earliest pending event.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ticks(10), EventKind::Sample);
+        q.schedule(SimTime::from_ticks(1), EventKind::Step(p(0)));
+        q.schedule(SimTime::from_ticks(5), EventKind::Crash(p(1)));
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.time.ticks()).collect();
+        assert_eq!(times, vec![1, 5, 10]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_scheduling_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ticks(3);
+        q.schedule(t, EventKind::Step(p(0)));
+        q.schedule(t, EventKind::Step(p(1)));
+        q.schedule(t, EventKind::Step(p(2)));
+        let pids: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Step(pid) => pid.index(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(pids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_ticks(9), EventKind::Sample);
+        q.schedule(SimTime::from_ticks(4), EventKind::Sample);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ticks(4)));
+    }
+
+    #[test]
+    fn timer_event_carries_epoch() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ticks(1), EventKind::TimerExpire(p(0), 42));
+        match q.pop().unwrap().kind {
+            EventKind::TimerExpire(pid, epoch) => {
+                assert_eq!(pid, p(0));
+                assert_eq!(epoch, 42);
+            }
+            _ => panic!("wrong kind"),
+        }
+    }
+}

@@ -1,0 +1,623 @@
+//! The simulation harness: wires actors, adversary, timers and crashes
+//! together and runs the event loop to a horizon.
+
+use omega_registers::{FootprintReport, MemorySpace, ProcessId, ProcessSet};
+
+use crate::adversary::{Adversary, RunView, Synchronous};
+use crate::crash::{CrashDirective, CrashPlan};
+use crate::event::{EventKind, EventQueue};
+use crate::metrics::{LeaderTimeline, StabilizationReport, WindowedStats};
+use crate::process::{Actor, StepCtx};
+use crate::time::SimTime;
+use crate::timers::{ExactTimer, TimerModel};
+use crate::trace::EventTrace;
+
+/// Configures and builds a [`Simulation`].
+///
+/// # Examples
+///
+/// ```
+/// use omega_sim::{Simulation, SimTime, StepCtx};
+/// use omega_sim::adversary::SeededRandom;
+/// use omega_registers::ProcessId;
+///
+/// struct Idle;
+/// impl omega_sim::Actor for Idle {
+///     fn on_step(&mut self, _ctx: StepCtx) {}
+///     fn on_timer(&mut self, _ctx: StepCtx) -> u64 { 10 }
+///     fn current_leader(&self) -> Option<ProcessId> { Some(ProcessId::new(0)) }
+/// }
+///
+/// let actors: Vec<Box<dyn omega_sim::Actor>> = vec![Box::new(Idle), Box::new(Idle)];
+/// let report = Simulation::builder(actors)
+///     .adversary(SeededRandom::new(1, 1, 4))
+///     .horizon(1_000)
+///     .run();
+/// assert!(report.events_processed > 0);
+/// ```
+pub struct SimulationBuilder {
+    actors: Vec<Box<dyn Actor>>,
+    adversary: Box<dyn Adversary>,
+    timers: Vec<Box<dyn TimerModel>>,
+    crash_plan: CrashPlan,
+    horizon: SimTime,
+    sample_every: u64,
+    stats_checkpoints: usize,
+    memory: Option<MemorySpace>,
+    trace_capacity: usize,
+}
+
+impl SimulationBuilder {
+    fn new(actors: Vec<Box<dyn Actor>>) -> Self {
+        let n = actors.len();
+        SimulationBuilder {
+            actors,
+            adversary: Box::new(Synchronous::new(1)),
+            timers: (0..n).map(|_| Box::new(ExactTimer) as Box<dyn TimerModel>).collect(),
+            crash_plan: CrashPlan::none(),
+            horizon: SimTime::from_ticks(10_000),
+            sample_every: 50,
+            stats_checkpoints: 16,
+            memory: None,
+            trace_capacity: 0,
+        }
+    }
+
+    /// Sets the adversarial scheduler (default: [`Synchronous`] with period 1).
+    #[must_use]
+    pub fn adversary(mut self, adversary: impl Adversary + 'static) -> Self {
+        self.adversary = Box::new(adversary);
+        self
+    }
+
+    /// Sets every process's timer model from a per-process constructor
+    /// (default: [`ExactTimer`] everywhere).
+    #[must_use]
+    pub fn timers_from(mut self, mut f: impl FnMut(ProcessId) -> Box<dyn TimerModel>) -> Self {
+        self.timers = ProcessId::all(self.actors.len()).map(&mut f).collect();
+        self
+    }
+
+    /// Sets the crash plan (default: fault-free).
+    #[must_use]
+    pub fn crash_plan(mut self, plan: CrashPlan) -> Self {
+        self.crash_plan = plan;
+        self
+    }
+
+    /// Sets the run horizon in ticks (default: 10 000).
+    #[must_use]
+    pub fn horizon(mut self, ticks: u64) -> Self {
+        self.horizon = SimTime::from_ticks(ticks);
+        self
+    }
+
+    /// Sets the sampling cadence in ticks (default: 50).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ticks == 0`.
+    #[must_use]
+    pub fn sample_every(mut self, ticks: u64) -> Self {
+        assert!(ticks > 0, "sampling cadence must be positive");
+        self.sample_every = ticks;
+        self
+    }
+
+    /// Number of cumulative statistics/footprint checkpoints spread over the
+    /// run (default: 16). Requires [`memory`](Self::memory).
+    #[must_use]
+    pub fn stats_checkpoints(mut self, count: usize) -> Self {
+        self.stats_checkpoints = count;
+        self
+    }
+
+    /// Attaches the memory space so access statistics and footprints are
+    /// checkpointed during the run.
+    #[must_use]
+    pub fn memory(mut self, space: MemorySpace) -> Self {
+        self.memory = Some(space);
+        self
+    }
+
+    /// Enables event tracing, retaining the most recent `capacity` events
+    /// in [`RunReport::trace`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn trace(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Runs the simulation to the horizon and returns the report.
+    #[must_use]
+    pub fn run(self) -> RunReport {
+        Simulation::from_builder(self).run_to_horizon()
+    }
+}
+
+/// A configured simulation ready to run.
+pub struct Simulation {
+    actors: Vec<Box<dyn Actor>>,
+    adversary: Box<dyn Adversary>,
+    timers: Vec<Box<dyn TimerModel>>,
+    crash_plan: CrashPlan,
+    horizon: SimTime,
+    sample_every: u64,
+    stats_checkpoints: usize,
+    memory: Option<MemorySpace>,
+    trace: Option<EventTrace>,
+
+    queue: EventQueue,
+    crashed: ProcessSet,
+    timer_epochs: Vec<u64>,
+    pending_leader_crashes: Vec<SimTime>,
+    report: RunReport,
+}
+
+impl Simulation {
+    /// Starts configuring a simulation over the given actors; actor `i`
+    /// plays process `p_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actors` is empty.
+    #[must_use]
+    pub fn builder(actors: Vec<Box<dyn Actor>>) -> SimulationBuilder {
+        assert!(!actors.is_empty(), "a simulation needs at least one actor");
+        SimulationBuilder::new(actors)
+    }
+
+    fn from_builder(b: SimulationBuilder) -> Self {
+        let n = b.actors.len();
+        assert_eq!(
+            b.timers.len(),
+            n,
+            "need exactly one timer model per process"
+        );
+        let pending_leader_crashes = b
+            .crash_plan
+            .directives()
+            .iter()
+            .filter_map(|d| match *d {
+                CrashDirective::LeaderAt { time } => Some(time),
+                CrashDirective::At { .. } => None,
+            })
+            .collect();
+        Simulation {
+            queue: EventQueue::new(),
+            crashed: ProcessSet::new(n),
+            timer_epochs: vec![0; n],
+            pending_leader_crashes,
+            report: RunReport::new(n, b.horizon),
+            actors: b.actors,
+            adversary: b.adversary,
+            timers: b.timers,
+            crash_plan: b.crash_plan,
+            horizon: b.horizon,
+            sample_every: b.sample_every,
+            stats_checkpoints: b.stats_checkpoints,
+            memory: b.memory,
+            trace: if b.trace_capacity > 0 {
+                Some(EventTrace::new(b.trace_capacity))
+            } else {
+                None
+            },
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.actors.len()
+    }
+
+    fn leaders(&self) -> Vec<Option<ProcessId>> {
+        (0..self.n())
+            .map(|i| {
+                if self.crashed.contains(ProcessId::new(i)) {
+                    None
+                } else {
+                    self.actors[i].current_leader()
+                }
+            })
+            .collect()
+    }
+
+    fn crash(&mut self, pid: ProcessId) {
+        self.crashed.insert(pid);
+    }
+
+    fn sample(&mut self, now: SimTime) {
+        // Resolve due leader-relative crash directives.
+        let leaders = self.leaders();
+        let mut resolved = Vec::new();
+        for (i, &when) in self.pending_leader_crashes.iter().enumerate() {
+            if now >= when {
+                if let Some(target) = plurality(&leaders) {
+                    resolved.push((i, target));
+                }
+            }
+        }
+        for &(i, target) in resolved.iter().rev() {
+            self.pending_leader_crashes.remove(i);
+            self.crash(target);
+        }
+        let leaders = self.leaders();
+        self.adversary.observe(&RunView {
+            now,
+            leaders: &leaders,
+            crashed: &self.crashed,
+        });
+        self.report.timeline.push(now, leaders);
+    }
+
+    fn checkpoint(&mut self, now: SimTime) {
+        if let Some(space) = &self.memory {
+            self.report.windowed.push(now, space.stats());
+            self.report.footprints.push((now, space.footprint()));
+        }
+    }
+
+    fn run_to_horizon(mut self) -> RunReport {
+        let n = self.n();
+        // Schedule initial steps and timers.
+        for pid in ProcessId::all(n) {
+            let delay = self.adversary.next_step_delay(pid, SimTime::ZERO).max(1);
+            self.queue.schedule(SimTime::ZERO + delay, EventKind::Step(pid));
+            let x = self.actors[pid.index()].initial_timeout();
+            let d = self.timers[pid.index()].duration(SimTime::ZERO, x).max(1);
+            self.queue.schedule(SimTime::ZERO + d, EventKind::TimerExpire(pid, 0));
+        }
+        // Scripted crashes.
+        for (time, pid) in self.crash_plan.fixed_crashes() {
+            self.queue.schedule(time, EventKind::Crash(pid));
+        }
+        // Sampling cadence.
+        let mut t = SimTime::ZERO;
+        while t <= self.horizon {
+            self.queue.schedule(t, EventKind::Sample);
+            t += self.sample_every;
+        }
+
+        // Stats checkpoints (cheap enough to interleave with samples).
+        let checkpoint_every = if self.stats_checkpoints > 0 {
+            (self.horizon.ticks() / self.stats_checkpoints as u64).max(1)
+        } else {
+            0
+        };
+
+        self.checkpoint(SimTime::ZERO);
+        let mut next_checkpoint = checkpoint_every;
+
+        while let Some(event) = self.queue.pop() {
+            if event.time > self.horizon {
+                break;
+            }
+            let now = event.time;
+            if checkpoint_every > 0 && now.ticks() >= next_checkpoint {
+                self.checkpoint(now);
+                next_checkpoint += checkpoint_every;
+            }
+            self.report.events_processed += 1;
+            if let Some(trace) = &mut self.trace {
+                trace.record(now, event.kind);
+            }
+            match event.kind {
+                EventKind::Step(pid) => {
+                    if self.crashed.contains(pid) {
+                        continue;
+                    }
+                    let ctx = StepCtx { pid, now };
+                    self.actors[pid.index()].on_step(ctx);
+                    self.report.steps_taken[pid.index()] += 1;
+                    let delay = self.adversary.next_step_delay(pid, now).max(1);
+                    self.queue.schedule(now + delay, EventKind::Step(pid));
+                }
+                EventKind::TimerExpire(pid, epoch) => {
+                    if self.crashed.contains(pid) || self.timer_epochs[pid.index()] != epoch {
+                        continue;
+                    }
+                    let ctx = StepCtx { pid, now };
+                    let x = self.actors[pid.index()].on_timer(ctx);
+                    self.report.timer_fires[pid.index()] += 1;
+                    let epoch = epoch + 1;
+                    self.timer_epochs[pid.index()] = epoch;
+                    let d = self.timers[pid.index()].duration(now, x).max(1);
+                    self.queue.schedule(now + d, EventKind::TimerExpire(pid, epoch));
+                }
+                EventKind::Crash(pid) => {
+                    self.crash(pid);
+                }
+                EventKind::Sample => {
+                    self.sample(now);
+                }
+            }
+        }
+
+        self.checkpoint(self.horizon);
+        self.report.trace = self.trace.take();
+        self.report.crashed = self.crashed.clone();
+        let mut correct = ProcessSet::full(n);
+        for pid in self.crashed.iter() {
+            correct.remove(pid);
+        }
+        self.report.correct = correct;
+        self.report
+    }
+}
+
+/// The identity most frequently reported as leader, ties broken towards the
+/// smaller identity.
+fn plurality(leaders: &[Option<ProcessId>]) -> Option<ProcessId> {
+    let mut counts: Vec<(ProcessId, usize)> = Vec::new();
+    for leader in leaders.iter().flatten() {
+        match counts.iter_mut().find(|(p, _)| p == leader) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((*leader, 1)),
+        }
+    }
+    counts
+        .into_iter()
+        .max_by_key(|&(p, c)| (c, std::cmp::Reverse(p)))
+        .map(|(p, _)| p)
+}
+
+/// Everything measured during one simulated run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Configured horizon of the run.
+    pub horizon: SimTime,
+    /// Sampled leader estimates.
+    pub timeline: LeaderTimeline,
+    /// Cumulative statistics checkpoints (empty without an attached memory).
+    pub windowed: WindowedStats,
+    /// Footprint checkpoints (empty without an attached memory).
+    pub footprints: Vec<(SimTime, FootprintReport)>,
+    /// Event trace (only with [`SimulationBuilder::trace`] enabled).
+    pub trace: Option<EventTrace>,
+    /// Processes that crashed during the run.
+    pub crashed: ProcessSet,
+    /// Processes that survived the whole run.
+    pub correct: ProcessSet,
+    /// Total events processed.
+    pub events_processed: u64,
+    /// Main-task steps executed, per process.
+    pub steps_taken: Vec<u64>,
+    /// Timer expirations handled, per process.
+    pub timer_fires: Vec<u64>,
+}
+
+impl RunReport {
+    fn new(n: usize, horizon: SimTime) -> Self {
+        RunReport {
+            horizon,
+            timeline: LeaderTimeline::new(),
+            windowed: WindowedStats::new(),
+            footprints: Vec::new(),
+            trace: None,
+            crashed: ProcessSet::new(n),
+            correct: ProcessSet::full(n),
+            events_processed: 0,
+            steps_taken: vec![0; n],
+            timer_fires: vec![0; n],
+        }
+    }
+
+    /// Stabilization report over the correct processes, if the run settled.
+    #[must_use]
+    pub fn stabilization(&self) -> Option<StabilizationReport> {
+        self.timeline.stabilization(&self.correct)
+    }
+
+    /// The leader the run stabilized on, if any.
+    #[must_use]
+    pub fn elected_leader(&self) -> Option<ProcessId> {
+        self.stabilization().map(|r| r.leader)
+    }
+
+    /// Whether the run stabilized and stayed stable for at least
+    /// `min_fraction` of the horizon.
+    #[must_use]
+    pub fn stabilized_for(&self, min_fraction: f64) -> bool {
+        self.stabilization().is_some_and(|r| {
+            let stable_ticks = self.horizon.since(r.stable_from);
+            (stable_ticks as f64) >= min_fraction * self.horizon.ticks() as f64
+        })
+    }
+
+    /// A one-screen human-readable summary of the run.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "horizon          : {} ticks", self.horizon.ticks());
+        let _ = writeln!(out, "events processed : {}", self.events_processed);
+        let _ = writeln!(
+            out,
+            "crashed          : {:?}  (correct: {:?})",
+            self.crashed, self.correct
+        );
+        match self.stabilization() {
+            Some(s) => {
+                let _ = writeln!(
+                    out,
+                    "stabilized       : leader {} from {} ({} samples)",
+                    s.leader,
+                    s.stable_from.ticks(),
+                    s.stable_samples
+                );
+            }
+            None => {
+                let _ = writeln!(out, "stabilized       : NO");
+            }
+        }
+        for pid in ProcessId::all(self.steps_taken.len()) {
+            let _ = writeln!(
+                out,
+                "  {pid}: {} steps, {} timer fires, {} estimate changes",
+                self.steps_taken[pid.index()],
+                self.timer_fires[pid.index()],
+                self.timeline.changes_of(pid)
+            );
+        }
+        if let Some(tail) = self.windowed.tail(0.25) {
+            let writers: Vec<String> =
+                tail.writer_set().iter().map(|p| p.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "tail (last 25%)  : writers [{}], {} writes, {} reads",
+                writers.join(","),
+                tail.stats.total_writes(),
+                tail.stats.total_reads()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::SeededRandom;
+    use crate::timers::AffineTimer;
+
+    /// Actor that elects the smallest non-crashed id it has "heard from";
+    /// purely local, used to exercise the harness plumbing.
+    struct FixedLeader {
+        leader: ProcessId,
+        steps: u64,
+    }
+
+    impl Actor for FixedLeader {
+        fn on_step(&mut self, _ctx: StepCtx) {
+            self.steps += 1;
+        }
+
+        fn on_timer(&mut self, _ctx: StepCtx) -> u64 {
+            5
+        }
+
+        fn current_leader(&self) -> Option<ProcessId> {
+            Some(self.leader)
+        }
+    }
+
+    fn fixed_actors(n: usize, leader: usize) -> Vec<Box<dyn Actor>> {
+        (0..n)
+            .map(|_| {
+                Box::new(FixedLeader {
+                    leader: ProcessId::new(leader),
+                    steps: 0,
+                }) as Box<dyn Actor>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn runs_to_horizon_and_reports() {
+        let report = Simulation::builder(fixed_actors(3, 1))
+            .horizon(500)
+            .sample_every(10)
+            .run();
+        assert!(report.events_processed > 0);
+        assert!(report.steps_taken.iter().all(|&s| s > 0));
+        assert!(report.timer_fires.iter().all(|&f| f > 0));
+        assert_eq!(report.correct.len(), 3);
+        let stab = report.stabilization().unwrap();
+        assert_eq!(stab.leader, ProcessId::new(1));
+        assert!(report.stabilized_for(0.9));
+        assert_eq!(report.elected_leader(), Some(ProcessId::new(1)));
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        let run = |seed| {
+            Simulation::builder(fixed_actors(4, 0))
+                .adversary(SeededRandom::new(seed, 1, 7))
+                .timers_from(|_| Box::new(AffineTimer::new(2, 1)))
+                .horizon(2_000)
+                .run()
+        };
+        let a = run(42);
+        let b = run(42);
+        let c = run(43);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.steps_taken, b.steps_taken);
+        assert_eq!(a.timer_fires, b.timer_fires);
+        // A different seed almost surely changes the counts.
+        assert_ne!(a.steps_taken, c.steps_taken);
+    }
+
+    #[test]
+    fn fixed_crash_stops_a_process() {
+        let report = Simulation::builder(fixed_actors(3, 0))
+            .crash_plan(CrashPlan::none().with_crash_at(SimTime::from_ticks(100), ProcessId::new(2)))
+            .horizon(1_000)
+            .run();
+        assert!(report.crashed.contains(ProcessId::new(2)));
+        assert_eq!(report.correct.len(), 2);
+        // p2 stepped only before the crash: far fewer steps than p0.
+        assert!(report.steps_taken[2] < report.steps_taken[0] / 2);
+    }
+
+    #[test]
+    fn leader_crash_directive_kills_plurality_leader() {
+        let report = Simulation::builder(fixed_actors(3, 1))
+            .crash_plan(CrashPlan::none().with_leader_crash_at(SimTime::from_ticks(200)))
+            .horizon(1_000)
+            .sample_every(10)
+            .run();
+        assert!(report.crashed.contains(ProcessId::new(1)));
+        // The fixed actors keep trusting p1 though it crashed: no valid
+        // stabilization over the correct set.
+        assert!(report.stabilization().is_none());
+    }
+
+    #[test]
+    fn checkpoints_collected_with_memory() {
+        use omega_registers::MemorySpace;
+        let space = MemorySpace::new(2);
+        let _reg = space.nat_register("R", ProcessId::new(0), 0);
+        let report = Simulation::builder(fixed_actors(2, 0))
+            .memory(space)
+            .stats_checkpoints(4)
+            .horizon(400)
+            .run();
+        assert!(report.windowed.snapshots().len() >= 4);
+        assert_eq!(report.windowed.snapshots().len(), report.footprints.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one actor")]
+    fn empty_actor_set_rejected() {
+        let _ = Simulation::builder(Vec::new());
+    }
+
+    #[test]
+    fn summary_renders_key_facts() {
+        let report = Simulation::builder(fixed_actors(2, 1))
+            .horizon(300)
+            .sample_every(10)
+            .run();
+        let out = report.summary();
+        assert!(out.contains("horizon          : 300"));
+        assert!(out.contains("stabilized       : leader p1"));
+        assert!(out.contains("p0:"));
+        let no_stab = Simulation::builder(fixed_actors(1, 0))
+            .crash_plan(CrashPlan::none().with_crash_at(SimTime::from_ticks(1), ProcessId::new(0)))
+            .horizon(100)
+            .run();
+        assert!(no_stab.summary().contains("stabilized       : NO"));
+    }
+
+    #[test]
+    fn plurality_prefers_smaller_id_on_ties() {
+        let p = |i| Some(ProcessId::new(i));
+        assert_eq!(plurality(&[p(2), p(1)]), Some(ProcessId::new(1)));
+        assert_eq!(plurality(&[p(2), p(2), p(1)]), Some(ProcessId::new(2)));
+        assert_eq!(plurality(&[None, None]), None);
+    }
+}

@@ -1,0 +1,52 @@
+//! Deterministic discrete-event simulation of asynchronous shared-memory
+//! systems, with adversarial schedulers and AWB timer models.
+//!
+//! The paper proves its algorithms correct against *every* run in which the
+//! behavioral assumption AWB holds; this crate makes those runs executable:
+//!
+//! * [`adversary`] — step-interleaving policies, from fully synchronous to
+//!   seeded-random, bursty, and actively leader-stalling schedules, plus the
+//!   [`AwbEnvelope`](adversary::AwbEnvelope) wrapper that imposes AWB₁
+//!   (an eventually timely writer) on any of them.
+//! * [`timers`] — `T_R(τ, x)` families realizing the asymptotically
+//!   well-behaved timer definition of AWB₂ (and violations of it), plus the
+//!   Figure-1 domination checker.
+//! * [`crash`] — scripted crash-stop failures, including "crash whoever is
+//!   leader at time t".
+//! * [`Simulation`] — the deterministic event loop driving [`Actor`]s on
+//!   virtual time, sampling leader estimates and shared-memory statistics.
+//!
+//! Determinism: all randomness is seeded and the event queue breaks ties by
+//! scheduling order, so every run is exactly reproducible.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adversary;
+pub mod crash;
+pub mod event;
+pub mod metrics;
+pub mod timers;
+pub mod trace;
+
+mod harness;
+mod process;
+mod time;
+
+pub use harness::{RunReport, Simulation, SimulationBuilder};
+pub use process::{Actor, StepCtx};
+pub use time::SimTime;
+
+/// Commonly used items for downstream crates and examples.
+pub mod prelude {
+    pub use crate::adversary::{
+        Adversary, AwbEnvelope, Bursty, GrowingBursts, LeaderStaller, PartitionedPhases,
+        RoundRobin, SeededRandom, Synchronous,
+    };
+    pub use crate::crash::CrashPlan;
+    pub use crate::metrics::StabilizationReport;
+    pub use crate::timers::{
+        AffineTimer, ChaoticThen, ExactTimer, JitteredTimer, StuckLowTimer, TimerModel,
+    };
+    pub use crate::{Actor, RunReport, SimTime, Simulation, StepCtx};
+}

@@ -1,0 +1,134 @@
+//! The interface between simulated processes and the simulator.
+
+use omega_registers::ProcessId;
+
+use crate::time::SimTime;
+
+/// Context handed to an actor on every step or timer expiration.
+#[derive(Debug, Clone, Copy)]
+pub struct StepCtx {
+    /// The actor's own identity.
+    pub pid: ProcessId,
+    /// Current virtual time. The paper's processes cannot read the global
+    /// clock; well-behaved actors use `now` only for tracing, never for
+    /// decisions.
+    pub now: SimTime,
+}
+
+/// A process driven by the simulator.
+///
+/// The paper's algorithms are structured as three tasks; the simulator owns
+/// the scheduling of two of them:
+///
+/// * **`on_step`** — one iteration of the main loop (task `T2`). The
+///   adversary decides the delay between consecutive steps of each process,
+///   which is exactly where asynchrony (and the AWB₁ clamp for the timely
+///   process) lives.
+/// * **`on_timer`** — the body of the timer-expiry task (`T3`). It returns
+///   the next timeout value `x` (line 27 of Figure 2:
+///   `max_k SUSPICIONS[i][k] + 1`); the simulator converts `x` into an
+///   actual expiry delay through the process's
+///   [`TimerModel`](crate::timers::TimerModel), which is where the AWB₂
+///   timer behavior lives.
+///
+/// Task `T1` (the `leader()` query) is the actor's client API; the
+/// simulator only reads the *cached* estimate via
+/// [`current_leader`](Actor::current_leader) so that harness sampling does
+/// not inject extra shared-memory reads into the instrumentation.
+pub trait Actor: Send {
+    /// Executes one step of the main task.
+    fn on_step(&mut self, ctx: StepCtx);
+
+    /// Handles a timer expiration and returns the next timeout value to arm
+    /// the timer with (in abstract timeout units, not ticks).
+    fn on_timer(&mut self, ctx: StepCtx) -> u64;
+
+    /// Timeout value the timer is armed with at start-up.
+    fn initial_timeout(&self) -> u64 {
+        1
+    }
+
+    /// The actor's current leader estimate, if it maintains one.
+    ///
+    /// Must be a pure accessor (no shared-memory accesses): the harness
+    /// polls it at sampling points.
+    fn current_leader(&self) -> Option<ProcessId>;
+}
+
+#[cfg(test)]
+pub(crate) mod testing {
+    use super::*;
+
+    /// Minimal actor recording how it was driven; used by harness tests.
+    #[derive(Debug, Default)]
+    pub struct ProbeActor {
+        pub steps: Vec<SimTime>,
+        pub timers: Vec<SimTime>,
+        pub timeout: u64,
+        pub leader: Option<ProcessId>,
+    }
+
+    impl ProbeActor {
+        pub fn with_timeout(timeout: u64) -> Self {
+            ProbeActor {
+                timeout,
+                ..ProbeActor::default()
+            }
+        }
+    }
+
+    impl Actor for ProbeActor {
+        fn on_step(&mut self, ctx: StepCtx) {
+            self.steps.push(ctx.now);
+        }
+
+        fn on_timer(&mut self, ctx: StepCtx) -> u64 {
+            self.timers.push(ctx.now);
+            self.timeout
+        }
+
+        fn initial_timeout(&self) -> u64 {
+            self.timeout
+        }
+
+        fn current_leader(&self) -> Option<ProcessId> {
+            self.leader
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testing::ProbeActor;
+    use super::*;
+
+    #[test]
+    fn probe_actor_records_invocations() {
+        let mut a = ProbeActor::with_timeout(4);
+        let ctx = StepCtx {
+            pid: ProcessId::new(0),
+            now: SimTime::from_ticks(3),
+        };
+        a.on_step(ctx);
+        assert_eq!(a.on_timer(ctx), 4);
+        assert_eq!(a.initial_timeout(), 4);
+        assert_eq!(a.steps, vec![SimTime::from_ticks(3)]);
+        assert_eq!(a.timers, vec![SimTime::from_ticks(3)]);
+        assert_eq!(a.current_leader(), None);
+    }
+
+    #[test]
+    fn default_initial_timeout_is_one() {
+        struct Noop;
+        impl Actor for Noop {
+            fn on_step(&mut self, _ctx: StepCtx) {}
+            fn on_timer(&mut self, _ctx: StepCtx) -> u64 {
+                1
+            }
+            fn current_leader(&self) -> Option<ProcessId> {
+                None
+            }
+        }
+        assert_eq!(Noop.initial_timeout(), 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Virtual time for the discrete-event simulator.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, measured in abstract ticks since the start of
+/// the run.
+///
+/// The paper's proofs use a global real-time axis that processes cannot
+/// observe; `SimTime` plays that role. Durations are plain `u64` tick
+/// counts.
+///
+/// # Examples
+///
+/// ```
+/// use omega_sim::SimTime;
+///
+/// let t = SimTime::ZERO + 5;
+/// assert_eq!(t.ticks(), 5);
+/// assert_eq!(t + 3, SimTime::from_ticks(8));
+/// assert_eq!((t + 3) - t, 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of the run.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time `ticks` ticks after the start of the run.
+    #[must_use]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+
+    /// Ticks elapsed since the start of the run.
+    #[must_use]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Ticks from `earlier` to `self`, saturating at zero.
+    #[must_use]
+    pub const fn since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0.saturating_add(rhs))
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, rhs: u64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = u64;
+
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_ticks(10);
+        assert_eq!((t + 5).ticks(), 15);
+        assert_eq!(t + 5 - t, 5);
+        assert_eq!(t - (t + 5), 0, "subtraction saturates");
+        assert_eq!(t.since(SimTime::ZERO), 10);
+        assert_eq!(SimTime::ZERO.since(t), 0);
+    }
+
+    #[test]
+    fn add_assign_and_saturation() {
+        let mut t = SimTime::from_ticks(u64::MAX - 1);
+        t += 10;
+        assert_eq!(t.ticks(), u64::MAX);
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(SimTime::ZERO < SimTime::from_ticks(1));
+        assert_eq!(SimTime::from_ticks(7).to_string(), "t=7");
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,375 @@
+//! Timer behavior models — the AWB₂ assumption made executable.
+//!
+//! The paper equips every process with a local timer and asks only that the
+//! timer be **asymptotically well-behaved** (Section 2.3): writing
+//! `T_R(τ, x)` for the real duration a timer set at time `τ` to value `x`
+//! takes to expire, there must exist a function `f_R` with
+//!
+//! * **(f1)** `f_R` non-decreasing in both arguments past some `(τ_f, x_f)`,
+//! * **(f2)** `lim_{x→∞} f_R(τ_f, x) = ∞`,
+//! * **(f3)** `T_R(τ, x) ≥ f_R(τ, x)` for all `τ ≥ τ_f`, `x ≥ x_f`.
+//!
+//! Crucially, `T_R` itself may oscillate arbitrarily (Figure 1) and may be
+//! completely arbitrary for any finite prefix of the run. The models below
+//! realize these shapes, plus an AWB₂-*violating* model used to demonstrate
+//! the assumption's necessity.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::SimTime;
+
+/// Maps a timeout value to an actual expiry duration: `T_R(τ, x)`.
+pub trait TimerModel: Send {
+    /// Duration (in ticks) until a timer set at `now` to value `x` expires.
+    ///
+    /// The harness clamps the result to at least 1 tick so timers always
+    /// eventually fire (the paper's timers always expire).
+    fn duration(&mut self, now: SimTime, x: u64) -> u64;
+}
+
+/// The faithful timer: `T(τ, x) = x`.
+#[derive(Debug, Clone, Default)]
+pub struct ExactTimer;
+
+impl TimerModel for ExactTimer {
+    fn duration(&mut self, _now: SimTime, x: u64) -> u64 {
+        x
+    }
+}
+
+/// An affine timer: `T(τ, x) = scale·x + offset`.
+///
+/// Models clocks that run at the wrong rate (`scale`) with constant
+/// processing overhead (`offset`). Satisfies AWB₂ with
+/// `f(τ, x) = scale·x + offset` whenever `scale ≥ 1`.
+#[derive(Debug, Clone)]
+pub struct AffineTimer {
+    scale: u64,
+    offset: u64,
+}
+
+impl AffineTimer {
+    /// Creates a timer expiring after `scale·x + offset` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale == 0`.
+    #[must_use]
+    pub fn new(scale: u64, offset: u64) -> Self {
+        assert!(scale > 0, "scale must be positive");
+        AffineTimer { scale, offset }
+    }
+}
+
+impl TimerModel for AffineTimer {
+    fn duration(&mut self, _now: SimTime, x: u64) -> u64 {
+        self.scale.saturating_mul(x).saturating_add(self.offset)
+    }
+}
+
+/// A timer with bounded oscillation above the faithful line:
+/// `T(τ, x) = x + U[0, jitter]`.
+///
+/// This is the Figure-1 shape: `T_R` wobbles but always dominates
+/// `f(τ, x) = x`.
+#[derive(Debug, Clone)]
+pub struct JitteredTimer {
+    rng: SmallRng,
+    jitter: u64,
+}
+
+impl JitteredTimer {
+    /// Creates a jittered timer with uniform extra delay in `[0, jitter]`.
+    #[must_use]
+    pub fn new(seed: u64, jitter: u64) -> Self {
+        JitteredTimer {
+            rng: SmallRng::seed_from_u64(seed),
+            jitter,
+        }
+    }
+}
+
+impl TimerModel for JitteredTimer {
+    fn duration(&mut self, _now: SimTime, x: u64) -> u64 {
+        x + self.rng.gen_range(0..=self.jitter)
+    }
+}
+
+/// Arbitrary behavior until `chaos_until`, then delegates to an inner model.
+///
+/// This realizes the *asymptotic* nature of AWB₂: for any finite prefix the
+/// timer may expire after completely arbitrary durations in
+/// `[1, chaos_max]`, ignoring `x` entirely; only after `chaos_until` does
+/// the domination requirement bite (with `τ_f = chaos_until`).
+#[derive(Debug, Clone)]
+pub struct ChaoticThen<M> {
+    chaos_until: SimTime,
+    chaos_max: u64,
+    rng: SmallRng,
+    then: M,
+}
+
+impl<M: TimerModel> ChaoticThen<M> {
+    /// Creates a timer that is chaotic before `chaos_until` (durations drawn
+    /// uniformly from `[1, chaos_max]`) and behaves like `then` afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chaos_max == 0`.
+    #[must_use]
+    pub fn new(chaos_until: SimTime, chaos_max: u64, seed: u64, then: M) -> Self {
+        assert!(chaos_max > 0);
+        ChaoticThen {
+            chaos_until,
+            chaos_max,
+            rng: SmallRng::seed_from_u64(seed),
+            then,
+        }
+    }
+
+    /// The end of the chaotic prefix (`τ_f`).
+    #[must_use]
+    pub fn chaos_until(&self) -> SimTime {
+        self.chaos_until
+    }
+}
+
+impl<M: TimerModel> TimerModel for ChaoticThen<M> {
+    fn duration(&mut self, now: SimTime, x: u64) -> u64 {
+        if now < self.chaos_until {
+            self.rng.gen_range(1..=self.chaos_max)
+        } else {
+            self.then.duration(now, x)
+        }
+    }
+}
+
+/// An AWB₂-**violating** timer: `T(τ, x) = min(x, cap)`.
+///
+/// Because `T` is bounded, no unbounded `f_R` can be dominated — property
+/// (f2)+(f3) fail. The algorithms' timeout values grow with suspicions, but
+/// this timer keeps firing early forever. Used by experiment E13 to show
+/// elections can fail to stabilize when AWB₂ is dropped.
+#[derive(Debug, Clone)]
+pub struct StuckLowTimer {
+    cap: u64,
+}
+
+impl StuckLowTimer {
+    /// Creates a timer whose duration never exceeds `cap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    #[must_use]
+    pub fn new(cap: u64) -> Self {
+        assert!(cap > 0);
+        StuckLowTimer { cap }
+    }
+}
+
+impl TimerModel for StuckLowTimer {
+    fn duration(&mut self, _now: SimTime, x: u64) -> u64 {
+        x.min(self.cap)
+    }
+}
+
+/// Outcome of checking a timer model against a candidate `f_R` on a grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DominationReport {
+    /// Points `(τ, x, T, f)` where `T < f` — violations of (f3).
+    pub violations: Vec<(u64, u64, u64, u64)>,
+    /// Number of grid points checked.
+    pub checked: usize,
+}
+
+impl DominationReport {
+    /// Whether the model dominated `f` on every checked point.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Checks property (f3) — `T_R(τ, x) ≥ f_R(τ, x)` — over a grid of set
+/// times `taus` and timeout values `xs`, all taken past `(τ_f, x_f)`.
+///
+/// This is the executable form of Figure 1: the experiment harness sweeps a
+/// grid and verifies the timer curve stays above the candidate `f_R`.
+///
+/// # Examples
+///
+/// ```
+/// use omega_sim::timers::{check_domination, ExactTimer};
+/// use omega_sim::SimTime;
+///
+/// let report = check_domination(
+///     &mut ExactTimer,
+///     |_tau, x| x / 2,           // f_R(τ, x) = x/2
+///     &[0, 100, 10_000],
+///     &[1, 10, 1_000],
+/// );
+/// assert!(report.holds());
+/// ```
+pub fn check_domination(
+    model: &mut dyn TimerModel,
+    f: impl Fn(u64, u64) -> u64,
+    taus: &[u64],
+    xs: &[u64],
+) -> DominationReport {
+    let mut violations = Vec::new();
+    let mut checked = 0;
+    for &tau in taus {
+        for &x in xs {
+            let t = model.duration(SimTime::from_ticks(tau), x);
+            let fv = f(tau, x);
+            checked += 1;
+            if t < fv {
+                violations.push((tau, x, t, fv));
+            }
+        }
+    }
+    DominationReport { violations, checked }
+}
+
+/// Checks monotonicity (f1) and unboundedness (f2) of a candidate `f_R` on
+/// sample grids. Returns `true` when both sampled properties hold.
+#[must_use]
+pub fn check_f_properties(
+    f: impl Fn(u64, u64) -> u64,
+    taus: &[u64],
+    xs: &[u64],
+    unbounded_probe: u64,
+) -> bool {
+    // (f1) sampled: f non-decreasing along both axes.
+    for w in taus.windows(2) {
+        for &x in xs {
+            if f(w[0], x) > f(w[1], x) {
+                return false;
+            }
+        }
+    }
+    for &tau in taus {
+        for w in xs.windows(2) {
+            if f(tau, w[0]) > f(tau, w[1]) {
+                return false;
+            }
+        }
+    }
+    // (f2) sampled: f exceeds any probe for large enough x.
+    let tau = *taus.first().unwrap_or(&0);
+    let mut x = *xs.last().unwrap_or(&1);
+    for _ in 0..64 {
+        if f(tau, x) >= unbounded_probe {
+            return true;
+        }
+        match x.checked_mul(2) {
+            Some(next) => x = next,
+            None => return false,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(t: u64) -> SimTime {
+        SimTime::from_ticks(t)
+    }
+
+    #[test]
+    fn exact_timer_is_identity() {
+        let mut m = ExactTimer;
+        assert_eq!(m.duration(at(0), 17), 17);
+    }
+
+    #[test]
+    fn affine_timer_scales() {
+        let mut m = AffineTimer::new(3, 5);
+        assert_eq!(m.duration(at(0), 10), 35);
+        assert_eq!(m.duration(at(99), 0), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn affine_rejects_zero_scale() {
+        let _ = AffineTimer::new(0, 1);
+    }
+
+    #[test]
+    fn jittered_stays_in_band_and_is_deterministic() {
+        let mut a = JitteredTimer::new(11, 4);
+        let mut b = JitteredTimer::new(11, 4);
+        for x in [0u64, 1, 10, 1000] {
+            let da = a.duration(at(0), x);
+            assert_eq!(da, b.duration(at(0), x));
+            assert!(da >= x && da <= x + 4);
+        }
+    }
+
+    #[test]
+    fn chaotic_ignores_x_then_obeys() {
+        let mut m = ChaoticThen::new(at(100), 7, 3, ExactTimer);
+        assert_eq!(m.chaos_until(), at(100));
+        for _ in 0..20 {
+            let d = m.duration(at(10), 1_000_000);
+            assert!((1..=7).contains(&d), "chaotic phase ignores x");
+        }
+        assert_eq!(m.duration(at(100), 42), 42, "post-chaos is exact");
+    }
+
+    #[test]
+    fn stuck_low_caps() {
+        let mut m = StuckLowTimer::new(5);
+        assert_eq!(m.duration(at(0), 3), 3);
+        assert_eq!(m.duration(at(0), 1_000), 5);
+    }
+
+    #[test]
+    fn domination_holds_for_awb_models() {
+        let f = |_tau: u64, x: u64| x / 2;
+        let taus = [0u64, 10, 100, 10_000];
+        let xs = [1u64, 2, 8, 64, 4096];
+        assert!(check_domination(&mut ExactTimer, f, &taus, &xs).holds());
+        assert!(check_domination(&mut AffineTimer::new(2, 3), f, &taus, &xs).holds());
+        assert!(check_domination(&mut JitteredTimer::new(1, 9), f, &taus, &xs).holds());
+    }
+
+    #[test]
+    fn domination_holds_for_chaotic_past_tau_f() {
+        // Past τ_f = 50, the chaotic model is exact, so it dominates x/2 on
+        // any grid entirely past τ_f.
+        let mut m = ChaoticThen::new(at(50), 3, 5, ExactTimer);
+        let report = check_domination(&mut m, |_t, x| x / 2, &[50, 60, 1000], &[1, 10, 100]);
+        assert!(report.holds());
+        assert_eq!(report.checked, 9);
+    }
+
+    #[test]
+    fn domination_fails_for_stuck_low() {
+        let mut m = StuckLowTimer::new(4);
+        let report = check_domination(&mut m, |_t, x| x / 2, &[0, 10], &[100, 1000]);
+        assert!(!report.holds());
+        assert_eq!(report.violations.len(), 4);
+        let (_, x, t, f) = report.violations[0];
+        assert!(t < f);
+        assert_eq!(x, 100);
+    }
+
+    #[test]
+    fn f_property_checker_accepts_good_f() {
+        assert!(check_f_properties(|_t, x| x / 2, &[0, 1, 10], &[1, 2, 4], 1 << 40));
+        assert!(check_f_properties(|t, x| t / 1000 + x, &[0, 1000], &[1, 2], 1 << 40));
+    }
+
+    #[test]
+    fn f_property_checker_rejects_bad_f() {
+        // Decreasing in x: violates (f1).
+        assert!(!check_f_properties(|_t, x| 1_000_000 - x.min(1_000_000), &[0], &[1, 2, 4], 10));
+        // Bounded: violates (f2).
+        assert!(!check_f_properties(|_t, x| x.min(10), &[0], &[1, 2], 1 << 40));
+    }
+}

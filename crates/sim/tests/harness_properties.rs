@@ -1,0 +1,202 @@
+//! Integration and property tests for the simulation harness itself:
+//! the machine that checks the paper must itself be checked.
+
+use omega_registers::ProcessId;
+use omega_sim::adversary::{Adversary, AwbEnvelope, PartitionedPhases, SeededRandom};
+use omega_sim::event::{EventKind, EventQueue};
+use omega_sim::{Actor, SimTime, Simulation, StepCtx};
+use proptest::prelude::*;
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+/// A minimal actor: counts invocations, reports a fixed leader.
+struct Counter {
+    steps: u64,
+}
+
+impl Actor for Counter {
+    fn on_step(&mut self, _ctx: StepCtx) {
+        self.steps += 1;
+    }
+
+    fn on_timer(&mut self, _ctx: StepCtx) -> u64 {
+        7
+    }
+
+    fn current_leader(&self) -> Option<ProcessId> {
+        Some(p(0))
+    }
+}
+
+fn counters(n: usize) -> Vec<Box<dyn Actor>> {
+    (0..n)
+        .map(|_| Box::new(Counter { steps: 0 }) as Box<dyn Actor>)
+        .collect()
+}
+
+#[test]
+fn trace_confirms_awb_envelope_bounds_step_gaps() {
+    // The trace is evidence that AWB₁ actually holds in simulated runs:
+    // after τ₁ the timely process's step gaps never exceed σ.
+    let tau1 = 2_000u64;
+    let sigma = 5u64;
+    let report = Simulation::builder(counters(3))
+        .adversary(AwbEnvelope::new(
+            SeededRandom::new(3, 1, 40),
+            p(1),
+            SimTime::from_ticks(tau1),
+            sigma,
+        ))
+        .horizon(12_000)
+        .trace(200_000)
+        .run();
+    let trace = report.trace.expect("tracing enabled");
+    assert_eq!(trace.dropped(), 0, "capacity generous enough to keep all");
+
+    let steps: Vec<SimTime> = trace
+        .steps_of(p(1))
+        .filter(|t| t.ticks() > tau1 + 40) // skip the last pre-clamp delay
+        .collect();
+    assert!(steps.len() > 100);
+    for w in steps.windows(2) {
+        assert!(
+            w[1] - w[0] <= sigma,
+            "AWB violated in-trace: gap {} > sigma {sigma}",
+            w[1] - w[0]
+        );
+    }
+    // An unclamped process, by contrast, must show gaps beyond sigma.
+    let free: Vec<SimTime> = trace.steps_of(p(0)).collect();
+    assert!(
+        free.windows(2).any(|w| w[1] - w[0] > sigma),
+        "the wrapped adversary should exceed sigma for non-timely processes"
+    );
+}
+
+#[test]
+fn trace_records_crashes_and_timer_fires() {
+    use omega_sim::crash::CrashPlan;
+    let report = Simulation::builder(counters(2))
+        .crash_plan(CrashPlan::none().with_crash_at(SimTime::from_ticks(500), p(1)))
+        .horizon(2_000)
+        .trace(100_000)
+        .run();
+    let trace = report.trace.unwrap();
+    let crashes: Vec<_> = trace
+        .entries()
+        .filter(|e| matches!(e.kind, EventKind::Crash(_)))
+        .collect();
+    assert_eq!(crashes.len(), 1);
+    assert_eq!(crashes[0].time, SimTime::from_ticks(500));
+    assert!(trace.timer_fires_of(p(0)).count() > 10);
+    // p1 stops stepping after the crash.
+    assert!(trace.steps_of(p(1)).all(|t| t <= SimTime::from_ticks(500)));
+}
+
+#[test]
+fn partitioned_phases_still_elects_inside_awb() {
+    use omega_core::OmegaVariant;
+    let n = 4;
+    let sys = OmegaVariant::Alg1.build(n);
+    let report = Simulation::builder(sys.actors)
+        .adversary(AwbEnvelope::new(
+            PartitionedPhases::new(n, 2_000, 2, 500),
+            p(0),
+            SimTime::from_ticks(1_000),
+            4,
+        ))
+        .horizon(80_000)
+        .sample_every(100)
+        .run();
+    let stab = report
+        .stabilization()
+        .expect("alternating partitions inside AWB still elect");
+    assert!(report.correct.contains(stab.leader));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The event queue is a stable priority queue: pops are sorted by time,
+    /// and FIFO among equal times.
+    #[test]
+    fn event_queue_pops_sorted_and_stable(times in prop::collection::vec(0u64..1_000, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_ticks(t), EventKind::Step(p(i % 7)));
+        }
+        let mut popped = Vec::new();
+        while let Some(e) = q.pop() {
+            popped.push((e.time, e.seq));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO among equal times");
+            }
+        }
+    }
+
+    /// The AWB envelope never *increases* a delay, and always clamps the
+    /// timely process after τ₁.
+    #[test]
+    fn awb_envelope_clamp_invariants(
+        seed in any::<u64>(),
+        hi in 2u64..100,
+        sigma in 1u64..20,
+        tau1 in 0u64..10_000,
+        queries in prop::collection::vec((0usize..4, 0u64..20_000), 1..100),
+    ) {
+        let mut inner = SeededRandom::new(seed, 1, hi);
+        let mut wrapped = AwbEnvelope::new(SeededRandom::new(seed, 1, hi), p(2), SimTime::from_ticks(tau1), sigma);
+        for (pid, now) in queries {
+            let pid = p(pid);
+            let now = SimTime::from_ticks(now);
+            let raw = inner.next_step_delay(pid, now);
+            let clamped = wrapped.next_step_delay(pid, now);
+            prop_assert!(clamped <= raw, "envelope may only shorten delays");
+            if pid == p(2) && now >= SimTime::from_ticks(tau1) {
+                prop_assert!(clamped <= sigma, "timely process clamped after tau1");
+            } else {
+                prop_assert_eq!(clamped, raw, "everyone else untouched");
+            }
+        }
+    }
+
+    /// Simulated runs are a pure function of their configuration: same
+    /// seeds, same report counters.
+    #[test]
+    fn runs_are_deterministic(seed in any::<u64>(), horizon in 500u64..5_000) {
+        let run = || {
+            Simulation::builder(counters(3))
+                .adversary(SeededRandom::new(seed, 1, 9))
+                .horizon(horizon)
+                .run()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.events_processed, b.events_processed);
+        prop_assert_eq!(a.steps_taken, b.steps_taken);
+        prop_assert_eq!(a.timer_fires, b.timer_fires);
+    }
+
+    /// Every process keeps taking steps (no starvation) under any seeded
+    /// random adversary: delays are finite, so the paper's "correct
+    /// processes execute infinitely many steps" holds in the harness.
+    #[test]
+    fn no_starvation(seed in any::<u64>(), hi in 1u64..50) {
+        let report = Simulation::builder(counters(4))
+            .adversary(SeededRandom::new(seed, 1, hi))
+            .horizon(20_000)
+            .run();
+        for (i, &steps) in report.steps_taken.iter().enumerate() {
+            prop_assert!(
+                steps >= 20_000 / (hi + 1) / 2,
+                "process {i} starved: {steps} steps"
+            );
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! # omega-shm — electing an eventual leader in asynchronous shared memory
+//!
+//! A production-quality Rust reproduction of *“Electing an Eventual Leader
+//! in an Asynchronous Shared Memory System”* (A. Fernández, E. Jiménez,
+//! M. Raynal — DSN 2007 / IRISA PI-1821): the Ω eventual-leader oracle
+//! built from one-writer/multi-reader atomic registers under the weak
+//! **AWB** assumption, together with everything needed to *check* the
+//! paper's claims — an instrumented register substrate, a deterministic
+//! adversarial simulator, a native thread runtime, an Ω-driven consensus
+//! layer, and executable versions of the lower-bound proofs.
+//!
+//! This crate is a facade: each subsystem lives in its own crate and is
+//! re-exported here as a module.
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`registers`] | `omega-registers` | 1WnR/nWnR atomic registers, instrumentation, linearizability checking |
+//! | [`sim`] | `omega-sim` | deterministic event loop, adversaries, AWB timer models, crash plans |
+//! | [`omega`] | `omega-core` | Algorithm 1 (Fig. 2), Algorithm 2 (Fig. 5), §3.5 variants |
+//! | [`runtime`] | `omega-runtime` | OS-thread clusters, SAN-style disk registers |
+//! | [`consensus`] | `omega-consensus` | round-based consensus, replicated log, KV demo |
+//! | [`lowerbound`] | `omega-lowerbound` | broken variants + executable lower-bound proofs |
+//!
+//! # Five-minute tour
+//!
+//! ```
+//! use omega_shm::omega::OmegaVariant;
+//! use omega_shm::sim::prelude::*;
+//! use omega_shm::registers::ProcessId;
+//!
+//! // Build a 5-process Figure-2 system and run it against a seeded
+//! // adversary satisfying AWB (p0 eventually timely, everyone else wild).
+//! let sys = OmegaVariant::Alg1.build(5);
+//! let report = Simulation::builder(sys.actors)
+//!     .adversary(AwbEnvelope::new(
+//!         SeededRandom::new(7, 1, 8),
+//!         ProcessId::new(0),
+//!         SimTime::from_ticks(1_000),
+//!         4,
+//!     ))
+//!     .memory(sys.space)
+//!     .horizon(30_000)
+//!     .run();
+//!
+//! // Theorem 1: a correct leader is eventually agreed by everyone.
+//! let leader = report.elected_leader().expect("AWB ⇒ election");
+//! assert!(report.correct.contains(leader));
+//!
+//! // Theorem 3: after stabilization only that leader writes shared memory.
+//! let tail = report.windowed.tail(0.25).unwrap();
+//! assert_eq!(tail.writer_set().iter().collect::<Vec<_>>(), vec![leader]);
+//! ```
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! system inventory, and `EXPERIMENTS.md` for the paper-vs-measured record
+//! of every figure and theorem.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use omega_consensus as consensus;
+pub use omega_core as omega;
+pub use omega_lowerbound as lowerbound;
+pub use omega_registers as registers;
+pub use omega_runtime as runtime;
+pub use omega_sim as sim;

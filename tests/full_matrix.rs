@@ -1,0 +1,196 @@
+//! Cross-crate integration: the full (variant × adversary × timer) matrix.
+//!
+//! Every Ω variant must elect a correct eventual leader under every
+//! AWB-compatible combination in the suite — this is Theorem 1 quantified
+//! over the whole adversary library, exercised through the facade crate.
+
+use omega_shm::omega::OmegaVariant;
+use omega_shm::registers::ProcessId;
+use omega_shm::sim::crash::CrashPlan;
+use omega_shm::sim::prelude::*;
+use omega_shm::sim::timers::TimerModel;
+use omega_shm::sim::Simulation;
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+fn min_delay_for(variant: OmegaVariant) -> u64 {
+    // §3.5 step-clock: timeouts are counted in own steps, so bound the
+    // step-rate variance (see EXPERIMENTS.md E11).
+    if variant == OmegaVariant::StepClock {
+        2
+    } else {
+        1
+    }
+}
+
+type TimerFactory = fn(ProcessId) -> Box<dyn TimerModel>;
+
+fn exact_timers(_: ProcessId) -> Box<dyn TimerModel> {
+    Box::new(ExactTimer)
+}
+
+fn affine_timers(pid: ProcessId) -> Box<dyn TimerModel> {
+    Box::new(AffineTimer::new(1 + pid.index() as u64 % 3, 2))
+}
+
+fn jittered_timers(pid: ProcessId) -> Box<dyn TimerModel> {
+    Box::new(JitteredTimer::new(pid.index() as u64, 4))
+}
+
+fn chaotic_timers(pid: ProcessId) -> Box<dyn TimerModel> {
+    Box::new(ChaoticThen::new(
+        SimTime::from_ticks(8_000),
+        40,
+        pid.index() as u64 + 11,
+        JitteredTimer::new(pid.index() as u64, 2),
+    ))
+}
+
+#[test]
+fn matrix_variants_x_adversaries_x_timers() {
+    let timer_suites: [(&str, TimerFactory); 4] = [
+        ("exact", exact_timers),
+        ("affine", affine_timers),
+        ("jittered", jittered_timers),
+        ("chaotic-then-jittered", chaotic_timers),
+    ];
+
+    for variant in OmegaVariant::all() {
+        let lo = min_delay_for(variant);
+        for (adv_name, seed) in [("random-a", 101u64), ("random-b", 202)] {
+            for (timer_name, factory) in timer_suites {
+                let sys = variant.build(4);
+                let report = Simulation::builder(sys.actors)
+                    .adversary(AwbEnvelope::new(
+                        SeededRandom::new(seed, lo, 7),
+                        p(0),
+                        SimTime::from_ticks(1_500),
+                        4,
+                    ))
+                    .timers_from(factory)
+                    .horizon(60_000)
+                    .sample_every(100)
+                    .run();
+                let stab = report.stabilization().unwrap_or_else(|| {
+                    panic!("{variant} / {adv_name} / {timer_name}: no stabilization")
+                });
+                assert!(
+                    report.correct.contains(stab.leader),
+                    "{variant} / {adv_name} / {timer_name}: crashed leader elected"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn matrix_failover_chains() {
+    for variant in [OmegaVariant::Alg1, OmegaVariant::Alg2] {
+        let sys = variant.build(5);
+        let report = Simulation::builder(sys.actors)
+            .adversary(AwbEnvelope::new(
+                SeededRandom::new(7, 1, 6),
+                p(4),
+                SimTime::ZERO,
+                4,
+            ))
+            .crash_plan(
+                CrashPlan::none()
+                    .with_leader_crash_at(SimTime::from_ticks(20_000))
+                    .with_leader_crash_at(SimTime::from_ticks(50_000)),
+            )
+            .horizon(110_000)
+            .sample_every(100)
+            .run();
+        assert_eq!(report.crashed.len(), 2, "{variant}: two leaders crashed");
+        let stab = report
+            .stabilization()
+            .unwrap_or_else(|| panic!("{variant}: no re-election after double failover"));
+        assert!(report.correct.contains(stab.leader));
+        assert!(
+            stab.stable_from > SimTime::from_ticks(50_000),
+            "{variant}: final stabilization must postdate the second crash"
+        );
+    }
+}
+
+#[test]
+fn matrix_self_stabilization_from_corruption() {
+    use omega_shm::omega::{boxed_actors, Alg1Memory, Alg1Process, Alg2Memory, Alg2Process};
+    use omega_shm::registers::MemorySpace;
+    use std::sync::Arc;
+
+    for corruption_seed in [1u64, 0xdead, 0xffff_ffff] {
+        // Algorithm 1.
+        let space = MemorySpace::new(4);
+        let mem = Alg1Memory::new(&space);
+        mem.corrupt(corruption_seed);
+        let procs: Vec<Alg1Process> = ProcessId::all(4)
+            .map(|pid| Alg1Process::new(Arc::clone(&mem), pid))
+            .collect();
+        let report = Simulation::builder(boxed_actors(procs))
+            .adversary(AwbEnvelope::new(
+                SeededRandom::new(3, 1, 6),
+                p(0),
+                SimTime::from_ticks(1_000),
+                4,
+            ))
+            .horizon(80_000)
+            .sample_every(100)
+            .run();
+        assert!(
+            report.stabilization().is_some(),
+            "alg1 seed={corruption_seed:#x}: must converge from arbitrary state"
+        );
+
+        // Algorithm 2.
+        let space = MemorySpace::new(4);
+        let mem = Alg2Memory::new(&space);
+        mem.corrupt(corruption_seed);
+        let procs: Vec<Alg2Process> = ProcessId::all(4)
+            .map(|pid| Alg2Process::new(Arc::clone(&mem), pid))
+            .collect();
+        let report = Simulation::builder(boxed_actors(procs))
+            .adversary(AwbEnvelope::new(
+                SeededRandom::new(3, 1, 6),
+                p(0),
+                SimTime::from_ticks(1_000),
+                4,
+            ))
+            .horizon(80_000)
+            .sample_every(100)
+            .run();
+        assert!(
+            report.stabilization().is_some(),
+            "alg2 seed={corruption_seed:#x}: must converge from arbitrary state"
+        );
+    }
+}
+
+#[test]
+fn heavy_crash_load_any_minority_survives() {
+    // t = n − 1 is allowed: crash all but one process; the survivor must
+    // end up electing itself.
+    let sys = OmegaVariant::Alg1.build(4);
+    let report = Simulation::builder(sys.actors)
+        .adversary(AwbEnvelope::new(
+            SeededRandom::new(9, 1, 5),
+            p(3),
+            SimTime::ZERO,
+            4,
+        ))
+        .crash_plan(
+            CrashPlan::none()
+                .with_crash_at(SimTime::from_ticks(5_000), p(0))
+                .with_crash_at(SimTime::from_ticks(10_000), p(1))
+                .with_crash_at(SimTime::from_ticks(15_000), p(2)),
+        )
+        .horizon(60_000)
+        .sample_every(100)
+        .run();
+    let stab = report.stabilization().expect("lone survivor elects");
+    assert_eq!(stab.leader, p(3));
+    assert_eq!(report.correct.len(), 1);
+}

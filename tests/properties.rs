@@ -1,0 +1,144 @@
+//! Root-level property tests: the theorems hold across randomized
+//! AWB-compatible environments, not just hand-picked ones.
+
+use omega_shm::omega::OmegaVariant;
+use omega_shm::registers::ProcessId;
+use omega_shm::sim::prelude::*;
+use omega_shm::sim::Simulation;
+use proptest::prelude::*;
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Theorem 1, randomized: Algorithm 1 elects a correct leader for
+    /// arbitrary seeds, delay ranges, σ, τ₁, and timely-process choice.
+    #[test]
+    fn alg1_elects_across_random_awb_environments(
+        n in 2usize..6,
+        seed in any::<u64>(),
+        delay_hi in 2u64..10,
+        sigma in 1u64..8,
+        tau1 in 0u64..5_000,
+        timely in 0usize..6,
+    ) {
+        let timely = p(timely % n);
+        let sys = OmegaVariant::Alg1.build(n);
+        let report = Simulation::builder(sys.actors)
+            .adversary(AwbEnvelope::new(
+                SeededRandom::new(seed, 1, delay_hi),
+                timely,
+                SimTime::from_ticks(tau1),
+                sigma,
+            ))
+            .horizon(60_000)
+            .sample_every(100)
+            .run();
+        let stab = report.stabilization();
+        prop_assert!(stab.is_some(), "no stabilization (n={n}, seed={seed})");
+        prop_assert!(report.correct.contains(stab.unwrap().leader));
+    }
+
+    /// Theorems 6 + Corollary 1, randomized: Algorithm 2 stays bounded and
+    /// keeps every process writing, whatever the AWB environment.
+    #[test]
+    fn alg2_bounded_and_all_writing_across_environments(
+        seed in any::<u64>(),
+        sigma in 1u64..6,
+    ) {
+        let n = 3;
+        let sys = OmegaVariant::Alg2.build(n);
+        let space = sys.space.clone();
+        let report = Simulation::builder(sys.actors)
+            .adversary(AwbEnvelope::new(
+                SeededRandom::new(seed, 1, 6),
+                p(0),
+                SimTime::from_ticks(1_000),
+                sigma,
+            ))
+            .memory(space)
+            .horizon(50_000)
+            .stats_checkpoints(12)
+            .sample_every(100)
+            .run();
+        prop_assert!(report.stabilization().is_some());
+        // Boundedness: final quarter grows nothing.
+        let len = report.footprints.len();
+        prop_assert!(len >= 4);
+        let grown = report.footprints[len - 1].1.grown_since(&report.footprints[len * 3 / 4].1);
+        prop_assert!(grown.is_empty(), "grew late: {grown:?}");
+        // Everyone writes in the tail.
+        let tail = report.windowed.tail(0.25).unwrap();
+        for pid in ProcessId::all(n) {
+            prop_assert!(tail.stats.writes_of(pid) > 0, "{pid} stopped writing");
+        }
+    }
+
+    /// Footnote 7, randomized: arbitrary initial register contents never
+    /// prevent convergence (self-stabilization of both algorithms).
+    #[test]
+    fn corrupted_starts_always_converge(corruption in any::<u64>(), seed in any::<u64>()) {
+        use omega_shm::omega::{boxed_actors, Alg1Memory, Alg1Process};
+        use omega_shm::registers::MemorySpace;
+        use std::sync::Arc;
+
+        let space = MemorySpace::new(3);
+        let mem = Alg1Memory::new(&space);
+        mem.corrupt(corruption);
+        let procs: Vec<Alg1Process> = ProcessId::all(3)
+            .map(|pid| Alg1Process::new(Arc::clone(&mem), pid))
+            .collect();
+        let report = Simulation::builder(boxed_actors(procs))
+            .adversary(AwbEnvelope::new(
+                SeededRandom::new(seed, 1, 6),
+                p(0),
+                SimTime::from_ticks(500),
+                4,
+            ))
+            .horizon(60_000)
+            .sample_every(100)
+            .run();
+        prop_assert!(
+            report.stabilization().is_some(),
+            "corruption {corruption:#x} broke convergence"
+        );
+    }
+}
+
+/// Validity + Termination (the other two Ω properties) in one deterministic
+/// sweep: every estimate ever sampled is a real process identity, and the
+/// leader query keeps answering throughout the run.
+#[test]
+fn validity_and_termination_of_estimates() {
+    for variant in OmegaVariant::all() {
+        let n = 4;
+        let sys = variant.build(n);
+        let lo = if variant == OmegaVariant::StepClock { 2 } else { 1 };
+        let report = Simulation::builder(sys.actors)
+            .adversary(AwbEnvelope::new(
+                SeededRandom::new(5, lo, 6),
+                p(0),
+                SimTime::from_ticks(500),
+                4,
+            ))
+            .horizon(30_000)
+            .sample_every(50)
+            .run();
+        let mut answered = vec![false; n];
+        for sample in report.timeline.samples() {
+            for (i, estimate) in sample.leaders.iter().enumerate() {
+                if let Some(leader) = estimate {
+                    assert!(leader.index() < n, "{variant}: invalid identity");
+                    answered[i] = true;
+                }
+            }
+        }
+        assert!(
+            answered.iter().all(|&a| a),
+            "{variant}: some process never produced an estimate"
+        );
+    }
+}
