@@ -1,16 +1,21 @@
-//! Criterion micro-benchmarks: the cost of the building blocks.
+//! Micro-benchmarks: the cost of the building blocks.
 //!
 //! These complement the figure/table binaries (which regenerate the paper's
 //! shapes) with raw operation costs: register access, the `leader()` query
 //! (task `T1`) as a function of `n`, one `T2`/`T3` step of each algorithm,
 //! and a full single-leader consensus decision.
+//!
+//! Dependency-free harness (`harness = false`): each benchmark is run in
+//! batches until ~50 ms of samples accumulate, then the per-iteration
+//! median batch cost is reported in nanoseconds. Run with
+//! `cargo bench -p omega-bench`.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use omega_consensus::{ConsensusInstance, ConsensusProcess};
 use omega_core::{
-    Alg1Memory, Alg1Process, Alg2Memory, Alg2Process, elect_least_suspected, OmegaProcess,
+    elect_least_suspected, Alg1Memory, Alg1Process, Alg2Memory, Alg2Process, OmegaProcess,
 };
 use omega_registers::{MemorySpace, ProcessId, ProcessSet};
 
@@ -18,132 +23,138 @@ fn p(i: usize) -> ProcessId {
     ProcessId::new(i)
 }
 
-fn bench_registers(c: &mut Criterion) {
+/// Runs `op` in growing batches until ~50 ms of samples exist; reports the
+/// median per-iteration cost.
+fn bench(group: &str, name: &str, mut op: impl FnMut()) {
+    // Warm-up.
+    for _ in 0..16 {
+        op();
+    }
+    // Calibrate a batch that takes roughly 1 ms.
+    let mut batch: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..batch {
+            op();
+        }
+        if start.elapsed() >= Duration::from_millis(1) || batch >= 1 << 24 {
+            break;
+        }
+        batch *= 4;
+    }
+    let mut per_iter: Vec<f64> = Vec::new();
+    let budget = Instant::now();
+    while budget.elapsed() < Duration::from_millis(50) {
+        let start = Instant::now();
+        for _ in 0..batch {
+            op();
+        }
+        per_iter.push(start.elapsed().as_nanos() as f64 / batch as f64);
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    println!(
+        "{group}/{name:<28} {median:>12.1} ns/iter  ({} samples x {batch})",
+        per_iter.len()
+    );
+}
+
+fn bench_registers() {
     let space = MemorySpace::new(4);
     let nat = space.nat_register("R", p(0), 0);
     let flag = space.flag_register("F", p(0), false);
     let lock = space.swmr::<u64>("L", p(0), 0);
 
-    let mut group = c.benchmark_group("registers");
-    group.bench_function("nat_write", |b| {
-        let mut v = 0u64;
-        b.iter(|| {
-            v = v.wrapping_add(1);
-            nat.write(p(0), v);
-        });
+    let mut v = 0u64;
+    bench("registers", "nat_write", || {
+        v = v.wrapping_add(1);
+        nat.write(p(0), v);
     });
-    group.bench_function("nat_read", |b| b.iter(|| nat.read(p(1))));
-    group.bench_function("flag_write", |b| b.iter(|| flag.write(p(0), true)));
-    group.bench_function("lock_cell_write", |b| b.iter(|| lock.write(p(0), 7)));
-    group.bench_function("lock_cell_read", |b| b.iter(|| lock.read(p(2))));
-    group.finish();
+    bench("registers", "nat_read", || {
+        let _ = nat.read(p(1));
+    });
+    bench("registers", "flag_write", || flag.write(p(0), true));
+    bench("registers", "lock_cell_write", || lock.write(p(0), 7));
+    bench("registers", "lock_cell_read", || {
+        let _ = lock.read(p(2));
+    });
 }
 
-fn bench_leader_query(c: &mut Criterion) {
-    let mut group = c.benchmark_group("leader_query");
+fn bench_leader_query() {
     for n in [2usize, 4, 8, 16, 32, 64] {
         let space = MemorySpace::new(n);
         let mem = Alg1Memory::new(&space);
         let proc0 = Alg1Process::new(Arc::clone(&mem), p(0));
-        group.bench_with_input(BenchmarkId::new("alg1_t1", n), &n, |b, _| {
-            b.iter(|| proc0.leader())
+        bench("leader_query", &format!("alg1_t1/{n}"), || {
+            let _ = proc0.leader();
         });
     }
-    group.finish();
 }
 
-fn bench_steps(c: &mut Criterion) {
-    let mut group = c.benchmark_group("steps");
+fn bench_steps() {
     for n in [4usize, 16] {
         let space = MemorySpace::new(n);
         let mem = Alg1Memory::new(&space);
         let mut proc0 = Alg1Process::new(Arc::clone(&mem), p(0));
-        group.bench_with_input(BenchmarkId::new("alg1_t2_step", n), &n, |b, _| {
-            b.iter(|| proc0.t2_step())
-        });
+        bench("steps", &format!("alg1_t2_step/{n}"), || proc0.t2_step());
         let mut proc1 = Alg1Process::new(Arc::clone(&mem), p(1));
-        group.bench_with_input(BenchmarkId::new("alg1_t3_scan", n), &n, |b, _| {
-            b.iter(|| proc1.on_timer_expire())
+        bench("steps", &format!("alg1_t3_scan/{n}"), || {
+            let _ = proc1.on_timer_expire();
         });
 
         let space2 = MemorySpace::new(n);
         let mem2 = Alg2Memory::new(&space2);
         let mut q0 = Alg2Process::new(Arc::clone(&mem2), p(0));
-        group.bench_with_input(BenchmarkId::new("alg2_t2_step", n), &n, |b, _| {
-            b.iter(|| q0.t2_step())
-        });
+        bench("steps", &format!("alg2_t2_step/{n}"), || q0.t2_step());
         let mut q1 = Alg2Process::new(Arc::clone(&mem2), p(1));
-        group.bench_with_input(BenchmarkId::new("alg2_t3_scan", n), &n, |b, _| {
-            b.iter(|| q1.on_timer_expire())
+        bench("steps", &format!("alg2_t3_scan/{n}"), || {
+            let _ = q1.on_timer_expire();
         });
     }
-    group.finish();
 }
 
-fn bench_election_rule(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lexmin");
+fn bench_election_rule() {
     for n in [8usize, 64, 256] {
         let candidates = ProcessSet::full(n);
         let counts: Vec<u64> = (0..n).map(|i| (i as u64 * 7919) % 1000).collect();
-        group.bench_with_input(BenchmarkId::new("elect_least_suspected", n), &n, |b, _| {
-            b.iter(|| elect_least_suspected(&candidates, |q| counts[q.index()]))
+        bench("lexmin", &format!("elect_least_suspected/{n}"), || {
+            let _ = elect_least_suspected(&candidates, |q| counts[q.index()]);
         });
     }
-    group.finish();
 }
 
-fn bench_simulator_throughput(c: &mut Criterion) {
-    use omega_core::OmegaVariant;
-    use omega_sim::adversary::{AwbEnvelope, SeededRandom};
-    use omega_sim::{SimTime, Simulation};
+fn bench_simulator_throughput() {
+    use omega_scenario::{Driver, Scenario, SimDriver};
 
-    let mut group = c.benchmark_group("simulator");
-    group.sample_size(20);
     for n in [4usize, 16] {
-        group.bench_with_input(BenchmarkId::new("alg1_full_run_10k_ticks", n), &n, |b, &n| {
-            b.iter(|| {
-                let sys = OmegaVariant::Alg1.build(n);
-                Simulation::builder(sys.actors)
-                    .adversary(AwbEnvelope::new(
-                        SeededRandom::new(9, 1, 6),
-                        p(0),
-                        SimTime::from_ticks(500),
-                        4,
-                    ))
-                    .horizon(10_000)
-                    .sample_every(100)
-                    .run()
-                    .events_processed
-            })
+        let scenario = Scenario::fault_free(omega_core::OmegaVariant::Alg1, n)
+            .horizon(10_000)
+            .sample_every(100)
+            .seed(9);
+        bench("simulator", &format!("alg1_full_run_10k_ticks/{n}"), || {
+            let _ = SimDriver.run(&scenario);
         });
     }
-    group.finish();
 }
 
-fn bench_consensus(c: &mut Criterion) {
-    let mut group = c.benchmark_group("consensus");
+fn bench_consensus() {
     for n in [3usize, 8] {
-        group.bench_with_input(BenchmarkId::new("sole_leader_decide", n), &n, |b, &n| {
-            b.iter(|| {
-                let space = MemorySpace::new(n);
-                let inst = ConsensusInstance::<u64>::new(&space, "C");
-                let mut proposer = ConsensusProcess::new(inst, p(0), 42);
-                proposer
-                    .step_until_decided(p(0), 10 * n + 10)
-                    .expect("sole leader decides")
-            })
+        bench("consensus", &format!("sole_leader_decide/{n}"), || {
+            let space = MemorySpace::new(n);
+            let inst = ConsensusInstance::<u64>::new(&space, "C");
+            let mut proposer = ConsensusProcess::new(inst, p(0), 42);
+            proposer
+                .step_until_decided(p(0), 10 * n + 10)
+                .expect("sole leader decides");
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_registers,
-    bench_leader_query,
-    bench_steps,
-    bench_election_rule,
-    bench_simulator_throughput,
-    bench_consensus
-);
-criterion_main!(benches);
+fn main() {
+    bench_registers();
+    bench_leader_query();
+    bench_steps();
+    bench_election_rule();
+    bench_simulator_throughput();
+    bench_consensus();
+}

@@ -16,11 +16,10 @@
 use std::sync::Arc;
 
 use omega_bench::table::Table;
-use omega_core::{boxed_actors, Alg1Memory, Alg1Process, CandidateInit};
+use omega_core::{boxed_actors, Alg1Memory, Alg1Process, CandidateInit, OmegaVariant};
 use omega_registers::{MemorySpace, ProcessId};
-use omega_sim::adversary::{AwbEnvelope, SeededRandom};
-use omega_sim::crash::CrashPlan;
-use omega_sim::{RunReport, SimTime, Simulation};
+use omega_scenario::{AdversarySpec, Scenario};
+use omega_sim::RunReport;
 
 fn p(i: usize) -> ProcessId {
     ProcessId::new(i)
@@ -44,21 +43,17 @@ fn run(
             })
             .collect::<Vec<_>>(),
     );
-    let mut plan = CrashPlan::none();
-    if let Some(t) = crash_leader_at {
-        plan = plan.with_leader_crash_at(SimTime::from_ticks(t));
-    }
-    let report = Simulation::builder(actors)
-        .adversary(AwbEnvelope::new(
-            SeededRandom::new(seed, 1, 8),
-            timely,
-            SimTime::from_ticks(1_000),
-            4,
-        ))
-        .crash_plan(plan)
+    let mut scenario = Scenario::fault_free(OmegaVariant::Alg1, n)
+        .named("ablation")
+        .adversary(AdversarySpec::Random { min: 1, max: 8 })
+        .awb(timely, 1_000, 4)
+        .seed(seed)
         .horizon(80_000)
-        .sample_every(100)
-        .run();
+        .sample_every(100);
+    if let Some(t) = crash_leader_at {
+        scenario = scenario.crash_leader_at(t);
+    }
+    let report = scenario.sim_builder(actors).run();
     (report, memory)
 }
 
@@ -72,7 +67,14 @@ fn main() {
     let n = 5;
 
     println!("== A1: initial candidate set (Full vs SelfOnly), {n} processes, 3 seeds ==");
-    let mut t = Table::new(&["init", "seed", "stabilized", "leader", "stable from", "total suspicions"]);
+    let mut t = Table::new(&[
+        "init",
+        "seed",
+        "stabilized",
+        "leader",
+        "stable from",
+        "total suspicions",
+    ]);
     for init in [CandidateInit::Full, CandidateInit::SelfOnly] {
         for seed in [1u64, 2, 3] {
             let (report, memory) = run(n, init.clone(), 1, p(0), None, seed);
@@ -85,7 +87,10 @@ fn main() {
                 stab.map_or("-".into(), |s| s.stable_from.ticks().to_string()),
                 total_suspicions(&memory, n).to_string(),
             ]);
-            assert!(report.stabilization().is_some(), "{init:?} seed {seed} must elect");
+            assert!(
+                report.stabilization().is_some(),
+                "{init:?} seed {seed} must elect"
+            );
         }
     }
     println!("{t}");
@@ -115,7 +120,10 @@ fn main() {
             total_suspicions(&memory, n).to_string(),
         ]);
         assert!(calm.stabilization().is_some(), "slack {slack} must elect");
-        assert!(crashy.stabilization().is_some(), "slack {slack} must fail over");
+        assert!(
+            crashy.stabilization().is_some(),
+            "slack {slack} must fail over"
+        );
     }
     println!("{t}");
     println!("(measured: slack suppresses chaos-phase suspicions (116 → 0) and, on this");

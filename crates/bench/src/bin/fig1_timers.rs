@@ -39,7 +39,12 @@ fn main() {
         ),
         (
             "chaotic<5k then exact",
-            Box::new(ChaoticThen::new(SimTime::from_ticks(5_000), 50, 3, ExactTimer)),
+            Box::new(ChaoticThen::new(
+                SimTime::from_ticks(5_000),
+                50,
+                3,
+                ExactTimer,
+            )),
             true,
         ),
         (

@@ -16,9 +16,7 @@ use omega_bench::table::Table;
 use omega_bench::{run_election, AwbParams};
 use omega_core::OmegaVariant;
 use omega_registers::ProcessId;
-use omega_sim::adversary::LeaderStaller;
-use omega_sim::timers::StuckLowTimer;
-use omega_sim::Simulation;
+use omega_scenario::{Driver, Scenario, SimDriver};
 
 fn main() {
     let horizon = 60_000;
@@ -47,7 +45,10 @@ fn main() {
                 s.stable_from.map_or("-".into(), |v| v.to_string()),
                 s.register_count.to_string(),
             ]);
-            assert!(s.stabilized, "n={n} crash={crash:?} must stabilize under AWB");
+            assert!(
+                s.stabilized,
+                "n={n} crash={crash:?} must stabilize under AWB"
+            );
         }
     }
     println!("{t}");
@@ -69,7 +70,10 @@ fn main() {
             format!("{:.1}", s.tail_writes_per_1k),
             s.tail_readers.to_string(),
         ]);
-        assert_eq!(s.tail_writers, 1, "only the leader writes after stabilization");
+        assert_eq!(
+            s.tail_writers, 1,
+            "only the leader writes after stabilization"
+        );
         assert_eq!(s.tail_written_registers, 1, "and only one register");
         assert_eq!(s.tail_readers, n, "everyone keeps reading (Lemma 6)");
     }
@@ -95,7 +99,10 @@ fn main() {
                 "at most the leader's PROGRESS entry may grow"
             );
             for name in &s.grown_in_tail {
-                assert!(name.starts_with("PROGRESS["), "unexpected unbounded register {name}");
+                assert!(
+                    name.starts_with("PROGRESS["),
+                    "unexpected unbounded register {name}"
+                );
             }
         }
     }
@@ -106,20 +113,27 @@ fn main() {
     println!("== E13: AWB necessity — leader staller + stuck-low timers, no envelope ==");
     let mut t = Table::new(&["n", "stabilized >=1/3 of run", "leader changes (p0 view)"]);
     for n in [2usize, 3, 5] {
-        let sys = OmegaVariant::Alg1.build(n);
-        let report = Simulation::builder(sys.actors)
-            .adversary(LeaderStaller::new(2, 4_000))
-            .timers_from(|_| Box::new(StuckLowTimer::new(8)))
+        let scenario = Scenario::fault_free(OmegaVariant::Alg1, n)
+            .named(format!("no-awb-staller/n{n}"))
+            .without_awb()
+            .adversary(omega_scenario::AdversarySpec::LeaderStaller {
+                base: 2,
+                stall: 4_000,
+            })
+            .timers(omega_scenario::TimerSpec::StuckLow { cap: 8 })
             .horizon(120_000)
-            .sample_every(100)
-            .run();
-        let stable = report.stabilized_for(0.34);
+            .sample_every(100);
+        let outcome = SimDriver.run(&scenario);
+        let stable = outcome.stabilized_for(0.34);
         t.row(&[
             n.to_string(),
             stable.to_string(),
-            report.timeline.changes_of(ProcessId::new(0)).to_string(),
+            outcome.estimate_changes[0].to_string(),
         ]);
-        assert!(!stable, "without AWB the staller must keep demoting leaders");
+        assert!(
+            !stable,
+            "without AWB the staller must keep demoting leaders"
+        );
     }
     println!("{t}");
     println!("shape check: all Theorem 1-4 properties hold under AWB; none survive its removal.");

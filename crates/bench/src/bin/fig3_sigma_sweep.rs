@@ -3,25 +3,25 @@
 //! Figure 3 illustrates the sequence `S` of the leader's writes, spaced at
 //! most `σ` apart after `τ₁`; Lemma 2 argues that once a follower's timeout
 //! duration exceeds that spacing, it never misses a heartbeat again, so its
-//! suspicion counters stop growing. This binary sweeps `σ` (the leader's
-//! post-`τ₁` write cadence) and reports, per σ: the final total suspicion
-//! count of the leader, the last tick at which any suspicion was raised,
-//! and whether the run stabilized — the shape being that suspicions freeze
-//! quickly and earlier for smaller σ, while stabilization holds for every
-//! finite σ.
+//! suspicion counters stop growing. This binary runs the registry's
+//! `sigma-sweep/*` scenario family and reports, per σ: the final total
+//! suspicion count of the leader, the last tick at which any suspicion was
+//! raised, and whether the run stabilized — the shape being that suspicions
+//! freeze quickly and earlier for smaller σ, while stabilization holds for
+//! every finite σ.
 
 use std::sync::Arc;
 
 use omega_bench::table::Table;
 use omega_core::{boxed_actors, Alg1Memory, Alg1Process};
 use omega_registers::{MemorySpace, ProcessId};
-use omega_sim::adversary::{AwbEnvelope, SeededRandom};
-use omega_sim::{SimTime, Simulation};
+use omega_scenario::registry;
 
 fn main() {
-    let n = 4;
-    let horizon = 80_000;
-    let tau1 = 2_000;
+    let sweep = registry::sigma_sweep(&[2, 4, 8, 16, 32]);
+    let n = sweep[0].n;
+    let horizon = sweep[0].horizon;
+    let tau1 = sweep[0].awb.unwrap().tau1;
     println!("== E5: sigma sweep (n={n}, tau1={tau1}, horizon={horizon}) ==");
     println!("leader p0 writes every <= sigma ticks after tau1; followers step in [1,12]");
     println!();
@@ -35,7 +35,10 @@ fn main() {
         "last suspicion tick",
     ]);
 
-    for sigma in [2u64, 4, 8, 16, 32] {
+    for scenario in sweep {
+        let sigma = scenario.awb.unwrap().sigma;
+        // Custom actor construction so the suspicion matrix stays peekable;
+        // the run's whole environment still comes from the scenario.
         let space = MemorySpace::new(n);
         let memory = Alg1Memory::new(&space);
         let actors = boxed_actors(
@@ -43,18 +46,7 @@ fn main() {
                 .map(|pid| Alg1Process::new(Arc::clone(&memory), pid))
                 .collect::<Vec<_>>(),
         );
-        let report = Simulation::builder(actors)
-            .adversary(AwbEnvelope::new(
-                SeededRandom::new(11, 1, 12),
-                ProcessId::new(0),
-                SimTime::from_ticks(tau1),
-                sigma,
-            ))
-            .memory(space)
-            .horizon(horizon)
-            .sample_every(100)
-            .stats_checkpoints(32)
-            .run();
+        let report = scenario.sim_builder(actors).memory(space.clone()).run();
 
         let leader = report.elected_leader();
         let leader_pid = leader.unwrap_or(ProcessId::new(0));

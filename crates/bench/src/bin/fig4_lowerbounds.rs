@@ -28,14 +28,18 @@ fn main() {
     ]);
     t.row(&[
         "naive-silent-leader".to_string(),
-        naive.elected_in_live_run.map_or("-".into(), |l| l.to_string()),
+        naive
+            .elected_in_live_run
+            .map_or("-".into(), |l| l.to_string()),
         naive.followers_views_identical.to_string(),
         naive.followers_follow_corpse.to_string(),
         naive.violation_demonstrated().to_string(),
     ]);
     t.row(&[
         "alg1-fig2 (control)".to_string(),
-        control.elected_in_live_run.map_or("-".into(), |l| l.to_string()),
+        control
+            .elected_in_live_run
+            .map_or("-".into(), |l| l.to_string()),
         control.followers_views_identical.to_string(),
         control.followers_follow_corpse.to_string(),
         control.violation_demonstrated().to_string(),
@@ -56,7 +60,8 @@ fn main() {
     t.row(&[
         deaf.crashed_leader.map_or("-".into(), |l| l.to_string()),
         deaf.deaf_process.to_string(),
-        deaf.deaf_final_estimate.map_or("-".into(), |l| l.to_string()),
+        deaf.deaf_final_estimate
+            .map_or("-".into(), |l| l.to_string()),
         deaf.readers_reelected.to_string(),
         deaf.violation_demonstrated().to_string(),
     ]);

@@ -14,8 +14,7 @@ use omega_bench::table::Table;
 use omega_bench::{run_election, AwbParams};
 use omega_core::OmegaVariant;
 use omega_registers::ProcessId;
-use omega_sim::adversary::{AwbEnvelope, SeededRandom};
-use omega_sim::{SimTime, Simulation};
+use omega_scenario::Scenario;
 
 fn main() {
     println!("== E9: boundedness of ALL registers (Theorem 6) ==");
@@ -53,20 +52,15 @@ fn main() {
 
     println!("== E10: post-stabilization write pattern (Theorem 7, Corollary 1) ==");
     let n = 4;
-    let sys = OmegaVariant::Alg2.build(n);
-    let space = sys.space.clone();
-    let report = Simulation::builder(sys.actors)
-        .adversary(AwbEnvelope::new(
-            SeededRandom::new(5, 1, 6),
-            ProcessId::new(0),
-            SimTime::from_ticks(1_000),
-            4,
-        ))
-        .memory(space)
+    let scenario = Scenario::fault_free(OmegaVariant::Alg2, n)
+        .named("fig5-write-pattern")
+        .seed(5)
         .horizon(60_000)
         .sample_every(150)
-        .stats_checkpoints(16)
-        .run();
+        .stats_checkpoints(16);
+    let sys = OmegaVariant::Alg2.build(n);
+    let space = sys.space.clone();
+    let report = scenario.sim_builder(sys.actors).memory(space).run();
     let leader = report.elected_leader().expect("stabilizes");
     let tail = report.windowed.tail(0.25).expect("stats recorded");
     let mut t = Table::new(&["register", "writers", "writes in tail"]);
@@ -85,7 +79,9 @@ fn main() {
             writers.join(","),
             row.total_writes().to_string(),
         ]);
-        let is_signal = row.name.starts_with(&format!("HPROGRESS[{}][", leader.index()));
+        let is_signal = row
+            .name
+            .starts_with(&format!("HPROGRESS[{}][", leader.index()));
         let is_ack = row.name.starts_with(&format!("LAST[{}][", leader.index()));
         assert!(
             is_signal || is_ack,

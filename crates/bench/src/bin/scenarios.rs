@@ -1,0 +1,117 @@
+//! Scenario-suite benchmark: every registry scenario on the simulator,
+//! with a machine-readable JSON artifact for perf trajectories.
+//!
+//! Prints the human table and writes `BENCH_scenarios.json` (same
+//! directory, or `$BENCH_OUT` if set) with per-scenario stabilization
+//! ticks, write/read totals, and footprint — the numbers a CI run can diff
+//! against history.
+
+use std::fmt::Write as _;
+
+use omega_bench::table::Table;
+use omega_scenario::{registry, Driver, Outcome, SimDriver};
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_record(outcome: &Outcome) -> String {
+    let mut o = String::new();
+    let _ = write!(
+        o,
+        "{{\"scenario\":{},\"backend\":{},\"variant\":{},\"n\":{},\"stabilized\":{},",
+        json_str(&outcome.scenario),
+        json_str(outcome.backend),
+        json_str(outcome.variant.name()),
+        outcome.n,
+        outcome.stabilized,
+    );
+    let _ = match outcome.stabilization_ticks {
+        Some(t) => write!(o, "\"stabilization_ticks\":{t},"),
+        None => write!(o, "\"stabilization_ticks\":null,"),
+    };
+    let _ = write!(
+        o,
+        "\"horizon_ticks\":{},\"crashed\":{},\"total_writes\":{},\"total_reads\":{},\"hwm_bits\":{},\"register_count\":{},",
+        outcome.horizon_ticks,
+        outcome.crashed.len(),
+        outcome.total_writes(),
+        outcome.total_reads(),
+        outcome.hwm_bits,
+        outcome.register_count,
+    );
+    let _ = match &outcome.tail {
+        Some(tail) => write!(
+            o,
+            "\"tail_writers\":{},\"tail_writes_per_1k\":{:.2}}}",
+            tail.writers.len(),
+            tail.writes_per_1k
+        ),
+        None => write!(o, "\"tail_writers\":null,\"tail_writes_per_1k\":null}}"),
+    };
+    o
+}
+
+fn main() {
+    let mut table = Table::new(&[
+        "scenario",
+        "variant",
+        "n",
+        "expects",
+        "stabilized",
+        "stab tick",
+        "writes",
+        "hwm bits",
+    ]);
+    let mut records = Vec::new();
+    for scenario in registry::all() {
+        let outcome = SimDriver.run(&scenario);
+        if scenario.expect_stabilization {
+            outcome.assert_election();
+        } else {
+            // A final-sample coincidence may masquerade as agreement; the
+            // necessity claim is that no *durable* stabilization exists.
+            assert!(
+                !outcome.stabilized_for(0.34),
+                "{}: AWB-violating scenario stabilized anyway",
+                scenario.name
+            );
+        }
+        table.row(&[
+            scenario.name.clone(),
+            outcome.variant.name().to_string(),
+            outcome.n.to_string(),
+            scenario.expect_stabilization.to_string(),
+            outcome.stabilized.to_string(),
+            outcome
+                .stabilization_ticks
+                .map_or("-".into(), |t| t.to_string()),
+            outcome.total_writes().to_string(),
+            outcome.hwm_bits.to_string(),
+        ]);
+        records.push(json_record(&outcome));
+    }
+    println!(
+        "== scenario suite ({} scenarios, sim backend) ==",
+        records.len()
+    );
+    println!("{table}");
+
+    let json = format!("[\n  {}\n]\n", records.join(",\n  "));
+    let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_scenarios.json".into());
+    std::fs::write(&path, &json).expect("write BENCH_scenarios.json");
+    println!("wrote {} records to {path}", records.len());
+}

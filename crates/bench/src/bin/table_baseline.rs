@@ -19,14 +19,14 @@ use std::sync::Arc;
 use omega_bench::table::Table;
 use omega_core::{boxed_actors, EsMemory, EsOmega, OmegaVariant};
 use omega_registers::{MemorySpace, ProcessId};
-use omega_sim::adversary::{Adversary, AwbEnvelope, GrowingBursts, SeededRandom};
-use omega_sim::{RunReport, SimTime, Simulation};
+use omega_scenario::Scenario;
+use omega_sim::RunReport;
 
 fn p(i: usize) -> ProcessId {
     ProcessId::new(i)
 }
 
-fn run_baseline(n: usize, adversary: impl Adversary + 'static, horizon: u64) -> RunReport {
+fn run_baseline(n: usize, scenario: &Scenario, horizon: u64) -> RunReport {
     let space = MemorySpace::new(n);
     let mem = EsMemory::new(&space);
     let actors = boxed_actors(
@@ -34,19 +34,21 @@ fn run_baseline(n: usize, adversary: impl Adversary + 'static, horizon: u64) -> 
             .map(|pid| EsOmega::new(Arc::clone(&mem), pid, 2, 4))
             .collect::<Vec<_>>(),
     );
-    Simulation::builder(actors)
-        .adversary(adversary)
+    scenario
+        .clone()
         .horizon(horizon)
         .sample_every(100)
+        .sim_builder(actors)
         .run()
 }
 
-fn run_alg1(n: usize, adversary: impl Adversary + 'static, horizon: u64) -> RunReport {
+fn run_alg1(n: usize, scenario: &Scenario, horizon: u64) -> RunReport {
     let sys = OmegaVariant::Alg1.build(n);
-    Simulation::builder(sys.actors)
-        .adversary(adversary)
+    scenario
+        .clone()
         .horizon(horizon)
         .sample_every(100)
+        .sim_builder(sys.actors)
         .run()
 }
 
@@ -54,7 +56,9 @@ fn describe(report: &RunReport) -> (String, String, usize) {
     let stab = report.stabilization();
     (
         report.stabilized_for(0.25).to_string(),
-        stab.map_or("-".into(), |s| format!("{}@{}", s.leader, s.stable_from.ticks())),
+        stab.map_or("-".into(), |s| {
+            format!("{}@{}", s.leader, s.stable_from.ticks())
+        }),
         (0..report.steps_taken.len())
             .map(|i| report.timeline.changes_of(p(i)))
             .sum(),
@@ -76,12 +80,23 @@ fn main() {
     ]);
 
     // Schedule A: eventually synchronous (uniform random delays, bounded).
-    let es = || SeededRandom::new(5, 1, 6);
-    let baseline_es = run_baseline(n, es(), horizon);
-    let alg1_es = run_alg1(n, es(), horizon);
+    // Bounded delays make AWB trivially true, so no envelope is needed.
+    let es = Scenario::fault_free(OmegaVariant::Alg1, n)
+        .named("eventually-synchronous")
+        .without_awb()
+        .adversary(omega_scenario::AdversarySpec::Random { min: 1, max: 6 })
+        .seed(5);
+    let baseline_es = run_baseline(n, &es, horizon);
+    let alg1_es = run_alg1(n, &es, horizon);
     for (name, report) in [("baseline-es", &baseline_es), ("alg1-fig2", &alg1_es)] {
         let (stab, leader, flips) = describe(report);
-        t.row(&["eventually-synchronous".into(), name.to_string(), stab, leader, flips.to_string()]);
+        t.row(&[
+            "eventually-synchronous".into(),
+            name.to_string(),
+            stab,
+            leader,
+            flips.to_string(),
+        ]);
         assert!(
             report.stabilized_for(0.25),
             "{name} must elect under eventual synchrony"
@@ -91,19 +106,27 @@ fn main() {
     // Schedule B: AWB holds (p2 timely) but p0 — the smallest identity —
     // is correct yet *not* eventually synchronous: its stalls grow ×2
     // forever, beating every adaptive timeout.
-    let awb_not_es = || {
-        AwbEnvelope::new(
-            GrowingBursts::new(p(0), 2, 50, 64, 2),
-            p(2),
-            SimTime::from_ticks(1_000),
-            4,
-        )
-    };
-    let baseline_awb = run_baseline(n, awb_not_es(), horizon);
-    let alg1_awb = run_alg1(n, awb_not_es(), horizon);
+    let awb_not_es = Scenario::fault_free(OmegaVariant::Alg1, n)
+        .named("awb-but-not-es")
+        .adversary(omega_scenario::AdversarySpec::GrowingBursts {
+            victim: p(0),
+            fast: 2,
+            burst_len: 50,
+            initial_stall: 64,
+            factor: 2,
+        })
+        .awb(p(2), 1_000, 4);
+    let baseline_awb = run_baseline(n, &awb_not_es, horizon);
+    let alg1_awb = run_alg1(n, &awb_not_es, horizon);
     for (name, report) in [("baseline-es", &baseline_awb), ("alg1-fig2", &alg1_awb)] {
         let (stab, leader, flips) = describe(report);
-        t.row(&["AWB-but-not-ES".into(), name.to_string(), stab, leader, flips.to_string()]);
+        t.row(&[
+            "AWB-but-not-ES".into(),
+            name.to_string(),
+            stab,
+            leader,
+            flips.to_string(),
+        ]);
     }
     println!("{t}");
 

@@ -43,7 +43,10 @@ fn main() {
         match variant {
             OmegaVariant::Alg1 | OmegaVariant::StepClock => {
                 assert_eq!(s.tail_writers, 1, "{variant}: write-optimal");
-                assert!(s.grown_in_tail.len() <= 1, "{variant}: one unbounded register");
+                assert!(
+                    s.grown_in_tail.len() <= 1,
+                    "{variant}: one unbounded register"
+                );
             }
             OmegaVariant::Mwmr => {
                 assert_eq!(s.tail_writers, 1, "{variant}: write-optimal");

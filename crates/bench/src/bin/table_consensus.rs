@@ -9,12 +9,13 @@
 use std::sync::Arc;
 
 use omega_bench::table::Table;
-use omega_consensus::{ConsensusActor, ConsensusInstance, ConsensusProcess, LogActor, LogHandle, LogShared};
+use omega_consensus::{
+    ConsensusActor, ConsensusInstance, ConsensusProcess, LogActor, LogHandle, LogShared,
+};
 use omega_core::OmegaVariant;
 use omega_registers::ProcessId;
-use omega_sim::adversary::{AwbEnvelope, SeededRandom};
-use omega_sim::crash::CrashPlan;
-use omega_sim::{Actor, SimTime, Simulation};
+use omega_scenario::Scenario;
+use omega_sim::Actor;
 
 fn consensus_run(variant: OmegaVariant, n: usize, horizon: u64) -> (bool, Option<u64>, u64) {
     let (space, omegas) = variant.build_processes(n);
@@ -27,20 +28,14 @@ fn consensus_run(variant: OmegaVariant, n: usize, horizon: u64) -> (bool, Option
             Box::new(ConsensusActor::new(omega, proposer)) as Box<dyn Actor>
         })
         .collect();
-    let min_delay = if variant == OmegaVariant::StepClock { 2 } else { 1 };
-    let space_for_stats = space.clone();
-    let report = Simulation::builder(actors)
-        .adversary(AwbEnvelope::new(
-            SeededRandom::new(29, min_delay, 6),
-            ProcessId::new(0),
-            SimTime::from_ticks(500),
-            4,
-        ))
-        .memory(space_for_stats)
+    let scenario = Scenario::fault_free(variant, n)
+        .named(format!("consensus-latency/{}", variant.name()))
+        .awb(ProcessId::new(0), 500, 4)
+        .seed(29)
         .horizon(horizon)
         .stats_checkpoints(32)
-        .sample_every(100)
-        .run();
+        .sample_every(100);
+    let report = scenario.sim_builder(actors).memory(space.clone()).run();
 
     // Decision latency: first checkpoint window in which a DEC register was
     // written.
@@ -75,7 +70,10 @@ fn main() {
             first_dec.map_or("-".into(), |v| v.to_string()),
             events.to_string(),
         ]);
-        assert!(decided, "{variant}: consensus must decide once Ω stabilizes");
+        assert!(
+            decided,
+            "{variant}: consensus must decide once Ω stabilizes"
+        );
     }
     println!("{t}");
 
@@ -94,17 +92,14 @@ fn main() {
             Box::new(LogActor::new(omega, handle)) as Box<dyn Actor>
         })
         .collect();
-    let report = Simulation::builder(actors)
-        .adversary(AwbEnvelope::new(
-            SeededRandom::new(31, 1, 6),
-            ProcessId::new(3),
-            SimTime::from_ticks(500),
-            4,
-        ))
-        .crash_plan(CrashPlan::none().with_leader_crash_at(SimTime::from_ticks(horizon / 3)))
+    let scenario = Scenario::fault_free(OmegaVariant::Alg1, n)
+        .named("replicated-log-failover")
+        .awb(ProcessId::new(3), 500, 4)
+        .seed(31)
+        .crash_leader_at(horizon / 3)
         .horizon(horizon * 2)
-        .sample_every(100)
-        .run();
+        .sample_every(100);
+    let report = scenario.sim_builder(actors).run();
 
     let slots = shared.allocated_slots();
     let decided_slots = (0..slots)

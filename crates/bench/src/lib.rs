@@ -12,4 +12,4 @@ pub mod table;
 
 mod summary;
 
-pub use summary::{run_election, AwbParams, ElectionSummary};
+pub use summary::{run_election, run_scenario, AwbParams, ElectionSummary};

@@ -1,11 +1,9 @@
-//! The standard election experiment: run a variant, summarize the paper's
+//! The standard election experiment: run a scenario, summarize the paper's
 //! observables.
 
 use omega_core::OmegaVariant;
 use omega_registers::ProcessId;
-use omega_sim::adversary::{AwbEnvelope, SeededRandom};
-use omega_sim::crash::CrashPlan;
-use omega_sim::{SimTime, Simulation};
+use omega_scenario::{AdversarySpec, Driver, Outcome, Scenario, SimDriver};
 
 /// AWB parameters for an experiment run.
 #[derive(Debug, Clone, Copy)]
@@ -45,6 +43,21 @@ impl AwbParams {
         }
         params
     }
+
+    /// The scenario these parameters describe.
+    #[must_use]
+    pub fn scenario(&self, variant: OmegaVariant, n: usize, horizon: u64) -> Scenario {
+        Scenario::fault_free(variant, n)
+            .adversary(AdversarySpec::Random {
+                min: self.delay.0,
+                max: self.delay.1,
+            })
+            .awb(self.timely, self.tau1, self.sigma)
+            .seed(self.seed)
+            .horizon(horizon)
+            .sample_every((horizon / 400).max(1))
+            .stats_checkpoints(16)
+    }
 }
 
 /// Everything the figure/table binaries report about one election run.
@@ -76,6 +89,46 @@ pub struct ElectionSummary {
     pub grown_in_tail: Vec<String>,
 }
 
+impl ElectionSummary {
+    /// Condenses a backend [`Outcome`] into the table row the binaries
+    /// print.
+    #[must_use]
+    pub fn from_outcome(outcome: &Outcome) -> Self {
+        let (tail_writers, tail_written, tail_rate, tail_readers) = outcome
+            .tail
+            .as_ref()
+            .map(|t| {
+                (
+                    t.writers.len(),
+                    t.written_registers,
+                    t.writes_per_1k,
+                    t.readers.len(),
+                )
+            })
+            .unwrap_or((0, 0, 0.0, 0));
+        ElectionSummary {
+            variant: outcome.variant.name(),
+            n: outcome.n,
+            register_count: outcome.register_count,
+            stabilized: outcome.stabilized_for(0.2),
+            leader: outcome.elected,
+            stable_from: outcome.stabilization_ticks,
+            tail_writers,
+            tail_written_registers: tail_written,
+            tail_writes_per_1k: tail_rate,
+            tail_readers,
+            hwm_bits: outcome.hwm_bits,
+            grown_in_tail: outcome.grown_in_tail.clone(),
+        }
+    }
+}
+
+/// Runs one scenario on the simulator and summarizes it.
+#[must_use]
+pub fn run_scenario(scenario: &Scenario) -> ElectionSummary {
+    ElectionSummary::from_outcome(&SimDriver.run(scenario))
+}
+
 /// Runs one election experiment and summarizes it.
 ///
 /// `crash_leader_at` optionally crashes the plurality leader at the given
@@ -88,69 +141,11 @@ pub fn run_election(
     params: AwbParams,
     crash_leader_at: Option<u64>,
 ) -> ElectionSummary {
-    let sys = variant.build(n);
-    let register_count = sys.space.register_count();
-    let space = sys.space.clone();
-    let mut plan = CrashPlan::none();
+    let mut scenario = params.scenario(variant, n, horizon);
     if let Some(t) = crash_leader_at {
-        plan = plan.with_leader_crash_at(SimTime::from_ticks(t));
+        scenario = scenario.crash_leader_at(t);
     }
-    let report = Simulation::builder(sys.actors)
-        .adversary(AwbEnvelope::new(
-            SeededRandom::new(params.seed, params.delay.0, params.delay.1),
-            params.timely,
-            SimTime::from_ticks(params.tau1),
-            params.sigma,
-        ))
-        .crash_plan(plan)
-        .memory(space)
-        .horizon(horizon)
-        .sample_every((horizon / 400).max(1))
-        .stats_checkpoints(16)
-        .run();
-
-    let stabilization = report.stabilization();
-    let tail = report.windowed.tail(0.25);
-    let (tail_writers, tail_written, tail_rate, tail_readers) = tail
-        .map(|w| {
-            let span = (w.end - w.start).max(1);
-            (
-                w.stats.writer_set().len(),
-                w.stats.written_registers().len(),
-                w.stats.total_writes() as f64 * 1000.0 / span as f64,
-                w.stats.reader_set().len(),
-            )
-        })
-        .unwrap_or((0, 0, 0.0, 0));
-    let grown_in_tail = match report.footprints.len() {
-        0 | 1 => Vec::new(),
-        len => {
-            let mid = &report.footprints[len * 3 / 4].1;
-            let last = &report.footprints[len - 1].1;
-            last.grown_since(mid)
-                .into_iter()
-                .map(String::from)
-                .collect()
-        }
-    };
-    ElectionSummary {
-        variant: variant.name(),
-        n,
-        register_count,
-        stabilized: report.stabilized_for(0.2),
-        leader: stabilization.map(|s| s.leader),
-        stable_from: stabilization.map(|s| s.stable_from.ticks()),
-        tail_writers,
-        tail_written_registers: tail_written,
-        tail_writes_per_1k: tail_rate,
-        tail_readers,
-        hwm_bits: report
-            .footprints
-            .last()
-            .map(|(_, fp)| fp.total_hwm_bits())
-            .unwrap_or(0),
-        grown_in_tail,
-    }
+    run_scenario(&scenario)
 }
 
 #[cfg(test)]
@@ -159,30 +154,24 @@ mod tests {
 
     #[test]
     fn summary_captures_the_alg1_shape() {
-        let s = run_election(
-            OmegaVariant::Alg1,
-            4,
-            30_000,
-            AwbParams::default(),
-            None,
-        );
+        let s = run_election(OmegaVariant::Alg1, 4, 30_000, AwbParams::default(), None);
         assert!(s.stabilized);
-        assert_eq!(s.tail_writers, 1, "Theorem 3: single writer after stabilization");
+        assert_eq!(
+            s.tail_writers, 1,
+            "Theorem 3: single writer after stabilization"
+        );
         assert_eq!(s.tail_written_registers, 1);
         assert_eq!(s.tail_readers, 4, "Lemma 6: everyone keeps reading");
-        assert!(s.grown_in_tail.len() <= 1, "Theorem 2: one unbounded register");
+        assert!(
+            s.grown_in_tail.len() <= 1,
+            "Theorem 2: one unbounded register"
+        );
         assert_eq!(s.register_count, 4 + 4 + 16);
     }
 
     #[test]
     fn summary_captures_the_alg2_shape() {
-        let s = run_election(
-            OmegaVariant::Alg2,
-            4,
-            30_000,
-            AwbParams::default(),
-            None,
-        );
+        let s = run_election(OmegaVariant::Alg2, 4, 30_000, AwbParams::default(), None);
         assert!(s.stabilized);
         assert_eq!(s.tail_writers, 4, "Corollary 1: everyone writes forever");
         assert!(s.grown_in_tail.is_empty(), "Theorem 6: fully bounded");
@@ -208,5 +197,12 @@ mod tests {
     fn variant_params_bound_stepclock_variance() {
         assert_eq!(AwbParams::for_variant(OmegaVariant::StepClock).delay.0, 2);
         assert_eq!(AwbParams::for_variant(OmegaVariant::Alg1).delay.0, 1);
+    }
+
+    #[test]
+    fn registry_scenarios_summarize() {
+        let s = run_scenario(&omega_scenario::registry::fault_free());
+        assert!(s.stabilized);
+        assert_eq!(s.n, 4);
     }
 }

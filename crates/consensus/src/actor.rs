@@ -31,7 +31,11 @@ impl<V: RegisterValue + PartialEq> ConsensusActor<V> {
     /// Panics if the two components disagree on the process identity.
     #[must_use]
     pub fn new(omega: Box<dyn OmegaProcess>, proposer: ConsensusProcess<V>) -> Self {
-        assert_eq!(omega.pid(), proposer.pid(), "Ω and proposer must be co-located");
+        assert_eq!(
+            omega.pid(),
+            proposer.pid(),
+            "Ω and proposer must be co-located"
+        );
         ConsensusActor {
             omega,
             proposer,
@@ -95,7 +99,11 @@ impl<V: RegisterValue + PartialEq> LogActor<V> {
     /// Panics if the two components disagree on the process identity.
     #[must_use]
     pub fn new(omega: Box<dyn OmegaProcess>, log: LogHandle<V>) -> Self {
-        assert_eq!(omega.pid(), log.pid(), "Ω and log replica must be co-located");
+        assert_eq!(
+            omega.pid(),
+            log.pid(),
+            "Ω and log replica must be co-located"
+        );
         LogActor { omega, log }
     }
 

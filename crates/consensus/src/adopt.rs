@@ -156,7 +156,11 @@ mod tests {
         let space = MemorySpace::new(3);
         let ac = AdoptCommit::<u64>::new(&space, "AC");
         for i in 0..3 {
-            assert_eq!(ac.propose(p(i), 7), AdoptCommitOutcome::Commit(7), "proposer {i}");
+            assert_eq!(
+                ac.propose(p(i), 7),
+                AdoptCommitOutcome::Commit(7),
+                "proposer {i}"
+            );
         }
     }
 

@@ -31,13 +31,15 @@ impl<V: RegisterValue> ConsensusInstance<V> {
         let n = space.n_processes();
         let rounds = ProcessId::all(n)
             .map(|pid| {
-                space.swmr::<RoundEntry<V>>(&format!("{name}.RR[{}]", pid.index()), pid, (0, 0, None))
+                space.swmr::<RoundEntry<V>>(
+                    &format!("{name}.RR[{}]", pid.index()),
+                    pid,
+                    (0, 0, None),
+                )
             })
             .collect();
         let decisions = ProcessId::all(n)
-            .map(|pid| {
-                space.swmr::<Option<V>>(&format!("{name}.DEC[{}]", pid.index()), pid, None)
-            })
+            .map(|pid| space.swmr::<Option<V>>(&format!("{name}.DEC[{}]", pid.index()), pid, None))
             .collect();
         Arc::new(ConsensusInstance {
             n,

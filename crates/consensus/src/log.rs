@@ -9,8 +9,8 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use omega_registers::sync::RwLock;
 use omega_registers::{MemorySpace, ProcessId, RegisterValue};
-use parking_lot::RwLock;
 
 use crate::instance::ConsensusInstance;
 use crate::proposer::{ConsensusProcess, ProposerStatus};
@@ -130,8 +130,8 @@ impl<V: RegisterValue + PartialEq> LogHandle<V> {
                 break;
             }
             let inst = self.shared.instance(slot);
-            let decided = ProcessId::all(inst.n())
-                .find_map(|j| inst.decision_reg(j).read(self.pid));
+            let decided =
+                ProcessId::all(inst.n()).find_map(|j| inst.decision_reg(j).read(self.pid));
             match decided {
                 Some(v) => self.absorb(v),
                 None => break,

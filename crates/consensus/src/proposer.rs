@@ -248,7 +248,13 @@ mod tests {
         ProcessId::new(i)
     }
 
-    fn setup(n: usize) -> (MemorySpace, Arc<ConsensusInstance<u64>>, Vec<ConsensusProcess<u64>>) {
+    fn setup(
+        n: usize,
+    ) -> (
+        MemorySpace,
+        Arc<ConsensusInstance<u64>>,
+        Vec<ConsensusProcess<u64>>,
+    ) {
         let space = MemorySpace::new(n);
         let inst = ConsensusInstance::new(&space, "C");
         let procs = ProcessId::all(n)
@@ -260,7 +266,9 @@ mod tests {
     #[test]
     fn sole_leader_decides_its_own_proposal() {
         let (_s, inst, mut procs) = setup(3);
-        let v = procs[0].step_until_decided(p(0), 50).expect("sole leader decides");
+        let v = procs[0]
+            .step_until_decided(p(0), 50)
+            .expect("sole leader decides");
         assert_eq!(v, 100);
         assert_eq!(inst.peek_decision(), Some(100));
         assert_eq!(procs[0].attempts(), 1);
@@ -270,7 +278,9 @@ mod tests {
     fn followers_learn_the_decision() {
         let (_s, _inst, mut procs) = setup(3);
         let _ = procs[0].step_until_decided(p(0), 50);
-        let v = procs[1].step_until_decided(p(0), 5).expect("follower learns via DEC");
+        let v = procs[1]
+            .step_until_decided(p(0), 5)
+            .expect("follower learns via DEC");
         assert_eq!(v, 100);
         assert_eq!(procs[1].attempts(), 0, "followers never attempt rounds");
     }
@@ -330,7 +340,10 @@ mod tests {
                 break;
             }
         }
-        let got: Vec<u64> = decisions.iter().map(|d| d.expect("all decide once Ω settles")).collect();
+        let got: Vec<u64> = decisions
+            .iter()
+            .map(|d| d.expect("all decide once Ω settles"))
+            .collect();
         assert!(got.windows(2).all(|w| w[0] == w[1]), "agreement: {got:?}");
         assert!((100..103).contains(&got[0]), "validity");
     }
@@ -348,7 +361,9 @@ mod tests {
     fn phase1_abort_jumps_past_contending_round() {
         let (_s, inst, mut procs) = setup(2);
         inst.round_reg(p(1)).poke((41, 0, None));
-        let v = procs[0].step_until_decided(p(0), 50).expect("eventually decides");
+        let v = procs[0]
+            .step_until_decided(p(0), 50)
+            .expect("eventually decides");
         assert_eq!(v, 100);
         let (mbal, bal, _) = inst.round_reg(p(0)).peek();
         assert!(mbal > 41, "second attempt jumped past the promise: {mbal}");
@@ -371,7 +386,7 @@ mod tests {
         // p0 starts an attempt as leader...
         let _ = procs[0].step(p(0)); // promise write
         let _ = procs[0].step(p(0)); // read RR[0]
-        // ...then leadership flips to p1, which decides.
+                                     // ...then leadership flips to p1, which decides.
         let v1 = procs[1].step_until_decided(p(1), 50).unwrap();
         // p0 finishes stepping (no longer leader): must converge to v1.
         let v0 = procs[0].step_until_decided(p(1), 50).unwrap();

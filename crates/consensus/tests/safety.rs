@@ -4,30 +4,30 @@
 //! Consensus built on Ω is *indulgent*: the oracle can lie for arbitrarily
 //! long — give different processes different leaders, name crashed
 //! processes, flip every step — and agreement/validity must still never
-//! break. These tests drive the proposer state machines through
-//! proptest-generated schedules where both the interleaving and every
-//! process's leader view are adversarial.
+//! break. These tests drive the proposer state machines through seeded
+//! randomized schedules (64 cases each) where both the interleaving and
+//! every process's leader view are adversarial.
 
 use std::sync::Arc;
 
 use omega_consensus::{ConsensusInstance, ConsensusProcess, LogHandle, LogShared, ProposerStatus};
 use omega_registers::{MemorySpace, ProcessId};
-use proptest::prelude::*;
+use omega_sim::rng::SmallRng;
 
 fn p(i: usize) -> ProcessId {
     ProcessId::new(i)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Single-shot consensus: any decided values agree and were proposed,
-    /// under arbitrary step schedules and leader views.
-    #[test]
-    fn agreement_and_validity_under_adversarial_omega(
-        n in 2usize..5,
-        schedule in prop::collection::vec((0usize..5, 0usize..5), 0..600),
-    ) {
+/// Single-shot consensus: any decided values agree and were proposed,
+/// under arbitrary step schedules and leader views.
+#[test]
+fn agreement_and_validity_under_adversarial_omega() {
+    let mut g = SmallRng::seed_from_u64(0xC0_0051);
+    for case in 0..64 {
+        let n = g.gen_range(2..=4) as usize;
+        let schedule: Vec<(usize, usize)> = (0..g.gen_range(0..=599))
+            .map(|_| (g.gen_range(0..=4) as usize, g.gen_range(0..=4) as usize))
+            .collect();
         let space = MemorySpace::new(n);
         let inst = ConsensusInstance::<u64>::new(&space, "C");
         let mut procs: Vec<ConsensusProcess<u64>> = ProcessId::all(n)
@@ -43,7 +43,10 @@ proptest! {
             let leader = p(claimed_leader % n);
             if let ProposerStatus::Decided(v) = procs[who].step(leader) {
                 if let Some(prev) = decisions[who] {
-                    prop_assert_eq!(prev, v, "a process may never change its decision");
+                    assert_eq!(
+                        prev, v,
+                        "case {case}: a process may never change its decision"
+                    );
                 }
                 decisions[who] = Some(v);
             }
@@ -51,26 +54,34 @@ proptest! {
 
         let decided: Vec<u64> = decisions.iter().copied().flatten().collect();
         // Agreement: all decided values identical.
-        prop_assert!(
+        assert!(
             decided.windows(2).all(|w| w[0] == w[1]),
-            "agreement violated: {:?}",
-            decided
+            "case {case}: agreement violated: {decided:?}"
         );
         // Validity: the decided value was someone's proposal.
         for v in decided {
-            prop_assert!(proposals.contains(&v), "decided unproposed value {v}");
+            assert!(
+                proposals.contains(&v),
+                "case {case}: decided unproposed value {v}"
+            );
         }
     }
+}
 
-    /// The replicated log: committed prefixes of any two replicas are
-    /// consistent (one is a prefix of the other), and every committed
-    /// command was submitted by someone, exactly once.
-    #[test]
-    fn log_prefix_consistency_under_adversarial_omega(
-        n in 2usize..4,
-        submissions in prop::collection::vec((0usize..4, 1u64..1_000), 1..6),
-        schedule in prop::collection::vec((0usize..4, 0usize..4), 0..800),
-    ) {
+/// The replicated log: committed prefixes of any two replicas are
+/// consistent (one is a prefix of the other), and every committed command
+/// was submitted by someone, exactly once.
+#[test]
+fn log_prefix_consistency_under_adversarial_omega() {
+    let mut g = SmallRng::seed_from_u64(0x10_6F1);
+    for case in 0..64 {
+        let n = g.gen_range(2..=3) as usize;
+        let submissions: Vec<(usize, u64)> = (0..g.gen_range(1..=5))
+            .map(|_| (g.gen_range(0..=3) as usize, g.gen_range(1..=999)))
+            .collect();
+        let schedule: Vec<(usize, usize)> = (0..g.gen_range(0..=799))
+            .map(|_| (g.gen_range(0..=3) as usize, g.gen_range(0..=3) as usize))
+            .collect();
         let space = MemorySpace::new(n);
         let shared = LogShared::<u64>::new(space);
         let mut handles: Vec<LogHandle<u64>> = ProcessId::all(n)
@@ -102,10 +113,10 @@ proptest! {
                 } else {
                     (handles[b].committed(), handles[a].committed())
                 };
-                prop_assert_eq!(
+                assert_eq!(
                     short,
                     &long[..short.len()],
-                    "replica logs diverged"
+                    "case {case}: replica logs diverged"
                 );
             }
         }
@@ -118,8 +129,14 @@ proptest! {
             .committed();
         let mut seen = std::collections::HashSet::new();
         for cmd in longest {
-            prop_assert!(all_submitted.contains(cmd), "unsubmitted command committed");
-            prop_assert!(seen.insert(*cmd), "command {} committed twice", cmd);
+            assert!(
+                all_submitted.contains(cmd),
+                "case {case}: unsubmitted command committed"
+            );
+            assert!(
+                seen.insert(*cmd),
+                "case {case}: command {cmd} committed twice"
+            );
         }
     }
 }
@@ -182,8 +199,7 @@ fn threaded_contention_agreement() {
                 .map(|i| {
                     let inst = Arc::clone(&inst);
                     s.spawn(move || {
-                        let mut proc =
-                            ConsensusProcess::new(inst, p(i), round * 100 + i as u64);
+                        let mut proc = ConsensusProcess::new(inst, p(i), round * 100 + i as u64);
                         // Contention phase: everyone thinks it leads.
                         if let Some(v) = proc.step_until_decided(p(i), 200) {
                             return v;

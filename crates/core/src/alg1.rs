@@ -258,7 +258,10 @@ impl OmegaProcess for Alg1Process {
         if leader == self.pid {
             // Line 8: heartbeat.
             self.my_progress = self.my_progress.wrapping_add(1);
-            self.mem.progress.get(self.pid).write(self.pid, self.my_progress);
+            self.mem
+                .progress
+                .get(self.pid)
+                .write(self.pid, self.my_progress);
             // Line 9: announce candidacy.
             if self.my_stop {
                 self.my_stop = false;
@@ -379,7 +382,11 @@ mod tests {
         // Second scan: no progress, STOP set → removed without suspicion.
         let _ = procs[0].on_timer_expire();
         assert!(!procs[0].candidates().contains(p(1)));
-        assert_eq!(mem.peek_suspicions(p(0), p(1)), 0, "no suspicion on voluntary stop");
+        assert_eq!(
+            mem.peek_suspicions(p(0), p(1)),
+            0,
+            "no suspicion on voluntary stop"
+        );
     }
 
     #[test]
@@ -396,7 +403,12 @@ mod tests {
             .map(|pid| Alg1Process::new(Arc::clone(&mem), pid))
             .collect();
         for proc in &procs {
-            assert_eq!(proc.leader(), p(1), "{} must elect the least suspected", proc.pid());
+            assert_eq!(
+                proc.leader(),
+                p(1),
+                "{} must elect the least suspected",
+                proc.pid()
+            );
         }
     }
 
@@ -436,7 +448,10 @@ mod tests {
         proc0.t2_step();
         assert_eq!(mem.peek_progress(p(0)), 0, "wrapped");
         let _ = procs[1].on_timer_expire();
-        assert!(procs[1].candidates().contains(p(0)), "wrap is still progress");
+        assert!(
+            procs[1].candidates().contains(p(0)),
+            "wrap is still progress"
+        );
         assert_eq!(mem.peek_suspicions(p(1), p(0)), 0);
     }
 
@@ -468,7 +483,11 @@ mod tests {
         // sees STOP[1] = true (initial), so p1 resigns without a suspicion.
         let _ = proc.on_timer_expire();
         let _ = proc.on_timer_expire();
-        assert_eq!(mem.peek_suspicions(p(0), p(1)), 41, "voluntary stop: count unchanged");
+        assert_eq!(
+            mem.peek_suspicions(p(0), p(1)),
+            41,
+            "voluntary stop: count unchanged"
+        );
         // Once p1 claims candidacy without progressing, the suspicion
         // continues from the corrupted count — but only after p1 re-enters
         // the candidate set via fresh progress.

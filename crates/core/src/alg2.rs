@@ -160,7 +160,9 @@ impl Alg2Process {
     pub fn with_candidates(mem: Arc<Alg2Memory>, pid: ProcessId, init: CandidateInit) -> Self {
         let n = mem.n();
         assert!(pid.index() < n, "{pid} out of range for n={n}");
-        let my_last = ProcessId::all(n).map(|k| mem.last.get(k, pid).peek()).collect();
+        let my_last = ProcessId::all(n)
+            .map(|k| mem.last.get(k, pid).peek())
+            .collect();
         let my_stop = mem.stop.get(pid).peek();
         let my_suspicions = ProcessId::all(n)
             .map(|k| mem.suspicions.get(pid, k).peek())
@@ -336,7 +338,7 @@ mod tests {
         let (_s, mem, mut procs) = system(2);
         procs[0].t2_step(); // signal
         let _ = procs[1].on_timer_expire(); // ack, candidate
-        // p0 now goes silent but keeps STOP low.
+                                            // p0 now goes silent but keeps STOP low.
         let _ = procs[1].on_timer_expire(); // no signal → suspect
         assert_eq!(mem.peek_suspicions(p(1), p(0)), 1);
         assert!(!procs[1].candidates().contains(p(0)));
@@ -377,7 +379,11 @@ mod tests {
             let _ = p0.on_timer_expire();
             let _ = p1.on_timer_expire();
         }
-        assert_eq!(p0.leader(), p1.leader(), "handshake recovers from corruption");
+        assert_eq!(
+            p0.leader(),
+            p1.leader(),
+            "handshake recovers from corruption"
+        );
     }
 
     #[test]

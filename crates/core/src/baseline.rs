@@ -92,7 +92,12 @@ impl EsOmega {
     ///
     /// Panics if `pid` is out of range or any parameter is zero.
     #[must_use]
-    pub fn new(mem: Arc<EsMemory>, pid: ProcessId, initial_threshold: u64, scan_period: u64) -> Self {
+    pub fn new(
+        mem: Arc<EsMemory>,
+        pid: ProcessId,
+        initial_threshold: u64,
+        scan_period: u64,
+    ) -> Self {
         let n = mem.n();
         assert!(pid.index() < n, "{pid} out of range");
         assert!(initial_threshold > 0 && scan_period > 0);
@@ -216,7 +221,11 @@ mod tests {
         for k in ProcessId::all(3) {
             assert_eq!(mem.peek_heartbeat(k), 5);
         }
-        assert_eq!(space.stats().writer_set().len(), 3, "not write-optimal by design");
+        assert_eq!(
+            space.stats().writer_set().len(),
+            3,
+            "not write-optimal by design"
+        );
     }
 
     #[test]

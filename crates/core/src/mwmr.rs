@@ -122,7 +122,10 @@ impl OmegaProcess for MwmrProcess {
         self.cached = Some(leader);
         if leader == self.pid {
             self.my_progress = self.my_progress.wrapping_add(1);
-            self.mem.progress.get(self.pid).write(self.pid, self.my_progress);
+            self.mem
+                .progress
+                .get(self.pid)
+                .write(self.pid, self.my_progress);
             if self.my_stop {
                 self.my_stop = false;
                 self.mem.stop.get(self.pid).write(self.pid, false);
@@ -242,7 +245,10 @@ mod tests {
             }
         }
         let leaders: Vec<ProcessId> = procs.iter().map(|q| q.leader()).collect();
-        assert!(leaders.windows(2).all(|w| w[0] == w[1]), "agree: {leaders:?}");
+        assert!(
+            leaders.windows(2).all(|w| w[0] == w[1]),
+            "agree: {leaders:?}"
+        );
     }
 
     #[test]

@@ -147,7 +147,11 @@ mod tests {
         let mut procs = wrapped_system(2);
         assert_eq!(procs[0].initial_timeout(), NEVER_TIMEOUT);
         assert_eq!(procs[0].on_timer_expire(), NEVER_TIMEOUT);
-        assert_eq!(procs[0].virtual_fires(), 0, "hardware expiry does not run T3");
+        assert_eq!(
+            procs[0].virtual_fires(),
+            0,
+            "hardware expiry does not run T3"
+        );
     }
 
     #[test]

@@ -7,9 +7,9 @@ use omega_sim::Actor;
 
 use crate::alg1::{Alg1Memory, Alg1Process};
 use crate::alg2::{Alg2Memory, Alg2Process};
+use crate::boxed_actors;
 use crate::mwmr::{MwmrMemory, MwmrProcess};
 use crate::stepclock::StepClockProcess;
-use crate::boxed_actors;
 
 /// The Ω implementations this crate provides.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -95,8 +95,10 @@ impl OmegaVariant {
                 let mem = Alg1Memory::new(&space);
                 ProcessId::all(n)
                     .map(|pid| {
-                        Box::new(StepClockProcess::new(Alg1Process::new(Arc::clone(&mem), pid)))
-                            as Box<dyn crate::OmegaProcess>
+                        Box::new(StepClockProcess::new(Alg1Process::new(
+                            Arc::clone(&mem),
+                            pid,
+                        ))) as Box<dyn crate::OmegaProcess>
                     })
                     .collect()
             }
@@ -163,9 +165,15 @@ mod tests {
     #[test]
     fn register_counts_match_layouts() {
         // Figure 2: n PROGRESS + n STOP + n² SUSPICIONS.
-        assert_eq!(OmegaVariant::Alg1.build(5).space.register_count(), 5 + 5 + 25);
+        assert_eq!(
+            OmegaVariant::Alg1.build(5).space.register_count(),
+            5 + 5 + 25
+        );
         // Figure 5: n² HPROGRESS + n² LAST + n STOP + n² SUSPICIONS.
-        assert_eq!(OmegaVariant::Alg2.build(5).space.register_count(), 25 + 25 + 5 + 25);
+        assert_eq!(
+            OmegaVariant::Alg2.build(5).space.register_count(),
+            25 + 25 + 5 + 25
+        );
         // nWnR: n PROGRESS + n STOP + n SUSPICIONS.
         assert_eq!(OmegaVariant::Mwmr.build(5).space.register_count(), 15);
     }

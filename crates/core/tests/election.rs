@@ -42,9 +42,9 @@ fn every_variant_elects_under_random_awb_schedule() {
                 .horizon(40_000)
                 .sample_every(100)
                 .run();
-            let stab = report.stabilization().unwrap_or_else(|| {
-                panic!("{variant} with n={n} failed to stabilize")
-            });
+            let stab = report
+                .stabilization()
+                .unwrap_or_else(|| panic!("{variant} with n={n} failed to stabilize"));
             assert!(
                 report.correct.contains(stab.leader),
                 "{variant} n={n}: elected a crashed process"
@@ -76,7 +76,9 @@ fn election_survives_chaotic_timers() {
         .horizon(60_000)
         .sample_every(100)
         .run();
-    let stab = report.stabilization().expect("chaotic prefix must not prevent election");
+    let stab = report
+        .stabilization()
+        .expect("chaotic prefix must not prevent election");
     assert!(report.correct.contains(stab.leader));
 }
 
@@ -88,7 +90,10 @@ fn election_survives_bursty_schedules() {
         .horizon(80_000)
         .sample_every(200)
         .run();
-    assert!(report.stabilization().is_some(), "bursty followers may stall arbitrarily");
+    assert!(
+        report.stabilization().is_some(),
+        "bursty followers may stall arbitrarily"
+    );
 }
 
 #[test]
@@ -105,7 +110,9 @@ fn leader_crash_triggers_reelection() {
         .horizon(60_000)
         .sample_every(100)
         .run();
-    let stab = report.stabilization().expect("re-election after leader crash");
+    let stab = report
+        .stabilization()
+        .expect("re-election after leader crash");
     assert_ne!(stab.leader, p(0), "crashed process cannot stay leader");
     assert!(report.correct.contains(stab.leader));
     assert!(
@@ -119,7 +126,12 @@ fn cascading_crashes_leave_last_process_leading() {
     // Crash p0, then p1, then p2 — p3 must end up the leader.
     let sys = OmegaVariant::Alg1.build(4);
     let report = Simulation::builder(sys.actors)
-        .adversary(AwbEnvelope::new(Synchronous::new(3), p(3), SimTime::ZERO, 4))
+        .adversary(AwbEnvelope::new(
+            Synchronous::new(3),
+            p(3),
+            SimTime::ZERO,
+            4,
+        ))
         .crash_plan(
             CrashPlan::none()
                 .with_crash_at(SimTime::from_ticks(10_000), p(0))
@@ -146,7 +158,9 @@ fn alg1_self_stabilizes_from_corrupted_registers() {
         .horizon(60_000)
         .sample_every(100)
         .run();
-    let stab = report.stabilization().expect("footnote 7: arbitrary initial values");
+    let stab = report
+        .stabilization()
+        .expect("footnote 7: arbitrary initial values");
     assert!(report.correct.contains(stab.leader));
 }
 
@@ -182,7 +196,11 @@ fn alg1_eventually_single_writer_single_register() {
     let leader = report.elected_leader().expect("stabilizes");
     let tail = report.windowed.tail(0.25).expect("stats recorded");
     let writers: Vec<ProcessId> = tail.writer_set().iter().collect();
-    assert_eq!(writers, vec![leader], "only the leader writes after stabilization");
+    assert_eq!(
+        writers,
+        vec![leader],
+        "only the leader writes after stabilization"
+    );
     let written = tail.stats.written_registers();
     assert_eq!(
         written,

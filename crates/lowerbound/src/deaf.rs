@@ -128,8 +128,16 @@ mod tests {
             let _ = deaf.leader();
             assert_eq!(deaf.on_timer_expire(), PARKED_TIMEOUT);
         }
-        assert_eq!(space.stats().total_reads(), reads_before, "no reads while deaf");
-        assert_eq!(space.stats().total_writes(), writes_before, "no writes while deaf");
+        assert_eq!(
+            space.stats().total_reads(),
+            reads_before,
+            "no reads while deaf"
+        );
+        assert_eq!(
+            space.stats().total_writes(),
+            writes_before,
+            "no writes while deaf"
+        );
         assert_eq!(deaf.cached_leader(), frozen, "estimate frozen forever");
     }
 

@@ -99,7 +99,12 @@ fn followers_trust(report: &RunReport, leader: ProcessId) -> bool {
 /// re-run with that leader crashed right after its last write, and compare
 /// what the followers could observe.
 #[must_use]
-pub fn lemma5_evidence(n: usize, write_budget: u64, crash_at: u64, horizon: u64) -> TwinRunEvidence {
+pub fn lemma5_evidence(
+    n: usize,
+    write_budget: u64,
+    crash_at: u64,
+    horizon: u64,
+) -> TwinRunEvidence {
     let build = || {
         let space = MemorySpace::new(n);
         let mem = NaiveMemory::new(&space);
@@ -118,7 +123,11 @@ pub fn lemma5_evidence(n: usize, write_budget: u64, crash_at: u64, horizon: u64)
         };
     };
     let leader = stab.leader;
-    let crashed = run_synchronous(build(), Some((SimTime::from_ticks(crash_at), leader)), horizon);
+    let crashed = run_synchronous(
+        build(),
+        Some((SimTime::from_ticks(crash_at), leader)),
+        horizon,
+    );
     TwinRunEvidence {
         elected_in_live_run: Some(leader),
         followers_views_identical: followers_match(
@@ -145,7 +154,11 @@ pub fn lemma5_control(n: usize, crash_at: u64, horizon: u64) -> TwinRunEvidence 
         };
     };
     let leader = stab.leader;
-    let crashed = run_synchronous(build(), Some((SimTime::from_ticks(crash_at), leader)), horizon);
+    let crashed = run_synchronous(
+        build(),
+        Some((SimTime::from_ticks(crash_at), leader)),
+        horizon,
+    );
     TwinRunEvidence {
         elected_in_live_run: Some(leader),
         followers_views_identical: followers_match(
@@ -353,8 +366,14 @@ mod tests {
         let evidence = theorem5_evidence(2, 30_000);
         assert!(evidence.frugal_hwm_bits <= 4, "frugal memory is a few bits");
         assert!(!evidence.frugal_stabilized, "aliasing starves the election");
-        assert!(evidence.frugal_split_brain, "both processes trust themselves");
-        assert!(evidence.alg2_stabilized, "Algorithm 2 survives the same schedule");
+        assert!(
+            evidence.frugal_split_brain,
+            "both processes trust themselves"
+        );
+        assert!(
+            evidence.alg2_stabilized,
+            "Algorithm 2 survives the same schedule"
+        );
         assert!(evidence.bound_demonstrated());
     }
 }

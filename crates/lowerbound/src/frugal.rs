@@ -182,7 +182,11 @@ mod tests {
             }
         }
         let fp = space.footprint();
-        assert_eq!(fp.total_hwm_bits(), 3, "n single-bit registers, nothing more");
+        assert_eq!(
+            fp.total_hwm_bits(),
+            3,
+            "n single-bit registers, nothing more"
+        );
     }
 
     #[test]
@@ -195,7 +199,11 @@ mod tests {
             }
         }
         let writers: Vec<ProcessId> = space.stats().writer_set().iter().collect();
-        assert_eq!(writers, vec![p(0)], "write-optimal — which is exactly its sin");
+        assert_eq!(
+            writers,
+            vec![p(0)],
+            "write-optimal — which is exactly its sin"
+        );
     }
 
     #[test]
@@ -225,7 +233,11 @@ mod tests {
             !procs[1].candidates().contains(p(0)),
             "perfect aliasing: the live leader looks dead"
         );
-        assert_eq!(procs[1].leader(), p(1), "follower elects itself — split brain");
+        assert_eq!(
+            procs[1].leader(),
+            p(1),
+            "follower elects itself — split brain"
+        );
     }
 
     #[test]

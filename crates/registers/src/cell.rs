@@ -4,7 +4,7 @@
 //! be loaded and stored atomically from many threads. Two families are
 //! provided:
 //!
-//! * [`LockCell`] — a [`parking_lot::RwLock`] around any cloneable value.
+//! * [`LockCell`] — a [`RwLock`](crate::sync::RwLock) around any cloneable value.
 //!   Loads and stores are serialized by the lock, which makes the cell
 //!   trivially linearizable for arbitrary `T`.
 //! * [`AtomicNatCell`] / [`AtomicFlagCell`] — lock-free cells over
@@ -16,7 +16,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use parking_lot::RwLock;
+use crate::sync::RwLock;
 
 /// Atomic single-value storage shared between threads.
 ///
@@ -190,7 +190,10 @@ mod tests {
                 for _ in 0..1000 {
                     let v = c.load();
                     assert!(v <= 1000);
-                    assert!(v >= last || v == 0, "reads of a monotone writer regress only never");
+                    assert!(
+                        v >= last || v == 0,
+                        "reads of a monotone writer regress only never"
+                    );
                     last = v;
                 }
             })

@@ -121,9 +121,17 @@ impl FootprintReport {
 
 impl fmt::Display for FootprintReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<24} {:>9} {:>12}", "register", "hwm bits", "current bits")?;
+        writeln!(
+            f,
+            "{:<24} {:>9} {:>12}",
+            "register", "hwm bits", "current bits"
+        )?;
         for row in &self.rows {
-            writeln!(f, "{:<24} {:>9} {:>12}", row.name, row.hwm_bits, row.current_bits)?;
+            writeln!(
+                f,
+                "{:<24} {:>9} {:>12}",
+                row.name, row.hwm_bits, row.current_bits
+            )?;
         }
         writeln!(f, "total hwm: {} bits", self.total_hwm_bits())
     }
@@ -131,7 +139,7 @@ impl fmt::Display for FootprintReport {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::{MemorySpace, ProcessId};
 
     fn p(i: usize) -> ProcessId {

@@ -47,6 +47,7 @@
 
 pub mod cell;
 pub mod lincheck;
+pub mod sync;
 
 mod array;
 mod error;

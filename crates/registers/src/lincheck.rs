@@ -27,7 +27,7 @@ use std::collections::HashSet;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use crate::ProcessId;
 
@@ -211,7 +211,11 @@ pub fn is_linearizable<T: Clone + Eq + Hash>(history: &History<T>, initial: T) -
     }
 
     let ops = history.ops();
-    let full: u128 = if n == 128 { u128::MAX } else { (1u128 << n) - 1 };
+    let full: u128 = if n == 128 {
+        u128::MAX
+    } else {
+        (1u128 << n) - 1
+    };
     let mut memo: HashSet<(u128, T)> = HashSet::new();
     search(ops, 0, initial, full, &mut memo)
 }
@@ -268,7 +272,13 @@ mod tests {
         ProcessId::new(i)
     }
 
-    fn op<T>(process: usize, op: RegOp<T>, result: Option<T>, invoke: u64, response: u64) -> CompletedOp<T> {
+    fn op<T>(
+        process: usize,
+        op: RegOp<T>,
+        result: Option<T>,
+        invoke: u64,
+        response: u64,
+    ) -> CompletedOp<T> {
         CompletedOp {
             process: p(process),
             op,
@@ -318,7 +328,10 @@ mod tests {
             let mut h = History::new();
             h.push(op(0, RegOp::Write(5u64), None, 0, 10));
             h.push(op(1, RegOp::Read, Some(observed), 1, 2));
-            assert!(is_linearizable(&h, 0), "observed {observed} should linearize");
+            assert!(
+                is_linearizable(&h, 0),
+                "observed {observed} should linearize"
+            );
         }
     }
 

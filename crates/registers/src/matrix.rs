@@ -126,7 +126,10 @@ mod tests {
         for (r, c, reg) in m.iter() {
             assert_eq!(reg.owner(), r);
             assert_eq!(reg.peek(), (r.index() + c.index()) as u64);
-            assert_eq!(reg.name(), format!("SUSPICIONS[{}][{}]", r.index(), c.index()));
+            assert_eq!(
+                reg.name(),
+                format!("SUSPICIONS[{}][{}]", r.index(), c.index())
+            );
         }
     }
 
@@ -135,7 +138,11 @@ mod tests {
         let s = MemorySpace::new(3);
         let m = s.column_matrix::<bool>("LAST", |_, _| false);
         for (r, c, reg) in m.iter() {
-            assert_eq!(reg.owner(), c, "LAST[{r}][{c}] must be owned by the column process");
+            assert_eq!(
+                reg.owner(),
+                c,
+                "LAST[{r}][{c}] must be owned by the column process"
+            );
         }
     }
 

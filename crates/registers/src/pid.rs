@@ -142,7 +142,11 @@ impl ProcessSet {
     /// Panics if `pid.index() >= capacity`.
     pub fn insert(&mut self, pid: ProcessId) -> bool {
         let i = pid.index();
-        assert!(i < self.capacity, "{pid} out of range for capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "{pid} out of range for capacity {}",
+            self.capacity
+        );
         let (word, bit) = (i / 64, 1u64 << (i % 64));
         let was = self.bits[word] & bit != 0;
         self.bits[word] |= bit;
@@ -240,12 +244,15 @@ mod tests {
     fn pid_all_enumerates() {
         assert_eq!(ProcessId::all(0).count(), 0);
         let v: Vec<_> = ProcessId::all(4).collect();
-        assert_eq!(v, vec![
-            ProcessId::new(0),
-            ProcessId::new(1),
-            ProcessId::new(2),
-            ProcessId::new(3)
-        ]);
+        assert_eq!(
+            v,
+            vec![
+                ProcessId::new(0),
+                ProcessId::new(1),
+                ProcessId::new(2),
+                ProcessId::new(3)
+            ]
+        );
     }
 
     #[test]
@@ -255,7 +262,10 @@ mod tests {
         assert!(s.insert(ProcessId::new(0)));
         assert!(s.insert(ProcessId::new(64)));
         assert!(s.insert(ProcessId::new(129)));
-        assert!(!s.insert(ProcessId::new(129)), "double insert reports false");
+        assert!(
+            !s.insert(ProcessId::new(129)),
+            "double insert reports false"
+        );
         assert_eq!(s.len(), 3);
         assert!(s.contains(ProcessId::new(64)));
         assert!(!s.contains(ProcessId::new(63)));

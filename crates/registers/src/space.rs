@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use crate::sync::RwLock;
 
 use crate::array::{MwmrArray, SwmrArray};
 use crate::cell::{AtomicFlagCell, AtomicNatCell, LockCell, SharedCell};
@@ -445,9 +445,15 @@ mod tests {
         let m = s.nat_row_matrix("SUSPICIONS", |_, _| 0);
         assert_eq!(m.n(), 2);
         let pm = s.flag_row_matrix("HPROGRESS", |_, _| false);
-        assert_eq!(pm.get(ProcessId::new(0), ProcessId::new(1)).owner(), ProcessId::new(0));
+        assert_eq!(
+            pm.get(ProcessId::new(0), ProcessId::new(1)).owner(),
+            ProcessId::new(0)
+        );
         let lm = s.flag_column_matrix("LAST", |_, _| false);
-        assert_eq!(lm.get(ProcessId::new(0), ProcessId::new(1)).owner(), ProcessId::new(1));
+        assert_eq!(
+            lm.get(ProcessId::new(0), ProcessId::new(1)).owner(),
+            ProcessId::new(1)
+        );
         let mw = s.nat_mwmr_array("S", 2, |_| 0);
         assert_eq!(mw.len(), 2);
     }

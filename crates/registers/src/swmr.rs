@@ -320,7 +320,10 @@ mod tests {
         let err = r.try_write(ProcessId::new(3), false).unwrap_err();
         assert_eq!(err.owner(), ProcessId::new(1));
         assert_eq!(err.writer(), ProcessId::new(3));
-        assert!(r.read(ProcessId::new(0)), "failed write must not change value");
+        assert!(
+            r.read(ProcessId::new(0)),
+            "failed write must not change value"
+        );
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Panic-transparent locks with a `parking_lot`-style API.
+//!
+//! The register substrate serializes nothing on its hot paths (those are
+//! lock-free atomics), but the lock-based cells, the history recorder, and
+//! the runtime's node state need plain mutual exclusion. These wrappers
+//! expose `lock()`/`read()`/`write()` returning guards directly — no
+//! poisoning `Result` to unwrap at every call site. A panic while holding a
+//! lock simply releases it for the next holder, which is the right
+//! semantics for a crash-stop fault model: a "crashed" thread must not
+//! wedge the shared memory for everyone else.
+
+use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// A mutual-exclusion lock whose `lock()` returns the guard directly.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a lock holding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, recovering from poison (a panicking holder
+    /// releases the lock rather than wedging it).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// A readers-writer lock whose `read()`/`write()` return guards directly.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a lock holding `value`.
+    pub fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, recovering from poison.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Acquires exclusive write access, recovering from poison.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+    }
+
+    #[test]
+    fn rwlock_roundtrip() {
+        let l = RwLock::new(vec![1]);
+        l.write().push(2);
+        assert_eq!(*l.read(), vec![1, 2]);
+    }
+
+    #[test]
+    fn poisoned_locks_recover() {
+        let m = Arc::new(Mutex::new(0));
+        let l = Arc::new(RwLock::new(0));
+        {
+            let m = Arc::clone(&m);
+            let l = Arc::clone(&l);
+            let _ = std::thread::spawn(move || {
+                let _g1 = m.lock();
+                let _g2 = l.write();
+                panic!("poison both");
+            })
+            .join();
+        }
+        *m.lock() += 1;
+        *l.write() += 1;
+        assert_eq!(*m.lock(), 1);
+        assert_eq!(*l.read(), 1);
+    }
+}

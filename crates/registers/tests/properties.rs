@@ -1,54 +1,114 @@
-//! Property-based tests for the register substrate.
+//! Property-based tests for the register substrate, driven by a seeded
+//! in-crate generator (determinism over dependency weight): each property
+//! is checked across a few hundred randomized cases per run, every failure
+//! reproducible from the case number.
 
 use omega_registers::lincheck::{is_linearizable, CompletedOp, History, HistoryRecorder, RegOp};
 use omega_registers::{MemorySpace, ProcessId, ProcessSet, RegisterValue};
-use proptest::prelude::*;
 
 fn pid(i: usize) -> ProcessId {
     ProcessId::new(i)
 }
 
-proptest! {
-    /// Footprints are monotone in magnitude for naturals.
-    #[test]
-    fn footprint_monotone(a in any::<u64>(), b in any::<u64>()) {
-        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(lo.footprint_bits() <= hi.footprint_bits());
+/// Minimal xorshift64* generator so this crate's tests stay dependency-free.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
     }
 
-    /// Footprint bounds: 1 ≤ bits ≤ 64 and 2^(bits-1) ≤ v (for v > 0).
-    #[test]
-    fn footprint_is_bit_length(v in any::<u64>()) {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+
+    fn vec(&mut self, max_len: u64) -> Vec<u64> {
+        let len = self.below(max_len);
+        (0..len).map(|_| self.next()).collect()
+    }
+
+    fn nonempty_vec(&mut self, max_len: u64) -> Vec<u64> {
+        let mut v = self.vec(max_len);
+        if v.is_empty() {
+            v.push(self.next());
+        }
+        v
+    }
+}
+
+/// Footprints are monotone in magnitude for naturals.
+#[test]
+fn footprint_monotone() {
+    let mut g = Gen::new(11);
+    for case in 0..500 {
+        let (a, b) = (g.next(), g.next());
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        assert!(
+            lo.footprint_bits() <= hi.footprint_bits(),
+            "case {case}: {lo} vs {hi}"
+        );
+    }
+}
+
+/// Footprint bounds: 1 ≤ bits ≤ 64 and 2^(bits-1) ≤ v (for v > 0).
+#[test]
+fn footprint_is_bit_length() {
+    let mut g = Gen::new(12);
+    let edge = [0u64, 1, 2, 3, u64::MAX - 1, u64::MAX];
+    for case in 0..500usize {
+        let v = if case < edge.len() {
+            edge[case]
+        } else {
+            g.next()
+        };
         let bits = v.footprint_bits();
-        prop_assert!((1..=64).contains(&bits));
+        assert!((1..=64).contains(&bits));
         if v > 0 {
-            prop_assert!(v >= 1u64 << (bits - 1));
+            assert!(v >= 1u64 << (bits - 1), "v={v} bits={bits}");
             if bits < 64 {
-                prop_assert!(v < 1u64 << bits);
+                assert!(v < 1u64 << bits, "v={v} bits={bits}");
             }
         }
     }
+}
 
-    /// Last write wins: after an arbitrary sequence of owner writes, a read
-    /// observes the final value, and the write counters match.
-    #[test]
-    fn swmr_last_write_wins(values in prop::collection::vec(any::<u64>(), 1..50)) {
+/// Last write wins: after an arbitrary sequence of owner writes, a read
+/// observes the final value, and the write counters match.
+#[test]
+fn swmr_last_write_wins() {
+    let mut g = Gen::new(13);
+    for case in 0..100 {
+        let values = g.nonempty_vec(50);
         let space = MemorySpace::new(2);
         let owner = pid(0);
         let reg = space.nat_register("R", owner, 0);
         for &v in &values {
             reg.write(owner, v);
         }
-        prop_assert_eq!(reg.read(pid(1)), *values.last().unwrap());
+        assert_eq!(reg.read(pid(1)), *values.last().unwrap(), "case {case}");
         let stats = space.stats();
-        prop_assert_eq!(stats.writes_of(owner), values.len() as u64);
-        prop_assert_eq!(stats.reads_of(pid(1)), 1);
+        assert_eq!(stats.writes_of(owner), values.len() as u64);
+        assert_eq!(stats.reads_of(pid(1)), 1);
     }
+}
 
-    /// The footprint high-water mark equals the max footprint over all
-    /// values ever stored (including the initial value).
-    #[test]
-    fn footprint_hwm_is_max(init in any::<u64>(), values in prop::collection::vec(any::<u64>(), 0..40)) {
+/// The footprint high-water mark equals the max footprint over all values
+/// ever stored (including the initial value).
+#[test]
+fn footprint_hwm_is_max() {
+    let mut g = Gen::new(14);
+    for case in 0..100 {
+        let init = g.next();
+        let values = g.vec(40);
         let space = MemorySpace::new(1);
         let owner = pid(0);
         let reg = space.nat_register("R", owner, init);
@@ -60,16 +120,26 @@ proptest! {
             .map(|v| v.footprint_bits())
             .max()
             .unwrap();
-        prop_assert_eq!(space.footprint().row("R").unwrap().hwm_bits, expect);
+        assert_eq!(
+            space.footprint().row("R").unwrap().hwm_bits,
+            expect,
+            "case {case}"
+        );
     }
+}
 
-    /// Stats deltas are exact: delta counts precisely the accesses between
-    /// the two snapshots.
-    #[test]
-    fn stats_delta_exact(
-        pre in prop::collection::vec((0usize..3, any::<bool>()), 0..30),
-        post in prop::collection::vec((0usize..3, any::<bool>()), 0..30),
-    ) {
+/// Stats deltas are exact: a delta counts precisely the accesses between
+/// the two snapshots.
+#[test]
+fn stats_delta_exact() {
+    let mut g = Gen::new(15);
+    for case in 0..100 {
+        let ops = |g: &mut Gen| -> Vec<(usize, bool)> {
+            (0..g.below(30))
+                .map(|_| (g.below(3) as usize, g.below(2) == 0))
+                .collect()
+        };
+        let (pre, post) = (ops(&mut g), ops(&mut g));
         let space = MemorySpace::new(3);
         let arr = space.nat_array("A", |_| 0);
         let apply = |ops: &[(usize, bool)]| {
@@ -88,33 +158,41 @@ proptest! {
         let delta = space.stats().delta_since(&baseline);
         let expect_writes = post.iter().filter(|(_, w)| *w).count() as u64;
         let expect_reads = post.len() as u64 - expect_writes;
-        prop_assert_eq!(delta.total_writes(), expect_writes);
-        prop_assert_eq!(delta.total_reads(), expect_reads);
+        assert_eq!(delta.total_writes(), expect_writes, "case {case}");
+        assert_eq!(delta.total_reads(), expect_reads, "case {case}");
     }
+}
 
-    /// ProcessSet behaves like a set of indices.
-    #[test]
-    fn process_set_models_btreeset(ops in prop::collection::vec((0usize..100, any::<bool>()), 0..200)) {
-        use std::collections::BTreeSet;
+/// ProcessSet behaves like a set of indices.
+#[test]
+fn process_set_models_btreeset() {
+    use std::collections::BTreeSet;
+    let mut g = Gen::new(16);
+    for case in 0..50 {
         let mut set = ProcessSet::new(100);
         let mut model = BTreeSet::new();
-        for (i, insert) in ops {
-            if insert {
-                prop_assert_eq!(set.insert(pid(i)), model.insert(i));
+        for _ in 0..g.below(200) {
+            let i = g.below(100) as usize;
+            if g.below(2) == 0 {
+                assert_eq!(set.insert(pid(i)), model.insert(i), "case {case}");
             } else {
-                prop_assert_eq!(set.remove(pid(i)), model.remove(&i));
+                assert_eq!(set.remove(pid(i)), model.remove(&i), "case {case}");
             }
         }
-        prop_assert_eq!(set.len(), model.len());
+        assert_eq!(set.len(), model.len());
         let got: Vec<usize> = set.iter().map(ProcessId::index).collect();
         let want: Vec<usize> = model.into_iter().collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
     }
+}
 
-    /// Any *sequential* history over a register is linearizable, and reads
-    /// that report anything other than the latest written value are not.
-    #[test]
-    fn sequential_histories_linearize(writes in prop::collection::vec(any::<u64>(), 1..20)) {
+/// Any *sequential* history over a register is linearizable, and reads
+/// that report anything other than the latest written value are not.
+#[test]
+fn sequential_histories_linearize() {
+    let mut g = Gen::new(17);
+    for case in 0..60 {
+        let writes = g.nonempty_vec(20);
         let mut h = History::new();
         let mut t = 0u64;
         let mut latest = 0u64;
@@ -137,20 +215,18 @@ proptest! {
             });
             t += 2;
         }
-        prop_assert!(is_linearizable(&h, 0));
+        assert!(is_linearizable(&h, 0), "case {case}");
 
-        // Corrupt the last read to a value that was never the latest there.
-        let bad = h.clone();
-        let last = bad.len() - 1;
-        let mut ops: Vec<_> = bad.ops().to_vec();
+        // Corrupt the last read to a value that was never the latest there;
+        // sequential histories have no overlap, so it must be rejected.
+        let mut ops: Vec<_> = h.ops().to_vec();
+        let last = ops.len() - 1;
         ops[last].result = Some(latest.wrapping_add(1));
         let mut corrupted = History::new();
         for op in ops {
             corrupted.push(op);
         }
-        // The corrupted value may coincidentally equal an overlapping write;
-        // sequential histories have no overlap, so it must be rejected.
-        prop_assert!(!is_linearizable(&corrupted, 0));
+        assert!(!is_linearizable(&corrupted, 0), "case {case}");
     }
 }
 

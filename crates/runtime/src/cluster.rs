@@ -97,6 +97,19 @@ impl Cluster {
         set
     }
 
+    /// Per-process `T2` step counts, in identity order (the thread-runtime
+    /// analogue of the simulator's `steps_taken`).
+    #[must_use]
+    pub fn steps(&self) -> Vec<u64> {
+        self.nodes.iter().map(Node::steps).collect()
+    }
+
+    /// Per-process `T3` timer-expiry counts, in identity order.
+    #[must_use]
+    pub fn timer_fires(&self) -> Vec<u64> {
+        self.nodes.iter().map(Node::timer_fires).collect()
+    }
+
     /// Crash-stops `pid`.
     pub fn crash(&self, pid: ProcessId) {
         self.nodes[pid.index()].crash();
@@ -127,17 +140,31 @@ impl Cluster {
     /// estimates, so polling does not add shared-memory traffic.
     #[must_use]
     pub fn await_stable_leader(&self, window: Duration, timeout: Duration) -> Option<ProcessId> {
+        self.await_stable_leader_observing(window, timeout, |_| {})
+    }
+
+    /// Like [`await_stable_leader`](Self::await_stable_leader), but invokes
+    /// `observe` with every node's current estimate on each poll (~2 ms
+    /// cadence) — the hook drivers use to count estimate changes or inject
+    /// scripted faults while waiting, without duplicating the agreement
+    /// state machine.
+    #[must_use]
+    pub fn await_stable_leader_observing(
+        &self,
+        window: Duration,
+        timeout: Duration,
+        mut observe: impl FnMut(&[Option<ProcessId>]),
+    ) -> Option<ProcessId> {
         let start = Instant::now();
         let poll = Duration::from_millis(2);
         let mut agreed_since: Option<(ProcessId, Instant)> = None;
         while start.elapsed() < timeout {
+            let estimates = self.leaders();
+            observe(&estimates);
             let correct = self.correct();
-            let mut estimates = correct.iter().map(|p| self.nodes[p.index()].cached_leader());
-            let first = estimates.next().flatten();
-            let agreed = match first {
-                Some(leader)
-                    if correct.contains(leader) && estimates.all(|e| e == Some(leader)) =>
-                {
+            let mut live = correct.iter().map(|p| estimates[p.index()]);
+            let agreed = match live.next().flatten() {
+                Some(leader) if correct.contains(leader) && live.all(|e| e == Some(leader)) => {
                     Some(leader)
                 }
                 _ => None,

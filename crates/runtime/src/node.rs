@@ -1,13 +1,13 @@
 //! One Ω process running on real operating-system threads.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use omega_core::OmegaProcess;
+use omega_registers::sync::Mutex;
 use omega_registers::ProcessId;
-use parking_lot::Mutex;
 
 /// Real-time pacing of a node's two background tasks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +48,8 @@ struct NodeShared {
     process: Mutex<Box<dyn OmegaProcess>>,
     crashed: AtomicBool,
     stop: AtomicBool,
+    steps: AtomicU64,
+    timer_fires: AtomicU64,
 }
 
 /// A process of the election algorithm hosted on dedicated threads: one for
@@ -72,6 +74,8 @@ impl Node {
             process: Mutex::new(process),
             crashed: AtomicBool::new(false),
             stop: AtomicBool::new(false),
+            steps: AtomicU64::new(0),
+            timer_fires: AtomicU64::new(0),
         });
 
         // Task T2: heartbeat loop.
@@ -85,6 +89,7 @@ impl Node {
                         return;
                     }
                     shared.process.lock().t2_step();
+                    shared.steps.fetch_add(1, Ordering::Relaxed);
                     std::thread::sleep(config.step_interval);
                 })
                 .expect("spawn T2 thread")
@@ -116,6 +121,7 @@ impl Node {
                             return;
                         }
                         timeout = shared.process.lock().on_timer_expire().max(1);
+                        shared.timer_fires.fetch_add(1, Ordering::Relaxed);
                     }
                 })
                 .expect("spawn T3 thread")
@@ -154,6 +160,18 @@ impl Node {
             return None;
         }
         self.shared.process.lock().cached_leader()
+    }
+
+    /// Number of `T2` heartbeat iterations executed so far.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.shared.steps.load(Ordering::Relaxed)
+    }
+
+    /// Number of `T3` timer expirations handled so far.
+    #[must_use]
+    pub fn timer_fires(&self) -> u64 {
+        self.shared.timer_fires.load(Ordering::Relaxed)
     }
 
     /// Crash-stops the node: both task threads halt permanently.

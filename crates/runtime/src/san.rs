@@ -25,8 +25,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use omega_registers::sync::Mutex;
 use omega_registers::ProcessId;
-use parking_lot::Mutex;
 
 /// Latency model of one disk: fixed base plus deterministic pseudo-random
 /// jitter.
@@ -388,6 +388,9 @@ mod tests {
             }
         });
         let history = Arc::into_inner(rec).unwrap().finish();
-        assert!(is_linearizable(&history, 0), "disk registers must be atomic");
+        assert!(
+            is_linearizable(&history, 0),
+            "disk registers must be atomic"
+        );
     }
 }

@@ -15,8 +15,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use omega_registers::sync::Mutex;
 use omega_registers::ProcessId;
-use parking_lot::Mutex;
 
 use crate::cluster::Cluster;
 
@@ -93,9 +93,7 @@ impl LeaderWatch {
     /// The identity all correct nodes currently agree on, if any.
     fn agreed_leader(cluster: &Cluster) -> Option<ProcessId> {
         let correct = cluster.correct();
-        let mut estimates = correct
-            .iter()
-            .map(|pid| cluster.node(pid).cached_leader());
+        let mut estimates = correct.iter().map(|pid| cluster.node(pid).cached_leader());
         let first = estimates.next().flatten()?;
         if correct.contains(first) && estimates.all(|e| e == Some(first)) {
             Some(first)

@@ -1,0 +1,19 @@
+//! The backend interface: anything that can realize a [`Scenario`].
+
+use crate::{Outcome, Scenario};
+
+/// A backend that can execute a [`Scenario`] and report a comparable
+/// [`Outcome`].
+///
+/// Two implementations ship today — [`SimDriver`](crate::SimDriver)
+/// (deterministic virtual time, adversarial schedules) and
+/// [`ThreadDriver`](crate::ThreadDriver) (OS threads, wall-clock) — and the
+/// trait is the seam future backends (a SAN-disk driver, an async/tokio
+/// driver) plug into.
+pub trait Driver {
+    /// Short backend name recorded in every [`Outcome`].
+    fn name(&self) -> &'static str;
+
+    /// Executes the scenario to completion.
+    fn run(&self, scenario: &Scenario) -> Outcome;
+}

@@ -1,0 +1,54 @@
+//! One declarative scenario spec, every backend.
+//!
+//! The paper's central claim is that the *same* Ω algorithms behave
+//! correctly both against adversarial schedules (checked in a simulator)
+//! and on real hardware (run on threads). This crate makes that claim a
+//! first-class API: a [`Scenario`] describes an election experiment once —
+//! variant, system size, scheduling regime, AWB envelope, timer model,
+//! crash script, horizon, seed — with no reference to any backend, and a
+//! [`Driver`] realizes it:
+//!
+//! * [`SimDriver`] — the deterministic discrete-event simulator: virtual
+//!   time, literally enforced adversaries and timer models, reproducible
+//!   from the seed.
+//! * [`ThreadDriver`] — operating-system threads and wall-clock time, with
+//!   scenario ticks mapped to real durations and the crash script replayed
+//!   on the wall clock.
+//!
+//! Both return the same [`Outcome`] type, measured through the same
+//! instrumented registers and expressed in the same tick units, so results
+//! are directly comparable across backends. The [`registry`] ships a
+//! curated suite of named scenarios (fault-free, failover chains, crash
+//! storms, σ stress, AWB edge cases, scaling probes) shared by the tests
+//! and the benchmark binaries.
+//!
+//! # One spec, two backends
+//!
+//! ```no_run
+//! use omega_scenario::{registry, Driver, SimDriver, ThreadDriver};
+//!
+//! let scenario = registry::named("leader-crash-failover").unwrap();
+//! let simulated = SimDriver.run(&scenario);
+//! let native = ThreadDriver::default().run(&scenario);
+//! for outcome in [&simulated, &native] {
+//!     outcome.assert_election();          // Theorem 1, on both backends
+//!     assert_eq!(outcome.crashed.len(), 1);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod registry;
+
+mod driver;
+mod outcome;
+mod sim_driver;
+mod spec;
+mod thread_driver;
+
+pub use driver::Driver;
+pub use outcome::{Outcome, TailActivity};
+pub use sim_driver::SimDriver;
+pub use spec::{AdversarySpec, AwbSpec, CrashSpec, Scenario, TimerSpec};
+pub use thread_driver::ThreadDriver;

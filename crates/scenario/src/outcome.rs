@@ -1,0 +1,183 @@
+//! The backend-agnostic result of running a scenario.
+
+use omega_core::OmegaVariant;
+use omega_registers::{ProcessId, ProcessSet};
+
+/// Shared-memory activity over the trailing window of a run — the
+/// "post-stabilization" view the paper's write-optimality results are
+/// stated over (Theorems 3, 4, 7).
+#[derive(Debug, Clone)]
+pub struct TailActivity {
+    /// Processes that wrote shared memory during the window.
+    pub writers: ProcessSet,
+    /// Processes that read shared memory during the window.
+    pub readers: ProcessSet,
+    /// Distinct registers written during the window.
+    pub written_registers: usize,
+    /// Writes per 1000 ticks of window span.
+    pub writes_per_1k: f64,
+    /// Window span in ticks.
+    pub span_ticks: u64,
+}
+
+/// What one [`Driver`](crate::Driver) observed running one
+/// [`Scenario`](crate::Scenario).
+///
+/// Both drivers measure through the same instrumented
+/// [`MemorySpace`](omega_registers::MemorySpace) and express time in the
+/// scenario's abstract ticks (virtual ticks in the simulator; wall-clock
+/// divided by the driver's tick duration on threads), so outcomes from the
+/// two backends are directly comparable.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Which driver produced this outcome (`"sim"` / `"threads"`).
+    pub backend: &'static str,
+    /// Name of the scenario that ran.
+    pub scenario: String,
+    /// The Ω variant that ran.
+    pub variant: OmegaVariant,
+    /// Number of processes.
+    pub n: usize,
+    /// The leader the run stabilized on, if it did.
+    pub elected: Option<ProcessId>,
+    /// Whether every correct process settled on one correct leader.
+    pub stabilized: bool,
+    /// Tick at which the stable suffix began.
+    pub stabilization_ticks: Option<u64>,
+    /// The scenario horizon, for normalizing.
+    pub horizon_ticks: u64,
+    /// Processes that crashed during the run.
+    pub crashed: ProcessSet,
+    /// Processes alive at the end.
+    pub correct: ProcessSet,
+    /// Main-task (`T2`) steps per process.
+    pub steps: Vec<u64>,
+    /// How many times each process's leader estimate changed between
+    /// consecutive observations (simulator samples / thread-driver polls).
+    pub estimate_changes: Vec<usize>,
+    /// Cumulative shared-memory reads per process.
+    pub reads: Vec<u64>,
+    /// Cumulative shared-memory writes per process.
+    pub writes: Vec<u64>,
+    /// Registers allocated by the variant's layout.
+    pub register_count: usize,
+    /// Total shared-memory high-water footprint in bits.
+    pub hwm_bits: u64,
+    /// Registers whose footprint still grew late in the run (empty for
+    /// fully bounded variants; at most `PROGRESS[leader]` for Figure 2).
+    pub grown_in_tail: Vec<String>,
+    /// Activity over the trailing window, when the backend captured one.
+    pub tail: Option<TailActivity>,
+}
+
+impl Outcome {
+    /// Fraction of the horizon from stabilization to the end of the run
+    /// (0.0 when the run never stabilized).
+    #[must_use]
+    pub fn stable_fraction(&self) -> f64 {
+        match self.stabilization_ticks {
+            Some(from) if self.horizon_ticks > 0 => {
+                (self.horizon_ticks.saturating_sub(from)) as f64 / self.horizon_ticks as f64
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Whether the run stabilized with at least `min_fraction` of the
+    /// horizon still ahead (the "settled early enough to mean it" check).
+    #[must_use]
+    pub fn stabilized_for(&self, min_fraction: f64) -> bool {
+        self.stabilized && self.stable_fraction() >= min_fraction
+    }
+
+    /// Whether the elected leader (if any) was alive at the end of the run.
+    #[must_use]
+    pub fn leader_is_correct(&self) -> bool {
+        self.elected.is_some_and(|l| self.correct.contains(l))
+    }
+
+    /// Total shared-memory writes across all processes.
+    #[must_use]
+    pub fn total_writes(&self) -> u64 {
+        self.writes.iter().sum()
+    }
+
+    /// Total shared-memory reads across all processes.
+    #[must_use]
+    pub fn total_reads(&self) -> u64 {
+        self.reads.iter().sum()
+    }
+
+    /// Asserts the Ω contract this scenario promised: stabilization onto a
+    /// correct leader when the spec satisfies AWB.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a scenario-labelled message when the contract is broken.
+    pub fn assert_election(&self) {
+        assert!(
+            self.stabilized,
+            "{} [{}]: expected stabilization, got none",
+            self.scenario, self.backend
+        );
+        assert!(
+            self.leader_is_correct(),
+            "{} [{}]: elected {:?} is not a correct process ({:?})",
+            self.scenario,
+            self.backend,
+            self.elected,
+            self.correct
+        );
+    }
+
+    /// A one-screen human-readable summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "scenario   : {}  [{}]", self.scenario, self.backend);
+        let _ = writeln!(
+            out,
+            "system     : {} n={}  ({} registers)",
+            self.variant, self.n, self.register_count
+        );
+        match (self.elected, self.stabilization_ticks) {
+            (Some(leader), Some(from)) => {
+                let _ = writeln!(
+                    out,
+                    "election   : {leader} stable from tick {from} ({:.0}% of horizon remained)",
+                    self.stable_fraction() * 100.0
+                );
+            }
+            _ => {
+                let _ = writeln!(out, "election   : DID NOT STABILIZE");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "crashed    : {:?}  correct: {:?}",
+            self.crashed, self.correct
+        );
+        let _ = writeln!(
+            out,
+            "memory     : {} writes / {} reads, hwm {} bits",
+            self.total_writes(),
+            self.total_reads(),
+            self.hwm_bits
+        );
+        if let Some(tail) = &self.tail {
+            let writers: Vec<String> = tail.writers.iter().map(|p| p.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "tail       : writers [{}] into {} register(s), {:.1} writes/1k ticks",
+                writers.join(","),
+                tail.written_registers,
+                tail.writes_per_1k
+            );
+        }
+        if !self.grown_in_tail.is_empty() {
+            let _ = writeln!(out, "unbounded  : {}", self.grown_in_tail.join(","));
+        }
+        out
+    }
+}

@@ -1,0 +1,229 @@
+//! The named scenario registry: one curated suite usable from tests,
+//! benches, and examples alike.
+//!
+//! Each entry is a complete, backend-free [`Scenario`]; run any of them on
+//! any [`Driver`](crate::Driver). `expect_stabilization` records which side
+//! of the AWB assumption the spec falls on, so suites can assert both the
+//! positive theorems and the necessity experiments.
+
+use omega_core::OmegaVariant;
+use omega_registers::ProcessId;
+
+use crate::{AdversarySpec, Scenario, TimerSpec};
+
+/// The curated scenario suite, in presentation order.
+#[must_use]
+pub fn all() -> Vec<Scenario> {
+    vec![
+        fault_free(),
+        fault_free_large(),
+        leader_crash_failover(),
+        double_failover(),
+        crash_storm(),
+        sigma_stress(),
+        slow_timer_edge(),
+        bounded_memory(),
+        mwmr_lean(),
+        stepclock(),
+        n_scaling(),
+        no_awb_staller(),
+    ]
+}
+
+/// Looks a scenario up by its registry name.
+#[must_use]
+pub fn named(name: &str) -> Option<Scenario> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+/// All registry names, in presentation order.
+#[must_use]
+pub fn names() -> Vec<String> {
+    all().into_iter().map(|s| s.name).collect()
+}
+
+/// Baseline: Figure 2, four processes, random AWB schedule, no faults.
+#[must_use]
+pub fn fault_free() -> Scenario {
+    Scenario::fault_free(OmegaVariant::Alg1, 4).named("fault-free")
+}
+
+/// The same baseline at n = 16: register layout and suspicion traffic grow
+/// quadratically while the election must still settle.
+#[must_use]
+pub fn fault_free_large() -> Scenario {
+    Scenario::fault_free(OmegaVariant::Alg1, 16)
+        .named("fault-free-large")
+        .horizon(80_000)
+}
+
+/// The headline failover story: elect, crash the leader a third of the way
+/// in, re-elect among the survivors.
+#[must_use]
+pub fn leader_crash_failover() -> Scenario {
+    Scenario::fault_free(OmegaVariant::Alg1, 5)
+        .named("leader-crash-failover")
+        .awb(ProcessId::new(4), 1_000, 4)
+        .crash_leader_at(20_000)
+        .horizon(80_000)
+}
+
+/// Two successive leader crashes: every reign must end in a clean handover.
+#[must_use]
+pub fn double_failover() -> Scenario {
+    Scenario::fault_free(OmegaVariant::Alg1, 5)
+        .named("double-failover")
+        .awb(ProcessId::new(4), 0, 4)
+        .crash_leader_at(20_000)
+        .crash_leader_at(50_000)
+        .horizon(110_000)
+}
+
+/// `t = n − 1` faults: five of six processes crash in a staggered storm;
+/// the lone survivor (the timely `p5`) must end up electing itself.
+#[must_use]
+pub fn crash_storm() -> Scenario {
+    let mut scenario = Scenario::fault_free(OmegaVariant::Alg1, 6)
+        .named("crash-storm")
+        .awb(ProcessId::new(5), 0, 4)
+        .horizon(80_000);
+    for i in 0..5 {
+        scenario = scenario.crash_at(4_000 + i * 4_000, ProcessId::new(i as usize));
+    }
+    scenario
+}
+
+/// A slack AWB₁ bound: the timely process is only clamped to σ = 32 while
+/// followers race at delays in `[1, 12]` — stabilization must survive any
+/// finite σ (Lemma 2's geometry).
+#[must_use]
+pub fn sigma_stress() -> Scenario {
+    Scenario::fault_free(OmegaVariant::Alg1, 4)
+        .named("sigma-stress")
+        .adversary(AdversarySpec::Random { min: 1, max: 12 })
+        .awb(ProcessId::new(0), 2_000, 32)
+        .horizon(80_000)
+}
+
+/// The AWB₂ asymptotic edge: every timer is arbitrary garbage for the
+/// first 20 000 ticks and only then behaves — stabilization is only
+/// promised *after* the chaos, and arrives.
+#[must_use]
+pub fn slow_timer_edge() -> Scenario {
+    Scenario::fault_free(OmegaVariant::Alg1, 4)
+        .named("slow-timer-edge")
+        .adversary(AdversarySpec::Random { min: 1, max: 9 })
+        .awb(ProcessId::new(0), 2_000, 4)
+        .timers(TimerSpec::ChaoticThenExact {
+            chaos_until: 20_000,
+            chaos_max: 60,
+        })
+        .horizon(100_000)
+}
+
+/// Figure 5: the fully bounded variant, everyone writing forever.
+#[must_use]
+pub fn bounded_memory() -> Scenario {
+    Scenario::fault_free(OmegaVariant::Alg2, 4).named("bounded-memory")
+}
+
+/// Section 3.5(a): suspicion columns collapsed into nWnR registers — a
+/// linear register count instead of quadratic.
+#[must_use]
+pub fn mwmr_lean() -> Scenario {
+    Scenario::fault_free(OmegaVariant::Mwmr, 5).named("mwmr-lean")
+}
+
+/// Section 3.5(b): timers replaced by counted own-steps.
+#[must_use]
+pub fn stepclock() -> Scenario {
+    Scenario::fault_free(OmegaVariant::StepClock, 4).named("stepclock")
+}
+
+/// Scale probe: n = 32 under the standard AWB workload.
+#[must_use]
+pub fn n_scaling() -> Scenario {
+    Scenario::fault_free(OmegaVariant::Alg1, 32)
+        .named("n-scaling-32")
+        .horizon(100_000)
+}
+
+/// The necessity experiment (E13): no AWB envelope, a leader-stalling
+/// schedule, and AWB₂-violating timers — the election must *not* settle.
+#[must_use]
+pub fn no_awb_staller() -> Scenario {
+    Scenario::fault_free(OmegaVariant::Alg1, 4)
+        .named("no-awb-staller")
+        .without_awb()
+        .adversary(AdversarySpec::LeaderStaller {
+            base: 2,
+            stall: 4_000,
+        })
+        .timers(TimerSpec::StuckLow { cap: 8 })
+        .horizon(120_000)
+}
+
+/// The σ sweep of experiment E5: one scenario per σ, identical otherwise.
+#[must_use]
+pub fn sigma_sweep(sigmas: &[u64]) -> Vec<Scenario> {
+    sigmas
+        .iter()
+        .map(|&sigma| {
+            Scenario::fault_free(OmegaVariant::Alg1, 4)
+                .named(format!("sigma-sweep/{sigma}"))
+                .adversary(AdversarySpec::Random { min: 1, max: 12 })
+                .awb(ProcessId::new(0), 2_000, sigma)
+                .seed(11)
+                .horizon(80_000)
+                .stats_checkpoints(32)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let names = names();
+        assert!(names.len() >= 10, "the suite promises ~10 scenarios");
+        let mut seen = std::collections::HashSet::new();
+        for name in &names {
+            assert!(seen.insert(name.clone()), "duplicate scenario {name}");
+            let scenario = named(name).expect("resolvable");
+            assert_eq!(&scenario.name, name);
+            assert!(scenario.n > 0);
+        }
+        assert!(named("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn awb_classification_is_recorded() {
+        assert!(fault_free().expect_stabilization);
+        assert!(crash_storm().expect_stabilization);
+        assert!(!no_awb_staller().expect_stabilization);
+    }
+
+    #[test]
+    fn crash_storm_spares_the_timely_process() {
+        let scenario = crash_storm();
+        let timely = scenario.awb.unwrap().timely;
+        for crash in &scenario.crashes {
+            if let crate::CrashSpec::At { pid, .. } = crash {
+                assert_ne!(*pid, timely, "the storm must not kill the AWB witness");
+            }
+        }
+        assert_eq!(scenario.crashes.len(), 5);
+    }
+
+    #[test]
+    fn sigma_sweep_parameterizes_only_sigma() {
+        let sweep = sigma_sweep(&[2, 8, 32]);
+        assert_eq!(sweep.len(), 3);
+        assert_eq!(sweep[0].awb.unwrap().sigma, 2);
+        assert_eq!(sweep[2].awb.unwrap().sigma, 32);
+        assert_eq!(sweep[0].seed, sweep[2].seed);
+        assert_eq!(sweep[0].horizon, sweep[2].horizon);
+    }
+}

@@ -1,0 +1,178 @@
+//! The deterministic-simulator backend.
+
+use omega_registers::MemorySpace;
+use omega_sim::{Actor, RunReport};
+
+use crate::{Driver, Outcome, Scenario, TailActivity};
+
+/// Realizes a [`Scenario`] on the deterministic discrete-event simulator
+/// (`omega_sim`): ticks are virtual time, the adversary/timer specs are
+/// enforced literally, and the whole run is reproducible from the scenario
+/// seed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimDriver;
+
+impl SimDriver {
+    /// Runs a scenario over externally built actors sharing `space`.
+    ///
+    /// The escape hatch for experiments that need custom actors (corrupted
+    /// memories, co-located consensus proposers) while keeping the
+    /// environment — schedule, timers, crashes, horizon — declarative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actors.len() != scenario.n`.
+    #[must_use]
+    pub fn run_actors(
+        &self,
+        scenario: &Scenario,
+        actors: Vec<Box<dyn Actor>>,
+        space: &MemorySpace,
+    ) -> Outcome {
+        let report = scenario.sim_builder(actors).memory(space.clone()).run();
+        outcome_of(scenario, &report, space)
+    }
+}
+
+impl Driver for SimDriver {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn run(&self, scenario: &Scenario) -> Outcome {
+        let sys = scenario.variant.build(scenario.n);
+        let space = sys.space.clone();
+        self.run_actors(scenario, sys.actors, &space)
+    }
+}
+
+fn outcome_of(scenario: &Scenario, report: &RunReport, space: &MemorySpace) -> Outcome {
+    let stabilization = report.stabilization();
+    let stats = space.stats();
+    let n = scenario.n;
+    let tail = report.windowed.tail(0.25).map(|w| TailActivity {
+        writers: w.stats.writer_set(),
+        readers: w.stats.reader_set(),
+        written_registers: w.stats.written_registers().len(),
+        writes_per_1k: w.stats.total_writes() as f64 * 1000.0 / (w.end - w.start).max(1) as f64,
+        span_ticks: w.end - w.start,
+    });
+    let grown_in_tail = match report.footprints.len() {
+        0 | 1 => Vec::new(),
+        len => {
+            let mid = &report.footprints[len * 3 / 4].1;
+            let last = &report.footprints[len - 1].1;
+            last.grown_since(mid)
+                .into_iter()
+                .map(String::from)
+                .collect()
+        }
+    };
+    Outcome {
+        backend: "sim",
+        scenario: scenario.name.clone(),
+        variant: scenario.variant,
+        n,
+        elected: stabilization.map(|s| s.leader),
+        stabilized: stabilization.is_some(),
+        stabilization_ticks: stabilization.map(|s| s.stable_from.ticks()),
+        horizon_ticks: scenario.horizon,
+        crashed: report.crashed.clone(),
+        correct: report.correct.clone(),
+        steps: report.steps_taken.clone(),
+        estimate_changes: omega_registers::ProcessId::all(n)
+            .map(|p| report.timeline.changes_of(p))
+            .collect(),
+        reads: omega_registers::ProcessId::all(n)
+            .map(|p| stats.reads_of(p))
+            .collect(),
+        writes: omega_registers::ProcessId::all(n)
+            .map(|p| stats.writes_of(p))
+            .collect(),
+        register_count: space.register_count(),
+        hwm_bits: space.footprint().total_hwm_bits(),
+        grown_in_tail,
+        tail,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega_core::OmegaVariant;
+    use omega_registers::ProcessId;
+
+    #[test]
+    fn fault_free_scenario_elects_and_measures() {
+        let scenario = Scenario::fault_free(OmegaVariant::Alg1, 4).horizon(30_000);
+        let outcome = SimDriver.run(&scenario);
+        outcome.assert_election();
+        assert_eq!(outcome.backend, "sim");
+        assert_eq!(outcome.n, 4);
+        assert_eq!(outcome.register_count, 4 + 4 + 16);
+        assert!(outcome.steps.iter().all(|&s| s > 0));
+        assert!(outcome.total_writes() > 0);
+        assert!(outcome.total_reads() > 0);
+        // Theorem 3 shape: single tail writer into a single register.
+        let tail = outcome.tail.as_ref().expect("stats checkpointed");
+        assert_eq!(tail.writers.len(), 1);
+        assert_eq!(tail.written_registers, 1);
+        assert!(outcome.summary().contains("stable from"));
+    }
+
+    #[test]
+    fn leader_crash_is_applied_and_reported() {
+        let scenario = Scenario::fault_free(OmegaVariant::Alg1, 4)
+            .crash_leader_at(15_000)
+            .horizon(60_000);
+        let outcome = SimDriver.run(&scenario);
+        outcome.assert_election();
+        assert_eq!(outcome.crashed.len(), 1);
+        assert!(outcome.stabilization_ticks.unwrap() > 15_000);
+        assert!(!outcome.crashed.contains(outcome.elected.unwrap()));
+    }
+
+    #[test]
+    fn same_scenario_same_outcome() {
+        let scenario = Scenario::fault_free(OmegaVariant::Alg2, 3).horizon(20_000);
+        let a = SimDriver.run(&scenario);
+        let b = SimDriver.run(&scenario);
+        assert_eq!(a.elected, b.elected);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.writes, b.writes);
+        assert_eq!(a.stabilization_ticks, b.stabilization_ticks);
+    }
+
+    #[test]
+    fn awb_violating_scenario_does_not_stabilize() {
+        let scenario = Scenario::fault_free(OmegaVariant::Alg1, 3)
+            .without_awb()
+            .adversary(crate::AdversarySpec::LeaderStaller {
+                base: 2,
+                stall: 4_000,
+            })
+            .timers(crate::TimerSpec::StuckLow { cap: 8 })
+            .horizon(80_000);
+        let outcome = SimDriver.run(&scenario);
+        assert!(
+            !outcome.stabilized_for(0.34),
+            "staller must keep demoting leaders"
+        );
+        assert!(!scenario.expect_stabilization);
+    }
+
+    #[test]
+    fn run_actors_hatch_preserves_environment() {
+        use omega_core::{boxed_actors, Alg1Memory, Alg1Process};
+        use std::sync::Arc;
+        let scenario = Scenario::fault_free(OmegaVariant::Alg1, 3).horizon(30_000);
+        let space = MemorySpace::new(3);
+        let mem = Alg1Memory::new(&space);
+        mem.corrupt(0xdead);
+        let procs: Vec<Alg1Process> = ProcessId::all(3)
+            .map(|pid| Alg1Process::new(Arc::clone(&mem), pid))
+            .collect();
+        let outcome = SimDriver.run_actors(&scenario, boxed_actors(procs), &space);
+        outcome.assert_election();
+    }
+}

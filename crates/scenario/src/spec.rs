@@ -1,0 +1,578 @@
+//! The declarative scenario specification — backend-free.
+
+use omega_core::OmegaVariant;
+use omega_registers::ProcessId;
+use omega_sim::adversary::{
+    Adversary, AwbEnvelope, Bursty, GrowingBursts, LeaderStaller, PartitionedPhases, RoundRobin,
+    SeededRandom, Synchronous,
+};
+use omega_sim::crash::CrashPlan;
+use omega_sim::timers::{
+    AffineTimer, ChaoticThen, ExactTimer, JitteredTimer, StuckLowTimer, TimerModel,
+};
+use omega_sim::{Actor, SimTime, Simulation, SimulationBuilder};
+
+/// The scheduling regime of a scenario.
+///
+/// The simulator realizes these literally; the thread runtime cannot impose
+/// an interleaving on the OS scheduler, so there the spec serves as
+/// documentation of the regime the simulated twin ran under (the OS itself
+/// plays the fair scheduler).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdversarySpec {
+    /// Every process steps once per `period` ticks.
+    Synchronous {
+        /// Step period in ticks.
+        period: u64,
+    },
+    /// Fixed rotation, `slot` ticks per turn.
+    RoundRobin {
+        /// Ticks per rotation slot.
+        slot: u64,
+    },
+    /// Independent uniform random delays in `[min, max]`.
+    Random {
+        /// Minimum step delay (ticks, ≥ 1).
+        min: u64,
+        /// Maximum step delay (ticks).
+        max: u64,
+    },
+    /// Bursts of fast steps separated by long stalls, per process.
+    Bursty {
+        /// Delay between steps inside a burst.
+        fast: u64,
+        /// Length of the stall between bursts.
+        stall: u64,
+        /// Steps per burst.
+        burst_len: u64,
+    },
+    /// Alternating partition phases: half the processes stalled at a time.
+    PartitionedPhases {
+        /// Phase length in ticks.
+        phase_len: u64,
+        /// Step delay for the running half.
+        fast: u64,
+        /// Step delay for the stalled half.
+        stall: u64,
+    },
+    /// One designated victim suffers geometrically growing stalls — correct
+    /// but never eventually synchronous (the AWB-vs-ES separating schedule).
+    GrowingBursts {
+        /// The process whose stalls grow.
+        victim: ProcessId,
+        /// Delay between its fast steps.
+        fast: u64,
+        /// Fast steps between stalls.
+        burst_len: u64,
+        /// First stall length; multiplied by `factor` each time.
+        initial_stall: u64,
+        /// Stall growth factor (≥ 2).
+        factor: u64,
+    },
+    /// Stalls whichever process currently leads, forever (AWB-violating).
+    LeaderStaller {
+        /// Step delay for everyone else.
+        base: u64,
+        /// Step delay for the current leader.
+        stall: u64,
+    },
+}
+
+/// The AWB₁ envelope: after `tau1` the designated process's step delay is
+/// clamped to `sigma`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AwbSpec {
+    /// The eventually timely process `p_ℓ`.
+    pub timely: ProcessId,
+    /// Time `τ₁` after which the clamp applies (ticks).
+    pub tau1: u64,
+    /// The clamp `σ` (ticks).
+    pub sigma: u64,
+}
+
+/// The timer model every process runs (AWB₂ and its violations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerSpec {
+    /// `T(τ, x) = x` — the faithful timer.
+    Exact,
+    /// `T(τ, x) = scale·x + offset`.
+    Affine {
+        /// Rate multiplier (≥ 1 keeps AWB₂).
+        scale: u64,
+        /// Constant overhead.
+        offset: u64,
+    },
+    /// `T(τ, x) = x + U[0, jitter]`, seeded per process.
+    Jittered {
+        /// Maximum extra delay.
+        jitter: u64,
+    },
+    /// Arbitrary in `[1, chaos_max]` before `chaos_until`, exact afterwards
+    /// — the asymptotic edge of AWB₂ (`τ_f = chaos_until`).
+    ChaoticThenExact {
+        /// End of the chaotic prefix (ticks).
+        chaos_until: u64,
+        /// Maximum chaotic duration.
+        chaos_max: u64,
+    },
+    /// Even identities jittered, odd identities affine — a heterogeneous
+    /// AWB₂-satisfying mix.
+    JitterAffineMix {
+        /// Jitter bound for even identities.
+        jitter: u64,
+        /// Affine scale for odd identities.
+        scale: u64,
+        /// Affine offset for odd identities.
+        offset: u64,
+    },
+    /// `T(τ, x) = min(x, cap)` — **violates** AWB₂.
+    StuckLow {
+        /// The cap that breaks domination.
+        cap: u64,
+    },
+}
+
+/// One scripted failure, in scenario (tick) time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashSpec {
+    /// Crash a specific process at a specific tick.
+    At {
+        /// When (ticks).
+        tick: u64,
+        /// Whom.
+        pid: ProcessId,
+    },
+    /// Crash whichever process the plurality then trusts as leader.
+    LeaderAt {
+        /// When (ticks).
+        tick: u64,
+    },
+}
+
+/// A complete, backend-free description of one election experiment.
+///
+/// A `Scenario` is the single source of truth a [`Driver`](crate::Driver)
+/// consumes: which Ω variant, how many processes, the scheduling and timer
+/// regime, the crash script, and the horizon — everything expressed in
+/// abstract ticks. [`SimDriver`](crate::SimDriver) realizes ticks as
+/// virtual time; [`ThreadDriver`](crate::ThreadDriver) maps them to
+/// wall-clock durations.
+///
+/// # Examples
+///
+/// ```
+/// use omega_core::OmegaVariant;
+/// use omega_scenario::{Driver, Scenario, SimDriver};
+///
+/// let scenario = Scenario::fault_free(OmegaVariant::Alg1, 4)
+///     .crash_leader_at(20_000)
+///     .horizon(60_000);
+/// let outcome = SimDriver::default().run(&scenario);
+/// assert!(outcome.stabilized);
+/// assert_eq!(outcome.crashed.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Human-readable name (used in tables and JSON output).
+    pub name: String,
+    /// Which Ω implementation runs.
+    pub variant: OmegaVariant,
+    /// Number of processes.
+    pub n: usize,
+    /// The scheduling regime (simulator-enforced).
+    pub adversary: AdversarySpec,
+    /// The AWB₁ envelope, if the scenario guarantees it.
+    pub awb: Option<AwbSpec>,
+    /// The timer model (AWB₂ side of the assumption).
+    pub timers: TimerSpec,
+    /// Scripted failures.
+    pub crashes: Vec<CrashSpec>,
+    /// Run horizon in ticks (the thread driver maps this to its deadline).
+    pub horizon: u64,
+    /// Leader-estimate sampling cadence in ticks.
+    pub sample_every: u64,
+    /// Number of statistics/footprint checkpoints across the run.
+    pub stats_checkpoints: usize,
+    /// Seed for every random choice (adversary delays, timer jitter).
+    pub seed: u64,
+    /// Whether the spec satisfies AWB, i.e. whether the paper's theorems
+    /// promise stabilization for it. Registry scenarios set this so tests
+    /// can assert both directions.
+    pub expect_stabilization: bool,
+}
+
+impl Scenario {
+    /// A fault-free baseline: seeded-random scheduling inside an AWB
+    /// envelope (`p0` timely, `τ₁ = 1000`, `σ = 4`), exact timers, horizon
+    /// 60 000 ticks.
+    ///
+    /// The step-clock variant gets a minimum step delay of 2 — its timeouts
+    /// are counted in own steps, so the step-rate variance must be bounded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn fault_free(variant: OmegaVariant, n: usize) -> Self {
+        assert!(n > 0, "a scenario needs at least one process");
+        let min = if variant == OmegaVariant::StepClock {
+            2
+        } else {
+            1
+        };
+        Scenario {
+            name: format!("fault-free/{}/n{n}", variant.name()),
+            variant,
+            n,
+            adversary: AdversarySpec::Random { min, max: 6 },
+            awb: Some(AwbSpec {
+                timely: ProcessId::new(0),
+                tau1: 1_000,
+                sigma: 4,
+            }),
+            timers: TimerSpec::Exact,
+            crashes: Vec::new(),
+            horizon: 60_000,
+            sample_every: 100,
+            stats_checkpoints: 16,
+            seed: 42,
+            expect_stabilization: true,
+        }
+    }
+
+    /// Renames the scenario.
+    #[must_use]
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Sets the scheduling regime.
+    #[must_use]
+    pub fn adversary(mut self, spec: AdversarySpec) -> Self {
+        self.adversary = spec;
+        self
+    }
+
+    /// Imposes the AWB₁ envelope.
+    #[must_use]
+    pub fn awb(mut self, timely: ProcessId, tau1: u64, sigma: u64) -> Self {
+        self.awb = Some(AwbSpec {
+            timely,
+            tau1,
+            sigma,
+        });
+        self
+    }
+
+    /// Drops the AWB₁ envelope (and the stabilization expectation).
+    #[must_use]
+    pub fn without_awb(mut self) -> Self {
+        self.awb = None;
+        self.expect_stabilization = false;
+        self
+    }
+
+    /// Sets the timer model.
+    #[must_use]
+    pub fn timers(mut self, spec: TimerSpec) -> Self {
+        self.timers = spec;
+        self
+    }
+
+    /// Adds a crash of `pid` at `tick`.
+    #[must_use]
+    pub fn crash_at(mut self, tick: u64, pid: ProcessId) -> Self {
+        self.crashes.push(CrashSpec::At { tick, pid });
+        self
+    }
+
+    /// Adds a crash of the then-current plurality leader at `tick`.
+    #[must_use]
+    pub fn crash_leader_at(mut self, tick: u64) -> Self {
+        self.crashes.push(CrashSpec::LeaderAt { tick });
+        self
+    }
+
+    /// Sets the horizon in ticks.
+    #[must_use]
+    pub fn horizon(mut self, ticks: u64) -> Self {
+        self.horizon = ticks;
+        self
+    }
+
+    /// Sets the sampling cadence in ticks.
+    #[must_use]
+    pub fn sample_every(mut self, ticks: u64) -> Self {
+        self.sample_every = ticks;
+        self
+    }
+
+    /// Sets the number of statistics checkpoints.
+    #[must_use]
+    pub fn stats_checkpoints(mut self, count: usize) -> Self {
+        self.stats_checkpoints = count;
+        self
+    }
+
+    /// Sets the seed for all randomized choices.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the stabilization expectation (e.g. a scenario that keeps
+    /// AWB₁ but breaks AWB₂ through its timers).
+    #[must_use]
+    pub fn expect_stabilization(mut self, expect: bool) -> Self {
+        self.expect_stabilization = expect;
+        self
+    }
+
+    /// The crash plan in simulator terms.
+    #[must_use]
+    pub fn crash_plan(&self) -> CrashPlan {
+        let mut plan = CrashPlan::none();
+        for &crash in &self.crashes {
+            plan = match crash {
+                CrashSpec::At { tick, pid } => plan.with_crash_at(SimTime::from_ticks(tick), pid),
+                CrashSpec::LeaderAt { tick } => {
+                    plan.with_leader_crash_at(SimTime::from_ticks(tick))
+                }
+            };
+        }
+        plan
+    }
+
+    /// Instantiates the scheduling regime (with the AWB envelope applied,
+    /// if any) as a simulator adversary.
+    #[must_use]
+    pub fn build_adversary(&self) -> Box<dyn Adversary> {
+        let inner: Box<dyn Adversary> = match self.adversary {
+            AdversarySpec::Synchronous { period } => Box::new(Synchronous::new(period)),
+            AdversarySpec::RoundRobin { slot } => Box::new(RoundRobin::new(self.n, slot)),
+            AdversarySpec::Random { min, max } => Box::new(SeededRandom::new(self.seed, min, max)),
+            AdversarySpec::Bursty {
+                fast,
+                stall,
+                burst_len,
+            } => Box::new(Bursty::new(self.n, self.seed, fast, stall, burst_len)),
+            AdversarySpec::PartitionedPhases {
+                phase_len,
+                fast,
+                stall,
+            } => Box::new(PartitionedPhases::new(self.n, phase_len, fast, stall)),
+            AdversarySpec::GrowingBursts {
+                victim,
+                fast,
+                burst_len,
+                initial_stall,
+                factor,
+            } => Box::new(GrowingBursts::new(
+                victim,
+                fast,
+                burst_len,
+                initial_stall,
+                factor,
+            )),
+            AdversarySpec::LeaderStaller { base, stall } => {
+                Box::new(LeaderStaller::new(base, stall))
+            }
+        };
+        match self.awb {
+            Some(AwbSpec {
+                timely,
+                tau1,
+                sigma,
+            }) => Box::new(AwbEnvelope::new(
+                inner,
+                timely,
+                SimTime::from_ticks(tau1),
+                sigma,
+            )),
+            None => inner,
+        }
+    }
+
+    /// Instantiates the timer model for process `pid` (jitter and chaos
+    /// streams are derived from the scenario seed and the identity, so runs
+    /// stay deterministic per spec).
+    #[must_use]
+    pub fn build_timer(&self, pid: ProcessId) -> Box<dyn TimerModel> {
+        let per_process_seed = self
+            .seed
+            .wrapping_mul(0x0100_0000_01b3)
+            .wrapping_add(pid.index() as u64 + 1);
+        match self.timers {
+            TimerSpec::Exact => Box::new(ExactTimer),
+            TimerSpec::Affine { scale, offset } => Box::new(AffineTimer::new(scale, offset)),
+            TimerSpec::Jittered { jitter } => {
+                Box::new(JitteredTimer::new(per_process_seed, jitter))
+            }
+            TimerSpec::ChaoticThenExact {
+                chaos_until,
+                chaos_max,
+            } => Box::new(ChaoticThen::new(
+                SimTime::from_ticks(chaos_until),
+                chaos_max,
+                per_process_seed,
+                ExactTimer,
+            )),
+            TimerSpec::JitterAffineMix {
+                jitter,
+                scale,
+                offset,
+            } => {
+                if pid.index().is_multiple_of(2) {
+                    Box::new(JitteredTimer::new(per_process_seed, jitter))
+                } else {
+                    Box::new(AffineTimer::new(scale, offset))
+                }
+            }
+            TimerSpec::StuckLow { cap } => Box::new(StuckLowTimer::new(cap)),
+        }
+    }
+
+    /// Applies the whole spec to a simulation over externally built actors.
+    ///
+    /// This is the escape hatch for experiments whose actors carry extra
+    /// machinery (corrupted memories, consensus proposers, replicated
+    /// logs): the scenario still owns scheduling, timers, crashes, horizon,
+    /// and sampling, so the run's *environment* remains declarative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actors.len() != self.n`.
+    #[must_use]
+    pub fn sim_builder(&self, actors: Vec<Box<dyn Actor>>) -> SimulationBuilder {
+        assert_eq!(
+            actors.len(),
+            self.n,
+            "scenario is specified for n = {}",
+            self.n
+        );
+        Simulation::builder(actors)
+            .adversary(self.build_adversary())
+            .timers_from(|pid| self.build_timer(pid))
+            .crash_plan(self.crash_plan())
+            .horizon(self.horizon)
+            .sample_every(self.sample_every)
+            .stats_checkpoints(self.stats_checkpoints)
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [{} n={} horizon={}]",
+            self.name, self.variant, self.n, self.horizon
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let s = Scenario::fault_free(OmegaVariant::Alg2, 5)
+            .named("x")
+            .adversary(AdversarySpec::Synchronous { period: 3 })
+            .awb(ProcessId::new(2), 500, 8)
+            .timers(TimerSpec::Jittered { jitter: 4 })
+            .crash_at(10, ProcessId::new(1))
+            .crash_leader_at(20)
+            .horizon(1_000)
+            .sample_every(10)
+            .stats_checkpoints(4)
+            .seed(7);
+        assert_eq!(s.name, "x");
+        assert_eq!(s.crashes.len(), 2);
+        assert_eq!(s.crash_plan().directives().len(), 2);
+        assert_eq!(s.awb.unwrap().sigma, 8);
+        assert!(s.to_string().contains("alg2"));
+    }
+
+    #[test]
+    fn stepclock_gets_bounded_step_variance() {
+        let s = Scenario::fault_free(OmegaVariant::StepClock, 3);
+        assert_eq!(s.adversary, AdversarySpec::Random { min: 2, max: 6 });
+        let s = Scenario::fault_free(OmegaVariant::Alg1, 3);
+        assert_eq!(s.adversary, AdversarySpec::Random { min: 1, max: 6 });
+    }
+
+    #[test]
+    fn without_awb_clears_expectation() {
+        let s = Scenario::fault_free(OmegaVariant::Alg1, 3).without_awb();
+        assert!(s.awb.is_none());
+        assert!(!s.expect_stabilization);
+    }
+
+    #[test]
+    fn every_adversary_spec_builds() {
+        let specs = [
+            AdversarySpec::Synchronous { period: 2 },
+            AdversarySpec::RoundRobin { slot: 2 },
+            AdversarySpec::Random { min: 1, max: 5 },
+            AdversarySpec::Bursty {
+                fast: 2,
+                stall: 100,
+                burst_len: 4,
+            },
+            AdversarySpec::PartitionedPhases {
+                phase_len: 100,
+                fast: 2,
+                stall: 50,
+            },
+            AdversarySpec::GrowingBursts {
+                victim: ProcessId::new(0),
+                fast: 2,
+                burst_len: 3,
+                initial_stall: 10,
+                factor: 2,
+            },
+            AdversarySpec::LeaderStaller {
+                base: 2,
+                stall: 100,
+            },
+        ];
+        for spec in specs {
+            let s = Scenario::fault_free(OmegaVariant::Alg1, 4).adversary(spec.clone());
+            let mut adversary = s.build_adversary();
+            let d = adversary.next_step_delay(ProcessId::new(1), SimTime::ZERO);
+            assert!(d >= 1, "{spec:?} produced zero delay");
+        }
+    }
+
+    #[test]
+    fn every_timer_spec_builds() {
+        let specs = [
+            TimerSpec::Exact,
+            TimerSpec::Affine {
+                scale: 2,
+                offset: 1,
+            },
+            TimerSpec::Jittered { jitter: 5 },
+            TimerSpec::ChaoticThenExact {
+                chaos_until: 100,
+                chaos_max: 9,
+            },
+            TimerSpec::JitterAffineMix {
+                jitter: 5,
+                scale: 2,
+                offset: 3,
+            },
+            TimerSpec::StuckLow { cap: 4 },
+        ];
+        for spec in specs {
+            let s = Scenario::fault_free(OmegaVariant::Alg1, 4).timers(spec);
+            for i in 0..4 {
+                let mut timer = s.build_timer(ProcessId::new(i));
+                assert!(timer.duration(SimTime::from_ticks(1_000), 10) >= 1);
+            }
+        }
+    }
+}

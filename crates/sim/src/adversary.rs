@@ -11,9 +11,8 @@
 //! adversary, which is exactly how the experiments separate "runs where the
 //! assumption holds" from "runs where it does not" (experiment E13).
 
+use crate::rng::SmallRng;
 use omega_registers::{ProcessId, ProcessSet};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::time::SimTime;
 
@@ -42,6 +41,16 @@ pub trait Adversary: Send {
 
     /// Receives a view of the run at each sampling point. Default: ignore.
     fn observe(&mut self, _view: &RunView<'_>) {}
+}
+
+impl Adversary for Box<dyn Adversary> {
+    fn next_step_delay(&mut self, pid: ProcessId, now: SimTime) -> u64 {
+        (**self).next_step_delay(pid, now)
+    }
+
+    fn observe(&mut self, view: &RunView<'_>) {
+        (**self).observe(view);
+    }
 }
 
 /// Every process steps once per `period` ticks — the fully synchronous run.
@@ -170,7 +179,9 @@ impl Bursty {
 
     fn jitter(&mut self, base: u64) -> u64 {
         let spread = (base / 4).max(1);
-        self.rng.gen_range(base.saturating_sub(spread)..=base + spread).max(1)
+        self.rng
+            .gen_range(base.saturating_sub(spread)..=base + spread)
+            .max(1)
     }
 }
 
@@ -480,9 +491,17 @@ mod tests {
     #[test]
     fn bursty_inserts_stalls() {
         let mut a = Bursty::new(1, 3, 2, 100, 4);
-        let delays: Vec<u64> = (0..10).map(|_| a.next_step_delay(p(0), SimTime::ZERO)).collect();
-        assert!(delays.iter().any(|&d| d >= 75), "must contain a stall: {delays:?}");
-        assert!(delays.iter().any(|&d| d <= 3), "must contain fast steps: {delays:?}");
+        let delays: Vec<u64> = (0..10)
+            .map(|_| a.next_step_delay(p(0), SimTime::ZERO))
+            .collect();
+        assert!(
+            delays.iter().any(|&d| d >= 75),
+            "must contain a stall: {delays:?}"
+        );
+        assert!(
+            delays.iter().any(|&d| d <= 3),
+            "must contain fast steps: {delays:?}"
+        );
     }
 
     #[test]
@@ -504,7 +523,9 @@ mod tests {
         // Non-victims: constant.
         assert_eq!(a.next_step_delay(p(1), SimTime::ZERO), 2);
         // Victim: two fast steps, then a stall, escalating ×3.
-        let delays: Vec<u64> = (0..9).map(|_| a.next_step_delay(p(0), SimTime::ZERO)).collect();
+        let delays: Vec<u64> = (0..9)
+            .map(|_| a.next_step_delay(p(0), SimTime::ZERO))
+            .collect();
         assert_eq!(delays, vec![2, 2, 10, 2, 2, 30, 2, 2, 90]);
     }
 

@@ -125,7 +125,9 @@ mod tests {
         q.schedule(SimTime::from_ticks(10), EventKind::Sample);
         q.schedule(SimTime::from_ticks(1), EventKind::Step(p(0)));
         q.schedule(SimTime::from_ticks(5), EventKind::Crash(p(1)));
-        let times: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.time.ticks()).collect();
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.ticks())
+            .collect();
         assert_eq!(times, vec![1, 5, 10]);
     }
 

@@ -53,7 +53,9 @@ impl SimulationBuilder {
         SimulationBuilder {
             actors,
             adversary: Box::new(Synchronous::new(1)),
-            timers: (0..n).map(|_| Box::new(ExactTimer) as Box<dyn TimerModel>).collect(),
+            timers: (0..n)
+                .map(|_| Box::new(ExactTimer) as Box<dyn TimerModel>)
+                .collect(),
             crash_plan: CrashPlan::none(),
             horizon: SimTime::from_ticks(10_000),
             sample_every: 50,
@@ -266,10 +268,12 @@ impl Simulation {
         // Schedule initial steps and timers.
         for pid in ProcessId::all(n) {
             let delay = self.adversary.next_step_delay(pid, SimTime::ZERO).max(1);
-            self.queue.schedule(SimTime::ZERO + delay, EventKind::Step(pid));
+            self.queue
+                .schedule(SimTime::ZERO + delay, EventKind::Step(pid));
             let x = self.actors[pid.index()].initial_timeout();
             let d = self.timers[pid.index()].duration(SimTime::ZERO, x).max(1);
-            self.queue.schedule(SimTime::ZERO + d, EventKind::TimerExpire(pid, 0));
+            self.queue
+                .schedule(SimTime::ZERO + d, EventKind::TimerExpire(pid, 0));
         }
         // Scripted crashes.
         for (time, pid) in self.crash_plan.fixed_crashes() {
@@ -326,7 +330,8 @@ impl Simulation {
                     let epoch = epoch + 1;
                     self.timer_epochs[pid.index()] = epoch;
                     let d = self.timers[pid.index()].duration(now, x).max(1);
-                    self.queue.schedule(now + d, EventKind::TimerExpire(pid, epoch));
+                    self.queue
+                        .schedule(now + d, EventKind::TimerExpire(pid, epoch));
                 }
                 EventKind::Crash(pid) => {
                     self.crash(pid);
@@ -464,8 +469,7 @@ impl RunReport {
             );
         }
         if let Some(tail) = self.windowed.tail(0.25) {
-            let writers: Vec<String> =
-                tail.writer_set().iter().map(|p| p.to_string()).collect();
+            let writers: Vec<String> = tail.writer_set().iter().map(|p| p.to_string()).collect();
             let _ = writeln!(
                 out,
                 "tail (last 25%)  : writers [{}], {} writes, {} reads",
@@ -554,7 +558,9 @@ mod tests {
     #[test]
     fn fixed_crash_stops_a_process() {
         let report = Simulation::builder(fixed_actors(3, 0))
-            .crash_plan(CrashPlan::none().with_crash_at(SimTime::from_ticks(100), ProcessId::new(2)))
+            .crash_plan(
+                CrashPlan::none().with_crash_at(SimTime::from_ticks(100), ProcessId::new(2)),
+            )
             .horizon(1_000)
             .run();
         assert!(report.crashed.contains(ProcessId::new(2)));

@@ -26,6 +26,7 @@ pub mod adversary;
 pub mod crash;
 pub mod event;
 pub mod metrics;
+pub mod rng;
 pub mod timers;
 pub mod trace;
 

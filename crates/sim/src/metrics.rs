@@ -193,7 +193,10 @@ impl WindowedStats {
     /// Panics if `fraction` is not in `(0, 1]`.
     #[must_use]
     pub fn tail(&self, fraction: f64) -> Option<Window> {
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0,1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0,1]"
+        );
         if self.snapshots.len() < 2 {
             return None;
         }

@@ -14,8 +14,7 @@
 //! realize these shapes, plus an AWB₂-*violating* model used to demonstrate
 //! the assumption's necessity.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 use crate::time::SimTime;
 
@@ -230,7 +229,10 @@ pub fn check_domination(
             }
         }
     }
-    DominationReport { violations, checked }
+    DominationReport {
+        violations,
+        checked,
+    }
 }
 
 /// Checks monotonicity (f1) and unboundedness (f2) of a candidate `f_R` on
@@ -361,15 +363,35 @@ mod tests {
 
     #[test]
     fn f_property_checker_accepts_good_f() {
-        assert!(check_f_properties(|_t, x| x / 2, &[0, 1, 10], &[1, 2, 4], 1 << 40));
-        assert!(check_f_properties(|t, x| t / 1000 + x, &[0, 1000], &[1, 2], 1 << 40));
+        assert!(check_f_properties(
+            |_t, x| x / 2,
+            &[0, 1, 10],
+            &[1, 2, 4],
+            1 << 40
+        ));
+        assert!(check_f_properties(
+            |t, x| t / 1000 + x,
+            &[0, 1000],
+            &[1, 2],
+            1 << 40
+        ));
     }
 
     #[test]
     fn f_property_checker_rejects_bad_f() {
         // Decreasing in x: violates (f1).
-        assert!(!check_f_properties(|_t, x| 1_000_000 - x.min(1_000_000), &[0], &[1, 2, 4], 10));
+        assert!(!check_f_properties(
+            |_t, x| 1_000_000 - x.min(1_000_000),
+            &[0],
+            &[1, 2, 4],
+            10
+        ));
         // Bounded: violates (f2).
-        assert!(!check_f_properties(|_t, x| x.min(10), &[0], &[1, 2], 1 << 40));
+        assert!(!check_f_properties(
+            |_t, x| x.min(10),
+            &[0],
+            &[1, 2],
+            1 << 40
+        ));
     }
 }

@@ -194,7 +194,10 @@ mod tests {
         for t in [1u64, 4, 7, 9] {
             trace.record(at(t), EventKind::Sample);
         }
-        let inside: Vec<u64> = trace.between(at(4), at(9)).map(|e| e.time.ticks()).collect();
+        let inside: Vec<u64> = trace
+            .between(at(4), at(9))
+            .map(|e| e.time.ticks())
+            .collect();
         assert_eq!(inside, vec![4, 7]);
     }
 

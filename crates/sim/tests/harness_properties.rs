@@ -1,11 +1,13 @@
 //! Integration and property tests for the simulation harness itself:
-//! the machine that checks the paper must itself be checked.
+//! the machine that checks the paper must itself be checked. Randomized
+//! properties are driven by the crate's own seeded generator, 64 cases
+//! each, reproducible from the case number.
 
 use omega_registers::ProcessId;
 use omega_sim::adversary::{Adversary, AwbEnvelope, PartitionedPhases, SeededRandom};
 use omega_sim::event::{EventKind, EventQueue};
+use omega_sim::rng::SmallRng;
 use omega_sim::{Actor, SimTime, Simulation, StepCtx};
-use proptest::prelude::*;
 
 fn p(i: usize) -> ProcessId {
     ProcessId::new(i)
@@ -116,13 +118,15 @@ fn partitioned_phases_still_elects_inside_awb() {
     assert!(report.correct.contains(stab.leader));
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The event queue is a stable priority queue: pops are sorted by time,
-    /// and FIFO among equal times.
-    #[test]
-    fn event_queue_pops_sorted_and_stable(times in prop::collection::vec(0u64..1_000, 0..200)) {
+/// The event queue is a stable priority queue: pops are sorted by time,
+/// and FIFO among equal times.
+#[test]
+fn event_queue_pops_sorted_and_stable() {
+    let mut g = SmallRng::seed_from_u64(0xE0E0);
+    for case in 0..64 {
+        let times: Vec<u64> = (0..g.gen_range(0..=200))
+            .map(|_| g.gen_range(0..=999))
+            .collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_ticks(t), EventKind::Step(p(i % 7)));
@@ -131,45 +135,62 @@ proptest! {
         while let Some(e) = q.pop() {
             popped.push((e.time, e.seq));
         }
-        prop_assert_eq!(popped.len(), times.len());
+        assert_eq!(popped.len(), times.len(), "case {case}");
         for w in popped.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "time order");
+            assert!(w[0].0 <= w[1].0, "case {case}: time order");
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "FIFO among equal times");
+                assert!(w[0].1 < w[1].1, "case {case}: FIFO among equal times");
             }
         }
     }
+}
 
-    /// The AWB envelope never *increases* a delay, and always clamps the
-    /// timely process after τ₁.
-    #[test]
-    fn awb_envelope_clamp_invariants(
-        seed in any::<u64>(),
-        hi in 2u64..100,
-        sigma in 1u64..20,
-        tau1 in 0u64..10_000,
-        queries in prop::collection::vec((0usize..4, 0u64..20_000), 1..100),
-    ) {
+/// The AWB envelope never *increases* a delay, and always clamps the
+/// timely process after τ₁.
+#[test]
+fn awb_envelope_clamp_invariants() {
+    let mut g = SmallRng::seed_from_u64(0xAB1);
+    for case in 0..64 {
+        let seed = g.next_u64();
+        let hi = g.gen_range(2..=99);
+        let sigma = g.gen_range(1..=19);
+        let tau1 = g.gen_range(0..=9_999);
         let mut inner = SeededRandom::new(seed, 1, hi);
-        let mut wrapped = AwbEnvelope::new(SeededRandom::new(seed, 1, hi), p(2), SimTime::from_ticks(tau1), sigma);
-        for (pid, now) in queries {
-            let pid = p(pid);
-            let now = SimTime::from_ticks(now);
+        let mut wrapped = AwbEnvelope::new(
+            SeededRandom::new(seed, 1, hi),
+            p(2),
+            SimTime::from_ticks(tau1),
+            sigma,
+        );
+        for _ in 0..g.gen_range(1..=99) {
+            let pid = p(g.gen_range(0..=3) as usize);
+            let now = SimTime::from_ticks(g.gen_range(0..=19_999));
             let raw = inner.next_step_delay(pid, now);
             let clamped = wrapped.next_step_delay(pid, now);
-            prop_assert!(clamped <= raw, "envelope may only shorten delays");
+            assert!(
+                clamped <= raw,
+                "case {case}: envelope may only shorten delays"
+            );
             if pid == p(2) && now >= SimTime::from_ticks(tau1) {
-                prop_assert!(clamped <= sigma, "timely process clamped after tau1");
+                assert!(
+                    clamped <= sigma,
+                    "case {case}: timely process clamped after tau1"
+                );
             } else {
-                prop_assert_eq!(clamped, raw, "everyone else untouched");
+                assert_eq!(clamped, raw, "case {case}: everyone else untouched");
             }
         }
     }
+}
 
-    /// Simulated runs are a pure function of their configuration: same
-    /// seeds, same report counters.
-    #[test]
-    fn runs_are_deterministic(seed in any::<u64>(), horizon in 500u64..5_000) {
+/// Simulated runs are a pure function of their configuration: same seeds,
+/// same report counters.
+#[test]
+fn runs_are_deterministic() {
+    let mut g = SmallRng::seed_from_u64(0xDE7);
+    for _ in 0..64 {
+        let seed = g.next_u64();
+        let horizon = g.gen_range(500..=4_999);
         let run = || {
             Simulation::builder(counters(3))
                 .adversary(SeededRandom::new(seed, 1, 9))
@@ -178,24 +199,29 @@ proptest! {
         };
         let a = run();
         let b = run();
-        prop_assert_eq!(a.events_processed, b.events_processed);
-        prop_assert_eq!(a.steps_taken, b.steps_taken);
-        prop_assert_eq!(a.timer_fires, b.timer_fires);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.steps_taken, b.steps_taken);
+        assert_eq!(a.timer_fires, b.timer_fires);
     }
+}
 
-    /// Every process keeps taking steps (no starvation) under any seeded
-    /// random adversary: delays are finite, so the paper's "correct
-    /// processes execute infinitely many steps" holds in the harness.
-    #[test]
-    fn no_starvation(seed in any::<u64>(), hi in 1u64..50) {
+/// Every process keeps taking steps (no starvation) under any seeded
+/// random adversary: delays are finite, so the paper's "correct processes
+/// execute infinitely many steps" holds in the harness.
+#[test]
+fn no_starvation() {
+    let mut g = SmallRng::seed_from_u64(0x57A);
+    for case in 0..64 {
+        let seed = g.next_u64();
+        let hi = g.gen_range(1..=49);
         let report = Simulation::builder(counters(4))
             .adversary(SeededRandom::new(seed, 1, hi))
             .horizon(20_000)
             .run();
         for (i, &steps) in report.steps_taken.iter().enumerate() {
-            prop_assert!(
+            assert!(
                 steps >= 20_000 / (hi + 1) / 2,
-                "process {i} starved: {steps} steps"
+                "case {case}: process {i} starved: {steps} steps"
             );
         }
     }

@@ -5,144 +5,113 @@
 //! ```
 //!
 //! The paper's theorems quantify over *every* run satisfying AWB — so the
-//! interesting experiments are the hostile ones. This lab runs Algorithm 1
-//! against a grid of adversarial schedulers and timer behaviors, inside and
-//! outside the AWB envelope, and prints what happened to the election in
-//! each cell.
+//! interesting experiments are the hostile ones. This lab declares a grid
+//! of scenarios for Algorithm 1: adversarial schedulers and timer
+//! behaviors, inside and outside the AWB envelope, and prints what
+//! happened to the election in each cell. Every cell is a plain
+//! [`Scenario`] value; the simulator driver realizes them all.
+//!
+//! [`Scenario`]: omega_shm::scenario::Scenario
 
 use omega_shm::omega::OmegaVariant;
 use omega_shm::registers::ProcessId;
-use omega_shm::sim::prelude::*;
-use omega_shm::sim::timers::TimerModel;
-use omega_shm::sim::Simulation;
-
-struct Cell {
-    schedule: &'static str,
-    timers: &'static str,
-    awb: bool,
-    stabilized: bool,
-    leader: Option<ProcessId>,
-    changes: usize,
-}
-
-fn run_cell(
-    schedule: &'static str,
-    timers: &'static str,
-    adversary: Box<dyn Adversary>,
-    timer_factory: impl Fn(ProcessId) -> Box<dyn TimerModel>,
-    awb: bool,
-) -> Cell {
-    let n = 4;
-    let sys = OmegaVariant::Alg1.build(n);
-    let mut builder = Simulation::builder(sys.actors)
-        .horizon(80_000)
-        .sample_every(100)
-        .timers_from(timer_factory);
-    builder = builder.adversary(BoxedAdversary(adversary));
-    let report = builder.run();
-    let changes = (0..n)
-        .map(|i| report.timeline.changes_of(ProcessId::new(i)))
-        .sum();
-    Cell {
-        schedule,
-        timers,
-        awb,
-        stabilized: report.stabilized_for(0.25),
-        leader: report.elected_leader(),
-        changes,
-    }
-}
-
-/// Adapter so heterogeneous adversaries fit one collection.
-struct BoxedAdversary(Box<dyn Adversary>);
-
-impl Adversary for BoxedAdversary {
-    fn next_step_delay(&mut self, pid: ProcessId, now: SimTime) -> u64 {
-        self.0.next_step_delay(pid, now)
-    }
-
-    fn observe(&mut self, view: &omega_shm::sim::adversary::RunView<'_>) {
-        self.0.observe(view);
-    }
-}
+use omega_shm::scenario::{AdversarySpec, Driver, Scenario, SimDriver, TimerSpec};
 
 fn main() {
+    let n = 4;
     let p0 = ProcessId::new(0);
-    let tau1 = SimTime::from_ticks(2_000);
+    let tau1 = 2_000;
 
-    let mut cells: Vec<Cell> = Vec::new();
+    let base = |name: &str| {
+        Scenario::fault_free(OmegaVariant::Alg1, n)
+            .named(name)
+            .horizon(80_000)
+            .sample_every(100)
+    };
 
     // Inside the AWB envelope: every combination must elect.
-    cells.push(run_cell(
-        "synchronous(3)",
-        "exact",
-        Box::new(Synchronous::new(3)),
-        |_| Box::new(ExactTimer),
-        true,
-    ));
-    cells.push(run_cell(
-        "random[1,9] + AWB(p0, sigma=4)",
-        "exact",
-        Box::new(AwbEnvelope::new(SeededRandom::new(3, 1, 9), p0, tau1, 4)),
-        |_| Box::new(ExactTimer),
-        true,
-    ));
-    cells.push(run_cell(
-        "bursty(stalls ~400) + AWB(p0)",
-        "jitter+affine mix",
-        Box::new(AwbEnvelope::new(Bursty::new(4, 5, 2, 400, 12), p0, tau1, 4)),
-        |pid| {
-            if pid.index() % 2 == 0 {
-                Box::new(JitteredTimer::new(pid.index() as u64, 5))
-            } else {
-                Box::new(AffineTimer::new(2, 3))
-            }
-        },
-        true,
-    ));
-    cells.push(run_cell(
-        "random[1,9] + AWB(p0)",
-        "chaotic 20k then exact",
-        Box::new(AwbEnvelope::new(SeededRandom::new(8, 1, 9), p0, tau1, 4)),
-        |pid| {
-            Box::new(ChaoticThen::new(
-                SimTime::from_ticks(20_000),
-                60,
-                pid.index() as u64 + 1,
-                ExactTimer,
-            ))
-        },
-        true,
-    ));
-
-    // Outside the envelope: the staller hunts whoever leads.
-    cells.push(run_cell(
-        "leader-staller (NO AWB)",
-        "stuck-low cap 8",
-        Box::new(LeaderStaller::new(2, 4_000)),
-        |_| Box::new(StuckLowTimer::new(8)),
-        false,
-    ));
+    // Outside (the trailing cell): the staller hunts whoever leads.
+    let cells: Vec<(Scenario, &str, &str)> = vec![
+        (
+            base("synchronous")
+                .adversary(AdversarySpec::Synchronous { period: 3 })
+                .without_awb()
+                .expect_stabilization(true),
+            "synchronous(3)",
+            "exact",
+        ),
+        (
+            base("random-awb")
+                .adversary(AdversarySpec::Random { min: 1, max: 9 })
+                .awb(p0, tau1, 4)
+                .seed(3),
+            "random[1,9] + AWB(p0, sigma=4)",
+            "exact",
+        ),
+        (
+            base("bursty-awb")
+                .adversary(AdversarySpec::Bursty {
+                    fast: 2,
+                    stall: 400,
+                    burst_len: 12,
+                })
+                .awb(p0, tau1, 4)
+                .timers(TimerSpec::JitterAffineMix {
+                    jitter: 5,
+                    scale: 2,
+                    offset: 3,
+                })
+                .seed(5),
+            "bursty(stalls ~400) + AWB(p0)",
+            "jitter+affine mix",
+        ),
+        (
+            base("chaotic-timers-awb")
+                .adversary(AdversarySpec::Random { min: 1, max: 9 })
+                .awb(p0, tau1, 4)
+                .timers(TimerSpec::ChaoticThenExact {
+                    chaos_until: 20_000,
+                    chaos_max: 60,
+                })
+                .seed(8),
+            "random[1,9] + AWB(p0)",
+            "chaotic 20k then exact",
+        ),
+        (
+            base("staller-no-awb")
+                .without_awb()
+                .adversary(AdversarySpec::LeaderStaller {
+                    base: 2,
+                    stall: 4_000,
+                })
+                .timers(TimerSpec::StuckLow { cap: 8 }),
+            "leader-staller (NO AWB)",
+            "stuck-low cap 8",
+        ),
+    ];
 
     println!(
         "{:<34} {:<24} {:>5} {:>11} {:>8} {:>15}",
         "schedule", "timers", "AWB", "stabilized", "leader", "estimate flips"
     );
     println!("{}", "-".repeat(104));
-    for cell in &cells {
+    for (scenario, schedule, timers) in &cells {
+        let outcome = SimDriver.run(scenario);
+        let stabilized = outcome.stabilized_for(0.25);
+        let flips: usize = outcome.estimate_changes.iter().sum();
         println!(
             "{:<34} {:<24} {:>5} {:>11} {:>8} {:>15}",
-            cell.schedule,
-            cell.timers,
-            cell.awb,
-            cell.stabilized,
-            cell.leader.map_or("-".into(), |l| l.to_string()),
-            cell.changes,
+            schedule,
+            timers,
+            scenario.expect_stabilization,
+            stabilized,
+            outcome.elected.map_or("-".into(), |l| l.to_string()),
+            flips,
         );
-        if cell.awb {
-            assert!(cell.stabilized, "{}: AWB runs must elect", cell.schedule);
+        if scenario.expect_stabilization {
+            assert!(stabilized, "{schedule}: AWB runs must elect");
         } else {
-            assert!(!cell.stabilized, "{}: the staller must win without AWB", cell.schedule);
+            assert!(!stabilized, "{schedule}: the staller must win without AWB");
         }
     }
     println!();

@@ -15,9 +15,8 @@ use std::sync::Arc;
 use omega_shm::consensus::{KvCommand, KvStore, LogActor, LogHandle, LogShared};
 use omega_shm::omega::OmegaVariant;
 use omega_shm::registers::ProcessId;
-use omega_shm::sim::crash::CrashPlan;
-use omega_shm::sim::prelude::*;
-use omega_shm::sim::Simulation;
+use omega_shm::scenario::Scenario;
+use omega_shm::sim::Actor;
 
 fn main() {
     let n = 4;
@@ -49,18 +48,15 @@ fn main() {
         actors.push(Box::new(LogActor::new(omega, handle)));
     }
 
-    // Crash whoever leads a third of the way in: replication must survive.
-    let report = Simulation::builder(actors)
-        .adversary(AwbEnvelope::new(
-            SeededRandom::new(12, 1, 6),
-            ProcessId::new(3),
-            SimTime::from_ticks(500),
-            4,
-        ))
-        .crash_plan(CrashPlan::none().with_leader_crash_at(SimTime::from_ticks(20_000)))
+    // Crash whoever leads a sixth of the way in: replication must survive.
+    let scenario = Scenario::fault_free(OmegaVariant::Alg1, n)
+        .named("consensus-kv")
+        .awb(ProcessId::new(3), 500, 4)
+        .seed(12)
+        .crash_leader_at(20_000)
         .horizon(120_000)
-        .sample_every(100)
-        .run();
+        .sample_every(100);
+    let report = scenario.sim_builder(actors).run();
 
     let crashed: Vec<String> = report.crashed.iter().map(|p| p.to_string()).collect();
     println!("crashed leader mid-run: [{}]", crashed.join(", "));

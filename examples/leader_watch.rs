@@ -22,12 +22,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use omega_shm::omega::OmegaVariant;
-use omega_shm::runtime::{Cluster, LeaderWatch, NodeConfig};
+use omega_shm::runtime::LeaderWatch;
+use omega_shm::scenario::{Scenario, ThreadDriver};
 
 fn main() {
     let n = 5;
     println!("starting {n}-process cluster + leadership watch…");
-    let cluster = Arc::new(Cluster::start(OmegaVariant::Alg1, n, NodeConfig::default()));
+    let scenario = Scenario::fault_free(OmegaVariant::Alg1, n).named("leader-watch");
+    let cluster = Arc::new(ThreadDriver::default().launch(&scenario));
     let mut watch = LeaderWatch::start(Arc::clone(&cluster), Duration::from_millis(1));
     let events = watch.subscribe();
 
@@ -64,7 +66,9 @@ fn main() {
     println!("audit trail ({} events):", audit.len());
     for e in &audit {
         let prev = e.previous.map_or("∅".to_string(), |p| p.to_string());
-        let cur = e.current.map_or("∅ (no agreement)".to_string(), |p| p.to_string());
+        let cur = e
+            .current
+            .map_or("∅ (no agreement)".to_string(), |p| p.to_string());
         println!("    {prev} → {cur}");
     }
 

@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 use omega_shm::omega::OmegaVariant;
 use omega_shm::registers::ProcessId;
 use omega_shm::runtime::san::{DiskRegisterLayout, SanDisk, SanLatency};
-use omega_shm::runtime::{Cluster, NodeConfig};
+use omega_shm::scenario::{Scenario, ThreadDriver};
 
 fn main() {
     // ---- Part 1: registers as disk blocks -------------------------------
@@ -56,7 +56,8 @@ fn main() {
     println!();
     println!("== Part 2: electing over 'disks' (SAN-like pacing, Algorithm 2) ==");
     println!("(bounded registers matter on real disks: a counter can outgrow a block)");
-    let cluster = Cluster::start(OmegaVariant::Alg2, n, NodeConfig::san_like());
+    let scenario = Scenario::fault_free(OmegaVariant::Alg2, n).named("san-cluster");
+    let cluster = ThreadDriver::san_like().launch(&scenario);
     let started = Instant::now();
     let leader = cluster
         .await_stable_leader(Duration::from_millis(300), Duration::from_secs(30))

@@ -18,38 +18,56 @@
 //! | [`sim`] | `omega-sim` | deterministic event loop, adversaries, AWB timer models, crash plans |
 //! | [`omega`] | `omega-core` | Algorithm 1 (Fig. 2), Algorithm 2 (Fig. 5), §3.5 variants |
 //! | [`runtime`] | `omega-runtime` | OS-thread clusters, SAN-style disk registers |
+//! | [`scenario`] | `omega-scenario` | **the front door**: declarative scenarios, backend drivers, comparable outcomes |
 //! | [`consensus`] | `omega-consensus` | round-based consensus, replicated log, KV demo |
 //! | [`lowerbound`] | `omega-lowerbound` | broken variants + executable lower-bound proofs |
 //!
 //! # Five-minute tour
 //!
+//! Describe the experiment once — variant, system size, schedule, AWB
+//! envelope, crash script, horizon — and run the *same spec* on any
+//! backend. [`scenario::SimDriver`] checks it against an adversarial
+//! schedule in deterministic virtual time:
+//!
 //! ```
 //! use omega_shm::omega::OmegaVariant;
-//! use omega_shm::sim::prelude::*;
-//! use omega_shm::registers::ProcessId;
+//! use omega_shm::scenario::{Driver, Scenario, SimDriver};
 //!
-//! // Build a 5-process Figure-2 system and run it against a seeded
-//! // adversary satisfying AWB (p0 eventually timely, everyone else wild).
-//! let sys = OmegaVariant::Alg1.build(5);
-//! let report = Simulation::builder(sys.actors)
-//!     .adversary(AwbEnvelope::new(
-//!         SeededRandom::new(7, 1, 8),
-//!         ProcessId::new(0),
-//!         SimTime::from_ticks(1_000),
-//!         4,
-//!     ))
-//!     .memory(sys.space)
-//!     .horizon(30_000)
-//!     .run();
+//! // A 5-process Figure-2 system under a seeded random schedule inside an
+//! // AWB envelope, with the elected leader crashing at tick 20 000.
+//! let scenario = Scenario::fault_free(OmegaVariant::Alg1, 5)
+//!     .crash_leader_at(20_000)
+//!     .horizon(60_000);
 //!
-//! // Theorem 1: a correct leader is eventually agreed by everyone.
-//! let leader = report.elected_leader().expect("AWB ⇒ election");
-//! assert!(report.correct.contains(leader));
+//! let outcome = SimDriver.run(&scenario);
 //!
-//! // Theorem 3: after stabilization only that leader writes shared memory.
-//! let tail = report.windowed.tail(0.25).unwrap();
-//! assert_eq!(tail.writer_set().iter().collect::<Vec<_>>(), vec![leader]);
+//! // Theorem 1: a correct leader is eventually agreed by everyone — again,
+//! // after the crash.
+//! outcome.assert_election();
+//! assert_eq!(outcome.crashed.len(), 1);
+//!
+//! // Theorem 3: after stabilization only the leader writes shared memory.
+//! let tail = outcome.tail.as_ref().unwrap();
+//! assert_eq!(tail.writers.iter().collect::<Vec<_>>(), vec![outcome.elected.unwrap()]);
 //! ```
+//!
+//! [`scenario::ThreadDriver`] runs the identical value on OS threads and
+//! wall-clock timers, returning the same [`scenario::Outcome`] type in the
+//! same tick units:
+//!
+//! ```no_run
+//! use omega_shm::scenario::{registry, Driver, SimDriver, ThreadDriver};
+//!
+//! let scenario = registry::named("leader-crash-failover").unwrap();
+//! let simulated = SimDriver.run(&scenario);
+//! let native = ThreadDriver::default().run(&scenario);
+//! assert!(simulated.stabilized && native.stabilized);
+//! ```
+//!
+//! The [`scenario::registry`] ships the curated suite — fault-free
+//! baselines, failover chains, crash storms, σ stress, AWB edge cases,
+//! scaling probes — used by the integration tests and the `omega-bench`
+//! binaries alike.
 //!
 //! See `README.md` for the architecture overview, `DESIGN.md` for the
 //! system inventory, and `EXPERIMENTS.md` for the paper-vs-measured record
@@ -63,4 +81,5 @@ pub use omega_core as omega;
 pub use omega_lowerbound as lowerbound;
 pub use omega_registers as registers;
 pub use omega_runtime as runtime;
+pub use omega_scenario as scenario;
 pub use omega_sim as sim;

@@ -1,10 +1,9 @@
 //! Edge cases across the facade: degenerate system sizes and less-used
-//! schedulers.
+//! schedulers, all expressed as scenarios.
 
 use omega_shm::omega::OmegaVariant;
 use omega_shm::registers::ProcessId;
-use omega_shm::sim::prelude::*;
-use omega_shm::sim::Simulation;
+use omega_shm::scenario::{AdversarySpec, Driver, Scenario, SimDriver};
 
 fn p(i: usize) -> ProcessId {
     ProcessId::new(i)
@@ -15,40 +14,35 @@ fn single_process_systems_elect_themselves() {
     // n = 1: the only process is trivially the eventual leader in every
     // variant (candidates = {self}, no one to suspect).
     for variant in OmegaVariant::all() {
-        let sys = variant.build(1);
-        let report = Simulation::builder(sys.actors)
-            .adversary(SeededRandom::new(3, 1, 5))
+        let scenario = Scenario::fault_free(variant, 1)
+            .adversary(AdversarySpec::Random { min: 1, max: 5 })
+            .without_awb()
+            .expect_stabilization(true)
+            .seed(3)
             .horizon(5_000)
-            .sample_every(50)
-            .run();
-        let stab = report
-            .stabilization()
-            .unwrap_or_else(|| panic!("{variant}: singleton must stabilize"));
-        assert_eq!(stab.leader, p(0));
-        assert!(report.stabilized_for(0.5), "{variant}: and quickly");
+            .sample_every(50);
+        let outcome = SimDriver.run(&scenario);
+        assert_eq!(
+            outcome.elected,
+            Some(p(0)),
+            "{variant}: singleton must stabilize"
+        );
+        assert!(outcome.stabilized_for(0.5), "{variant}: and quickly");
     }
 }
 
 #[test]
 fn two_processes_one_crash_leaves_survivor() {
     for variant in [OmegaVariant::Alg1, OmegaVariant::Alg2] {
-        let sys = variant.build(2);
-        let report = Simulation::builder(sys.actors)
-            .adversary(AwbEnvelope::new(
-                SeededRandom::new(9, 1, 4),
-                p(1),
-                SimTime::ZERO,
-                3,
-            ))
-            .crash_plan(
-                omega_shm::sim::crash::CrashPlan::none()
-                    .with_crash_at(SimTime::from_ticks(3_000), p(0)),
-            )
+        let scenario = Scenario::fault_free(variant, 2)
+            .adversary(AdversarySpec::Random { min: 1, max: 4 })
+            .awb(p(1), 0, 3)
+            .seed(9)
+            .crash_at(3_000, p(0))
             .horizon(30_000)
-            .sample_every(50)
-            .run();
-        let stab = report.stabilization().unwrap();
-        assert_eq!(stab.leader, p(1), "{variant}: the survivor leads");
+            .sample_every(50);
+        let outcome = SimDriver.run(&scenario);
+        assert_eq!(outcome.elected, Some(p(1)), "{variant}: the survivor leads");
     }
 }
 
@@ -57,17 +51,15 @@ fn round_robin_schedule_elects() {
     // The RoundRobin adversary is the strictest fair rotation; everyone is
     // timely, so AWB holds trivially and all variants elect.
     for variant in OmegaVariant::all() {
-        let n = 4;
-        let sys = variant.build(n);
-        let report = Simulation::builder(sys.actors)
-            .adversary(RoundRobin::new(n, 2))
+        let scenario = Scenario::fault_free(variant, 4)
+            .adversary(AdversarySpec::RoundRobin { slot: 2 })
+            .without_awb()
+            .expect_stabilization(true)
             .horizon(40_000)
-            .sample_every(100)
-            .run();
-        let stab = report
-            .stabilization()
-            .unwrap_or_else(|| panic!("{variant}: round-robin must elect"));
-        assert!(report.correct.contains(stab.leader));
+            .sample_every(100);
+        let outcome = SimDriver.run(&scenario);
+        assert!(outcome.stabilized, "{variant}: round-robin must elect");
+        assert!(outcome.leader_is_correct(), "{variant}");
     }
 }
 
@@ -75,35 +67,27 @@ fn round_robin_schedule_elects() {
 fn immediate_crash_of_everyone_but_one() {
     // All crashes land before the first sample: the survivor must still
     // come to lead, starting from a world of corpses.
-    let sys = OmegaVariant::Alg1.build(4);
-    let report = Simulation::builder(sys.actors)
-        .adversary(Synchronous::new(2))
-        .crash_plan(
-            omega_shm::sim::crash::CrashPlan::none()
-                .with_crash_at(SimTime::from_ticks(1), p(0))
-                .with_crash_at(SimTime::from_ticks(1), p(1))
-                .with_crash_at(SimTime::from_ticks(1), p(3)),
-        )
+    let scenario = Scenario::fault_free(OmegaVariant::Alg1, 4)
+        .adversary(AdversarySpec::Synchronous { period: 2 })
+        .without_awb()
+        .expect_stabilization(true)
+        .crash_at(1, p(0))
+        .crash_at(1, p(1))
+        .crash_at(1, p(3))
         .horizon(20_000)
-        .sample_every(50)
-        .run();
-    let stab = report.stabilization().expect("survivor elects");
-    assert_eq!(stab.leader, p(2));
-    assert_eq!(report.correct.len(), 1);
+        .sample_every(50);
+    let outcome = SimDriver.run(&scenario);
+    assert_eq!(outcome.elected, Some(p(2)), "survivor elects");
+    assert_eq!(outcome.correct.len(), 1);
 }
 
 #[test]
 fn zero_tick_tau1_is_awb_from_the_start() {
-    let sys = OmegaVariant::Alg1.build(3);
-    let report = Simulation::builder(sys.actors)
-        .adversary(AwbEnvelope::new(
-            SeededRandom::new(5, 1, 30),
-            p(0),
-            SimTime::ZERO,
-            2,
-        ))
+    let scenario = Scenario::fault_free(OmegaVariant::Alg1, 3)
+        .adversary(AdversarySpec::Random { min: 1, max: 30 })
+        .awb(p(0), 0, 2)
+        .seed(5)
         .horizon(30_000)
-        .sample_every(50)
-        .run();
-    assert!(report.stabilization().is_some());
+        .sample_every(50);
+    SimDriver.run(&scenario).assert_election();
 }

@@ -2,14 +2,12 @@
 //!
 //! Every Ω variant must elect a correct eventual leader under every
 //! AWB-compatible combination in the suite — this is Theorem 1 quantified
-//! over the whole adversary library, exercised through the facade crate.
+//! over the whole adversary library, expressed as a grid of scenarios run
+//! through the facade crate.
 
 use omega_shm::omega::OmegaVariant;
 use omega_shm::registers::ProcessId;
-use omega_shm::sim::crash::CrashPlan;
-use omega_shm::sim::prelude::*;
-use omega_shm::sim::timers::TimerModel;
-use omega_shm::sim::Simulation;
+use omega_shm::scenario::{AdversarySpec, Driver, Scenario, SimDriver, TimerSpec};
 
 fn p(i: usize) -> ProcessId {
     ProcessId::new(i)
@@ -25,59 +23,56 @@ fn min_delay_for(variant: OmegaVariant) -> u64 {
     }
 }
 
-type TimerFactory = fn(ProcessId) -> Box<dyn TimerModel>;
-
-fn exact_timers(_: ProcessId) -> Box<dyn TimerModel> {
-    Box::new(ExactTimer)
-}
-
-fn affine_timers(pid: ProcessId) -> Box<dyn TimerModel> {
-    Box::new(AffineTimer::new(1 + pid.index() as u64 % 3, 2))
-}
-
-fn jittered_timers(pid: ProcessId) -> Box<dyn TimerModel> {
-    Box::new(JitteredTimer::new(pid.index() as u64, 4))
-}
-
-fn chaotic_timers(pid: ProcessId) -> Box<dyn TimerModel> {
-    Box::new(ChaoticThen::new(
-        SimTime::from_ticks(8_000),
-        40,
-        pid.index() as u64 + 11,
-        JitteredTimer::new(pid.index() as u64, 2),
-    ))
-}
-
 #[test]
 fn matrix_variants_x_adversaries_x_timers() {
-    let timer_suites: [(&str, TimerFactory); 4] = [
-        ("exact", exact_timers),
-        ("affine", affine_timers),
-        ("jittered", jittered_timers),
-        ("chaotic-then-jittered", chaotic_timers),
+    let timer_suites: [(&str, TimerSpec); 5] = [
+        ("exact", TimerSpec::Exact),
+        (
+            "affine",
+            TimerSpec::Affine {
+                scale: 2,
+                offset: 2,
+            },
+        ),
+        ("jittered", TimerSpec::Jittered { jitter: 4 }),
+        (
+            "chaotic-then-exact",
+            TimerSpec::ChaoticThenExact {
+                chaos_until: 8_000,
+                chaos_max: 40,
+            },
+        ),
+        // Heterogeneous cell: different processes run *different* timer
+        // functions, catching regressions that assume a uniform T_R.
+        (
+            "jitter-affine-mix",
+            TimerSpec::JitterAffineMix {
+                jitter: 4,
+                scale: 2,
+                offset: 2,
+            },
+        ),
     ];
 
     for variant in OmegaVariant::all() {
         let lo = min_delay_for(variant);
         for (adv_name, seed) in [("random-a", 101u64), ("random-b", 202)] {
-            for (timer_name, factory) in timer_suites {
-                let sys = variant.build(4);
-                let report = Simulation::builder(sys.actors)
-                    .adversary(AwbEnvelope::new(
-                        SeededRandom::new(seed, lo, 7),
-                        p(0),
-                        SimTime::from_ticks(1_500),
-                        4,
-                    ))
-                    .timers_from(factory)
+            for (timer_name, timers) in timer_suites {
+                let scenario = Scenario::fault_free(variant, 4)
+                    .named(format!("matrix/{variant}/{adv_name}/{timer_name}"))
+                    .adversary(AdversarySpec::Random { min: lo, max: 7 })
+                    .awb(p(0), 1_500, 4)
+                    .timers(timers)
+                    .seed(seed)
                     .horizon(60_000)
-                    .sample_every(100)
-                    .run();
-                let stab = report.stabilization().unwrap_or_else(|| {
-                    panic!("{variant} / {adv_name} / {timer_name}: no stabilization")
-                });
+                    .sample_every(100);
+                let outcome = SimDriver.run(&scenario);
                 assert!(
-                    report.correct.contains(stab.leader),
+                    outcome.stabilized,
+                    "{variant} / {adv_name} / {timer_name}: no stabilization"
+                );
+                assert!(
+                    outcome.leader_is_correct(),
                     "{variant} / {adv_name} / {timer_name}: crashed leader elected"
                 );
             }
@@ -88,29 +83,24 @@ fn matrix_variants_x_adversaries_x_timers() {
 #[test]
 fn matrix_failover_chains() {
     for variant in [OmegaVariant::Alg1, OmegaVariant::Alg2] {
-        let sys = variant.build(5);
-        let report = Simulation::builder(sys.actors)
-            .adversary(AwbEnvelope::new(
-                SeededRandom::new(7, 1, 6),
-                p(4),
-                SimTime::ZERO,
-                4,
-            ))
-            .crash_plan(
-                CrashPlan::none()
-                    .with_leader_crash_at(SimTime::from_ticks(20_000))
-                    .with_leader_crash_at(SimTime::from_ticks(50_000)),
-            )
+        let scenario = Scenario::fault_free(variant, 5)
+            .named(format!("failover-chain/{variant}"))
+            .adversary(AdversarySpec::Random { min: 1, max: 6 })
+            .awb(p(4), 0, 4)
+            .seed(7)
+            .crash_leader_at(20_000)
+            .crash_leader_at(50_000)
             .horizon(110_000)
-            .sample_every(100)
-            .run();
-        assert_eq!(report.crashed.len(), 2, "{variant}: two leaders crashed");
-        let stab = report
-            .stabilization()
-            .unwrap_or_else(|| panic!("{variant}: no re-election after double failover"));
-        assert!(report.correct.contains(stab.leader));
+            .sample_every(100);
+        let outcome = SimDriver.run(&scenario);
+        assert_eq!(outcome.crashed.len(), 2, "{variant}: two leaders crashed");
         assert!(
-            stab.stable_from > SimTime::from_ticks(50_000),
+            outcome.stabilized,
+            "{variant}: no re-election after double failover"
+        );
+        assert!(outcome.leader_is_correct(), "{variant}");
+        assert!(
+            outcome.stabilization_ticks.unwrap() > 50_000,
             "{variant}: final stabilization must postdate the second crash"
         );
     }
@@ -123,6 +113,12 @@ fn matrix_self_stabilization_from_corruption() {
     use std::sync::Arc;
 
     for corruption_seed in [1u64, 0xdead, 0xffff_ffff] {
+        let scenario = Scenario::fault_free(OmegaVariant::Alg1, 4)
+            .named("self-stabilization")
+            .seed(3)
+            .horizon(80_000)
+            .sample_every(100);
+
         // Algorithm 1.
         let space = MemorySpace::new(4);
         let mem = Alg1Memory::new(&space);
@@ -130,18 +126,9 @@ fn matrix_self_stabilization_from_corruption() {
         let procs: Vec<Alg1Process> = ProcessId::all(4)
             .map(|pid| Alg1Process::new(Arc::clone(&mem), pid))
             .collect();
-        let report = Simulation::builder(boxed_actors(procs))
-            .adversary(AwbEnvelope::new(
-                SeededRandom::new(3, 1, 6),
-                p(0),
-                SimTime::from_ticks(1_000),
-                4,
-            ))
-            .horizon(80_000)
-            .sample_every(100)
-            .run();
+        let outcome = SimDriver.run_actors(&scenario, boxed_actors(procs), &space);
         assert!(
-            report.stabilization().is_some(),
+            outcome.stabilized,
             "alg1 seed={corruption_seed:#x}: must converge from arbitrary state"
         );
 
@@ -152,18 +139,9 @@ fn matrix_self_stabilization_from_corruption() {
         let procs: Vec<Alg2Process> = ProcessId::all(4)
             .map(|pid| Alg2Process::new(Arc::clone(&mem), pid))
             .collect();
-        let report = Simulation::builder(boxed_actors(procs))
-            .adversary(AwbEnvelope::new(
-                SeededRandom::new(3, 1, 6),
-                p(0),
-                SimTime::from_ticks(1_000),
-                4,
-            ))
-            .horizon(80_000)
-            .sample_every(100)
-            .run();
+        let outcome = SimDriver.run_actors(&scenario, boxed_actors(procs), &space);
         assert!(
-            report.stabilization().is_some(),
+            outcome.stabilized,
             "alg2 seed={corruption_seed:#x}: must converge from arbitrary state"
         );
     }
@@ -173,24 +151,38 @@ fn matrix_self_stabilization_from_corruption() {
 fn heavy_crash_load_any_minority_survives() {
     // t = n − 1 is allowed: crash all but one process; the survivor must
     // end up electing itself.
-    let sys = OmegaVariant::Alg1.build(4);
-    let report = Simulation::builder(sys.actors)
-        .adversary(AwbEnvelope::new(
-            SeededRandom::new(9, 1, 5),
-            p(3),
-            SimTime::ZERO,
-            4,
-        ))
-        .crash_plan(
-            CrashPlan::none()
-                .with_crash_at(SimTime::from_ticks(5_000), p(0))
-                .with_crash_at(SimTime::from_ticks(10_000), p(1))
-                .with_crash_at(SimTime::from_ticks(15_000), p(2)),
-        )
+    let scenario = Scenario::fault_free(OmegaVariant::Alg1, 4)
+        .named("all-but-one")
+        .adversary(AdversarySpec::Random { min: 1, max: 5 })
+        .awb(p(3), 0, 4)
+        .seed(9)
+        .crash_at(5_000, p(0))
+        .crash_at(10_000, p(1))
+        .crash_at(15_000, p(2))
         .horizon(60_000)
-        .sample_every(100)
-        .run();
-    let stab = report.stabilization().expect("lone survivor elects");
-    assert_eq!(stab.leader, p(3));
-    assert_eq!(report.correct.len(), 1);
+        .sample_every(100);
+    let outcome = SimDriver.run(&scenario);
+    assert_eq!(outcome.elected, Some(p(3)), "lone survivor elects");
+    assert_eq!(outcome.correct.len(), 1);
+}
+
+#[test]
+fn whole_registry_behaves_as_classified() {
+    for scenario in omega_shm::scenario::registry::all() {
+        // The scaling probes get their own workout elsewhere; keep the
+        // matrix fast by skipping n > 8 here.
+        if scenario.n > 8 {
+            continue;
+        }
+        let outcome = SimDriver.run(&scenario);
+        if scenario.expect_stabilization {
+            outcome.assert_election();
+        } else {
+            assert!(
+                !outcome.stabilized_for(0.34),
+                "{}: AWB-violating scenario stabilized anyway",
+                scenario.name
+            );
+        }
+    }
 }

@@ -1,5 +1,5 @@
 //! Cross-crate integration on real threads: elections, failover, and
-//! replication through the facade crate.
+//! replication, driven by scenarios through the thread backend.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -7,34 +7,39 @@ use std::time::Duration;
 use omega_shm::consensus::{KvCommand, LogHandle, LogShared};
 use omega_shm::omega::OmegaVariant;
 use omega_shm::registers::ProcessId;
-use omega_shm::runtime::{Cluster, NodeConfig};
-
-fn fast() -> NodeConfig {
-    NodeConfig {
-        step_interval: Duration::from_micros(200),
-        tick: Duration::from_micros(300),
-    }
-}
+use omega_shm::scenario::{Driver, Scenario, ThreadDriver};
 
 const WINDOW: Duration = Duration::from_millis(40);
 const DEADLINE: Duration = Duration::from_secs(15);
 
+/// 150k ticks × 100 µs/tick = a 15 s wall-clock budget; the driver returns
+/// as soon as the election settles.
+fn scenario_for(variant: OmegaVariant, n: usize) -> Scenario {
+    Scenario::fault_free(variant, n)
+        .named(format!("native/{}/n{n}", variant.name()))
+        .horizon(150_000)
+}
+
 #[test]
 fn every_variant_elects_on_threads() {
     for variant in OmegaVariant::all() {
-        let cluster = Cluster::start(variant, 3, fast());
-        let leader = cluster
-            .await_stable_leader(WINDOW, DEADLINE)
-            .unwrap_or_else(|| panic!("{variant}: no election on threads"));
-        assert!(cluster.correct().contains(leader));
-        cluster.shutdown();
+        let outcome = ThreadDriver::default().run(&scenario_for(variant, 3));
+        assert!(outcome.stabilized, "{variant}: no election on threads");
+        assert!(outcome.leader_is_correct(), "{variant}");
+        assert!(
+            outcome.steps.iter().all(|&s| s > 0),
+            "{variant}: every node stepped"
+        );
     }
 }
 
 #[test]
 fn write_optimality_holds_on_threads() {
-    let cluster = Cluster::start(OmegaVariant::Alg1, 4, fast());
-    let leader = cluster.await_stable_leader(WINDOW, DEADLINE).expect("elects");
+    let driver = ThreadDriver::default();
+    let cluster = driver.launch(&scenario_for(OmegaVariant::Alg1, 4));
+    let leader = cluster
+        .await_stable_leader(WINDOW, DEADLINE)
+        .expect("elects");
     // Theorem 3 is an *eventually* statement: sample successive real-time
     // windows until one shows the single-writer pattern (trailing STOP
     // writes from followers that flapped during the election can pollute
@@ -47,7 +52,10 @@ fn write_optimality_holds_on_threads() {
         let writers: Vec<ProcessId> = delta.writer_set().iter().collect();
         if writers == vec![leader] {
             for pid in ProcessId::all(4) {
-                assert!(delta.reads_of(pid) > 0, "Lemma 6 on real threads: {pid} reads");
+                assert!(
+                    delta.reads_of(pid) > 0,
+                    "Lemma 6 on real threads: {pid} reads"
+                );
             }
             break;
         }
@@ -61,17 +69,14 @@ fn write_optimality_holds_on_threads() {
 
 #[test]
 fn alg2_everyone_writes_on_threads() {
-    let cluster = Cluster::start(OmegaVariant::Alg2, 3, fast());
-    let _ = cluster.await_stable_leader(WINDOW, DEADLINE).expect("elects");
-    let before = cluster.space().stats();
-    std::thread::sleep(Duration::from_millis(120));
-    let delta = cluster.space().stats().delta_since(&before);
+    let outcome = ThreadDriver::default().run(&scenario_for(OmegaVariant::Alg2, 3));
+    outcome.assert_election();
+    let tail = outcome.tail.as_ref().expect("tail captured");
     assert_eq!(
-        delta.writer_set().len(),
+        tail.writers.len(),
         3,
         "Corollary 1 on real threads: every correct process writes"
     );
-    cluster.shutdown();
 }
 
 #[test]
@@ -79,8 +84,11 @@ fn replicated_kv_on_threads_with_failover() {
     // Ω runs inside the cluster; replication runs on separate app threads,
     // feeding each replica the co-located node's live leader estimate.
     let n = 3;
-    let cluster = Arc::new(Cluster::start(OmegaVariant::Alg1, n, fast()));
-    let _ = cluster.await_stable_leader(WINDOW, DEADLINE).expect("elects");
+    let driver = ThreadDriver::default();
+    let cluster = Arc::new(driver.launch(&scenario_for(OmegaVariant::Alg1, n)));
+    let _ = cluster
+        .await_stable_leader(WINDOW, DEADLINE)
+        .expect("elects");
 
     let shared = LogShared::<KvCommand>::new(cluster.space().clone());
     let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
@@ -91,7 +99,10 @@ fn replicated_kv_on_threads_with_failover() {
         let stop = Arc::clone(&stop);
         apps.push(std::thread::spawn(move || {
             let mut handle = LogHandle::new(shared, pid);
-            handle.submit(KvCommand::Put(format!("key-{}", pid.index()), pid.index() as u64));
+            handle.submit(KvCommand::Put(
+                format!("key-{}", pid.index()),
+                pid.index() as u64,
+            ));
             while !stop.load(std::sync::atomic::Ordering::Acquire) {
                 if let Some(leader) = cluster.node(pid).cached_leader() {
                     handle.step(leader);
@@ -105,8 +116,33 @@ fn replicated_kv_on_threads_with_failover() {
     // Let some commands commit, then crash the leader and keep going.
     std::thread::sleep(Duration::from_millis(150));
     let crashed = cluster.crash_current_leader().expect("has a leader");
-    let _ = cluster.await_stable_leader(WINDOW, DEADLINE).expect("re-elects");
-    std::thread::sleep(Duration::from_millis(400));
+    let _ = cluster
+        .await_stable_leader(WINDOW, DEADLINE)
+        .expect("re-elects");
+    // Liveness is *eventual*: poll the shared log until every survivor's
+    // command has a decided slot (bounded by DEADLINE) rather than hoping a
+    // fixed sleep suffices under CPU contention.
+    let wanted: Vec<KvCommand> = ProcessId::all(n)
+        .filter(|&q| q != crashed)
+        .map(|pid| KvCommand::Put(format!("key-{}", pid.index()), pid.index() as u64))
+        .collect();
+    let poll_deadline = std::time::Instant::now() + DEADLINE;
+    loop {
+        let decided: Vec<KvCommand> = (0..shared.allocated_slots())
+            .filter_map(|k| shared.instance(k).peek_decision())
+            .collect();
+        if wanted.iter().all(|cmd| decided.contains(cmd)) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < poll_deadline,
+            "survivors' commands never committed; decided so far: {decided:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // Give the app threads a moment to fold the decided slots into their
+    // own committed lists before stopping them.
+    std::thread::sleep(Duration::from_millis(100));
     stop.store(true, std::sync::atomic::Ordering::Release);
 
     let logs: Vec<Vec<KvCommand>> = apps.into_iter().map(|h| h.join().unwrap()).collect();

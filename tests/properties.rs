@@ -1,132 +1,132 @@
 //! Root-level property tests: the theorems hold across randomized
-//! AWB-compatible environments, not just hand-picked ones.
+//! AWB-compatible environments, not just hand-picked ones. Environments
+//! are generated from a seeded stream and expressed as scenarios, so every
+//! failing case is reproducible from its case number.
 
 use omega_shm::omega::OmegaVariant;
 use omega_shm::registers::ProcessId;
-use omega_shm::sim::prelude::*;
-use omega_shm::sim::Simulation;
-use proptest::prelude::*;
+use omega_shm::scenario::{AdversarySpec, Driver, Scenario, SimDriver};
+use omega_shm::sim::rng::SmallRng;
 
 fn p(i: usize) -> ProcessId {
     ProcessId::new(i)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Theorem 1, randomized: Algorithm 1 elects a correct leader for
-    /// arbitrary seeds, delay ranges, σ, τ₁, and timely-process choice.
-    #[test]
-    fn alg1_elects_across_random_awb_environments(
-        n in 2usize..6,
-        seed in any::<u64>(),
-        delay_hi in 2u64..10,
-        sigma in 1u64..8,
-        tau1 in 0u64..5_000,
-        timely in 0usize..6,
-    ) {
-        let timely = p(timely % n);
-        let sys = OmegaVariant::Alg1.build(n);
-        let report = Simulation::builder(sys.actors)
-            .adversary(AwbEnvelope::new(
-                SeededRandom::new(seed, 1, delay_hi),
-                timely,
-                SimTime::from_ticks(tau1),
-                sigma,
-            ))
+/// Theorem 1, randomized: Algorithm 1 elects a correct leader for
+/// arbitrary seeds, delay ranges, σ, τ₁, and timely-process choice.
+#[test]
+fn alg1_elects_across_random_awb_environments() {
+    let mut g = SmallRng::seed_from_u64(0x0A11);
+    for case in 0..12 {
+        let n = g.gen_range(2..=5) as usize;
+        let seed = g.next_u64();
+        let delay_hi = g.gen_range(2..=9);
+        let sigma = g.gen_range(1..=7);
+        let tau1 = g.gen_range(0..=4_999);
+        let timely = p(g.gen_range(0..=5) as usize % n);
+        let scenario = Scenario::fault_free(OmegaVariant::Alg1, n)
+            .named(format!("random-awb/case{case}"))
+            .adversary(AdversarySpec::Random {
+                min: 1,
+                max: delay_hi,
+            })
+            .awb(timely, tau1, sigma)
+            .seed(seed)
             .horizon(60_000)
-            .sample_every(100)
-            .run();
-        let stab = report.stabilization();
-        prop_assert!(stab.is_some(), "no stabilization (n={n}, seed={seed})");
-        prop_assert!(report.correct.contains(stab.unwrap().leader));
+            .sample_every(100);
+        let outcome = SimDriver.run(&scenario);
+        assert!(
+            outcome.stabilized,
+            "case {case}: no stabilization (n={n}, seed={seed})"
+        );
+        assert!(outcome.leader_is_correct(), "case {case}");
     }
+}
 
-    /// Theorems 6 + Corollary 1, randomized: Algorithm 2 stays bounded and
-    /// keeps every process writing, whatever the AWB environment.
-    #[test]
-    fn alg2_bounded_and_all_writing_across_environments(
-        seed in any::<u64>(),
-        sigma in 1u64..6,
-    ) {
+/// Theorem 6 + Corollary 1, randomized: Algorithm 2 stays bounded and
+/// keeps every process writing, whatever the AWB environment.
+#[test]
+fn alg2_bounded_and_all_writing_across_environments() {
+    let mut g = SmallRng::seed_from_u64(0x0A12);
+    for case in 0..12 {
         let n = 3;
-        let sys = OmegaVariant::Alg2.build(n);
-        let space = sys.space.clone();
-        let report = Simulation::builder(sys.actors)
-            .adversary(AwbEnvelope::new(
-                SeededRandom::new(seed, 1, 6),
-                p(0),
-                SimTime::from_ticks(1_000),
-                sigma,
-            ))
-            .memory(space)
+        let seed = g.next_u64();
+        let sigma = g.gen_range(1..=5);
+        let scenario = Scenario::fault_free(OmegaVariant::Alg2, n)
+            .named(format!("bounded/case{case}"))
+            .awb(p(0), 1_000, sigma)
+            .seed(seed)
             .horizon(50_000)
             .stats_checkpoints(12)
-            .sample_every(100)
-            .run();
-        prop_assert!(report.stabilization().is_some());
-        // Boundedness: final quarter grows nothing.
-        let len = report.footprints.len();
-        prop_assert!(len >= 4);
-        let grown = report.footprints[len - 1].1.grown_since(&report.footprints[len * 3 / 4].1);
-        prop_assert!(grown.is_empty(), "grew late: {grown:?}");
+            .sample_every(100);
+        let outcome = SimDriver.run(&scenario);
+        assert!(outcome.stabilized, "case {case}");
+        // Boundedness: nothing still growing late in the run.
+        assert!(
+            outcome.grown_in_tail.is_empty(),
+            "case {case}: grew late: {:?}",
+            outcome.grown_in_tail
+        );
         // Everyone writes in the tail.
-        let tail = report.windowed.tail(0.25).unwrap();
+        let tail = outcome.tail.as_ref().unwrap();
         for pid in ProcessId::all(n) {
-            prop_assert!(tail.stats.writes_of(pid) > 0, "{pid} stopped writing");
+            assert!(
+                tail.writers.contains(pid),
+                "case {case}: {pid} stopped writing"
+            );
         }
     }
+}
 
-    /// Footnote 7, randomized: arbitrary initial register contents never
-    /// prevent convergence (self-stabilization of both algorithms).
-    #[test]
-    fn corrupted_starts_always_converge(corruption in any::<u64>(), seed in any::<u64>()) {
-        use omega_shm::omega::{boxed_actors, Alg1Memory, Alg1Process};
-        use omega_shm::registers::MemorySpace;
-        use std::sync::Arc;
+/// Footnote 7, randomized: arbitrary initial register contents never
+/// prevent convergence (self-stabilization of both algorithms).
+#[test]
+fn corrupted_starts_always_converge() {
+    use omega_shm::omega::{boxed_actors, Alg1Memory, Alg1Process};
+    use omega_shm::registers::MemorySpace;
+    use std::sync::Arc;
 
+    let mut g = SmallRng::seed_from_u64(0x0A13);
+    for case in 0..12 {
+        let corruption = g.next_u64();
+        let seed = g.next_u64();
+        let scenario = Scenario::fault_free(OmegaVariant::Alg1, 3)
+            .named(format!("corrupted/case{case}"))
+            .awb(p(0), 500, 4)
+            .seed(seed)
+            .horizon(60_000)
+            .sample_every(100);
         let space = MemorySpace::new(3);
         let mem = Alg1Memory::new(&space);
         mem.corrupt(corruption);
         let procs: Vec<Alg1Process> = ProcessId::all(3)
             .map(|pid| Alg1Process::new(Arc::clone(&mem), pid))
             .collect();
-        let report = Simulation::builder(boxed_actors(procs))
-            .adversary(AwbEnvelope::new(
-                SeededRandom::new(seed, 1, 6),
-                p(0),
-                SimTime::from_ticks(500),
-                4,
-            ))
-            .horizon(60_000)
-            .sample_every(100)
-            .run();
-        prop_assert!(
-            report.stabilization().is_some(),
-            "corruption {corruption:#x} broke convergence"
+        let outcome = SimDriver.run_actors(&scenario, boxed_actors(procs), &space);
+        assert!(
+            outcome.stabilized,
+            "case {case}: corruption {corruption:#x} broke convergence"
         );
     }
 }
 
 /// Validity + Termination (the other two Ω properties) in one deterministic
 /// sweep: every estimate ever sampled is a real process identity, and the
-/// leader query keeps answering throughout the run.
+/// leader query keeps answering throughout the run. Uses the scenario's
+/// raw sim builder because the claim is about the whole sampled timeline,
+/// not just the stabilized suffix an `Outcome` condenses.
 #[test]
 fn validity_and_termination_of_estimates() {
     for variant in OmegaVariant::all() {
         let n = 4;
-        let sys = variant.build(n);
-        let lo = if variant == OmegaVariant::StepClock { 2 } else { 1 };
-        let report = Simulation::builder(sys.actors)
-            .adversary(AwbEnvelope::new(
-                SeededRandom::new(5, lo, 6),
-                p(0),
-                SimTime::from_ticks(500),
-                4,
-            ))
+        let scenario = Scenario::fault_free(variant, n)
+            .named(format!("validity/{variant}"))
+            .awb(p(0), 500, 4)
+            .seed(5)
             .horizon(30_000)
-            .sample_every(50)
-            .run();
+            .sample_every(50);
+        let sys = variant.build(n);
+        let report = scenario.sim_builder(sys.actors).run();
         let mut answered = vec![false; n];
         for sample in report.timeline.samples() {
             for (i, estimate) in sample.leaders.iter().enumerate() {
