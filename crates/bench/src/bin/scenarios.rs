@@ -1,15 +1,28 @@
 //! Scenario-suite benchmark: every registry scenario on the simulator,
 //! with a machine-readable JSON artifact for perf trajectories.
 //!
-//! Prints the human table and writes `BENCH_scenarios.json` (same
-//! directory, or `$BENCH_OUT` if set) with per-scenario stabilization
-//! ticks, write/read totals, and footprint — the numbers a CI run can diff
-//! against history.
+//! Two modes:
+//!
+//! * **Record** (default) — prints the human table and writes
+//!   `BENCH_scenarios.json` (same directory, or `$BENCH_OUT` if set) with
+//!   per-scenario stabilization ticks, read/write totals, scan savings and
+//!   footprint — the numbers a CI run can diff against history.
+//! * **Check** (`--check <baseline.json>`) — runs the same suite, diffs
+//!   every outcome against the committed baseline, and exits non-zero on a
+//!   stabilization-tick regression above 25% or a total-write regression
+//!   above 15%. Scenarios present only on one side are reported but never
+//!   fail the gate (they have no trend yet). This is the CI regression
+//!   gate named in ROADMAP's "Outcome diffing" item.
 
 use std::fmt::Write as _;
 
 use omega_bench::table::Table;
 use omega_scenario::{registry, Driver, Outcome, SimDriver};
+
+/// Allowed relative growth of `stabilization_ticks` before the gate fails.
+const MAX_STABILIZATION_REGRESSION: f64 = 0.25;
+/// Allowed relative growth of `total_writes` before the gate fails.
+const MAX_WRITE_REGRESSION: f64 = 0.15;
 
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -45,11 +58,13 @@ fn json_record(outcome: &Outcome) -> String {
     };
     let _ = write!(
         o,
-        "\"horizon_ticks\":{},\"crashed\":{},\"total_writes\":{},\"total_reads\":{},\"hwm_bits\":{},\"register_count\":{},",
+        "\"horizon_ticks\":{},\"crashed\":{},\"total_writes\":{},\"total_reads\":{},\"reads_skipped\":{},\"shard_passes\":{},\"hwm_bits\":{},\"register_count\":{},",
         outcome.horizon_ticks,
         outcome.crashed.len(),
         outcome.total_writes(),
         outcome.total_reads(),
+        outcome.reads_skipped,
+        outcome.shard_passes,
         outcome.hwm_bits,
         outcome.register_count,
     );
@@ -65,7 +80,128 @@ fn json_record(outcome: &Outcome) -> String {
     o
 }
 
-fn main() {
+/// The baseline fields the regression gate compares against.
+#[derive(Debug, Clone, PartialEq)]
+struct BaselineRecord {
+    scenario: String,
+    stabilization_ticks: Option<u64>,
+    total_writes: u64,
+    total_reads: u64,
+}
+
+/// Extracts the value of `"key":` from one flat JSON object, as a raw
+/// token (up to the next `,` or `}` — sufficient for the numeric, null and
+/// boolean fields this tool writes; string fields are not parsed here).
+fn raw_field<'a>(object: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = object.find(&needle)? + needle.len();
+    let rest = &object[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn string_field(object: &str, key: &str) -> Option<String> {
+    let raw = raw_field(object, key)?;
+    let raw = raw.strip_prefix('"')?.strip_suffix('"')?;
+    // The only escapes this tool emits are \" and \\ (names are ASCII).
+    Some(raw.replace("\\\"", "\"").replace("\\\\", "\\"))
+}
+
+/// Parses the baseline JSON written by this tool: an array of flat
+/// objects, one per line. Tolerates reformatting as long as each record
+/// stays on its own line.
+///
+/// A line that looks like a record but does not parse is a **hard
+/// error**: silently dropping it would let the gate treat its scenario
+/// as "new — no trend yet" and wave a real regression through.
+fn parse_baseline(json: &str) -> Result<Vec<BaselineRecord>, String> {
+    json.lines()
+        .map(str::trim)
+        .filter(|line| line.starts_with('{'))
+        .map(|line| {
+            let parsed = (|| {
+                Some(BaselineRecord {
+                    scenario: string_field(line, "scenario")?,
+                    stabilization_ticks: match raw_field(line, "stabilization_ticks")? {
+                        "null" => None,
+                        raw => Some(raw.parse().ok()?),
+                    },
+                    total_writes: raw_field(line, "total_writes")?.parse().ok()?,
+                    total_reads: raw_field(line, "total_reads")?.parse().ok()?,
+                })
+            })();
+            parsed.ok_or_else(|| format!("unparseable baseline record: {line}"))
+        })
+        .collect()
+}
+
+/// Relative growth of `current` over `baseline` (0.0 when not a growth).
+fn growth(baseline: u64, current: u64) -> f64 {
+    if current <= baseline || baseline == 0 {
+        return 0.0;
+    }
+    (current - baseline) as f64 / baseline as f64
+}
+
+/// Diffs current outcomes against the baseline; returns human-readable
+/// gate violations (empty = gate passes).
+fn check_against_baseline(baseline: &[BaselineRecord], outcomes: &[Outcome]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for outcome in outcomes {
+        let Some(base) = baseline.iter().find(|b| b.scenario == outcome.scenario) else {
+            println!("  new scenario (no trend yet): {}", outcome.scenario);
+            continue;
+        };
+        println!(
+            "  {}: stab {:?} -> {:?}, writes {} -> {}, reads {} -> {}",
+            outcome.scenario,
+            base.stabilization_ticks,
+            outcome.stabilization_ticks,
+            base.total_writes,
+            outcome.total_writes(),
+            base.total_reads,
+            outcome.total_reads(),
+        );
+        match (base.stabilization_ticks, outcome.stabilization_ticks) {
+            (Some(before), Some(now)) => {
+                let g = growth(before, now);
+                if g > MAX_STABILIZATION_REGRESSION {
+                    violations.push(format!(
+                        "{}: stabilization regressed {before} -> {now} ticks (+{:.0}%, limit {:.0}%)",
+                        outcome.scenario,
+                        g * 100.0,
+                        MAX_STABILIZATION_REGRESSION * 100.0
+                    ));
+                }
+            }
+            (Some(before), None) => violations.push(format!(
+                "{}: stabilized at tick {before} in the baseline, did not stabilize now",
+                outcome.scenario
+            )),
+            // Baseline never stabilized: stabilizing now is an improvement.
+            (None, _) => {}
+        }
+        let g = growth(base.total_writes, outcome.total_writes());
+        if g > MAX_WRITE_REGRESSION {
+            violations.push(format!(
+                "{}: total writes regressed {} -> {} (+{:.0}%, limit {:.0}%)",
+                outcome.scenario,
+                base.total_writes,
+                outcome.total_writes(),
+                g * 100.0,
+                MAX_WRITE_REGRESSION * 100.0
+            ));
+        }
+    }
+    for base in baseline {
+        if !outcomes.iter().any(|o| o.scenario == base.scenario) {
+            println!("  baseline scenario no longer in suite: {}", base.scenario);
+        }
+    }
+    violations
+}
+
+fn run_suite() -> (Table, Vec<Outcome>) {
     let mut table = Table::new(&[
         "scenario",
         "variant",
@@ -74,9 +210,11 @@ fn main() {
         "stabilized",
         "stab tick",
         "writes",
+        "reads",
+        "skipped",
         "hwm bits",
     ]);
-    let mut records = Vec::new();
+    let mut outcomes = Vec::new();
     for scenario in registry::all() {
         let outcome = SimDriver.run(&scenario);
         if scenario.expect_stabilization {
@@ -100,18 +238,113 @@ fn main() {
                 .stabilization_ticks
                 .map_or("-".into(), |t| t.to_string()),
             outcome.total_writes().to_string(),
+            outcome.total_reads().to_string(),
+            outcome.reads_skipped.to_string(),
             outcome.hwm_bits.to_string(),
         ]);
-        records.push(json_record(&outcome));
+        outcomes.push(outcome);
     }
+    (table, outcomes)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check_path = match args.as_slice() {
+        [] => None,
+        [flag, path] if flag == "--check" => Some(path.clone()),
+        _ => {
+            eprintln!("usage: scenarios [--check BASELINE.json]");
+            std::process::exit(2);
+        }
+    };
+
+    let (table, outcomes) = run_suite();
     println!(
         "== scenario suite ({} scenarios, sim backend) ==",
-        records.len()
+        outcomes.len()
     );
     println!("{table}");
 
-    let json = format!("[\n  {}\n]\n", records.join(",\n  "));
-    let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_scenarios.json".into());
-    std::fs::write(&path, &json).expect("write BENCH_scenarios.json");
-    println!("wrote {} records to {path}", records.len());
+    // In record mode the artifact is always written; in check mode only
+    // when `$BENCH_OUT` names a destination (so a CI gate run can publish
+    // the current outcomes without a second suite run).
+    let out_path = std::env::var("BENCH_OUT").ok();
+    if check_path.is_none() || out_path.is_some() {
+        let records: Vec<String> = outcomes.iter().map(json_record).collect();
+        let json = format!("[\n  {}\n]\n", records.join(",\n  "));
+        let path = out_path.unwrap_or_else(|| "BENCH_scenarios.json".into());
+        std::fs::write(&path, &json).expect("write scenario outcomes JSON");
+        println!("wrote {} records to {path}", records.len());
+    }
+
+    if let Some(path) = check_path {
+        let json =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        let baseline = parse_baseline(&json).unwrap_or_else(|e| panic!("baseline {path}: {e}"));
+        assert!(!baseline.is_empty(), "baseline {path} holds no records");
+        println!(
+            "== regression gate vs {path} ({} records) ==",
+            baseline.len()
+        );
+        let violations = check_against_baseline(&baseline, &outcomes);
+        if violations.is_empty() {
+            println!(
+                "gate PASSED: no stabilization regression > {:.0}%, no write regression > {:.0}%",
+                MAX_STABILIZATION_REGRESSION * 100.0,
+                MAX_WRITE_REGRESSION * 100.0
+            );
+            return;
+        }
+        eprintln!("gate FAILED:");
+        for violation in &violations {
+            eprintln!("  {violation}");
+        }
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"[
+  {"scenario":"a","backend":"sim","stabilization_ticks":1000,"total_writes":500,"total_reads":9000},
+  {"scenario":"no-stab","backend":"sim","stabilization_ticks":null,"total_writes":100,"total_reads":50}
+]
+"#;
+
+    #[test]
+    fn parses_own_format() {
+        let records = parse_baseline(SAMPLE).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].scenario, "a");
+        assert_eq!(records[0].stabilization_ticks, Some(1000));
+        assert_eq!(records[0].total_writes, 500);
+        assert_eq!(records[1].stabilization_ticks, None);
+    }
+
+    #[test]
+    fn malformed_record_is_a_hard_error_not_a_silent_drop() {
+        // A record the parser cannot read must fail the whole check run:
+        // dropping it would reclassify its scenario as "new" and exempt
+        // it from the gate.
+        let broken = "[\n  {\"scenario\":\"a\",\"total_writes\":oops}\n]\n";
+        let err = parse_baseline(broken).unwrap_err();
+        assert!(err.contains("unparseable"), "{err}");
+    }
+
+    #[test]
+    fn growth_is_zero_for_improvements() {
+        assert_eq!(growth(100, 80), 0.0);
+        assert_eq!(growth(100, 100), 0.0);
+        assert!((growth(100, 130) - 0.3).abs() < 1e-9);
+        assert_eq!(growth(0, 50), 0.0, "no trend from a zero baseline");
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let name = "weird\"name\\with";
+        let encoded = format!("{{\"scenario\":{}}}", json_str(name));
+        assert_eq!(string_field(&encoded, "scenario").unwrap(), name);
+    }
 }

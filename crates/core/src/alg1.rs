@@ -19,13 +19,125 @@
 //! implementation does so for `PROGRESS[i]`, `STOP[i]` and the
 //! `SUSPICIONS[i][·]` row, so the remaining shared *reads* are exactly the
 //! ones the model requires.
+//!
+//! # Scaling past n ≈ 32
+//!
+//! Two further read-avoidance layers keep `leader()` and `T3` cheap when
+//! `n` reaches the hundreds, without changing what is elected:
+//!
+//! * **Epoch-validated suspicion cache** — the `SUSPICIONS` matrix is an
+//!   [`EpochedNatMatrix`]: every suspicion write bumps its row's epoch, and
+//!   `leader()` keeps a local copy of each foreign row plus an incremental
+//!   per-column aggregate, re-reading a row (via one batched snapshot) only
+//!   when its epoch moved. In a quiescent (stabilized) run every row is
+//!   clean and `leader()` performs *zero* shared reads.
+//! * **Sharded `T3` scan** — each timer expiry scans one round-robin slice
+//!   of [`T3_SHARD_SIZE`] processes instead of all `n`. A slice pass is the
+//!   paper's lines 13–26 verbatim for the slice members; each process is
+//!   still checked on every full rotation, so suspicion accrual merely
+//!   slows by the (constant) shard count — the eventual-leadership argument
+//!   is unaffected. Systems with `n ≤ ` [`T3_SHARD_SIZE`] scan exactly as
+//!   in Figure 2.
 
+use std::cell::RefCell;
 use std::sync::Arc;
 
-use omega_registers::{FlagArray, MemorySpace, NatArray, NatMatrix, ProcessId, ProcessSet};
+use omega_registers::{EpochedNatMatrix, FlagArray, MemorySpace, NatArray, ProcessId, ProcessSet};
 
 use crate::candidates::{elect_least_suspected, CandidateInit};
 use crate::OmegaProcess;
+
+/// Number of processes examined per sharded `T3` pass (and the threshold
+/// below which the scan is unsharded, i.e. exactly the paper's Figure 2).
+pub const T3_SHARD_SIZE: usize = 16;
+
+/// Epoch-validated local view of the foreign rows of a `SUSPICIONS`
+/// matrix, with an incrementally maintained per-column aggregate.
+///
+/// Shared by [`Alg1Process`] and [`Alg2Process`](crate::Alg2Process) (the
+/// matrix layout is identical in Figures 2 and 5).
+#[derive(Debug)]
+pub(crate) struct SuspicionCache {
+    /// Identity of the owning process (its row is mirrored elsewhere).
+    pid: ProcessId,
+    /// `rows[j]` — last snapshot of `SUSPICIONS[j][·]` (row `pid` unused).
+    rows: Vec<Vec<u64>>,
+    /// Row epoch each snapshot was taken at; `u64::MAX` = never read.
+    seen: Vec<u64>,
+    /// `totals[k] = Σ_{j≠pid} rows[j][k]`.
+    totals: Vec<u64>,
+    /// Scratch buffer for row snapshots.
+    buf: Vec<u64>,
+}
+
+impl SuspicionCache {
+    pub(crate) fn new(n: usize, pid: ProcessId) -> Self {
+        SuspicionCache {
+            pid,
+            rows: vec![vec![0; n]; n],
+            seen: vec![u64::MAX; n],
+            totals: vec![0; n],
+            buf: vec![0; n],
+        }
+    }
+
+    /// Brings every stale foreign row up to date (one batched snapshot per
+    /// dirty row; clean rows cost no shared reads and are credited to the
+    /// space's [`ScanCounters`](omega_registers::ScanCounters)).
+    pub(crate) fn refresh(&mut self, suspicions: &EpochedNatMatrix) {
+        let n = suspicions.n();
+        for j in ProcessId::all(n) {
+            if j == self.pid {
+                continue;
+            }
+            let version = suspicions.row_version(j);
+            if self.seen[j.index()] == version {
+                suspicions.note_row_skipped();
+                continue;
+            }
+            let seen = suspicions.snapshot_row_into(j, self.pid, &mut self.buf);
+            let old = &mut self.rows[j.index()];
+            for ((total, old), new) in self.totals.iter_mut().zip(old.iter_mut()).zip(&self.buf) {
+                // total ≥ old by construction: old is one of its summands.
+                *total = *total - *old + *new;
+                *old = *new;
+            }
+            self.seen[j.index()] = seen;
+        }
+    }
+
+    /// Cached `Σ_{j≠pid} SUSPICIONS[j][k]`.
+    pub(crate) fn foreign_total(&self, k: ProcessId) -> u64 {
+        self.totals[k.index()]
+    }
+}
+
+/// Round-robin cursor over `[0, n)` in slices of at most
+/// [`T3_SHARD_SIZE`], for sharded `T3` scans.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShardCursor {
+    n: usize,
+    shard: usize,
+    next: usize,
+}
+
+impl ShardCursor {
+    pub(crate) fn new(n: usize, shard: usize) -> Self {
+        ShardCursor {
+            n,
+            shard: shard.max(1),
+            next: 0,
+        }
+    }
+
+    /// The slice the next pass must scan; advances the cursor.
+    pub(crate) fn advance(&mut self) -> std::ops::Range<usize> {
+        let start = self.next;
+        let end = (start + self.shard).min(self.n);
+        self.next = if end >= self.n { 0 } else { end };
+        start..end
+    }
+}
 
 /// The Figure-2 shared register layout.
 ///
@@ -36,7 +148,7 @@ pub struct Alg1Memory {
     n: usize,
     progress: NatArray,
     stop: FlagArray,
-    suspicions: NatMatrix,
+    suspicions: EpochedNatMatrix,
 }
 
 impl Alg1Memory {
@@ -49,7 +161,7 @@ impl Alg1Memory {
             n,
             progress: space.nat_array("PROGRESS", |_| 0),
             stop: space.flag_array("STOP", |_| true),
-            suspicions: space.nat_row_matrix("SUSPICIONS", |_, _| 0),
+            suspicions: space.epoched_nat_row_matrix("SUSPICIONS", |_, _| 0),
         })
     }
 
@@ -102,7 +214,9 @@ impl Alg1Memory {
         }
         for j in ProcessId::all(self.n) {
             for k in ProcessId::all(self.n) {
-                self.suspicions.get(j, k).poke(next() % 100);
+                // Epoch-bumping poke: live processes with a populated scan
+                // cache must observe the corruption on their next query.
+                self.suspicions.poke(j, k, next() % 100);
             }
         }
     }
@@ -151,6 +265,11 @@ pub struct Alg1Process {
     timeout_slack: u64,
     /// Leader estimate cached from the latest `T2` evaluation.
     cached: Option<ProcessId>,
+    /// Epoch-validated view of the foreign `SUSPICIONS` rows (interior
+    /// mutability: `leader()` is a `&self` query but refreshes the cache).
+    scan: RefCell<SuspicionCache>,
+    /// Round-robin cursor of the sharded `T3` scan.
+    t3_cursor: ShardCursor,
 }
 
 impl Alg1Process {
@@ -187,8 +306,24 @@ impl Alg1Process {
             my_suspicions,
             timeout_slack: 1,
             cached: None,
+            scan: RefCell::new(SuspicionCache::new(n, pid)),
+            t3_cursor: ShardCursor::new(n, T3_SHARD_SIZE),
             mem,
         }
+    }
+
+    /// Overrides the width of the sharded `T3` scan (default
+    /// [`T3_SHARD_SIZE`]); `shard ≥ n` restores the paper's full scan.
+    /// Provided for the shard-size experiments and the parity tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard == 0`.
+    #[must_use]
+    pub fn with_scan_shard(mut self, shard: usize) -> Self {
+        assert!(shard >= 1, "a T3 pass must scan at least one process");
+        self.t3_cursor = ShardCursor::new(self.mem.n(), shard);
+        self
     }
 
     /// Sets the additive slack of the timer formula (Figure 2, line 27
@@ -221,18 +356,10 @@ impl Alg1Process {
     }
 
     /// Total suspicions of candidate `k` as seen by this process —
-    /// `Σ_j SUSPICIONS[j][k]` (line 3). Reads the shared matrix, except the
-    /// process's own row, which is mirrored locally.
-    fn total_suspicions(&self, k: ProcessId) -> u64 {
-        ProcessId::all(self.mem.n())
-            .map(|j| {
-                if j == self.pid {
-                    self.my_suspicions[k.index()]
-                } else {
-                    self.mem.suspicions.get(j, k).read(self.pid)
-                }
-            })
-            .sum()
+    /// `Σ_j SUSPICIONS[j][k]` (line 3) — from the refreshed cache plus the
+    /// locally mirrored own row. Callers must `refresh` the cache first.
+    fn total_suspicions(&self, scan: &SuspicionCache, k: ProcessId) -> u64 {
+        scan.foreign_total(k) + self.my_suspicions[k.index()]
     }
 }
 
@@ -246,8 +373,13 @@ impl OmegaProcess for Alg1Process {
     }
 
     /// Task `T1` (lines 1–5): elect the least-suspected candidate.
+    ///
+    /// Reads only the `SUSPICIONS` rows whose epoch moved since the last
+    /// query; in a stabilized run this performs no shared reads at all.
     fn leader(&self) -> ProcessId {
-        elect_least_suspected(&self.candidates, |k| self.total_suspicions(k))
+        let mut scan = self.scan.borrow_mut();
+        scan.refresh(&self.mem.suspicions);
+        elect_least_suspected(&self.candidates, |k| self.total_suspicions(&scan, k))
             .expect("candidates always contain self")
     }
 
@@ -276,11 +408,12 @@ impl OmegaProcess for Alg1Process {
         }
     }
 
-    /// Task `T3` body (lines 13–27). Returns the next timeout value
-    /// `max_k SUSPICIONS[i][k] + 1`.
+    /// Task `T3` body (lines 13–27) over one round-robin shard of at most
+    /// [`T3_SHARD_SIZE`] processes (the whole system when `n` fits in one
+    /// shard). Returns the next timeout value `max_k SUSPICIONS[i][k] + 1`.
     fn on_timer_expire(&mut self) -> u64 {
-        let n = self.mem.n();
-        for k in ProcessId::all(n) {
+        for idx in self.t3_cursor.advance() {
+            let k = ProcessId::new(idx);
             if k == self.pid {
                 continue;
             }
@@ -300,10 +433,11 @@ impl OmegaProcess for Alg1Process {
                 // Lines 22–24: suspect k.
                 let bumped = self.my_suspicions[k.index()] + 1;
                 self.my_suspicions[k.index()] = bumped;
-                self.mem.suspicions.get(self.pid, k).write(self.pid, bumped);
+                self.mem.suspicions.write(self.pid, k, self.pid, bumped);
                 self.candidates.remove(k);
             }
         }
+        self.mem.suspicions.counters().note_shard_pass();
         // Line 27 — computed entirely from owned (mirrored) registers.
         self.my_suspicions.iter().copied().max().unwrap_or(0) + self.timeout_slack
     }
@@ -453,6 +587,25 @@ mod tests {
             "wrap is still progress"
         );
         assert_eq!(mem.peek_suspicions(p(1), p(0)), 0);
+    }
+
+    #[test]
+    fn foreign_row_pokes_reach_a_populated_cache() {
+        // Harness-side pokes go through the epoch-bumping path, so a
+        // process whose scan cache is already warm must observe them on
+        // its very next query (the own row stays mirrored, per §3.2 —
+        // only foreign rows are at stake).
+        let (_s, mem, procs) = system(3);
+        assert_eq!(procs[0].leader(), p(0), "warm the cache");
+        mem.suspicions.poke(p(1), p(0), 40);
+        mem.suspicions.poke(p(2), p(0), 2);
+        mem.suspicions.poke(p(1), p(2), 1);
+        // New totals as p0 sees them: p0 → 42, p1 → 0, p2 → 1.
+        assert_eq!(
+            procs[0].leader(),
+            p(1),
+            "a populated cache must not serve pre-poke totals"
+        );
     }
 
     #[test]

@@ -22,10 +22,14 @@
 //! acknowledgement flags forever (Theorem 7), which is optimal for bounded
 //! memory (Theorem 8).
 
+use std::cell::RefCell;
 use std::sync::Arc;
 
-use omega_registers::{FlagArray, FlagMatrix, MemorySpace, NatMatrix, ProcessId, ProcessSet};
+use omega_registers::{
+    EpochedNatMatrix, FlagArray, FlagMatrix, MemorySpace, ProcessId, ProcessSet,
+};
 
+use crate::alg1::{ShardCursor, SuspicionCache, T3_SHARD_SIZE};
 use crate::candidates::{elect_least_suspected, CandidateInit};
 use crate::OmegaProcess;
 
@@ -38,7 +42,7 @@ pub struct Alg2Memory {
     /// `LAST[i][k]`, column-owned: `p_k` acknowledges `p_i`'s signal.
     last: FlagMatrix,
     stop: FlagArray,
-    suspicions: NatMatrix,
+    suspicions: EpochedNatMatrix,
 }
 
 impl Alg2Memory {
@@ -52,7 +56,7 @@ impl Alg2Memory {
             progress: space.flag_row_matrix("HPROGRESS", |_, _| false),
             last: space.flag_column_matrix("LAST", |_, _| false),
             stop: space.flag_array("STOP", |_| true),
-            suspicions: space.nat_row_matrix("SUSPICIONS", |_, _| 0),
+            suspicions: space.epoched_nat_row_matrix("SUSPICIONS", |_, _| 0),
         })
     }
 
@@ -108,7 +112,8 @@ impl Alg2Memory {
             for k in ProcessId::all(self.n) {
                 self.progress.get(j, k).poke(next() % 2 == 0);
                 self.last.get(j, k).poke(next() % 2 == 0);
-                self.suspicions.get(j, k).poke(next() % 100);
+                // Epoch-bumping poke: see Alg1Memory::corrupt.
+                self.suspicions.poke(j, k, next() % 100);
             }
         }
     }
@@ -142,6 +147,11 @@ pub struct Alg2Process {
     /// Local mirror of the owned `SUSPICIONS[pid][·]` row.
     my_suspicions: Vec<u64>,
     cached: Option<ProcessId>,
+    /// Epoch-validated view of the foreign `SUSPICIONS` rows (see
+    /// [`Alg1Process`](crate::Alg1Process) — the layout is identical).
+    scan: RefCell<SuspicionCache>,
+    /// Round-robin cursor of the sharded `T3` scan.
+    t3_cursor: ShardCursor,
 }
 
 impl Alg2Process {
@@ -174,8 +184,23 @@ impl Alg2Process {
             my_stop,
             my_suspicions,
             cached: None,
+            scan: RefCell::new(SuspicionCache::new(n, pid)),
+            t3_cursor: ShardCursor::new(n, T3_SHARD_SIZE),
             mem,
         }
+    }
+
+    /// Overrides the width of the sharded `T3` scan (default
+    /// [`T3_SHARD_SIZE`]); `shard ≥ n` restores the paper's full scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard == 0`.
+    #[must_use]
+    pub fn with_scan_shard(mut self, shard: usize) -> Self {
+        assert!(shard >= 1, "a T3 pass must scan at least one process");
+        self.t3_cursor = ShardCursor::new(self.mem.n(), shard);
+        self
     }
 
     /// The shared memory this process runs over.
@@ -190,16 +215,8 @@ impl Alg2Process {
         &self.candidates
     }
 
-    fn total_suspicions(&self, k: ProcessId) -> u64 {
-        ProcessId::all(self.mem.n())
-            .map(|j| {
-                if j == self.pid {
-                    self.my_suspicions[k.index()]
-                } else {
-                    self.mem.suspicions.get(j, k).read(self.pid)
-                }
-            })
-            .sum()
+    fn total_suspicions(&self, scan: &SuspicionCache, k: ProcessId) -> u64 {
+        scan.foreign_total(k) + self.my_suspicions[k.index()]
     }
 }
 
@@ -212,9 +229,12 @@ impl OmegaProcess for Alg2Process {
         self.mem.n()
     }
 
-    /// Task `T1` — unchanged from Algorithm 1.
+    /// Task `T1` — unchanged from Algorithm 1 (including the epoch-gated
+    /// suspicion cache: stale rows are re-read, clean rows cost nothing).
     fn leader(&self) -> ProcessId {
-        elect_least_suspected(&self.candidates, |k| self.total_suspicions(k))
+        let mut scan = self.scan.borrow_mut();
+        scan.refresh(&self.mem.suspicions);
+        elect_least_suspected(&self.candidates, |k| self.total_suspicions(&scan, k))
             .expect("candidates always contain self")
     }
 
@@ -246,10 +266,11 @@ impl OmegaProcess for Alg2Process {
         }
     }
 
-    /// Task `T3` body (lines 13–27 with 16.R1–19.R1).
+    /// Task `T3` body (lines 13–27 with 16.R1–19.R1) over one round-robin
+    /// shard, as in [`Alg1Process`](crate::Alg1Process).
     fn on_timer_expire(&mut self) -> u64 {
-        let n = self.mem.n();
-        for k in ProcessId::all(n) {
+        for idx in self.t3_cursor.advance() {
+            let k = ProcessId::new(idx);
             if k == self.pid {
                 continue;
             }
@@ -267,10 +288,11 @@ impl OmegaProcess for Alg2Process {
             } else if self.candidates.contains(k) {
                 let bumped = self.my_suspicions[k.index()] + 1;
                 self.my_suspicions[k.index()] = bumped;
-                self.mem.suspicions.get(self.pid, k).write(self.pid, bumped);
+                self.mem.suspicions.write(self.pid, k, self.pid, bumped);
                 self.candidates.remove(k);
             }
         }
+        self.mem.suspicions.counters().note_shard_pass();
         self.my_suspicions.iter().copied().max().unwrap_or(0) + 1
     }
 

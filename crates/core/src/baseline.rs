@@ -82,6 +82,8 @@ pub struct EsOmega {
     /// False suspicions observed so far (diagnostics).
     false_suspicions: u64,
     cached: Option<ProcessId>,
+    /// Scratch buffer for the batched heartbeat snapshot.
+    hb_buf: Vec<u64>,
 }
 
 impl EsOmega {
@@ -112,6 +114,7 @@ impl EsOmega {
             scan_period,
             false_suspicions: 0,
             cached: None,
+            hb_buf: vec![0; n],
             mem,
         }
     }
@@ -156,12 +159,14 @@ impl OmegaProcess for EsOmega {
     }
 
     fn on_timer_expire(&mut self) -> u64 {
+        // One batched snapshot of the whole heartbeat array per scan.
+        self.mem.heartbeat.snapshot_into(self.pid, &mut self.hb_buf);
         for k in ProcessId::all(self.mem.n()) {
             if k == self.pid {
                 continue;
             }
             let idx = k.index();
-            let hb = self.mem.heartbeat.get(k).read(self.pid);
+            let hb = self.hb_buf[idx];
             let progressed = !self.seen_valid[idx] || hb != self.last_seen[idx];
             self.seen_valid[idx] = true;
             self.last_seen[idx] = hb;

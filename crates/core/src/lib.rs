@@ -72,7 +72,7 @@ mod mwmr;
 mod stepclock;
 mod variant;
 
-pub use alg1::{Alg1Memory, Alg1Process};
+pub use alg1::{Alg1Memory, Alg1Process, T3_SHARD_SIZE};
 pub use alg2::{Alg2Memory, Alg2Process};
 pub use baseline::{EsMemory, EsOmega};
 pub use candidates::{elect_least_suspected, CandidateInit};

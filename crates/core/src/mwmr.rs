@@ -8,12 +8,60 @@
 //! algorithm's properties — the counter still only grows when some process
 //! suspects `k`, and it stops growing exactly when suspicions stop.
 
+use std::cell::RefCell;
 use std::sync::Arc;
 
-use omega_registers::{FlagArray, MemorySpace, MwmrNatArray, NatArray, ProcessId, ProcessSet};
+use omega_registers::{
+    EpochedMwmrNatArray, FlagArray, MemorySpace, NatArray, ProcessId, ProcessSet,
+};
 
+use crate::alg1::{ShardCursor, T3_SHARD_SIZE};
 use crate::candidates::{elect_least_suspected, CandidateInit};
 use crate::OmegaProcess;
+
+/// Epoch-validated local view of the shared suspicion counters: slot `k`
+/// is re-read only when its modification epoch moved.
+#[derive(Debug)]
+struct CounterCache {
+    seen: Vec<u64>,
+    values: Vec<u64>,
+}
+
+impl CounterCache {
+    fn new(n: usize) -> Self {
+        CounterCache {
+            seen: vec![u64::MAX; n],
+            values: vec![0; n],
+        }
+    }
+
+    fn refresh(&mut self, counters: &EpochedMwmrNatArray, reader: ProcessId) {
+        // Cold cache (every slot stale — the sentinel state of a fresh
+        // process): take one batched array snapshot instead of n
+        // version-checked single reads.
+        if self.seen.iter().all(|&v| v == u64::MAX) {
+            for (k, seen) in self.seen.iter_mut().enumerate() {
+                *seen = counters.slot_version(k);
+            }
+            counters.array().snapshot_into(reader, &mut self.values);
+            counters.counters().note_snapshot();
+            return;
+        }
+        let mut skipped = 0;
+        for k in 0..counters.len() {
+            if self.seen[k] == counters.slot_version(k) {
+                skipped += 1;
+                continue;
+            }
+            let (version, value) = counters.read_versioned(k, reader);
+            self.values[k] = value;
+            self.seen[k] = version;
+        }
+        if skipped > 0 {
+            counters.note_slots_skipped(skipped);
+        }
+    }
+}
 
 /// Shared register layout of the nWnR variant: `PROGRESS`/`STOP` as in
 /// Figure 2, plus a single multi-writer suspicion counter per process.
@@ -22,7 +70,7 @@ pub struct MwmrMemory {
     n: usize,
     progress: NatArray,
     stop: FlagArray,
-    suspicions: MwmrNatArray,
+    suspicions: EpochedMwmrNatArray,
 }
 
 impl MwmrMemory {
@@ -34,7 +82,7 @@ impl MwmrMemory {
             n,
             progress: space.nat_array("PROGRESS", |_| 0),
             stop: space.flag_array("STOP", |_| true),
-            suspicions: space.nat_mwmr_array("SUSPICIONS", n, |_| 0),
+            suspicions: space.epoched_nat_mwmr_array("SUSPICIONS", n, |_| 0),
         })
     }
 
@@ -68,6 +116,10 @@ pub struct MwmrProcess {
     my_progress: u64,
     my_stop: bool,
     cached: Option<ProcessId>,
+    /// Epoch-validated view of the shared suspicion counters.
+    scan: RefCell<CounterCache>,
+    /// Round-robin cursor of the sharded `T3` scan.
+    t3_cursor: ShardCursor,
 }
 
 impl MwmrProcess {
@@ -90,6 +142,8 @@ impl MwmrProcess {
             my_progress,
             my_stop,
             cached: None,
+            scan: RefCell::new(CounterCache::new(n)),
+            t3_cursor: ShardCursor::new(n, T3_SHARD_SIZE),
             mem,
         }
     }
@@ -98,6 +152,12 @@ impl MwmrProcess {
     #[must_use]
     pub fn memory(&self) -> &Arc<MwmrMemory> {
         &self.mem
+    }
+
+    /// Current candidate set (test/diagnostic view).
+    #[must_use]
+    pub fn candidates(&self) -> &ProcessSet {
+        &self.candidates
     }
 }
 
@@ -111,10 +171,10 @@ impl OmegaProcess for MwmrProcess {
     }
 
     fn leader(&self) -> ProcessId {
-        elect_least_suspected(&self.candidates, |k| {
-            self.mem.suspicions.get(k.index()).read(self.pid)
-        })
-        .expect("candidates always contain self")
+        let mut scan = self.scan.borrow_mut();
+        scan.refresh(&self.mem.suspicions, self.pid);
+        elect_least_suspected(&self.candidates, |k| scan.values[k.index()])
+            .expect("candidates always contain self")
     }
 
     fn t2_step(&mut self) {
@@ -137,8 +197,8 @@ impl OmegaProcess for MwmrProcess {
     }
 
     fn on_timer_expire(&mut self) -> u64 {
-        let n = self.mem.n();
-        for k in ProcessId::all(n) {
+        for idx in self.t3_cursor.advance() {
+            let k = ProcessId::new(idx);
             if k == self.pid {
                 continue;
             }
@@ -154,19 +214,18 @@ impl OmegaProcess for MwmrProcess {
             } else if self.candidates.contains(k) {
                 // Read-increment-write on the shared counter; increments may
                 // race and be lost, which the variant tolerates.
-                let reg = self.mem.suspicions.get(k.index());
-                let bumped = reg.read(self.pid) + 1;
-                reg.write(self.pid, bumped);
+                let bumped = self.mem.suspicions.get(k.index()).read(self.pid) + 1;
+                self.mem.suspicions.write(k.index(), self.pid, bumped);
                 self.candidates.remove(k);
             }
         }
+        self.mem.suspicions.counters().note_shard_pass();
         // Line 27 analogue: the timeout tracks the largest suspicion count
-        // this process can observe (shared counters, so read them all).
-        ProcessId::all(n)
-            .map(|k| self.mem.suspicions.get(k.index()).read(self.pid))
-            .max()
-            .unwrap_or(0)
-            + 1
+        // this process can observe — from the epoch-validated cache, so
+        // clean counters cost no shared reads.
+        let mut scan = self.scan.borrow_mut();
+        scan.refresh(&self.mem.suspicions, self.pid);
+        scan.values.iter().copied().max().unwrap_or(0) + 1
     }
 
     fn initial_timeout(&self) -> u64 {
@@ -218,8 +277,8 @@ mod tests {
     #[test]
     fn election_follows_shared_counters() {
         let (_s, mem, procs) = system(3);
-        mem.suspicions.get(0).poke(5);
-        mem.suspicions.get(2).poke(1);
+        mem.suspicions.poke(0, 5);
+        mem.suspicions.poke(2, 1);
         for proc in &procs {
             assert_eq!(proc.leader(), p(1));
         }
@@ -228,9 +287,20 @@ mod tests {
     #[test]
     fn timeout_tracks_global_max() {
         let (_s, mem, mut procs) = system(2);
-        mem.suspicions.get(0).poke(9);
+        mem.suspicions.poke(0, 9);
         let t = procs[1].on_timer_expire();
         assert_eq!(t, 10);
+    }
+
+    #[test]
+    fn poke_after_queries_is_observed() {
+        // Epoch-bumping poke: a counter corrupted *after* a process has
+        // populated its cache must still reach the next election.
+        let (_s, mem, procs) = system(3);
+        assert_eq!(procs[2].leader(), p(0));
+        mem.suspicions.poke(0, 50);
+        mem.suspicions.poke(1, 10);
+        assert_eq!(procs[2].leader(), p(2), "cache must see the poked counters");
     }
 
     #[test]

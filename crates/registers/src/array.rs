@@ -63,6 +63,23 @@ impl<T: RegisterValue, C: SharedCell<T>> SwmrArray<T, C> {
             .enumerate()
             .map(|(i, r)| (ProcessId::new(i), r))
     }
+
+    /// Batch-reads every slot into `out` on behalf of `reader` — one
+    /// attributed read per slot, in identity order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != len()`.
+    pub fn snapshot_into(&self, reader: ProcessId, out: &mut [T]) {
+        assert_eq!(
+            out.len(),
+            self.regs.len(),
+            "snapshot buffer must hold every slot"
+        );
+        for (slot, reg) in out.iter_mut().zip(&self.regs) {
+            *slot = reg.read(reader);
+        }
+    }
 }
 
 impl<T: RegisterValue, C: SharedCell<T>> Clone for SwmrArray<T, C> {
@@ -117,6 +134,22 @@ impl<T: RegisterValue, C: SharedCell<T>> MwmrArray<T, C> {
     /// Iterates over the registers in index order.
     pub fn iter(&self) -> impl Iterator<Item = &MwmrRegister<T, C>> {
         self.regs.iter()
+    }
+
+    /// Batch-reads every register into `out` on behalf of `reader`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != len()`.
+    pub fn snapshot_into(&self, reader: ProcessId, out: &mut [T]) {
+        assert_eq!(
+            out.len(),
+            self.regs.len(),
+            "snapshot buffer must hold every slot"
+        );
+        for (slot, reg) in out.iter_mut().zip(&self.regs) {
+            *slot = reg.read(reader);
+        }
     }
 }
 
@@ -179,6 +212,34 @@ mod tests {
         arr.get(3).write(ProcessId::new(1), 10);
         assert_eq!(arr.get(3).read(ProcessId::new(0)), 10);
         assert_eq!(arr.iter().count(), 4);
+    }
+
+    #[test]
+    fn swmr_snapshot_reads_every_slot_attributed() {
+        let s = MemorySpace::new(3);
+        let arr = s.swmr_array::<u64>("HB", |pid| 10 + pid.index() as u64);
+        let mut buf = vec![0; 3];
+        arr.snapshot_into(ProcessId::new(1), &mut buf);
+        assert_eq!(buf, vec![10, 11, 12]);
+        assert_eq!(s.stats().reads_of(ProcessId::new(1)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "every slot")]
+    fn swmr_snapshot_rejects_short_buffer() {
+        let s = MemorySpace::new(2);
+        let arr = s.swmr_array::<u64>("HB", |_| 0);
+        arr.snapshot_into(ProcessId::new(0), &mut [0]);
+    }
+
+    #[test]
+    fn mwmr_snapshot_reads_every_register() {
+        let s = MemorySpace::new(2);
+        let arr = s.mwmr_array::<u64>("S", 4, |i| i as u64);
+        let mut buf = vec![0; 4];
+        arr.snapshot_into(ProcessId::new(0), &mut buf);
+        assert_eq!(buf, vec![0, 1, 2, 3]);
+        assert_eq!(s.stats().reads_of(ProcessId::new(0)), 4);
     }
 
     #[test]

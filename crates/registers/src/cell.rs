@@ -4,7 +4,7 @@
 //! be loaded and stored atomically from many threads. Two families are
 //! provided:
 //!
-//! * [`LockCell`] — a [`RwLock`](crate::sync::RwLock) around any cloneable value.
+//! * [`LockCell`] — a [`RwLock`] around any cloneable value.
 //!   Loads and stores are serialized by the lock, which makes the cell
 //!   trivially linearizable for arbitrary `T`.
 //! * [`AtomicNatCell`] / [`AtomicFlagCell`] — lock-free cells over

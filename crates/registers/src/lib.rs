@@ -55,6 +55,7 @@ mod footprint;
 mod matrix;
 mod meta;
 mod pid;
+mod shard;
 mod space;
 mod stats;
 mod swmr;
@@ -66,9 +67,10 @@ pub use footprint::{FootprintReport, FootprintRow};
 pub use matrix::{OwnedMatrix, OwnerAxis};
 pub use meta::RegisterId;
 pub use pid::{ProcessId, ProcessSet};
+pub use shard::{EpochedArray, EpochedMatrix, ScanCounters, ScanStats};
 pub use space::{
-    FlagArray, FlagMatrix, FlagRegister, MemorySpace, MwmrNatArray, NatArray, NatMatrix,
-    NatRegister,
+    EpochedMwmrNatArray, EpochedNatMatrix, FlagArray, FlagMatrix, FlagRegister, MemorySpace,
+    MwmrNatArray, NatArray, NatMatrix, NatRegister,
 };
 pub use stats::{RegisterRow, StatsSnapshot};
 pub use swmr::{MwmrRegister, SwmrRegister};

@@ -89,6 +89,19 @@ impl<T: RegisterValue, C: SharedCell<T>> OwnedMatrix<T, C> {
             .enumerate()
             .map(move |(r, row)| (ProcessId::new(r), &row[col.index()]))
     }
+
+    /// Batch-reads the whole `row` into `out` on behalf of `reader` — one
+    /// attributed read per column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != n()` or `row` is out of range.
+    pub fn read_row_into(&self, row: ProcessId, reader: ProcessId, out: &mut [T]) {
+        assert_eq!(out.len(), self.n(), "snapshot buffer must hold a full row");
+        for (slot, reg) in out.iter_mut().zip(&self.regs[row.index()]) {
+            *slot = reg.read(reader);
+        }
+    }
 }
 
 impl<T: RegisterValue, C: SharedCell<T>> Clone for OwnedMatrix<T, C> {

@@ -10,6 +10,7 @@ use crate::cell::{AtomicFlagCell, AtomicNatCell, LockCell, SharedCell};
 use crate::footprint::{FootprintReport, FootprintRow};
 use crate::matrix::OwnedMatrix;
 use crate::meta::{RegisterId, RegisterMeta};
+use crate::shard::{EpochedArray, EpochedMatrix, ScanCounters};
 use crate::stats::{RegisterRow, StatsSnapshot};
 use crate::swmr::{MwmrRegister, RegCore, SwmrRegister};
 use crate::value::RegisterValue;
@@ -29,11 +30,16 @@ pub type NatMatrix = OwnedMatrix<u64, AtomicNatCell>;
 pub type FlagMatrix = OwnedMatrix<bool, AtomicFlagCell>;
 /// nWnR array of lock-free natural-number registers.
 pub type MwmrNatArray = MwmrArray<u64, AtomicNatCell>;
+/// Epoch-tracked lock-free natural-number matrix (sharded `SUSPICIONS`).
+pub type EpochedNatMatrix = EpochedMatrix<u64, AtomicNatCell>;
+/// Epoch-tracked lock-free nWnR natural-number array (§3.5 suspicions).
+pub type EpochedMwmrNatArray = EpochedArray<u64, AtomicNatCell>;
 
 struct SpaceInner {
     n_processes: usize,
     regs: RwLock<Vec<Arc<dyn RegisterMeta>>>,
     next_id: AtomicUsize,
+    scan: Arc<ScanCounters>,
 }
 
 /// A shared memory made of atomic registers, with built-in instrumentation.
@@ -79,6 +85,7 @@ impl MemorySpace {
                 n_processes,
                 regs: RwLock::new(Vec::new()),
                 next_id: AtomicUsize::new(0),
+                scan: Arc::new(ScanCounters::new()),
             }),
         }
     }
@@ -344,6 +351,33 @@ impl MemorySpace {
         self.mwmr_array_cell::<u64, AtomicNatCell>(name, len, init)
     }
 
+    /// Lock-free `u64` row-owned matrix with per-row modification epochs —
+    /// the sharded-scan `SUSPICIONS` layout (see [`crate::EpochedMatrix`]).
+    pub fn epoched_nat_row_matrix(
+        &self,
+        name: &str,
+        init: impl FnMut(usize, usize) -> u64,
+    ) -> EpochedNatMatrix {
+        EpochedMatrix::new(self.nat_row_matrix(name, init), self.scan_counters())
+    }
+
+    /// Lock-free `u64` nWnR array with per-slot modification epochs.
+    pub fn epoched_nat_mwmr_array(
+        &self,
+        name: &str,
+        len: usize,
+        init: impl FnMut(usize) -> u64,
+    ) -> EpochedMwmrNatArray {
+        EpochedArray::new(self.nat_mwmr_array(name, len, init), self.scan_counters())
+    }
+
+    /// The space-wide scan-saving counters (shared by every epoched
+    /// structure created in this space).
+    #[must_use]
+    pub fn scan_counters(&self) -> Arc<ScanCounters> {
+        Arc::clone(&self.inner.scan)
+    }
+
     // ------------------------------------------------------------------
     // Reporting.
     // ------------------------------------------------------------------
@@ -365,7 +399,7 @@ impl MemorySpace {
                 }
             })
             .collect();
-        StatsSnapshot::new(n, rows)
+        StatsSnapshot::new(n, rows).with_scan(self.inner.scan.snapshot())
     }
 
     /// Reports the bit-footprint of every register: current size and

@@ -17,7 +17,7 @@
 
 use std::fmt;
 
-use crate::{ProcessId, ProcessSet};
+use crate::{ProcessId, ProcessSet, ScanStats};
 
 /// Counters of a single register within a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,17 +67,34 @@ impl RegisterRow {
 pub struct StatsSnapshot {
     n_processes: usize,
     rows: Vec<RegisterRow>,
+    scan: ScanStats,
 }
 
 impl StatsSnapshot {
     pub(crate) fn new(n_processes: usize, rows: Vec<RegisterRow>) -> Self {
-        StatsSnapshot { n_processes, rows }
+        StatsSnapshot {
+            n_processes,
+            rows,
+            scan: ScanStats::default(),
+        }
+    }
+
+    pub(crate) fn with_scan(mut self, scan: ScanStats) -> Self {
+        self.scan = scan;
+        self
     }
 
     /// Number of processes in the system.
     #[must_use]
     pub fn n_processes(&self) -> usize {
         self.n_processes
+    }
+
+    /// Scan-saving counters (reads skipped by epoch-validated caches,
+    /// sharded `T3` passes) captured with this snapshot.
+    #[must_use]
+    pub fn scan(&self) -> ScanStats {
+        self.scan
     }
 
     /// Per-register rows, in register-creation order.
@@ -179,7 +196,7 @@ impl StatsSnapshot {
                 out
             })
             .collect();
-        StatsSnapshot::new(self.n_processes, rows)
+        StatsSnapshot::new(self.n_processes, rows).with_scan(self.scan.delta_since(&earlier.scan))
     }
 }
 
@@ -202,6 +219,16 @@ impl fmt::Display for StatsSnapshot {
                 row.total_reads(),
                 row.total_writes(),
                 writers.join(",")
+            )?;
+        }
+        if self.scan != ScanStats::default() {
+            writeln!(
+                f,
+                "scan: {} reads skipped ({} rows), {} snapshots, {} shard passes",
+                self.scan.reads_skipped,
+                self.scan.rows_skipped,
+                self.scan.snapshot_batches,
+                self.scan.shard_passes
             )?;
         }
         Ok(())

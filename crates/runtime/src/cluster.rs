@@ -110,6 +110,14 @@ impl Cluster {
         self.nodes.iter().map(Node::timer_fires).collect()
     }
 
+    /// Space-wide scan-saving counters: shared reads avoided by the
+    /// epoch-validated suspicion caches and sharded `T3` passes executed
+    /// (cheap — does not walk the register registry).
+    #[must_use]
+    pub fn scan_stats(&self) -> omega_registers::ScanStats {
+        self.space.scan_counters().snapshot()
+    }
+
     /// Crash-stops `pid`.
     pub fn crash(&self, pid: ProcessId) {
         self.nodes[pid.index()].crash();

@@ -20,7 +20,34 @@
 //! are directly comparable across backends. The [`registry`] ships a
 //! curated suite of named scenarios (fault-free, failover chains, crash
 //! storms, σ stress, AWB edge cases, scaling probes) shared by the tests
-//! and the benchmark binaries.
+//! and the benchmark binaries; parameterized families
+//! ([`registry::sigma_sweep`], [`registry::n_scaling`]) are built through
+//! the [`registry::family`] helper.
+//!
+//! # The outcome-diff regression gate
+//!
+//! Outcomes are not just observed — they are *defended*. The
+//! `omega-bench` `scenarios` binary records the whole suite into
+//! `BENCH_scenarios.json` (stabilization tick, read/write totals, scan
+//! savings, footprint per scenario), and the same binary re-runs the
+//! suite and diffs it against that committed baseline:
+//!
+//! ```text
+//! # record a new baseline (after an intentional perf change)
+//! cargo run --release -p omega-bench --bin scenarios
+//!
+//! # gate: exits non-zero on a stabilization-tick regression > 25%
+//! # or a total-write regression > 15% against the committed file
+//! cargo run --release -p omega-bench --bin scenarios -- --check BENCH_scenarios.json
+//! ```
+//!
+//! CI runs the `--check` form on every push, so a change that silently
+//! slows stabilization or inflates write traffic fails the build; new
+//! scenarios (no trend yet) are reported but never fail the gate. Set
+//! `BENCH_OUT=<path>` to also publish the current outcomes from a check
+//! run. The [`Outcome::reads_skipped`] / [`Outcome::shard_passes`]
+//! counters in each record make the sharded-scan savings part of the
+//! defended trend line.
 //!
 //! # One spec, two backends
 //!

@@ -59,6 +59,11 @@ pub struct Outcome {
     pub reads: Vec<u64>,
     /// Cumulative shared-memory writes per process.
     pub writes: Vec<u64>,
+    /// Shared reads avoided by the epoch-validated suspicion caches (rows
+    /// and counters found clean and skipped instead of re-read).
+    pub reads_skipped: u64,
+    /// Sharded `T3` scan passes executed across all processes.
+    pub shard_passes: u64,
     /// Registers allocated by the variant's layout.
     pub register_count: usize,
     /// Total shared-memory high-water footprint in bits.
@@ -165,6 +170,13 @@ impl Outcome {
             self.total_reads(),
             self.hwm_bits
         );
+        if self.reads_skipped > 0 || self.shard_passes > 0 {
+            let _ = writeln!(
+                out,
+                "scan       : {} reads skipped, {} shard passes",
+                self.reads_skipped, self.shard_passes
+            );
+        }
         if let Some(tail) = &self.tail {
             let writers: Vec<String> = tail.writers.iter().map(|p| p.to_string()).collect();
             let _ = writeln!(

@@ -14,7 +14,7 @@ use crate::{AdversarySpec, Scenario, TimerSpec};
 /// The curated scenario suite, in presentation order.
 #[must_use]
 pub fn all() -> Vec<Scenario> {
-    vec![
+    let mut suite = vec![
         fault_free(),
         fault_free_large(),
         leader_crash_failover(),
@@ -25,9 +25,10 @@ pub fn all() -> Vec<Scenario> {
         bounded_memory(),
         mwmr_lean(),
         stepclock(),
-        n_scaling(),
-        no_awb_staller(),
-    ]
+    ];
+    suite.extend(n_scaling(&[32, 64, 128, 256]));
+    suite.push(no_awb_staller());
+    suite
 }
 
 /// Looks a scenario up by its registry name.
@@ -140,12 +141,20 @@ pub fn stepclock() -> Scenario {
     Scenario::fault_free(OmegaVariant::StepClock, 4).named("stepclock")
 }
 
-/// Scale probe: n = 32 under the standard AWB workload.
+/// Scale probes: the standard AWB workload at growing system sizes —
+/// `n-scaling-32` is the historical baseline; 64/128/256 exercise the
+/// sharded `T3` scan and the epoch-gated `leader()` cache, whose savings
+/// the outcome's `reads_skipped`/`shard_passes` counters make visible.
+///
+/// Statistics checkpoints shrink with `n` because one cumulative snapshot
+/// is `O(n³)` counters; the trend line needs totals, not fine windows.
 #[must_use]
-pub fn n_scaling() -> Scenario {
-    Scenario::fault_free(OmegaVariant::Alg1, 32)
-        .named("n-scaling-32")
-        .horizon(100_000)
+pub fn n_scaling(sizes: &[usize]) -> Vec<Scenario> {
+    family("n-scaling-", sizes, |n| {
+        Scenario::fault_free(OmegaVariant::Alg1, n)
+            .horizon(100_000)
+            .stats_checkpoints(if n >= 128 { 4 } else { 16 })
+    })
 }
 
 /// The necessity experiment (E13): no AWB envelope, a leader-stalling
@@ -163,21 +172,37 @@ pub fn no_awb_staller() -> Scenario {
         .horizon(120_000)
 }
 
+/// Builds a parameterized scenario family: one scenario per parameter,
+/// built by `build` and named `{name}{param}` (callers include the
+/// separator — `"sigma-sweep/"`, `"n-scaling-"` — in `name`, so family
+/// members keep their historical registry names).
+///
+/// This is the pattern behind [`sigma_sweep`] and [`n_scaling`]; sweeps
+/// for new dimensions (contention, horizon, timer jitter) should go
+/// through it rather than hand-rolling the map-and-name loop.
+#[must_use]
+pub fn family<P: Copy + std::fmt::Display>(
+    name: &str,
+    params: &[P],
+    mut build: impl FnMut(P) -> Scenario,
+) -> Vec<Scenario> {
+    params
+        .iter()
+        .map(|&p| build(p).named(format!("{name}{p}")))
+        .collect()
+}
+
 /// The σ sweep of experiment E5: one scenario per σ, identical otherwise.
 #[must_use]
 pub fn sigma_sweep(sigmas: &[u64]) -> Vec<Scenario> {
-    sigmas
-        .iter()
-        .map(|&sigma| {
-            Scenario::fault_free(OmegaVariant::Alg1, 4)
-                .named(format!("sigma-sweep/{sigma}"))
-                .adversary(AdversarySpec::Random { min: 1, max: 12 })
-                .awb(ProcessId::new(0), 2_000, sigma)
-                .seed(11)
-                .horizon(80_000)
-                .stats_checkpoints(32)
-        })
-        .collect()
+    family("sigma-sweep/", sigmas, |sigma| {
+        Scenario::fault_free(OmegaVariant::Alg1, 4)
+            .adversary(AdversarySpec::Random { min: 1, max: 12 })
+            .awb(ProcessId::new(0), 2_000, sigma)
+            .seed(11)
+            .horizon(80_000)
+            .stats_checkpoints(32)
+    })
 }
 
 #[cfg(test)]
@@ -221,9 +246,42 @@ mod tests {
     fn sigma_sweep_parameterizes_only_sigma() {
         let sweep = sigma_sweep(&[2, 8, 32]);
         assert_eq!(sweep.len(), 3);
+        assert_eq!(sweep[0].name, "sigma-sweep/2");
         assert_eq!(sweep[0].awb.unwrap().sigma, 2);
         assert_eq!(sweep[2].awb.unwrap().sigma, 32);
         assert_eq!(sweep[0].seed, sweep[2].seed);
         assert_eq!(sweep[0].horizon, sweep[2].horizon);
+    }
+
+    #[test]
+    fn family_names_members_with_caller_separator() {
+        let members = family("probe/", &[1u64, 9], |p| {
+            Scenario::fault_free(OmegaVariant::Alg1, 3).seed(p)
+        });
+        assert_eq!(members[0].name, "probe/1");
+        assert_eq!(members[1].name, "probe/9");
+        assert_eq!(members[1].seed, 9);
+    }
+
+    #[test]
+    fn n_scaling_family_keeps_historical_name_and_scales_checkpoints() {
+        let probes = n_scaling(&[32, 64, 128, 256]);
+        assert_eq!(probes[0].name, "n-scaling-32");
+        assert_eq!(probes[3].name, "n-scaling-256");
+        assert_eq!(probes[3].n, 256);
+        assert!(probes.iter().all(|s| s.expect_stabilization));
+        assert_eq!(probes[1].stats_checkpoints, 16);
+        assert_eq!(
+            probes[2].stats_checkpoints, 4,
+            "O(n³) snapshots: large probes checkpoint coarsely"
+        );
+        for name in [
+            "n-scaling-32",
+            "n-scaling-64",
+            "n-scaling-128",
+            "n-scaling-256",
+        ] {
+            assert!(named(name).is_some(), "{name} must be in the registry");
+        }
     }
 }

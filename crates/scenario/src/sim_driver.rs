@@ -89,6 +89,8 @@ fn outcome_of(scenario: &Scenario, report: &RunReport, space: &MemorySpace) -> O
         writes: omega_registers::ProcessId::all(n)
             .map(|p| stats.writes_of(p))
             .collect(),
+        reads_skipped: stats.scan().reads_skipped,
+        shard_passes: stats.scan().shard_passes,
         register_count: space.register_count(),
         hwm_bits: space.footprint().total_hwm_bits(),
         grown_in_tail,

@@ -220,6 +220,8 @@ impl Driver for ThreadDriver {
         };
 
         let stats = cluster.space().stats();
+        // One snapshot for both fields, so they describe the same instant.
+        let scan = cluster.scan_stats();
         let outcome = Outcome {
             backend: "threads",
             scenario: scenario.name.clone(),
@@ -243,6 +245,8 @@ impl Driver for ThreadDriver {
             estimate_changes,
             reads: ProcessId::all(n).map(|p| stats.reads_of(p)).collect(),
             writes: ProcessId::all(n).map(|p| stats.writes_of(p)).collect(),
+            reads_skipped: scan.reads_skipped,
+            shard_passes: scan.shard_passes,
             register_count: cluster.space().register_count(),
             hwm_bits: cluster.space().footprint().total_hwm_bits(),
             grown_in_tail,

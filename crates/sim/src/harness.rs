@@ -478,6 +478,16 @@ impl RunReport {
                 tail.stats.total_reads()
             );
         }
+        if let Some((_, last)) = self.windowed.snapshots().last() {
+            let scan = last.scan();
+            if scan.reads_skipped > 0 || scan.shard_passes > 0 {
+                let _ = writeln!(
+                    out,
+                    "scan savings     : {} reads skipped ({} rows), {} shard passes",
+                    scan.reads_skipped, scan.rows_skipped, scan.shard_passes
+                );
+            }
+        }
         out
     }
 }
