@@ -75,7 +75,7 @@ fn main() {
             .map(|p| p.to_string())
             .collect();
         t.row(&[
-            row.name.clone(),
+            row.name.to_string(),
             writers.join(","),
             row.total_writes().to_string(),
         ]);

@@ -1,18 +1,35 @@
 //! Scenario-suite benchmark: every registry scenario on the simulator,
 //! with a machine-readable JSON artifact for perf trajectories.
 //!
-//! Two modes:
+//! Modes and flags:
 //!
-//! * **Record** (default) — prints the human table and writes
-//!   `BENCH_scenarios.json` (same directory, or `$BENCH_OUT` if set) with
-//!   per-scenario stabilization ticks, read/write totals, scan savings and
-//!   footprint — the numbers a CI run can diff against history.
+//! * **Record** (default) — prints the human table and the throughput
+//!   table, and writes `BENCH_scenarios.json` (same directory, or
+//!   `$BENCH_OUT` if set) with per-scenario stabilization ticks,
+//!   read/write totals, scan savings, footprint, and wall-clock timing
+//!   (`elapsed_ms`, `events_per_sec`) — the numbers a CI run can diff
+//!   against history.
 //! * **Check** (`--check <baseline.json>`) — runs the same suite, diffs
 //!   every outcome against the committed baseline, and exits non-zero on a
 //!   stabilization-tick regression above 25% or a total-write regression
-//!   above 15%. Scenarios present only on one side are reported but never
-//!   fail the gate (they have no trend yet). This is the CI regression
-//!   gate named in ROADMAP's "Outcome diffing" item.
+//!   above 15%. Wall-clock deltas beyond ±50% are *reported* but do not
+//!   fail the gate (timing is machine-dependent; the trajectory matters,
+//!   not one noisy run). Scenarios present only on one side are reported
+//!   but never fail the gate (they have no trend yet). This is the CI
+//!   regression gate named in ROADMAP's "Outcome diffing" item.
+//! * **`--only <substring>`** — restricts the run (and the gate) to the
+//!   scenarios whose name contains the substring, so one scenario, e.g.
+//!   `n-scaling-256`, can be run and timed in isolation. A filtered run
+//!   never overwrites the default `BENCH_scenarios.json` (it would
+//!   replace the committed full-suite baseline with a partial one); set
+//!   `$BENCH_OUT` to export its records somewhere explicit.
+//! * **`--list`** — prints the registry names and exits.
+//!
+//! The baseline parser is forward- and backward-compatible: fields in the
+//! JSON that this binary does not know are ignored, and fields this binary
+//! tracks that an older baseline lacks (e.g. `elapsed_ms`) simply have no
+//! trend yet — both directions are unit-tested, so adding a field never
+//! invalidates committed baselines.
 
 use std::fmt::Write as _;
 
@@ -23,6 +40,9 @@ use omega_scenario::{registry, Driver, Outcome, SimDriver};
 const MAX_STABILIZATION_REGRESSION: f64 = 0.25;
 /// Allowed relative growth of `total_writes` before the gate fails.
 const MAX_WRITE_REGRESSION: f64 = 0.15;
+/// Wall-clock delta (either direction) beyond which the gate *reports* a
+/// timing change. Never fails the run: timing is not yet a hard gate.
+const TIMING_REPORT_THRESHOLD: f64 = 0.50;
 
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -58,7 +78,7 @@ fn json_record(outcome: &Outcome) -> String {
     };
     let _ = write!(
         o,
-        "\"horizon_ticks\":{},\"crashed\":{},\"total_writes\":{},\"total_reads\":{},\"reads_skipped\":{},\"shard_passes\":{},\"hwm_bits\":{},\"register_count\":{},",
+        "\"horizon_ticks\":{},\"crashed\":{},\"total_writes\":{},\"total_reads\":{},\"reads_skipped\":{},\"shard_passes\":{},\"hwm_bits\":{},\"register_count\":{},\"elapsed_ms\":{:.2},\"events_per_sec\":{:.0},",
         outcome.horizon_ticks,
         outcome.crashed.len(),
         outcome.total_writes(),
@@ -67,6 +87,8 @@ fn json_record(outcome: &Outcome) -> String {
         outcome.shard_passes,
         outcome.hwm_bits,
         outcome.register_count,
+        outcome.elapsed_ms,
+        outcome.events_per_sec,
     );
     let _ = match &outcome.tail {
         Some(tail) => write!(
@@ -81,12 +103,20 @@ fn json_record(outcome: &Outcome) -> String {
 }
 
 /// The baseline fields the regression gate compares against.
+///
+/// Every field except `scenario` is *optional at parse time* in one of two
+/// ways: the model counters are required (a record without them is
+/// malformed — see [`parse_baseline`]), while `elapsed_ms` is `None` when
+/// the baseline predates timing capture. Unknown fields in the JSON are
+/// ignored entirely, so the format can grow without breaking old binaries.
 #[derive(Debug, Clone, PartialEq)]
 struct BaselineRecord {
     scenario: String,
     stabilization_ticks: Option<u64>,
     total_writes: u64,
     total_reads: u64,
+    /// Wall-clock of the baseline run; `None` for pre-timing baselines.
+    elapsed_ms: Option<f64>,
 }
 
 /// Extracts the value of `"key":` from one flat JSON object, as a raw
@@ -128,6 +158,8 @@ fn parse_baseline(json: &str) -> Result<Vec<BaselineRecord>, String> {
                     },
                     total_writes: raw_field(line, "total_writes")?.parse().ok()?,
                     total_reads: raw_field(line, "total_reads")?.parse().ok()?,
+                    // Absent in pre-timing baselines: no trend, not an error.
+                    elapsed_ms: raw_field(line, "elapsed_ms").and_then(|raw| raw.parse().ok()),
                 })
             })();
             parsed.ok_or_else(|| format!("unparseable baseline record: {line}"))
@@ -143,9 +175,24 @@ fn growth(baseline: u64, current: u64) -> f64 {
     (current - baseline) as f64 / baseline as f64
 }
 
+/// Relative wall-clock change `current / baseline − 1` when the baseline
+/// carries timing and both sides are measurable; `None` otherwise.
+fn timing_delta(base: &BaselineRecord, outcome: &Outcome) -> Option<f64> {
+    let before = base.elapsed_ms?;
+    if before <= 0.0 || outcome.elapsed_ms <= 0.0 {
+        return None;
+    }
+    Some(outcome.elapsed_ms / before - 1.0)
+}
+
 /// Diffs current outcomes against the baseline; returns human-readable
-/// gate violations (empty = gate passes).
-fn check_against_baseline(baseline: &[BaselineRecord], outcomes: &[Outcome]) -> Vec<String> {
+/// gate violations (empty = gate passes). Wall-clock changes beyond
+/// [`TIMING_REPORT_THRESHOLD`] are printed but never fail the gate.
+fn check_against_baseline(
+    baseline: &[BaselineRecord],
+    outcomes: &[Outcome],
+    only: Option<&str>,
+) -> Vec<String> {
     let mut violations = Vec::new();
     for outcome in outcomes {
         let Some(base) = baseline.iter().find(|b| b.scenario == outcome.scenario) else {
@@ -162,6 +209,18 @@ fn check_against_baseline(baseline: &[BaselineRecord], outcomes: &[Outcome]) -> 
             base.total_reads,
             outcome.total_reads(),
         );
+        if let Some(delta) = timing_delta(base, outcome) {
+            if delta.abs() > TIMING_REPORT_THRESHOLD {
+                let direction = if delta > 0.0 { "slower" } else { "faster" };
+                println!(
+                    "  timing: {} {:.1} ms -> {:.1} ms ({:+.0}%, {direction}; report-only)",
+                    outcome.scenario,
+                    base.elapsed_ms.unwrap_or(0.0),
+                    outcome.elapsed_ms,
+                    delta * 100.0
+                );
+            }
+        }
         match (base.stabilization_ticks, outcome.stabilization_ticks) {
             (Some(before), Some(now)) => {
                 let g = growth(before, now);
@@ -194,14 +253,28 @@ fn check_against_baseline(baseline: &[BaselineRecord], outcomes: &[Outcome]) -> 
         }
     }
     for base in baseline {
-        if !outcomes.iter().any(|o| o.scenario == base.scenario) {
+        let filtered_out = only.is_some_and(|f| !base.scenario.contains(f));
+        if !filtered_out && !outcomes.iter().any(|o| o.scenario == base.scenario) {
             println!("  baseline scenario no longer in suite: {}", base.scenario);
         }
     }
     violations
 }
 
-fn run_suite() -> (Table, Vec<Outcome>) {
+/// Whether `--only <filter>` admits the scenario (no filter admits all).
+fn admits(only: Option<&str>, name: &str) -> bool {
+    only.is_none_or(|f| name.contains(f))
+}
+
+/// Whether this run writes the outcomes JSON. An explicit `$BENCH_OUT`
+/// always does; otherwise only a full (unfiltered) record run may touch
+/// the default `BENCH_scenarios.json` — a `--only` subset or a gate run
+/// must never overwrite the committed full-suite baseline.
+fn should_write_artifact(checking: bool, filtered: bool, explicit_out: bool) -> bool {
+    explicit_out || (!checking && !filtered)
+}
+
+fn run_suite(only: Option<&str>) -> (Table, Vec<Outcome>) {
     let mut table = Table::new(&[
         "scenario",
         "variant",
@@ -216,6 +289,9 @@ fn run_suite() -> (Table, Vec<Outcome>) {
     ]);
     let mut outcomes = Vec::new();
     for scenario in registry::all() {
+        if !admits(only, &scenario.name) {
+            continue;
+        }
         let outcome = SimDriver.run(&scenario);
         if scenario.expect_stabilization {
             outcome.assert_election();
@@ -247,34 +323,88 @@ fn run_suite() -> (Table, Vec<Outcome>) {
     (table, outcomes)
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let check_path = match args.as_slice() {
-        [] => None,
-        [flag, path] if flag == "--check" => Some(path.clone()),
-        _ => {
-            eprintln!("usage: scenarios [--check BASELINE.json]");
-            std::process::exit(2);
-        }
-    };
+/// The wall-clock view of a suite run: how long each scenario took and how
+/// fast the engine retired events — the numbers the tentpole optimizations
+/// are judged by.
+fn throughput_table(outcomes: &[Outcome]) -> Table {
+    let mut table = Table::new(&["scenario", "n", "elapsed ms", "events/sec", "reads/sec"]);
+    for outcome in outcomes {
+        let secs = outcome.elapsed_ms / 1e3;
+        let reads_per_sec = if secs > 0.0 {
+            outcome.total_reads() as f64 / secs
+        } else {
+            0.0
+        };
+        table.row(&[
+            outcome.scenario.clone(),
+            outcome.n.to_string(),
+            format!("{:.1}", outcome.elapsed_ms),
+            format!("{:.0}", outcome.events_per_sec),
+            format!("{reads_per_sec:.0}"),
+        ]);
+    }
+    table
+}
 
-    let (table, outcomes) = run_suite();
+fn usage() -> ! {
+    eprintln!("usage: scenarios [--check BASELINE.json] [--only SUBSTRING] [--list]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut check_path: Option<String> = None;
+    let mut only: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => match args.next() {
+                Some(path) => check_path = Some(path),
+                None => usage(),
+            },
+            "--only" => match args.next() {
+                Some(filter) => only = Some(filter),
+                None => usage(),
+            },
+            "--list" => {
+                for name in registry::names() {
+                    println!("{name}");
+                }
+                return;
+            }
+            _ => usage(),
+        }
+    }
+
+    let (table, outcomes) = run_suite(only.as_deref());
+    if outcomes.is_empty() {
+        eprintln!(
+            "no scenario matches --only {:?}; see --list",
+            only.unwrap_or_default()
+        );
+        std::process::exit(2);
+    }
     println!(
         "== scenario suite ({} scenarios, sim backend) ==",
         outcomes.len()
     );
     println!("{table}");
+    println!("== throughput ==");
+    println!("{}", throughput_table(&outcomes));
 
-    // In record mode the artifact is always written; in check mode only
-    // when `$BENCH_OUT` names a destination (so a CI gate run can publish
-    // the current outcomes without a second suite run).
+    // Full record runs always write the artifact; check runs and
+    // `--only`-filtered runs only when `$BENCH_OUT` names an explicit
+    // destination (a CI gate run publishes its outcomes without a second
+    // suite run; a filtered run must never clobber the committed
+    // full-suite baseline with a partial one).
     let out_path = std::env::var("BENCH_OUT").ok();
-    if check_path.is_none() || out_path.is_some() {
+    if should_write_artifact(check_path.is_some(), only.is_some(), out_path.is_some()) {
         let records: Vec<String> = outcomes.iter().map(json_record).collect();
         let json = format!("[\n  {}\n]\n", records.join(",\n  "));
         let path = out_path.unwrap_or_else(|| "BENCH_scenarios.json".into());
         std::fs::write(&path, &json).expect("write scenario outcomes JSON");
         println!("wrote {} records to {path}", records.len());
+    } else if only.is_some() && check_path.is_none() {
+        println!("partial run (--only): baseline not written; set BENCH_OUT to export");
     }
 
     if let Some(path) = check_path {
@@ -286,7 +416,7 @@ fn main() {
             "== regression gate vs {path} ({} records) ==",
             baseline.len()
         );
-        let violations = check_against_baseline(&baseline, &outcomes);
+        let violations = check_against_baseline(&baseline, &outcomes, only.as_deref());
         if violations.is_empty() {
             println!(
                 "gate PASSED: no stabilization regression > {:.0}%, no write regression > {:.0}%",
@@ -308,7 +438,7 @@ mod tests {
     use super::*;
 
     const SAMPLE: &str = r#"[
-  {"scenario":"a","backend":"sim","stabilization_ticks":1000,"total_writes":500,"total_reads":9000},
+  {"scenario":"a","backend":"sim","stabilization_ticks":1000,"total_writes":500,"total_reads":9000,"elapsed_ms":125.50},
   {"scenario":"no-stab","backend":"sim","stabilization_ticks":null,"total_writes":100,"total_reads":50}
 ]
 "#;
@@ -320,7 +450,41 @@ mod tests {
         assert_eq!(records[0].scenario, "a");
         assert_eq!(records[0].stabilization_ticks, Some(1000));
         assert_eq!(records[0].total_writes, 500);
+        assert_eq!(records[0].elapsed_ms, Some(125.5));
         assert_eq!(records[1].stabilization_ticks, None);
+        assert_eq!(
+            records[1].elapsed_ms, None,
+            "pre-timing records parse with no timing trend"
+        );
+    }
+
+    #[test]
+    fn tolerates_json_fields_the_struct_does_not_know() {
+        // Forward compatibility: a *newer* tool may write fields this
+        // binary has never heard of; they must be skipped, not rejected.
+        let futuristic = "[\n  {\"scenario\":\"a\",\"stabilization_ticks\":10,\"total_writes\":5,\"total_reads\":7,\"cache_misses\":12345,\"elapsed_ms\":3.25,\"p99_us\":17}\n]\n";
+        let records = parse_baseline(futuristic).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].total_writes, 5);
+        assert_eq!(records[0].elapsed_ms, Some(3.25));
+    }
+
+    #[test]
+    fn tolerates_struct_fields_the_json_lacks() {
+        // Backward compatibility: an *older* baseline lacks the optional
+        // timing fields entirely; everything required still parses and the
+        // timing comparison simply reports no trend.
+        let legacy = "[\n  {\"scenario\":\"a\",\"stabilization_ticks\":10,\"total_writes\":5,\"total_reads\":7}\n]\n";
+        let records = parse_baseline(legacy).unwrap();
+        assert_eq!(records[0].elapsed_ms, None);
+        let outcome_less = BaselineRecord {
+            scenario: "a".into(),
+            stabilization_ticks: Some(10),
+            total_writes: 5,
+            total_reads: 7,
+            elapsed_ms: None,
+        };
+        assert_eq!(records[0], outcome_less);
     }
 
     #[test]
@@ -346,5 +510,70 @@ mod tests {
         let name = "weird\"name\\with";
         let encoded = format!("{{\"scenario\":{}}}", json_str(name));
         assert_eq!(string_field(&encoded, "scenario").unwrap(), name);
+    }
+
+    #[test]
+    fn partial_or_gate_runs_never_touch_the_default_baseline() {
+        // Full record run: writes.
+        assert!(should_write_artifact(false, false, false));
+        // `--only` subset without an explicit destination: must NOT
+        // overwrite the committed 15-record baseline with a partial one.
+        assert!(!should_write_artifact(false, true, false));
+        // Check runs only publish when asked.
+        assert!(!should_write_artifact(true, false, false));
+        assert!(should_write_artifact(true, false, true));
+        // Explicit $BENCH_OUT always wins.
+        assert!(should_write_artifact(false, true, true));
+        assert!(should_write_artifact(true, true, true));
+    }
+
+    #[test]
+    fn only_filter_is_substring_match() {
+        assert!(admits(None, "n-scaling-256"));
+        assert!(admits(Some("n-scaling"), "n-scaling-256"));
+        assert!(admits(Some("256"), "n-scaling-256"));
+        assert!(!admits(Some("n-scaling-2560"), "n-scaling-256"));
+        assert!(!admits(Some("fault"), "n-scaling-256"));
+    }
+
+    #[test]
+    fn timing_delta_needs_both_sides() {
+        let base = |elapsed_ms| BaselineRecord {
+            scenario: "a".into(),
+            stabilization_ticks: None,
+            total_writes: 0,
+            total_reads: 0,
+            elapsed_ms,
+        };
+        let mut outcome = sample_outcome();
+        outcome.elapsed_ms = 150.0;
+        assert_eq!(timing_delta(&base(None), &outcome), None);
+        assert_eq!(timing_delta(&base(Some(0.0)), &outcome), None);
+        let delta = timing_delta(&base(Some(100.0)), &outcome).unwrap();
+        assert!((delta - 0.5).abs() < 1e-9, "{delta}");
+        outcome.elapsed_ms = 0.0;
+        assert_eq!(timing_delta(&base(Some(100.0)), &outcome), None);
+    }
+
+    #[test]
+    fn json_record_carries_timing_fields() {
+        let mut outcome = sample_outcome();
+        outcome.elapsed_ms = 12.345;
+        outcome.events_per_sec = 987_654.3;
+        let record = json_record(&outcome);
+        assert!(record.contains("\"elapsed_ms\":12.35"), "{record}");
+        assert!(record.contains("\"events_per_sec\":987654"), "{record}");
+        // And the record round-trips through the baseline parser.
+        let parsed = parse_baseline(&format!("[\n  {record}\n]\n")).unwrap();
+        assert_eq!(parsed[0].elapsed_ms, Some(12.35));
+    }
+
+    /// A minimal real outcome for JSON/timing unit tests (tiny horizon so
+    /// the suite's own tests stay fast).
+    fn sample_outcome() -> Outcome {
+        let scenario = omega_scenario::Scenario::fault_free(omega_core::OmegaVariant::Alg1, 2)
+            .named("sample")
+            .horizon(500);
+        SimDriver.run(&scenario)
     }
 }

@@ -64,6 +64,9 @@ pub(crate) struct SuspicionCache {
     rows: Vec<Vec<u64>>,
     /// Row epoch each snapshot was taken at; `u64::MAX` = never read.
     seen: Vec<u64>,
+    /// Matrix-global epoch the last full validation pass ran at;
+    /// `u64::MAX` = no pass yet. When it still matches, `refresh` is O(1).
+    seen_global: u64,
     /// `totals[k] = Σ_{j≠pid} rows[j][k]`.
     totals: Vec<u64>,
     /// Scratch buffer for row snapshots.
@@ -76,6 +79,7 @@ impl SuspicionCache {
             pid,
             rows: vec![vec![0; n]; n],
             seen: vec![u64::MAX; n],
+            seen_global: u64::MAX,
             totals: vec![0; n],
             buf: vec![0; n],
         }
@@ -83,16 +87,41 @@ impl SuspicionCache {
 
     /// Brings every stale foreign row up to date (one batched snapshot per
     /// dirty row; clean rows cost no shared reads and are credited to the
-    /// space's [`ScanCounters`](omega_registers::ScanCounters)).
-    pub(crate) fn refresh(&mut self, suspicions: &EpochedNatMatrix) {
+    /// space's [`ScanCounters`](omega_registers::ScanCounters)). Returns
+    /// whether any row was re-read (callers use this to invalidate
+    /// election caches).
+    ///
+    /// Two cost tiers, neither performing a shared read-modify-write on
+    /// its hot path:
+    ///
+    /// * **Quiescent, O(1)** — the matrix-global epoch is unchanged since
+    ///   the last pass, which proves every per-row epoch is unchanged; the
+    ///   whole loop is skipped and all `n − 1` foreign rows are credited
+    ///   as skipped in one batch (exactly what the per-row walk would
+    ///   have credited).
+    /// * **Dirty, O(n) validation** — walk the row epochs, re-snapshot the
+    ///   moved ones, batch-credit the clean ones.
+    pub(crate) fn refresh(&mut self, suspicions: &EpochedNatMatrix) -> bool {
         let n = suspicions.n();
+        // Read the global epoch *before* the row walk: a write racing the
+        // walk leaves `seen_global` behind the bump it missed, so the next
+        // refresh takes the slow path and observes it.
+        let global = suspicions.version();
+        if self.seen_global == global {
+            if n > 1 {
+                suspicions.note_rows_skipped(n as u64 - 1);
+            }
+            return false;
+        }
+        let mut rows_skipped = 0u64;
+        let mut changed = false;
         for j in ProcessId::all(n) {
             if j == self.pid {
                 continue;
             }
             let version = suspicions.row_version(j);
             if self.seen[j.index()] == version {
-                suspicions.note_row_skipped();
+                rows_skipped += 1;
                 continue;
             }
             let seen = suspicions.snapshot_row_into(j, self.pid, &mut self.buf);
@@ -103,7 +132,13 @@ impl SuspicionCache {
                 *old = *new;
             }
             self.seen[j.index()] = seen;
+            changed = true;
         }
+        if rows_skipped > 0 {
+            suspicions.note_rows_skipped(rows_skipped);
+        }
+        self.seen_global = global;
+        changed
     }
 
     /// Cached `Σ_{j≠pid} SUSPICIONS[j][k]`.
@@ -261,6 +296,10 @@ pub struct Alg1Process {
     my_stop: bool,
     /// Local mirror of the owned `SUSPICIONS[pid][·]` row.
     my_suspicions: Vec<u64>,
+    /// Running `max_k my_suspicions[k]` — exact, because entries only ever
+    /// increment — so the line-27 timeout is O(1) per timer fire instead
+    /// of an O(n) rescan.
+    my_suspicions_max: u64,
     /// Additive slack of the line-27 timeout (the paper uses 1).
     timeout_slack: u64,
     /// Leader estimate cached from the latest `T2` evaluation.
@@ -268,6 +307,10 @@ pub struct Alg1Process {
     /// Epoch-validated view of the foreign `SUSPICIONS` rows (interior
     /// mutability: `leader()` is a `&self` query but refreshes the cache).
     scan: RefCell<SuspicionCache>,
+    /// Memoized `T1` election result, valid while its inputs — the scan
+    /// cache totals, `candidates`, and the mirrored own suspicion row —
+    /// are unchanged. `None` = stale, recompute.
+    election: std::cell::Cell<Option<ProcessId>>,
     /// Round-robin cursor of the sharded `T3` scan.
     t3_cursor: ShardCursor,
 }
@@ -293,9 +336,10 @@ impl Alg1Process {
         // (the algorithm is self-stabilizing w.r.t. shared variables).
         let my_progress = mem.progress.get(pid).peek();
         let my_stop = mem.stop.get(pid).peek();
-        let my_suspicions = ProcessId::all(n)
+        let my_suspicions: Vec<u64> = ProcessId::all(n)
             .map(|k| mem.suspicions.get(pid, k).peek())
             .collect();
+        let my_suspicions_max = my_suspicions.iter().copied().max().unwrap_or(0);
         Alg1Process {
             pid,
             candidates: init.materialize(n, pid),
@@ -304,9 +348,11 @@ impl Alg1Process {
             my_progress,
             my_stop,
             my_suspicions,
+            my_suspicions_max,
             timeout_slack: 1,
             cached: None,
             scan: RefCell::new(SuspicionCache::new(n, pid)),
+            election: std::cell::Cell::new(None),
             t3_cursor: ShardCursor::new(n, T3_SHARD_SIZE),
             mem,
         }
@@ -375,12 +421,21 @@ impl OmegaProcess for Alg1Process {
     /// Task `T1` (lines 1–5): elect the least-suspected candidate.
     ///
     /// Reads only the `SUSPICIONS` rows whose epoch moved since the last
-    /// query; in a stabilized run this performs no shared reads at all.
+    /// query; in a stabilized run this performs no shared reads at all,
+    /// and — because the election's inputs are then provably unchanged —
+    /// serves the memoized winner without rescanning the candidate set.
     fn leader(&self) -> ProcessId {
         let mut scan = self.scan.borrow_mut();
-        scan.refresh(&self.mem.suspicions);
-        elect_least_suspected(&self.candidates, |k| self.total_suspicions(&scan, k))
-            .expect("candidates always contain self")
+        let changed = scan.refresh(&self.mem.suspicions);
+        if changed {
+            self.election.set(None);
+        } else if let Some(winner) = self.election.get() {
+            return winner;
+        }
+        let winner = elect_least_suspected(&self.candidates, |k| self.total_suspicions(&scan, k))
+            .expect("candidates always contain self");
+        self.election.set(Some(winner));
+        winner
     }
 
     /// One iteration of task `T2` (lines 6–12).
@@ -412,6 +467,9 @@ impl OmegaProcess for Alg1Process {
     /// [`T3_SHARD_SIZE`] processes (the whole system when `n` fits in one
     /// shard). Returns the next timeout value `max_k SUSPICIONS[i][k] + 1`.
     fn on_timer_expire(&mut self) -> u64 {
+        // The scan below may change `candidates` and the own suspicion row
+        // — both election inputs.
+        self.election.set(None);
         for idx in self.t3_cursor.advance() {
             let k = ProcessId::new(idx);
             if k == self.pid {
@@ -433,17 +491,18 @@ impl OmegaProcess for Alg1Process {
                 // Lines 22–24: suspect k.
                 let bumped = self.my_suspicions[k.index()] + 1;
                 self.my_suspicions[k.index()] = bumped;
+                self.my_suspicions_max = self.my_suspicions_max.max(bumped);
                 self.mem.suspicions.write(self.pid, k, self.pid, bumped);
                 self.candidates.remove(k);
             }
         }
         self.mem.suspicions.counters().note_shard_pass();
         // Line 27 — computed entirely from owned (mirrored) registers.
-        self.my_suspicions.iter().copied().max().unwrap_or(0) + self.timeout_slack
+        self.my_suspicions_max + self.timeout_slack
     }
 
     fn initial_timeout(&self) -> u64 {
-        self.my_suspicions.iter().copied().max().unwrap_or(0) + self.timeout_slack
+        self.my_suspicions_max + self.timeout_slack
     }
 
     fn cached_leader(&self) -> Option<ProcessId> {

@@ -146,10 +146,15 @@ pub struct Alg2Process {
     my_stop: bool,
     /// Local mirror of the owned `SUSPICIONS[pid][·]` row.
     my_suspicions: Vec<u64>,
+    /// Running `max_k my_suspicions[k]` — exact (entries only increment);
+    /// keeps the timeout O(1) per timer fire.
+    my_suspicions_max: u64,
     cached: Option<ProcessId>,
     /// Epoch-validated view of the foreign `SUSPICIONS` rows (see
     /// [`Alg1Process`](crate::Alg1Process) — the layout is identical).
     scan: RefCell<SuspicionCache>,
+    /// Memoized `T1` winner (see [`Alg1Process`]); `None` = stale.
+    election: std::cell::Cell<Option<ProcessId>>,
     /// Round-robin cursor of the sharded `T3` scan.
     t3_cursor: ShardCursor,
 }
@@ -174,17 +179,20 @@ impl Alg2Process {
             .map(|k| mem.last.get(k, pid).peek())
             .collect();
         let my_stop = mem.stop.get(pid).peek();
-        let my_suspicions = ProcessId::all(n)
+        let my_suspicions: Vec<u64> = ProcessId::all(n)
             .map(|k| mem.suspicions.get(pid, k).peek())
             .collect();
+        let my_suspicions_max = my_suspicions.iter().copied().max().unwrap_or(0);
         Alg2Process {
             pid,
             candidates: init.materialize(n, pid),
             my_last,
             my_stop,
             my_suspicions,
+            my_suspicions_max,
             cached: None,
             scan: RefCell::new(SuspicionCache::new(n, pid)),
+            election: std::cell::Cell::new(None),
             t3_cursor: ShardCursor::new(n, T3_SHARD_SIZE),
             mem,
         }
@@ -230,12 +238,20 @@ impl OmegaProcess for Alg2Process {
     }
 
     /// Task `T1` — unchanged from Algorithm 1 (including the epoch-gated
-    /// suspicion cache: stale rows are re-read, clean rows cost nothing).
+    /// suspicion cache: stale rows are re-read, clean rows cost nothing,
+    /// and a quiescent query serves the memoized winner).
     fn leader(&self) -> ProcessId {
         let mut scan = self.scan.borrow_mut();
-        scan.refresh(&self.mem.suspicions);
-        elect_least_suspected(&self.candidates, |k| self.total_suspicions(&scan, k))
-            .expect("candidates always contain self")
+        let changed = scan.refresh(&self.mem.suspicions);
+        if changed {
+            self.election.set(None);
+        } else if let Some(winner) = self.election.get() {
+            return winner;
+        }
+        let winner = elect_least_suspected(&self.candidates, |k| self.total_suspicions(&scan, k))
+            .expect("candidates always contain self");
+        self.election.set(Some(winner));
+        winner
     }
 
     /// One iteration of task `T2` (lines 6–12 with 8.R1–8.R3).
@@ -269,6 +285,9 @@ impl OmegaProcess for Alg2Process {
     /// Task `T3` body (lines 13–27 with 16.R1–19.R1) over one round-robin
     /// shard, as in [`Alg1Process`](crate::Alg1Process).
     fn on_timer_expire(&mut self) -> u64 {
+        // The scan below may change `candidates` and the own suspicion row
+        // — both election inputs.
+        self.election.set(None);
         for idx in self.t3_cursor.advance() {
             let k = ProcessId::new(idx);
             if k == self.pid {
@@ -288,16 +307,17 @@ impl OmegaProcess for Alg2Process {
             } else if self.candidates.contains(k) {
                 let bumped = self.my_suspicions[k.index()] + 1;
                 self.my_suspicions[k.index()] = bumped;
+                self.my_suspicions_max = self.my_suspicions_max.max(bumped);
                 self.mem.suspicions.write(self.pid, k, self.pid, bumped);
                 self.candidates.remove(k);
             }
         }
         self.mem.suspicions.counters().note_shard_pass();
-        self.my_suspicions.iter().copied().max().unwrap_or(0) + 1
+        self.my_suspicions_max + 1
     }
 
     fn initial_timeout(&self) -> u64 {
-        self.my_suspicions.iter().copied().max().unwrap_or(0) + 1
+        self.my_suspicions_max + 1
     }
 
     fn cached_leader(&self) -> Option<ProcessId> {

@@ -24,18 +24,36 @@ use crate::OmegaProcess;
 #[derive(Debug)]
 struct CounterCache {
     seen: Vec<u64>,
+    /// Array-global epoch of the last validation pass; `u64::MAX` = none
+    /// yet. While it matches, `refresh` is O(1) (see
+    /// [`SuspicionCache`](crate::alg1)).
+    seen_global: u64,
     values: Vec<u64>,
+    /// `max(values)`, recomputed only when a refresh re-reads something —
+    /// the timeout formula's O(1) fast path.
+    values_max: u64,
 }
 
 impl CounterCache {
     fn new(n: usize) -> Self {
         CounterCache {
             seen: vec![u64::MAX; n],
+            seen_global: u64::MAX,
             values: vec![0; n],
+            values_max: 0,
         }
     }
 
-    fn refresh(&mut self, counters: &EpochedMwmrNatArray, reader: ProcessId) {
+    /// Returns whether any slot was re-read (election-cache invalidation).
+    fn refresh(&mut self, counters: &EpochedMwmrNatArray, reader: ProcessId) -> bool {
+        // Global epoch first (read before any slot work, so a racing write
+        // forces the next refresh down the slow path): unchanged means
+        // every slot epoch is unchanged — skip the walk, credit the batch.
+        let global = counters.version();
+        if self.seen_global == global {
+            counters.note_slots_skipped(counters.len() as u64);
+            return false;
+        }
         // Cold cache (every slot stale — the sentinel state of a fresh
         // process): take one batched array snapshot instead of n
         // version-checked single reads.
@@ -45,9 +63,12 @@ impl CounterCache {
             }
             counters.array().snapshot_into(reader, &mut self.values);
             counters.counters().note_snapshot();
-            return;
+            self.values_max = self.values.iter().copied().max().unwrap_or(0);
+            self.seen_global = global;
+            return true;
         }
         let mut skipped = 0;
+        let mut changed = false;
         for k in 0..counters.len() {
             if self.seen[k] == counters.slot_version(k) {
                 skipped += 1;
@@ -56,10 +77,16 @@ impl CounterCache {
             let (version, value) = counters.read_versioned(k, reader);
             self.values[k] = value;
             self.seen[k] = version;
+            changed = true;
         }
         if skipped > 0 {
             counters.note_slots_skipped(skipped);
         }
+        if changed {
+            self.values_max = self.values.iter().copied().max().unwrap_or(0);
+        }
+        self.seen_global = global;
+        changed
     }
 }
 
@@ -118,6 +145,9 @@ pub struct MwmrProcess {
     cached: Option<ProcessId>,
     /// Epoch-validated view of the shared suspicion counters.
     scan: RefCell<CounterCache>,
+    /// Memoized `T1` winner (see [`Alg1Process`](crate::Alg1Process));
+    /// `None` = stale.
+    election: std::cell::Cell<Option<ProcessId>>,
     /// Round-robin cursor of the sharded `T3` scan.
     t3_cursor: ShardCursor,
 }
@@ -143,6 +173,7 @@ impl MwmrProcess {
             my_stop,
             cached: None,
             scan: RefCell::new(CounterCache::new(n)),
+            election: std::cell::Cell::new(None),
             t3_cursor: ShardCursor::new(n, T3_SHARD_SIZE),
             mem,
         }
@@ -172,9 +203,16 @@ impl OmegaProcess for MwmrProcess {
 
     fn leader(&self) -> ProcessId {
         let mut scan = self.scan.borrow_mut();
-        scan.refresh(&self.mem.suspicions, self.pid);
-        elect_least_suspected(&self.candidates, |k| scan.values[k.index()])
-            .expect("candidates always contain self")
+        let changed = scan.refresh(&self.mem.suspicions, self.pid);
+        if changed {
+            self.election.set(None);
+        } else if let Some(winner) = self.election.get() {
+            return winner;
+        }
+        let winner = elect_least_suspected(&self.candidates, |k| scan.values[k.index()])
+            .expect("candidates always contain self");
+        self.election.set(Some(winner));
+        winner
     }
 
     fn t2_step(&mut self) {
@@ -197,6 +235,9 @@ impl OmegaProcess for MwmrProcess {
     }
 
     fn on_timer_expire(&mut self) -> u64 {
+        // The scan below may change `candidates` and the shared counters —
+        // election inputs.
+        self.election.set(None);
         for idx in self.t3_cursor.advance() {
             let k = ProcessId::new(idx);
             if k == self.pid {
@@ -222,10 +263,10 @@ impl OmegaProcess for MwmrProcess {
         self.mem.suspicions.counters().note_shard_pass();
         // Line 27 analogue: the timeout tracks the largest suspicion count
         // this process can observe — from the epoch-validated cache, so
-        // clean counters cost no shared reads.
+        // clean counters cost no shared reads (and no O(n) rescan).
         let mut scan = self.scan.borrow_mut();
         scan.refresh(&self.mem.suspicions, self.pid);
-        scan.values.iter().copied().max().unwrap_or(0) + 1
+        scan.values_max + 1
     }
 
     fn initial_timeout(&self) -> u64 {

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use omega_registers::{MemorySpace, ProcessId};
+use omega_registers::{Instrumentation, MemorySpace, ProcessId};
 use omega_sim::Actor;
 
 use crate::alg1::{Alg1Memory, Alg1Process};
@@ -60,12 +60,25 @@ impl OmegaVariant {
     /// Builds an `n`-process system of this variant as boxed
     /// [`OmegaProcess`](crate::OmegaProcess) objects (for the thread
     /// runtime or custom drivers), along with the backing memory space.
+    ///
+    /// The space uses eager (always-atomic) instrumentation — the safe
+    /// choice for the thread runtime, where every node counts concurrently.
     #[must_use]
     pub fn build_processes(&self, n: usize) -> (MemorySpace, Vec<Box<dyn crate::OmegaProcess>>) {
         let space = MemorySpace::new(n);
-        let procs: Vec<Box<dyn crate::OmegaProcess>> = match self {
+        let procs = self.build_processes_in(&space);
+        (space, procs)
+    }
+
+    /// Builds this variant's processes over an existing `space` (whose
+    /// instrumentation mode the caller has already chosen); the system
+    /// size is the space's process count.
+    #[must_use]
+    pub fn build_processes_in(&self, space: &MemorySpace) -> Vec<Box<dyn crate::OmegaProcess>> {
+        let n = space.n_processes();
+        match self {
             OmegaVariant::Alg1 => {
-                let mem = Alg1Memory::new(&space);
+                let mem = Alg1Memory::new(space);
                 ProcessId::all(n)
                     .map(|pid| {
                         Box::new(Alg1Process::new(Arc::clone(&mem), pid))
@@ -74,7 +87,7 @@ impl OmegaVariant {
                     .collect()
             }
             OmegaVariant::Alg2 => {
-                let mem = Alg2Memory::new(&space);
+                let mem = Alg2Memory::new(space);
                 ProcessId::all(n)
                     .map(|pid| {
                         Box::new(Alg2Process::new(Arc::clone(&mem), pid))
@@ -83,7 +96,7 @@ impl OmegaVariant {
                     .collect()
             }
             OmegaVariant::Mwmr => {
-                let mem = MwmrMemory::new(&space);
+                let mem = MwmrMemory::new(space);
                 ProcessId::all(n)
                     .map(|pid| {
                         Box::new(MwmrProcess::new(Arc::clone(&mem), pid))
@@ -92,7 +105,7 @@ impl OmegaVariant {
                     .collect()
             }
             OmegaVariant::StepClock => {
-                let mem = Alg1Memory::new(&space);
+                let mem = Alg1Memory::new(space);
                 ProcessId::all(n)
                     .map(|pid| {
                         Box::new(StepClockProcess::new(Alg1Process::new(
@@ -102,15 +115,30 @@ impl OmegaVariant {
                     })
                     .collect()
             }
-        };
-        (space, procs)
+        }
     }
 
     /// Builds an `n`-process system of this variant: a fresh memory space
     /// and one boxed simulator actor per process.
+    ///
+    /// Because simulator actors run on one thread, the space uses
+    /// [`Instrumentation::Deferred`] — access counters accumulate in
+    /// unsynchronized scratch and flush at every `stats()`/`footprint()`
+    /// call, so snapshots are exact and the per-access cost is a plain
+    /// load/store instead of an atomic read-modify-write. Use
+    /// [`build_with`](Self::build_with) to override.
     #[must_use]
     pub fn build(&self, n: usize) -> BuiltSystem {
-        let (space, procs) = self.build_processes(n);
+        self.build_with(n, Instrumentation::Deferred)
+    }
+
+    /// [`build`](Self::build) with an explicit instrumentation mode — for
+    /// drivers that move simulator-style actors across threads, and for
+    /// the eager-vs-deferred parity tests.
+    #[must_use]
+    pub fn build_with(&self, n: usize, mode: Instrumentation) -> BuiltSystem {
+        let space = MemorySpace::with_instrumentation(n, mode);
+        let procs = self.build_processes_in(&space);
         BuiltSystem {
             variant: *self,
             space,

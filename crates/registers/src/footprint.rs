@@ -8,14 +8,16 @@
 //! taken at increasing horizons and check which registers plateau.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::ProcessId;
 
 /// Footprint of a single register.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FootprintRow {
-    /// Register name, e.g. `PROGRESS\[3\]`.
-    pub name: String,
+    /// Register name (interned; shared with the register itself), e.g.
+    /// `PROGRESS\[3\]`.
+    pub name: Arc<str>,
     /// Owner for 1WnR registers, `None` for nWnR registers.
     pub owner: Option<ProcessId>,
     /// Largest footprint (in bits) any stored value has had.
@@ -95,7 +97,7 @@ impl FootprintReport {
     /// The row for a register by exact name, if present.
     #[must_use]
     pub fn row(&self, name: &str) -> Option<&FootprintRow> {
-        self.rows.iter().find(|r| r.name == name)
+        self.rows.iter().find(|r| &*r.name == name)
     }
 
     /// Registers whose high-water mark grew between `earlier` and `self`.
@@ -114,7 +116,7 @@ impl FootprintReport {
                     .row(&row.name)
                     .is_none_or(|prev| row.hwm_bits > prev.hwm_bits)
             })
-            .map(|row| row.name.as_str())
+            .map(|row| &*row.name)
             .collect()
     }
 }

@@ -65,7 +65,7 @@ pub use array::{MwmrArray, SwmrArray};
 pub use error::OwnershipError;
 pub use footprint::{FootprintReport, FootprintRow};
 pub use matrix::{OwnedMatrix, OwnerAxis};
-pub use meta::RegisterId;
+pub use meta::{Instrumentation, RegisterId};
 pub use pid::{ProcessId, ProcessSet};
 pub use shard::{EpochedArray, EpochedMatrix, ScanCounters, ScanStats};
 pub use space::{

@@ -45,35 +45,63 @@ use crate::ProcessId;
 /// One instance is shared by every epoched structure of a
 /// [`MemorySpace`](crate::MemorySpace); snapshots of it ride along in
 /// [`StatsSnapshot`](crate::StatsSnapshot) as [`ScanStats`].
+///
+/// These are bookkeeping counters on hot scan paths (every `T3` pass and
+/// every quiescent `leader()` query posts to them), so a space in deferred
+/// instrumentation mode creates them *unsynchronized*: updates are plain
+/// load/store pairs rather than atomic read-modify-writes, exact for the
+/// single-threaded simulator and lossy-but-sound (never torn, never UB)
+/// if misused concurrently.
 #[derive(Debug, Default)]
 pub struct ScanCounters {
     reads_skipped: AtomicU64,
     rows_skipped: AtomicU64,
     snapshot_batches: AtomicU64,
     shard_passes: AtomicU64,
+    /// Use plain load/store instead of `fetch_add` (deferred-mode spaces).
+    unsync: bool,
 }
 
 impl ScanCounters {
-    /// Creates zeroed counters.
+    /// Creates zeroed counters (synchronized updates).
     #[must_use]
     pub fn new() -> Self {
         ScanCounters::default()
     }
 
+    /// Creates zeroed counters with unsynchronized (single-threaded-exact)
+    /// updates.
+    #[must_use]
+    pub fn new_unsync() -> Self {
+        ScanCounters {
+            unsync: true,
+            ..ScanCounters::default()
+        }
+    }
+
+    #[inline]
+    fn add(&self, cell: &AtomicU64, delta: u64) {
+        if self.unsync {
+            cell.store(cell.load(Ordering::Relaxed) + delta, Ordering::Relaxed);
+        } else {
+            cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
     /// Records that a clean row/slot spared `reads` shared reads.
     pub fn note_skipped(&self, rows: u64, reads: u64) {
-        self.rows_skipped.fetch_add(rows, Ordering::Relaxed);
-        self.reads_skipped.fetch_add(reads, Ordering::Relaxed);
+        self.add(&self.rows_skipped, rows);
+        self.add(&self.reads_skipped, reads);
     }
 
     /// Records one batched row/array snapshot.
     pub fn note_snapshot(&self) {
-        self.snapshot_batches.fetch_add(1, Ordering::Relaxed);
+        self.add(&self.snapshot_batches, 1);
     }
 
     /// Records one sharded `T3` scan pass.
     pub fn note_shard_pass(&self) {
-        self.shard_passes.fetch_add(1, Ordering::Relaxed);
+        self.add(&self.shard_passes, 1);
     }
 
     /// Current counter values.
@@ -116,25 +144,38 @@ impl ScanStats {
     }
 }
 
-/// Per-row (or per-slot) modification epochs.
+/// Per-row (or per-slot) modification epochs, plus a structure-global
+/// epoch that moves on *every* write.
+///
+/// The global epoch lets a reader validate "nothing anywhere changed" with
+/// one load instead of `n` — the O(1) fast path of a quiescent scan cache.
+/// A reader that observes an unchanged global epoch knows every per-row
+/// epoch is unchanged too (the global moves with each of them).
 #[derive(Debug)]
 struct Epochs {
     versions: Box<[AtomicU64]>,
+    global: AtomicU64,
 }
 
 impl Epochs {
     fn new(len: usize) -> Self {
         Epochs {
             versions: (0..len).map(|_| AtomicU64::new(0)).collect(),
+            global: AtomicU64::new(0),
         }
     }
 
     fn bump(&self, index: usize) {
         self.versions[index].fetch_add(1, Ordering::Release);
+        self.global.fetch_add(1, Ordering::Release);
     }
 
     fn load(&self, index: usize) -> u64 {
         self.versions[index].load(Ordering::Acquire)
+    }
+
+    fn load_global(&self) -> u64 {
+        self.global.load(Ordering::Acquire)
     }
 }
 
@@ -218,6 +259,14 @@ impl<T: RegisterValue, C: SharedCell<T>> EpochedMatrix<T, C> {
         self.epochs.load(row.index())
     }
 
+    /// Matrix-global modification epoch: moves on every write (and poke)
+    /// to any row. An unchanged value proves every row epoch is unchanged
+    /// — the one-load validation behind O(1) quiescent scans.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.epochs.load_global()
+    }
+
     /// Unattributed overwrite of `[row][col]` that still bumps the row
     /// epoch — the harness-side corruption hook. Poking through
     /// [`get`](Self::get) instead would leave caches epoch-clean and
@@ -245,7 +294,14 @@ impl<T: RegisterValue, C: SharedCell<T>> EpochedMatrix<T, C> {
     /// Records that a clean row was skipped (crediting one row's worth of
     /// shared reads to the savings counters).
     pub fn note_row_skipped(&self) {
-        self.counters.note_skipped(1, self.n() as u64);
+        self.note_rows_skipped(1);
+    }
+
+    /// Records `rows` clean rows skipped in one batch — one pair of counter
+    /// updates however many rows a scan found clean. Equivalent to calling
+    /// [`note_row_skipped`](Self::note_row_skipped) `rows` times.
+    pub fn note_rows_skipped(&self, rows: u64) {
+        self.counters.note_skipped(rows, rows * self.n() as u64);
     }
 
     /// The space-wide scan counters this matrix reports into.
@@ -324,6 +380,12 @@ impl<T: RegisterValue, C: SharedCell<T>> EpochedArray<T, C> {
     #[must_use]
     pub fn slot_version(&self, index: usize) -> u64 {
         self.epochs.load(index)
+    }
+
+    /// Array-global modification epoch (see [`EpochedMatrix::version`]).
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.epochs.load_global()
     }
 
     /// Unattributed overwrite of slot `index` that still bumps the slot
@@ -447,6 +509,26 @@ mod tests {
         assert_eq!((v, val), (1, 9));
         a.note_slots_skipped(5);
         assert_eq!(s.stats().scan().reads_skipped, 5);
+    }
+
+    #[test]
+    fn global_version_moves_with_every_write_and_poke() {
+        let s = MemorySpace::new(3);
+        let m = s.epoched_nat_row_matrix("S", |_, _| 0);
+        let v0 = m.version();
+        m.write(p(0), p(1), p(0), 1);
+        let v1 = m.version();
+        assert_ne!(v0, v1);
+        m.poke(p(2), p(0), 9);
+        assert_ne!(m.version(), v1);
+
+        let a = s.epoched_nat_mwmr_array("C", 3, |_| 0);
+        let v0 = a.version();
+        a.write(1, p(0), 5);
+        assert_ne!(a.version(), v0);
+        let v1 = a.version();
+        a.poke(2, 7);
+        assert_ne!(a.version(), v1);
     }
 
     #[test]

@@ -9,9 +9,9 @@ use crate::array::{MwmrArray, SwmrArray};
 use crate::cell::{AtomicFlagCell, AtomicNatCell, LockCell, SharedCell};
 use crate::footprint::{FootprintReport, FootprintRow};
 use crate::matrix::OwnedMatrix;
-use crate::meta::{RegisterId, RegisterMeta};
+use crate::meta::{Instrumentation, RegisterId, RegisterMeta};
 use crate::shard::{EpochedArray, EpochedMatrix, ScanCounters};
-use crate::stats::{RegisterRow, StatsSnapshot};
+use crate::stats::{SnapshotLayout, StatsSnapshot};
 use crate::swmr::{MwmrRegister, RegCore, SwmrRegister};
 use crate::value::RegisterValue;
 use crate::ProcessId;
@@ -37,7 +37,11 @@ pub type EpochedMwmrNatArray = EpochedArray<u64, AtomicNatCell>;
 
 struct SpaceInner {
     n_processes: usize,
+    mode: Instrumentation,
     regs: RwLock<Vec<Arc<dyn RegisterMeta>>>,
+    /// Interned register names/owners shared by every snapshot; rebuilt
+    /// (append-only) when registers were created since the last snapshot.
+    layout: RwLock<Arc<SnapshotLayout>>,
     next_id: AtomicUsize,
     scan: Arc<ScanCounters>,
 }
@@ -72,20 +76,40 @@ pub struct MemorySpace {
 }
 
 impl MemorySpace {
-    /// Creates an empty memory space for a system of `n_processes`.
+    /// Creates an empty memory space for a system of `n_processes`, with
+    /// eager (always-atomic) instrumentation.
     ///
     /// # Panics
     ///
     /// Panics if `n_processes == 0`.
     #[must_use]
     pub fn new(n_processes: usize) -> Self {
+        MemorySpace::with_instrumentation(n_processes, Instrumentation::Eager)
+    }
+
+    /// Creates an empty memory space with an explicit [`Instrumentation`]
+    /// mode. [`Instrumentation::Deferred`] is for single-threaded drivers
+    /// (the simulator): counters accumulate in unsynchronized scratch and
+    /// flush at [`stats`](Self::stats) / [`footprint`](Self::footprint)
+    /// boundaries — see the mode's documentation for the exact contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_processes == 0`.
+    #[must_use]
+    pub fn with_instrumentation(n_processes: usize, mode: Instrumentation) -> Self {
         assert!(n_processes > 0, "a system needs at least one process");
         MemorySpace {
             inner: Arc::new(SpaceInner {
                 n_processes,
+                mode,
                 regs: RwLock::new(Vec::new()),
+                layout: RwLock::new(Arc::new(SnapshotLayout::default())),
                 next_id: AtomicUsize::new(0),
-                scan: Arc::new(ScanCounters::new()),
+                scan: Arc::new(match mode {
+                    Instrumentation::Eager => ScanCounters::new(),
+                    Instrumentation::Deferred => ScanCounters::new_unsync(),
+                }),
             }),
         }
     }
@@ -94,6 +118,12 @@ impl MemorySpace {
     #[must_use]
     pub fn n_processes(&self) -> usize {
         self.inner.n_processes
+    }
+
+    /// The instrumentation mode this space's registers count with.
+    #[must_use]
+    pub fn instrumentation(&self) -> Instrumentation {
+        self.inner.mode
     }
 
     /// Number of registers created so far.
@@ -126,6 +156,7 @@ impl MemorySpace {
             self.next_id(),
             Some(owner),
             self.inner.n_processes,
+            self.inner.mode,
             initial,
         );
         let reg = SwmrRegister::from_core(core);
@@ -154,6 +185,7 @@ impl MemorySpace {
             self.next_id(),
             None,
             self.inner.n_processes,
+            self.inner.mode,
             initial,
         );
         let reg = MwmrRegister::from_core(core);
@@ -382,38 +414,78 @@ impl MemorySpace {
     // Reporting.
     // ------------------------------------------------------------------
 
+    /// The interned layout (names, owners) covering the first `count`
+    /// registers, rebuilding the cached one if registers were created
+    /// since. Call with the registry lock held.
+    fn layout_for(&self, regs: &[Arc<dyn RegisterMeta>]) -> Arc<SnapshotLayout> {
+        {
+            let cached = self.inner.layout.read();
+            if cached.names.len() == regs.len() {
+                return Arc::clone(&cached);
+            }
+        }
+        let rebuilt = Arc::new(SnapshotLayout {
+            names: regs.iter().map(|m| Arc::clone(m.name())).collect(),
+            owners: regs.iter().map(|m| m.owner()).collect(),
+        });
+        *self.inner.layout.write() = Arc::clone(&rebuilt);
+        rebuilt
+    }
+
     /// Takes a snapshot of all cumulative access counters.
+    ///
+    /// In [`Instrumentation::Deferred`] mode this is a flush boundary: all
+    /// scratch counters are folded into the shared atomics first, so the
+    /// snapshot is exact.
     #[must_use]
     pub fn stats(&self) -> StatsSnapshot {
+        let mut snap = StatsSnapshot::default();
+        self.stats_into(&mut snap);
+        snap
+    }
+
+    /// Like [`stats`](Self::stats), but reuses `snap`'s counter buffers —
+    /// the checkpoint fast path for large spaces, where reallocating two
+    /// `registers × n` slabs per snapshot would dominate.
+    pub fn stats_into(&self, snap: &mut StatsSnapshot) {
         let regs = self.inner.regs.read();
         let n = self.inner.n_processes;
-        let rows = regs
-            .iter()
-            .map(|meta| {
-                let counters = meta.counters();
-                RegisterRow {
-                    name: meta.name().to_string(),
-                    owner: meta.owner(),
-                    reads: ProcessId::all(n).map(|p| counters.reads_by(p)).collect(),
-                    writes: ProcessId::all(n).map(|p| counters.writes_by(p)).collect(),
-                }
-            })
-            .collect();
-        StatsSnapshot::new(n, rows).with_scan(self.inner.scan.snapshot())
+        let len = regs.len() * n;
+        snap.n_processes = n;
+        snap.layout = self.layout_for(&regs);
+        snap.reads.clear();
+        snap.reads.resize(len, 0);
+        snap.writes.clear();
+        snap.writes.resize(len, 0);
+        for (r, meta) in regs.iter().enumerate() {
+            let counters = meta.counters();
+            counters.flush();
+            counters.copy_into(
+                &mut snap.reads[r * n..(r + 1) * n],
+                &mut snap.writes[r * n..(r + 1) * n],
+            );
+        }
+        snap.scan = self.inner.scan.snapshot();
     }
 
     /// Reports the bit-footprint of every register: current size and
-    /// high-water mark since creation.
+    /// high-water mark since creation. A flush boundary in deferred mode
+    /// (high-water marks accumulate in scratch too; only the mark is
+    /// flushed here — access counts flush at [`stats`](Self::stats)).
     #[must_use]
     pub fn footprint(&self) -> FootprintReport {
         let regs = self.inner.regs.read();
         let rows = regs
             .iter()
-            .map(|meta| FootprintRow {
-                name: meta.name().to_string(),
-                owner: meta.owner(),
-                hwm_bits: meta.counters().hwm_bits(),
-                current_bits: meta.current_bits(),
+            .map(|meta| {
+                let counters = meta.counters();
+                counters.flush_hwm();
+                FootprintRow {
+                    name: Arc::clone(meta.name()),
+                    owner: meta.owner(),
+                    hwm_bits: counters.hwm_bits(),
+                    current_bits: meta.current_bits(),
+                }
             })
             .collect();
         FootprintReport::new(rows)

@@ -14,25 +14,51 @@
 //! snapshots ([`StatsSnapshot::delta_since`]) yields the accesses of a
 //! window, from which writer/reader sets and per-register activity are
 //! derived.
+//!
+//! # Storage layout
+//!
+//! A snapshot is two flat `registers × processes` counter arrays plus a
+//! shared, immutable description of the register layout (interned names
+//! and owners, one [`Arc`] per space, reused by every snapshot). The flat
+//! form exists for speed: at n = 256 the Figure-2 layout is ~66 000
+//! registers, and the per-row `Vec`s this module used to allocate made one
+//! checkpoint cost ~130 000 heap allocations and a name clone each. Now a
+//! checkpoint is two slab allocations and an `Arc` bump, and
+//! [`MemorySpace::stats_into`](crate::MemorySpace::stats_into) can reuse
+//! even those across checkpoints.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::{ProcessId, ProcessSet, ScanStats};
 
-/// Counters of a single register within a snapshot.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RegisterRow {
+/// Immutable description of a space's registers at some point in its
+/// creation order: interned names and owners, indexed by register id.
+///
+/// Built once per register-set size by the space and shared by every
+/// snapshot taken at that size (append-only: a layout for `k` registers is
+/// a prefix of any later layout of the same space).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub(crate) struct SnapshotLayout {
+    pub(crate) names: Vec<Arc<str>>,
+    pub(crate) owners: Vec<Option<ProcessId>>,
+}
+
+/// One register's counters within a snapshot — a borrowed view into the
+/// snapshot's flat storage.
+#[derive(Debug, Clone, Copy)]
+pub struct RegisterRow<'a> {
     /// Register name, e.g. `SUSPICIONS\[2\]\[5\]`.
-    pub name: String,
+    pub name: &'a str,
     /// Owner for 1WnR registers, `None` for nWnR registers.
     pub owner: Option<ProcessId>,
     /// Reads performed by each process (indexed by process).
-    pub reads: Vec<u64>,
+    pub reads: &'a [u64],
     /// Writes performed by each process (indexed by process).
-    pub writes: Vec<u64>,
+    pub writes: &'a [u64],
 }
 
-impl RegisterRow {
+impl RegisterRow<'_> {
     /// Total reads of this register by all processes.
     #[must_use]
     pub fn total_reads(&self) -> u64 {
@@ -63,31 +89,40 @@ impl RegisterRow {
 /// assert_eq!(delta.total_writes(), 1);
 /// assert_eq!(delta.writer_set().iter().collect::<Vec<_>>(), vec![p0]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct StatsSnapshot {
-    n_processes: usize,
-    rows: Vec<RegisterRow>,
-    scan: ScanStats,
+    pub(crate) n_processes: usize,
+    pub(crate) layout: Arc<SnapshotLayout>,
+    /// `reads[reg * n_processes + pid]`, register-major.
+    pub(crate) reads: Vec<u64>,
+    /// Same shape as `reads`.
+    pub(crate) writes: Vec<u64>,
+    pub(crate) scan: ScanStats,
 }
 
+impl PartialEq for StatsSnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        self.n_processes == other.n_processes
+            && self.scan == other.scan
+            && self.reads == other.reads
+            && self.writes == other.writes
+            && (Arc::ptr_eq(&self.layout, &other.layout) || self.layout == other.layout)
+    }
+}
+
+impl Eq for StatsSnapshot {}
+
 impl StatsSnapshot {
-    pub(crate) fn new(n_processes: usize, rows: Vec<RegisterRow>) -> Self {
-        StatsSnapshot {
-            n_processes,
-            rows,
-            scan: ScanStats::default(),
-        }
-    }
-
-    pub(crate) fn with_scan(mut self, scan: ScanStats) -> Self {
-        self.scan = scan;
-        self
-    }
-
     /// Number of processes in the system.
     #[must_use]
     pub fn n_processes(&self) -> usize {
         self.n_processes
+    }
+
+    /// Number of registers captured in this snapshot.
+    #[must_use]
+    pub fn register_count(&self) -> usize {
+        self.layout.names.len()
     }
 
     /// Scan-saving counters (reads skipped by epoch-validated caches,
@@ -98,66 +133,74 @@ impl StatsSnapshot {
     }
 
     /// Per-register rows, in register-creation order.
-    #[must_use]
-    pub fn rows(&self) -> &[RegisterRow] {
-        &self.rows
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = RegisterRow<'_>> + '_ {
+        let n = self.n_processes;
+        (0..self.register_count()).map(move |r| RegisterRow {
+            name: &self.layout.names[r],
+            owner: self.layout.owners[r],
+            reads: &self.reads[r * n..(r + 1) * n],
+            writes: &self.writes[r * n..(r + 1) * n],
+        })
     }
 
     /// Total reads across all registers and processes.
     #[must_use]
     pub fn total_reads(&self) -> u64 {
-        self.rows.iter().map(RegisterRow::total_reads).sum()
+        self.reads.iter().sum()
     }
 
     /// Total writes across all registers and processes.
     #[must_use]
     pub fn total_writes(&self) -> u64 {
-        self.rows.iter().map(RegisterRow::total_writes).sum()
+        self.writes.iter().sum()
+    }
+
+    fn strided_sum(flat: &[u64], n: usize, pid: ProcessId) -> u64 {
+        flat.iter().skip(pid.index()).step_by(n.max(1)).sum()
     }
 
     /// Reads performed by `pid` across all registers.
     #[must_use]
     pub fn reads_of(&self, pid: ProcessId) -> u64 {
-        self.rows.iter().map(|r| r.reads[pid.index()]).sum()
+        Self::strided_sum(&self.reads, self.n_processes, pid)
     }
 
     /// Writes performed by `pid` across all registers.
     #[must_use]
     pub fn writes_of(&self, pid: ProcessId) -> u64 {
-        self.rows.iter().map(|r| r.writes[pid.index()]).sum()
+        Self::strided_sum(&self.writes, self.n_processes, pid)
+    }
+
+    fn active_set(&self, flat: &[u64]) -> ProcessSet {
+        let mut set = ProcessSet::new(self.n_processes);
+        for row in flat.chunks_exact(self.n_processes.max(1)) {
+            for (i, &count) in row.iter().enumerate() {
+                if count > 0 {
+                    set.insert(ProcessId::new(i));
+                }
+            }
+        }
+        set
     }
 
     /// The set of processes that performed at least one write.
     #[must_use]
     pub fn writer_set(&self) -> ProcessSet {
-        let mut set = ProcessSet::new(self.n_processes);
-        for pid in ProcessId::all(self.n_processes) {
-            if self.writes_of(pid) > 0 {
-                set.insert(pid);
-            }
-        }
-        set
+        self.active_set(&self.writes)
     }
 
     /// The set of processes that performed at least one read.
     #[must_use]
     pub fn reader_set(&self) -> ProcessSet {
-        let mut set = ProcessSet::new(self.n_processes);
-        for pid in ProcessId::all(self.n_processes) {
-            if self.reads_of(pid) > 0 {
-                set.insert(pid);
-            }
-        }
-        set
+        self.active_set(&self.reads)
     }
 
     /// Names of registers written at least once, in creation order.
     #[must_use]
     pub fn written_registers(&self) -> Vec<&str> {
-        self.rows
-            .iter()
+        self.rows()
             .filter(|r| r.total_writes() > 0)
-            .map(|r| r.name.as_str())
+            .map(|r| r.name)
             .collect()
     }
 
@@ -175,28 +218,27 @@ impl StatsSnapshot {
     #[must_use]
     pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         assert!(
-            earlier.rows.len() <= self.rows.len(),
+            earlier.register_count() <= self.register_count(),
             "earlier snapshot has more registers than later one"
         );
-        let rows = self
-            .rows
-            .iter()
-            .enumerate()
-            .map(|(i, row)| {
-                let mut out = row.clone();
-                if let Some(prev) = earlier.rows.get(i) {
-                    assert_eq!(prev.name, row.name, "snapshots from different spaces");
-                    for (a, b) in out.reads.iter_mut().zip(&prev.reads) {
-                        *a -= b;
-                    }
-                    for (a, b) in out.writes.iter_mut().zip(&prev.writes) {
-                        *a -= b;
-                    }
-                }
-                out
-            })
-            .collect();
-        StatsSnapshot::new(self.n_processes, rows).with_scan(self.scan.delta_since(&earlier.scan))
+        if !Arc::ptr_eq(&self.layout, &earlier.layout) {
+            // Different layout generations: verify the shared name prefix.
+            for (a, b) in self.layout.names.iter().zip(&earlier.layout.names) {
+                assert!(
+                    Arc::ptr_eq(a, b) || a == b,
+                    "snapshots from different spaces"
+                );
+            }
+        }
+        let mut out = self.clone();
+        for (a, b) in out.reads.iter_mut().zip(&earlier.reads) {
+            *a -= b;
+        }
+        for (a, b) in out.writes.iter_mut().zip(&earlier.writes) {
+            *a -= b;
+        }
+        out.scan = self.scan.delta_since(&earlier.scan);
+        out
     }
 }
 
@@ -207,7 +249,7 @@ impl fmt::Display for StatsSnapshot {
             "{:<24} {:>10} {:>10}  writers",
             "register", "reads", "writes"
         )?;
-        for row in &self.rows {
+        for row in self.rows() {
             let writers: Vec<String> = ProcessId::all(self.n_processes)
                 .filter(|p| row.writes[p.index()] > 0)
                 .map(|p| p.to_string())
@@ -313,13 +355,39 @@ mod tests {
 
     #[test]
     fn register_row_totals() {
-        let row = RegisterRow {
-            name: "X".into(),
-            owner: Some(p(0)),
-            reads: vec![1, 2],
-            writes: vec![3, 0],
-        };
+        let s = MemorySpace::new(2);
+        let x = s.nat_register("X", p(0), 0);
+        x.write(p(0), 3);
+        x.read(p(0));
+        x.read(p(1));
+        x.read(p(1));
+        let snap = s.stats();
+        let row = snap.rows().next().unwrap();
+        assert_eq!(row.name, "X");
+        assert_eq!(row.owner, Some(p(0)));
         assert_eq!(row.total_reads(), 3);
-        assert_eq!(row.total_writes(), 3);
+        assert_eq!(row.total_writes(), 1);
+    }
+
+    #[test]
+    fn snapshots_share_one_layout_allocation() {
+        let s = MemorySpace::new(2);
+        let _ = s.nat_array("A", |_| 0);
+        let a = s.stats();
+        let b = s.stats();
+        assert!(
+            Arc::ptr_eq(&a.layout, &b.layout),
+            "same register set, same interned layout"
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn equality_is_by_value_across_layout_generations() {
+        let s = MemorySpace::new(1);
+        let _ = s.nat_register("A", p(0), 0);
+        let a = s.stats();
+        let b = a.clone();
+        assert_eq!(a, b);
     }
 }

@@ -10,9 +10,12 @@ use crate::value::RegisterValue;
 use crate::ProcessId;
 
 /// Shared core of a register handle: cell + metadata + counters.
+///
+/// The name is interned (`Arc<str>`) so statistics and footprint snapshots
+/// share it instead of cloning a `String` per register per checkpoint.
 pub(crate) struct RegCore<T, C> {
     cell: C,
-    name: String,
+    name: Arc<str>,
     id: RegisterId,
     owner: Option<ProcessId>,
     counters: Counters,
@@ -25,13 +28,14 @@ impl<T: RegisterValue, C: SharedCell<T>> RegCore<T, C> {
         id: RegisterId,
         owner: Option<ProcessId>,
         n_processes: usize,
+        mode: crate::Instrumentation,
         initial: T,
     ) -> Arc<Self> {
-        let counters = Counters::new(n_processes);
+        let counters = Counters::new(n_processes, mode);
         counters.note_initial(initial.footprint_bits());
         Arc::new(RegCore {
             cell: C::with_value(initial),
-            name,
+            name: name.into(),
             id,
             owner,
             counters,
@@ -63,7 +67,7 @@ impl<T: RegisterValue, C: SharedCell<T>> RegCore<T, C> {
 }
 
 impl<T: RegisterValue, C: SharedCell<T>> RegisterMeta for RegCore<T, C> {
-    fn name(&self) -> &str {
+    fn name(&self) -> &Arc<str> {
         &self.name
     }
 
@@ -157,7 +161,11 @@ impl<T: RegisterValue, C: SharedCell<T>> SwmrRegister<T, C> {
     pub fn try_write(&self, writer: ProcessId, value: T) -> Result<(), OwnershipError> {
         let owner = self.owner();
         if writer != owner {
-            return Err(OwnershipError::new(self.core.name.clone(), owner, writer));
+            return Err(OwnershipError::new(
+                self.core.name.to_string(),
+                owner,
+                writer,
+            ));
         }
         self.core.write_unchecked(writer, value);
         Ok(())

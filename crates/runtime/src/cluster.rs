@@ -110,6 +110,14 @@ impl Cluster {
         self.nodes.iter().map(Node::timer_fires).collect()
     }
 
+    /// Total events executed so far across all nodes (`T2` steps plus `T3`
+    /// timer expirations) — the thread-runtime analogue of the simulator's
+    /// `events_processed`, used for throughput reporting.
+    #[must_use]
+    pub fn events_total(&self) -> u64 {
+        self.nodes.iter().map(|n| n.steps() + n.timer_fires()).sum()
+    }
+
     /// Space-wide scan-saving counters: shared reads avoided by the
     /// epoch-validated suspicion caches and sharded `T3` passes executed
     /// (cheap — does not walk the register registry).

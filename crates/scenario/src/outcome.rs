@@ -64,6 +64,13 @@ pub struct Outcome {
     pub reads_skipped: u64,
     /// Sharded `T3` scan passes executed across all processes.
     pub shard_passes: u64,
+    /// Wall-clock milliseconds the backend spent executing the run (the
+    /// simulator's event loop / the thread driver's run loop; excludes
+    /// system construction and post-run tail observation).
+    pub elapsed_ms: f64,
+    /// Events retired per wall-clock second (simulator events; `T2` steps +
+    /// `T3` expirations on threads) — the suite's throughput metric.
+    pub events_per_sec: f64,
     /// Registers allocated by the variant's layout.
     pub register_count: usize,
     /// Total shared-memory high-water footprint in bits.
@@ -169,6 +176,11 @@ impl Outcome {
             self.total_writes(),
             self.total_reads(),
             self.hwm_bits
+        );
+        let _ = writeln!(
+            out,
+            "wall clock : {:.1} ms ({:.0} events/sec)",
+            self.elapsed_ms, self.events_per_sec
         );
         if self.reads_skipped > 0 || self.shard_passes > 0 {
             let _ = writeln!(

@@ -91,6 +91,8 @@ fn outcome_of(scenario: &Scenario, report: &RunReport, space: &MemorySpace) -> O
             .collect(),
         reads_skipped: stats.scan().reads_skipped,
         shard_passes: stats.scan().shard_passes,
+        elapsed_ms: report.wall.elapsed_ms(),
+        events_per_sec: report.events_per_sec(),
         register_count: space.register_count(),
         hwm_bits: space.footprint().total_hwm_bits(),
         grown_in_tail,

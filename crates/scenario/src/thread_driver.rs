@@ -173,6 +173,17 @@ impl Driver for ThreadDriver {
         let stabilization_ticks =
             elected.map(|_| self.ticks_of(start.elapsed().saturating_sub(self.window)));
 
+        // Throughput over the run loop proper — the tail observation below
+        // is fixed-length sleeping, not engine work, so it is excluded.
+        let run_elapsed = start.elapsed();
+        let events_at_deadline = cluster.events_total();
+        let elapsed_ms = run_elapsed.as_secs_f64() * 1e3;
+        let events_per_sec = if run_elapsed.as_secs_f64() > 0.0 {
+            events_at_deadline as f64 / run_elapsed.as_secs_f64()
+        } else {
+            0.0
+        };
+
         // Post-stabilization tail: observe traffic over a fixed wall window.
         // The paper's tail claims (single writer, bounded footprints) are
         // *eventually* statements, and convergence straggles for a few
@@ -182,9 +193,12 @@ impl Driver for ThreadDriver {
         let tail = elected.map(|_| {
             let span_ticks = self.ticks_of(self.tail_sample).max(1);
             let mut observed = None;
+            // One reusable snapshot buffer across the observation windows
+            // (each window discards its `before` view immediately).
+            let mut before = omega_registers::StatsSnapshot::default();
             for _ in 0..4 {
                 let fp_before = cluster.space().footprint();
-                let before = cluster.space().stats();
+                cluster.space().stats_into(&mut before);
                 std::thread::sleep(self.tail_sample);
                 let delta = cluster.space().stats().delta_since(&before);
                 let grown: Vec<String> = cluster
@@ -247,6 +261,8 @@ impl Driver for ThreadDriver {
             writes: ProcessId::all(n).map(|p| stats.writes_of(p)).collect(),
             reads_skipped: scan.reads_skipped,
             shard_passes: scan.shard_passes,
+            elapsed_ms,
+            events_per_sec,
             register_count: cluster.space().register_count(),
             hwm_bits: cluster.space().footprint().total_hwm_bits(),
             grown_in_tail,

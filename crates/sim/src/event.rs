@@ -1,7 +1,18 @@
 //! The deterministic event queue driving a simulation.
+//!
+//! [`EventQueue`] is a hierarchical bucket queue (a timer wheel with a heap
+//! fallback) rather than a plain binary heap: the overwhelming majority of
+//! simulator events are scheduled a handful of ticks ahead (step delays,
+//! timer re-arms), and those enjoy O(1) push and pop. Events beyond the
+//! wheel's window — far-future crash scripts, long stalls, pre-scheduled
+//! sampling cadences — fall back to a binary heap and migrate into the
+//! wheel as virtual time approaches them. Pop order is **exactly** the
+//! `(time, seq)` order of the original heap-only queue, so traces are
+//! tick-identical; the seeded property tests in `harness_properties.rs`
+//! pit the wheel against a reference heap to hold that line.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use omega_registers::ProcessId;
 
@@ -48,6 +59,12 @@ impl PartialOrd for Event {
     }
 }
 
+/// Number of wheel slots: one per tick of the near-horizon window. Must be
+/// a power of two (the slot index is `time & (WHEEL_SLOTS - 1)`). 4096
+/// ticks covers every step delay and timer duration the scenario suite
+/// produces; anything longer takes the heap fallback.
+const WHEEL_SLOTS: usize = 4096;
+
 /// Priority queue of events ordered by `(time, seq)`.
 ///
 /// # Examples
@@ -63,10 +80,46 @@ impl PartialOrd for Event {
 /// let first = q.pop().unwrap();
 /// assert_eq!(first.time, SimTime::from_ticks(2));
 /// ```
-#[derive(Debug, Default)]
+///
+/// # Ordering invariants
+///
+/// * Wheel slots only ever hold events of a single time value (`cursor ≤
+///   time < cursor + WHEEL_SLOTS` maps each admissible time to a distinct
+///   slot), appended — and therefore popped — in `seq` order.
+/// * The heap holds the *far* events (`time ≥ cursor + WHEEL_SLOTS` at
+///   push) and the *overdue* ones (`time < cursor` at push, which the old
+///   heap queue allowed and some tests exercise). Far events migrate into
+///   the wheel whenever `cursor` advances, **before** any later push could
+///   target their slot directly, so same-time events keep their global
+///   `seq` order across the two structures.
 pub struct EventQueue {
-    heap: BinaryHeap<Event>,
+    /// Near-horizon buckets; slot `t & (WHEEL_SLOTS-1)` holds time `t`.
+    slots: Box<[VecDeque<Event>]>,
+    /// Lower bound of the wheel window; every wheel event has `time ≥
+    /// cursor`, every far-heap event has `time ≥ cursor + WHEEL_SLOTS`.
+    cursor: u64,
+    /// Events currently in the wheel.
+    wheel_len: usize,
+    /// Far and overdue events (see type-level docs).
+    far: BinaryHeap<Event>,
     next_seq: u64,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl std::fmt::Debug for EventQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.len())
+            .field("cursor", &self.cursor)
+            .field("wheel_len", &self.wheel_len)
+            .field("far_len", &self.far.len())
+            .finish()
+    }
 }
 
 impl EventQueue {
@@ -74,9 +127,17 @@ impl EventQueue {
     #[must_use]
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            slots: (0..WHEEL_SLOTS).map(|_| VecDeque::new()).collect(),
+            cursor: 0,
+            wheel_len: 0,
+            far: BinaryHeap::new(),
             next_seq: 0,
         }
+    }
+
+    #[inline]
+    fn slot_of(time: u64) -> usize {
+        (time as usize) & (WHEEL_SLOTS - 1)
     }
 
     /// Schedules `kind` to fire at `time`. Events scheduled earlier sort
@@ -84,30 +145,97 @@ impl EventQueue {
     pub fn schedule(&mut self, time: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { time, seq, kind });
+        let event = Event { time, seq, kind };
+        let t = time.ticks();
+        if t >= self.cursor && t - self.cursor < WHEEL_SLOTS as u64 {
+            self.slots[Self::slot_of(t)].push_back(event);
+            self.wheel_len += 1;
+        } else {
+            self.far.push(event);
+        }
+    }
+
+    /// Moves every far event that now falls inside the wheel window into
+    /// its slot. Heap pops come out in `(time, seq)` order, and any such
+    /// event was pushed before any same-time event already pushed directly
+    /// into the window (direct pushes require the window to cover the time,
+    /// far pushes require it not to, and the window's lower edge only
+    /// advances), so appending preserves global `seq` order per slot.
+    fn migrate(&mut self) {
+        let window_end = self.cursor.saturating_add(WHEEL_SLOTS as u64);
+        while let Some(event) = self.far.peek() {
+            let t = event.time.ticks();
+            if t < self.cursor || t >= window_end {
+                break;
+            }
+            let event = self.far.pop().expect("peeked");
+            self.slots[Self::slot_of(t)].push_back(event);
+            self.wheel_len += 1;
+        }
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop()
+        // Overdue events (scheduled behind the cursor) are strictly earlier
+        // than anything in the wheel, which holds only `time ≥ cursor`.
+        if let Some(event) = self.far.peek() {
+            if event.time.ticks() < self.cursor {
+                return self.far.pop();
+            }
+        }
+        if self.wheel_len == 0 {
+            // Nothing near: jump straight to the earliest far event.
+            let earliest = self.far.peek()?.time.ticks();
+            self.cursor = earliest;
+            self.migrate();
+        }
+        loop {
+            let slot = &mut self.slots[Self::slot_of(self.cursor)];
+            if let Some(event) = slot.pop_front() {
+                debug_assert_eq!(event.time.ticks(), self.cursor);
+                self.wheel_len -= 1;
+                return Some(event);
+            }
+            // Slot drained: advance the window one tick and let any far
+            // event that just became near claim its slot before anyone can
+            // push to it directly.
+            self.cursor += 1;
+            self.migrate();
+        }
     }
 
     /// The time of the earliest pending event.
     #[must_use]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        let far = self.far.peek().map(|e| e.time);
+        if let Some(t) = far {
+            if t.ticks() < self.cursor {
+                return far;
+            }
+        }
+        if self.wheel_len > 0 {
+            for offset in 0..WHEEL_SLOTS as u64 {
+                let t = self.cursor.saturating_add(offset);
+                if let Some(event) = self.slots[Self::slot_of(t)].front() {
+                    if event.time.ticks() == t {
+                        return Some(event.time);
+                    }
+                }
+            }
+        }
+        far
     }
 
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.wheel_len + self.far.len()
     }
 
     /// Whether no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -169,5 +297,73 @@ mod tests {
             }
             _ => panic!("wrong kind"),
         }
+    }
+
+    #[test]
+    fn far_events_take_the_heap_and_come_back_in_order() {
+        let mut q = EventQueue::new();
+        let far = WHEEL_SLOTS as u64 * 3 + 17;
+        q.schedule(SimTime::from_ticks(far), EventKind::Sample);
+        q.schedule(SimTime::from_ticks(far), EventKind::Step(p(1)));
+        q.schedule(SimTime::from_ticks(2), EventKind::Step(p(0)));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().time.ticks(), 2);
+        // Same far tick: FIFO by scheduling order, across the migration.
+        let a = q.pop().unwrap();
+        let b = q.pop().unwrap();
+        assert_eq!((a.time.ticks(), a.kind), (far, EventKind::Sample));
+        assert_eq!((b.time.ticks(), b.kind), (far, EventKind::Step(p(1))));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_tick_order_survives_migration_plus_direct_push() {
+        // A far event and a later direct push to the same tick must pop in
+        // scheduling order even though they travelled different paths.
+        let mut q = EventQueue::new();
+        let t = WHEEL_SLOTS as u64 + 5;
+        q.schedule(SimTime::from_ticks(t), EventKind::Step(p(0))); // far
+        q.schedule(SimTime::from_ticks(1), EventKind::Sample);
+        assert_eq!(q.pop().unwrap().kind, EventKind::Sample);
+        // Cursor advanced past 1; t is now inside the window: direct push.
+        q.schedule(SimTime::from_ticks(t), EventKind::Step(p(1)));
+        let first = q.pop().unwrap();
+        let second = q.pop().unwrap();
+        assert_eq!(first.kind, EventKind::Step(p(0)), "far push came first");
+        assert_eq!(second.kind, EventKind::Step(p(1)));
+    }
+
+    #[test]
+    fn overdue_schedule_pops_before_everything_near() {
+        // The heap-only queue allowed scheduling behind the current pop
+        // front; the wheel must honor that too.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ticks(50), EventKind::Sample);
+        assert_eq!(q.pop().unwrap().time.ticks(), 50);
+        q.schedule(SimTime::from_ticks(60), EventKind::Step(p(1)));
+        q.schedule(SimTime::from_ticks(3), EventKind::Step(p(0)));
+        assert_eq!(q.peek_time(), Some(SimTime::from_ticks(3)));
+        assert_eq!(q.pop().unwrap().kind, EventKind::Step(p(0)));
+        assert_eq!(q.pop().unwrap().kind, EventKind::Step(p(1)));
+    }
+
+    #[test]
+    fn window_boundary_routes_to_heap_and_still_sorts() {
+        let mut q = EventQueue::new();
+        let edge = WHEEL_SLOTS as u64; // first time outside the window
+        q.schedule(SimTime::from_ticks(edge), EventKind::Sample);
+        q.schedule(SimTime::from_ticks(edge - 1), EventKind::Step(p(0)));
+        assert_eq!(q.pop().unwrap().time.ticks(), edge - 1);
+        assert_eq!(q.pop().unwrap().time.ticks(), edge);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn empty_wheel_jumps_to_far_events_without_scanning() {
+        let mut q = EventQueue::new();
+        let far = WHEEL_SLOTS as u64 * 1000;
+        q.schedule(SimTime::from_ticks(far), EventKind::Sample);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ticks(far)));
+        assert_eq!(q.pop().unwrap().time.ticks(), far);
     }
 }

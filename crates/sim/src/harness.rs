@@ -142,6 +142,36 @@ impl SimulationBuilder {
     }
 }
 
+/// Wall-clock timing of one simulated run: how long the event loop took and
+/// how many events it retired per second. This is the throughput metric the
+/// perf regression trail (`BENCH_scenarios.json`) tracks alongside the
+/// model-level read/write counts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WallClock {
+    /// Wall-clock duration of the event loop (excludes actor construction).
+    pub elapsed: std::time::Duration,
+}
+
+impl WallClock {
+    /// Elapsed wall-clock milliseconds (fractional).
+    #[must_use]
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed.as_secs_f64() * 1e3
+    }
+
+    /// Events per wall-clock second, given the number of events retired
+    /// (0.0 when the elapsed time is too small to measure).
+    #[must_use]
+    pub fn events_per_sec(&self, events: u64) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            events as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
 /// A configured simulation ready to run.
 pub struct Simulation {
     actors: Vec<Box<dyn Actor>>,
@@ -264,6 +294,7 @@ impl Simulation {
     }
 
     fn run_to_horizon(mut self) -> RunReport {
+        let started = std::time::Instant::now();
         let n = self.n();
         // Schedule initial steps and timers.
         for pid in ProcessId::all(n) {
@@ -343,6 +374,7 @@ impl Simulation {
         }
 
         self.checkpoint(self.horizon);
+        self.report.wall.elapsed = started.elapsed();
         self.report.trace = self.trace.take();
         self.report.crashed = self.crashed.clone();
         let mut correct = ProcessSet::full(n);
@@ -389,6 +421,8 @@ pub struct RunReport {
     pub correct: ProcessSet,
     /// Total events processed.
     pub events_processed: u64,
+    /// Wall-clock timing of the event loop.
+    pub wall: WallClock,
     /// Main-task steps executed, per process.
     pub steps_taken: Vec<u64>,
     /// Timer expirations handled, per process.
@@ -406,6 +440,7 @@ impl RunReport {
             crashed: ProcessSet::new(n),
             correct: ProcessSet::full(n),
             events_processed: 0,
+            wall: WallClock::default(),
             steps_taken: vec![0; n],
             timer_fires: vec![0; n],
         }
@@ -433,6 +468,12 @@ impl RunReport {
         })
     }
 
+    /// Events retired per wall-clock second of the event loop.
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        self.wall.events_per_sec(self.events_processed)
+    }
+
     /// A one-screen human-readable summary of the run.
     #[must_use]
     pub fn summary(&self) -> String {
@@ -440,6 +481,12 @@ impl RunReport {
         let mut out = String::new();
         let _ = writeln!(out, "horizon          : {} ticks", self.horizon.ticks());
         let _ = writeln!(out, "events processed : {}", self.events_processed);
+        let _ = writeln!(
+            out,
+            "wall clock       : {:.1} ms ({:.0} events/sec)",
+            self.wall.elapsed_ms(),
+            self.events_per_sec()
+        );
         let _ = writeln!(
             out,
             "crashed          : {:?}  (correct: {:?})",

@@ -18,6 +18,31 @@
 //!
 //! Determinism: all randomness is seeded and the event queue breaks ties by
 //! scheduling order, so every run is exactly reproducible.
+//!
+//! # Performance: the event loop and the two instrumentation modes
+//!
+//! The simulator is measured in wall-clock events per second
+//! ([`RunReport::events_per_sec`]) as well as in model-level reads and
+//! writes, and two design choices keep the former high without touching
+//! the latter:
+//!
+//! * **Timer-wheel event queue** — [`event::EventQueue`] buckets
+//!   near-horizon events (step delays, timer re-arms — the overwhelming
+//!   majority) into O(1) slots and falls back to a binary heap for
+//!   far-future events, while popping in exactly the `(time, seq)` order
+//!   of a plain heap. Traces are tick-identical either way.
+//! * **Instrumentation modes** — a
+//!   [`MemorySpace`](omega_registers::MemorySpace) counts register
+//!   accesses either *eagerly* (an atomic read-modify-write per access;
+//!   correct under any concurrency, used by the OS-thread runtime) or
+//!   *deferred* (`omega_registers::Instrumentation::Deferred`: plain
+//!   unsynchronized scratch updates, flushed into the shared counters at
+//!   every `stats()`/`footprint()` snapshot). The simulation loop is
+//!   single-threaded, so the deferred mode is exact here — checkpointed
+//!   snapshots are equal tick-for-tick to eager ones (asserted by the
+//!   `deferred_instrumentation` parity tests) — and
+//!   `OmegaVariant::build` therefore defaults to it for simulator actors,
+//!   while `build_processes` (the thread-runtime path) stays eager.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -34,7 +59,7 @@ mod harness;
 mod process;
 mod time;
 
-pub use harness::{RunReport, Simulation, SimulationBuilder};
+pub use harness::{RunReport, Simulation, SimulationBuilder, WallClock};
 pub use process::{Actor, StepCtx};
 pub use time::SimTime;
 

@@ -145,6 +145,92 @@ fn event_queue_pops_sorted_and_stable() {
     }
 }
 
+/// Reference queue semantics: the exact `(time, seq)` heap the timer
+/// wheel replaced. The wheel must be observationally identical to this.
+struct ReferenceQueue {
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, u64)>>,
+    next_seq: u64,
+}
+
+impl ReferenceQueue {
+    fn new() -> Self {
+        ReferenceQueue {
+            heap: std::collections::BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    fn schedule(&mut self, time: SimTime) {
+        self.heap.push(std::cmp::Reverse((time, self.next_seq)));
+        self.next_seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        self.heap.pop().map(|r| r.0)
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|r| r.0 .0)
+    }
+}
+
+/// The timer wheel pops in exactly the `(time, seq)` order of the old
+/// `BinaryHeap` queue, across random interleavings of pushes and pops —
+/// including same-tick bursts, far-future events (beyond the wheel window,
+/// so they exercise the heap fallback and migration), and pushes behind
+/// the cursor after pops have advanced it.
+#[test]
+fn event_queue_matches_reference_heap_under_interleaving() {
+    let mut g = SmallRng::seed_from_u64(0x77EE1);
+    for case in 0..64 {
+        let mut q = EventQueue::new();
+        let mut reference = ReferenceQueue::new();
+        // A moving "now" so later pushes land near, before, or far beyond
+        // the times already popped.
+        let mut now = 0u64;
+        for op in 0..g.gen_range(50..=400) {
+            let push = q.is_empty() || g.gen_range(0..=99) < 60;
+            if push {
+                let time = match g.gen_range(0..=9) {
+                    // Same-tick burst: several events on one time.
+                    0..=2 => now + g.gen_range(0..=3),
+                    // Near horizon: the wheel's fast path.
+                    3..=6 => now + g.gen_range(0..=2_000),
+                    // Behind the cursor (the heap-only queue allowed it).
+                    7 => now.saturating_sub(g.gen_range(0..=500)),
+                    // Far future: heap fallback + later migration.
+                    _ => now + g.gen_range(5_000..=1_000_000),
+                };
+                let t = SimTime::from_ticks(time);
+                q.schedule(t, EventKind::Step(p(op as usize % 5)));
+                reference.schedule(t);
+            } else {
+                assert_eq!(
+                    q.peek_time(),
+                    reference.peek_time(),
+                    "case {case} op {op}: peek diverged"
+                );
+                let got = q.pop().expect("non-empty");
+                let want = reference.pop().expect("reference in sync");
+                assert_eq!(
+                    (got.time, got.seq),
+                    want,
+                    "case {case} op {op}: pop order diverged"
+                );
+                now = now.max(got.time.ticks());
+            }
+            assert_eq!(q.len(), reference.heap.len(), "case {case} op {op}");
+        }
+        // Drain: the tails must agree too.
+        while let Some(want) = reference.pop() {
+            let got = q.pop().expect("same length");
+            assert_eq!((got.time, got.seq), want, "case {case}: drain diverged");
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}
+
 /// The AWB envelope never *increases* a delay, and always clamps the
 /// timely process after τ₁.
 #[test]
