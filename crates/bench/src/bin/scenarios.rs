@@ -1,4 +1,4 @@
-//! Scenario-suite benchmark: every registry scenario on the simulator,
+//! Scenario-suite benchmark: every registry scenario on a chosen backend,
 //! with a machine-readable JSON artifact for perf trajectories.
 //!
 //! Modes and flags:
@@ -16,7 +16,19 @@
 //!   fail the gate (timing is machine-dependent; the trajectory matters,
 //!   not one noisy run). Scenarios present only on one side are reported
 //!   but never fail the gate (they have no trend yet). This is the CI
-//!   regression gate named in ROADMAP's "Outcome diffing" item.
+//!   regression gate named in ROADMAP's "Outcome diffing" item. The gate
+//!   is defined on the simulator's deterministic counters, so `--check`
+//!   rejects other drivers.
+//! * **`--driver sim|threads|san`** — picks the backend (default `sim`).
+//!   `threads` runs on OS threads over in-memory registers; `san` runs
+//!   over disk-block registers (instant disk latency, so CI can exercise
+//!   the backend without inflating wall-clock; `san-latency/…` sweep
+//!   scenarios pin their own latency and pay real simulated service
+//!   time). Wall-clock backends skip scenarios that need a literal
+//!   adversary (`expect_stabilization = false`) and the `n > 16` scaling
+//!   probes (OS threads at n ≥ 32 thrash instead of measuring). A full
+//!   non-sim record run writes `BENCH_scenarios.<driver>.json`, never the
+//!   committed sim baseline.
 //! * **`--only <substring>`** — restricts the run (and the gate) to the
 //!   scenarios whose name contains the substring, so one scenario, e.g.
 //!   `n-scaling-256`, can be run and timed in isolation. A filtered run
@@ -27,14 +39,14 @@
 //!
 //! The baseline parser is forward- and backward-compatible: fields in the
 //! JSON that this binary does not know are ignored, and fields this binary
-//! tracks that an older baseline lacks (e.g. `elapsed_ms`) simply have no
-//! trend yet — both directions are unit-tested, so adding a field never
-//! invalidates committed baselines.
+//! tracks that an older baseline lacks (e.g. `elapsed_ms`, the SAN block
+//! footprint) simply have no trend yet — both directions are unit-tested,
+//! so adding a field never invalidates committed baselines.
 
 use std::fmt::Write as _;
 
 use omega_bench::table::Table;
-use omega_scenario::{registry, Driver, Outcome, SimDriver};
+use omega_scenario::{registry, Driver, Outcome, SanDriver, Scenario, SimDriver, ThreadDriver};
 
 /// Allowed relative growth of `stabilization_ticks` before the gate fails.
 const MAX_STABILIZATION_REGRESSION: f64 = 0.25;
@@ -43,6 +55,53 @@ const MAX_WRITE_REGRESSION: f64 = 0.15;
 /// Wall-clock delta (either direction) beyond which the gate *reports* a
 /// timing change. Never fails the run: timing is not yet a hard gate.
 const TIMING_REPORT_THRESHOLD: f64 = 0.50;
+
+/// The backend axis of the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    Sim,
+    Threads,
+    San,
+}
+
+impl Backend {
+    fn parse(name: &str) -> Option<Backend> {
+        match name {
+            "sim" => Some(Backend::Sim),
+            "threads" => Some(Backend::Threads),
+            "san" => Some(Backend::San),
+            _ => None,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::Threads => "threads",
+            Backend::San => "san",
+        }
+    }
+
+    fn run(self, scenario: &Scenario) -> Outcome {
+        match self {
+            Backend::Sim => SimDriver.run(scenario),
+            Backend::Threads => ThreadDriver::default().run(scenario),
+            Backend::San => SanDriver::instant().run(scenario),
+        }
+    }
+
+    /// Whether this backend can honor the scenario's contract. The
+    /// simulator runs everything; wall-clock backends cannot realize
+    /// AWB-violating adversaries (the OS is the fair schedule) and the
+    /// `n > 16` scaling probes would thrash OS threads instead of
+    /// measuring anything.
+    fn admits(self, scenario: &Scenario) -> bool {
+        match self {
+            Backend::Sim => true,
+            Backend::Threads | Backend::San => scenario.expect_stabilization && scenario.n <= 16,
+        }
+    }
+}
 
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -90,6 +149,13 @@ fn json_record(outcome: &Outcome) -> String {
         outcome.elapsed_ms,
         outcome.events_per_sec,
     );
+    if let Some(san) = &outcome.san {
+        let _ = write!(
+            o,
+            "\"san_blocks_mapped\":{},\"san_blocks_touched\":{},\"san_block_accesses\":{},\"san_service_ms\":{:.2},",
+            san.blocks_mapped, san.blocks_touched, san.block_accesses, san.service_time_ms,
+        );
+    }
     let _ = match &outcome.tail {
         Some(tail) => write!(
             o,
@@ -117,6 +183,11 @@ struct BaselineRecord {
     total_reads: u64,
     /// Wall-clock of the baseline run; `None` for pre-timing baselines.
     elapsed_ms: Option<f64>,
+    /// SAN block accesses; `None` for in-memory backends and baselines
+    /// that predate the block-footprint fields.
+    san_block_accesses: Option<u64>,
+    /// Distinct SAN blocks touched; `None` as above.
+    san_blocks_touched: Option<u64>,
 }
 
 /// Extracts the value of `"key":` from one flat JSON object, as a raw
@@ -160,6 +231,11 @@ fn parse_baseline(json: &str) -> Result<Vec<BaselineRecord>, String> {
                     total_reads: raw_field(line, "total_reads")?.parse().ok()?,
                     // Absent in pre-timing baselines: no trend, not an error.
                     elapsed_ms: raw_field(line, "elapsed_ms").and_then(|raw| raw.parse().ok()),
+                    // Absent for in-memory backends and pre-SAN baselines.
+                    san_block_accesses: raw_field(line, "san_block_accesses")
+                        .and_then(|raw| raw.parse().ok()),
+                    san_blocks_touched: raw_field(line, "san_blocks_touched")
+                        .and_then(|raw| raw.parse().ok()),
                 })
             })();
             parsed.ok_or_else(|| format!("unparseable baseline record: {line}"))
@@ -274,7 +350,7 @@ fn should_write_artifact(checking: bool, filtered: bool, explicit_out: bool) -> 
     explicit_out || (!checking && !filtered)
 }
 
-fn run_suite(only: Option<&str>) -> (Table, Vec<Outcome>) {
+fn run_suite(backend: Backend, only: Option<&str>) -> (Table, Vec<Outcome>) {
     let mut table = Table::new(&[
         "scenario",
         "variant",
@@ -286,13 +362,23 @@ fn run_suite(only: Option<&str>) -> (Table, Vec<Outcome>) {
         "reads",
         "skipped",
         "hwm bits",
+        "blk acc",
+        "disk ms",
     ]);
     let mut outcomes = Vec::new();
     for scenario in registry::all() {
         if !admits(only, &scenario.name) {
             continue;
         }
-        let outcome = SimDriver.run(&scenario);
+        if !backend.admits(&scenario) {
+            println!(
+                "skipping {} on {} (wall-clock backends run stabilizing scenarios at n <= 16)",
+                scenario.name,
+                backend.name()
+            );
+            continue;
+        }
+        let outcome = backend.run(&scenario);
         if scenario.expect_stabilization {
             outcome.assert_election();
         } else {
@@ -317,6 +403,12 @@ fn run_suite(only: Option<&str>) -> (Table, Vec<Outcome>) {
             outcome.total_reads().to_string(),
             outcome.reads_skipped.to_string(),
             outcome.hwm_bits.to_string(),
+            outcome
+                .san
+                .map_or("-".into(), |s| s.block_accesses.to_string()),
+            outcome
+                .san
+                .map_or("-".into(), |s| format!("{:.1}", s.service_time_ms)),
         ]);
         outcomes.push(outcome);
     }
@@ -347,7 +439,9 @@ fn throughput_table(outcomes: &[Outcome]) -> Table {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: scenarios [--check BASELINE.json] [--only SUBSTRING] [--list]");
+    eprintln!(
+        "usage: scenarios [--driver sim|threads|san] [--check BASELINE.json] [--only SUBSTRING] [--list]"
+    );
     std::process::exit(2);
 }
 
@@ -355,6 +449,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let mut check_path: Option<String> = None;
     let mut only: Option<String> = None;
+    let mut backend = Backend::Sim;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--check" => match args.next() {
@@ -363,6 +458,10 @@ fn main() {
             },
             "--only" => match args.next() {
                 Some(filter) => only = Some(filter),
+                None => usage(),
+            },
+            "--driver" => match args.next().as_deref().and_then(Backend::parse) {
+                Some(parsed) => backend = parsed,
                 None => usage(),
             },
             "--list" => {
@@ -374,18 +473,26 @@ fn main() {
             _ => usage(),
         }
     }
+    if check_path.is_some() && backend != Backend::Sim {
+        eprintln!(
+            "--check is defined on the simulator's deterministic counters; run it with --driver sim"
+        );
+        std::process::exit(2);
+    }
 
-    let (table, outcomes) = run_suite(only.as_deref());
+    let (table, outcomes) = run_suite(backend, only.as_deref());
     if outcomes.is_empty() {
         eprintln!(
-            "no scenario matches --only {:?}; see --list",
-            only.unwrap_or_default()
+            "no scenario matches --only {:?} on the {} backend; see --list",
+            only.unwrap_or_default(),
+            backend.name()
         );
         std::process::exit(2);
     }
     println!(
-        "== scenario suite ({} scenarios, sim backend) ==",
-        outcomes.len()
+        "== scenario suite ({} scenarios, {} backend) ==",
+        outcomes.len(),
+        backend.name()
     );
     println!("{table}");
     println!("== throughput ==");
@@ -395,12 +502,16 @@ fn main() {
     // `--only`-filtered runs only when `$BENCH_OUT` names an explicit
     // destination (a CI gate run publishes its outcomes without a second
     // suite run; a filtered run must never clobber the committed
-    // full-suite baseline with a partial one).
+    // full-suite baseline with a partial one). Non-sim backends get their
+    // own per-driver artifact for the same reason.
     let out_path = std::env::var("BENCH_OUT").ok();
     if should_write_artifact(check_path.is_some(), only.is_some(), out_path.is_some()) {
         let records: Vec<String> = outcomes.iter().map(json_record).collect();
         let json = format!("[\n  {}\n]\n", records.join(",\n  "));
-        let path = out_path.unwrap_or_else(|| "BENCH_scenarios.json".into());
+        let path = out_path.unwrap_or_else(|| match backend {
+            Backend::Sim => "BENCH_scenarios.json".into(),
+            other => format!("BENCH_scenarios.{}.json", other.name()),
+        });
         std::fs::write(&path, &json).expect("write scenario outcomes JSON");
         println!("wrote {} records to {path}", records.len());
     } else if only.is_some() && check_path.is_none() {
@@ -483,8 +594,60 @@ mod tests {
             total_writes: 5,
             total_reads: 7,
             elapsed_ms: None,
+            san_block_accesses: None,
+            san_blocks_touched: None,
         };
         assert_eq!(records[0], outcome_less);
+    }
+
+    #[test]
+    fn san_block_footprint_fields_round_trip() {
+        // A record written from a SAN outcome must parse its block
+        // footprint back; sim records (no `san_*` fields) must keep
+        // parsing with no SAN trend. Exercised against a real record from
+        // each backend below.
+        let san_line = "[\n  {\"scenario\":\"s\",\"stabilization_ticks\":10,\"total_writes\":5,\"total_reads\":7,\"san_blocks_mapped\":24,\"san_blocks_touched\":20,\"san_block_accesses\":991,\"san_service_ms\":12.50}\n]\n";
+        let records = parse_baseline(san_line).unwrap();
+        assert_eq!(records[0].san_block_accesses, Some(991));
+        assert_eq!(records[0].san_blocks_touched, Some(20));
+    }
+
+    #[test]
+    fn json_record_carries_san_fields_exactly_for_the_san_backend() {
+        let scenario = omega_scenario::Scenario::fault_free(omega_core::OmegaVariant::Alg1, 2)
+            .named("san-sample")
+            .horizon(40_000);
+        let outcome = omega_scenario::SanDriver::instant().run(&scenario);
+        let san = outcome.san.expect("san backend reports block footprint");
+        let record = json_record(&outcome);
+        assert!(record.contains("\"san_blocks_mapped\":"), "{record}");
+        let parsed = parse_baseline(&format!("[\n  {record}\n]\n")).unwrap();
+        assert_eq!(parsed[0].san_block_accesses, Some(san.block_accesses));
+        assert_eq!(parsed[0].san_blocks_touched, Some(san.blocks_touched));
+
+        // And a sim outcome of the same scenario writes none of them.
+        let sim_record = json_record(&sample_outcome());
+        assert!(!sim_record.contains("san_"), "{sim_record}");
+        let sim_parsed = parse_baseline(&format!("[\n  {sim_record}\n]\n")).unwrap();
+        assert_eq!(sim_parsed[0].san_block_accesses, None);
+    }
+
+    #[test]
+    fn backend_parsing_and_admission() {
+        assert_eq!(Backend::parse("sim"), Some(Backend::Sim));
+        assert_eq!(Backend::parse("threads"), Some(Backend::Threads));
+        assert_eq!(Backend::parse("san"), Some(Backend::San));
+        assert_eq!(Backend::parse("tokio"), None);
+
+        let small = omega_scenario::registry::fault_free();
+        let big = omega_scenario::registry::n_scaling(&[32]).pop().unwrap();
+        let staller = omega_scenario::registry::no_awb_staller();
+        for backend in [Backend::Threads, Backend::San] {
+            assert!(backend.admits(&small));
+            assert!(!backend.admits(&big), "n > 16 stays off wall clocks");
+            assert!(!backend.admits(&staller), "no literal adversary on threads");
+        }
+        assert!(Backend::Sim.admits(&big) && Backend::Sim.admits(&staller));
     }
 
     #[test]
@@ -544,6 +707,8 @@ mod tests {
             total_writes: 0,
             total_reads: 0,
             elapsed_ms,
+            san_block_accesses: None,
+            san_blocks_touched: None,
         };
         let mut outcome = sample_outcome();
         outcome.elapsed_ms = 150.0;

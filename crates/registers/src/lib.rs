@@ -50,6 +50,7 @@ pub mod lincheck;
 pub mod sync;
 
 mod array;
+mod block;
 mod error;
 mod footprint;
 mod matrix;
@@ -62,6 +63,7 @@ mod swmr;
 mod value;
 
 pub use array::{MwmrArray, SwmrArray};
+pub use block::{BlockBinding, BlockDevice, BlockMap};
 pub use error::OwnershipError;
 pub use footprint::{FootprintReport, FootprintRow};
 pub use matrix::{OwnedMatrix, OwnerAxis};

@@ -6,13 +6,14 @@ use std::sync::Arc;
 use crate::sync::RwLock;
 
 use crate::array::{MwmrArray, SwmrArray};
+use crate::block::{BlockDevice, BlockMap};
 use crate::cell::{AtomicFlagCell, AtomicNatCell, LockCell, SharedCell};
 use crate::footprint::{FootprintReport, FootprintRow};
 use crate::matrix::OwnedMatrix;
 use crate::meta::{Instrumentation, RegisterId, RegisterMeta};
 use crate::shard::{EpochedArray, EpochedMatrix, ScanCounters};
 use crate::stats::{SnapshotLayout, StatsSnapshot};
-use crate::swmr::{MwmrRegister, RegCore, SwmrRegister};
+use crate::swmr::{BlockSlot, MwmrRegister, RegCore, SwmrRegister};
 use crate::value::RegisterValue;
 use crate::ProcessId;
 
@@ -44,6 +45,10 @@ struct SpaceInner {
     layout: RwLock<Arc<SnapshotLayout>>,
     next_id: AtomicUsize,
     scan: Arc<ScanCounters>,
+    /// When set, registers live on disk blocks of this device instead of
+    /// local cells, laid out by `block_map`.
+    backing: Option<Arc<dyn BlockDevice>>,
+    block_map: Arc<BlockMap>,
 }
 
 /// A shared memory made of atomic registers, with built-in instrumentation.
@@ -98,6 +103,32 @@ impl MemorySpace {
     /// Panics if `n_processes == 0`.
     #[must_use]
     pub fn with_instrumentation(n_processes: usize, mode: Instrumentation) -> Self {
+        MemorySpace::build(n_processes, mode, None)
+    }
+
+    /// Creates a memory space whose registers live on blocks of `device`
+    /// (one block per register, assigned in creation order by the space's
+    /// [`BlockMap`]) — the SAN deployment of the paper's Section 1. Uses
+    /// eager instrumentation, since disk-backed spaces serve concurrent
+    /// machines.
+    ///
+    /// Only block-encodable value types (`u64`-family integers and `bool`,
+    /// i.e. everything the election algorithms use) may be created in such
+    /// a space; others panic at creation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_processes == 0`.
+    #[must_use]
+    pub fn with_block_device(n_processes: usize, device: Arc<dyn BlockDevice>) -> Self {
+        MemorySpace::build(n_processes, Instrumentation::Eager, Some(device))
+    }
+
+    fn build(
+        n_processes: usize,
+        mode: Instrumentation,
+        backing: Option<Arc<dyn BlockDevice>>,
+    ) -> Self {
         assert!(n_processes > 0, "a system needs at least one process");
         MemorySpace {
             inner: Arc::new(SpaceInner {
@@ -110,8 +141,45 @@ impl MemorySpace {
                     Instrumentation::Eager => ScanCounters::new(),
                     Instrumentation::Deferred => ScanCounters::new_unsync(),
                 }),
+                backing,
+                block_map: Arc::new(BlockMap::new()),
             }),
         }
+    }
+
+    /// The block layout of a disk-backed space (`None` for in-memory
+    /// spaces) — which register occupies which block of the device.
+    #[must_use]
+    pub fn block_map(&self) -> Option<Arc<BlockMap>> {
+        self.inner
+            .backing
+            .as_ref()
+            .map(|_| Arc::clone(&self.inner.block_map))
+    }
+
+    /// Binds the next block for register `name` on the backing device, if
+    /// this space is disk-backed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space is disk-backed and `T` cannot be block-encoded:
+    /// silently keeping such a register in memory would corrupt the disk
+    /// accounting the SAN experiments measure.
+    fn bind_block<T: RegisterValue>(
+        &self,
+        name: &str,
+        owner: Option<ProcessId>,
+    ) -> Option<BlockSlot> {
+        let device = self.inner.backing.as_ref()?;
+        assert!(
+            T::BLOCK_ENCODABLE,
+            "register {name}: value type {} cannot live on a disk block",
+            std::any::type_name::<T>()
+        );
+        Some(BlockSlot {
+            device: Arc::clone(device),
+            addr: self.inner.block_map.bind(name, owner),
+        })
     }
 
     /// Number of processes `n` of the system this memory serves.
@@ -158,6 +226,7 @@ impl MemorySpace {
             self.inner.n_processes,
             self.inner.mode,
             initial,
+            self.bind_block::<T>(name, Some(owner)),
         );
         let reg = SwmrRegister::from_core(core);
         self.register(reg.meta());
@@ -187,6 +256,7 @@ impl MemorySpace {
             self.inner.n_processes,
             self.inner.mode,
             initial,
+            self.bind_block::<T>(name, None),
         );
         let reg = MwmrRegister::from_core(core);
         self.register(reg.meta());

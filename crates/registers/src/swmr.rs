@@ -3,18 +3,31 @@
 use std::fmt;
 use std::sync::Arc;
 
+use crate::block::BlockDevice;
 use crate::cell::{LockCell, SharedCell};
 use crate::error::OwnershipError;
 use crate::meta::{Counters, RegisterId, RegisterMeta};
 use crate::value::RegisterValue;
 use crate::ProcessId;
 
+/// Where a disk-backed register lives: which device, which block.
+pub(crate) struct BlockSlot {
+    pub(crate) device: Arc<dyn BlockDevice>,
+    pub(crate) addr: u64,
+}
+
 /// Shared core of a register handle: cell + metadata + counters.
 ///
 /// The name is interned (`Arc<str>`) so statistics and footprint snapshots
 /// share it instead of cloning a `String` per register per checkpoint.
+///
+/// When `block` is bound (disk-backed spaces) the device serves the
+/// authoritative value and the local cell is unused; everything else —
+/// ownership, attribution, footprint accounting — is identical, which is
+/// what makes SAN outcomes directly comparable to in-memory ones.
 pub(crate) struct RegCore<T, C> {
     cell: C,
+    block: Option<BlockSlot>,
     name: Arc<str>,
     id: RegisterId,
     owner: Option<ProcessId>,
@@ -30,11 +43,21 @@ impl<T: RegisterValue, C: SharedCell<T>> RegCore<T, C> {
         n_processes: usize,
         mode: crate::Instrumentation,
         initial: T,
+        block: Option<BlockSlot>,
     ) -> Arc<Self> {
         let counters = Counters::new(n_processes, mode);
         counters.note_initial(initial.footprint_bits());
+        if let Some(slot) = &block {
+            // Fresh blocks read as zero; only a non-zero initial value needs
+            // seeding, and seeding is harness-side (no latency, no counts).
+            let encoded = initial.to_block();
+            if encoded != 0 {
+                slot.device.poke_block(slot.addr, encoded);
+            }
+        }
         Arc::new(RegCore {
             cell: C::with_value(initial),
+            block,
             name: name.into(),
             id,
             owner,
@@ -45,24 +68,36 @@ impl<T: RegisterValue, C: SharedCell<T>> RegCore<T, C> {
 
     fn read(&self, reader: ProcessId) -> T {
         self.counters.note_read(reader);
-        self.cell.load()
+        match &self.block {
+            Some(slot) => T::from_block(slot.device.read_block(slot.addr)),
+            None => self.cell.load(),
+        }
     }
 
     fn write_unchecked(&self, writer: ProcessId, value: T) {
         let bits = value.footprint_bits();
-        self.cell.store(value);
+        match &self.block {
+            Some(slot) => slot.device.write_block(slot.addr, value.to_block()),
+            None => self.cell.store(value),
+        }
         self.counters.note_write(writer, bits);
     }
 
     fn peek(&self) -> T {
-        self.cell.load()
+        match &self.block {
+            Some(slot) => T::from_block(slot.device.peek_block(slot.addr)),
+            None => self.cell.load(),
+        }
     }
 
     /// Replaces the stored value without attributing the write to any
     /// process or updating high-water marks. Used by test harnesses to model
     /// arbitrary initial register contents (the paper's footnote 7).
     fn poke(&self, value: T) {
-        self.cell.store(value);
+        match &self.block {
+            Some(slot) => slot.device.poke_block(slot.addr, value.to_block()),
+            None => self.cell.store(value),
+        }
     }
 }
 
@@ -80,7 +115,7 @@ impl<T: RegisterValue, C: SharedCell<T>> RegisterMeta for RegCore<T, C> {
     }
 
     fn current_bits(&self) -> u64 {
-        self.cell.load().footprint_bits()
+        self.peek().footprint_bits()
     }
 }
 

@@ -28,6 +28,27 @@ pub trait RegisterValue: Clone + Send + Sync + fmt::Debug + 'static {
     ///
     /// Must be at least 1 for any value (even "empty" values occupy a slot).
     fn footprint_bits(&self) -> u64;
+
+    /// Whether values of this type fit in one 8-byte disk block, i.e.
+    /// whether registers of this type may live on a
+    /// [`BlockDevice`](crate::BlockDevice). Types that opt in must
+    /// implement [`to_block`](Self::to_block) / [`from_block`](Self::from_block)
+    /// as exact inverses.
+    const BLOCK_ENCODABLE: bool = false;
+
+    /// Encodes the value into one disk block.
+    ///
+    /// The default (for types with `BLOCK_ENCODABLE = false`) panics: a
+    /// disk-backed space refuses such registers at creation time, so this
+    /// is unreachable through the public API.
+    fn to_block(&self) -> u64 {
+        unimplemented!("register value {self:?} is not block-encodable")
+    }
+
+    /// Decodes a value from one disk block (inverse of [`to_block`](Self::to_block)).
+    fn from_block(_raw: u64) -> Self {
+        unimplemented!("register type is not block-encodable")
+    }
 }
 
 macro_rules! impl_uint_value {
@@ -36,6 +57,18 @@ macro_rules! impl_uint_value {
             fn footprint_bits(&self) -> u64 {
                 let bits = (<$t>::BITS - self.leading_zeros()) as u64;
                 bits.max(1)
+            }
+
+            const BLOCK_ENCODABLE: bool = <$t>::BITS <= 64;
+
+            fn to_block(&self) -> u64 {
+                *self as u64
+            }
+
+            fn from_block(raw: u64) -> Self {
+                // Only values previously encoded from Self are decoded, so
+                // the narrowing cast is lossless in practice.
+                raw as $t
             }
         }
     )*};
@@ -46,6 +79,16 @@ impl_uint_value!(u8, u16, u32, u64, usize);
 impl RegisterValue for bool {
     fn footprint_bits(&self) -> u64 {
         1
+    }
+
+    const BLOCK_ENCODABLE: bool = true;
+
+    fn to_block(&self) -> u64 {
+        u64::from(*self)
+    }
+
+    fn from_block(raw: u64) -> Self {
+        raw != 0
     }
 }
 
@@ -146,6 +189,18 @@ mod tests {
         assert_eq!(vec![0u8; 4].footprint_bits(), 4);
         assert_eq!(vec![255u8; 4].footprint_bits(), 32);
         assert_eq!(vec![1u64, 255].footprint_bits(), 9);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // the constants ARE the contract
+    fn block_encoding_roundtrips_for_disk_types() {
+        for v in [0u64, 1, 255, u64::MAX] {
+            assert_eq!(u64::from_block(v.to_block()), v);
+        }
+        assert!(bool::from_block(true.to_block()));
+        assert!(!bool::from_block(false.to_block()));
+        assert!(u64::BLOCK_ENCODABLE && bool::BLOCK_ENCODABLE);
+        assert!(!String::BLOCK_ENCODABLE && !<(u64, bool)>::BLOCK_ENCODABLE);
     }
 
     #[test]

@@ -50,6 +50,25 @@ impl Cluster {
         }
     }
 
+    /// Spawns the cluster over an existing memory space — the entry point
+    /// for alternative substrates, e.g. a disk-backed space from
+    /// [`SanDisk::memory_space`](crate::san::SanDisk::memory_space) whose
+    /// registers live on SAN blocks. The system size is the space's
+    /// process count.
+    #[must_use]
+    pub fn start_in(variant: OmegaVariant, space: &MemorySpace, config: NodeConfig) -> Self {
+        let nodes = variant
+            .build_processes_in(space)
+            .into_iter()
+            .map(|p| Node::spawn(p, config))
+            .collect();
+        Cluster {
+            space: space.clone(),
+            nodes,
+            variant,
+        }
+    }
+
     /// The variant this cluster runs.
     #[must_use]
     pub fn variant(&self) -> OmegaVariant {
@@ -264,6 +283,29 @@ mod tests {
         assert_ne!(second, first, "a crashed process cannot stay leader");
         assert!(cluster.correct().contains(second));
         cluster.shutdown();
+    }
+
+    #[test]
+    fn cluster_elects_over_a_disk_backed_space() {
+        use crate::san::{SanDisk, SanLatency};
+        let disk = SanDisk::new(SanLatency::instant(), 5);
+        let space = disk.memory_space(3);
+        let cluster = Cluster::start_in(OmegaVariant::Alg1, &space, fast());
+        let leader = cluster
+            .await_stable_leader(Duration::from_millis(40), Duration::from_secs(10))
+            .expect("the election works over disk blocks");
+        assert!(cluster.correct().contains(leader));
+        assert_eq!(space.block_map().unwrap().blocks(), 3 + 3 + 9);
+        cluster.shutdown();
+        // Every shared register access really went to the disk. Compared
+        // only after shutdown: with node threads joined, both counters are
+        // quiescent and must agree exactly.
+        let stats = space.stats();
+        assert_eq!(
+            disk.accesses(),
+            stats.total_reads() + stats.total_writes(),
+            "register and block accounting must agree"
+        );
     }
 
     #[test]

@@ -9,6 +9,8 @@ use omega_core::OmegaProcess;
 use omega_registers::sync::Mutex;
 use omega_registers::ProcessId;
 
+use crate::san::SanLatency;
+
 /// Real-time pacing of a node's two background tasks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NodeConfig {
@@ -35,11 +37,42 @@ impl NodeConfig {
     /// Pacing that mimics registers on a storage-area network: accesses are
     /// orders of magnitude slower than local memory, so both the heartbeat
     /// cadence and the timeout unit stretch accordingly.
+    ///
+    /// This is the **canonical** SAN pacing profile (the scenario crate's
+    /// `ThreadDriver::san_like` and `SanDriver` both derive from it), and
+    /// it is exactly [`san_paced`](Self::san_paced) at
+    /// [`SanLatency::commodity`] — the anchor the stretch is calibrated on.
     #[must_use]
     pub fn san_like() -> Self {
         NodeConfig {
             step_interval: Duration::from_millis(3),
             tick: Duration::from_millis(5),
+        }
+    }
+
+    /// Pacing stretched to a specific disk latency model: heartbeat
+    /// cadence and timeout unit scale linearly with the model's expected
+    /// access time, anchored so that [`SanLatency::commodity`] yields
+    /// exactly [`san_like`](Self::san_like), and floored at
+    /// [`NodeConfig::default`] so fast disks (or
+    /// [`SanLatency::instant`], the test profile) never pace *tighter*
+    /// than local memory.
+    ///
+    /// Stretching both knobs by the same factor is what keeps the
+    /// election correct on slow media: the algorithms' assumptions (AWB)
+    /// only relate step cadence to timeout units, never to absolute time.
+    #[must_use]
+    pub fn san_paced(latency: SanLatency) -> Self {
+        let anchor = SanLatency::commodity().expected();
+        let ratio = latency.expected().as_secs_f64() / anchor.as_secs_f64();
+        let stretched = NodeConfig::san_like();
+        let floor = NodeConfig::default();
+        NodeConfig {
+            step_interval: stretched
+                .step_interval
+                .mul_f64(ratio)
+                .max(floor.step_interval),
+            tick: stretched.tick.mul_f64(ratio).max(floor.tick),
         }
     }
 }
@@ -221,6 +254,36 @@ mod tests {
         let process = Box::new(Alg1Process::new(mem, ProcessId::new(0)));
         let node = Node::spawn(process, NodeConfig::default());
         (space, node)
+    }
+
+    #[test]
+    fn san_pacing_factors_are_pinned() {
+        // The canonical profile: 3 ms heartbeat, 5 ms timeout unit. The
+        // scenario crate re-exports this via `ThreadDriver::san_like`;
+        // there must be exactly one definition of these numbers.
+        let like = NodeConfig::san_like();
+        assert_eq!(like.step_interval, Duration::from_millis(3));
+        assert_eq!(like.tick, Duration::from_millis(5));
+
+        // The stretch is anchored at the commodity profile...
+        assert_eq!(NodeConfig::san_paced(SanLatency::commodity()), like);
+        // ...scales linearly with expected access time...
+        let double = SanLatency {
+            base: Duration::from_millis(1),
+            jitter: Duration::from_millis(1),
+        };
+        assert_eq!(
+            NodeConfig::san_paced(double),
+            NodeConfig {
+                step_interval: Duration::from_millis(6),
+                tick: Duration::from_millis(10),
+            }
+        );
+        // ...and floors at the default pacing for instant disks.
+        assert_eq!(
+            NodeConfig::san_paced(SanLatency::instant()),
+            NodeConfig::default()
+        );
     }
 
     #[test]

@@ -5,11 +5,12 @@ use crate::{Outcome, Scenario};
 /// A backend that can execute a [`Scenario`] and report a comparable
 /// [`Outcome`].
 ///
-/// Two implementations ship today — [`SimDriver`](crate::SimDriver)
-/// (deterministic virtual time, adversarial schedules) and
-/// [`ThreadDriver`](crate::ThreadDriver) (OS threads, wall-clock) — and the
-/// trait is the seam future backends (a SAN-disk driver, an async/tokio
-/// driver) plug into.
+/// Three implementations ship today — [`SimDriver`](crate::SimDriver)
+/// (deterministic virtual time, adversarial schedules),
+/// [`ThreadDriver`](crate::ThreadDriver) (OS threads, wall-clock) and
+/// [`SanDriver`](crate::SanDriver) (OS threads over disk-block registers
+/// with injected SAN latency) — and the trait is the seam future backends
+/// (an async/tokio driver) plug into.
 pub trait Driver {
     /// Short backend name recorded in every [`Outcome`].
     fn name(&self) -> &'static str;

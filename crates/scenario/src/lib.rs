@@ -14,15 +14,21 @@
 //! * [`ThreadDriver`] — operating-system threads and wall-clock time, with
 //!   scenario ticks mapped to real durations and the crash script replayed
 //!   on the wall clock.
+//! * [`SanDriver`] — the paper's motivating deployment: the same election
+//!   processes on OS threads, but every 1WnR register is a block of a
+//!   simulated storage-area-network disk (one block per register, with
+//!   injected access latency and block-level footprint accounting in
+//!   [`Outcome::san`]).
 //!
-//! Both return the same [`Outcome`] type, measured through the same
+//! All return the same [`Outcome`] type, measured through the same
 //! instrumented registers and expressed in the same tick units, so results
 //! are directly comparable across backends. The [`registry`] ships a
 //! curated suite of named scenarios (fault-free, failover chains, crash
 //! storms, σ stress, AWB edge cases, scaling probes) shared by the tests
 //! and the benchmark binaries; parameterized families
-//! ([`registry::sigma_sweep`], [`registry::n_scaling`]) are built through
-//! the [`registry::family`] helper.
+//! ([`registry::sigma_sweep`], [`registry::n_scaling`],
+//! [`registry::san_latency_sweep`]) are built through the
+//! [`registry::family`] helper.
 //!
 //! # The outcome-diff regression gate
 //!
@@ -70,12 +76,15 @@ pub mod registry;
 
 mod driver;
 mod outcome;
+mod san_driver;
 mod sim_driver;
 mod spec;
 mod thread_driver;
+mod wall;
 
 pub use driver::Driver;
-pub use outcome::{Outcome, TailActivity};
+pub use outcome::{Outcome, SanFootprint, TailActivity};
+pub use san_driver::SanDriver;
 pub use sim_driver::SimDriver;
 pub use spec::{AdversarySpec, AwbSpec, CrashSpec, Scenario, TimerSpec};
 pub use thread_driver::ThreadDriver;

@@ -20,17 +20,33 @@ pub struct TailActivity {
     pub span_ticks: u64,
 }
 
+/// Block-level footprint of a run on a disk-backed (SAN) substrate: the
+/// accounting the paper's "registers as disk blocks" deployment adds on
+/// top of the ordinary register statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SanFootprint {
+    /// Blocks the layout mapper allocated (one per register).
+    pub blocks_mapped: u64,
+    /// Distinct blocks actually read or written during the run.
+    pub blocks_touched: u64,
+    /// Total block accesses served by the disk (reads + writes).
+    pub block_accesses: u64,
+    /// Total simulated disk service time, in milliseconds.
+    pub service_time_ms: f64,
+}
+
 /// What one [`Driver`](crate::Driver) observed running one
 /// [`Scenario`](crate::Scenario).
 ///
-/// Both drivers measure through the same instrumented
+/// All drivers measure through the same instrumented
 /// [`MemorySpace`](omega_registers::MemorySpace) and express time in the
 /// scenario's abstract ticks (virtual ticks in the simulator; wall-clock
-/// divided by the driver's tick duration on threads), so outcomes from the
-/// two backends are directly comparable.
+/// divided by the driver's tick duration on threads and the SAN), so
+/// outcomes from every backend are directly comparable.
 #[derive(Debug, Clone)]
 pub struct Outcome {
-    /// Which driver produced this outcome (`"sim"` / `"threads"`).
+    /// Which driver produced this outcome (`"sim"` / `"threads"` /
+    /// `"san"`).
     pub backend: &'static str,
     /// Name of the scenario that ran.
     pub scenario: String,
@@ -80,6 +96,9 @@ pub struct Outcome {
     pub grown_in_tail: Vec<String>,
     /// Activity over the trailing window, when the backend captured one.
     pub tail: Option<TailActivity>,
+    /// Block-level disk footprint, when the backend ran over a SAN
+    /// (`None` for in-memory backends).
+    pub san: Option<SanFootprint>,
 }
 
 impl Outcome {
@@ -197,6 +216,13 @@ impl Outcome {
                 writers.join(","),
                 tail.written_registers,
                 tail.writes_per_1k
+            );
+        }
+        if let Some(san) = &self.san {
+            let _ = writeln!(
+                out,
+                "san        : {}/{} blocks touched, {} accesses, {:.1} ms service time",
+                san.blocks_touched, san.blocks_mapped, san.block_accesses, san.service_time_ms
             );
         }
         if !self.grown_in_tail.is_empty() {

@@ -8,6 +8,7 @@
 
 use omega_core::OmegaVariant;
 use omega_registers::ProcessId;
+use omega_runtime::san::SanLatency;
 
 use crate::{AdversarySpec, Scenario, TimerSpec};
 
@@ -27,6 +28,7 @@ pub fn all() -> Vec<Scenario> {
         stepclock(),
     ];
     suite.extend(n_scaling(&[32, 64, 128, 256]));
+    suite.extend(san_latency_sweep(&[(100, 100), (500, 500), (2_000, 1_000)]));
     suite.push(no_awb_staller());
     suite
 }
@@ -157,6 +159,47 @@ pub fn n_scaling(sizes: &[usize]) -> Vec<Scenario> {
     })
 }
 
+/// One `(base, jitter)` point of the SAN latency sweep, displayed as
+/// `<base>x<jitter>` (µs) so family members get stable registry names.
+#[derive(Clone, Copy)]
+struct SanPoint {
+    base_us: u64,
+    jitter_us: u64,
+}
+
+impl std::fmt::Display for SanPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.base_us, self.jitter_us)
+    }
+}
+
+/// The SAN latency sweep: the standard fault-free workload with the disk's
+/// `(base, jitter)` access latency pinned per member (µs pairs, e.g.
+/// `san-latency/500x500` is the commodity-iSCSI point). On the SAN driver
+/// each member pays its own simulated service time per register access and
+/// stretches its pacing to match; other backends run the member as a plain
+/// fault-free scenario — the latency pin is SAN-only, exactly as the
+/// adversary spec is simulator-only.
+///
+/// Horizons are short: elections on a slow disk are latency-dominated, and
+/// the family exists to chart stabilization time and block traffic against
+/// access latency, not to soak.
+#[must_use]
+pub fn san_latency_sweep(points_us: &[(u64, u64)]) -> Vec<Scenario> {
+    let points: Vec<SanPoint> = points_us
+        .iter()
+        .map(|&(base_us, jitter_us)| SanPoint { base_us, jitter_us })
+        .collect();
+    family("san-latency/", &points, |p| {
+        Scenario::fault_free(OmegaVariant::Alg1, 3)
+            .san_latency(SanLatency {
+                base: std::time::Duration::from_micros(p.base_us),
+                jitter: std::time::Duration::from_micros(p.jitter_us),
+            })
+            .horizon(20_000)
+    })
+}
+
 /// The necessity experiment (E13): no AWB envelope, a leader-stalling
 /// schedule, and AWB₂-violating timers — the election must *not* settle.
 #[must_use]
@@ -261,6 +304,20 @@ mod tests {
         assert_eq!(members[0].name, "probe/1");
         assert_eq!(members[1].name, "probe/9");
         assert_eq!(members[1].seed, 9);
+    }
+
+    #[test]
+    fn san_latency_sweep_pins_latency_per_member() {
+        let sweep = san_latency_sweep(&[(100, 100), (2_000, 1_000)]);
+        assert_eq!(sweep.len(), 2);
+        assert_eq!(sweep[0].name, "san-latency/100x100");
+        assert_eq!(sweep[1].name, "san-latency/2000x1000");
+        let pinned = sweep[1].san_latency.expect("sweep members pin latency");
+        assert_eq!(pinned.base, std::time::Duration::from_micros(2_000));
+        assert_eq!(pinned.jitter, std::time::Duration::from_micros(1_000));
+        assert!(sweep.iter().all(|s| s.expect_stabilization));
+        // And the commodity point is in the default registry.
+        assert!(named("san-latency/500x500").is_some());
     }
 
     #[test]

@@ -97,6 +97,7 @@ fn outcome_of(scenario: &Scenario, report: &RunReport, space: &MemorySpace) -> O
         hwm_bits: space.footprint().total_hwm_bits(),
         grown_in_tail,
         tail,
+        san: None,
     }
 }
 

@@ -2,6 +2,7 @@
 
 use omega_core::OmegaVariant;
 use omega_registers::ProcessId;
+use omega_runtime::san::SanLatency;
 use omega_sim::adversary::{
     Adversary, AwbEnvelope, Bursty, GrowingBursts, LeaderStaller, PartitionedPhases, RoundRobin,
     SeededRandom, Synchronous,
@@ -199,6 +200,10 @@ pub struct Scenario {
     /// promise stabilization for it. Registry scenarios set this so tests
     /// can assert both directions.
     pub expect_stabilization: bool,
+    /// Disk latency model pinned by the scenario, for SAN-backed drivers
+    /// (the `san-latency/…` sweep family sets this; other backends ignore
+    /// it, exactly as the thread backend ignores the adversary spec).
+    pub san_latency: Option<SanLatency>,
 }
 
 impl Scenario {
@@ -237,6 +242,7 @@ impl Scenario {
             stats_checkpoints: 16,
             seed: 42,
             expect_stabilization: true,
+            san_latency: None,
         }
     }
 
@@ -327,6 +333,15 @@ impl Scenario {
     #[must_use]
     pub fn expect_stabilization(mut self, expect: bool) -> Self {
         self.expect_stabilization = expect;
+        self
+    }
+
+    /// Pins the disk latency model SAN-backed drivers must realize this
+    /// scenario under (they also re-derive their pacing from it). Ignored
+    /// by the simulator and the plain thread backend.
+    #[must_use]
+    pub fn san_latency(mut self, latency: SanLatency) -> Self {
+        self.san_latency = Some(latency);
         self
     }
 

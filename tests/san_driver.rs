@@ -1,0 +1,167 @@
+//! Three-way backend parity and SAN-substrate coverage.
+//!
+//! The SAN driver is the paper's motivating deployment (Section 1:
+//! registers as network-attached disk blocks) promoted to a first-class
+//! backend. These tests pin its contract from three sides:
+//!
+//! * **Outcome parity** — every n ≤ 16 registry scenario that promises
+//!   stabilization must stabilize on the simulator, on plain threads, and
+//!   on the SAN, with identical experiment metadata, a correct elected
+//!   leader, and the crash script honored identically. (The elected
+//!   *identity* is only deterministic on the simulator: on wall-clock
+//!   backends the OS schedule decides which correct process ends up least
+//!   suspected — exactly the freedom the Ω contract grants.)
+//! * **Block accounting** — one block per register, accesses mirrored
+//!   between the register instrumentation and the disk.
+//! * **Disk registers** — the hand-laid `DiskNatRegister` /
+//!   `DiskFlagRegister` path: ownership enforcement, zero-on-fresh-block
+//!   reads, and the cross-machine read path.
+
+use omega_shm::registers::ProcessId;
+use omega_shm::runtime::san::{DiskFlagRegister, DiskNatRegister, SanDisk, SanLatency};
+use omega_shm::scenario::{
+    registry, Driver, Outcome, SanDriver, Scenario, SimDriver, ThreadDriver,
+};
+
+/// The registry scenarios wall-clock backends can realize: stabilization
+/// promised (no literal adversary needed) at thread-friendly system sizes.
+fn eligible(scenario: &Scenario) -> bool {
+    scenario.expect_stabilization && scenario.n <= 16
+}
+
+fn assert_three_way(scenario: &Scenario, sim: &Outcome, threads: &Outcome, san: &Outcome) {
+    assert_eq!(sim.backend, "sim");
+    assert_eq!(threads.backend, "threads");
+    assert_eq!(san.backend, "san");
+    for outcome in [sim, threads, san] {
+        // Identical experiment metadata: all three realized the same spec.
+        assert_eq!(outcome.scenario, scenario.name);
+        assert_eq!(outcome.variant, scenario.variant);
+        assert_eq!(outcome.n, scenario.n);
+        assert_eq!(outcome.horizon_ticks, scenario.horizon);
+        assert_eq!(
+            outcome.register_count, sim.register_count,
+            "{} [{}]: register layout must not depend on the backend",
+            scenario.name, outcome.backend
+        );
+        // The stabilization outcome matches: elected, correct, not crashed.
+        outcome.assert_election();
+        assert_eq!(
+            outcome.crashed.len(),
+            sim.crashed.len(),
+            "{} [{}]: crash script honored identically",
+            scenario.name,
+            outcome.backend
+        );
+        assert!(
+            outcome.steps.iter().all(|&s| s > 0),
+            "{} [{}]: every process stepped",
+            scenario.name,
+            outcome.backend
+        );
+    }
+    // Only the SAN backend reports a block footprint, and its layout is
+    // one block per register.
+    assert!(sim.san.is_none() && threads.san.is_none());
+    let footprint = san.san.expect("SAN backend reports block footprint");
+    assert_eq!(footprint.blocks_mapped, san.register_count as u64);
+    assert!(footprint.blocks_touched <= footprint.blocks_mapped);
+    assert!(
+        footprint.block_accesses >= san.total_reads() + san.total_writes(),
+        "{}: disk cannot serve fewer accesses than the registers counted",
+        scenario.name
+    );
+}
+
+fn run_three_way(filter: impl Fn(&Scenario) -> bool) {
+    let san_driver = SanDriver::instant();
+    let thread_driver = ThreadDriver::default();
+    for scenario in registry::all().into_iter().filter(eligible) {
+        if !filter(&scenario) {
+            continue;
+        }
+        let sim = SimDriver.run(&scenario);
+        let threads = thread_driver.run(&scenario);
+        let san = san_driver.run(&scenario);
+        assert_three_way(&scenario, &sim, &threads, &san);
+    }
+}
+
+#[test]
+fn three_way_parity_on_fault_free_registry_scenarios() {
+    run_three_way(|s| s.crashes.is_empty() && s.san_latency.is_none());
+}
+
+#[test]
+fn three_way_parity_on_crash_script_registry_scenarios() {
+    run_three_way(|s| !s.crashes.is_empty());
+}
+
+#[test]
+fn three_way_parity_on_the_san_latency_sweep() {
+    // The sweep members pin a real (nonzero) disk latency: the SAN driver
+    // pays simulated service time per access and still elects.
+    let mut saw_service_time = false;
+    for scenario in registry::all()
+        .into_iter()
+        .filter(|s| s.san_latency.is_some() && s.crashes.is_empty())
+    {
+        let sim = SimDriver.run(&scenario);
+        let threads = ThreadDriver::default().run(&scenario);
+        let san = SanDriver::instant().run(&scenario);
+        assert_three_way(&scenario, &sim, &threads, &san);
+        if san.san.unwrap().service_time_ms > 0.0 {
+            saw_service_time = true;
+        }
+    }
+    assert!(
+        saw_service_time,
+        "pinned latency must surface as simulated service time"
+    );
+}
+
+#[test]
+fn disk_registers_enforce_ownership_and_zero_fresh_blocks() {
+    let disk = SanDisk::new(SanLatency::instant(), 9);
+    let owner = ProcessId::new(1);
+    let other = ProcessId::new(0);
+
+    // Zero-on-fresh-block: unwritten registers read as 0 / false from any
+    // machine.
+    let nat = DiskNatRegister::new(std::sync::Arc::clone(&disk), 0, owner);
+    let flag = DiskFlagRegister::new(std::sync::Arc::clone(&disk), 1, owner);
+    assert_eq!(nat.read(owner), 0);
+    assert_eq!(nat.read(other), 0);
+    assert!(!flag.read(other));
+
+    // Cross-machine read path: a non-owner observes the owner's write
+    // through the shared disk.
+    nat.write(owner, 77);
+    flag.write(owner, true);
+    assert_eq!(nat.read(other), 77, "non-owner reads the owner's write");
+    assert!(flag.read(other));
+    assert_eq!(nat.owner(), owner);
+
+    // Ownership enforcement: a foreign write is a model violation.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        nat.write(other, 1);
+    }));
+    assert!(result.is_err(), "foreign writer must be rejected");
+    assert_eq!(nat.read(other), 77, "rejected write must not land");
+    let flag_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        flag.write(other, false);
+    }));
+    assert!(flag_result.is_err());
+    assert!(flag.read(owner), "rejected flag write must not land");
+}
+
+#[test]
+fn san_module_doc_flow_runs_end_to_end() {
+    // The executable version of the `omega_runtime::san` module-doc
+    // example (which is `ignore`d there because the scenario crate sits
+    // above the runtime in the workspace).
+    let outcome = SanDriver::instant().run(&registry::fault_free());
+    outcome.assert_election();
+    let san = outcome.san.expect("SAN backends report block footprints");
+    assert_eq!(san.blocks_mapped, outcome.register_count as u64);
+}
