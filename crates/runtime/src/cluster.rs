@@ -5,7 +5,8 @@ use std::time::{Duration, Instant};
 use omega_core::OmegaVariant;
 use omega_registers::{MemorySpace, ProcessId, ProcessSet};
 
-use crate::node::{Node, NodeConfig};
+use crate::coop::{CoopConfig, CoopRuntime};
+use crate::node::{Node, NodeConfig, NodeCore};
 
 /// An `n`-process shared-memory system running one of the Ω variants on
 /// operating-system threads.
@@ -28,6 +29,9 @@ pub struct Cluster {
     space: MemorySpace,
     nodes: Vec<Node>,
     variant: OmegaVariant,
+    /// Present when the nodes are hosted on the cooperative scheduler
+    /// instead of dedicated threads; shut down after the nodes halt.
+    coop: Option<CoopRuntime>,
 }
 
 impl Cluster {
@@ -47,6 +51,50 @@ impl Cluster {
             space,
             nodes,
             variant,
+            coop: None,
+        }
+    }
+
+    /// Builds the shared memory for `variant` and hosts `n` nodes on the
+    /// cooperative scheduler ([`coop`](crate::coop)): all `2n` task loops
+    /// multiplexed over `config.workers` threads instead of `2n` dedicated
+    /// ones. Everything else — queries, crash injection, statistics,
+    /// [`await_stable_leader`](Self::await_stable_leader) — behaves
+    /// identically, which is what makes thread-vs-coop outcomes
+    /// comparable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `config.workers == 0`.
+    #[must_use]
+    pub fn start_coop(variant: OmegaVariant, n: usize, config: CoopConfig) -> Self {
+        let (space, processes) = variant.build_processes(n);
+        Self::host_coop(variant, space, processes, config)
+    }
+
+    /// [`start_coop`](Self::start_coop) over an existing memory space —
+    /// the cooperative counterpart of [`start_in`](Self::start_in), e.g.
+    /// for disk-backed registers.
+    #[must_use]
+    pub fn start_coop_in(variant: OmegaVariant, space: &MemorySpace, config: CoopConfig) -> Self {
+        let processes = variant.build_processes_in(space);
+        Self::host_coop(variant, space.clone(), processes, config)
+    }
+
+    fn host_coop(
+        variant: OmegaVariant,
+        space: MemorySpace,
+        processes: Vec<Box<dyn omega_core::OmegaProcess>>,
+        config: CoopConfig,
+    ) -> Self {
+        let cores: Vec<_> = processes.into_iter().map(NodeCore::new).collect();
+        let runtime = CoopRuntime::start(&cores, config);
+        let nodes = cores.into_iter().map(Node::hosted).collect();
+        Cluster {
+            space,
+            nodes,
+            variant,
+            coop: Some(runtime),
         }
     }
 
@@ -66,6 +114,7 @@ impl Cluster {
             space: space.clone(),
             nodes,
             variant,
+            coop: None,
         }
     }
 
@@ -218,10 +267,14 @@ impl Cluster {
         None
     }
 
-    /// Stops every node and joins their threads.
+    /// Stops every node and joins their threads (and the cooperative
+    /// workers, when the cluster runs on the coop substrate).
     pub fn shutdown(mut self) {
         for node in &mut self.nodes {
             node.shutdown();
+        }
+        if let Some(mut runtime) = self.coop.take() {
+            runtime.shutdown();
         }
     }
 }
@@ -305,6 +358,71 @@ mod tests {
             disk.accesses(),
             stats.total_reads() + stats.total_writes(),
             "register and block accounting must agree"
+        );
+    }
+
+    #[test]
+    fn cluster_elects_a_leader_on_the_coop_substrate() {
+        let cluster = Cluster::start_coop(OmegaVariant::Alg1, 4, CoopConfig::with_node(fast()));
+        let leader = cluster
+            .await_stable_leader(Duration::from_millis(40), Duration::from_secs(10))
+            .expect("the cooperative scheduler must elect a leader");
+        assert!(cluster.correct().contains(leader));
+        assert!(cluster.events_total() > 0, "tasks retired events");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn coop_failover_after_leader_crash() {
+        let cluster = Cluster::start_coop(OmegaVariant::Alg1, 3, CoopConfig::with_node(fast()));
+        let first = cluster
+            .await_stable_leader(Duration::from_millis(40), Duration::from_secs(10))
+            .expect("initial election");
+        let crashed = cluster.crash_current_leader().expect("has a leader");
+        assert_eq!(crashed, first);
+        let second = cluster
+            .await_stable_leader(Duration::from_millis(40), Duration::from_secs(10))
+            .expect("re-election after crash on coop");
+        assert_ne!(second, first, "a crashed process cannot stay leader");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn coop_scales_past_the_dedicated_thread_limit() {
+        // n = 24 would mean 48 OS threads on the thread substrate — the
+        // size class the wall-clock backends used to refuse. On coop it is
+        // one worker thread, and the election still settles.
+        let n = 24;
+        let cluster = Cluster::start_coop(OmegaVariant::Alg1, n, CoopConfig::with_node(fast()));
+        let leader = cluster
+            .await_stable_leader(Duration::from_millis(60), Duration::from_secs(30))
+            .expect("coop elects beyond the thread wall");
+        assert!(cluster.correct().contains(leader));
+        assert_eq!(cluster.n(), n);
+        assert!(
+            cluster.steps().iter().all(|&s| s > 0),
+            "every multiplexed node stepped"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn coop_cluster_elects_over_a_disk_backed_space() {
+        use crate::san::{SanDisk, SanLatency};
+        let disk = SanDisk::new(SanLatency::instant(), 5);
+        let space = disk.memory_space(3);
+        let cluster =
+            Cluster::start_coop_in(OmegaVariant::Alg1, &space, CoopConfig::with_node(fast()));
+        let leader = cluster
+            .await_stable_leader(Duration::from_millis(40), Duration::from_secs(10))
+            .expect("coop over disk blocks elects");
+        assert!(cluster.correct().contains(leader));
+        cluster.shutdown();
+        let stats = space.stats();
+        assert_eq!(
+            disk.accesses(),
+            stats.total_reads() + stats.total_writes(),
+            "register and block accounting must agree on coop too"
         );
     }
 

@@ -1,0 +1,521 @@
+//! Cooperative task runtime: every node loop as a polled task on a
+//! deadline wheel.
+//!
+//! The dedicated-thread host ([`Node::spawn`](crate::Node::spawn)) costs
+//! two OS threads per process — at `n = 64` that is 128 kernel threads
+//! fighting over the scheduler, which is why the wall-clock backends
+//! historically refused every `n > 16` scenario. This module keeps the
+//! *task bodies* byte-identical (the same `poll_step`/`poll_scan` entry
+//! points on the node core) but multiplexes all `2n` of them onto one
+//! worker thread (or a small pool): each task is re-armed with a wall-clock
+//! deadline after every poll, and a timer wheel — the simulator's generic
+//! [`TimerWheel`], the engine behind its `EventQueue`, here keyed by
+//! microseconds instead of virtual ticks — hands the worker the next due
+//! task in O(1).
+//!
+//! Fairness, the property the AWB assumption actually needs, comes from the
+//! pop order: deadlines are served in exact `(deadline, arming order)`
+//! sequence, so under overload (deadlines in the past) the runtime degrades
+//! into round-robin over the overdue tasks instead of starving anyone —
+//! a *different* fairness regime from the OS scheduler's, which is exactly
+//! what makes coop outcomes worth comparing against the thread backend.
+//!
+//! Use [`Cluster::start_coop`](crate::Cluster::start_coop) to run an
+//! election on this substrate; the scenario crate's `CoopDriver` wires it
+//! into the declarative scenario suite.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use omega_sim::wheel::TimerWheel;
+
+use crate::node::{NodeConfig, NodeCore};
+
+/// Wheel granularity: deadlines are quantized up to 64 µs slots. Coarser
+/// than the simulator's 1-tick slots because wall-clock deadlines are
+/// real-valued; 64 µs is well under every pacing profile's step interval,
+/// so quantization never reorders two meaningfully different deadlines.
+const SLOT_US: u64 = 64;
+
+/// A timer wheel of wall-clock deadlines: the cooperative runtime's ready
+/// queue.
+///
+/// This is the runtime's instantiation of the simulator's generic
+/// [`TimerWheel`] (one shared implementation of the bucket wheel, the
+/// far/overdue heap fallback, and the exact `(key, seq)` pop order), keyed
+/// by quantized microseconds-since-start and carrying a task id instead of
+/// a simulation event. Pop order is **exactly** the order a reference
+/// `(key, seq)` heap would produce; a seeded property test in this module
+/// pins that equivalence on this instantiation too.
+///
+/// # Examples
+///
+/// ```
+/// use omega_runtime::coop::DeadlineQueue;
+///
+/// let mut q = DeadlineQueue::new();
+/// q.push(50, 0); // task 0 due at key 50
+/// q.push(20, 1); // task 1 due earlier
+/// assert_eq!(q.pop(), Some((20, 1)));
+/// assert_eq!(q.pop(), Some((50, 0)));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Default)]
+pub struct DeadlineQueue {
+    wheel: TimerWheel<usize>,
+}
+
+impl DeadlineQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        DeadlineQueue {
+            wheel: TimerWheel::new(),
+        }
+    }
+
+    /// Schedules `task` to wake at `key`. Entries pushed earlier sort
+    /// first among equal keys.
+    pub fn push(&mut self, key: u64, task: usize) {
+        self.wheel.push(key, task);
+    }
+
+    /// Removes and returns the earliest `(key, task)`.
+    pub fn pop(&mut self) -> Option<(u64, usize)> {
+        self.wheel.pop().map(|(key, _seq, task)| (key, task))
+    }
+
+    /// The key of the earliest pending wakeup.
+    #[must_use]
+    pub fn peek_key(&self) -> Option<u64> {
+        self.wheel.peek_key()
+    }
+
+    /// Number of pending wakeups.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.wheel.len()
+    }
+
+    /// Whether no wakeups are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.wheel.is_empty()
+    }
+}
+
+/// Which of the paper's two loops a task realizes.
+#[derive(Debug, Clone, Copy)]
+enum TaskKind {
+    /// The `T2` heartbeat loop: poll, re-arm `step_interval` later.
+    Step,
+    /// The `T3` timer loop: poll at the armed deadline, re-arm `timeout ×
+    /// tick` later.
+    Timer,
+}
+
+/// One multiplexed node loop.
+struct Task {
+    core: Arc<NodeCore>,
+    kind: TaskKind,
+}
+
+impl Task {
+    /// Executes one poll; returns the next wall-clock deadline, or `None`
+    /// when the node has halted and the task retires.
+    fn run(&self, config: &NodeConfig) -> Option<Instant> {
+        match self.kind {
+            TaskKind::Step => self
+                .core
+                .poll_step()
+                .then(|| Instant::now() + config.step_interval),
+            TaskKind::Timer => self
+                .core
+                .poll_scan()
+                .map(|timeout| Instant::now() + config.timer_span(timeout)),
+        }
+    }
+}
+
+/// Pacing and sizing of a cooperative runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoopConfig {
+    /// Per-node pacing — the same knobs the dedicated-thread host takes,
+    /// honored with the same meaning.
+    pub node: NodeConfig,
+    /// Worker threads multiplexing the task set. One worker (the default)
+    /// makes the whole cluster single-threaded and maximally fair; a small
+    /// pool adds parallelism without returning to two-threads-per-node.
+    pub workers: usize,
+}
+
+impl Default for CoopConfig {
+    fn default() -> Self {
+        CoopConfig {
+            node: NodeConfig::default(),
+            workers: 1,
+        }
+    }
+}
+
+impl CoopConfig {
+    /// A single-worker runtime at the given node pacing.
+    #[must_use]
+    pub fn with_node(node: NodeConfig) -> Self {
+        CoopConfig { node, workers: 1 }
+    }
+}
+
+struct SchedState {
+    queue: DeadlineQueue,
+    /// Task slab; `None` while a task executes on a worker or after it
+    /// retired.
+    tasks: Vec<Option<Task>>,
+    /// Tasks not yet retired (executing tasks count as live).
+    live: usize,
+}
+
+struct Inner {
+    /// Origin of the deadline keys: key `k` means `start + k × SLOT_US µs`.
+    start: Instant,
+    config: NodeConfig,
+    state: Mutex<SchedState>,
+    cv: Condvar,
+    stop: AtomicBool,
+}
+
+/// Quantizes a wall-clock deadline to a wheel key (slots of [`SLOT_US`]
+/// past `start`), rounding up so a wakeup never fires before its deadline.
+fn key_for(start: Instant, deadline: Instant) -> u64 {
+    let micros = u64::try_from(
+        deadline
+            .saturating_duration_since(start)
+            .as_micros()
+            .min(u128::from(u64::MAX)),
+    )
+    .expect("clamped to u64::MAX");
+    micros.div_ceil(SLOT_US)
+}
+
+impl Inner {
+    fn lock(&self) -> MutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn key_of(&self, deadline: Instant) -> u64 {
+        key_for(self.start, deadline)
+    }
+
+    /// The wall-clock instant a key stands for; `None` when it lies beyond
+    /// what `Instant` arithmetic can represent (astronomic timeouts like
+    /// the step-clock variant's `NEVER_TIMEOUT`).
+    fn wake_time(&self, key: u64) -> Option<Instant> {
+        let micros = key.checked_mul(SLOT_US)?;
+        self.start.checked_add(Duration::from_micros(micros))
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    let mut state = inner.lock();
+    loop {
+        if inner.stop.load(Ordering::Acquire) {
+            return;
+        }
+        if state.live == 0 {
+            // Every task retired (all nodes crashed or stopped): wake any
+            // sibling still waiting so the pool drains.
+            inner.cv.notify_all();
+            return;
+        }
+        let Some(key) = state.queue.peek_key() else {
+            // Live tasks are all mid-execution on other workers; their
+            // re-arm (or retirement) will notify.
+            state = inner.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+            continue;
+        };
+        match inner.wake_time(key) {
+            Some(due) => {
+                let now = Instant::now();
+                if let Some(wait) = due.checked_duration_since(now).filter(|w| !w.is_zero()) {
+                    // Not due yet: sleep, but stay notifiable (shutdown,
+                    // or a pool sibling re-arming an earlier deadline).
+                    let (guard, _) = inner
+                        .cv
+                        .wait_timeout(state, wait)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    state = guard;
+                    continue;
+                }
+            }
+            None => {
+                // The front deadline is unrepresentably far: park until
+                // something changes. (Periodically re-check as a backstop.)
+                let (guard, _) = inner
+                    .cv
+                    .wait_timeout(state, Duration::from_secs(3_600))
+                    .unwrap_or_else(PoisonError::into_inner);
+                state = guard;
+                continue;
+            }
+        }
+        let (_key, id) = state.queue.pop().expect("peeked a key");
+        let Some(task) = state.tasks[id].take() else {
+            // Stale wakeup for a retired slot; nothing to run.
+            continue;
+        };
+        // Poll outside the scheduler lock: the task body takes the node's
+        // process lock and touches shared registers, and pool siblings
+        // must keep dispatching meanwhile.
+        drop(state);
+        let rearm = task.run(&inner.config);
+        state = inner.lock();
+        match rearm {
+            Some(deadline) => {
+                let key = inner.key_of(deadline);
+                state.tasks[id] = Some(task);
+                state.queue.push(key, id);
+                // A sibling may be sleeping toward a later deadline.
+                inner.cv.notify_one();
+            }
+            None => {
+                state.live -= 1;
+                if state.live == 0 {
+                    inner.cv.notify_all();
+                }
+            }
+        }
+    }
+}
+
+/// A small pool of worker threads cooperatively scheduling all node loops
+/// of a cluster over a [`DeadlineQueue`].
+///
+/// Built by [`Cluster::start_coop`](crate::Cluster::start_coop); owns
+/// nothing algorithm-visible — crash injection, leader queries, and
+/// statistics all go through the same [`Node`](crate::Node)/cluster
+/// surface as the dedicated-thread substrate.
+pub struct CoopRuntime {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl CoopRuntime {
+    /// Starts the runtime hosting one step task and one timer task per
+    /// core. The timer tasks arm exactly like the thread host: first
+    /// deadline `initial_timeout × tick` from now; step tasks are due
+    /// immediately.
+    pub(crate) fn start(cores: &[Arc<NodeCore>], config: CoopConfig) -> Self {
+        assert!(config.workers > 0, "a runtime needs at least one worker");
+        let start = Instant::now();
+        let mut state = SchedState {
+            queue: DeadlineQueue::new(),
+            tasks: Vec::with_capacity(cores.len() * 2),
+            live: 0,
+        };
+        for core in cores {
+            let step_id = state.tasks.len();
+            state.tasks.push(Some(Task {
+                core: Arc::clone(core),
+                kind: TaskKind::Step,
+            }));
+            state.queue.push(0, step_id);
+
+            let timer_id = state.tasks.len();
+            let first = Instant::now() + config.node.timer_span(core.initial_timeout());
+            state.tasks.push(Some(Task {
+                core: Arc::clone(core),
+                kind: TaskKind::Timer,
+            }));
+            state.queue.push(key_for(start, first), timer_id);
+        }
+        state.live = state.tasks.len();
+
+        let inner = Arc::new(Inner {
+            start,
+            config: config.node,
+            state: Mutex::new(state),
+            cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("coop-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn coop worker")
+            })
+            .collect();
+        CoopRuntime { inner, workers }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Stops the workers and joins them. Node state is untouched — callers
+    /// halt the nodes first, exactly as with dedicated threads.
+    pub fn shutdown(&mut self) {
+        self.inner.stop.store(true, Ordering::Release);
+        // Taking the lock orders the store before any worker's next check.
+        drop(self.inner.lock());
+        self.inner.cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for CoopRuntime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for CoopRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.inner.lock();
+        f.debug_struct("CoopRuntime")
+            .field("workers", &self.workers.len())
+            .field("live_tasks", &state.live)
+            .field("queued", &state.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega_sim::wheel::WHEEL_SLOTS;
+    use std::cmp::Ordering as CmpOrdering;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn pops_in_key_order_with_fifo_ties() {
+        let mut q = DeadlineQueue::new();
+        q.push(10, 0);
+        q.push(1, 1);
+        q.push(10, 2);
+        q.push(5, 3);
+        let order: Vec<(u64, usize)> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![(1, 1), (5, 3), (10, 0), (10, 2)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_and_overdue_keys_route_through_the_heap() {
+        let mut q = DeadlineQueue::new();
+        let far = WHEEL_SLOTS as u64 * 7 + 3;
+        q.push(far, 0);
+        q.push(2, 1);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_key(), Some(2));
+        assert_eq!(q.pop(), Some((2, 1)));
+        // Cursor advanced; pushing behind it is overdue and pops first.
+        q.push(0, 2);
+        assert_eq!(q.pop(), Some((0, 2)));
+        assert_eq!(q.pop(), Some((far, 0)));
+    }
+
+    #[test]
+    fn astronomically_far_keys_do_not_wedge_the_queue() {
+        let mut q = DeadlineQueue::new();
+        q.push(u64::MAX / SLOT_US, 0);
+        q.push(7, 1);
+        assert_eq!(q.pop(), Some((7, 1)));
+        assert_eq!(q.peek_key(), Some(u64::MAX / SLOT_US));
+    }
+
+    /// The satellite property test: a seeded interleaving of pushes and
+    /// pops must pop in exactly the order of a reference `(key, seq)`
+    /// binary heap — near keys, far keys, overdue keys, and ties alike.
+    #[test]
+    fn seeded_wake_order_matches_reference_deadline_heap() {
+        #[derive(PartialEq, Eq)]
+        struct RefEntry {
+            key: u64,
+            seq: u64,
+            task: usize,
+        }
+        impl Ord for RefEntry {
+            fn cmp(&self, other: &Self) -> CmpOrdering {
+                (other.key, other.seq).cmp(&(self.key, self.seq))
+            }
+        }
+        impl PartialOrd for RefEntry {
+            fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        for seed in 1u64..=20 {
+            let mut rng = seed;
+            let mut next = move || {
+                // xorshift64*: deterministic, dependency-free.
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                rng
+            };
+            let mut queue = DeadlineQueue::new();
+            let mut reference: BinaryHeap<RefEntry> = BinaryHeap::new();
+            let mut seq = 0u64;
+            let mut last_popped = 0u64;
+            for op in 0..2_000 {
+                if next() % 3 != 0 || queue.is_empty() {
+                    // Push: mostly near keys, sometimes far, sometimes
+                    // overdue relative to what was already popped.
+                    let key = match next() % 10 {
+                        0 => last_popped.saturating_sub(next() % 50), // overdue
+                        1..=2 => last_popped + next() % (WHEEL_SLOTS as u64 * 20), // far
+                        _ => last_popped + next() % 500,              // near
+                    };
+                    let task = (op % 97) as usize;
+                    queue.push(key, task);
+                    reference.push(RefEntry { key, seq, task });
+                    seq += 1;
+                } else {
+                    let got = queue.pop();
+                    let want = reference.pop().map(|e| (e.key, e.task));
+                    assert_eq!(got, want, "seed {seed}, op {op}");
+                    if let Some((k, _)) = got {
+                        last_popped = k;
+                    }
+                }
+            }
+            while let Some(want) = reference.pop() {
+                assert_eq!(
+                    queue.pop(),
+                    Some((want.key, want.task)),
+                    "seed {seed} drain"
+                );
+            }
+            assert!(queue.is_empty());
+        }
+    }
+
+    #[test]
+    fn key_quantization_rounds_up_and_wake_time_inverts() {
+        let inner = Inner {
+            start: Instant::now(),
+            config: NodeConfig::default(),
+            state: Mutex::new(SchedState {
+                queue: DeadlineQueue::new(),
+                tasks: Vec::new(),
+                live: 0,
+            }),
+            cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+        };
+        let deadline = inner.start + Duration::from_micros(SLOT_US * 3 + 1);
+        let key = inner.key_of(deadline);
+        assert_eq!(key, 4, "keys round up so wakeups are never early");
+        assert!(inner.wake_time(key).unwrap() >= deadline);
+        // Unrepresentable futures collapse to None instead of panicking.
+        assert_eq!(inner.wake_time(u64::MAX), None);
+    }
+}

@@ -9,6 +9,10 @@
 //!   thread, and the thread-safe `leader()` query.
 //! * [`Cluster`] — `n` nodes over one shared memory, with crash injection
 //!   and stable-leader polling.
+//! * [`coop`] — the cooperative substrate: the same task bodies multiplexed
+//!   onto one worker (or a small pool) over a wall-clock deadline wheel,
+//!   so real-time elections scale past the `2n`-OS-threads wall
+//!   ([`Cluster::start_coop`]).
 //! * [`san`] — a simulated storage-area-network disk with atomic block
 //!   registers, the deployment substrate the paper's introduction motivates
 //!   (network-attached disks as shared memory).
@@ -40,6 +44,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod coop;
 pub mod san;
 
 mod cluster;
@@ -47,5 +52,6 @@ mod node;
 mod watch;
 
 pub use cluster::Cluster;
+pub use coop::{CoopConfig, CoopRuntime};
 pub use node::{Node, NodeConfig};
 pub use watch::{LeaderEvent, LeaderEvents, LeaderWatch};

@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use omega_core::OmegaProcess;
 use omega_registers::sync::Mutex;
@@ -75,14 +75,162 @@ impl NodeConfig {
             tick: stretched.tick.mul_f64(ratio).max(floor.tick),
         }
     }
+
+    /// Wall-clock length of an abstract timeout value: `timeout × tick`,
+    /// saturating. Saturation matters for the step-clock variant, which
+    /// arms its real timer once with `NEVER_TIMEOUT` — that must clamp to
+    /// a far-future deadline, not truncate to a near one.
+    #[must_use]
+    pub fn timer_span(&self, timeout: u64) -> Duration {
+        self.tick
+            .saturating_mul(u32::try_from(timeout).unwrap_or(u32::MAX))
+    }
 }
 
-struct NodeShared {
+/// The substrate-independent half of a node: the Ω process behind a lock,
+/// the crash/stop flags, the task counters, and a parker for timed waits.
+///
+/// Both hosting substrates drive the paper's tasks through the same two
+/// re-entrant entry points — [`poll_step`](NodeCore::poll_step) (one `T2`
+/// iteration) and [`poll_scan`](NodeCore::poll_scan) (one `T3` expiry) — so
+/// the dedicated-thread host ([`Node::spawn`]) and the cooperative
+/// scheduler ([`coop`](crate::coop)) execute byte-identical task bodies and
+/// differ only in *when* they call them.
+pub(crate) struct NodeCore {
+    pid: ProcessId,
     process: Mutex<Box<dyn OmegaProcess>>,
     crashed: AtomicBool,
     stop: AtomicBool,
     steps: AtomicU64,
     timer_fires: AtomicU64,
+    /// Parker for the `T3` thread's timed wait: `crash`/`halt` notify it so
+    /// a node with a long-armed timer reacts immediately instead of at the
+    /// next slice of a busy-sleep.
+    wake_lock: std::sync::Mutex<()>,
+    wake_cv: std::sync::Condvar,
+}
+
+impl NodeCore {
+    pub(crate) fn new(process: Box<dyn OmegaProcess>) -> Arc<Self> {
+        Arc::new(NodeCore {
+            pid: process.pid(),
+            process: Mutex::new(process),
+            crashed: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            steps: AtomicU64::new(0),
+            timer_fires: AtomicU64::new(0),
+            wake_lock: std::sync::Mutex::new(()),
+            wake_cv: std::sync::Condvar::new(),
+        })
+    }
+
+    pub(crate) fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// Whether the node must take no further steps (crash-stopped or shut
+    /// down).
+    pub(crate) fn halted(&self) -> bool {
+        self.stop.load(Ordering::Acquire) || self.crashed.load(Ordering::Acquire)
+    }
+
+    /// One `T2` heartbeat iteration. Returns `false` — without stepping —
+    /// once the node has halted; the host then retires the task.
+    pub(crate) fn poll_step(&self) -> bool {
+        if self.halted() {
+            return false;
+        }
+        self.process.lock().t2_step();
+        self.steps.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// One `T3` timer expiry. Returns the next timeout value (in abstract
+    /// units, at least 1) to re-arm with, or `None` once the node has
+    /// halted.
+    pub(crate) fn poll_scan(&self) -> Option<u64> {
+        if self.halted() {
+            return None;
+        }
+        let next = self.process.lock().on_timer_expire().max(1);
+        self.timer_fires.fetch_add(1, Ordering::Relaxed);
+        Some(next)
+    }
+
+    /// Timeout value for the first arming of the timer.
+    pub(crate) fn initial_timeout(&self) -> u64 {
+        self.process.lock().initial_timeout().max(1)
+    }
+
+    pub(crate) fn steps(&self) -> u64 {
+        self.steps.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn timer_fires(&self) -> u64 {
+        self.timer_fires.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn leader(&self) -> ProcessId {
+        self.process.lock().leader()
+    }
+
+    pub(crate) fn cached_leader(&self) -> Option<ProcessId> {
+        self.process.lock().cached_leader()
+    }
+
+    pub(crate) fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn crash(&self) {
+        self.crashed.store(true, Ordering::Release);
+        self.wake();
+    }
+
+    pub(crate) fn halt(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.wake();
+    }
+
+    fn wake(&self) {
+        // Taking the lock orders the flag store before any waiter's next
+        // check: a T3 thread between its `halted()` test and its
+        // `wait_timeout` holds the lock, so the notification cannot slip
+        // into that gap unseen.
+        drop(
+            self.wake_lock
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        self.wake_cv.notify_all();
+    }
+
+    /// Parks the calling thread until `deadline` or a wakeup. Returns
+    /// `true` when the node halted during (or before) the wait — the
+    /// caller must then exit instead of firing its timer.
+    pub(crate) fn park_until(&self, deadline: Instant) -> bool {
+        let mut guard = self
+            .wake_lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if self.halted() {
+                return true;
+            }
+            let now = Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|r| !r.is_zero())
+            else {
+                return false;
+            };
+            let (g, _) = self
+                .wake_cv
+                .wait_timeout(guard, remaining)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            guard = g;
+        }
+    }
 }
 
 /// A process of the election algorithm hosted on dedicated threads: one for
@@ -92,9 +240,13 @@ struct NodeShared {
 /// any time — it is the client-facing primitive. Crashing a node
 /// ([`crash`](Node::crash)) halts both task threads permanently, exactly
 /// the paper's crash-stop fault model.
+///
+/// The loop bodies themselves live on the substrate-independent core, so a
+/// node can alternatively be hosted on the cooperative scheduler (see
+/// [`coop`](crate::coop) and `Cluster::start_coop`) with no thread of its
+/// own; such a node answers queries and crash-stops exactly the same way.
 pub struct Node {
-    pid: ProcessId,
-    shared: Arc<NodeShared>,
+    core: Arc<NodeCore>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -102,75 +254,65 @@ impl Node {
     /// Spawns the task threads for `process`.
     #[must_use]
     pub fn spawn(process: Box<dyn OmegaProcess>, config: NodeConfig) -> Self {
-        let pid = process.pid();
-        let shared = Arc::new(NodeShared {
-            process: Mutex::new(process),
-            crashed: AtomicBool::new(false),
-            stop: AtomicBool::new(false),
-            steps: AtomicU64::new(0),
-            timer_fires: AtomicU64::new(0),
-        });
+        let core = NodeCore::new(process);
+        let pid = core.pid();
 
         // Task T2: heartbeat loop.
         let t2 = {
-            let shared = Arc::clone(&shared);
+            let core = Arc::clone(&core);
             std::thread::Builder::new()
                 .name(format!("{pid}-t2"))
-                .spawn(move || loop {
-                    if shared.stop.load(Ordering::Acquire) || shared.crashed.load(Ordering::Acquire)
-                    {
-                        return;
+                .spawn(move || {
+                    while core.poll_step() {
+                        std::thread::sleep(config.step_interval);
                     }
-                    shared.process.lock().t2_step();
-                    shared.steps.fetch_add(1, Ordering::Relaxed);
-                    std::thread::sleep(config.step_interval);
                 })
                 .expect("spawn T2 thread")
         };
 
-        // Task T3: timer loop.
+        // Task T3: timer loop. The wait parks on the node's condvar, so a
+        // quiescent node burns no cycles between expirations and still
+        // honors crash/stop immediately (the flags notify the parker).
         let t3 = {
-            let shared = Arc::clone(&shared);
+            let core = Arc::clone(&core);
             std::thread::Builder::new()
                 .name(format!("{pid}-t3"))
                 .spawn(move || {
-                    let mut timeout = shared.process.lock().initial_timeout();
+                    let mut timeout = core.initial_timeout();
                     loop {
-                        // Sleep in small slices so crash/stop are honored
-                        // promptly even when timeouts grow long.
-                        let deadline =
-                            std::time::Instant::now() + config.tick.saturating_mul(timeout as u32);
-                        while std::time::Instant::now() < deadline {
-                            if shared.stop.load(Ordering::Acquire)
-                                || shared.crashed.load(Ordering::Acquire)
-                            {
-                                return;
-                            }
-                            std::thread::sleep(config.tick.min(Duration::from_millis(5)));
-                        }
-                        if shared.stop.load(Ordering::Acquire)
-                            || shared.crashed.load(Ordering::Acquire)
-                        {
+                        let deadline = Instant::now() + config.timer_span(timeout);
+                        if core.park_until(deadline) {
                             return;
                         }
-                        timeout = shared.process.lock().on_timer_expire().max(1);
-                        shared.timer_fires.fetch_add(1, Ordering::Relaxed);
+                        match core.poll_scan() {
+                            Some(next) => timeout = next,
+                            None => return,
+                        }
                     }
                 })
                 .expect("spawn T3 thread")
         };
 
         Node {
-            pid,
-            shared,
+            core,
             threads: vec![t2, t3],
+        }
+    }
+
+    /// Wraps an externally hosted core (no threads of its own): the
+    /// cooperative runtime drives the task bodies, this handle serves the
+    /// queries.
+    pub(crate) fn hosted(core: Arc<NodeCore>) -> Self {
+        Node {
+            core,
+            threads: Vec::new(),
         }
     }
 
     /// This node's process identity.
     #[must_use]
     pub fn pid(&self) -> ProcessId {
-        self.pid
+        self.core.pid()
     }
 
     /// The Ω query (task `T1`): the node's current leader estimate.
@@ -182,7 +324,7 @@ impl Node {
         if self.is_crashed() {
             return None;
         }
-        Some(self.shared.process.lock().leader())
+        Some(self.core.leader())
     }
 
     /// The estimate cached by the last `T2` iteration (cheap; no shared
@@ -192,35 +334,35 @@ impl Node {
         if self.is_crashed() {
             return None;
         }
-        self.shared.process.lock().cached_leader()
+        self.core.cached_leader()
     }
 
     /// Number of `T2` heartbeat iterations executed so far.
     #[must_use]
     pub fn steps(&self) -> u64 {
-        self.shared.steps.load(Ordering::Relaxed)
+        self.core.steps()
     }
 
     /// Number of `T3` timer expirations handled so far.
     #[must_use]
     pub fn timer_fires(&self) -> u64 {
-        self.shared.timer_fires.load(Ordering::Relaxed)
+        self.core.timer_fires()
     }
 
-    /// Crash-stops the node: both task threads halt permanently.
+    /// Crash-stops the node: both tasks halt permanently.
     pub fn crash(&self) {
-        self.shared.crashed.store(true, Ordering::Release);
+        self.core.crash();
     }
 
     /// Whether the node has crashed.
     #[must_use]
     pub fn is_crashed(&self) -> bool {
-        self.shared.crashed.load(Ordering::Acquire)
+        self.core.is_crashed()
     }
 
-    /// Stops the task threads and waits for them to exit.
+    /// Stops the tasks and waits for any dedicated threads to exit.
     pub fn shutdown(&mut self) {
-        self.shared.stop.store(true, Ordering::Release);
+        self.core.halt();
         for handle in self.threads.drain(..) {
             let _ = handle.join();
         }
@@ -236,7 +378,7 @@ impl Drop for Node {
 impl std::fmt::Debug for Node {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Node")
-            .field("pid", &self.pid)
+            .field("pid", &self.pid())
             .field("crashed", &self.is_crashed())
             .finish()
     }
@@ -310,6 +452,43 @@ mod tests {
         std::thread::sleep(Duration::from_millis(40));
         let after = space.stats().total_writes();
         assert_eq!(before, after, "a crashed process takes no more steps");
+    }
+
+    #[test]
+    fn parked_timer_thread_honors_crash_and_shutdown_immediately() {
+        // A huge tick arms the first timer deadline hours away. The old
+        // loop busy-sliced 5 ms sleeps to stay responsive; the parked wait
+        // must instead be *notified* out of the full-length sleep — a join
+        // that returns quickly is the proof.
+        let space = MemorySpace::new(1);
+        let mem = Alg1Memory::new(&space);
+        let process = Box::new(Alg1Process::new(mem, ProcessId::new(0)));
+        let config = NodeConfig {
+            step_interval: Duration::from_micros(300),
+            tick: Duration::from_secs(3_600),
+        };
+        let mut node = Node::spawn(process, config);
+        std::thread::sleep(Duration::from_millis(10));
+        let start = Instant::now();
+        node.crash();
+        node.shutdown();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "T3 must wake from its parked deadline on crash/stop, not sleep it out"
+        );
+    }
+
+    #[test]
+    fn park_until_sleeps_to_deadline_without_spinning() {
+        let space = MemorySpace::new(1);
+        let mem = Alg1Memory::new(&space);
+        let core = NodeCore::new(Box::new(Alg1Process::new(mem, ProcessId::new(0))));
+        let start = Instant::now();
+        let halted = core.park_until(start + Duration::from_millis(30));
+        assert!(!halted, "no halt was requested");
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        core.halt();
+        assert!(core.park_until(start + Duration::from_secs(3_600)));
     }
 
     #[test]

@@ -5,12 +5,13 @@ use crate::{Outcome, Scenario};
 /// A backend that can execute a [`Scenario`] and report a comparable
 /// [`Outcome`].
 ///
-/// Three implementations ship today — [`SimDriver`](crate::SimDriver)
+/// Four implementations ship today — [`SimDriver`](crate::SimDriver)
 /// (deterministic virtual time, adversarial schedules),
-/// [`ThreadDriver`](crate::ThreadDriver) (OS threads, wall-clock) and
+/// [`ThreadDriver`](crate::ThreadDriver) (OS threads, wall-clock),
 /// [`SanDriver`](crate::SanDriver) (OS threads over disk-block registers
-/// with injected SAN latency) — and the trait is the seam future backends
-/// (an async/tokio driver) plug into.
+/// with injected SAN latency) and [`CoopDriver`](crate::CoopDriver) (the
+/// cooperative deadline-wheel runtime, the wall-clock backend that scales
+/// past `n = 16`) — and the trait is the seam further backends plug into.
 pub trait Driver {
     /// Short backend name recorded in every [`Outcome`].
     fn name(&self) -> &'static str;

@@ -19,6 +19,11 @@
 //!   simulated storage-area-network disk (one block per register, with
 //!   injected access latency and block-level footprint accounting in
 //!   [`Outcome::san`]).
+//! * [`CoopDriver`] — the cooperative task runtime: the same node loops
+//!   multiplexed as deadline-wheel tasks on one worker thread, the
+//!   real-time backend that scales past `n = 16` (the thread/SAN drivers'
+//!   hard limit) and realizes fairness through queue discipline instead of
+//!   kernel preemption.
 //!
 //! All return the same [`Outcome`] type, measured through the same
 //! instrumented registers and expressed in the same tick units, so results
@@ -27,8 +32,8 @@
 //! storms, σ stress, AWB edge cases, scaling probes) shared by the tests
 //! and the benchmark binaries; parameterized families
 //! ([`registry::sigma_sweep`], [`registry::n_scaling`],
-//! [`registry::san_latency_sweep`]) are built through the
-//! [`registry::family`] helper.
+//! [`registry::san_latency_sweep`], [`registry::contention_sweep`]) are
+//! built through the [`registry::family`] helper.
 //!
 //! # The outcome-diff regression gate
 //!
@@ -74,6 +79,7 @@
 
 pub mod registry;
 
+mod coop_driver;
 mod driver;
 mod outcome;
 mod san_driver;
@@ -82,6 +88,7 @@ mod spec;
 mod thread_driver;
 mod wall;
 
+pub use coop_driver::CoopDriver;
 pub use driver::Driver;
 pub use outcome::{Outcome, SanFootprint, TailActivity};
 pub use san_driver::SanDriver;

@@ -28,6 +28,7 @@ pub fn all() -> Vec<Scenario> {
         stepclock(),
     ];
     suite.extend(n_scaling(&[32, 64, 128, 256]));
+    suite.extend(contention_sweep(&[(4, 4), (4, 32), (32, 4), (32, 32)]));
     suite.extend(san_latency_sweep(&[(100, 100), (500, 500), (2_000, 1_000)]));
     suite.push(no_awb_staller());
     suite
@@ -156,6 +157,46 @@ pub fn n_scaling(sizes: &[usize]) -> Vec<Scenario> {
         Scenario::fault_free(OmegaVariant::Alg1, n)
             .horizon(100_000)
             .stats_checkpoints(if n >= 128 { 4 } else { 16 })
+    })
+}
+
+/// One `(writers, sigma)` point of the contention sweep, displayed as
+/// `<writers>x<sigma>` so family members get stable registry names.
+#[derive(Clone, Copy)]
+struct ContentionPoint {
+    writers: usize,
+    sigma: u64,
+}
+
+impl std::fmt::Display for ContentionPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.writers, self.sigma)
+    }
+}
+
+/// The write-contention sweep à la Alistarh–Gelashvili (PAPERS.md): the
+/// standard AWB workload with the number of *contending writers* and the
+/// timing slack σ as the two axes. Pre-stabilization, every process is a
+/// suspicion writer, so `writers` (the system size) is literally the
+/// write-contention bound `κ` of the lower-bound literature; larger σ
+/// stretches the churn phase, holding the contention window open longer
+/// before the single-writer regime takes over.
+///
+/// Members above `n = 16` exist precisely for the cooperative backend: the
+/// simulator and the coop driver run them, the per-node-thread backends
+/// (threads, SAN) skip them — a sweep that is *only* meaningful now that a
+/// wall-clock backend scales.
+#[must_use]
+pub fn contention_sweep(points: &[(usize, u64)]) -> Vec<Scenario> {
+    let points: Vec<ContentionPoint> = points
+        .iter()
+        .map(|&(writers, sigma)| ContentionPoint { writers, sigma })
+        .collect();
+    family("contention/", &points, |p| {
+        Scenario::fault_free(OmegaVariant::Alg1, p.writers)
+            .awb(ProcessId::new(0), 1_000, p.sigma)
+            .horizon(80_000)
+            .stats_checkpoints(if p.writers > 16 { 4 } else { 16 })
     })
 }
 
@@ -304,6 +345,32 @@ mod tests {
         assert_eq!(members[0].name, "probe/1");
         assert_eq!(members[1].name, "probe/9");
         assert_eq!(members[1].seed, 9);
+    }
+
+    #[test]
+    fn contention_sweep_parameterizes_writers_and_sigma() {
+        let sweep = contention_sweep(&[(4, 4), (32, 32)]);
+        assert_eq!(sweep.len(), 2);
+        assert_eq!(sweep[0].name, "contention/4x4");
+        assert_eq!(sweep[0].n, 4);
+        assert_eq!(sweep[0].awb.unwrap().sigma, 4);
+        assert_eq!(sweep[1].name, "contention/32x32");
+        assert_eq!(sweep[1].n, 32);
+        assert_eq!(sweep[1].awb.unwrap().sigma, 32);
+        assert!(sweep.iter().all(|s| s.expect_stabilization));
+        // Large members checkpoint coarsely (O(n³) snapshots), small ones
+        // keep the standard cadence.
+        assert_eq!(sweep[0].stats_checkpoints, 16);
+        assert_eq!(sweep[1].stats_checkpoints, 4);
+        // The default registry carries the four-point sweep.
+        for name in [
+            "contention/4x4",
+            "contention/4x32",
+            "contention/32x4",
+            "contention/32x32",
+        ] {
+            assert!(named(name).is_some(), "{name} must be in the registry");
+        }
     }
 
     #[test]

@@ -1,14 +1,15 @@
 //! The shared wall-clock election loop behind every real-time backend.
 //!
-//! [`ThreadDriver`](crate::ThreadDriver) (in-memory registers) and
-//! [`SanDriver`](crate::SanDriver) (disk-block registers) run the same
-//! experiment shape: spawn a [`Cluster`], replay the crash script at its
-//! wall-clock due times, wait for a stable leader inside the horizon
-//! budget, observe the post-stabilization tail, and assemble an
-//! [`Outcome`] in scenario ticks. Only the cluster substrate and the
-//! pacing differ, so that loop lives here once — a second copy would
-//! inevitably drift, and outcome comparability across backends is the
-//! whole point of the Scenario API.
+//! [`ThreadDriver`](crate::ThreadDriver) (in-memory registers),
+//! [`SanDriver`](crate::SanDriver) (disk-block registers) and
+//! [`CoopDriver`](crate::CoopDriver) (the cooperative deadline-wheel
+//! runtime) run the same experiment shape: spawn a [`Cluster`], replay the
+//! crash script at its wall-clock due times, wait for a stable leader
+//! inside the horizon budget, observe the post-stabilization tail, and
+//! assemble an [`Outcome`] in scenario ticks. Only the cluster substrate
+//! and the pacing differ, so that loop lives here once — a second copy
+//! would inevitably drift, and outcome comparability across backends is
+//! the whole point of the Scenario API.
 
 use std::time::{Duration, Instant};
 

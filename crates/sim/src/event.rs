@@ -1,22 +1,23 @@
 //! The deterministic event queue driving a simulation.
 //!
-//! [`EventQueue`] is a hierarchical bucket queue (a timer wheel with a heap
-//! fallback) rather than a plain binary heap: the overwhelming majority of
-//! simulator events are scheduled a handful of ticks ahead (step delays,
-//! timer re-arms), and those enjoy O(1) push and pop. Events beyond the
-//! wheel's window — far-future crash scripts, long stalls, pre-scheduled
-//! sampling cadences — fall back to a binary heap and migrate into the
-//! wheel as virtual time approaches them. Pop order is **exactly** the
-//! `(time, seq)` order of the original heap-only queue, so traces are
-//! tick-identical; the seeded property tests in `harness_properties.rs`
-//! pit the wheel against a reference heap to hold that line.
+//! [`EventQueue`] is the simulator's instantiation of the generic
+//! [`TimerWheel`] (near-horizon bucket wheel, far/overdue heap fallback):
+//! keys are virtual ticks, payloads are [`EventKind`]s. The overwhelming majority of simulator events are
+//! scheduled a handful of ticks ahead (step delays, timer re-arms), and
+//! those enjoy O(1) push and pop; events beyond the wheel's window —
+//! far-future crash scripts, long stalls, pre-scheduled sampling cadences
+//! — fall back to the heap and migrate in as virtual time approaches
+//! them. Pop order is **exactly** the `(time, seq)` order of the original
+//! heap-only queue, so traces are tick-identical; the seeded property
+//! tests in `harness_properties.rs` pit the wheel against a reference
+//! heap to hold that line.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
 
 use omega_registers::ProcessId;
 
 use crate::time::SimTime;
+use crate::wheel::TimerWheel;
 
 /// What happens when an event fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,12 +60,6 @@ impl PartialOrd for Event {
     }
 }
 
-/// Number of wheel slots: one per tick of the near-horizon window. Must be
-/// a power of two (the slot index is `time & (WHEEL_SLOTS - 1)`). 4096
-/// ticks covers every step delay and timer duration the scenario suite
-/// produces; anything longer takes the heap fallback.
-const WHEEL_SLOTS: usize = 4096;
-
 /// Priority queue of events ordered by `(time, seq)`.
 ///
 /// # Examples
@@ -80,46 +75,9 @@ const WHEEL_SLOTS: usize = 4096;
 /// let first = q.pop().unwrap();
 /// assert_eq!(first.time, SimTime::from_ticks(2));
 /// ```
-///
-/// # Ordering invariants
-///
-/// * Wheel slots only ever hold events of a single time value (`cursor ≤
-///   time < cursor + WHEEL_SLOTS` maps each admissible time to a distinct
-///   slot), appended — and therefore popped — in `seq` order.
-/// * The heap holds the *far* events (`time ≥ cursor + WHEEL_SLOTS` at
-///   push) and the *overdue* ones (`time < cursor` at push, which the old
-///   heap queue allowed and some tests exercise). Far events migrate into
-///   the wheel whenever `cursor` advances, **before** any later push could
-///   target their slot directly, so same-time events keep their global
-///   `seq` order across the two structures.
+#[derive(Debug, Default)]
 pub struct EventQueue {
-    /// Near-horizon buckets; slot `t & (WHEEL_SLOTS-1)` holds time `t`.
-    slots: Box<[VecDeque<Event>]>,
-    /// Lower bound of the wheel window; every wheel event has `time ≥
-    /// cursor`, every far-heap event has `time ≥ cursor + WHEEL_SLOTS`.
-    cursor: u64,
-    /// Events currently in the wheel.
-    wheel_len: usize,
-    /// Far and overdue events (see type-level docs).
-    far: BinaryHeap<Event>,
-    next_seq: u64,
-}
-
-impl Default for EventQueue {
-    fn default() -> Self {
-        EventQueue::new()
-    }
-}
-
-impl std::fmt::Debug for EventQueue {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EventQueue")
-            .field("len", &self.len())
-            .field("cursor", &self.cursor)
-            .field("wheel_len", &self.wheel_len)
-            .field("far_len", &self.far.len())
-            .finish()
-    }
+    wheel: TimerWheel<EventKind>,
 }
 
 impl EventQueue {
@@ -127,121 +85,48 @@ impl EventQueue {
     #[must_use]
     pub fn new() -> Self {
         EventQueue {
-            slots: (0..WHEEL_SLOTS).map(|_| VecDeque::new()).collect(),
-            cursor: 0,
-            wheel_len: 0,
-            far: BinaryHeap::new(),
-            next_seq: 0,
+            wheel: TimerWheel::new(),
         }
-    }
-
-    #[inline]
-    fn slot_of(time: u64) -> usize {
-        (time as usize) & (WHEEL_SLOTS - 1)
     }
 
     /// Schedules `kind` to fire at `time`. Events scheduled earlier sort
     /// first among equal times, making runs deterministic.
     pub fn schedule(&mut self, time: SimTime, kind: EventKind) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        let event = Event { time, seq, kind };
-        let t = time.ticks();
-        if t >= self.cursor && t - self.cursor < WHEEL_SLOTS as u64 {
-            self.slots[Self::slot_of(t)].push_back(event);
-            self.wheel_len += 1;
-        } else {
-            self.far.push(event);
-        }
-    }
-
-    /// Moves every far event that now falls inside the wheel window into
-    /// its slot. Heap pops come out in `(time, seq)` order, and any such
-    /// event was pushed before any same-time event already pushed directly
-    /// into the window (direct pushes require the window to cover the time,
-    /// far pushes require it not to, and the window's lower edge only
-    /// advances), so appending preserves global `seq` order per slot.
-    fn migrate(&mut self) {
-        let window_end = self.cursor.saturating_add(WHEEL_SLOTS as u64);
-        while let Some(event) = self.far.peek() {
-            let t = event.time.ticks();
-            if t < self.cursor || t >= window_end {
-                break;
-            }
-            let event = self.far.pop().expect("peeked");
-            self.slots[Self::slot_of(t)].push_back(event);
-            self.wheel_len += 1;
-        }
+        self.wheel.push(time.ticks(), kind);
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<Event> {
-        // Overdue events (scheduled behind the cursor) are strictly earlier
-        // than anything in the wheel, which holds only `time ≥ cursor`.
-        if let Some(event) = self.far.peek() {
-            if event.time.ticks() < self.cursor {
-                return self.far.pop();
-            }
-        }
-        if self.wheel_len == 0 {
-            // Nothing near: jump straight to the earliest far event.
-            let earliest = self.far.peek()?.time.ticks();
-            self.cursor = earliest;
-            self.migrate();
-        }
-        loop {
-            let slot = &mut self.slots[Self::slot_of(self.cursor)];
-            if let Some(event) = slot.pop_front() {
-                debug_assert_eq!(event.time.ticks(), self.cursor);
-                self.wheel_len -= 1;
-                return Some(event);
-            }
-            // Slot drained: advance the window one tick and let any far
-            // event that just became near claim its slot before anyone can
-            // push to it directly.
-            self.cursor += 1;
-            self.migrate();
-        }
+        self.wheel.pop().map(|(ticks, seq, kind)| Event {
+            time: SimTime::from_ticks(ticks),
+            seq,
+            kind,
+        })
     }
 
     /// The time of the earliest pending event.
     #[must_use]
     pub fn peek_time(&self) -> Option<SimTime> {
-        let far = self.far.peek().map(|e| e.time);
-        if let Some(t) = far {
-            if t.ticks() < self.cursor {
-                return far;
-            }
-        }
-        if self.wheel_len > 0 {
-            for offset in 0..WHEEL_SLOTS as u64 {
-                let t = self.cursor.saturating_add(offset);
-                if let Some(event) = self.slots[Self::slot_of(t)].front() {
-                    if event.time.ticks() == t {
-                        return Some(event.time);
-                    }
-                }
-            }
-        }
-        far
+        self.wheel.peek_key().map(SimTime::from_ticks)
     }
 
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.wheel_len + self.far.len()
+        self.wheel.len()
     }
 
     /// Whether no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.wheel.is_empty()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wheel::WHEEL_SLOTS;
 
     fn p(i: usize) -> ProcessId {
         ProcessId::new(i)

@@ -54,6 +54,7 @@ pub mod metrics;
 pub mod rng;
 pub mod timers;
 pub mod trace;
+pub mod wheel;
 
 mod harness;
 mod process;

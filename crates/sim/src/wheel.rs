@@ -1,0 +1,260 @@
+//! The generic timer wheel behind every deadline-ordered queue.
+//!
+//! [`TimerWheel`] is a hierarchical bucket queue: a near-horizon wheel of
+//! [`WHEEL_SLOTS`] one-key buckets with a binary-heap fallback for far and
+//! overdue keys. Both of the repo's scheduling substrates instantiate it —
+//! the simulator's [`EventQueue`](crate::event::EventQueue) (keys are
+//! virtual ticks, payloads are simulation events) and the runtime's
+//! cooperative scheduler (keys are quantized wall-clock microseconds,
+//! payloads are task ids) — so the subtle invariants (overdue-first pop,
+//! migrate-on-cursor-advance, FIFO order across migration) live exactly
+//! once.
+//!
+//! Pop order is **exactly** ascending `(key, seq)`, where `seq` is the
+//! push order: equal keys pop FIFO, and the order is identical to a
+//! reference binary heap over `(key, seq)`. Seeded property tests on both
+//! instantiations (`harness_properties.rs` in this crate, the coop module
+//! in `omega-runtime`) pin that equivalence.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Number of wheel slots: one per key of the near-horizon window. Must be
+/// a power of two (the slot index is `key & (WHEEL_SLOTS - 1)`). 4096
+/// keys covers every step delay and timer duration the scenario suite
+/// produces; anything longer takes the heap fallback.
+pub const WHEEL_SLOTS: usize = 4096;
+
+/// One queued entry: a payload due at `key`, tie-broken by push order.
+struct Entry<T> {
+    key: u64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.key, self.seq) == (other.key, other.seq)
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (key, seq) pops
+        // first.
+        (other.key, other.seq).cmp(&(self.key, self.seq))
+    }
+}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Priority queue of payloads ordered by `(key, seq)`: O(1) push and pop
+/// for keys inside the near-horizon window, heap fallback beyond it.
+///
+/// # Examples
+///
+/// ```
+/// use omega_sim::wheel::TimerWheel;
+///
+/// let mut wheel: TimerWheel<&str> = TimerWheel::new();
+/// wheel.push(5, "later");
+/// wheel.push(2, "sooner");
+/// let (key, _seq, payload) = wheel.pop().unwrap();
+/// assert_eq!((key, payload), (2, "sooner"));
+/// ```
+///
+/// # Ordering invariants
+///
+/// * Wheel slots only ever hold entries of a single key value (`cursor ≤
+///   key < cursor + WHEEL_SLOTS` maps each admissible key to a distinct
+///   slot), appended — and therefore popped — in `seq` order.
+/// * The heap holds the *far* entries (`key ≥ cursor + WHEEL_SLOTS` at
+///   push) and the *overdue* ones (`key < cursor` at push, which a plain
+///   heap queue allowed and some callers exercise). Far entries migrate
+///   into the wheel whenever `cursor` advances, **before** any later push
+///   could target their slot directly, so same-key entries keep their
+///   global `seq` order across the two structures.
+pub struct TimerWheel<T> {
+    /// Near-horizon buckets; slot `k & (WHEEL_SLOTS-1)` holds key `k`.
+    slots: Box<[VecDeque<Entry<T>>]>,
+    /// Lower bound of the wheel window; every wheel entry has `key ≥
+    /// cursor`, every far-heap entry has `key ≥ cursor + WHEEL_SLOTS`
+    /// (or is overdue).
+    cursor: u64,
+    /// Entries currently in the wheel.
+    wheel_len: usize,
+    /// Far and overdue entries (see type-level docs).
+    far: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for TimerWheel<T> {
+    fn default() -> Self {
+        TimerWheel::new()
+    }
+}
+
+impl<T> std::fmt::Debug for TimerWheel<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimerWheel")
+            .field("len", &self.len())
+            .field("cursor", &self.cursor)
+            .field("wheel_len", &self.wheel_len)
+            .field("far_len", &self.far.len())
+            .finish()
+    }
+}
+
+impl<T> TimerWheel<T> {
+    /// Creates an empty wheel.
+    #[must_use]
+    pub fn new() -> Self {
+        TimerWheel {
+            slots: (0..WHEEL_SLOTS).map(|_| VecDeque::new()).collect(),
+            cursor: 0,
+            wheel_len: 0,
+            far: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    #[inline]
+    fn slot_of(key: u64) -> usize {
+        (key as usize) & (WHEEL_SLOTS - 1)
+    }
+
+    /// Queues `payload` at `key`, returning the assigned tie-break `seq`.
+    /// Entries pushed earlier sort first among equal keys, making pop
+    /// order fully deterministic.
+    pub fn push(&mut self, key: u64, payload: T) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let entry = Entry { key, seq, payload };
+        if key >= self.cursor && key - self.cursor < WHEEL_SLOTS as u64 {
+            self.slots[Self::slot_of(key)].push_back(entry);
+            self.wheel_len += 1;
+        } else {
+            self.far.push(entry);
+        }
+        seq
+    }
+
+    /// Moves every far entry that now falls inside the wheel window into
+    /// its slot. Heap pops come out in `(key, seq)` order, and any such
+    /// entry was pushed before any same-key entry already pushed directly
+    /// into the window (direct pushes require the window to cover the key,
+    /// far pushes require it not to, and the window's lower edge only
+    /// advances), so appending preserves global `seq` order per slot.
+    fn migrate(&mut self) {
+        let window_end = self.cursor.saturating_add(WHEEL_SLOTS as u64);
+        while let Some(entry) = self.far.peek() {
+            if entry.key < self.cursor || entry.key >= window_end {
+                break;
+            }
+            let entry = self.far.pop().expect("peeked");
+            self.slots[Self::slot_of(entry.key)].push_back(entry);
+            self.wheel_len += 1;
+        }
+    }
+
+    /// Removes and returns the earliest `(key, seq, payload)`.
+    pub fn pop(&mut self) -> Option<(u64, u64, T)> {
+        // Overdue entries (pushed behind the cursor) are strictly earlier
+        // than anything in the wheel, which holds only `key ≥ cursor`.
+        if let Some(entry) = self.far.peek() {
+            if entry.key < self.cursor {
+                let entry = self.far.pop().expect("peeked");
+                return Some((entry.key, entry.seq, entry.payload));
+            }
+        }
+        if self.wheel_len == 0 {
+            // Nothing near: jump straight to the earliest far entry.
+            let earliest = self.far.peek()?.key;
+            self.cursor = earliest;
+            self.migrate();
+        }
+        loop {
+            let slot = &mut self.slots[Self::slot_of(self.cursor)];
+            if let Some(entry) = slot.pop_front() {
+                debug_assert_eq!(entry.key, self.cursor);
+                self.wheel_len -= 1;
+                return Some((entry.key, entry.seq, entry.payload));
+            }
+            // Slot drained: advance the window one key and let any far
+            // entry that just became near claim its slot before anyone can
+            // push to it directly.
+            self.cursor += 1;
+            self.migrate();
+        }
+    }
+
+    /// The key of the earliest pending entry.
+    #[must_use]
+    pub fn peek_key(&self) -> Option<u64> {
+        let far = self.far.peek().map(|e| e.key);
+        if let Some(k) = far {
+            if k < self.cursor {
+                return far;
+            }
+        }
+        if self.wheel_len > 0 {
+            for offset in 0..WHEEL_SLOTS as u64 {
+                let k = self.cursor.saturating_add(offset);
+                if let Some(entry) = self.slots[Self::slot_of(k)].front() {
+                    if entry.key == k {
+                        return Some(k);
+                    }
+                }
+            }
+        }
+        far
+    }
+
+    /// Number of pending entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.wheel_len + self.far.len()
+    }
+
+    /// Whether no entries are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_key_order_with_fifo_ties_and_seqs() {
+        let mut wheel = TimerWheel::new();
+        assert_eq!(wheel.push(10, 'a'), 0);
+        assert_eq!(wheel.push(1, 'b'), 1);
+        assert_eq!(wheel.push(10, 'c'), 2);
+        let order: Vec<(u64, u64, char)> = std::iter::from_fn(|| wheel.pop()).collect();
+        assert_eq!(order, vec![(1, 1, 'b'), (10, 0, 'a'), (10, 2, 'c')]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn non_ord_payloads_are_accepted() {
+        // The heap orders entries by (key, seq) alone, so payloads need no
+        // Ord/Eq of their own.
+        #[derive(Debug)]
+        struct Opaque;
+        let mut wheel = TimerWheel::new();
+        wheel.push(WHEEL_SLOTS as u64 * 2, Opaque); // far: lives in the heap
+        wheel.push(3, Opaque);
+        assert_eq!(wheel.len(), 2);
+        assert_eq!(wheel.pop().unwrap().0, 3);
+        assert_eq!(wheel.pop().unwrap().0, WHEEL_SLOTS as u64 * 2);
+    }
+}

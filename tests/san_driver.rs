@@ -1,16 +1,18 @@
-//! Three-way backend parity and SAN-substrate coverage.
+//! Four-way backend parity and SAN-substrate coverage.
 //!
 //! The SAN driver is the paper's motivating deployment (Section 1:
-//! registers as network-attached disk blocks) promoted to a first-class
-//! backend. These tests pin its contract from three sides:
+//! registers as network-attached disk blocks) and the coop driver is the
+//! cooperative deadline-wheel runtime — both promoted to first-class
+//! backends. These tests pin the backend matrix from three sides:
 //!
 //! * **Outcome parity** — every n ≤ 16 registry scenario that promises
-//!   stabilization must stabilize on the simulator, on plain threads, and
-//!   on the SAN, with identical experiment metadata, a correct elected
-//!   leader, and the crash script honored identically. (The elected
-//!   *identity* is only deterministic on the simulator: on wall-clock
-//!   backends the OS schedule decides which correct process ends up least
-//!   suspected — exactly the freedom the Ω contract grants.)
+//!   stabilization must stabilize on the simulator, on plain threads, on
+//!   the SAN, *and* on the cooperative scheduler, with identical
+//!   experiment metadata, a correct elected leader, and the crash script
+//!   honored identically. (The elected *identity* is only deterministic
+//!   on the simulator: on wall-clock backends the schedule — kernel
+//!   preemption or the deadline wheel — decides which correct process
+//!   ends up least suspected, exactly the freedom the Ω contract grants.)
 //! * **Block accounting** — one block per register, accesses mirrored
 //!   between the register instrumentation and the disk.
 //! * **Disk registers** — the hand-laid `DiskNatRegister` /
@@ -20,21 +22,30 @@
 use omega_shm::registers::ProcessId;
 use omega_shm::runtime::san::{DiskFlagRegister, DiskNatRegister, SanDisk, SanLatency};
 use omega_shm::scenario::{
-    registry, Driver, Outcome, SanDriver, Scenario, SimDriver, ThreadDriver,
+    registry, CoopDriver, Driver, Outcome, SanDriver, Scenario, SimDriver, ThreadDriver,
 };
 
-/// The registry scenarios wall-clock backends can realize: stabilization
-/// promised (no literal adversary needed) at thread-friendly system sizes.
+/// The registry scenarios every wall-clock backend can realize:
+/// stabilization promised (no literal adversary needed) at
+/// thread-friendly system sizes. (Coop alone also runs n > 16; that
+/// headroom is covered in `tests/coop_driver.rs`.)
 fn eligible(scenario: &Scenario) -> bool {
     scenario.expect_stabilization && scenario.n <= 16
 }
 
-fn assert_three_way(scenario: &Scenario, sim: &Outcome, threads: &Outcome, san: &Outcome) {
+fn assert_four_way(
+    scenario: &Scenario,
+    sim: &Outcome,
+    threads: &Outcome,
+    san: &Outcome,
+    coop: &Outcome,
+) {
     assert_eq!(sim.backend, "sim");
     assert_eq!(threads.backend, "threads");
     assert_eq!(san.backend, "san");
-    for outcome in [sim, threads, san] {
-        // Identical experiment metadata: all three realized the same spec.
+    assert_eq!(coop.backend, "coop");
+    for outcome in [sim, threads, san, coop] {
+        // Identical experiment metadata: all four realized the same spec.
         assert_eq!(outcome.scenario, scenario.name);
         assert_eq!(outcome.variant, scenario.variant);
         assert_eq!(outcome.n, scenario.n);
@@ -62,7 +73,7 @@ fn assert_three_way(scenario: &Scenario, sim: &Outcome, threads: &Outcome, san: 
     }
     // Only the SAN backend reports a block footprint, and its layout is
     // one block per register.
-    assert!(sim.san.is_none() && threads.san.is_none());
+    assert!(sim.san.is_none() && threads.san.is_none() && coop.san.is_none());
     let footprint = san.san.expect("SAN backend reports block footprint");
     assert_eq!(footprint.blocks_mapped, san.register_count as u64);
     assert!(footprint.blocks_touched <= footprint.blocks_mapped);
@@ -73,9 +84,10 @@ fn assert_three_way(scenario: &Scenario, sim: &Outcome, threads: &Outcome, san: 
     );
 }
 
-fn run_three_way(filter: impl Fn(&Scenario) -> bool) {
+fn run_four_way(filter: impl Fn(&Scenario) -> bool) {
     let san_driver = SanDriver::instant();
     let thread_driver = ThreadDriver::default();
+    let coop_driver = CoopDriver::default();
     for scenario in registry::all().into_iter().filter(eligible) {
         if !filter(&scenario) {
             continue;
@@ -83,24 +95,26 @@ fn run_three_way(filter: impl Fn(&Scenario) -> bool) {
         let sim = SimDriver.run(&scenario);
         let threads = thread_driver.run(&scenario);
         let san = san_driver.run(&scenario);
-        assert_three_way(&scenario, &sim, &threads, &san);
+        let coop = coop_driver.run(&scenario);
+        assert_four_way(&scenario, &sim, &threads, &san, &coop);
     }
 }
 
 #[test]
-fn three_way_parity_on_fault_free_registry_scenarios() {
-    run_three_way(|s| s.crashes.is_empty() && s.san_latency.is_none());
+fn four_way_parity_on_fault_free_registry_scenarios() {
+    run_four_way(|s| s.crashes.is_empty() && s.san_latency.is_none());
 }
 
 #[test]
-fn three_way_parity_on_crash_script_registry_scenarios() {
-    run_three_way(|s| !s.crashes.is_empty());
+fn four_way_parity_on_crash_script_registry_scenarios() {
+    run_four_way(|s| !s.crashes.is_empty());
 }
 
 #[test]
-fn three_way_parity_on_the_san_latency_sweep() {
+fn four_way_parity_on_the_san_latency_sweep() {
     // The sweep members pin a real (nonzero) disk latency: the SAN driver
-    // pays simulated service time per access and still elects.
+    // pays simulated service time per access and still elects; the other
+    // wall-clock backends ignore the pin and run them as plain scenarios.
     let mut saw_service_time = false;
     for scenario in registry::all()
         .into_iter()
@@ -109,7 +123,8 @@ fn three_way_parity_on_the_san_latency_sweep() {
         let sim = SimDriver.run(&scenario);
         let threads = ThreadDriver::default().run(&scenario);
         let san = SanDriver::instant().run(&scenario);
-        assert_three_way(&scenario, &sim, &threads, &san);
+        let coop = CoopDriver::default().run(&scenario);
+        assert_four_way(&scenario, &sim, &threads, &san, &coop);
         if san.san.unwrap().service_time_ms > 0.0 {
             saw_service_time = true;
         }
