@@ -70,12 +70,6 @@ const MAX_WRITE_REGRESSION: f64 = 0.15;
 /// `--strict-timing` promotes these warnings to gate failures.
 const TIMING_REPORT_THRESHOLD: f64 = 0.50;
 
-/// Largest system the cooperative backend records: one worker thread
-/// multiplexes all `2n` loops, so the wall does not come from thread
-/// thrash — it comes from the wall-clock budget a 100 µs tick leaves a
-/// single core at `n = 256`.
-const COOP_MAX_N: usize = 128;
-
 /// The backend axis of the suite.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Backend {
@@ -121,17 +115,17 @@ impl Backend {
         self == Backend::Sim
     }
 
-    /// Whether this backend can honor the scenario's contract. The
-    /// simulator runs everything; no wall-clock backend can realize an
-    /// AWB-violating literal adversary (real time is the fair schedule).
-    /// The per-node-thread backends refuse `n > 16` (OS threads at
-    /// `n ≥ 32` thrash instead of measuring); the cooperative runtime
-    /// multiplexes, so it runs the scaling probes up to [`COOP_MAX_N`].
+    /// Whether this backend can honor the scenario's contract — a
+    /// straight read of the scenario crate's
+    /// [`eligible_drivers`](Scenario::eligible_drivers), the single
+    /// source of truth for the driver axis (see ROADMAP.md's table).
     fn admits(self, scenario: &Scenario) -> bool {
+        let eligible = scenario.eligible_drivers();
         match self {
-            Backend::Sim => true,
-            Backend::Threads | Backend::San => scenario.expect_stabilization && scenario.n <= 16,
-            Backend::Coop => scenario.expect_stabilization && scenario.n <= COOP_MAX_N,
+            Backend::Sim => eligible.sim,
+            Backend::Threads => eligible.threads,
+            Backend::San => eligible.san,
+            Backend::Coop => eligible.coop,
         }
     }
 }
@@ -570,8 +564,16 @@ fn main() {
             },
             "--strict-timing" => strict_timing = true,
             "--list" => {
-                for name in registry::names() {
-                    println!("{name}");
+                // Name + the drivers that admit the scenario, so the
+                // driver-axis table is discoverable from the CLI.
+                let scenarios = registry::all();
+                let width = scenarios.iter().map(|s| s.name.len()).max().unwrap_or(0);
+                for scenario in &scenarios {
+                    println!(
+                        "{:width$}  [{}]",
+                        scenario.name,
+                        scenario.eligible_drivers().names().join(" "),
+                    );
                 }
                 return;
             }

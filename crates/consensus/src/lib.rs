@@ -59,5 +59,5 @@ pub use actor::{ConsensusActor, LogActor};
 pub use adopt::{AdoptCommit, AdoptCommitOutcome};
 pub use instance::{ConsensusInstance, RoundEntry};
 pub use kv::{KvCommand, KvStore};
-pub use log::{LogHandle, LogShared};
+pub use log::{LogEvent, LogHandle, LogShared};
 pub use proposer::{ConsensusProcess, ProposerStatus};

@@ -58,6 +58,34 @@ impl<V: RegisterValue> LogShared<V> {
     }
 }
 
+/// One replication event a client-facing layer can react to — the commit
+/// and reject hooks of the log.
+///
+/// Events are recorded only after [`LogHandle::enable_events`]; a service
+/// built on the log drains them with [`LogHandle::take_events`] to
+/// acknowledge committed requests (matching the slot's value against its
+/// in-flight set) and to count lost proposal rounds as per-request
+/// operation cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogEvent {
+    /// Slot `slot` was absorbed into this replica's decided prefix;
+    /// `ours` is whether the decided value retired this replica's own
+    /// front pending command.
+    Committed {
+        /// The absorbed slot index.
+        slot: usize,
+        /// Whether the decided value was this replica's own submission.
+        ours: bool,
+    },
+    /// This replica proposed its front pending command for `slot` but the
+    /// slot decided someone else's value; the command stays queued and is
+    /// retried at the next free slot.
+    Superseded {
+        /// The contested slot index.
+        slot: usize,
+    },
+}
+
 /// One replica's handle on the replicated log.
 ///
 /// Drive it with [`step`](LogHandle::step) (passing the replica's current Ω
@@ -71,6 +99,10 @@ pub struct LogHandle<V: RegisterValue> {
     pending: VecDeque<V>,
     /// Proposer for the slot `committed.len()`, if one is running.
     active: Option<ConsensusProcess<V>>,
+    /// Commit/reject events since the last drain; only recorded once a
+    /// consumer opted in (otherwise absorbing would leak per slot).
+    events: Vec<LogEvent>,
+    record_events: bool,
 }
 
 impl<V: RegisterValue + PartialEq> LogHandle<V> {
@@ -83,7 +115,21 @@ impl<V: RegisterValue + PartialEq> LogHandle<V> {
             committed: Vec::new(),
             pending: VecDeque::new(),
             active: None,
+            events: Vec::new(),
+            record_events: false,
         }
+    }
+
+    /// Starts recording [`LogEvent`]s; call [`take_events`](Self::take_events)
+    /// regularly afterwards or the buffer grows with the log.
+    pub fn enable_events(&mut self) {
+        self.record_events = true;
+    }
+
+    /// Drains the commit/reject events recorded since the last drain (empty
+    /// unless [`enable_events`](Self::enable_events) was called).
+    pub fn take_events(&mut self) -> Vec<LogEvent> {
+        std::mem::take(&mut self.events)
     }
 
     /// This replica's identity.
@@ -112,8 +158,18 @@ impl<V: RegisterValue + PartialEq> LogHandle<V> {
     /// Absorbs a decided slot: appends it and retires the matching pending
     /// command if it was ours.
     fn absorb(&mut self, value: V) {
-        if self.pending.front() == Some(&value) {
+        let ours = self.pending.front() == Some(&value);
+        if ours {
             self.pending.pop_front();
+        }
+        if self.record_events {
+            let slot = self.committed.len();
+            if !ours && self.active.is_some() {
+                // We were proposing our own front command for this slot but
+                // someone else's value won the instance.
+                self.events.push(LogEvent::Superseded { slot });
+            }
+            self.events.push(LogEvent::Committed { slot, ours });
         }
         self.committed.push(value);
         self.active = None;
@@ -257,6 +313,40 @@ mod tests {
         // p0 then leads: learns slot 0 = 2, retries its own at slot 1.
         assert!(handles[0].step_until_committed(p(0), 2, 500));
         assert_eq!(handles[0].committed(), &[2, 1]);
+    }
+
+    #[test]
+    fn events_report_commits_and_superseded_proposals() {
+        let (_shared, mut handles) = setup(2);
+        handles[0].enable_events();
+        handles[0].submit(1);
+        handles[1].submit(2);
+        // p1 decides slot 0 first; p0's proposal for slot 0 is superseded
+        // and retried at slot 1.
+        assert!(handles[1].step_until_committed(p(1), 1, 500));
+        assert!(handles[0].step_until_committed(p(0), 2, 500));
+        let events = handles[0].take_events();
+        assert!(events.contains(&LogEvent::Committed {
+            slot: 0,
+            ours: false
+        }));
+        assert!(events.contains(&LogEvent::Committed {
+            slot: 1,
+            ours: true
+        }));
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, LogEvent::Committed { .. }))
+                .count(),
+            2
+        );
+        assert!(
+            handles[0].take_events().is_empty(),
+            "drain empties the buffer"
+        );
+        // p1 never opted in: no events despite committing.
+        assert!(handles[1].take_events().is_empty());
     }
 
     #[test]

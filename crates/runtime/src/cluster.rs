@@ -5,8 +5,8 @@ use std::time::{Duration, Instant};
 use omega_core::OmegaVariant;
 use omega_registers::{MemorySpace, ProcessId, ProcessSet};
 
-use crate::coop::{CoopConfig, CoopRuntime};
-use crate::node::{Node, NodeConfig, NodeCore};
+use crate::coop::{CoopConfig, CoopRuntime, CoopTask};
+use crate::node::{LeaderProbe, Node, NodeConfig, NodeCore};
 
 /// An `n`-process shared-memory system running one of the Ω variants on
 /// operating-system threads.
@@ -70,6 +70,40 @@ impl Cluster {
     pub fn start_coop(variant: OmegaVariant, n: usize, config: CoopConfig) -> Self {
         let (space, processes) = variant.build_processes(n);
         Self::host_coop(variant, space, processes, config)
+    }
+
+    /// [`start_coop`](Self::start_coop), plus application tasks on the
+    /// same wheel: `tasks` is called once with the cluster's memory space
+    /// and one [`LeaderProbe`] per node (identity order), and the
+    /// [`CoopTask`]s it returns are multiplexed alongside the `2n` node
+    /// loops — a replicated service's work loops and its client workload
+    /// pump compete with election steps for the same workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `config.workers == 0`.
+    #[must_use]
+    pub fn start_coop_with(
+        variant: OmegaVariant,
+        n: usize,
+        config: CoopConfig,
+        tasks: impl FnOnce(&MemorySpace, &[LeaderProbe]) -> Vec<Box<dyn CoopTask>>,
+    ) -> Self {
+        let (space, processes) = variant.build_processes(n);
+        let cores: Vec<_> = processes.into_iter().map(NodeCore::new).collect();
+        let probes: Vec<LeaderProbe> = cores
+            .iter()
+            .map(|core| LeaderProbe::new(std::sync::Arc::clone(core)))
+            .collect();
+        let extras = tasks(&space, &probes);
+        let runtime = CoopRuntime::start_with_tasks(&cores, config, extras);
+        let nodes = cores.into_iter().map(Node::hosted).collect();
+        Cluster {
+            space,
+            nodes,
+            variant,
+            coop: Some(runtime),
+        }
     }
 
     /// [`start_coop`](Self::start_coop) over an existing memory space —

@@ -106,35 +106,46 @@ impl DeadlineQueue {
     }
 }
 
-/// Which of the paper's two loops a task realizes.
-#[derive(Debug, Clone, Copy)]
-enum TaskKind {
-    /// The `T2` heartbeat loop: poll, re-arm `step_interval` later.
-    Step,
-    /// The `T3` timer loop: poll at the armed deadline, re-arm `timeout ×
-    /// tick` later.
-    Timer,
+/// An application task multiplexed on the cooperative wheel *alongside*
+/// the node loops — e.g. a replicated service's per-node work loop or a
+/// client workload pump.
+///
+/// The contract mirrors the node tasks': each [`poll`](CoopTask::poll) does
+/// one bounded chunk of work and returns the wall-clock deadline it wants
+/// to run next at, or `None` to retire permanently. Polls are serialized
+/// per task (the scheduler takes the task out of its slot while it runs),
+/// so `&mut self` state needs no further synchronization; deadlines share
+/// the exact `(deadline, arming order)` fairness of the node loops, which
+/// is the point — client work competes with election work for the same
+/// workers, as it would on a real box.
+pub trait CoopTask: Send {
+    /// Runs one chunk; returns the next deadline or `None` to retire.
+    fn poll(&mut self) -> Option<Instant>;
 }
 
-/// One multiplexed node loop.
-struct Task {
-    core: Arc<NodeCore>,
-    kind: TaskKind,
+/// One multiplexed task: a node loop, or an external application task.
+enum Task {
+    /// The `T2` heartbeat loop: poll, re-arm `step_interval` later.
+    Step(Arc<NodeCore>),
+    /// The `T3` timer loop: poll at the armed deadline, re-arm `timeout ×
+    /// tick` later.
+    Timer(Arc<NodeCore>),
+    /// An application task with self-chosen deadlines.
+    External(Box<dyn CoopTask>),
 }
 
 impl Task {
     /// Executes one poll; returns the next wall-clock deadline, or `None`
-    /// when the node has halted and the task retires.
-    fn run(&self, config: &NodeConfig) -> Option<Instant> {
-        match self.kind {
-            TaskKind::Step => self
-                .core
+    /// when the task retires (node halted, or external task done).
+    fn run(&mut self, config: &NodeConfig) -> Option<Instant> {
+        match self {
+            Task::Step(core) => core
                 .poll_step()
                 .then(|| Instant::now() + config.step_interval),
-            TaskKind::Timer => self
-                .core
+            Task::Timer(core) => core
                 .poll_scan()
                 .map(|timeout| Instant::now() + config.timer_span(timeout)),
+            Task::External(task) => task.poll(),
         }
     }
 }
@@ -261,7 +272,7 @@ fn worker_loop(inner: &Inner) {
             }
         }
         let (_key, id) = state.queue.pop().expect("peeked a key");
-        let Some(task) = state.tasks[id].take() else {
+        let Some(mut task) = state.tasks[id].take() else {
             // Stale wakeup for a retired slot; nothing to run.
             continue;
         };
@@ -307,28 +318,38 @@ impl CoopRuntime {
     /// deadline `initial_timeout × tick` from now; step tasks are due
     /// immediately.
     pub(crate) fn start(cores: &[Arc<NodeCore>], config: CoopConfig) -> Self {
+        Self::start_with_tasks(cores, config, Vec::new())
+    }
+
+    /// [`start`](Self::start), plus `extras` — application tasks
+    /// ([`CoopTask`]) multiplexed on the same wheel as the node loops,
+    /// each due immediately for its first poll.
+    pub(crate) fn start_with_tasks(
+        cores: &[Arc<NodeCore>],
+        config: CoopConfig,
+        extras: Vec<Box<dyn CoopTask>>,
+    ) -> Self {
         assert!(config.workers > 0, "a runtime needs at least one worker");
         let start = Instant::now();
         let mut state = SchedState {
             queue: DeadlineQueue::new(),
-            tasks: Vec::with_capacity(cores.len() * 2),
+            tasks: Vec::with_capacity(cores.len() * 2 + extras.len()),
             live: 0,
         };
         for core in cores {
             let step_id = state.tasks.len();
-            state.tasks.push(Some(Task {
-                core: Arc::clone(core),
-                kind: TaskKind::Step,
-            }));
+            state.tasks.push(Some(Task::Step(Arc::clone(core))));
             state.queue.push(0, step_id);
 
             let timer_id = state.tasks.len();
             let first = Instant::now() + config.node.timer_span(core.initial_timeout());
-            state.tasks.push(Some(Task {
-                core: Arc::clone(core),
-                kind: TaskKind::Timer,
-            }));
+            state.tasks.push(Some(Task::Timer(Arc::clone(core))));
             state.queue.push(key_for(start, first), timer_id);
+        }
+        for task in extras {
+            let id = state.tasks.len();
+            state.tasks.push(Some(Task::External(task)));
+            state.queue.push(0, id);
         }
         state.live = state.tasks.len();
 

@@ -52,6 +52,6 @@ mod node;
 mod watch;
 
 pub use cluster::Cluster;
-pub use coop::{CoopConfig, CoopRuntime};
-pub use node::{Node, NodeConfig};
+pub use coop::{CoopConfig, CoopRuntime, CoopTask};
+pub use node::{LeaderProbe, Node, NodeConfig};
 pub use watch::{LeaderEvent, LeaderEvents, LeaderWatch};

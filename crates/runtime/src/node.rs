@@ -233,6 +233,55 @@ impl NodeCore {
     }
 }
 
+/// A cheap, clonable, thread-safe view of one node's leader estimate and
+/// crash status — what a co-located application (a replicated service's
+/// per-node work loop, a client router) consults to gate its actions on Ω
+/// without owning the [`Node`] itself.
+///
+/// Obtained from [`Node::probe`]; remains valid after the node crashes
+/// (reporting the crash) and across either hosting substrate.
+#[derive(Clone)]
+pub struct LeaderProbe {
+    core: Arc<NodeCore>,
+}
+
+impl LeaderProbe {
+    pub(crate) fn new(core: Arc<NodeCore>) -> Self {
+        LeaderProbe { core }
+    }
+
+    /// The probed node's identity.
+    #[must_use]
+    pub fn pid(&self) -> ProcessId {
+        self.core.pid()
+    }
+
+    /// The estimate cached by the node's last `T2` iteration, or `None`
+    /// once the node has crashed. No shared-memory reads.
+    #[must_use]
+    pub fn leader(&self) -> Option<ProcessId> {
+        if self.core.is_crashed() {
+            return None;
+        }
+        self.core.cached_leader()
+    }
+
+    /// Whether the probed node has crash-stopped.
+    #[must_use]
+    pub fn is_crashed(&self) -> bool {
+        self.core.is_crashed()
+    }
+}
+
+impl std::fmt::Debug for LeaderProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LeaderProbe")
+            .field("pid", &self.pid())
+            .field("crashed", &self.is_crashed())
+            .finish()
+    }
+}
+
 /// A process of the election algorithm hosted on dedicated threads: one for
 /// the `T2` heartbeat loop, one for the `T3` timer loop.
 ///
@@ -313,6 +362,13 @@ impl Node {
     #[must_use]
     pub fn pid(&self) -> ProcessId {
         self.core.pid()
+    }
+
+    /// A clonable [`LeaderProbe`] onto this node, for application layers
+    /// that gate work on the node's Ω output.
+    #[must_use]
+    pub fn probe(&self) -> LeaderProbe {
+        LeaderProbe::new(Arc::clone(&self.core))
     }
 
     /// The Ω query (task `T1`): the node's current leader estimate.

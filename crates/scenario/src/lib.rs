@@ -93,5 +93,8 @@ pub use driver::Driver;
 pub use outcome::{Outcome, SanFootprint, TailActivity};
 pub use san_driver::SanDriver;
 pub use sim_driver::SimDriver;
-pub use spec::{AdversarySpec, AwbSpec, CrashSpec, Scenario, TimerSpec};
+pub use spec::{
+    AdversarySpec, AwbSpec, CrashSpec, DriverEligibility, Scenario, TimerSpec, COOP_MAX_N,
+    THREAD_MAX_N,
+};
 pub use thread_driver::ThreadDriver;

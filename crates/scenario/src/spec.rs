@@ -152,6 +152,57 @@ pub enum CrashSpec {
 
 /// A complete, backend-free description of one election experiment.
 ///
+/// Largest system the per-node-thread wall-clock backends (threads, SAN)
+/// admit: `2n` dedicated OS threads thrash the scheduler past this, so
+/// larger scenarios belong on the cooperative backend.
+pub const THREAD_MAX_N: usize = 16;
+
+/// Largest system the cooperative wall-clock backend records: one worker
+/// multiplexes all `2n` loops, so the wall comes from the wall-clock budget
+/// a 100 µs tick leaves a single core, not from thread thrash.
+pub const COOP_MAX_N: usize = 128;
+
+/// Which drivers can honor a scenario's contract — the driver axis of the
+/// suite, one flag per backend (see the driver-axis table in ROADMAP.md).
+///
+/// The simulator runs everything. No wall-clock backend can realize an
+/// AWB-violating literal adversary (real time *is* the fair schedule), so
+/// the wall backends admit only scenarios whose spec promises
+/// stabilization; the per-node-thread backends additionally refuse
+/// `n >` [`THREAD_MAX_N`] and the cooperative backend `n >` [`COOP_MAX_N`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriverEligibility {
+    /// The deterministic simulator (`SimDriver`).
+    pub sim: bool,
+    /// Dedicated OS threads (`ThreadDriver`).
+    pub threads: bool,
+    /// Dedicated OS threads over SAN block registers (`SanDriver`).
+    pub san: bool,
+    /// The cooperative deadline-wheel runtime (`CoopDriver`).
+    pub coop: bool,
+}
+
+impl DriverEligibility {
+    /// The admitting drivers' names, in the suite's canonical order.
+    #[must_use]
+    pub fn names(&self) -> Vec<&'static str> {
+        let mut names = Vec::new();
+        if self.sim {
+            names.push("sim");
+        }
+        if self.threads {
+            names.push("threads");
+        }
+        if self.san {
+            names.push("san");
+        }
+        if self.coop {
+            names.push("coop");
+        }
+        names
+    }
+}
+
 /// A `Scenario` is the single source of truth a [`Driver`](crate::Driver)
 /// consumes: which Ω variant, how many processes, the scheduling and timer
 /// regime, the crash script, and the horizon — everything expressed in
@@ -243,6 +294,19 @@ impl Scenario {
             seed: 42,
             expect_stabilization: true,
             san_latency: None,
+        }
+    }
+
+    /// Which drivers admit this scenario — the single source of truth the
+    /// bench binaries' `--driver` dispatch and `--list` output both read.
+    #[must_use]
+    pub fn eligible_drivers(&self) -> DriverEligibility {
+        let wall = self.expect_stabilization;
+        DriverEligibility {
+            sim: true,
+            threads: wall && self.n <= THREAD_MAX_N,
+            san: wall && self.n <= THREAD_MAX_N,
+            coop: wall && self.n <= COOP_MAX_N,
         }
     }
 

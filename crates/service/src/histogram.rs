@@ -1,0 +1,207 @@
+//! An HDR-style latency histogram: logarithmic octaves with linear
+//! sub-buckets.
+//!
+//! Request latencies span four-plus orders of magnitude (a get served in
+//! one poll vs. a put queued behind a failover), so a linear histogram
+//! either truncates the tail or wastes memory. The classic
+//! high-dynamic-range layout solves this with one bucket array indexed by
+//! `(octave of the value, top SUB_BUCKET_BITS bits below the leading
+//! one)`: constant relative error (here ≤ 2⁻⁴ ≈ 6.25 %), O(1) recording,
+//! and a few kilobytes of memory for the full `u64` range. No clocks, no
+//! allocation after construction, fully deterministic — the same sequence
+//! of `record` calls always yields the same quantiles, which is what lets
+//! the service bench gate its sim records byte-for-byte.
+
+/// Linear resolution within one octave: 2⁴ = 16 sub-buckets, i.e. values
+/// are resolved to ~6.25 % of their magnitude.
+const SUB_BUCKET_BITS: u32 = 4;
+/// Sub-buckets per octave.
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+/// Bucket count covering all of `u64`: the linear region below
+/// `SUB_BUCKETS`, plus 16 sub-buckets for each of the 60 remaining
+/// octaves.
+const BUCKETS: usize = SUB_BUCKETS + (64 - SUB_BUCKET_BITS as usize) * SUB_BUCKETS;
+
+/// A fixed-size HDR-style histogram over `u64` values (e.g. latencies in
+/// ticks).
+///
+/// # Examples
+///
+/// ```
+/// use omega_service::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// assert_eq!(h.max(), 1000);
+/// let p50 = h.value_at_quantile(0.50);
+/// // Constant relative error: the reported quantile is within 6.25 %.
+/// assert!((470..=540).contains(&p50), "p50 = {p50}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The bucket a value lands in.
+fn index_of(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let shift = msb - SUB_BUCKET_BITS;
+    let sub = (value >> shift) as usize - SUB_BUCKETS;
+    SUB_BUCKETS + (shift as usize) * SUB_BUCKETS + sub
+}
+
+/// The largest value a bucket represents (its upper bound, so reported
+/// quantiles never understate a latency).
+fn bucket_high(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        return index as u64;
+    }
+    let shift = ((index - SUB_BUCKETS) / SUB_BUCKETS) as u32;
+    let sub = ((index - SUB_BUCKETS) % SUB_BUCKETS) as u64;
+    let low = (SUB_BUCKETS as u64 + sub) << shift;
+    low + ((1u64 << shift) - 1)
+}
+
+impl Histogram {
+    /// An empty histogram covering the full `u64` range.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.counts[index_of(value)] += 1;
+        self.total += 1;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The exact largest recorded value.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at quantile `q` (clamped to `[0, 1]`): the upper bound of
+    /// the first bucket whose cumulative count reaches `⌈q · count⌉`,
+    /// capped at the exact recorded maximum. Returns 0 when empty.
+    #[must_use]
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return bucket_high(index).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        for q in 1..=16 {
+            let want = q as u64 - 1;
+            assert_eq!(h.value_at_quantile(q as f64 / 16.0), want);
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded_across_octaves() {
+        for &v in &[17u64, 100, 999, 4_096, 65_537, 1 << 30, (1 << 40) + 123] {
+            let mut h = Histogram::new();
+            h.record(v);
+            let got = h.value_at_quantile(1.0);
+            assert!(got >= v, "quantiles never understate: {got} < {v}");
+            let err = (got - v) as f64 / v as f64;
+            assert!(err <= 1.0 / 16.0, "relative error {err} too large at {v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_capped_at_max() {
+        let mut h = Histogram::new();
+        for v in [1u64, 10, 100, 1_000, 10_000, 100_000] {
+            h.record(v);
+        }
+        let mut last = 0;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = h.value_at_quantile(q);
+            assert!(v >= last, "quantiles must be monotone");
+            last = v;
+        }
+        assert_eq!(h.value_at_quantile(1.0), 100_000, "p100 is the exact max");
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.value_at_quantile(0.99), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn index_and_bound_agree_everywhere() {
+        // Every bucket's upper bound must land back in that bucket, and
+        // indices must be monotone in the value.
+        let mut probes: Vec<u64> = Vec::new();
+        for exp in 0..63u32 {
+            probes.extend([1u64 << exp, (1u64 << exp) + 1, (1u64 << exp) / 2 * 3]);
+        }
+        probes.sort_unstable();
+        let mut last_index = 0;
+        for v in probes {
+            let index = index_of(v);
+            assert!(index >= last_index, "monotone indices at {v}");
+            assert!(bucket_high(index) >= v);
+            assert_eq!(index_of(bucket_high(index)), index);
+            last_index = index;
+        }
+        assert!(index_of(u64::MAX) < BUCKETS);
+    }
+}

@@ -1,0 +1,359 @@
+//! What one service run measured, and its one-line JSON record.
+//!
+//! The headline is the **unavailability window**: for every scripted
+//! crash, the span from the crash tick until the service next
+//! acknowledged *any* request, together with the requests refused or
+//! stalled while it lasted. That is the user-facing denominator the
+//! election benchmarks lacked — "stabilization ticks" priced in protocol
+//! time, windows price it in failed requests.
+
+use std::fmt::Write as _;
+
+use omega_core::OmegaVariant;
+
+use crate::histogram::Histogram;
+use crate::ledger::{Ledger, RequestState};
+use crate::spec::ServiceScenario;
+
+/// One failover's user-visible cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnavailWindow {
+    /// Tick of the scripted crash.
+    pub crash_at: u64,
+    /// Tick of the first acknowledgment after the crash, or `None` if the
+    /// service never recovered inside the horizon.
+    pub healed_at: Option<u64>,
+    /// Requests refused whose lifetime overlapped the window.
+    pub rejected: u64,
+    /// Requests stalled past deadline whose lifetime overlapped the window.
+    pub stalled: u64,
+}
+
+impl UnavailWindow {
+    /// The window's length in ticks (up to `horizon` when it never healed).
+    #[must_use]
+    pub fn duration(&self, horizon: u64) -> u64 {
+        self.healed_at
+            .unwrap_or(horizon)
+            .saturating_sub(self.crash_at)
+    }
+}
+
+/// Everything one service-scenario run measured on one backend.
+#[derive(Debug, Clone)]
+pub struct ServiceOutcome {
+    /// Which backend produced it (`"sim"`, `"threads"`, `"coop"`).
+    pub backend: &'static str,
+    /// Service-scenario name.
+    pub scenario: String,
+    /// The Ω variant underneath.
+    pub variant: OmegaVariant,
+    /// Number of service nodes.
+    pub n: usize,
+    /// Run horizon in ticks.
+    pub horizon: u64,
+    /// Requests in the generated schedule.
+    pub requests: u64,
+    /// Requests acknowledged.
+    pub committed: u64,
+    /// Requests actively refused (routed to a non-leader, or unroutable).
+    pub rejected: u64,
+    /// Requests the client gave up on at its deadline.
+    pub stalled: u64,
+    /// Requests still unresolved at the horizon with a live deadline
+    /// (excluded from the SLO).
+    pub inflight: u64,
+    /// Acknowledgment-latency quantiles in ticks (HDR-style, ≤ 6.25 %
+    /// relative error; the max is exact).
+    pub commit_p50: u64,
+    /// 95th percentile acknowledgment latency (ticks).
+    pub commit_p95: u64,
+    /// 99th percentile acknowledgment latency (ticks).
+    pub commit_p99: u64,
+    /// Largest acknowledgment latency (ticks, exact).
+    pub commit_max: u64,
+    /// One window per scripted crash, in crash order.
+    pub windows: Vec<UnavailWindow>,
+    /// Whether the election (re-)stabilized by the end of the run.
+    pub stabilized: bool,
+    /// Space-wide shared-register writes (election + replication).
+    pub total_writes: u64,
+    /// Log slots decided across the run.
+    pub log_slots: u64,
+    /// Wall-clock run time in milliseconds (advisory; never gated on sim).
+    pub elapsed_ms: f64,
+}
+
+impl ServiceOutcome {
+    /// Builds the outcome from a finished run's raw parts: the ledger's
+    /// final states, the scripted crash ticks (in script order), and the
+    /// backend's counters.
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn assemble(
+        backend: &'static str,
+        scenario: &ServiceScenario,
+        ledger: &Ledger,
+        crashes: &[u64],
+        stabilized: bool,
+        total_writes: u64,
+        log_slots: u64,
+        elapsed_ms: f64,
+    ) -> Self {
+        let horizon = scenario.election.horizon;
+        let meta = ledger.meta();
+        let states = ledger.states();
+
+        let mut committed = 0u64;
+        let mut rejected = 0u64;
+        let mut stalled = 0u64;
+        let mut inflight = 0u64;
+        let mut latencies = Histogram::new();
+        let mut ack_ticks: Vec<u64> = Vec::new();
+        for (m, state) in meta.iter().zip(&states) {
+            match *state {
+                RequestState::Pending => inflight += 1,
+                RequestState::Committed { at } => {
+                    committed += 1;
+                    latencies.record(at.saturating_sub(m.arrival));
+                    ack_ticks.push(at);
+                }
+                RequestState::Rejected { .. } => rejected += 1,
+                RequestState::Stalled { .. } => stalled += 1,
+            }
+        }
+        ack_ticks.sort_unstable();
+
+        let mut crash_ticks: Vec<u64> = crashes.to_vec();
+        crash_ticks.sort_unstable();
+        let mut windows: Vec<UnavailWindow> = crash_ticks
+            .into_iter()
+            .map(|crash_at| {
+                let healed_at = ack_ticks.iter().copied().find(|&t| t > crash_at);
+                UnavailWindow {
+                    crash_at,
+                    healed_at,
+                    rejected: 0,
+                    stalled: 0,
+                }
+            })
+            .collect();
+        // Attribute each failed request to the first window its lifetime
+        // [arrival, resolved] overlaps.
+        for (m, state) in meta.iter().zip(&states) {
+            let (at, is_reject) = match *state {
+                RequestState::Rejected { at } => (at, true),
+                RequestState::Stalled { at } => (at, false),
+                _ => continue,
+            };
+            if let Some(w) = windows
+                .iter_mut()
+                .find(|w| m.arrival <= w.healed_at.unwrap_or(horizon) && at >= w.crash_at)
+            {
+                if is_reject {
+                    w.rejected += 1;
+                } else {
+                    w.stalled += 1;
+                }
+            }
+        }
+
+        ServiceOutcome {
+            backend,
+            scenario: scenario.name.clone(),
+            variant: scenario.election.variant,
+            n: scenario.election.n,
+            horizon,
+            requests: meta.len() as u64,
+            committed,
+            rejected,
+            stalled,
+            inflight,
+            commit_p50: latencies.value_at_quantile(0.50),
+            commit_p95: latencies.value_at_quantile(0.95),
+            commit_p99: latencies.value_at_quantile(0.99),
+            commit_max: latencies.max(),
+            windows,
+            stabilized,
+            total_writes,
+            log_slots,
+            elapsed_ms,
+        }
+    }
+
+    /// Total unavailability across all windows, in ticks.
+    #[must_use]
+    pub fn unavail_ticks(&self) -> u64 {
+        self.windows.iter().map(|w| w.duration(self.horizon)).sum()
+    }
+
+    /// Requests refused inside unavailability windows.
+    #[must_use]
+    pub fn unavail_rejected(&self) -> u64 {
+        self.windows.iter().map(|w| w.rejected).sum()
+    }
+
+    /// Requests stalled inside unavailability windows.
+    #[must_use]
+    pub fn unavail_stalled(&self) -> u64 {
+        self.windows.iter().map(|w| w.stalled).sum()
+    }
+
+    /// The flat one-line JSON record the `service` bench bin emits —
+    /// defined here so the determinism test and the bin serialize through
+    /// one code path. Every field except `wall_ms` is a pure function of
+    /// `(scenario, seed)` on the sim backend.
+    #[must_use]
+    pub fn json_record(&self) -> String {
+        let mut o = String::new();
+        let _ = write!(
+            o,
+            "{{\"scenario\":{},\"backend\":{},\"variant\":{},\"n\":{},",
+            json_str(&self.scenario),
+            json_str(self.backend),
+            json_str(self.variant.name()),
+            self.n,
+        );
+        let _ = write!(
+            o,
+            "\"requests\":{},\"committed\":{},\"rejected\":{},\"stalled\":{},\"inflight\":{},",
+            self.requests, self.committed, self.rejected, self.stalled, self.inflight,
+        );
+        let _ = write!(
+            o,
+            "\"commit_p50\":{},\"commit_p95\":{},\"commit_p99\":{},\"commit_max\":{},",
+            self.commit_p50, self.commit_p95, self.commit_p99, self.commit_max,
+        );
+        let _ = write!(
+            o,
+            "\"crashes\":{},\"unavail_ticks\":{},\"unavail_rejected\":{},\"unavail_stalled\":{},",
+            self.windows.len(),
+            self.unavail_ticks(),
+            self.unavail_rejected(),
+            self.unavail_stalled(),
+        );
+        let _ = write!(
+            o,
+            "\"stabilized\":{},\"total_writes\":{},\"log_slots\":{},\"wall_ms\":{:.3}}}",
+            self.stabilized, self.total_writes, self.log_slots, self.elapsed_ms,
+        );
+        o
+    }
+}
+
+/// Minimal JSON string escaping (same dialect as the scenarios bin).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::Ledger;
+    use crate::workload::{RequestKind, RequestMeta};
+    use omega_registers::ProcessId;
+
+    fn scenario() -> ServiceScenario {
+        crate::registry::all()
+            .into_iter()
+            .find(|s| s.name == "failover/alg1")
+            .expect("registry has the headline scenario")
+    }
+
+    fn request(arrival: u64) -> RequestMeta {
+        RequestMeta {
+            arrival,
+            deadline: arrival + 1_000,
+            client: 0,
+            kind: RequestKind::Get { key: 0 },
+        }
+    }
+
+    #[test]
+    fn windows_measure_crash_to_first_ack() {
+        let sc = scenario();
+        let ledger = Ledger::new(
+            vec![
+                request(100),
+                request(19_000),
+                request(21_000),
+                request(26_000),
+            ],
+            sc.election.n,
+        );
+        // Before the crash at 20_000: two acks. After: one reject inside
+        // the window, then the healing ack.
+        ledger.complete(0, 150);
+        ledger.complete(1, 19_100);
+        ledger.reject(2, 21_050);
+        ledger.complete(3, 26_200);
+        let outcome = ServiceOutcome::assemble("sim", &sc, &ledger, &[20_000], true, 10, 3, 1.0);
+        assert_eq!(outcome.windows.len(), 1);
+        let w = outcome.windows[0];
+        assert_eq!(w.crash_at, 20_000);
+        assert_eq!(w.healed_at, Some(26_200));
+        assert_eq!(w.rejected, 1);
+        assert_eq!(w.stalled, 0);
+        assert_eq!(outcome.unavail_ticks(), 6_200);
+        assert_eq!(outcome.committed, 3);
+        assert_eq!(outcome.rejected, 1);
+    }
+
+    #[test]
+    fn unhealed_window_extends_to_the_horizon() {
+        let sc = scenario();
+        let ledger = Ledger::new(vec![request(100)], sc.election.n);
+        ledger.complete(0, 150);
+        let outcome = ServiceOutcome::assemble("sim", &sc, &ledger, &[30_000], false, 0, 0, 1.0);
+        assert_eq!(outcome.windows[0].healed_at, None);
+        assert_eq!(
+            outcome.unavail_ticks(),
+            sc.election.horizon - 30_000,
+            "never-healed windows run to the horizon"
+        );
+    }
+
+    #[test]
+    fn json_record_is_flat_and_complete() {
+        let sc = scenario();
+        let ledger = Ledger::new(vec![request(100)], sc.election.n);
+        ledger.publish(ProcessId::new(0), Some(ProcessId::new(0)));
+        ledger.complete(0, 400);
+        let outcome = ServiceOutcome::assemble("sim", &sc, &ledger, &[], true, 42, 7, 2.5);
+        let record = outcome.json_record();
+        for key in [
+            "\"scenario\":",
+            "\"backend\":\"sim\"",
+            "\"variant\":",
+            "\"n\":",
+            "\"requests\":1",
+            "\"committed\":1",
+            "\"rejected\":0",
+            "\"stalled\":0",
+            "\"inflight\":0",
+            "\"commit_p50\":",
+            "\"crashes\":0",
+            "\"unavail_ticks\":0",
+            "\"stabilized\":true",
+            "\"total_writes\":42",
+            "\"log_slots\":7",
+            "\"wall_ms\":2.500",
+        ] {
+            assert!(record.contains(key), "missing {key} in {record}");
+        }
+        assert!(!record.contains('\n'));
+    }
+}

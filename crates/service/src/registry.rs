@@ -1,0 +1,152 @@
+//! The committed service-scenario suite — the records `BENCH_service.json`
+//! gates against.
+//!
+//! Sizing note: with 2 000 clients at a 30 000-tick mean inter-arrival
+//! over a 48 000-tick window, the suite issues ≈ 3 200 requests, ≈ 10 %
+//! of them puts. One log slot decides in well under 100 ticks once a
+//! leader is stable, so the replication pipeline runs far below
+//! saturation and every outcome is attributable to the election, not to
+//! queueing — exactly what a failover SLO measurement needs. The last
+//! possible deadline (`stop − 1 + deadline`) lands inside the horizon, so
+//! sim runs finish with zero in-flight requests and the records are exact.
+
+use omega_core::OmegaVariant;
+use omega_scenario::Scenario;
+
+use crate::spec::ServiceScenario;
+use crate::workload::WorkloadSpec;
+
+/// Number of service nodes in every suite scenario.
+const N: usize = 5;
+/// The tick every single-failover scenario crashes the sitting leader at.
+const CRASH_AT: u64 = 20_000;
+
+/// The suite's shared client population.
+fn base_workload() -> WorkloadSpec {
+    WorkloadSpec {
+        clients: 2_000,
+        mean_interarrival: 30_000,
+        put_pct: 10,
+        key_space: 64,
+        deadline: 6_000,
+        start: 2_000,
+        stop: 50_000,
+    }
+}
+
+/// Short scenario-name slug for a variant (the full `variant.name()` is
+/// already a field of every record; suite names stay terse).
+fn slug(variant: OmegaVariant) -> &'static str {
+    match variant {
+        OmegaVariant::Alg1 => "alg1",
+        OmegaVariant::Alg2 => "alg2",
+        OmegaVariant::Mwmr => "mwmr",
+        OmegaVariant::StepClock => "stepclock",
+    }
+}
+
+/// A single-leader-crash scenario over `variant`, the suite's headline
+/// shape.
+fn failover(variant: OmegaVariant) -> ServiceScenario {
+    ServiceScenario::new(
+        &format!("failover/{}", slug(variant)),
+        Scenario::fault_free(variant, N).crash_leader_at(CRASH_AT),
+        base_workload(),
+    )
+}
+
+/// Every scenario in the suite, in canonical order.
+#[must_use]
+pub fn all() -> Vec<ServiceScenario> {
+    let mut suite = vec![ServiceScenario::new(
+        "steady/alg1",
+        Scenario::fault_free(OmegaVariant::Alg1, N),
+        base_workload(),
+    )];
+    for variant in [
+        OmegaVariant::Alg1,
+        OmegaVariant::Alg2,
+        OmegaVariant::Mwmr,
+        OmegaVariant::StepClock,
+    ] {
+        suite.push(failover(variant));
+    }
+    suite.push(ServiceScenario::new(
+        "double-failover/alg1",
+        Scenario::fault_free(OmegaVariant::Alg1, N)
+            .crash_leader_at(16_000)
+            .crash_leader_at(34_000),
+        base_workload(),
+    ));
+    suite.push(ServiceScenario::new(
+        "surge/alg1",
+        Scenario::fault_free(OmegaVariant::Alg1, N).crash_leader_at(CRASH_AT),
+        WorkloadSpec {
+            mean_interarrival: 12_000,
+            put_pct: 5,
+            ..base_workload()
+        },
+    ));
+    suite
+}
+
+/// The suite's scenario names, in canonical order.
+#[must_use]
+pub fn names() -> Vec<String> {
+    all().into_iter().map(|s| s.name).collect()
+}
+
+/// Looks a scenario up by exact name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<ServiceScenario> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_shape_is_stable() {
+        let suite = all();
+        assert!(suite.len() >= 6, "the bench artifact promises ≥ 6 records");
+        let names = names();
+        assert_eq!(
+            names.len(),
+            names.iter().collect::<std::collections::HashSet<_>>().len(),
+            "names are unique"
+        );
+        assert!(names.contains(&"failover/alg1".to_string()));
+        for sc in &suite {
+            assert_eq!(sc.election.n, N);
+            assert!(sc.election.expect_stabilization);
+            // Every deadline must land inside the horizon so sim records
+            // finish with zero in-flight requests.
+            assert!(
+                sc.workload.stop - 1 + sc.workload.deadline < sc.election.horizon,
+                "{}: deadlines must resolve inside the horizon",
+                sc.name
+            );
+        }
+    }
+
+    #[test]
+    fn crash_scripts_match_the_names() {
+        for sc in all() {
+            let expected = match sc.name.split('/').next().unwrap() {
+                "steady" => 0,
+                "double-failover" => 2,
+                _ => 1,
+            };
+            assert_eq!(sc.election.crashes.len(), expected, "{}", sc.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_round_trips() {
+        for name in names() {
+            assert_eq!(by_name(&name).unwrap().name, name);
+        }
+        assert!(by_name("no-such-scenario").is_none());
+    }
+}

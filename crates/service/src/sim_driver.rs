@@ -1,0 +1,195 @@
+//! The deterministic-simulator backend for service scenarios.
+//!
+//! The election environment is realized exactly as the election suite
+//! realizes it — the same adversary, AWB envelope, timer models, crash
+//! plan, and horizon, all built by [`omega_scenario::Scenario::sim_builder`]
+//! — with two kinds of actors on top:
+//!
+//! * `n` **service-node actors**, each coupling an Ω process with its
+//!   [`ServiceNode`] replica loop: every adversary-scheduled step runs one
+//!   Ω step and then one service poll fed by that step's fresh estimate.
+//! * one **workload actor** at pid `n`, playing the client population: it
+//!   issues every due arrival to the router and sweeps client deadlines.
+//!   Its `current_leader` reports the *router's* current target, so the
+//!   harness's plurality bookkeeping (leader-crash targeting, timeline
+//!   stabilization) sees the client-visible view converge alongside the
+//!   nodes' own.
+//!
+//! Everything is a pure function of the scenario: same spec, same seed →
+//! byte-identical record (modulo wall-clock, which is reported but never
+//! part of the record's gated fields).
+
+use std::sync::Arc;
+
+use omega_consensus::{KvCommand, LogShared};
+use omega_core::OmegaProcess;
+use omega_registers::{Instrumentation, MemorySpace, ProcessId};
+use omega_scenario::CrashSpec;
+use omega_sim::{Actor, StepCtx};
+
+use crate::ledger::Ledger;
+use crate::node::ServiceNode;
+use crate::outcome::ServiceOutcome;
+use crate::spec::ServiceScenario;
+
+/// A timeout so large the workload actor's timer never refires inside any
+/// realistic horizon (it does all its work in `on_step`).
+const NEVER: u64 = 1 << 40;
+
+/// An Ω process and its service replica, stepped as one simulator actor.
+struct ServiceNodeActor {
+    omega: Box<dyn OmegaProcess>,
+    node: ServiceNode,
+}
+
+impl Actor for ServiceNodeActor {
+    fn on_step(&mut self, ctx: StepCtx) {
+        self.omega.t2_step();
+        self.node.poll(self.omega.cached_leader(), ctx.now.ticks());
+    }
+
+    fn on_timer(&mut self, _ctx: StepCtx) -> u64 {
+        self.omega.on_timer_expire()
+    }
+
+    fn initial_timeout(&self) -> u64 {
+        self.omega.initial_timeout()
+    }
+
+    fn current_leader(&self) -> Option<ProcessId> {
+        self.omega.cached_leader()
+    }
+}
+
+/// The client population: issues due arrivals and sweeps deadlines.
+struct WorkloadActor {
+    ledger: Arc<Ledger>,
+    /// Index of the next request (the schedule is time-sorted).
+    next: usize,
+}
+
+impl Actor for WorkloadActor {
+    fn on_step(&mut self, ctx: StepCtx) {
+        let now = ctx.now.ticks();
+        while self.next < self.ledger.requests() {
+            let meta = self.ledger.meta()[self.next];
+            if meta.arrival > now {
+                break;
+            }
+            self.ledger.issue(self.next, now);
+            self.next += 1;
+        }
+        self.ledger.sweep(now);
+    }
+
+    fn on_timer(&mut self, _ctx: StepCtx) -> u64 {
+        NEVER
+    }
+
+    fn initial_timeout(&self) -> u64 {
+        NEVER
+    }
+
+    fn current_leader(&self) -> Option<ProcessId> {
+        self.ledger.route_target()
+    }
+}
+
+/// Realizes a [`ServiceScenario`] on the deterministic simulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceSimDriver;
+
+impl ServiceSimDriver {
+    /// Runs the scenario to its horizon and assembles the outcome.
+    #[must_use]
+    pub fn run(&self, scenario: &ServiceScenario) -> ServiceOutcome {
+        let election = &scenario.election;
+        let n = election.n;
+
+        // Deferred instrumentation is exact single-threaded — the
+        // simulator's mode.
+        let space = MemorySpace::with_instrumentation(n, Instrumentation::Deferred);
+        let omegas = election.variant.build_processes_in(&space);
+        let shared = LogShared::<KvCommand>::new(space.clone());
+        let ledger = Ledger::new(scenario.requests(), n);
+
+        let mut actors: Vec<Box<dyn Actor>> = omegas
+            .into_iter()
+            .map(|omega| {
+                let pid = omega.pid();
+                Box::new(ServiceNodeActor {
+                    omega,
+                    node: ServiceNode::new(pid, Arc::clone(&ledger), Arc::clone(&shared)),
+                }) as Box<dyn Actor>
+            })
+            .collect();
+        actors.push(Box::new(WorkloadActor {
+            ledger: Arc::clone(&ledger),
+            next: 0,
+        }));
+
+        // The environment spec is the election's, widened by one process
+        // slot for the workload actor (which touches no shared registers,
+        // so the election's schedule semantics are unchanged).
+        let mut env = election.clone();
+        env.n = n + 1;
+        let report = env.sim_builder(actors).memory(space.clone()).run();
+
+        // Final deadline sweep: anything still unresolved whose deadline
+        // fell inside the horizon is a stall the pump may not have seen.
+        ledger.sweep(election.horizon);
+
+        let crash_ticks: Vec<u64> = election
+            .crashes
+            .iter()
+            .map(|c| match *c {
+                CrashSpec::At { tick, .. } | CrashSpec::LeaderAt { tick } => tick,
+            })
+            .collect();
+
+        ServiceOutcome::assemble(
+            "sim",
+            scenario,
+            &ledger,
+            &crash_ticks,
+            report.stabilization().is_some(),
+            space.stats().total_writes(),
+            shared.allocated_slots() as u64,
+            report.wall.elapsed_ms(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+
+    #[test]
+    fn steady_scenario_serves_nearly_everything() {
+        let sc = registry::by_name("steady/alg1").unwrap();
+        let outcome = ServiceSimDriver.run(&sc);
+        assert!(outcome.stabilized);
+        assert_eq!(outcome.inflight, 0, "all deadlines resolve in-horizon");
+        assert_eq!(outcome.windows.len(), 0);
+        assert!(
+            outcome.committed as f64 >= outcome.requests as f64 * 0.90,
+            "steady state should commit the vast majority: {} of {}",
+            outcome.committed,
+            outcome.requests
+        );
+        assert!(outcome.log_slots > 0, "puts must replicate through the log");
+        assert!(outcome.commit_p50 <= outcome.commit_p95);
+        assert!(outcome.commit_p95 <= outcome.commit_max);
+    }
+
+    #[test]
+    fn identical_runs_yield_identical_records() {
+        let sc = registry::by_name("failover/alg2").unwrap();
+        let mut a = ServiceSimDriver.run(&sc);
+        let mut b = ServiceSimDriver.run(&sc);
+        a.elapsed_ms = 0.0;
+        b.elapsed_ms = 0.0;
+        assert_eq!(a.json_record(), b.json_record());
+    }
+}

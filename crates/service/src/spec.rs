@@ -1,0 +1,87 @@
+//! A service scenario: an election scenario plus the workload that rides
+//! on it.
+//!
+//! The election half reuses the scenario crate's declarative [`Scenario`]
+//! wholesale — adversary, AWB envelope, timers, crash script, horizon,
+//! seed — so a service experiment is environment-compatible with the
+//! election experiments it extends. The workload half adds the open-loop
+//! client population. Both are pure data; drivers realize them.
+
+use omega_scenario::Scenario;
+
+use crate::workload::WorkloadSpec;
+
+/// A complete, backend-free description of one service experiment.
+#[derive(Debug, Clone)]
+pub struct ServiceScenario {
+    /// Name used in tables, JSON records, and `--only` filters.
+    pub name: String,
+    /// The election environment the service runs in. Its `seed` also
+    /// seeds the workload, and its crash script is the failure schedule
+    /// the unavailability windows are measured against.
+    pub election: Scenario,
+    /// The open-loop client population.
+    pub workload: WorkloadSpec,
+}
+
+impl ServiceScenario {
+    /// Builds a service scenario, stamping `name` onto the election spec
+    /// too (so election-level reports stay attributable).
+    #[must_use]
+    pub fn new(name: &str, election: Scenario, workload: WorkloadSpec) -> Self {
+        let election = election.named(name);
+        ServiceScenario {
+            name: name.to_string(),
+            election,
+            workload,
+        }
+    }
+
+    /// The generated request schedule for this scenario (pure function of
+    /// the spec: workload shaped by `workload`, seeded by the election
+    /// seed).
+    #[must_use]
+    pub fn requests(&self) -> Vec<crate::workload::RequestMeta> {
+        self.workload.generate(self.election.seed)
+    }
+}
+
+impl std::fmt::Display for ServiceScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [{} n={} clients={} crashes={}]",
+            self.name,
+            self.election.variant,
+            self.election.n,
+            self.workload.clients,
+            self.election.crashes.len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega_core::OmegaVariant;
+
+    #[test]
+    fn name_is_stamped_onto_the_election_spec() {
+        let sc = ServiceScenario::new(
+            "svc/x",
+            Scenario::fault_free(OmegaVariant::Alg1, 3),
+            WorkloadSpec {
+                clients: 10,
+                mean_interarrival: 1_000,
+                put_pct: 10,
+                key_space: 4,
+                deadline: 500,
+                start: 100,
+                stop: 5_000,
+            },
+        );
+        assert_eq!(sc.name, "svc/x");
+        assert_eq!(sc.election.name, "svc/x");
+        assert_eq!(sc.requests(), sc.requests(), "schedule is deterministic");
+    }
+}

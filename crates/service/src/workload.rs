@@ -1,0 +1,172 @@
+//! Declarative open-loop workloads: who asks what, when, and how long
+//! they wait.
+//!
+//! The arrival *process* lives in `omega_sim::arrivals` (per-client seeded
+//! streams merged deterministically); this module layers the KV request
+//! mix on top — get/put ratio, key population, and the client-side
+//! deadline that turns slow requests into *stalled* ones. All randomness
+//! flows through each client's own [`SmallRng`](omega_sim::rng::SmallRng)
+//! stream, so adding clients or reordering generation never perturbs an
+//! existing client's requests.
+
+use omega_sim::arrivals::OpenLoop;
+
+/// What one request asks of the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Read a key (served by the leader from its replica, no log slot).
+    Get {
+        /// Key index into the workload's key population.
+        key: u64,
+    },
+    /// Write a key (replicated through a log slot before acknowledgment).
+    Put {
+        /// Key index into the workload's key population.
+        key: u64,
+    },
+}
+
+/// One generated request: immutable facts fixed at generation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestMeta {
+    /// Arrival tick.
+    pub arrival: u64,
+    /// Tick at which the issuing client gives up waiting.
+    pub deadline: u64,
+    /// Index of the issuing client.
+    pub client: u64,
+    /// The operation.
+    pub kind: RequestKind,
+}
+
+/// An open-loop KV workload: `clients` independent sources issuing
+/// get/put requests at a configured rate, each request carrying a fixed
+/// client-side deadline.
+///
+/// # Examples
+///
+/// ```
+/// use omega_service::WorkloadSpec;
+///
+/// let spec = WorkloadSpec {
+///     clients: 100,
+///     mean_interarrival: 5_000,
+///     put_pct: 10,
+///     key_space: 16,
+///     deadline: 2_000,
+///     start: 1_000,
+///     stop: 10_000,
+/// };
+/// let a = spec.generate(7);
+/// let b = spec.generate(7);
+/// assert_eq!(a, b, "workloads are pure functions of (spec, seed)");
+/// assert!(a.iter().all(|r| r.deadline == r.arrival + 2_000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// Number of independent clients.
+    pub clients: u64,
+    /// Mean gap between one client's consecutive requests, in ticks.
+    pub mean_interarrival: u64,
+    /// Percentage of requests that are puts (0–100); the rest are gets.
+    pub put_pct: u32,
+    /// Number of distinct keys, drawn uniformly.
+    pub key_space: u64,
+    /// Client patience: a request unresolved `deadline` ticks after its
+    /// arrival counts as stalled. Constant per workload, so requests stay
+    /// deadline-sorted and the stall sweep is a single cursor.
+    pub deadline: u64,
+    /// First tick of the arrival window.
+    pub start: u64,
+    /// End of the arrival window (exclusive).
+    pub stop: u64,
+}
+
+impl WorkloadSpec {
+    /// Generates the merged, time-sorted request schedule for `seed`.
+    #[must_use]
+    pub fn generate(&self, seed: u64) -> Vec<RequestMeta> {
+        let open = OpenLoop {
+            clients: self.clients,
+            mean_interarrival: self.mean_interarrival,
+            start: self.start,
+            stop: self.stop,
+        };
+        let keys = self.key_space.max(1);
+        let put_pct = u64::from(self.put_pct.min(100));
+        open.generate(seed, |_, rng| {
+            let key = rng.gen_range(0..=keys - 1);
+            let put = rng.gen_range(1..=100) <= put_pct;
+            if put {
+                RequestKind::Put { key }
+            } else {
+                RequestKind::Get { key }
+            }
+        })
+        .into_iter()
+        .map(|a| RequestMeta {
+            arrival: a.at,
+            deadline: a.at.saturating_add(self.deadline),
+            client: a.client,
+            kind: a.payload,
+        })
+        .collect()
+    }
+
+    /// The store key name for a key index — one canonical spelling, so
+    /// every layer (submission, replay, inspection) agrees on it.
+    #[must_use]
+    pub fn key_name(key: u64) -> String {
+        format!("k{key:03}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            clients: 200,
+            mean_interarrival: 10_000,
+            put_pct: 20,
+            key_space: 8,
+            deadline: 3_000,
+            start: 500,
+            stop: 20_000,
+        }
+    }
+
+    #[test]
+    fn mix_and_bounds_follow_the_spec() {
+        let requests = spec().generate(11);
+        assert!(!requests.is_empty());
+        let puts = requests
+            .iter()
+            .filter(|r| matches!(r.kind, RequestKind::Put { .. }))
+            .count();
+        let ratio = puts as f64 / requests.len() as f64;
+        assert!((0.12..=0.28).contains(&ratio), "put ratio {ratio}");
+        for r in &requests {
+            assert!((500..20_000).contains(&r.arrival));
+            assert_eq!(r.deadline, r.arrival + 3_000);
+            let (RequestKind::Get { key } | RequestKind::Put { key }) = r.kind;
+            assert!(key < 8);
+        }
+        assert!(
+            requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "schedule is time-sorted (hence deadline-sorted)"
+        );
+    }
+
+    #[test]
+    fn different_seeds_reshape_the_workload() {
+        assert_ne!(spec().generate(1), spec().generate(2));
+    }
+
+    #[test]
+    fn key_names_are_stable() {
+        assert_eq!(WorkloadSpec::key_name(7), "k007");
+        assert_eq!(WorkloadSpec::key_name(123), "k123");
+    }
+}

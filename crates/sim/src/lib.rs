@@ -48,6 +48,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod adversary;
+pub mod arrivals;
 pub mod crash;
 pub mod event;
 pub mod metrics;

@@ -20,6 +20,7 @@
 //! | [`runtime`] | `omega-runtime` | OS-thread clusters, SAN-style disk registers |
 //! | [`scenario`] | `omega-scenario` | **the front door**: declarative scenarios, backend drivers, comparable outcomes |
 //! | [`consensus`] | `omega-consensus` | round-based consensus, replicated log, KV demo |
+//! | [`service`] | `omega-service` | leader-gated replicated KV under open-loop load, failover-unavailability SLO |
 //! | [`lowerbound`] | `omega-lowerbound` | broken variants + executable lower-bound proofs |
 //!
 //! # Five-minute tour
@@ -82,4 +83,5 @@ pub use omega_lowerbound as lowerbound;
 pub use omega_registers as registers;
 pub use omega_runtime as runtime;
 pub use omega_scenario as scenario;
+pub use omega_service as service;
 pub use omega_sim as sim;

@@ -1,0 +1,111 @@
+//! The omega-service SLO surface: failover unavailability is finite, and
+//! sim records are byte-reproducible.
+//!
+//! These are the two promises `BENCH_service.json` rests on. The window
+//! bound says the headline metric measures an *election*, not a hang: a
+//! scripted leader crash must produce an unavailability window that heals
+//! inside the horizon and is far shorter than the crash-to-horizon gap.
+//! The determinism test says the sim record is a fixed point of the seed —
+//! the property that lets CI gate the artifact byte-for-byte.
+
+use omega_shm::service::{registry, RequestState, ServiceSimDriver};
+
+#[test]
+fn failover_window_is_finite_and_bounded() {
+    let scenario = registry::by_name("failover/alg1").expect("suite scenario");
+    let outcome = ServiceSimDriver.run(&scenario);
+
+    assert!(outcome.stabilized, "Ω must re-elect after the crash");
+    assert_eq!(outcome.windows.len(), 1, "one crash ⇒ one window");
+    let window = &outcome.windows[0];
+    assert!(
+        window.healed_at.is_some(),
+        "the service must serve again inside the horizon"
+    );
+    let unavail = outcome.unavail_ticks();
+    assert!(unavail > 0, "a leader crash is never free");
+    assert!(
+        unavail < 20_000,
+        "re-election must be far quicker than crash-to-horizon ({unavail} ticks)"
+    );
+
+    // The window is where the damage concentrates: requests failing
+    // inside it never exceed the total, and the crash does cause some.
+    assert!(outcome.committed > 0);
+    let failed = outcome.rejected + outcome.stalled;
+    let in_window = outcome.unavail_rejected() + outcome.unavail_stalled();
+    assert!(
+        in_window <= failed,
+        "window attribution can never exceed the totals"
+    );
+    assert!(
+        in_window > 0,
+        "a leader crash under open-loop load fails at least one request"
+    );
+    assert!(
+        failed * 100 <= outcome.requests,
+        "under 1 % of requests may fail across a single failover"
+    );
+    assert_eq!(
+        outcome.inflight, 0,
+        "every deadline lands inside the horizon"
+    );
+}
+
+#[test]
+fn steady_state_commits_everything() {
+    let scenario = registry::by_name("steady/alg1").expect("suite scenario");
+    let outcome = ServiceSimDriver.run(&scenario);
+    assert_eq!(outcome.committed, outcome.requests);
+    assert_eq!(outcome.rejected + outcome.stalled, 0);
+    assert!(outcome.windows.is_empty(), "no crash ⇒ no window");
+}
+
+#[test]
+fn same_seed_yields_a_byte_identical_record() {
+    let scenario = registry::by_name("failover/alg2").expect("suite scenario");
+    let mut first = ServiceSimDriver.run(&scenario);
+    let mut second = ServiceSimDriver.run(&scenario);
+    // Wall time is the one legitimately nondeterministic field.
+    first.elapsed_ms = 0.0;
+    second.elapsed_ms = 0.0;
+    assert_eq!(
+        first.json_record(),
+        second.json_record(),
+        "sim records must be reproducible byte-for-byte"
+    );
+}
+
+#[test]
+fn a_different_seed_yields_a_different_workload() {
+    let scenario = registry::by_name("steady/alg1").expect("suite scenario");
+    let mut reseeded = scenario.clone();
+    reseeded.election = scenario.election.clone().seed(scenario.election.seed + 1);
+    let a = scenario.requests();
+    let b = reseeded.requests();
+    assert_ne!(
+        a.iter().map(|m| m.arrival).collect::<Vec<_>>(),
+        b.iter().map(|m| m.arrival).collect::<Vec<_>>(),
+        "the workload must be derived from the scenario seed"
+    );
+}
+
+#[test]
+fn request_states_resolve_terminally_on_sim() {
+    // No request may end the horizon issued-but-unresolved: the registry
+    // sizes every deadline inside the horizon and the driver sweeps at the
+    // end, so `Pending`/`Issued` states would mean the sweep is broken.
+    let scenario = registry::by_name("double-failover/alg1").expect("suite scenario");
+    let outcome = ServiceSimDriver.run(&scenario);
+    assert_eq!(outcome.inflight, 0);
+    assert_eq!(
+        outcome.committed + outcome.rejected + outcome.stalled,
+        outcome.requests
+    );
+    // The `RequestState` surface stays exported through the facade (used
+    // by downstream tooling to interpret per-request dumps).
+    assert!(matches!(
+        RequestState::Committed { at: 1 },
+        RequestState::Committed { .. }
+    ));
+}
