@@ -278,6 +278,20 @@ fn parse_baseline(json: &str) -> Result<Vec<BaselineRecord>, String> {
         .collect()
 }
 
+/// Loads and validates a `--check` baseline. A missing file, an
+/// unparseable record, or an empty baseline all mean the gate cannot
+/// defend anything — each is reported as one summary line so CI logs
+/// show the cause directly instead of a panic backtrace.
+fn load_baseline(path: &str) -> Result<Vec<BaselineRecord>, String> {
+    let json =
+        std::fs::read_to_string(path).map_err(|e| format!("baseline {path} unreadable: {e}"))?;
+    let baseline = parse_baseline(&json).map_err(|e| format!("baseline {path}: {e}"))?;
+    if baseline.is_empty() {
+        return Err(format!("baseline {path} holds no records"));
+    }
+    Ok(baseline)
+}
+
 /// Relative growth of `current` over `baseline` (0.0 when not a growth).
 fn growth(baseline: u64, current: u64) -> f64 {
     if current <= baseline || baseline == 0 {
@@ -627,10 +641,10 @@ fn main() {
     }
 
     if let Some(path) = check_path {
-        let json =
-            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
-        let baseline = parse_baseline(&json).unwrap_or_else(|e| panic!("baseline {path}: {e}"));
-        assert!(!baseline.is_empty(), "baseline {path} holds no records");
+        let baseline = load_baseline(&path).unwrap_or_else(|summary| {
+            eprintln!("gate FAILED: {summary}");
+            std::process::exit(1);
+        });
         println!(
             "== regression gate vs {path} ({} records) ==",
             baseline.len()
@@ -695,6 +709,30 @@ mod tests {
             records[1].elapsed_ms, None,
             "pre-timing records parse with no timing trend"
         );
+    }
+
+    #[test]
+    fn load_baseline_reports_each_failure_as_one_summary_line() {
+        let missing = load_baseline("/nonexistent/BENCH_scenarios.json").unwrap_err();
+        assert!(missing.contains("unreadable"), "got: {missing}");
+        assert!(!missing.contains('\n'), "one line, got: {missing}");
+
+        let dir = std::env::temp_dir().join(format!("omega-check-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let broken = dir.join("broken.json");
+        std::fs::write(&broken, "[\n  {\"scenario\":\"a\"}\n]\n").unwrap();
+        let err = load_baseline(broken.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("unparseable"), "got: {err}");
+
+        let empty = dir.join("empty.json");
+        std::fs::write(&empty, "[\n]\n").unwrap();
+        let err = load_baseline(empty.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("no records"), "got: {err}");
+
+        let good = dir.join("good.json");
+        std::fs::write(&good, SAMPLE).unwrap();
+        assert_eq!(load_baseline(good.to_str().unwrap()).unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,774 @@
+//! Randomized scenario generation, election invariants, and greedy
+//! spec shrinking — the library half of the `omega-bench` `fuzz` binary.
+//!
+//! The hand-written registry stays on the friendly side of AWB; this
+//! module generates specs the hand suite never reaches (wild adversaries,
+//! broken timers, crash scripts aimed at the timely process) and checks
+//! every run against two oracles:
+//!
+//! * **Safety** — never two simultaneously *stable* leaders. A claimant
+//!   counts only while it is actively stepping ([`split_brain`]): an
+//!   adversary that freezes a stale self-estimate (a stalled former
+//!   leader) is churn, not split-brain.
+//! * **Liveness** — when [`liveness_checkable`] proves the spec sits
+//!   firmly inside the paper's AWB envelope, the run must stabilize.
+//!   The predicate is deliberately conservative: it mirrors the bounds
+//!   the generator draws from, and doubles as the shrinking guard (a
+//!   shrink step that leaves the envelope stops reproducing a liveness
+//!   violation and is rejected by re-testing).
+//!
+//! On a violation, [`shrink`] greedily simplifies the spec — halve `n`,
+//! drop crash-script entries, reset adversary/timer/AWB/seed to the
+//! [`Scenario::fault_free`] defaults — re-testing each candidate, until no
+//! move preserves the violation. Because the spec text omits defaults, the
+//! fixpoint is a minimal reproducer a few lines long, named
+//! `fuzz-regression/<hash>` by [`reproducer_name`].
+
+use omega_core::OmegaVariant;
+use omega_registers::ProcessId;
+use omega_sim::metrics::TimelineSample;
+use omega_sim::rng::SmallRng;
+use omega_sim::RunReport;
+
+use crate::spec_text::to_spec_text;
+use crate::{AdversarySpec, AwbSpec, CrashSpec, Scenario, TimerSpec};
+
+/// An invariant violation found by the oracles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two processes were simultaneously stable, active leaders.
+    Safety {
+        /// What was observed, for the report.
+        detail: String,
+    },
+    /// The spec promised stabilization and the run never settled.
+    Liveness {
+        /// What was observed, for the report.
+        detail: String,
+    },
+}
+
+impl Violation {
+    /// `"safety"` or `"liveness"`.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::Safety { .. } => "safety",
+            Violation::Liveness { .. } => "liveness",
+        }
+    }
+
+    /// The human-readable observation.
+    #[must_use]
+    pub fn detail(&self) -> &str {
+        match self {
+            Violation::Safety { detail } | Violation::Liveness { detail } => detail,
+        }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind(), self.detail())
+    }
+}
+
+/// Consecutive samples over which both claimants must hold their own
+/// leadership for the safety oracle to call split-brain.
+pub const SAFETY_WINDOW: usize = 25;
+
+/// Minimum steps a claimant must take *inside* the window to count as
+/// active (a frozen process cannot be a stable leader, only a stale one).
+pub const MIN_WINDOW_STEPS: u64 = 10;
+
+/// Minimum sample intervals of the window in which a claimant must take at
+/// least one step. Total steps alone are not simultaneity: under a bursty
+/// adversary two processes can *alternate* bursts inside one window, each
+/// keeping a stale self-estimate while frozen — churn, not split-brain.
+/// Requiring activity in a *strict majority* of the window's
+/// `SAFETY_WINDOW - 1` intervals means two claimants must have stepped in
+/// at least one common interval — simultaneity by pigeonhole, not luck.
+pub const MIN_ACTIVE_INTERVALS: usize = (SAFETY_WINDOW - 1) / 2 + 1;
+
+/// The safety oracle: scans for a window of [`SAFETY_WINDOW`] consecutive
+/// samples in which two distinct processes each believe **themselves**
+/// leader throughout while both step *throughout* the window (at least
+/// [`MIN_WINDOW_STEPS`] steps in total, spread over at least
+/// [`MIN_ACTIVE_INTERVALS`] of the window's sample intervals).
+///
+/// Samples without step counts (hand-built timelines) never produce a
+/// claimant — activity cannot be proven.
+#[must_use]
+pub fn split_brain(samples: &[TimelineSample]) -> Option<String> {
+    if samples.len() < SAFETY_WINDOW {
+        return None;
+    }
+    for window in samples.windows(SAFETY_WINDOW) {
+        let first = &window[0];
+        let last = &window[SAFETY_WINDOW - 1];
+        if first.steps.is_empty() || last.steps.is_empty() {
+            continue;
+        }
+        let claimants: Vec<usize> = (0..first.steps.len())
+            .filter(|&p| {
+                window
+                    .iter()
+                    .all(|s| s.leaders.get(p).copied().flatten() == Some(ProcessId::new(p)))
+                    && last.steps[p].saturating_sub(first.steps[p]) >= MIN_WINDOW_STEPS
+                    && window
+                        .windows(2)
+                        .filter(|pair| {
+                            pair[1].steps.get(p).copied().unwrap_or(0)
+                                > pair[0].steps.get(p).copied().unwrap_or(0)
+                        })
+                        .count()
+                        >= MIN_ACTIVE_INTERVALS
+            })
+            .collect();
+        if claimants.len() >= 2 {
+            return Some(format!(
+                "processes {:?} each held self-leadership over [{}, {}] while actively stepping",
+                claimants,
+                first.time.ticks(),
+                last.time.ticks()
+            ));
+        }
+    }
+    None
+}
+
+/// Whether the environment (schedule + timers) stays inside the regime
+/// the paper's guarantees are stated over: bounded stalls and honest,
+/// eventually-accurate timers.
+///
+/// This gates **both** oracles. Outside this envelope Ω promises nothing
+/// — under stuck-low timers every process perpetually suspects every
+/// other and two active self-leaders are *correct* behavior, and
+/// convergence time grows roughly quadratically with the largest
+/// scheduling gap (each false suspicion widens the adaptive timeout by a
+/// constant), so multi-thousand-tick stalls legitimately outlast any
+/// horizon this fuzzer can afford.
+#[must_use]
+pub fn environment_tame(s: &Scenario) -> bool {
+    let adversary_ok = match s.adversary {
+        AdversarySpec::Synchronous { period } => period <= 16,
+        AdversarySpec::RoundRobin { slot } => slot <= 16,
+        AdversarySpec::Random { min, max } => min >= 1 && min <= max && max <= 64,
+        AdversarySpec::Bursty {
+            fast,
+            stall,
+            burst_len,
+        } => (1..=16).contains(&fast) && stall <= 128 && burst_len >= 1,
+        AdversarySpec::PartitionedPhases {
+            phase_len,
+            fast,
+            stall,
+        } => fast >= 1 && phase_len <= 2_000 && stall <= 32,
+        // Growing stalls starve their victim's estimate forever; the
+        // staller is the AWB-violating schedule by construction.
+        AdversarySpec::GrowingBursts { .. } | AdversarySpec::LeaderStaller { .. } => false,
+    };
+    if !adversary_ok {
+        return false;
+    }
+    match s.timers {
+        TimerSpec::Exact => true,
+        TimerSpec::Affine { scale, offset } => (1..=4).contains(&scale) && offset <= 64,
+        TimerSpec::Jittered { jitter } => jitter <= 64,
+        TimerSpec::JitterAffineMix {
+            jitter,
+            scale,
+            offset,
+        } => jitter <= 64 && (1..=4).contains(&scale) && offset <= 64,
+        // A chaotic timer fires arbitrarily *early*: during the chaos
+        // phase every process suspects every other on no evidence, and a
+        // storm of simultaneously active self-leaders is correct behavior
+        // — the same reason stuck-low timers are out.
+        TimerSpec::ChaoticThenExact { .. } | TimerSpec::StuckLow { .. } => false,
+    }
+}
+
+/// Whether the spec sits firmly enough inside the AWB envelope that the
+/// paper's theorems promise stabilization *within the horizon* — the gate
+/// in front of the liveness oracle.
+///
+/// Deliberately conservative (a `false` only skips the liveness check, a
+/// wrong `true` is a false alarm), and calibrated to the regimes this
+/// repository's own registry demonstrates convergence in: *uniform*
+/// schedules only (synchronous / round-robin / bounded-random — bursty
+/// and partitioned-phase schedules are structured starvation, under which
+/// stepping gaps legitimately outpace the adaptive timeouts and the
+/// estimate keeps rotating), near-honest timers (jitter within the
+/// registry's σ scale), a *strongly* timely process (`sigma <= 8`, the
+/// registry ships 4), an early-settling AWB₁ promise, crashes early
+/// enough to re-elect and re-settle, no crash touching the timely
+/// process, and no step-clock variant (its liveness bound is a step-rate
+/// ratio the envelope does not constrain).
+#[must_use]
+pub fn liveness_checkable(s: &Scenario) -> bool {
+    let Some(AwbSpec {
+        timely,
+        tau1,
+        sigma,
+    }) = s.awb
+    else {
+        return false;
+    };
+    if s.variant == OmegaVariant::StepClock {
+        return false;
+    }
+    if s.horizon < 20_000 || tau1 > 1_000 || sigma > 8 || s.sample_every > 200 {
+        return false;
+    }
+    let adversary_ok = match s.adversary {
+        AdversarySpec::Synchronous { period } => period <= 16,
+        AdversarySpec::RoundRobin { slot } => slot <= 16,
+        AdversarySpec::Random { min, max } => min >= 1 && min <= max && max <= 64,
+        AdversarySpec::Bursty { .. }
+        | AdversarySpec::PartitionedPhases { .. }
+        | AdversarySpec::GrowingBursts { .. }
+        | AdversarySpec::LeaderStaller { .. } => false,
+    };
+    if !adversary_ok {
+        return false;
+    }
+    let timers_ok = match s.timers {
+        TimerSpec::Exact => true,
+        TimerSpec::Affine { scale, offset } => (1..=4).contains(&scale) && offset <= 64,
+        TimerSpec::Jittered { jitter } => jitter <= 8,
+        TimerSpec::JitterAffineMix {
+            jitter,
+            scale,
+            offset,
+        } => jitter <= 8 && (1..=4).contains(&scale) && offset <= 64,
+        TimerSpec::ChaoticThenExact { .. } | TimerSpec::StuckLow { .. } => false,
+    };
+    if !timers_ok {
+        return false;
+    }
+    if s.crashes.len() >= s.n {
+        return false;
+    }
+    // A crash resets convergence: there must be room to detect it (the
+    // grown timeouts have to expire once more) and re-settle.
+    if !s.crashes.is_empty() && s.horizon < 40_000 {
+        return false;
+    }
+    s.crashes.iter().all(|crash| match *crash {
+        CrashSpec::At { tick, pid } => pid != timely && tick <= s.horizon / 4,
+        // A leader-relative crash may hit the timely process itself.
+        CrashSpec::LeaderAt { .. } => false,
+    })
+}
+
+/// Runs the scenario's variant on the simulator and applies both oracles.
+#[must_use]
+pub fn run_and_check(s: &Scenario) -> Option<Violation> {
+    let sys = s.variant.build(s.n);
+    let space = sys.space.clone();
+    let report = s.sim_builder(sys.actors).memory(space).run();
+    check_report(s, &report)
+}
+
+/// Applies the safety and (when checkable) liveness oracles to a report.
+#[must_use]
+pub fn check_report(s: &Scenario, report: &RunReport) -> Option<Violation> {
+    if environment_tame(s) {
+        if let Some(detail) = split_brain(report.timeline.samples()) {
+            return Some(Violation::Safety { detail });
+        }
+    }
+    if liveness_checkable(s) && report.stabilization().is_none() {
+        let last = report.timeline.samples().last();
+        return Some(Violation::Liveness {
+            detail: format!(
+                "AWB spec never stabilized over horizon {}; final estimates {:?}",
+                s.horizon,
+                last.map(|sample| &sample.leaders)
+            ),
+        });
+    }
+    None
+}
+
+/// Draws a random scenario. `~85%` of draws keep an AWB envelope (most of
+/// those from the tame pools so the liveness oracle applies); the rest
+/// drop it and range over the wild adversaries and broken timers, where
+/// only safety is checked.
+#[must_use]
+pub fn generate(rng: &mut SmallRng) -> Scenario {
+    let variant = OmegaVariant::all()[rng.gen_range(0..=3) as usize];
+    let n = rng.gen_range(2..=10) as usize;
+    let horizon = [20_000, 40_000, 60_000][rng.gen_range(0..=2) as usize];
+    let mut s = Scenario::fault_free(variant, n)
+        .horizon(horizon)
+        .seed(rng.gen_range(0..=999_983))
+        .sample_every([50, 100, 200][rng.gen_range(0..=2) as usize])
+        .stats_checkpoints(4);
+    let awb = rng.gen_range(0..=99) < 85;
+    // With AWB, mostly stay inside the envelope so liveness gets checked;
+    // sometimes (and always without AWB) go wild for safety-only coverage.
+    let tame = awb && rng.gen_range(0..=99) < 80;
+    if awb {
+        let timely = ProcessId::new(rng.gen_range(0..=(n as u64 - 1)) as usize);
+        let (tau1, sigma) = if tame {
+            (rng.gen_range(0..=1_000), rng.gen_range(2..=8))
+        } else {
+            (rng.gen_range(0..=horizon / 4), rng.gen_range(2..=32))
+        };
+        s = s.awb(timely, tau1, sigma);
+    } else {
+        s = s.without_awb();
+    }
+    s.adversary = random_adversary(rng, n, variant, tame);
+    s.timers = random_timers(rng, horizon, tame);
+    let timely = s.awb.map(|a| a.timely);
+    let crashes = rng.gen_range(0..=3).min(n as u64 - 1);
+    for _ in 0..crashes {
+        let spec = if tame {
+            // Keep the violation-free side honest: spare the timely
+            // process and crash early enough to re-elect.
+            let mut pid = ProcessId::new(rng.gen_range(0..=(n as u64 - 1)) as usize);
+            if Some(pid) == timely {
+                pid = ProcessId::new((pid.index() + 1) % n);
+            }
+            CrashSpec::At {
+                tick: rng.gen_range(0..=horizon / 4),
+                pid,
+            }
+        } else if rng.gen_range(0..=1) == 0 {
+            CrashSpec::LeaderAt {
+                tick: rng.gen_range(0..=horizon),
+            }
+        } else {
+            CrashSpec::At {
+                tick: rng.gen_range(0..=horizon),
+                pid: ProcessId::new(rng.gen_range(0..=(n as u64 - 1)) as usize),
+            }
+        };
+        s.crashes.push(spec);
+    }
+    s
+}
+
+fn random_adversary(
+    rng: &mut SmallRng,
+    n: usize,
+    variant: OmegaVariant,
+    tame: bool,
+) -> AdversarySpec {
+    let min_delay = if variant == OmegaVariant::StepClock {
+        2
+    } else {
+        1
+    };
+    // Tame draws stay inside the liveness envelope's uniform-schedule
+    // pool; wild draws add the structured-starvation shapes (safety-only
+    // coverage, and only within `environment_tame`'s bounds at that).
+    let kinds = if tame { 3 } else { 7 };
+    match rng.gen_range(0..=(kinds - 1)) {
+        0 => AdversarySpec::Synchronous {
+            period: rng.gen_range(1..=8).max(min_delay),
+        },
+        1 => AdversarySpec::RoundRobin {
+            slot: rng.gen_range(1..=8).max(min_delay),
+        },
+        2 => {
+            let min = rng.gen_range(min_delay..=4);
+            let cap = if tame { 32 } else { 400 };
+            AdversarySpec::Random {
+                min,
+                max: rng.gen_range(min..=cap),
+            }
+        }
+        // Half the structured-starvation draws stay inside
+        // `environment_tame`'s bounds so the safety oracle keeps watching
+        // the bursty/phased shapes; the rest roam free (trace-determinism
+        // coverage only).
+        3 => AdversarySpec::Bursty {
+            fast: rng.gen_range(min_delay..=4),
+            stall: if rng.gen_range(0..=1) == 0 {
+                rng.gen_range(16..=128)
+            } else {
+                rng.gen_range(129..=10_000)
+            },
+            burst_len: rng.gen_range(2..=16),
+        },
+        4 => AdversarySpec::PartitionedPhases {
+            phase_len: rng.gen_range(100..=2_000),
+            fast: rng.gen_range(min_delay..=4),
+            stall: if rng.gen_range(0..=1) == 0 {
+                rng.gen_range(8..=32)
+            } else {
+                rng.gen_range(33..=1_000)
+            },
+        },
+        5 => AdversarySpec::GrowingBursts {
+            victim: ProcessId::new(rng.gen_range(0..=(n as u64 - 1)) as usize),
+            fast: rng.gen_range(min_delay..=4),
+            burst_len: rng.gen_range(2..=8),
+            initial_stall: rng.gen_range(100..=2_000),
+            factor: rng.gen_range(2..=4),
+        },
+        _ => AdversarySpec::LeaderStaller {
+            base: rng.gen_range(min_delay..=4),
+            stall: rng.gen_range(500..=8_000),
+        },
+    }
+}
+
+fn random_timers(rng: &mut SmallRng, horizon: u64, tame: bool) -> TimerSpec {
+    let kinds = if tame { 4 } else { 6 };
+    match rng.gen_range(0..=(kinds - 1)) {
+        0 | 1 => TimerSpec::Exact,
+        2 => TimerSpec::Affine {
+            scale: rng.gen_range(1..=4),
+            offset: rng.gen_range(0..=64),
+        },
+        3 => TimerSpec::Jittered {
+            jitter: rng.gen_range(0..=if tame { 8 } else { 64 }),
+        },
+        4 => TimerSpec::ChaoticThenExact {
+            chaos_until: rng.gen_range(0..=horizon),
+            chaos_max: rng.gen_range(1..=256),
+        },
+        _ => TimerSpec::StuckLow {
+            cap: rng.gen_range(1..=16),
+        },
+    }
+}
+
+/// Greedily shrinks a violating spec: tries each simplification, keeps it
+/// if `oracle` still reports a violation, and repeats until no move
+/// survives. The oracle is a parameter so tests can shrink against
+/// planted bugs; the fuzz binary passes [`run_and_check`].
+pub fn shrink(
+    original: &Scenario,
+    oracle: &mut dyn FnMut(&Scenario) -> Option<Violation>,
+) -> Scenario {
+    let mut best = original.clone();
+    loop {
+        let mut improved = false;
+        for candidate in shrink_candidates(&best) {
+            if oracle(&candidate).is_some() {
+                best = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+/// Strictly simpler variants of `s`, most aggressive first. Every move
+/// either reduces `n`, removes a crash, or resets a field to its default
+/// (which the spec text then omits), so shrinking terminates.
+fn shrink_candidates(s: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for target in [s.n / 2, s.n - 1] {
+        if target >= 1 && target < s.n {
+            out.push(with_n(s, target));
+        }
+    }
+    for i in 0..s.crashes.len() {
+        let mut t = s.clone();
+        t.crashes.remove(i);
+        out.push(t);
+    }
+    let base = Scenario::fault_free(s.variant, s.n);
+    if s.awb != base.awb {
+        let mut t = s.clone();
+        t.awb = base.awb;
+        t.expect_stabilization = true;
+        out.push(t);
+    }
+    if s.adversary != base.adversary {
+        let mut t = s.clone();
+        t.adversary = base.adversary.clone();
+        out.push(t);
+    }
+    if s.timers != base.timers {
+        let mut t = s.clone();
+        t.timers = base.timers;
+        out.push(t);
+    }
+    if s.horizon != base.horizon {
+        let mut t = s.clone();
+        t.horizon = base.horizon;
+        out.push(t);
+    }
+    if s.sample_every != base.sample_every {
+        let mut t = s.clone();
+        t.sample_every = base.sample_every;
+        out.push(t);
+    }
+    if s.stats_checkpoints != base.stats_checkpoints {
+        let mut t = s.clone();
+        t.stats_checkpoints = base.stats_checkpoints;
+        out.push(t);
+    }
+    if s.seed != base.seed {
+        let mut t = s.clone();
+        t.seed = base.seed;
+        out.push(t);
+    }
+    if s.expect_stabilization != s.awb.is_some() {
+        let mut t = s.clone();
+        t.expect_stabilization = t.awb.is_some();
+        out.push(t);
+    }
+    if s.san_latency.is_some() {
+        let mut t = s.clone();
+        t.san_latency = None;
+        out.push(t);
+    }
+    out
+}
+
+/// `s` at a smaller system size, with out-of-range process references
+/// dropped (crash targets) or clamped to `p0` (AWB witness, stall victim).
+fn with_n(s: &Scenario, m: usize) -> Scenario {
+    let mut t = s.clone();
+    t.n = m;
+    t.crashes.retain(|c| match c {
+        CrashSpec::At { pid, .. } => pid.index() < m,
+        CrashSpec::LeaderAt { .. } => true,
+    });
+    if let Some(awb) = &mut t.awb {
+        if awb.timely.index() >= m {
+            awb.timely = ProcessId::new(0);
+        }
+    }
+    if let AdversarySpec::GrowingBursts { victim, .. } = &mut t.adversary {
+        if victim.index() >= m {
+            *victim = ProcessId::new(0);
+        }
+    }
+    t
+}
+
+/// Number of lines in the spec text — the minimality measure reports use.
+#[must_use]
+pub fn spec_lines(s: &Scenario) -> usize {
+    to_spec_text(s).lines().count()
+}
+
+/// FNV-1a 64 of `text`, truncated to 12 hex characters.
+#[must_use]
+pub fn spec_hash(text: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in text.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")[..12].to_string()
+}
+
+/// The registry name of a reproducer: `fuzz-regression/<hash>`, hashed
+/// over the spec text *minus* its `scenario` line (the name cannot depend
+/// on itself).
+#[must_use]
+pub fn reproducer_name(s: &Scenario) -> String {
+    let text = to_spec_text(s);
+    let canonical: Vec<&str> = text
+        .lines()
+        .filter(|l| !l.starts_with("scenario "))
+        .collect();
+    format!("fuzz-regression/{}", spec_hash(&canonical.join("\n")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+    use crate::spec_text::from_spec_text;
+    use omega_sim::SimTime;
+
+    fn sample(time: u64, leaders: Vec<Option<usize>>, steps: Vec<u64>) -> TimelineSample {
+        TimelineSample {
+            time: SimTime::from_ticks(time),
+            leaders: leaders.into_iter().map(|l| l.map(ProcessId::new)).collect(),
+            steps,
+        }
+    }
+
+    #[test]
+    fn split_brain_detects_two_active_self_leaders() {
+        let samples: Vec<TimelineSample> = (0..40)
+            .map(|i| {
+                sample(
+                    i * 100,
+                    vec![Some(0), Some(1), Some(0)],
+                    vec![i * 20, i * 20, i * 20],
+                )
+            })
+            .collect();
+        let hit = split_brain(&samples).expect("p0 and p1 both self-stable and active");
+        assert!(hit.contains("[0, 1]"), "{hit}");
+    }
+
+    #[test]
+    fn split_brain_ignores_frozen_claimants() {
+        // p1 claims itself but never steps — a stale estimate, not a
+        // second leader.
+        let samples: Vec<TimelineSample> = (0..40)
+            .map(|i| {
+                sample(
+                    i * 100,
+                    vec![Some(0), Some(1), Some(0)],
+                    vec![i * 20, 7, i * 20],
+                )
+            })
+            .collect();
+        assert!(split_brain(&samples).is_none());
+        // And hand-built samples without step counts can never claim.
+        let blind: Vec<TimelineSample> = (0..40)
+            .map(|i| sample(i * 100, vec![Some(0), Some(1)], Vec::new()))
+            .collect();
+        assert!(split_brain(&blind).is_none());
+    }
+
+    #[test]
+    fn split_brain_ignores_alternating_bursts() {
+        // p0 and p1 each hold a self-estimate across the window, but they
+        // step in *alternating* bursts (p0 in even ten-sample blocks, p1
+        // in odd ones): their active spans never overlap, so nobody was
+        // simultaneously a stable leader. This is the bursty-adversary
+        // shape that must read as churn, not split-brain.
+        let in_even_block = |k: u64| (k / 10).is_multiple_of(2);
+        let samples: Vec<TimelineSample> = (0..60u64)
+            .map(|i| {
+                let p0 = (0..=i).filter(|&k| in_even_block(k)).count() as u64 * 2;
+                let p1 = (0..=i).filter(|&k| !in_even_block(k)).count() as u64 * 2;
+                sample(i * 100, vec![Some(0), Some(1)], vec![p0, p1])
+            })
+            .collect();
+        assert!(
+            split_brain(&samples).is_none(),
+            "alternation is not split-brain"
+        );
+    }
+
+    #[test]
+    fn registry_scenarios_pass_both_oracles() {
+        for name in ["fault-free", "leader-crash-failover", "no-awb-staller"] {
+            let scenario = registry::named(name).unwrap();
+            assert_eq!(run_and_check(&scenario), None, "{name}");
+        }
+    }
+
+    #[test]
+    fn liveness_gate_classification() {
+        let good = Scenario::fault_free(OmegaVariant::Alg1, 4);
+        assert!(liveness_checkable(&good));
+        assert!(!liveness_checkable(&good.clone().without_awb()));
+        assert!(!liveness_checkable(
+            &good.clone().timers(TimerSpec::StuckLow { cap: 8 })
+        ));
+        assert!(!liveness_checkable(&good.clone().adversary(
+            AdversarySpec::LeaderStaller {
+                base: 2,
+                stall: 4_000
+            }
+        )));
+        // Crashing the timely process voids the promise.
+        assert!(!liveness_checkable(
+            &good.clone().crash_at(5_000, ProcessId::new(0))
+        ));
+        assert!(liveness_checkable(
+            &good.clone().crash_at(5_000, ProcessId::new(1))
+        ));
+        // A leader-relative crash may hit the timely process.
+        assert!(!liveness_checkable(&good.clone().crash_leader_at(5_000)));
+        // The step-clock variant's liveness is outside the envelope.
+        assert!(!liveness_checkable(&Scenario::fault_free(
+            OmegaVariant::StepClock,
+            4
+        )));
+    }
+
+    #[test]
+    fn generated_specs_round_trip_and_are_bounded() {
+        let mut rng = SmallRng::seed_from_u64(2026);
+        let mut checkable = 0;
+        for _ in 0..200 {
+            let s = generate(&mut rng);
+            assert!((2..=10).contains(&s.n));
+            assert!(s.crashes.len() < s.n);
+            let text = to_spec_text(&s);
+            let parsed = from_spec_text(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+            assert_eq!(to_spec_text(&parsed), text);
+            if liveness_checkable(&s) {
+                checkable += 1;
+            }
+        }
+        assert!(
+            checkable >= 60,
+            "liveness must actually be exercised ({checkable}/200 checkable)"
+        );
+    }
+
+    #[test]
+    fn shrinker_minimizes_planted_violation() {
+        // Plant a bug that needs exactly "n >= 4 and at least one scripted
+        // crash": everything else the generator dressed the spec in must
+        // be stripped by the shrinker.
+        let mut messy = Scenario::fault_free(OmegaVariant::Alg1, 9)
+            .named("fuzz/planted")
+            .adversary(AdversarySpec::Bursty {
+                fast: 2,
+                stall: 700,
+                burst_len: 5,
+            })
+            .timers(TimerSpec::Jittered { jitter: 17 })
+            .awb(ProcessId::new(3), 4_000, 13)
+            .crash_at(9_000, ProcessId::new(5))
+            .crash_leader_at(12_000)
+            .crash_at(21_000, ProcessId::new(1))
+            .horizon(40_000)
+            .sample_every(50)
+            .seed(777);
+        messy.stats_checkpoints = 4;
+        let mut oracle = |c: &Scenario| {
+            let planted = c.n >= 4
+                && c.crashes
+                    .iter()
+                    .any(|cr| matches!(cr, CrashSpec::At { .. }));
+            planted.then(|| Violation::Safety {
+                detail: "planted".into(),
+            })
+        };
+        assert!(
+            oracle(&messy).is_some(),
+            "the plant must trigger pre-shrink"
+        );
+        let minimal = shrink(&messy, &mut oracle);
+        assert_eq!(minimal.n, 4, "9 → halve → 4, and 3 loses the violation");
+        assert_eq!(minimal.crashes.len(), 1);
+        assert!(matches!(minimal.crashes[0], CrashSpec::At { .. }));
+        assert!(
+            spec_lines(&minimal) <= 5,
+            "minimal reproducer must serialize in ≤ 5 lines:\n{}",
+            to_spec_text(&minimal)
+        );
+        // And it is a fixpoint: shrinking again changes nothing.
+        let again = shrink(&minimal, &mut oracle);
+        assert_eq!(to_spec_text(&again), to_spec_text(&minimal));
+    }
+
+    #[test]
+    fn reproducer_names_are_stable_and_name_independent() {
+        let a = Scenario::fault_free(OmegaVariant::Alg1, 4).named("x");
+        let b = Scenario::fault_free(OmegaVariant::Alg1, 4).named("totally-different");
+        assert_eq!(reproducer_name(&a), reproducer_name(&b));
+        assert!(reproducer_name(&a).starts_with("fuzz-regression/"));
+        let c = Scenario::fault_free(OmegaVariant::Alg1, 5).named("x");
+        assert_ne!(reproducer_name(&a), reproducer_name(&c));
+        let hash = reproducer_name(&a);
+        let hash = hash.strip_prefix("fuzz-regression/").unwrap();
+        assert_eq!(hash.len(), 12);
+        assert!(hash.chars().all(|ch| ch.is_ascii_hexdigit()));
+    }
+}

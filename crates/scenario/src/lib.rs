@@ -77,7 +77,9 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod fuzz;
 pub mod registry;
+pub mod spec_text;
 
 mod coop_driver;
 mod driver;

@@ -161,6 +161,56 @@ impl Outcome {
         );
     }
 
+    /// A canonical rendering of every *deterministic* field — the
+    /// byte-identity witness of trace replay.
+    ///
+    /// Two runs of the same spec (live, traced, or replayed from a trace
+    /// file) must produce equal fingerprints; wall-clock measurements
+    /// (`elapsed_ms`, `events_per_sec`) are excluded because no two real
+    /// executions share a clock.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{}|{}|{}|{:?}|{}|{:?}|{}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{}|{}|{}|{}|{:?}",
+            self.scenario,
+            self.variant,
+            self.n,
+            self.elected,
+            self.stabilized,
+            self.stabilization_ticks,
+            self.horizon_ticks,
+            self.crashed,
+            self.correct,
+            self.steps,
+            self.estimate_changes,
+            self.reads,
+            self.writes,
+            self.reads_skipped,
+            self.shard_passes,
+            self.register_count,
+            self.hwm_bits,
+            self.grown_in_tail,
+        );
+        if let Some(tail) = &self.tail {
+            let _ = write!(
+                out,
+                "|tail:{:?}/{:?}/{}/{}/{}",
+                tail.writers,
+                tail.readers,
+                tail.written_registers,
+                tail.writes_per_1k,
+                tail.span_ticks
+            );
+        }
+        if let Some(san) = &self.san {
+            let _ = write!(out, "|san:{san:?}");
+        }
+        out
+    }
+
     /// A one-screen human-readable summary.
     #[must_use]
     pub fn summary(&self) -> String {

@@ -34,6 +34,45 @@ pub fn all() -> Vec<Scenario> {
     suite
 }
 
+/// Loads the fuzz-regression corpus from a directory of `*.spec` files
+/// (the format of [`spec_text`](crate::spec_text), one scenario each).
+///
+/// Each scenario is named `fuzz-regression/<file-stem>` from its file name
+/// — the canonical corpus layout the fuzz binary emits — regardless of any
+/// `scenario` line inside, so names and files cannot drift apart. Files
+/// are loaded in sorted order; a missing directory is an empty corpus.
+///
+/// # Errors
+///
+/// Returns a message naming the offending file when one cannot be read or
+/// parsed — a corrupt reproducer must fail loudly, not shrink the suite.
+pub fn load_dir(dir: &std::path::Path) -> Result<Vec<Scenario>, String> {
+    if !dir.exists() {
+        return Ok(Vec::new());
+    }
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("read corpus dir {}: {e}", dir.display()))?;
+    let mut paths: Vec<std::path::PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "spec"))
+        .collect();
+    paths.sort();
+    let mut out = Vec::new();
+    for path in paths {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("read corpus spec {}: {e}", path.display()))?;
+        let scenario = crate::spec_text::from_spec_text(&text)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| format!("non-UTF-8 corpus file name {}", path.display()))?;
+        out.push(scenario.named(format!("fuzz-regression/{stem}")));
+    }
+    Ok(out)
+}
+
 /// Looks a scenario up by its registry name.
 #[must_use]
 pub fn named(name: &str) -> Option<Scenario> {
@@ -292,6 +331,31 @@ pub fn sigma_sweep(sigmas: &[u64]) -> Vec<Scenario> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn load_dir_round_trips_a_corpus() {
+        let dir = std::env::temp_dir().join(format!("omega-corpus-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = crash_storm();
+        std::fs::write(
+            dir.join("abc123.spec"),
+            crate::spec_text::to_spec_text(&spec),
+        )
+        .unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].name, "fuzz-regression/abc123");
+        assert_eq!(loaded[0].n, spec.n);
+        assert_eq!(loaded[0].crashes, spec.crashes);
+        // A corrupt spec fails loudly.
+        std::fs::write(dir.join("bad.spec"), "variant nope\nn 3\n").unwrap();
+        let e = load_dir(&dir).unwrap_err();
+        assert!(e.contains("bad.spec"), "{e}");
+        std::fs::remove_dir_all(&dir).unwrap();
+        // A missing directory is an empty corpus, not an error.
+        assert!(load_dir(&dir).unwrap().is_empty());
+    }
 
     #[test]
     fn registry_names_are_unique_and_resolvable() {

@@ -1,7 +1,7 @@
 //! The deterministic-simulator backend.
 
 use omega_registers::MemorySpace;
-use omega_sim::{Actor, RunReport};
+use omega_sim::{Actor, RunReport, Trace};
 
 use crate::{Driver, Outcome, Scenario, TailActivity};
 
@@ -31,6 +31,46 @@ impl SimDriver {
     ) -> Outcome {
         let report = scenario.sim_builder(actors).memory(space.clone()).run();
         outcome_of(scenario, &report, space)
+    }
+
+    /// Runs a scenario while recording its complete event sequence.
+    ///
+    /// The returned [`Trace`] carries the scenario's spec text as `meta`,
+    /// so writing `trace.encode()` to a file yields a self-contained
+    /// reproducer: [`run_replay`](Self::run_replay) on the decoded trace
+    /// (against a scenario parsed back from `meta`) reproduces the run
+    /// byte-identically — compare via [`Outcome::fingerprint`].
+    #[must_use]
+    pub fn run_traced(&self, scenario: &Scenario) -> (Outcome, Trace) {
+        let sys = scenario.variant.build(scenario.n);
+        let space = sys.space.clone();
+        let report = scenario
+            .sim_builder(sys.actors)
+            .memory(space.clone())
+            .record_trace()
+            .run();
+        let mut trace = report.recording.clone().expect("record_trace was enabled");
+        trace.meta = crate::spec_text::to_spec_text(scenario);
+        (outcome_of(scenario, &report, &space), trace)
+    }
+
+    /// Replays a recorded trace under the scenario that produced it: the
+    /// event sequence comes from the trace, everything else (actors,
+    /// memory, sampling) is rebuilt from the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace's process count or horizon do not match the
+    /// scenario's.
+    #[must_use]
+    pub fn run_replay(&self, scenario: &Scenario, trace: &Trace) -> Outcome {
+        let sys = scenario.variant.build(scenario.n);
+        let space = sys.space.clone();
+        let report = scenario
+            .sim_builder(sys.actors)
+            .memory(space.clone())
+            .run_replay(trace);
+        outcome_of(scenario, &report, &space)
     }
 }
 
@@ -164,6 +204,23 @@ mod tests {
             "staller must keep demoting leaders"
         );
         assert!(!scenario.expect_stabilization);
+    }
+
+    #[test]
+    fn traced_run_replays_to_identical_fingerprint() {
+        let scenario = Scenario::fault_free(OmegaVariant::Alg1, 4)
+            .crash_leader_at(15_000)
+            .horizon(40_000);
+        let (live, trace) = SimDriver.run_traced(&scenario);
+        assert!(!trace.is_empty());
+        assert!(trace.meta.contains("variant alg1-fig2"));
+        // The trace is self-contained: parse the scenario back out of it.
+        let parsed = crate::spec_text::from_spec_text(&trace.meta).unwrap();
+        let replayed = SimDriver.run_replay(&parsed, &trace);
+        assert_eq!(replayed.fingerprint(), live.fingerprint());
+        // A traced run is also identical to an untraced one.
+        let plain = SimDriver.run(&scenario);
+        assert_eq!(plain.fingerprint(), live.fingerprint());
     }
 
     #[test]

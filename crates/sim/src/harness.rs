@@ -10,7 +10,7 @@ use crate::metrics::{LeaderTimeline, StabilizationReport, WindowedStats};
 use crate::process::{Actor, StepCtx};
 use crate::time::SimTime;
 use crate::timers::{ExactTimer, TimerModel};
-use crate::trace::EventTrace;
+use crate::trace::{EventTrace, Trace};
 
 /// Configures and builds a [`Simulation`].
 ///
@@ -45,6 +45,7 @@ pub struct SimulationBuilder {
     stats_checkpoints: usize,
     memory: Option<MemorySpace>,
     trace_capacity: usize,
+    record_trace: bool,
 }
 
 impl SimulationBuilder {
@@ -62,6 +63,7 @@ impl SimulationBuilder {
             stats_checkpoints: 16,
             memory: None,
             trace_capacity: 0,
+            record_trace: false,
         }
     }
 
@@ -135,10 +137,33 @@ impl SimulationBuilder {
         self
     }
 
+    /// Records the **complete** event sequence of the run into
+    /// [`RunReport::recording`] as a [`Trace`] — the record half of
+    /// record/replay (see [`run_replay`](Self::run_replay)).
+    #[must_use]
+    pub fn record_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
     /// Runs the simulation to the horizon and returns the report.
     #[must_use]
     pub fn run(self) -> RunReport {
         Simulation::from_builder(self).run_to_horizon()
+    }
+
+    /// Replays a recorded [`Trace`] against this configuration instead of
+    /// running the live event loop: events fire in exactly the recorded
+    /// order and the adversary/timer models are never consulted, so the
+    /// replayed run is byte-identical to the live one that produced the
+    /// trace (same actors, same crash plan, same checkpoints).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace's process count does not match the actor count.
+    #[must_use]
+    pub fn run_replay(self, trace: &Trace) -> RunReport {
+        Simulation::from_builder(self).replay_events(trace)
     }
 }
 
@@ -183,6 +208,7 @@ pub struct Simulation {
     stats_checkpoints: usize,
     memory: Option<MemorySpace>,
     trace: Option<EventTrace>,
+    recording: Option<Trace>,
 
     queue: EventQueue,
     crashed: ProcessSet,
@@ -239,6 +265,11 @@ impl Simulation {
             } else {
                 None
             },
+            recording: if b.record_trace {
+                Some(Trace::new(n, b.horizon.ticks()))
+            } else {
+                None
+            },
         }
     }
 
@@ -283,7 +314,9 @@ impl Simulation {
             leaders: &leaders,
             crashed: &self.crashed,
         });
-        self.report.timeline.push(now, leaders);
+        self.report
+            .timeline
+            .push_with_steps(now, leaders, self.report.steps_taken.clone());
     }
 
     fn checkpoint(&mut self, now: SimTime) {
@@ -336,46 +369,105 @@ impl Simulation {
                 self.checkpoint(now);
                 next_checkpoint += checkpoint_every;
             }
-            self.report.events_processed += 1;
-            if let Some(trace) = &mut self.trace {
-                trace.record(now, event.kind);
+            self.apply_event(now, event.kind, true);
+        }
+
+        self.finish(started)
+    }
+
+    /// Re-executes a recorded event sequence. No events are generated: the
+    /// trace drives the run, the filters (crash set, timer epochs) evolve
+    /// exactly as they did live, and the adversary/timer models are never
+    /// consulted for delays.
+    fn replay_events(mut self, trace: &Trace) -> RunReport {
+        let started = std::time::Instant::now();
+        assert_eq!(
+            trace.n,
+            self.n(),
+            "trace records {} processes but the simulation has {}",
+            trace.n,
+            self.n()
+        );
+        assert_eq!(
+            trace.horizon,
+            self.horizon.ticks(),
+            "trace horizon {} does not match the configured horizon {}",
+            trace.horizon,
+            self.horizon.ticks()
+        );
+        let checkpoint_every = if self.stats_checkpoints > 0 {
+            (self.horizon.ticks() / self.stats_checkpoints as u64).max(1)
+        } else {
+            0
+        };
+        self.checkpoint(SimTime::ZERO);
+        let mut next_checkpoint = checkpoint_every;
+        for entry in trace.events() {
+            let now = entry.time;
+            if checkpoint_every > 0 && now.ticks() >= next_checkpoint {
+                self.checkpoint(now);
+                next_checkpoint += checkpoint_every;
             }
-            match event.kind {
-                EventKind::Step(pid) => {
-                    if self.crashed.contains(pid) {
-                        continue;
-                    }
-                    let ctx = StepCtx { pid, now };
-                    self.actors[pid.index()].on_step(ctx);
-                    self.report.steps_taken[pid.index()] += 1;
+            self.apply_event(now, entry.kind, false);
+        }
+        self.finish(started)
+    }
+
+    /// Applies one popped event: counting, tracing, the stale/crashed
+    /// filters, and the actor callbacks. `live` additionally schedules the
+    /// follow-up event (next step / re-armed timer); replay passes `false`
+    /// because the recorded sequence already contains every follow-up.
+    fn apply_event(&mut self, now: SimTime, kind: EventKind, live: bool) {
+        self.report.events_processed += 1;
+        if let Some(trace) = &mut self.trace {
+            trace.record(now, kind);
+        }
+        if let Some(rec) = &mut self.recording {
+            rec.record(now, kind);
+        }
+        match kind {
+            EventKind::Step(pid) => {
+                if self.crashed.contains(pid) {
+                    return;
+                }
+                let ctx = StepCtx { pid, now };
+                self.actors[pid.index()].on_step(ctx);
+                self.report.steps_taken[pid.index()] += 1;
+                if live {
                     let delay = self.adversary.next_step_delay(pid, now).max(1);
                     self.queue.schedule(now + delay, EventKind::Step(pid));
                 }
-                EventKind::TimerExpire(pid, epoch) => {
-                    if self.crashed.contains(pid) || self.timer_epochs[pid.index()] != epoch {
-                        continue;
-                    }
-                    let ctx = StepCtx { pid, now };
-                    let x = self.actors[pid.index()].on_timer(ctx);
-                    self.report.timer_fires[pid.index()] += 1;
-                    let epoch = epoch + 1;
-                    self.timer_epochs[pid.index()] = epoch;
+            }
+            EventKind::TimerExpire(pid, epoch) => {
+                if self.crashed.contains(pid) || self.timer_epochs[pid.index()] != epoch {
+                    return;
+                }
+                let ctx = StepCtx { pid, now };
+                let x = self.actors[pid.index()].on_timer(ctx);
+                self.report.timer_fires[pid.index()] += 1;
+                let epoch = epoch + 1;
+                self.timer_epochs[pid.index()] = epoch;
+                if live {
                     let d = self.timers[pid.index()].duration(now, x).max(1);
                     self.queue
                         .schedule(now + d, EventKind::TimerExpire(pid, epoch));
                 }
-                EventKind::Crash(pid) => {
-                    self.crash(pid);
-                }
-                EventKind::Sample => {
-                    self.sample(now);
-                }
+            }
+            EventKind::Crash(pid) => {
+                self.crash(pid);
+            }
+            EventKind::Sample => {
+                self.sample(now);
             }
         }
+    }
 
+    fn finish(mut self, started: std::time::Instant) -> RunReport {
+        let n = self.n();
         self.checkpoint(self.horizon);
         self.report.wall.elapsed = started.elapsed();
         self.report.trace = self.trace.take();
+        self.report.recording = self.recording.take();
         self.report.crashed = self.crashed.clone();
         let mut correct = ProcessSet::full(n);
         for pid in self.crashed.iter() {
@@ -415,6 +507,9 @@ pub struct RunReport {
     pub footprints: Vec<(SimTime, FootprintReport)>,
     /// Event trace (only with [`SimulationBuilder::trace`] enabled).
     pub trace: Option<EventTrace>,
+    /// Complete binary-encodable event recording (only with
+    /// [`SimulationBuilder::record_trace`] enabled).
+    pub recording: Option<Trace>,
     /// Processes that crashed during the run.
     pub crashed: ProcessSet,
     /// Processes that survived the whole run.
@@ -437,6 +532,7 @@ impl RunReport {
             windowed: WindowedStats::new(),
             footprints: Vec::new(),
             trace: None,
+            recording: None,
             crashed: ProcessSet::new(n),
             correct: ProcessSet::full(n),
             events_processed: 0,
@@ -674,6 +770,93 @@ mod tests {
             .horizon(100)
             .run();
         assert!(no_stab.summary().contains("stabilized       : NO"));
+    }
+
+    #[test]
+    fn recorded_trace_replays_identically() {
+        let config = || {
+            Simulation::builder(fixed_actors(4, 2))
+                .adversary(SeededRandom::new(7, 1, 5))
+                .timers_from(|_| Box::new(AffineTimer::new(3, 2)))
+                .crash_plan(
+                    CrashPlan::none().with_crash_at(SimTime::from_ticks(900), ProcessId::new(3)),
+                )
+                .horizon(2_000)
+                .sample_every(25)
+                .record_trace()
+        };
+        let live = config().run();
+        let trace = live.recording.as_ref().expect("recording enabled");
+        assert_eq!(trace.n, 4);
+        assert_eq!(trace.horizon, 2_000);
+        assert_eq!(trace.len(), live.events_processed as usize);
+
+        // Round-trip the trace through the binary format, then replay it.
+        let decoded = Trace::decode(&trace.encode()).unwrap();
+        let replayed = config().run_replay(&decoded);
+
+        assert_eq!(replayed.events_processed, live.events_processed);
+        assert_eq!(replayed.steps_taken, live.steps_taken);
+        assert_eq!(replayed.timer_fires, live.timer_fires);
+        assert_eq!(
+            replayed.timeline.samples(),
+            live.timeline.samples(),
+            "replayed timeline must match the live run sample-for-sample"
+        );
+        assert_eq!(replayed.crashed, live.crashed);
+        assert_eq!(replayed.correct, live.correct);
+        // Re-recording during replay reproduces the trace byte-for-byte.
+        let re_recorded = replayed.recording.expect("recording enabled on replay");
+        assert_eq!(re_recorded.encode(), decoded.encode());
+    }
+
+    #[test]
+    fn replay_handles_leader_relative_crashes() {
+        let config = || {
+            Simulation::builder(fixed_actors(3, 1))
+                .crash_plan(CrashPlan::none().with_leader_crash_at(SimTime::from_ticks(200)))
+                .horizon(1_000)
+                .sample_every(10)
+                .record_trace()
+        };
+        let live = config().run();
+        assert!(live.crashed.contains(ProcessId::new(1)));
+        let trace = live.recording.clone().unwrap();
+        let replayed = config().run_replay(&trace);
+        // The leader-relative crash resolves to the same victim because the
+        // actor states evolve identically up to the resolving sample.
+        assert!(replayed.crashed.contains(ProcessId::new(1)));
+        assert_eq!(replayed.steps_taken, live.steps_taken);
+        assert_eq!(replayed.timeline.samples(), live.timeline.samples());
+    }
+
+    #[test]
+    #[should_panic(expected = "trace records 2 processes")]
+    fn replay_rejects_mismatched_process_count() {
+        let trace = Trace::new(2, 1_000);
+        let _ = Simulation::builder(fixed_actors(3, 0))
+            .horizon(1_000)
+            .run_replay(&trace);
+    }
+
+    #[test]
+    fn timeline_samples_carry_cumulative_steps() {
+        let report = Simulation::builder(fixed_actors(2, 0))
+            .horizon(500)
+            .sample_every(50)
+            .run();
+        let samples = report.timeline.samples();
+        assert!(samples.iter().all(|s| s.steps.len() == 2));
+        // Cumulative counts are non-decreasing and end at the totals.
+        for w in samples.windows(2) {
+            assert!(w[0].steps.iter().zip(&w[1].steps).all(|(a, b)| a <= b));
+        }
+        let last = samples.last().unwrap();
+        assert!(last
+            .steps
+            .iter()
+            .zip(&report.steps_taken)
+            .all(|(s, total)| s <= total));
     }
 
     #[test]

@@ -64,6 +64,7 @@ mod time;
 pub use harness::{RunReport, Simulation, SimulationBuilder, WallClock};
 pub use process::{Actor, StepCtx};
 pub use time::SimTime;
+pub use trace::{Trace, TraceError};
 
 /// Commonly used items for downstream crates and examples.
 pub mod prelude {

@@ -19,6 +19,12 @@ pub struct TimelineSample {
     /// Estimate of each process, indexed by process. `None` for actors
     /// without an estimate yet and for crashed processes.
     pub leaders: Vec<Option<ProcessId>>,
+    /// Cumulative main-task steps of each process at sampling time. Empty
+    /// when the producer does not track steps (e.g. hand-built timelines);
+    /// consumers needing activity (the fuzz safety oracle asks whether a
+    /// self-believed leader is still *stepping*) must treat empty as
+    /// unknown.
+    pub steps: Vec<u64>,
 }
 
 /// The stabilized suffix of a run, if one exists.
@@ -45,9 +51,27 @@ impl LeaderTimeline {
         LeaderTimeline::default()
     }
 
-    /// Appends a sample.
+    /// Appends a sample without step counts.
     pub fn push(&mut self, time: SimTime, leaders: Vec<Option<ProcessId>>) {
-        self.samples.push(TimelineSample { time, leaders });
+        self.samples.push(TimelineSample {
+            time,
+            leaders,
+            steps: Vec::new(),
+        });
+    }
+
+    /// Appends a sample carrying cumulative per-process step counts.
+    pub fn push_with_steps(
+        &mut self,
+        time: SimTime,
+        leaders: Vec<Option<ProcessId>>,
+        steps: Vec<u64>,
+    ) {
+        self.samples.push(TimelineSample {
+            time,
+            leaders,
+            steps,
+        });
     }
 
     /// All samples in time order.
