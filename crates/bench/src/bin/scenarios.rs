@@ -183,6 +183,21 @@ fn json_record(outcome: &Outcome) -> String {
             san.blocks_mapped, san.blocks_touched, san.block_accesses, san.service_time_ms,
         );
     }
+    if let Some(chaos) = &outcome.chaos {
+        let _ = write!(
+            o,
+            "\"partitions\":{},\"partition_ticks\":{},\"storm_ticks\":{},\"wave_crashes\":{},\"wave_recoveries\":{},",
+            chaos.partitions,
+            chaos.partition_ticks,
+            chaos.storm_ticks,
+            chaos.wave_crashes,
+            chaos.wave_recoveries,
+        );
+        let _ = match chaos.heal_to_stable_ticks {
+            Some(t) => write!(o, "\"heal_to_stable_ticks\":{t},"),
+            None => write!(o, "\"heal_to_stable_ticks\":null,"),
+        };
+    }
     let _ = match &outcome.tail {
         Some(tail) => write!(
             o,
@@ -458,6 +473,29 @@ fn should_write_artifact(checking: bool, filtered: bool, explicit_out: bool) -> 
     explicit_out || (!checking && !filtered)
 }
 
+/// Why `backend` refuses `scenario` — the loud half of the admission
+/// matrix. Campaign clauses a wall clock cannot honor are named
+/// explicitly (a silent drop would record an outcome for a scenario the
+/// driver never actually realized).
+fn refusal_rule(backend: Backend, scenario: &Scenario) -> &'static str {
+    debug_assert!(!backend.admits(scenario));
+    if let Some(campaign) = &scenario.campaign {
+        if campaign.has_recovery() && backend != Backend::Sim {
+            return "campaign recovery waves are sim-only: a parked wall-clock thread cannot be resurrected";
+        }
+        if campaign.has_storm() && matches!(backend, Backend::Threads | Backend::Coop) {
+            return "campaign latency storms need a simulated medium (sim, or the SAN block device)";
+        }
+    }
+    match backend {
+        Backend::Sim => unreachable!("sim admits everything"),
+        Backend::Threads | Backend::San => {
+            "per-node-thread backends run stabilizing scenarios at n <= 16"
+        }
+        Backend::Coop => "coop runs stabilizing scenarios at n <= 128",
+    }
+}
+
 fn run_suite(backend: Backend, only: Option<&str>) -> (Table, Vec<Outcome>) {
     let mut table = Table::new(&[
         "scenario",
@@ -479,14 +517,12 @@ fn run_suite(backend: Backend, only: Option<&str>) -> (Table, Vec<Outcome>) {
             continue;
         }
         if !backend.admits(&scenario) {
-            let rule = match backend {
-                Backend::Sim => unreachable!("sim admits everything"),
-                Backend::Threads | Backend::San => {
-                    "per-node-thread backends run stabilizing scenarios at n <= 16"
-                }
-                Backend::Coop => "coop runs stabilizing scenarios at n <= 128",
-            };
-            println!("skipping {} on {} ({rule})", scenario.name, backend.name());
+            println!(
+                "skipping {} on {} ({})",
+                scenario.name,
+                backend.name(),
+                refusal_rule(backend, &scenario)
+            );
             continue;
         }
         let outcome = backend.run(&scenario);
@@ -843,6 +879,73 @@ mod tests {
             Backend::Coop.admits(&contended) && !Backend::Threads.admits(&contended),
             "the contention sweep's large members are coop-only among wall clocks"
         );
+    }
+
+    #[test]
+    fn chaos_admission_matrix_matches_list_output() {
+        // The `--list` column for each chaos registry scenario is
+        // `eligible_drivers().names()`; the suite dispatch reads the same
+        // table through `Backend::admits`. Pin both views per clause.
+        let by_name = |name: &str| {
+            omega_scenario::registry::all()
+                .into_iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("registry scenario {name} missing"))
+        };
+
+        // Partitions, crash waves and heals: realizable on every backend.
+        let partition = by_name("chaos/partition-heal");
+        assert_eq!(
+            partition.eligible_drivers().names(),
+            ["sim", "threads", "san", "coop"]
+        );
+        for backend in [Backend::Sim, Backend::Threads, Backend::San, Backend::Coop] {
+            assert!(backend.admits(&partition));
+        }
+
+        // Latency storms: only media with a stretchable clock — the
+        // simulator, and the SAN's simulated block device.
+        let storm = by_name("chaos/latency-storm");
+        assert_eq!(storm.eligible_drivers().names(), ["sim", "san"]);
+        assert!(Backend::San.admits(&storm));
+        for backend in [Backend::Threads, Backend::Coop] {
+            assert!(!backend.admits(&storm));
+            assert!(
+                refusal_rule(backend, &storm).contains("storm"),
+                "the refusal must name the clause"
+            );
+        }
+
+        // Recovery waves: sim-only.
+        let wave = by_name("chaos/wave-recover");
+        assert_eq!(wave.eligible_drivers().names(), ["sim"]);
+        for backend in [Backend::Threads, Backend::San, Backend::Coop] {
+            assert!(!backend.admits(&wave));
+            assert!(
+                refusal_rule(backend, &wave).contains("recovery"),
+                "the refusal must name the clause"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_records_round_trip_through_the_baseline_parser() {
+        // A campaign outcome writes the per-phase chaos counters; the
+        // baseline parser (which gates none of them yet) must keep parsing
+        // the record's gated fields around them.
+        let scenario = omega_scenario::registry::all()
+            .into_iter()
+            .find(|s| s.name == "chaos/partition-heal")
+            .unwrap();
+        let outcome = SimDriver.run(&scenario);
+        let record = json_record(&outcome);
+        assert!(record.contains("\"partitions\":1"), "{record}");
+        assert!(record.contains("\"partition_ticks\":"), "{record}");
+        assert!(record.contains("\"heal_to_stable_ticks\":"), "{record}");
+        let parsed = parse_baseline(&format!("[\n  {record}\n]\n")).unwrap();
+        assert_eq!(parsed[0].scenario, "chaos/partition-heal");
+        assert_eq!(parsed[0].total_writes, outcome.total_writes());
+        assert_eq!(parsed[0].stabilization_ticks, outcome.stabilization_ticks);
     }
 
     #[test]

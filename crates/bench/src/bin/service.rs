@@ -353,6 +353,7 @@ fn run_suite(backend: Backend, only: Option<&str>) -> (Table, Vec<ServiceOutcome
         "crashes",
         "unavail",
         "failed-in-window",
+        "in-part-rej",
         "stable",
     ]);
     let mut outcomes = Vec::new();
@@ -377,6 +378,7 @@ fn run_suite(backend: Backend, only: Option<&str>) -> (Table, Vec<ServiceOutcome
             outcome.windows.len().to_string(),
             outcome.unavail_ticks().to_string(),
             (outcome.unavail_rejected() + outcome.unavail_stalled()).to_string(),
+            outcome.in_partition_rejected.to_string(),
             outcome.stabilized.to_string(),
         ]);
         outcomes.push(outcome);

@@ -1,0 +1,100 @@
+//! The partition visibility mask behind register-space chaos campaigns.
+//!
+//! A *partition* severs the read visibility between groups of processes:
+//! while it is installed, a read of a register **owned** by a process in a
+//! different group returns the value frozen at the cut instead of the live
+//! one — exactly what a process on the far side of a split storage fabric
+//! would observe. Writes are untouched (an owner always reaches its own
+//! row), ownerless nWnR registers are untouched (they model a medium both
+//! sides still reach), and the access counters are untouched (a partitioned
+//! read is still a read), so non-chaos accounting is byte-identical with
+//! and without the mask compiled in the hot path.
+//!
+//! The mask itself is one relaxed atomic load per read while inactive; the
+//! group table is only consulted mid-partition.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::sync::RwLock;
+use crate::ProcessId;
+
+/// Space-wide partition state shared by every register of a
+/// [`MemorySpace`](crate::MemorySpace).
+pub(crate) struct PartitionMask {
+    active: AtomicBool,
+    /// Group index per process id; `-1` marks a process outside every
+    /// group (it sees, and is seen by, everyone — e.g. a harness-side
+    /// actor beyond the election's `n`).
+    group_of: RwLock<Vec<i32>>,
+}
+
+impl PartitionMask {
+    pub(crate) fn new() -> Self {
+        PartitionMask {
+            active: AtomicBool::new(false),
+            group_of: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Whether `reader`'s view of a register owned by `owner` is severed
+    /// by the installed partition.
+    #[inline]
+    pub(crate) fn severed(&self, reader: ProcessId, owner: ProcessId) -> bool {
+        if !self.active.load(Ordering::Acquire) {
+            return false;
+        }
+        let groups = self.group_of.read();
+        let group = |p: ProcessId| groups.get(p.index()).copied().unwrap_or(-1);
+        let (gr, gw) = (group(reader), group(owner));
+        gr >= 0 && gw >= 0 && gr != gw
+    }
+
+    /// Activates the mask with the given per-process group table.
+    pub(crate) fn install(&self, group_of: Vec<i32>) {
+        *self.group_of.write() = group_of;
+        self.active.store(true, Ordering::Release);
+    }
+
+    /// Deactivates the mask: every read sees live values again.
+    pub(crate) fn heal(&self) {
+        self.active.store(false, Ordering::Release);
+    }
+
+    pub(crate) fn is_active(&self) -> bool {
+        self.active.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn inactive_mask_severs_nothing() {
+        let mask = PartitionMask::new();
+        assert!(!mask.severed(p(0), p(1)));
+        assert!(!mask.is_active());
+    }
+
+    #[test]
+    fn severs_across_groups_only() {
+        let mask = PartitionMask::new();
+        mask.install(vec![0, 0, 1, 1, -1]);
+        assert!(mask.is_active());
+        assert!(mask.severed(p(0), p(2)), "across the cut");
+        assert!(mask.severed(p(3), p(1)), "both directions");
+        assert!(!mask.severed(p(0), p(1)), "same side");
+        assert!(!mask.severed(p(2), p(3)), "same side");
+        // Unlisted processes (group -1) see and are seen by everyone.
+        assert!(!mask.severed(p(4), p(0)));
+        assert!(!mask.severed(p(0), p(4)));
+        // Out-of-table processes are unlisted too.
+        assert!(!mask.severed(p(9), p(0)));
+        mask.heal();
+        assert!(!mask.severed(p(0), p(2)), "healed");
+    }
+}

@@ -51,6 +51,7 @@ pub mod sync;
 
 mod array;
 mod block;
+mod chaos;
 mod error;
 mod footprint;
 mod matrix;

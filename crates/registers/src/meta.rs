@@ -207,6 +207,9 @@ pub(crate) trait RegisterMeta: Send + Sync {
     fn counters(&self) -> &Counters;
     /// Footprint of the value currently stored.
     fn current_bits(&self) -> u64;
+    /// Snapshots the current value into the register's frozen cell — the
+    /// value severed readers observe while a partition is installed.
+    fn freeze(&self);
 }
 
 #[cfg(test)]

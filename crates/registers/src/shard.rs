@@ -152,7 +152,7 @@ impl ScanStats {
 /// A reader that observes an unchanged global epoch knows every per-row
 /// epoch is unchanged too (the global moves with each of them).
 #[derive(Debug)]
-struct Epochs {
+pub(crate) struct Epochs {
     versions: Box<[AtomicU64]>,
     global: AtomicU64,
 }
@@ -168,6 +168,21 @@ impl Epochs {
     fn bump(&self, index: usize) {
         self.versions[index].fetch_add(1, Ordering::Release);
         self.global.fetch_add(1, Ordering::Release);
+    }
+
+    /// Moves every per-row epoch (and the global epoch with them): nothing
+    /// a reader cached against an older epoch validates afterwards. This
+    /// is the partition install/heal hook — a visibility cut is a
+    /// modification *of what a read returns* even though no value moved,
+    /// so epoch-validated caches must be forced to re-read once per
+    /// transition or they would serve frozen snapshots as current forever
+    /// (the matrix may go quiescent right after a heal).
+    pub(crate) fn bump_all(&self) {
+        for version in &self.versions {
+            version.fetch_add(1, Ordering::Release);
+        }
+        self.global
+            .fetch_add(self.versions.len() as u64, Ordering::Release);
     }
 
     fn load(&self, index: usize) -> u64 {
@@ -308,6 +323,13 @@ impl<T: RegisterValue, C: SharedCell<T>> EpochedMatrix<T, C> {
     #[must_use]
     pub fn counters(&self) -> &Arc<ScanCounters> {
         &self.counters
+    }
+
+    /// The epoch table, for the space's partition hooks (install/heal
+    /// invalidate every epoch-validated cache via
+    /// [`Epochs::bump_all`]).
+    pub(crate) fn epochs(&self) -> &Arc<Epochs> {
+        &self.epochs
     }
 }
 

@@ -8,6 +8,7 @@ use crate::sync::RwLock;
 use crate::array::{MwmrArray, SwmrArray};
 use crate::block::{BlockDevice, BlockMap};
 use crate::cell::{AtomicFlagCell, AtomicNatCell, LockCell, SharedCell};
+use crate::chaos::PartitionMask;
 use crate::footprint::{FootprintReport, FootprintRow};
 use crate::matrix::OwnedMatrix;
 use crate::meta::{Instrumentation, RegisterId, RegisterMeta};
@@ -49,6 +50,12 @@ struct SpaceInner {
     /// local cells, laid out by `block_map`.
     backing: Option<Arc<dyn BlockDevice>>,
     block_map: Arc<BlockMap>,
+    /// The chaos-campaign partition mask shared by every register.
+    chaos: Arc<PartitionMask>,
+    /// Epoch tables of every epoched structure created in this space.
+    /// Partition install/heal bumps them all: a visibility cut changes
+    /// what a read returns, so epoch-validated caches must re-read.
+    epochs: RwLock<Vec<std::sync::Weak<crate::shard::Epochs>>>,
 }
 
 /// A shared memory made of atomic registers, with built-in instrumentation.
@@ -143,6 +150,8 @@ impl MemorySpace {
                 }),
                 backing,
                 block_map: Arc::new(BlockMap::new()),
+                chaos: Arc::new(PartitionMask::new()),
+                epochs: RwLock::new(Vec::new()),
             }),
         }
     }
@@ -227,6 +236,7 @@ impl MemorySpace {
             self.inner.mode,
             initial,
             self.bind_block::<T>(name, Some(owner)),
+            Arc::clone(&self.inner.chaos),
         );
         let reg = SwmrRegister::from_core(core);
         self.register(reg.meta());
@@ -257,6 +267,7 @@ impl MemorySpace {
             self.inner.mode,
             initial,
             self.bind_block::<T>(name, None),
+            Arc::clone(&self.inner.chaos),
         );
         let reg = MwmrRegister::from_core(core);
         self.register(reg.meta());
@@ -460,7 +471,12 @@ impl MemorySpace {
         name: &str,
         init: impl FnMut(usize, usize) -> u64,
     ) -> EpochedNatMatrix {
-        EpochedMatrix::new(self.nat_row_matrix(name, init), self.scan_counters())
+        let matrix = EpochedMatrix::new(self.nat_row_matrix(name, init), self.scan_counters());
+        self.inner
+            .epochs
+            .write()
+            .push(Arc::downgrade(matrix.epochs()));
+        matrix
     }
 
     /// Lock-free `u64` nWnR array with per-slot modification epochs.
@@ -478,6 +494,81 @@ impl MemorySpace {
     #[must_use]
     pub fn scan_counters(&self) -> Arc<ScanCounters> {
         Arc::clone(&self.inner.scan)
+    }
+
+    // ------------------------------------------------------------------
+    // Chaos campaigns.
+    // ------------------------------------------------------------------
+
+    /// Installs a register-space partition: processes in different `groups`
+    /// stop seeing each other's 1WnR rows and instead read the value each
+    /// register held at the cut (its *frozen* snapshot). Processes absent
+    /// from every group — including ids beyond the table, such as
+    /// harness-side actors — stay connected to everyone. Ownerless nWnR
+    /// registers are never severed. Writes always land (an owner reaches
+    /// its own row), so the live state keeps advancing invisibly until
+    /// [`heal_partition`](Self::heal_partition) reveals it.
+    ///
+    /// Installing over an active partition re-freezes every register and
+    /// replaces the group table; only one partition is active at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a process id is out of range or appears in two groups.
+    pub fn install_partition(&self, groups: &[Vec<ProcessId>]) {
+        let n = self.inner.n_processes;
+        let mut table = vec![-1_i32; n];
+        for (g, members) in groups.iter().enumerate() {
+            for &pid in members {
+                assert!(
+                    pid.index() < n,
+                    "partition member {pid} out of range for n={n}"
+                );
+                assert_eq!(
+                    table[pid.index()],
+                    -1,
+                    "process {pid} appears in two partition groups"
+                );
+                table[pid.index()] = i32::try_from(g).expect("group count fits i32");
+            }
+        }
+        // Freeze before activating, so severed readers observe a snapshot
+        // no older than the cut.
+        for meta in self.inner.regs.read().iter() {
+            meta.freeze();
+        }
+        self.inner.chaos.install(table);
+        self.invalidate_epoch_caches();
+    }
+
+    /// Heals the installed partition: every read sees live values again.
+    /// A no-op when no partition is active.
+    pub fn heal_partition(&self) {
+        self.inner.chaos.heal();
+        self.invalidate_epoch_caches();
+    }
+
+    /// Bumps every epoched structure's epochs. A partition transition
+    /// changes what reads return without moving any value, so any cache
+    /// validated against pre-transition epochs would keep serving its
+    /// (now frozen, or now stale-frozen) snapshot as current — forever, if
+    /// the registers go quiescent right after a heal. Forcing one re-read
+    /// per transition restores coherence.
+    fn invalidate_epoch_caches(&self) {
+        let mut epochs = self.inner.epochs.write();
+        epochs.retain(|weak| match weak.upgrade() {
+            Some(table) => {
+                table.bump_all();
+                true
+            }
+            None => false,
+        });
+    }
+
+    /// Whether a partition is currently installed.
+    #[must_use]
+    pub fn partition_active(&self) -> bool {
+        self.inner.chaos.is_active()
     }
 
     // ------------------------------------------------------------------
@@ -659,6 +750,98 @@ mod tests {
         let row = &fp.rows()[0];
         assert_eq!(row.hwm_bits, 21);
         assert_eq!(row.current_bits, 1);
+    }
+
+    #[test]
+    fn partition_freezes_cross_group_reads_until_heal() {
+        let s = MemorySpace::new(4);
+        let arr = s.nat_array("PROGRESS", |_| 0);
+        let (p0, p2) = (ProcessId::new(0), ProcessId::new(2));
+        arr.get(p2).write(p2, 7);
+        s.install_partition(&[vec![p0, ProcessId::new(1)], vec![p2, ProcessId::new(3)]]);
+        assert!(s.partition_active());
+        arr.get(p2).write(p2, 9);
+        assert_eq!(arr.get(p2).read(p0), 7, "severed read sees the cut value");
+        assert_eq!(arr.get(p2).read(ProcessId::new(3)), 9, "same side is live");
+        assert_eq!(arr.get(p2).read(p2), 9, "owner always sees own row");
+        s.heal_partition();
+        assert!(!s.partition_active());
+        assert_eq!(arr.get(p2).read(p0), 9, "heal reveals the live value");
+    }
+
+    #[test]
+    fn partition_ignores_mwmr_and_unlisted_processes() {
+        let s = MemorySpace::new(4);
+        let m = s.mwmr::<u64>("M", 0);
+        let r = s.swmr::<u64>("X", ProcessId::new(3), 1);
+        let (p0, p3) = (ProcessId::new(0), ProcessId::new(3));
+        s.install_partition(&[vec![p0], vec![p3]]);
+        m.write(p3, 5);
+        assert_eq!(m.read(p0), 5, "ownerless registers are never severed");
+        r.write(p3, 2);
+        assert_eq!(r.read(ProcessId::new(1)), 2, "unlisted readers stay live");
+    }
+
+    #[test]
+    fn reinstall_refreezes_at_the_new_cut() {
+        let s = MemorySpace::new(2);
+        let (p0, p1) = (ProcessId::new(0), ProcessId::new(1));
+        let r = s.swmr::<u64>("X", p1, 0);
+        s.install_partition(&[vec![p0], vec![p1]]);
+        r.write(p1, 1);
+        assert_eq!(r.read(p0), 0);
+        s.install_partition(&[vec![p0], vec![p1]]);
+        assert_eq!(r.read(p0), 1, "second cut froze the newer value");
+    }
+
+    #[test]
+    #[should_panic(expected = "two partition groups")]
+    fn overlapping_partition_groups_rejected() {
+        let s = MemorySpace::new(2);
+        let p0 = ProcessId::new(0);
+        s.install_partition(&[vec![p0], vec![p0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn partition_member_out_of_range_rejected() {
+        let s = MemorySpace::new(2);
+        s.install_partition(&[vec![ProcessId::new(5)]]);
+    }
+
+    #[test]
+    fn partition_transitions_move_epoched_matrix_versions() {
+        // The epoch tables are NOT severed by the mask, so a severed
+        // snapshot records frozen values against a live epoch. If the
+        // matrix then goes quiescent, an epoch-validated cache would serve
+        // that frozen snapshot as current forever — install and heal must
+        // therefore bump every epoch so caches re-read once per
+        // transition.
+        let s = MemorySpace::new(2);
+        let m = s.epoched_nat_row_matrix("S", |_, _| 0);
+        let (p0, p1) = (ProcessId::new(0), ProcessId::new(1));
+        s.install_partition(&[vec![p0], vec![p1]]);
+        m.write(p0, p1, p0, 7); // live row advances invisibly
+        let mut buf = vec![0; 2];
+        let seen = m.snapshot_row_into(p0, p1, &mut buf);
+        assert_eq!(buf, vec![0, 0], "severed snapshot is the frozen row");
+        let global = m.version();
+        s.heal_partition();
+        assert_ne!(m.row_version(p0), seen, "heal invalidates row epochs");
+        assert_ne!(m.version(), global, "heal moves the global epoch too");
+        let reread = m.snapshot_row_into(p0, p1, &mut buf);
+        assert_eq!(buf, vec![0, 7], "forced re-read observes the live row");
+        assert_eq!(reread, m.row_version(p0), "coherent again after heal");
+    }
+
+    #[test]
+    fn partitioned_reads_still_count() {
+        let s = MemorySpace::new(2);
+        let (p0, p1) = (ProcessId::new(0), ProcessId::new(1));
+        let r = s.swmr::<u64>("X", p1, 0);
+        s.install_partition(&[vec![p0], vec![p1]]);
+        let _ = r.read(p0);
+        assert_eq!(s.stats().reads_of(p0), 1);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use crate::block::BlockDevice;
 use crate::cell::{LockCell, SharedCell};
+use crate::chaos::PartitionMask;
 use crate::error::OwnershipError;
 use crate::meta::{Counters, RegisterId, RegisterMeta};
 use crate::value::RegisterValue;
@@ -28,6 +29,11 @@ pub(crate) struct BlockSlot {
 pub(crate) struct RegCore<T, C> {
     cell: C,
     block: Option<BlockSlot>,
+    /// Snapshot served to severed readers while a partition is installed;
+    /// refreshed by [`RegisterMeta::freeze`] at each cut. A second typed
+    /// cell (not encoded bits) because not every `T` is block-encodable.
+    frozen: C,
+    mask: Arc<PartitionMask>,
     name: Arc<str>,
     id: RegisterId,
     owner: Option<ProcessId>,
@@ -36,6 +42,9 @@ pub(crate) struct RegCore<T, C> {
 }
 
 impl<T: RegisterValue, C: SharedCell<T>> RegCore<T, C> {
+    // One argument per construction-time fact; only `MemorySpace::build`
+    // calls this, so a builder would be ceremony without a second caller.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         name: String,
         id: RegisterId,
@@ -44,6 +53,7 @@ impl<T: RegisterValue, C: SharedCell<T>> RegCore<T, C> {
         mode: crate::Instrumentation,
         initial: T,
         block: Option<BlockSlot>,
+        mask: Arc<PartitionMask>,
     ) -> Arc<Self> {
         let counters = Counters::new(n_processes, mode);
         counters.note_initial(initial.footprint_bits());
@@ -56,8 +66,10 @@ impl<T: RegisterValue, C: SharedCell<T>> RegCore<T, C> {
             }
         }
         Arc::new(RegCore {
-            cell: C::with_value(initial),
+            cell: C::with_value(initial.clone()),
             block,
+            frozen: C::with_value(initial),
+            mask,
             name: name.into(),
             id,
             owner,
@@ -68,6 +80,13 @@ impl<T: RegisterValue, C: SharedCell<T>> RegCore<T, C> {
 
     fn read(&self, reader: ProcessId) -> T {
         self.counters.note_read(reader);
+        // A severed read still counts (the process performed it) but sees
+        // the owner's row as it was at the cut, not the live value.
+        if let Some(owner) = self.owner {
+            if owner != reader && self.mask.severed(reader, owner) {
+                return self.frozen.load();
+            }
+        }
         match &self.block {
             Some(slot) => T::from_block(slot.device.read_block(slot.addr)),
             None => self.cell.load(),
@@ -116,6 +135,10 @@ impl<T: RegisterValue, C: SharedCell<T>> RegisterMeta for RegCore<T, C> {
 
     fn current_bits(&self) -> u64 {
         self.peek().footprint_bits()
+    }
+
+    fn freeze(&self) {
+        self.frozen.store(self.peek());
     }
 }
 

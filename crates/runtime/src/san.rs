@@ -149,6 +149,9 @@ pub struct SanDisk {
     rng_state: AtomicU64,
     accesses: AtomicU64,
     service_ns: AtomicU64,
+    /// Service-time multiplier (1 = calm). Chaos latency storms raise it
+    /// for a window and drop it back; see [`SanDisk::set_storm_factor`].
+    storm_factor: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -169,6 +172,7 @@ impl SanDisk {
             rng_state: AtomicU64::new(seed | 1),
             accesses: AtomicU64::new(0),
             service_ns: AtomicU64::new(0),
+            storm_factor: AtomicU64::new(1),
         })
     }
 
@@ -176,6 +180,20 @@ impl SanDisk {
     #[must_use]
     pub fn latency(&self) -> SanLatency {
         self.latency
+    }
+
+    /// Sets the latency-storm multiplier applied to every access's
+    /// simulated service time (clamped to ≥ 1; 1 restores calm). This is
+    /// how chaos campaigns realize a `storm` phase on the SAN: the disk
+    /// itself slows, the election algorithms above are untouched.
+    pub fn set_storm_factor(&self, factor: u64) {
+        self.storm_factor.store(factor.max(1), Ordering::Relaxed);
+    }
+
+    /// The current storm multiplier (1 = calm).
+    #[must_use]
+    pub fn storm_factor(&self) -> u64 {
+        self.storm_factor.load(Ordering::Relaxed)
     }
 
     fn simulate_latency(&self) {
@@ -189,7 +207,9 @@ impl SanDisk {
             let s = self.advance_jitter_rng();
             Duration::from_nanos(jitter_ns(s, self.latency.jitter.as_nanos() as u64))
         };
-        let service = self.latency.base + jitter;
+        let factor = self.storm_factor.load(Ordering::Relaxed);
+        let service =
+            (self.latency.base + jitter).saturating_mul(u32::try_from(factor).unwrap_or(u32::MAX));
         self.service_ns
             .fetch_add(service.as_nanos() as u64, Ordering::Relaxed);
         if !service.is_zero() {
@@ -640,6 +660,31 @@ mod tests {
         );
         let _ = jittery.read_block(0);
         assert!(jittery.stats().service_time >= Duration::from_nanos(100));
+    }
+
+    #[test]
+    fn storm_factor_multiplies_service_time() {
+        let disk = SanDisk::new(
+            SanLatency {
+                base: Duration::from_nanos(100),
+                jitter: Duration::ZERO,
+            },
+            3,
+        );
+        assert_eq!(disk.storm_factor(), 1);
+        let _ = disk.read_block(0);
+        let calm = disk.stats().service_time;
+        assert_eq!(calm, Duration::from_nanos(100));
+        disk.set_storm_factor(5);
+        let _ = disk.read_block(0);
+        assert_eq!(
+            disk.stats().service_time - calm,
+            Duration::from_nanos(500),
+            "stormed access pays factor x the calm service time"
+        );
+        // Clamped to >= 1: a zero factor cannot make the disk free.
+        disk.set_storm_factor(0);
+        assert_eq!(disk.storm_factor(), 1);
     }
 
     #[test]

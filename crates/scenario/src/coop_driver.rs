@@ -139,6 +139,27 @@ mod tests {
     }
 
     #[test]
+    fn partition_heal_campaign_runs_on_coop() {
+        // The acceptance scenario on a wall-clock backend: the observer
+        // severs {0,1} from {2,3,4} at the partition's wall-timed start,
+        // heals it, and the election must still stabilize inside the
+        // horizon. Tick accounting is the planned schedule (advisory on
+        // wall backends); stability is genuinely observed.
+        let scenario = crate::registry::named("chaos/partition-heal").expect("registry scenario");
+        assert!(
+            scenario.eligible_drivers().coop,
+            "partition+heal campaigns admit coop"
+        );
+        let outcome = CoopDriver::default().run(&scenario);
+        outcome.assert_election();
+        let chaos = outcome.chaos.expect("campaign scenarios report chaos");
+        assert_eq!(chaos.partitions, 1);
+        assert_eq!(chaos.partition_ticks, 25_000);
+        assert_eq!(chaos.wave_crashes, 0);
+        assert!(outcome.crashed.is_empty(), "partitions are not crashes");
+    }
+
+    #[test]
     fn default_pacing_twins_the_thread_driver() {
         // Thread-vs-coop throughput rows compare substrates only when the
         // pacing is identical; pin that coupling.

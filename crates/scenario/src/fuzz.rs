@@ -26,6 +26,7 @@
 
 use omega_core::OmegaVariant;
 use omega_registers::ProcessId;
+use omega_sim::chaos::{Campaign, ChaosPhase};
 use omega_sim::metrics::TimelineSample;
 use omega_sim::rng::SmallRng;
 use omega_sim::RunReport;
@@ -249,6 +250,32 @@ pub fn liveness_checkable(s: &Scenario) -> bool {
     if s.crashes.len() >= s.n {
         return false;
     }
+    // Campaigns: a partition legitimately delays stabilization until well
+    // past the heal (both sides' suspicions must re-expire), so its
+    // convergence bound is outside this conservative envelope — skip
+    // liveness, the safety oracle still watches the unmasked timeline.
+    // Storms and waves are checkable when they clear early (the crash
+    // rule's shape) and no wave kills the timely process.
+    if let Some(campaign) = &s.campaign {
+        if !campaign.is_empty() && s.horizon < 40_000 {
+            return false;
+        }
+        let ok = campaign.phases.iter().all(|phase| {
+            let done_by = phase.end().unwrap_or_else(|| phase.start());
+            if phase.start() > s.horizon / 4 || done_by > s.horizon / 4 {
+                return false;
+            }
+            match phase {
+                ChaosPhase::Partition { .. } => false,
+                ChaosPhase::Wave { crash, .. } => crash.iter().all(|&p| p != timely),
+                ChaosPhase::Storm { factor, jitter, .. } => *factor <= 4 && *jitter <= 64,
+                ChaosPhase::Heal { .. } => true,
+            }
+        });
+        if !ok {
+            return false;
+        }
+    }
     // A crash resets convergence: there must be room to detect it (the
     // grown timeouts have to expire once more) and re-settle.
     if !s.crashes.is_empty() && s.horizon < 40_000 {
@@ -259,6 +286,47 @@ pub fn liveness_checkable(s: &Scenario) -> bool {
         // A leader-relative crash may hit the timely process itself.
         CrashSpec::LeaderAt { .. } => false,
     })
+}
+
+/// Ticks after a partition window opens during which split leader
+/// estimates remain *correct* Ω behavior even past the heal: the two
+/// sides' pumped suspicions and grown timeouts must re-expire before
+/// estimates can merge again. The safety oracle masks each partition's
+/// `[from, until + grace)` out of the timeline.
+pub const HEAL_GRACE_TICKS: u64 = 5_000;
+
+/// Runs the safety oracle with campaign partitions masked out: inside a
+/// register-space partition (and for [`HEAL_GRACE_TICKS`] after it) the
+/// minority legitimately elects its own leader, so split estimates there
+/// are the *spec's* doing, not split-brain. Each unmasked contiguous
+/// segment of the timeline is scanned independently.
+#[must_use]
+pub fn split_brain_outside_partitions(s: &Scenario, samples: &[TimelineSample]) -> Option<String> {
+    let masks: Vec<(u64, u64)> = s
+        .campaign
+        .iter()
+        .flat_map(|c| c.phases.iter())
+        .filter_map(|phase| match phase {
+            ChaosPhase::Partition { from, until, .. } => {
+                Some((*from, until.saturating_add(HEAL_GRACE_TICKS)))
+            }
+            _ => None,
+        })
+        .collect();
+    if masks.is_empty() {
+        return split_brain(samples);
+    }
+    let mut segment_start = 0;
+    for (i, sample) in samples.iter().enumerate() {
+        let t = sample.time.ticks();
+        if masks.iter().any(|&(from, end)| t >= from && t < end) {
+            if let Some(detail) = split_brain(&samples[segment_start..i]) {
+                return Some(detail);
+            }
+            segment_start = i + 1;
+        }
+    }
+    split_brain(&samples[segment_start..])
 }
 
 /// Runs the scenario's variant on the simulator and applies both oracles.
@@ -274,7 +342,7 @@ pub fn run_and_check(s: &Scenario) -> Option<Violation> {
 #[must_use]
 pub fn check_report(s: &Scenario, report: &RunReport) -> Option<Violation> {
     if environment_tame(s) {
-        if let Some(detail) = split_brain(report.timeline.samples()) {
+        if let Some(detail) = split_brain_outside_partitions(s, report.timeline.samples()) {
             return Some(Violation::Safety { detail });
         }
     }
@@ -348,7 +416,69 @@ pub fn generate(rng: &mut SmallRng) -> Scenario {
         };
         s.crashes.push(spec);
     }
+    // A quarter of all draws carry a small chaos campaign. Phases stay
+    // inside the tame envelope (early, short, bounded storms, waves that
+    // spare the timely process) so the oracles keep their teeth: storms
+    // and waves stay liveness-checked, partitions are safety-checked
+    // outside their masked windows.
+    if rng.gen_range(0..=99) < 25 {
+        s = s.campaign(random_campaign(rng, n, horizon, timely));
+    }
     s
+}
+
+fn random_campaign(
+    rng: &mut SmallRng,
+    n: usize,
+    horizon: u64,
+    timely: Option<ProcessId>,
+) -> Campaign {
+    let mut campaign = Campaign::new();
+    for _ in 0..rng.gen_range(1..=2) {
+        let from = rng.gen_range(1_000..=horizon / 8);
+        let until = from + rng.gen_range(500..=horizon / 8);
+        match rng.gen_range(0..=2) {
+            0 => {
+                // A two-way split at a random cut point.
+                let cut = rng.gen_range(1..=(n as u64 - 1)) as usize;
+                campaign = campaign.phase(ChaosPhase::Partition {
+                    groups: vec![
+                        (0..cut).map(ProcessId::new).collect(),
+                        (cut..n).map(ProcessId::new).collect(),
+                    ],
+                    from,
+                    until,
+                });
+            }
+            1 => {
+                campaign = campaign.phase(ChaosPhase::Storm {
+                    factor: rng.gen_range(2..=4),
+                    jitter: rng.gen_range(0..=8),
+                    from,
+                    until,
+                });
+            }
+            _ => {
+                let mut pid = ProcessId::new(rng.gen_range(0..=(n as u64 - 1)) as usize);
+                if Some(pid) == timely {
+                    pid = ProcessId::new((pid.index() + 1) % n);
+                }
+                campaign = campaign.phase(ChaosPhase::Wave {
+                    crash: vec![pid],
+                    recover: vec![],
+                    at: from,
+                });
+                if rng.gen_range(0..=1) == 0 {
+                    campaign = campaign.phase(ChaosPhase::Wave {
+                        crash: vec![],
+                        recover: vec![pid],
+                        at: until,
+                    });
+                }
+            }
+        }
+    }
+    campaign
 }
 
 fn random_adversary(
@@ -467,6 +597,23 @@ pub fn shrink(
 /// (which the spec text then omits), so shrinking terminates.
 fn shrink_candidates(s: &Scenario) -> Vec<Scenario> {
     let mut out = Vec::new();
+    // Chaos first: whole campaign, then whole phases. A campaign is the
+    // most structured (and least likely load-bearing) part of a generated
+    // spec, and dropping a phase never invalidates the rest.
+    if let Some(campaign) = &s.campaign {
+        let mut t = s.clone();
+        t.campaign = None;
+        out.push(t);
+        for i in 0..campaign.phases.len() {
+            let mut t = s.clone();
+            let phases = &mut t.campaign.as_mut().expect("cloned Some").phases;
+            phases.remove(i);
+            if phases.is_empty() {
+                t.campaign = None;
+            }
+            out.push(t);
+        }
+    }
     for target in [s.n / 2, s.n - 1] {
         if target >= 1 && target < s.n {
             out.push(with_n(s, target));
@@ -544,6 +691,22 @@ fn with_n(s: &Scenario, m: usize) -> Scenario {
     if let AdversarySpec::GrowingBursts { victim, .. } = &mut t.adversary {
         if victim.index() >= m {
             *victim = ProcessId::new(0);
+        }
+    }
+    if let Some(campaign) = &mut t.campaign {
+        for phase in &mut campaign.phases {
+            match phase {
+                ChaosPhase::Partition { groups, .. } => {
+                    for group in groups.iter_mut() {
+                        group.retain(|p| p.index() < m);
+                    }
+                }
+                ChaosPhase::Wave { crash, recover, .. } => {
+                    crash.retain(|p| p.index() < m);
+                    recover.retain(|p| p.index() < m);
+                }
+                ChaosPhase::Storm { .. } | ChaosPhase::Heal { .. } => {}
+            }
         }
     }
     t
@@ -693,10 +856,18 @@ mod tests {
     fn generated_specs_round_trip_and_are_bounded() {
         let mut rng = SmallRng::seed_from_u64(2026);
         let mut checkable = 0;
+        let mut campaigns = 0;
         for _ in 0..200 {
             let s = generate(&mut rng);
             assert!((2..=10).contains(&s.n));
             assert!(s.crashes.len() < s.n);
+            if let Some(campaign) = &s.campaign {
+                campaigns += 1;
+                campaign
+                    .validate(s.n)
+                    .expect("generated campaigns are valid");
+                assert!(campaign.phases.len() <= 4, "campaigns stay small");
+            }
             let text = to_spec_text(&s);
             let parsed = from_spec_text(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
             assert_eq!(to_spec_text(&parsed), text);
@@ -707,6 +878,144 @@ mod tests {
         assert!(
             checkable >= 60,
             "liveness must actually be exercised ({checkable}/200 checkable)"
+        );
+        assert!(
+            campaigns >= 20,
+            "campaigns must actually be generated ({campaigns}/200)"
+        );
+    }
+
+    #[test]
+    fn safety_oracle_masks_partition_windows() {
+        // Split self-leadership across the whole run (ticks 0..10_000):
+        // without a campaign this is split-brain; with a partition whose
+        // cut + heal grace covers the run it is the spec's own doing.
+        let samples: Vec<TimelineSample> = (0..100)
+            .map(|i| {
+                sample(
+                    i * 100,
+                    vec![Some(0), Some(1), Some(0)],
+                    vec![i * 20, i * 20, i * 20],
+                )
+            })
+            .collect();
+        let plain = Scenario::fault_free(OmegaVariant::Alg1, 3);
+        assert!(split_brain_outside_partitions(&plain, &samples).is_some());
+        let cut = plain
+            .clone()
+            .campaign(Campaign::new().phase(ChaosPhase::Partition {
+                groups: vec![
+                    vec![ProcessId::new(0)],
+                    vec![ProcessId::new(1), ProcessId::new(2)],
+                ],
+                from: 0,
+                until: 5_000,
+            }));
+        assert!(
+            split_brain_outside_partitions(&cut, &samples).is_none(),
+            "the split sits inside the cut + grace window"
+        );
+        // A short early cut leaves the post-grace split exposed.
+        let early = plain.campaign(Campaign::new().phase(ChaosPhase::Partition {
+            groups: vec![
+                vec![ProcessId::new(0)],
+                vec![ProcessId::new(1), ProcessId::new(2)],
+            ],
+            from: 0,
+            until: 500,
+        }));
+        assert!(split_brain_outside_partitions(&early, &samples).is_some());
+    }
+
+    #[test]
+    fn liveness_gate_classifies_campaigns() {
+        let good = Scenario::fault_free(OmegaVariant::Alg1, 4).horizon(60_000);
+        assert!(liveness_checkable(&good));
+        // An early, short storm keeps the promise checkable.
+        let stormy = good
+            .clone()
+            .campaign(Campaign::new().phase(ChaosPhase::Storm {
+                factor: 3,
+                jitter: 2,
+                from: 2_000,
+                until: 9_000,
+            }));
+        assert!(liveness_checkable(&stormy));
+        // Partitions are outside the conservative convergence envelope.
+        let cut = good
+            .clone()
+            .campaign(Campaign::new().phase(ChaosPhase::Partition {
+                groups: vec![vec![ProcessId::new(0)], vec![ProcessId::new(1)]],
+                from: 2_000,
+                until: 9_000,
+            }));
+        assert!(!liveness_checkable(&cut));
+        // A wave that kills the timely process voids the promise.
+        let timely = good.awb.unwrap().timely;
+        let fatal = good
+            .clone()
+            .campaign(Campaign::new().phase(ChaosPhase::Wave {
+                crash: vec![timely],
+                recover: vec![],
+                at: 2_000,
+            }));
+        assert!(!liveness_checkable(&fatal));
+        // A late phase leaves no room to re-settle.
+        let late = good.campaign(Campaign::new().phase(ChaosPhase::Storm {
+            factor: 2,
+            jitter: 0,
+            from: 40_000,
+            until: 50_000,
+        }));
+        assert!(!liveness_checkable(&late));
+    }
+
+    #[test]
+    fn shrinker_drops_campaign_phases_first() {
+        // Plant a bug that needs only the storm phase: the partition, the
+        // wave, and everything else must be stripped — and phase moves are
+        // offered before structural ones, so the campaign shrinks to the
+        // single load-bearing phase instead of being pinned by n-shrinks.
+        let messy = Scenario::fault_free(OmegaVariant::Alg1, 6)
+            .named("fuzz/chaos-planted")
+            .campaign(
+                Campaign::new()
+                    .phase(ChaosPhase::Partition {
+                        groups: vec![vec![ProcessId::new(0)], vec![ProcessId::new(1)]],
+                        from: 1_000,
+                        until: 3_000,
+                    })
+                    .phase(ChaosPhase::Storm {
+                        factor: 4,
+                        jitter: 1,
+                        from: 4_000,
+                        until: 8_000,
+                    })
+                    .phase(ChaosPhase::Wave {
+                        crash: vec![ProcessId::new(2)],
+                        recover: vec![],
+                        at: 9_000,
+                    }),
+            )
+            .crash_at(5_000, ProcessId::new(3))
+            .horizon(40_000)
+            .seed(99);
+        let mut oracle = |c: &Scenario| {
+            let has_storm = c.campaign.as_ref().is_some_and(Campaign::has_storm);
+            has_storm.then(|| Violation::Safety {
+                detail: "planted".into(),
+            })
+        };
+        let minimal = shrink(&messy, &mut oracle);
+        let campaign = minimal.campaign.as_ref().expect("storm phase kept");
+        assert_eq!(campaign.phases.len(), 1, "{:?}", campaign.phases);
+        assert!(matches!(campaign.phases[0], ChaosPhase::Storm { .. }));
+        assert!(minimal.crashes.is_empty(), "crash script stripped");
+        assert_eq!(minimal.n, 1, "n shrinks all the way once pids are gone");
+        assert!(
+            spec_lines(&minimal) <= 5,
+            "reproducer stays readable:\n{}",
+            to_spec_text(&minimal)
         );
     }
 

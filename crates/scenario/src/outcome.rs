@@ -35,6 +35,31 @@ pub struct SanFootprint {
     pub service_time_ms: f64,
 }
 
+/// What a chaos campaign did to one run, plus how fast the election
+/// recovered from it.
+///
+/// On the simulator every field is deterministic and replay-witnessed via
+/// [`Outcome::fingerprint`]; wall-clock drivers fill the phase counters
+/// from the spec (injection there is wall-timed, so tick accounting is
+/// advisory).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosOutcome {
+    /// Partitions installed.
+    pub partitions: u32,
+    /// Total ticks some partition was active.
+    pub partition_ticks: u64,
+    /// Total ticks some latency storm was active.
+    pub storm_ticks: u64,
+    /// Processes crashed by waves.
+    pub wave_crashes: u32,
+    /// Processes resurrected by waves (simulator only).
+    pub wave_recoveries: u32,
+    /// Ticks from the last partition heal to stabilization — the bounded
+    /// re-election window the chaos suite gates on. `None` when nothing
+    /// healed, the run never stabilized, or it stabilized before the heal.
+    pub heal_to_stable_ticks: Option<u64>,
+}
+
 /// What one [`Driver`](crate::Driver) observed running one
 /// [`Scenario`](crate::Scenario).
 ///
@@ -99,6 +124,9 @@ pub struct Outcome {
     /// Block-level disk footprint, when the backend ran over a SAN
     /// (`None` for in-memory backends).
     pub san: Option<SanFootprint>,
+    /// Chaos-campaign accounting (`None` when the scenario has no
+    /// campaign).
+    pub chaos: Option<ChaosOutcome>,
 }
 
 impl Outcome {
@@ -208,6 +236,9 @@ impl Outcome {
         if let Some(san) = &self.san {
             let _ = write!(out, "|san:{san:?}");
         }
+        if let Some(chaos) = &self.chaos {
+            let _ = write!(out, "|chaos:{chaos:?}");
+        }
         out
     }
 
@@ -273,6 +304,21 @@ impl Outcome {
                 out,
                 "san        : {}/{} blocks touched, {} accesses, {:.1} ms service time",
                 san.blocks_touched, san.blocks_mapped, san.block_accesses, san.service_time_ms
+            );
+        }
+        if let Some(chaos) = &self.chaos {
+            let heal = match chaos.heal_to_stable_ticks {
+                Some(t) => format!("{t} ticks heal→stable"),
+                None => "no post-heal stabilization".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "chaos      : {} partition(s) over {} ticks, {} storm ticks, {}+{} wave crashes/recoveries, {heal}",
+                chaos.partitions,
+                chaos.partition_ticks,
+                chaos.storm_ticks,
+                chaos.wave_crashes,
+                chaos.wave_recoveries
             );
         }
         if !self.grown_in_tail.is_empty() {

@@ -9,6 +9,7 @@
 use omega_core::OmegaVariant;
 use omega_registers::ProcessId;
 use omega_runtime::san::SanLatency;
+use omega_sim::chaos::{Campaign, ChaosPhase};
 
 use crate::{AdversarySpec, Scenario, TimerSpec};
 
@@ -30,8 +31,85 @@ pub fn all() -> Vec<Scenario> {
     suite.extend(n_scaling(&[32, 64, 128, 256]));
     suite.extend(contention_sweep(&[(4, 4), (4, 32), (32, 4), (32, 32)]));
     suite.extend(san_latency_sweep(&[(100, 100), (500, 500), (2_000, 1_000)]));
+    suite.extend(chaos_suite());
     suite.push(no_awb_staller());
     suite
+}
+
+/// The chaos campaigns: partitions, latency storms, and crash/recovery
+/// waves as first-class scenarios. Members deliberately span the admission
+/// matrix — `partition-heal` runs everywhere, `latency-storm` only where
+/// service time is simulated (sim, SAN), `wave-recover` only where a
+/// process can be un-crashed (sim).
+#[must_use]
+pub fn chaos_suite() -> Vec<Scenario> {
+    vec![
+        chaos_partition_heal(),
+        chaos_latency_storm(),
+        chaos_wave_recover(),
+    ]
+}
+
+/// The headline chaos story: a minority/majority register-space partition
+/// mid-run. Inside the cut the minority `{0,1}` elects locally while the
+/// majority side (holding the timely `p4`) elects its own leader; no
+/// global stable leader can exist until the heal, after which re-election
+/// must land within a bounded window (asserted via
+/// [`ChaosOutcome::heal_to_stable_ticks`](crate::ChaosOutcome)).
+#[must_use]
+pub fn chaos_partition_heal() -> Scenario {
+    Scenario::fault_free(OmegaVariant::Alg1, 5)
+        .named("chaos/partition-heal")
+        .awb(ProcessId::new(4), 1_000, 4)
+        .campaign(Campaign::new().phase(ChaosPhase::Partition {
+            groups: vec![
+                vec![ProcessId::new(0), ProcessId::new(1)],
+                vec![ProcessId::new(2), ProcessId::new(3), ProcessId::new(4)],
+            ],
+            from: 20_000,
+            until: 45_000,
+        }))
+        .horizon(100_000)
+}
+
+/// A latency storm on the shared medium: step service time stretched 4×
+/// (±2 ticks of jitter) for a 20 000-tick window. The election must hold
+/// its leader through the storm — slow is not crashed.
+#[must_use]
+pub fn chaos_latency_storm() -> Scenario {
+    Scenario::fault_free(OmegaVariant::Alg1, 4)
+        .named("chaos/latency-storm")
+        .campaign(Campaign::new().phase(ChaosPhase::Storm {
+            factor: 4,
+            jitter: 2,
+            from: 15_000,
+            until: 35_000,
+        }))
+        .horizon(80_000)
+}
+
+/// A crash wave that later recedes: `{0,1}` stop at 15 000 and resume at
+/// 40 000 with their register state intact (stopped nodes rejoining). Only
+/// the simulator can un-crash a process, so this member is sim-only.
+#[must_use]
+pub fn chaos_wave_recover() -> Scenario {
+    Scenario::fault_free(OmegaVariant::Alg1, 5)
+        .named("chaos/wave-recover")
+        .awb(ProcessId::new(4), 1_000, 4)
+        .campaign(
+            Campaign::new()
+                .phase(ChaosPhase::Wave {
+                    crash: vec![ProcessId::new(0), ProcessId::new(1)],
+                    recover: vec![],
+                    at: 15_000,
+                })
+                .phase(ChaosPhase::Wave {
+                    crash: vec![],
+                    recover: vec![ProcessId::new(0), ProcessId::new(1)],
+                    at: 40_000,
+                }),
+        )
+        .horizon(100_000)
 }
 
 /// Loads the fuzz-regression corpus from a directory of `*.spec` files
@@ -369,6 +447,26 @@ mod tests {
             assert!(scenario.n > 0);
         }
         assert!(named("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn chaos_suite_spans_the_admission_matrix() {
+        let eligible = |name: &str| named(name).unwrap().eligible_drivers().names();
+        assert_eq!(
+            eligible("chaos/partition-heal"),
+            vec!["sim", "threads", "san", "coop"],
+            "partitions and heals are realizable on every backend"
+        );
+        assert_eq!(
+            eligible("chaos/latency-storm"),
+            vec!["sim", "san"],
+            "only simulated service time can be stormed"
+        );
+        assert_eq!(
+            eligible("chaos/wave-recover"),
+            vec!["sim"],
+            "only the simulator can un-crash a process"
+        );
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! The SAN-disk backend: elections over disk-block registers.
 
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 use std::time::Duration;
 
 use omega_runtime::san::{SanDisk, SanLatency};
 use omega_runtime::{Cluster, NodeConfig};
+use omega_sim::chaos::ChaosPhase;
 
 use crate::wall::WallPacing;
 use crate::{Driver, Outcome, SanFootprint, Scenario};
@@ -125,6 +128,84 @@ impl SanDriver {
     }
 }
 
+/// Wall-timed realization of a campaign's latency storms: a controller
+/// thread flips the disk's [`storm factor`](SanDisk::set_storm_factor) at
+/// each storm phase's wall-clock boundaries. The SAN is the only wall
+/// backend admitted with storms precisely because its substrate has this
+/// knob — the election processes stay untouched, every disk access just
+/// pays the stretched service time while a storm is active.
+struct StormController {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: JoinHandle<()>,
+}
+
+impl StormController {
+    /// Spawns a controller for the scenario's storm phases, or `None` when
+    /// the campaign has none. Boundaries at or beyond the horizon never
+    /// fire, matching the wall loop's convention for every other clause.
+    fn spawn(disk: &Arc<SanDisk>, scenario: &Scenario, pacing: &WallPacing) -> Option<Self> {
+        let mut events: Vec<(Duration, u64)> = Vec::new();
+        if let Some(campaign) = &scenario.campaign {
+            for phase in &campaign.phases {
+                if let ChaosPhase::Storm {
+                    factor,
+                    from,
+                    until,
+                    ..
+                } = phase
+                {
+                    if *from < scenario.horizon {
+                        events.push((pacing.wall(*from), *factor));
+                    }
+                    if *until < scenario.horizon {
+                        events.push((pacing.wall(*until), 1));
+                    }
+                }
+            }
+        }
+        if events.is_empty() {
+            return None;
+        }
+        events.sort_by_key(|&(due, _)| due);
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let shared = Arc::clone(&stop);
+        let disk = Arc::clone(disk);
+        let handle = std::thread::spawn(move || {
+            let start = std::time::Instant::now();
+            let (lock, cvar) = &*shared;
+            for (due, factor) in events {
+                let mut stopped = lock.lock().expect("storm controller lock");
+                loop {
+                    if *stopped {
+                        return;
+                    }
+                    let elapsed = start.elapsed();
+                    if elapsed >= due {
+                        break;
+                    }
+                    stopped = cvar
+                        .wait_timeout(stopped, due - elapsed)
+                        .expect("storm controller wait")
+                        .0;
+                }
+                disk.set_storm_factor(factor);
+            }
+        });
+        Some(StormController { stop, handle })
+    }
+
+    /// Stops the controller and calms the disk: once the run loop is done,
+    /// no pending boundary may fire and the factor resets to 1 so the
+    /// post-run footprint snapshot is taken on a quiet medium.
+    fn finish(self, disk: &SanDisk) {
+        let (lock, cvar) = &*self.stop;
+        *lock.lock().expect("storm controller lock") = true;
+        cvar.notify_all();
+        let _ = self.handle.join();
+        disk.set_storm_factor(1);
+    }
+}
+
 impl Default for SanDriver {
     /// The commodity-iSCSI profile ([`SanLatency::commodity`]).
     fn default() -> Self {
@@ -158,7 +239,11 @@ impl Driver for SanDriver {
         let disk = SanDisk::new(latency, scenario.seed);
         let space = disk.memory_space(scenario.n);
         let cluster = Cluster::start_in(scenario.variant, &space, config);
+        let storm = StormController::spawn(&disk, scenario, &pacing);
         let mut outcome = pacing.run(scenario, &cluster, "san");
+        if let Some(storm) = storm {
+            storm.finish(&disk);
+        }
         cluster.shutdown();
         let stats = disk.stats();
         outcome.san = Some(SanFootprint {
@@ -229,6 +314,22 @@ mod tests {
             san.service_time_ms > 0.0,
             "pinned latency must reach the disk"
         );
+    }
+
+    #[test]
+    fn latency_storm_scenario_survives_on_the_san() {
+        // The SAN is the only wall backend admitted with storms: the
+        // controller thread stretches the disk's service time over the
+        // storm window, the election rides it out, and the outcome carries
+        // the (advisory, planned-schedule) chaos accounting.
+        let scenario = crate::registry::named("chaos/latency-storm").expect("registry scenario");
+        assert!(scenario.eligible_drivers().san, "storms admit the SAN");
+        let outcome = SanDriver::instant().run(&scenario);
+        outcome.assert_election();
+        let chaos = outcome.chaos.expect("campaign scenarios report chaos");
+        assert_eq!(chaos.storm_ticks, 20_000);
+        assert_eq!(chaos.partitions, 0);
+        assert_eq!(chaos.heal_to_stable_ticks, None, "storms never heal-gate");
     }
 
     #[test]

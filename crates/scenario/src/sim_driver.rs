@@ -3,7 +3,7 @@
 use omega_registers::MemorySpace;
 use omega_sim::{Actor, RunReport, Trace};
 
-use crate::{Driver, Outcome, Scenario, TailActivity};
+use crate::{ChaosOutcome, Driver, Outcome, Scenario, TailActivity};
 
 /// Realizes a [`Scenario`] on the deterministic discrete-event simulator
 /// (`omega_sim`): ticks are virtual time, the adversary/timer specs are
@@ -90,6 +90,22 @@ fn outcome_of(scenario: &Scenario, report: &RunReport, space: &MemorySpace) -> O
     let stabilization = report.stabilization();
     let stats = space.stats();
     let n = scenario.n;
+    let chaos = scenario.campaign.as_ref().map(|_| {
+        let c = report.chaos;
+        ChaosOutcome {
+            partitions: c.partitions,
+            partition_ticks: c.partition_ticks,
+            storm_ticks: c.storm_ticks,
+            wave_crashes: c.wave_crashes,
+            wave_recoveries: c.wave_recoveries,
+            heal_to_stable_ticks: match (c.last_heal_at, stabilization) {
+                (Some(heal), Some(s)) if s.stable_from.ticks() >= heal => {
+                    Some(s.stable_from.ticks() - heal)
+                }
+                _ => None,
+            },
+        }
+    });
     let tail = report.windowed.tail(0.25).map(|w| TailActivity {
         writers: w.stats.writer_set(),
         readers: w.stats.reader_set(),
@@ -138,6 +154,7 @@ fn outcome_of(scenario: &Scenario, report: &RunReport, space: &MemorySpace) -> O
         grown_in_tail,
         tail,
         san: None,
+        chaos,
     }
 }
 
@@ -221,6 +238,38 @@ mod tests {
         // A traced run is also identical to an untraced one.
         let plain = SimDriver.run(&scenario);
         assert_eq!(plain.fingerprint(), live.fingerprint());
+    }
+
+    #[test]
+    fn partition_heal_scenario_recovers_after_heal() {
+        use omega_sim::chaos::{Campaign, ChaosPhase};
+        let p = ProcessId::new;
+        let scenario = Scenario::fault_free(OmegaVariant::Alg1, 5)
+            .awb(p(4), 1_000, 4)
+            .campaign(Campaign::new().phase(ChaosPhase::Partition {
+                groups: vec![vec![p(0), p(1)], vec![p(2), p(3), p(4)]],
+                from: 20_000,
+                until: 45_000,
+            }))
+            .horizon(100_000);
+        let outcome = SimDriver.run(&scenario);
+        outcome.assert_election();
+        let chaos = outcome.chaos.expect("campaign ran");
+        assert_eq!(chaos.partitions, 1);
+        assert_eq!(chaos.partition_ticks, 25_000);
+        // The two sides cannot agree mid-cut, so the stable suffix starts
+        // after the heal — and within a bounded re-election window.
+        assert!(
+            outcome.stabilization_ticks.unwrap() > 45_000,
+            "no stable leader across the cut: {:?}",
+            outcome.stabilization_ticks
+        );
+        let window = chaos.heal_to_stable_ticks.expect("healed, then stabilized");
+        assert!(
+            window > 0 && window < 40_000,
+            "re-election took {window} ticks"
+        );
+        assert!(outcome.fingerprint().contains("|chaos:"));
     }
 
     #[test]

@@ -7,6 +7,7 @@ use omega_sim::adversary::{
     Adversary, AwbEnvelope, Bursty, GrowingBursts, LeaderStaller, PartitionedPhases, RoundRobin,
     SeededRandom, Synchronous,
 };
+use omega_sim::chaos::Campaign;
 use omega_sim::crash::CrashPlan;
 use omega_sim::timers::{
     AffineTimer, ChaoticThen, ExactTimer, JitteredTimer, StuckLowTimer, TimerModel,
@@ -255,6 +256,14 @@ pub struct Scenario {
     /// (the `san-latency/…` sweep family sets this; other backends ignore
     /// it, exactly as the thread backend ignores the adversary spec).
     pub san_latency: Option<SanLatency>,
+    /// The chaos campaign, if any: a declarative fault schedule of
+    /// register-space partitions, latency storms, crash/recovery waves and
+    /// heals. The simulator realizes it literally; wall-clock drivers
+    /// realize partitions, crash waves and heals best-effort at wall due
+    /// times and *refuse* clauses they cannot honor (storms everywhere but
+    /// SAN, recovery everywhere but sim) — see
+    /// [`eligible_drivers`](Self::eligible_drivers).
+    pub campaign: Option<Campaign>,
 }
 
 impl Scenario {
@@ -294,6 +303,7 @@ impl Scenario {
             seed: 42,
             expect_stabilization: true,
             san_latency: None,
+            campaign: None,
         }
     }
 
@@ -302,11 +312,21 @@ impl Scenario {
     #[must_use]
     pub fn eligible_drivers(&self) -> DriverEligibility {
         let wall = self.expect_stabilization;
+        // Campaign admission: wall-clock clusters can cut/heal the register
+        // space and crash nodes at wall due times, but cannot stretch
+        // service time (no simulated clock to stretch — except the SAN
+        // block device, which serves a literal storm) and cannot resurrect
+        // a crashed node (parked threads are gone for good). Rather than
+        // silently dropping such clauses, the driver is ruled ineligible
+        // and the suite skips it loudly.
+        let campaign = self.campaign.as_ref();
+        let wall_campaign_ok = campaign.is_none_or(|c| !c.has_storm() && !c.has_recovery());
+        let san_campaign_ok = campaign.is_none_or(|c| !c.has_recovery());
         DriverEligibility {
             sim: true,
-            threads: wall && self.n <= THREAD_MAX_N,
-            san: wall && self.n <= THREAD_MAX_N,
-            coop: wall && self.n <= COOP_MAX_N,
+            threads: wall && self.n <= THREAD_MAX_N && wall_campaign_ok,
+            san: wall && self.n <= THREAD_MAX_N && san_campaign_ok,
+            coop: wall && self.n <= COOP_MAX_N && wall_campaign_ok,
         }
     }
 
@@ -406,6 +426,21 @@ impl Scenario {
     #[must_use]
     pub fn san_latency(mut self, latency: SanLatency) -> Self {
         self.san_latency = Some(latency);
+        self
+    }
+
+    /// Attaches a chaos [`Campaign`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the campaign fails [`Campaign::validate`] for this
+    /// scenario's `n`.
+    #[must_use]
+    pub fn campaign(mut self, campaign: Campaign) -> Self {
+        if let Err(msg) = campaign.validate(self.n) {
+            panic!("scenario {}: {msg}", self.name);
+        }
+        self.campaign = Some(campaign);
         self
     }
 
@@ -531,13 +566,17 @@ impl Scenario {
             "scenario is specified for n = {}",
             self.n
         );
-        Simulation::builder(actors)
+        let mut builder = Simulation::builder(actors)
             .adversary(self.build_adversary())
             .timers_from(|pid| self.build_timer(pid))
             .crash_plan(self.crash_plan())
             .horizon(self.horizon)
             .sample_every(self.sample_every)
-            .stats_checkpoints(self.stats_checkpoints)
+            .stats_checkpoints(self.stats_checkpoints);
+        if let Some(campaign) = &self.campaign {
+            builder = builder.campaign(campaign.clone());
+        }
+        builder
     }
 }
 
@@ -588,6 +627,66 @@ mod tests {
         let s = Scenario::fault_free(OmegaVariant::Alg1, 3).without_awb();
         assert!(s.awb.is_none());
         assert!(!s.expect_stabilization);
+    }
+
+    #[test]
+    fn campaign_gates_driver_eligibility() {
+        use omega_sim::chaos::ChaosPhase;
+        let partition = Campaign::new().phase(ChaosPhase::Partition {
+            groups: vec![vec![ProcessId::new(0)], vec![ProcessId::new(1)]],
+            from: 1_000,
+            until: 2_000,
+        });
+        let base = Scenario::fault_free(OmegaVariant::Alg1, 5);
+        assert_eq!(
+            base.eligible_drivers().names(),
+            vec!["sim", "threads", "san", "coop"]
+        );
+        // Partitions + crash waves + heals: every driver realizes them.
+        let cut = base.clone().campaign(
+            partition
+                .clone()
+                .phase(ChaosPhase::Wave {
+                    crash: vec![ProcessId::new(4)],
+                    recover: vec![],
+                    at: 2_500,
+                })
+                .phase(ChaosPhase::Heal { at: 3_000 }),
+        );
+        assert_eq!(
+            cut.eligible_drivers().names(),
+            vec!["sim", "threads", "san", "coop"]
+        );
+        // Storms need a stretchable medium: only sim and the SAN device.
+        let stormy = base
+            .clone()
+            .campaign(partition.clone().phase(ChaosPhase::Storm {
+                factor: 4,
+                jitter: 2,
+                from: 100,
+                until: 900,
+            }));
+        assert_eq!(stormy.eligible_drivers().names(), vec!["sim", "san"]);
+        // Recovery is sim-only: wall clusters cannot resurrect a node.
+        let lazarus = base.campaign(partition.phase(ChaosPhase::Wave {
+            crash: vec![],
+            recover: vec![ProcessId::new(2)],
+            at: 2_500,
+        }));
+        assert_eq!(lazarus.eligible_drivers().names(), vec!["sim"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn campaign_builder_validates_against_n() {
+        use omega_sim::chaos::ChaosPhase;
+        let _ = Scenario::fault_free(OmegaVariant::Alg1, 3).campaign(Campaign::new().phase(
+            ChaosPhase::Wave {
+                crash: vec![ProcessId::new(7)],
+                recover: vec![],
+                at: 1,
+            },
+        ));
     }
 
     #[test]

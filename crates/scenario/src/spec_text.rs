@@ -21,6 +21,7 @@
 use omega_core::OmegaVariant;
 use omega_registers::ProcessId;
 use omega_runtime::san::SanLatency;
+use omega_sim::chaos::{Campaign, ChaosPhase};
 
 use crate::{AdversarySpec, AwbSpec, CrashSpec, Scenario, TimerSpec};
 
@@ -38,6 +39,13 @@ impl std::error::Error for SpecError {}
 
 fn err(msg: impl Into<String>) -> SpecError {
     SpecError(msg.into())
+}
+
+impl SpecError {
+    /// Prefixes the message with the 1-based line the error came from.
+    fn at(self, line: usize) -> SpecError {
+        SpecError(format!("line {line}: {}", self.0))
+    }
 }
 
 /// Serializes a scenario, omitting every field equal to its
@@ -77,6 +85,42 @@ pub fn to_spec_text(s: &Scenario) -> String {
             }
             CrashSpec::LeaderAt { tick } => {
                 let _ = writeln!(out, "crash leader {tick}");
+            }
+        }
+    }
+    if let Some(campaign) = &s.campaign {
+        for phase in &campaign.phases {
+            match phase {
+                ChaosPhase::Partition {
+                    groups,
+                    from,
+                    until,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "campaign partition {} {from} {until}",
+                        groups_text(groups)
+                    );
+                }
+                ChaosPhase::Storm {
+                    factor,
+                    jitter,
+                    from,
+                    until,
+                } => {
+                    let _ = writeln!(out, "campaign storm {factor} {jitter} {from} {until}");
+                }
+                ChaosPhase::Wave { crash, recover, at } => {
+                    let _ = writeln!(
+                        out,
+                        "campaign wave {} {} {at}",
+                        pids_text(crash),
+                        pids_text(recover)
+                    );
+                }
+                ChaosPhase::Heal { at } => {
+                    let _ = writeln!(out, "campaign heal {at}");
+                }
             }
         }
     }
@@ -163,18 +207,19 @@ fn timer_text(spec: &TimerSpec) -> String {
 ///
 /// # Errors
 ///
-/// Returns a [`SpecError`] naming the offending line on any unknown key,
-/// malformed value, or missing required field.
+/// Returns a [`SpecError`] naming the offending line (by number and
+/// content) on any unknown key, malformed value, or missing required
+/// field.
 pub fn from_spec_text(text: &str) -> Result<Scenario, SpecError> {
     // Pass 1: the base scenario needs `variant` and `n` up front (the
     // defaults every other line is resolved against depend on them).
     let mut variant = None;
     let mut n = None;
-    for line in lines(text) {
+    for (lineno, line) in lines(text) {
         let (key, rest) = split_key(line);
         match key {
-            "variant" => variant = Some(parse_variant(rest)?),
-            "n" => n = Some(parse_num::<usize>(rest, "n")?),
+            "variant" => variant = Some(parse_variant(rest).map_err(|e| e.at(lineno))?),
+            "n" => n = Some(parse_num::<usize>(rest, "n").map_err(|e| e.at(lineno))?),
             _ => {}
         }
     }
@@ -188,55 +233,75 @@ pub fn from_spec_text(text: &str) -> Result<Scenario, SpecError> {
 
     // Pass 2: apply the overrides.
     let mut explicit_expect = None;
-    for line in lines(text) {
-        let (key, rest) = split_key(line);
-        match key {
-            "variant" | "n" => {}
-            "scenario" => s.name = rest.trim().to_string(),
-            "adversary" => s.adversary = parse_adversary(rest)?,
-            "awb" => {
-                if rest.trim() == "none" {
-                    s.awb = None;
-                } else {
-                    let f = fields(rest, 3, "awb")?;
-                    s.awb = Some(AwbSpec {
-                        timely: parse_pid(f[0])?,
-                        tau1: parse_num(f[1], "awb tau1")?,
-                        sigma: parse_num(f[2], "awb sigma")?,
-                    });
-                }
-            }
-            "timers" => s.timers = parse_timers(rest)?,
-            "crash" => s.crashes.push(parse_crash(rest)?),
-            "horizon" => s.horizon = parse_num(rest, "horizon")?,
-            "sample-every" => s.sample_every = parse_num(rest, "sample-every")?,
-            "checkpoints" => s.stats_checkpoints = parse_num(rest, "checkpoints")?,
-            "seed" => s.seed = parse_num(rest, "seed")?,
-            "expect" => {
-                explicit_expect = Some(match rest.trim() {
-                    "true" => true,
-                    "false" => false,
-                    other => return Err(err(format!("expect must be true/false, got `{other}`"))),
-                });
-            }
-            "san-latency" => {
-                let f = fields(rest, 2, "san-latency")?;
-                s.san_latency = Some(SanLatency {
-                    base: std::time::Duration::from_micros(parse_num(f[0], "san base")?),
-                    jitter: std::time::Duration::from_micros(parse_num(f[1], "san jitter")?),
-                });
-            }
-            other => return Err(err(format!("unknown spec key `{other}`"))),
-        }
+    for (lineno, line) in lines(text) {
+        apply_line(&mut s, &mut explicit_expect, line).map_err(|e| e.at(lineno))?;
     }
     s.expect_stabilization = explicit_expect.unwrap_or(s.awb.is_some());
+    if let Some(campaign) = &s.campaign {
+        campaign.validate(n).map_err(err)?;
+    }
     Ok(s)
 }
 
-fn lines(text: &str) -> impl Iterator<Item = &str> {
+fn apply_line(
+    s: &mut Scenario,
+    explicit_expect: &mut Option<bool>,
+    line: &str,
+) -> Result<(), SpecError> {
+    let (key, rest) = split_key(line);
+    match key {
+        "variant" | "n" => {}
+        "scenario" => s.name = rest.trim().to_string(),
+        "adversary" => s.adversary = parse_adversary(rest)?,
+        "awb" => {
+            if rest.trim() == "none" {
+                s.awb = None;
+            } else {
+                let f = fields(rest, 3, "awb")?;
+                s.awb = Some(AwbSpec {
+                    timely: parse_pid(f[0])?,
+                    tau1: parse_num(f[1], "awb tau1")?,
+                    sigma: parse_num(f[2], "awb sigma")?,
+                });
+            }
+        }
+        "timers" => s.timers = parse_timers(rest)?,
+        "crash" => s.crashes.push(parse_crash(rest)?),
+        "campaign" => {
+            let phase = parse_campaign_phase(rest)?;
+            s.campaign
+                .get_or_insert_with(Campaign::new)
+                .phases
+                .push(phase);
+        }
+        "horizon" => s.horizon = parse_num(rest, "horizon")?,
+        "sample-every" => s.sample_every = parse_num(rest, "sample-every")?,
+        "checkpoints" => s.stats_checkpoints = parse_num(rest, "checkpoints")?,
+        "seed" => s.seed = parse_num(rest, "seed")?,
+        "expect" => {
+            *explicit_expect = Some(match rest.trim() {
+                "true" => true,
+                "false" => false,
+                other => return Err(err(format!("expect must be true/false, got `{other}`"))),
+            });
+        }
+        "san-latency" => {
+            let f = fields(rest, 2, "san-latency")?;
+            s.san_latency = Some(SanLatency {
+                base: std::time::Duration::from_micros(parse_num(f[0], "san base")?),
+                jitter: std::time::Duration::from_micros(parse_num(f[1], "san jitter")?),
+            });
+        }
+        other => return Err(err(format!("unknown spec key `{other}`"))),
+    }
+    Ok(())
+}
+
+fn lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
     text.lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
 }
 
 fn split_key(line: &str) -> (&str, &str) {
@@ -364,6 +429,78 @@ fn parse_timers(rest: &str) -> Result<TimerSpec, SpecError> {
     })
 }
 
+fn pids_text(pids: &[ProcessId]) -> String {
+    if pids.is_empty() {
+        "-".to_string()
+    } else {
+        pids.iter()
+            .map(|p| p.index().to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+fn groups_text(groups: &[Vec<ProcessId>]) -> String {
+    if groups.is_empty() {
+        "-".to_string()
+    } else {
+        groups
+            .iter()
+            .map(|g| pids_text(g))
+            .collect::<Vec<_>>()
+            .join("|")
+    }
+}
+
+fn parse_pid_list(field: &str) -> Result<Vec<ProcessId>, SpecError> {
+    if field == "-" {
+        return Ok(Vec::new());
+    }
+    field.split(',').map(parse_pid).collect()
+}
+
+fn parse_groups(field: &str) -> Result<Vec<Vec<ProcessId>>, SpecError> {
+    if field == "-" {
+        return Ok(Vec::new());
+    }
+    field.split('|').map(parse_pid_list).collect()
+}
+
+fn parse_campaign_phase(rest: &str) -> Result<ChaosPhase, SpecError> {
+    let (kind, rest) = split_key(rest);
+    Ok(match kind {
+        "partition" => {
+            let f = fields(rest, 3, "campaign partition")?;
+            ChaosPhase::Partition {
+                groups: parse_groups(f[0])?,
+                from: parse_num(f[1], "partition from")?,
+                until: parse_num(f[2], "partition until")?,
+            }
+        }
+        "storm" => {
+            let f = fields(rest, 4, "campaign storm")?;
+            ChaosPhase::Storm {
+                factor: parse_num(f[0], "storm factor")?,
+                jitter: parse_num(f[1], "storm jitter")?,
+                from: parse_num(f[2], "storm from")?,
+                until: parse_num(f[3], "storm until")?,
+            }
+        }
+        "wave" => {
+            let f = fields(rest, 3, "campaign wave")?;
+            ChaosPhase::Wave {
+                crash: parse_pid_list(f[0])?,
+                recover: parse_pid_list(f[1])?,
+                at: parse_num(f[2], "wave at")?,
+            }
+        }
+        "heal" => ChaosPhase::Heal {
+            at: parse_num(rest, "heal at")?,
+        },
+        other => return Err(err(format!("unknown campaign phase `{other}`"))),
+    })
+}
+
 fn parse_crash(rest: &str) -> Result<CrashSpec, SpecError> {
     let (kind, rest) = split_key(rest);
     Ok(match kind {
@@ -400,6 +537,7 @@ mod tests {
         assert_eq!(a.seed, b.seed);
         assert_eq!(a.expect_stabilization, b.expect_stabilization);
         assert_eq!(a.san_latency, b.san_latency);
+        assert_eq!(a.campaign, b.campaign);
     }
 
     #[test]
@@ -455,6 +593,61 @@ mod tests {
     }
 
     #[test]
+    fn every_campaign_stanza_round_trips() {
+        let p = ProcessId::new;
+        let campaign = Campaign::new()
+            .phase(ChaosPhase::Partition {
+                groups: vec![vec![p(0), p(1)], vec![p(2), p(3), p(4)]],
+                from: 1_000,
+                until: 4_000,
+            })
+            .phase(ChaosPhase::Storm {
+                factor: 5,
+                jitter: 3,
+                from: 4_500,
+                until: 6_000,
+            })
+            .phase(ChaosPhase::Wave {
+                crash: vec![p(1)],
+                recover: vec![],
+                at: 6_500,
+            })
+            .phase(ChaosPhase::Wave {
+                crash: vec![],
+                recover: vec![p(1)],
+                at: 7_000,
+            })
+            .phase(ChaosPhase::Heal { at: 7_500 });
+        let s = Scenario::fault_free(OmegaVariant::Alg1, 5)
+            .campaign(campaign)
+            .horizon(20_000);
+        let text = to_spec_text(&s);
+        assert!(
+            text.contains("campaign partition 0,1|2,3,4 1000 4000"),
+            "{text}"
+        );
+        assert!(text.contains("campaign storm 5 3 4500 6000"), "{text}");
+        assert!(text.contains("campaign wave 1 - 6500"), "{text}");
+        assert!(text.contains("campaign wave - 1 7000"), "{text}");
+        assert!(text.contains("campaign heal 7500"), "{text}");
+        let parsed = from_spec_text(&text).unwrap();
+        assert_same(&s, &parsed);
+        assert_eq!(to_spec_text(&parsed), text);
+    }
+
+    #[test]
+    fn parse_errors_name_the_offending_line() {
+        let text = "scenario x\nvariant alg1-fig2\nn 3\n\n# comment\ncrash at x 0\n";
+        let e = from_spec_text(text).unwrap_err().to_string();
+        assert!(e.contains("line 6"), "{e}");
+        assert!(e.contains("bad crash tick"), "{e}");
+        // An invalid campaign (pid out of range) is caught at parse time.
+        let oob = "variant alg1-fig2\nn 3\ncampaign wave 7 - 100\n";
+        let e = from_spec_text(oob).unwrap_err().to_string();
+        assert!(e.contains("out of range"), "{e}");
+    }
+
+    #[test]
     fn malformed_texts_are_rejected_with_context() {
         for (text, needle) in [
             ("n 3\n", "variant"),
@@ -466,6 +659,15 @@ mod tests {
             ("variant alg1-fig2\nn 3\ntimers warp 4\n", "unknown timer"),
             ("variant alg1-fig2\nn 3\ncrash at x 0\n", "bad crash tick"),
             ("variant alg1-fig2\nn 3\nexpect maybe\n", "true/false"),
+            (
+                "variant alg1-fig2\nn 3\ncampaign quake 5\n",
+                "unknown campaign phase",
+            ),
+            ("variant alg1-fig2\nn 3\ncampaign storm 2 1 5\n", "4 fields"),
+            (
+                "variant alg1-fig2\nn 3\ncampaign partition 0|0 5 9\n",
+                "two groups",
+            ),
         ] {
             let e = from_spec_text(text).unwrap_err();
             assert!(

@@ -15,8 +15,19 @@ use std::time::{Duration, Instant};
 
 use omega_registers::ProcessId;
 use omega_runtime::Cluster;
+use omega_sim::chaos::ChaosPhase;
 
-use crate::{CrashSpec, Outcome, Scenario, TailActivity};
+use crate::{ChaosOutcome, CrashSpec, Outcome, Scenario, TailActivity};
+
+/// One wall-timed campaign injection. Storms are absent: the only wall
+/// backend admitted with a storm is the SAN, whose disk substrate realizes
+/// it (see `SanDriver`); partitions, heals, and wave crashes act through
+/// the cluster like scripted crashes do.
+enum ChaosAction {
+    Partition(Vec<Vec<ProcessId>>),
+    Heal,
+    Crash(ProcessId),
+}
 
 /// Pacing of one wall-clock realization: how scenario ticks map to real
 /// time, and how stability and the tail are observed.
@@ -64,6 +75,33 @@ impl WallPacing {
         crashes.sort_by_key(|c| match *c {
             CrashSpec::At { tick, .. } | CrashSpec::LeaderAt { tick } => tick,
         });
+        // Campaign phases, flattened to wall-timed actions under the same
+        // convention (at-or-beyond-horizon never fires; an unhealed
+        // partition stays installed to the end, as in the simulator).
+        let mut chaos_actions: Vec<(u64, ChaosAction)> = Vec::new();
+        if let Some(campaign) = &scenario.campaign {
+            for phase in &campaign.phases {
+                match phase {
+                    ChaosPhase::Partition {
+                        groups,
+                        from,
+                        until,
+                    } => {
+                        chaos_actions.push((*from, ChaosAction::Partition(groups.clone())));
+                        chaos_actions.push((*until, ChaosAction::Heal));
+                    }
+                    ChaosPhase::Wave { crash, at, .. } => {
+                        chaos_actions
+                            .extend(crash.iter().map(|&pid| (*at, ChaosAction::Crash(pid))));
+                    }
+                    ChaosPhase::Heal { at } => chaos_actions.push((*at, ChaosAction::Heal)),
+                    ChaosPhase::Storm { .. } => {}
+                }
+            }
+            chaos_actions.retain(|(tick, _)| *tick < scenario.horizon);
+            // Stable sort: simultaneous actions keep declaration order.
+            chaos_actions.sort_by_key(|&(tick, _)| tick);
+        }
         let deadline = start + self.wall(scenario.horizon);
 
         // Estimate flips are counted from t = 0, across the whole run — the
@@ -94,6 +132,7 @@ impl WallPacing {
         // confirmed stable here even when the simulator's retrospective
         // view says it is; leave room after the script (the registry does).
         let mut next_crash = 0;
+        let mut next_action = 0;
         let elected = loop {
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
@@ -120,10 +159,28 @@ impl WallPacing {
                         }
                         next_crash += 1;
                     }
+                    while next_action < chaos_actions.len() {
+                        let (tick, action) = &chaos_actions[next_action];
+                        if start.elapsed() < self.wall(*tick) {
+                            break;
+                        }
+                        match action {
+                            ChaosAction::Partition(groups) => {
+                                cluster.space().install_partition(groups);
+                            }
+                            ChaosAction::Heal => cluster.space().heal_partition(),
+                            ChaosAction::Crash(pid) => cluster.crash(*pid),
+                        }
+                        next_action += 1;
+                    }
                     count_flips(estimates);
                 });
             match agreed {
-                Some(leader) if next_crash >= crashes.len() => break Some(leader),
+                Some(leader)
+                    if next_crash >= crashes.len() && next_action >= chaos_actions.len() =>
+                {
+                    break Some(leader)
+                }
                 Some(_) => {} // stable, but the script is still pending
                 None => break None,
             }
@@ -196,6 +253,23 @@ impl WallPacing {
         let stats = cluster.space().stats();
         // One snapshot for both fields, so they describe the same instant.
         let scan = cluster.scan_stats();
+        // Injection here is wall-timed, so tick accounting is the planned
+        // schedule, not a measurement; only the heal→stable window mixes in
+        // something observed.
+        let chaos = scenario.campaign.as_ref().map(|campaign| {
+            let planned = campaign.planned_stats(scenario.horizon);
+            ChaosOutcome {
+                partitions: planned.partitions,
+                partition_ticks: planned.partition_ticks,
+                storm_ticks: planned.storm_ticks,
+                wave_crashes: planned.wave_crashes,
+                wave_recoveries: planned.wave_recoveries,
+                heal_to_stable_ticks: match (planned.last_heal_at, stabilization_ticks) {
+                    (Some(heal), Some(stable)) if stable >= heal => Some(stable - heal),
+                    _ => None,
+                },
+            }
+        });
         Outcome {
             backend,
             scenario: scenario.name.clone(),
@@ -228,6 +302,7 @@ impl WallPacing {
             grown_in_tail,
             tail,
             san: None,
+            chaos,
         }
     }
 }

@@ -74,6 +74,11 @@ pub struct ServiceOutcome {
     pub commit_max: u64,
     /// One window per scripted crash, in crash order.
     pub windows: Vec<UnavailWindow>,
+    /// Requests refused while a campaign partition was installed (their
+    /// rejection tick fell inside a partition's `[from, until)` span) —
+    /// the service-layer attribution of chaos-induced unavailability.
+    /// Zero when the scenario has no campaign.
+    pub in_partition_rejected: u64,
     /// Whether the election (re-)stabilized by the end of the run.
     pub stabilized: bool,
     /// Space-wide shared-register writes (election + replication).
@@ -158,6 +163,32 @@ impl ServiceOutcome {
             }
         }
 
+        // Campaign attribution: a rejection whose tick fell inside an
+        // installed partition is chaos-induced, not crash-induced — split
+        // leader estimates across the cut misroute requests even though
+        // every node is alive.
+        let partition_spans: Vec<(u64, u64)> = scenario
+            .election
+            .campaign
+            .iter()
+            .flat_map(|c| &c.phases)
+            .filter_map(|phase| match phase {
+                omega_sim::chaos::ChaosPhase::Partition { from, until, .. } => {
+                    Some((*from, *until))
+                }
+                _ => None,
+            })
+            .collect();
+        let in_partition_rejected = states
+            .iter()
+            .filter(|state| match **state {
+                RequestState::Rejected { at } => partition_spans
+                    .iter()
+                    .any(|&(from, until)| at >= from && at < until),
+                _ => false,
+            })
+            .count() as u64;
+
         ServiceOutcome {
             backend,
             scenario: scenario.name.clone(),
@@ -174,6 +205,7 @@ impl ServiceOutcome {
             commit_p99: latencies.value_at_quantile(0.99),
             commit_max: latencies.max(),
             windows,
+            in_partition_rejected,
             stabilized,
             total_writes,
             log_slots,
@@ -231,6 +263,11 @@ impl ServiceOutcome {
             self.unavail_ticks(),
             self.unavail_rejected(),
             self.unavail_stalled(),
+        );
+        let _ = write!(
+            o,
+            "\"in_partition_rejected\":{},",
+            self.in_partition_rejected,
         );
         let _ = write!(
             o,
@@ -347,6 +384,7 @@ mod tests {
             "\"commit_p50\":",
             "\"crashes\":0",
             "\"unavail_ticks\":0",
+            "\"in_partition_rejected\":0",
             "\"stabilized\":true",
             "\"total_writes\":42",
             "\"log_slots\":7",

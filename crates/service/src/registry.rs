@@ -11,7 +11,9 @@
 //! sim runs finish with zero in-flight requests and the records are exact.
 
 use omega_core::OmegaVariant;
+use omega_registers::ProcessId;
 use omega_scenario::Scenario;
+use omega_sim::chaos::{Campaign, ChaosPhase};
 
 use crate::spec::ServiceScenario;
 use crate::workload::WorkloadSpec;
@@ -87,6 +89,28 @@ pub fn all() -> Vec<ServiceScenario> {
             ..base_workload()
         },
     ));
+    // The chaos campaign: a register-space partition with every node
+    // alive that strands the sitting (AWB-timely) leader p4 in the
+    // minority. The connected majority must re-elect across the cut, and
+    // while its estimates churn the router's plurality names nodes that
+    // don't yet believe they lead — those drained requests are refused,
+    // and the SLO must attribute the refusals to the partition
+    // (`in_partition_rejected`), not to a crash window.
+    suite.push(ServiceScenario::new(
+        "chaos/partition-heal",
+        Scenario::fault_free(OmegaVariant::Alg1, N)
+            .awb(ProcessId::new(4), 1_000, 4)
+            .campaign(Campaign::new().phase(ChaosPhase::Partition {
+                groups: vec![
+                    vec![ProcessId::new(3), ProcessId::new(4)],
+                    vec![ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)],
+                ],
+                from: 20_000,
+                until: 45_000,
+            }))
+            .horizon(100_000),
+        base_workload(),
+    ));
     suite
 }
 
@@ -117,6 +141,7 @@ mod tests {
             "names are unique"
         );
         assert!(names.contains(&"failover/alg1".to_string()));
+        assert!(names.contains(&"chaos/partition-heal".to_string()));
         for sc in &suite {
             assert_eq!(sc.election.n, N);
             assert!(sc.election.expect_stabilization);
@@ -135,6 +160,7 @@ mod tests {
         for sc in all() {
             let expected = match sc.name.split('/').next().unwrap() {
                 "steady" => 0,
+                "chaos" => 0, // campaigns partition, they don't crash
                 "double-failover" => 2,
                 _ => 1,
             };

@@ -184,6 +184,30 @@ mod tests {
     }
 
     #[test]
+    fn partition_campaign_attributes_in_partition_rejections() {
+        // Every node stays alive, yet the cut splits leader estimates:
+        // requests misrouted across it are refused, and the SLO must book
+        // those refusals against the partition, not a crash window.
+        let sc = registry::by_name("chaos/partition-heal").unwrap();
+        let outcome = ServiceSimDriver.run(&sc);
+        assert!(outcome.stabilized, "re-election lands after the heal");
+        assert_eq!(outcome.windows.len(), 0, "no crashes, no crash windows");
+        assert!(
+            outcome.in_partition_rejected > 0,
+            "a 25k-tick split must misroute some requests: {outcome:?}"
+        );
+        assert!(
+            outcome.in_partition_rejected <= outcome.rejected,
+            "attribution is a subset of all rejections"
+        );
+        assert!(
+            outcome.committed > 0,
+            "the connected majority keeps serving through the cut"
+        );
+        assert!(outcome.json_record().contains("\"in_partition_rejected\":"));
+    }
+
+    #[test]
     fn identical_runs_yield_identical_records() {
         let sc = registry::by_name("failover/alg2").unwrap();
         let mut a = ServiceSimDriver.run(&sc);

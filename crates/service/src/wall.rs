@@ -17,8 +17,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use omega_consensus::{KvCommand, LogShared};
+use omega_registers::ProcessId;
 use omega_runtime::{Cluster, CoopConfig, CoopTask, LeaderProbe, NodeConfig};
 use omega_scenario::CrashSpec;
+use omega_sim::chaos::ChaosPhase;
 
 use crate::ledger::Ledger;
 use crate::node::ServiceNode;
@@ -123,6 +125,16 @@ impl WallPacing {
     }
 }
 
+/// One wall-timed campaign injection (the service twin of the election
+/// wall loop's realization): partitions and heals act on the cluster's
+/// register space, wave crashes act through the crash machinery. Storms
+/// are absent — no service wall backend is admitted with one.
+enum ChaosAction {
+    Partition(Vec<Vec<ProcessId>>),
+    Heal,
+    Crash(ProcessId),
+}
+
 /// Drives the crash script off the wall clock, then waits out the horizon.
 /// Returns the scripted crash ticks and whether a stable leader emerged.
 fn run_script(
@@ -136,6 +148,32 @@ fn run_script(
     script.sort_by_key(|c| match *c {
         CrashSpec::At { tick, .. } | CrashSpec::LeaderAt { tick } => tick,
     });
+    // Campaign phases, flattened under the simulator's convention: actions
+    // at or beyond the horizon never fire, an unhealed partition stays
+    // installed to the end.
+    let mut chaos_actions: Vec<(u64, ChaosAction)> = Vec::new();
+    if let Some(campaign) = &election.campaign {
+        for phase in &campaign.phases {
+            match phase {
+                ChaosPhase::Partition {
+                    groups,
+                    from,
+                    until,
+                } => {
+                    chaos_actions.push((*from, ChaosAction::Partition(groups.clone())));
+                    chaos_actions.push((*until, ChaosAction::Heal));
+                }
+                ChaosPhase::Wave { crash, at, .. } => {
+                    chaos_actions.extend(crash.iter().map(|&pid| (*at, ChaosAction::Crash(pid))));
+                }
+                ChaosPhase::Heal { at } => chaos_actions.push((*at, ChaosAction::Heal)),
+                ChaosPhase::Storm { .. } => {}
+            }
+        }
+        chaos_actions.retain(|(tick, _)| *tick < election.horizon);
+        chaos_actions.sort_by_key(|&(tick, _)| tick);
+    }
+    let mut next_action = 0;
     let mut crash_ticks = Vec::with_capacity(script.len());
     let mut pending = script.into_iter().peekable();
     loop {
@@ -155,6 +193,14 @@ fn run_script(
             }
             crash_ticks.push(due);
             pending.next();
+        }
+        while next_action < chaos_actions.len() && chaos_actions[next_action].0 <= now {
+            match &chaos_actions[next_action].1 {
+                ChaosAction::Partition(groups) => cluster.space().install_partition(groups),
+                ChaosAction::Heal => cluster.space().heal_partition(),
+                ChaosAction::Crash(pid) => cluster.crash(*pid),
+            }
+            next_action += 1;
         }
         if now >= election.horizon {
             break;
@@ -370,6 +416,49 @@ mod tests {
             outcome.committed > 0,
             "a real-time run must acknowledge some requests: {outcome:?}"
         );
+        assert_eq!(
+            outcome.requests,
+            outcome.committed + outcome.rejected + outcome.stalled + outcome.inflight
+        );
+    }
+
+    #[test]
+    fn coop_backend_realizes_partition_campaigns() {
+        // A tiny partition-heal campaign on the wall clock: the run must
+        // survive the cut, and the outcome still carries the attribution
+        // field (possibly zero — wall timing decides how many requests
+        // land mid-partition).
+        let sc = ServiceScenario::new(
+            "test/coop-partition",
+            Scenario::fault_free(OmegaVariant::Alg1, 3)
+                .campaign(
+                    omega_sim::chaos::Campaign::new().phase(ChaosPhase::Partition {
+                        groups: vec![
+                            vec![omega_registers::ProcessId::new(0)],
+                            vec![
+                                omega_registers::ProcessId::new(1),
+                                omega_registers::ProcessId::new(2),
+                            ],
+                        ],
+                        from: 3_000,
+                        until: 6_000,
+                    }),
+                )
+                .horizon(12_000),
+            WorkloadSpec {
+                clients: 50,
+                mean_interarrival: 2_000,
+                put_pct: 20,
+                key_space: 8,
+                deadline: 2_000,
+                start: 500,
+                stop: 9_000,
+            },
+        );
+        let outcome = ServiceCoopDriver::default().run(&sc);
+        assert_eq!(outcome.backend, "coop");
+        assert_eq!(outcome.windows.len(), 0, "partitions are not crashes");
+        assert!(outcome.committed > 0, "service kept serving: {outcome:?}");
         assert_eq!(
             outcome.requests,
             outcome.committed + outcome.rejected + outcome.stalled + outcome.inflight

@@ -1,0 +1,425 @@
+//! Chaos campaigns: declarative, deterministic fault schedules.
+//!
+//! A [`Campaign`] is an ordered list of [`ChaosPhase`]s — register-space
+//! partitions, latency storms, crash/recovery waves, and heals — pinned to
+//! virtual ticks. The simulator realizes each phase *literally*: partitions
+//! sever cross-group reads via the memory space's visibility mask, storms
+//! stretch simulated step service time, waves reuse the crash machinery
+//! (and undo it, for recovery). Phase boundaries are ordinary simulator
+//! events ([`EventKind::ChaosStart`] / [`EventKind::ChaosEnd`]), so they
+//! land in recorded traces and campaigns replay byte-identically.
+//!
+//! Wall-clock drivers realize a subset best-effort (see the scenario
+//! crate's admission rules); the phase predicates here —
+//! [`Campaign::has_storm`], [`Campaign::has_recovery`] — are what admission
+//! decisions are made from.
+//!
+//! [`EventKind::ChaosStart`]: crate::event::EventKind::ChaosStart
+//! [`EventKind::ChaosEnd`]: crate::event::EventKind::ChaosEnd
+
+use omega_registers::ProcessId;
+
+/// One phase of a chaos campaign, pinned to virtual ticks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaosPhase {
+    /// Sever cross-group register visibility over `[from, until)`.
+    ///
+    /// Processes in different groups read each other's rows as frozen at
+    /// `from`; processes in no group stay connected to everyone. The cut
+    /// heals at `until` (or at an earlier explicit [`ChaosPhase::Heal`]).
+    Partition {
+        /// Disjoint groups of processes; ids absent from every group are
+        /// unaffected.
+        groups: Vec<Vec<ProcessId>>,
+        /// First tick of the cut.
+        from: u64,
+        /// Tick the cut heals (exclusive).
+        until: u64,
+    },
+    /// Stretch simulated step service time over `[from, until)`.
+    ///
+    /// Every live-scheduled step delay is multiplied by `factor` and
+    /// smeared by a deterministic jitter in `0..=jitter` ticks — a latency
+    /// storm on the shared medium.
+    Storm {
+        /// Multiplier applied to step delays (≥ 1).
+        factor: u64,
+        /// Bound of the deterministic per-step jitter, in ticks.
+        jitter: u64,
+        /// First tick of the storm.
+        from: u64,
+        /// Tick the storm clears (exclusive).
+        until: u64,
+    },
+    /// Crash `crash` and/or resurrect `recover` at tick `at`.
+    ///
+    /// Recovery un-crashes a process: it resumes taking steps with its
+    /// register state as it last left it (a stopped node rejoining).
+    Wave {
+        /// Processes that crash at `at`.
+        crash: Vec<ProcessId>,
+        /// Processes that recover at `at`.
+        recover: Vec<ProcessId>,
+        /// The tick the wave fires.
+        at: u64,
+    },
+    /// Heal any active partition at tick `at`.
+    Heal {
+        /// The tick the heal fires.
+        at: u64,
+    },
+}
+
+impl ChaosPhase {
+    /// The tick this phase begins to act.
+    #[must_use]
+    pub fn start(&self) -> u64 {
+        match *self {
+            ChaosPhase::Partition { from, .. } | ChaosPhase::Storm { from, .. } => from,
+            ChaosPhase::Wave { at, .. } | ChaosPhase::Heal { at } => at,
+        }
+    }
+
+    /// The tick this phase stops acting on its own (`None` for
+    /// instantaneous phases).
+    #[must_use]
+    pub fn end(&self) -> Option<u64> {
+        match *self {
+            ChaosPhase::Partition { until, .. } | ChaosPhase::Storm { until, .. } => Some(until),
+            ChaosPhase::Wave { .. } | ChaosPhase::Heal { .. } => None,
+        }
+    }
+}
+
+/// A declarative fault schedule: ordered phases over virtual ticks.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Campaign {
+    /// The phases, in declaration order.
+    pub phases: Vec<ChaosPhase>,
+}
+
+impl Campaign {
+    /// A campaign with no phases.
+    #[must_use]
+    pub fn new() -> Self {
+        Campaign::default()
+    }
+
+    /// Appends a phase.
+    #[must_use]
+    pub fn phase(mut self, phase: ChaosPhase) -> Self {
+        self.phases.push(phase);
+        self
+    }
+
+    /// Whether the campaign has no phases.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Whether any phase is a latency storm (only sim and the SAN backend
+    /// can stretch service time).
+    #[must_use]
+    pub fn has_storm(&self) -> bool {
+        self.phases
+            .iter()
+            .any(|p| matches!(p, ChaosPhase::Storm { .. }))
+    }
+
+    /// Whether any wave resurrects a process (only the simulator can
+    /// un-crash: wall-clock clusters park crashed nodes for good).
+    #[must_use]
+    pub fn has_recovery(&self) -> bool {
+        self.phases
+            .iter()
+            .any(|p| matches!(p, ChaosPhase::Wave { recover, .. } if !recover.is_empty()))
+    }
+
+    /// The stats this schedule yields by construction on a run of `horizon`
+    /// ticks, mirroring the simulator's accounting exactly (phase events
+    /// fire at `tick <= horizon`, in `(tick, declaration order)`; phases
+    /// still active at the horizon are closed there without counting as
+    /// healed).
+    ///
+    /// Wall-clock drivers inject phases on the wall clock and cannot
+    /// measure ticks, so they report this planned view instead.
+    #[must_use]
+    pub fn planned_stats(&self, horizon: u64) -> ChaosStats {
+        enum Action {
+            PartitionStart,
+            StormStart,
+            Wave(u32, u32),
+            Heal,
+        }
+        let mut actions: Vec<(u64, usize, Action)> = Vec::new();
+        for (seq, phase) in self.phases.iter().enumerate() {
+            let (start, end) = (phase.start(), phase.end());
+            let act = match phase {
+                ChaosPhase::Partition { .. } => Action::PartitionStart,
+                ChaosPhase::Storm { .. } => Action::StormStart,
+                ChaosPhase::Wave { crash, recover, .. } => {
+                    Action::Wave(crash.len() as u32, recover.len() as u32)
+                }
+                ChaosPhase::Heal { .. } => Action::Heal,
+            };
+            if start <= horizon {
+                actions.push((start, seq, act));
+            }
+            if let Some(end) = end.filter(|&end| end <= horizon) {
+                actions.push((end, seq, Action::Heal));
+            }
+        }
+        actions.sort_by_key(|&(tick, seq, _)| (tick, seq));
+
+        let mut stats = ChaosStats::default();
+        let mut partition_since: Option<u64> = None;
+        let mut storm_since: Option<u64> = None;
+        for (now, seq, action) in actions {
+            match action {
+                Action::PartitionStart => {
+                    stats.partitions += 1;
+                    partition_since = Some(now);
+                }
+                Action::StormStart => {
+                    storm_since = Some(now);
+                }
+                Action::Wave(crashes, recoveries) => {
+                    stats.wave_crashes += crashes;
+                    stats.wave_recoveries += recoveries;
+                }
+                Action::Heal => {
+                    // A Storm's own end clears the storm; every other heal
+                    // (explicit or a Partition's `until`) clears the cut.
+                    if matches!(self.phases[seq], ChaosPhase::Storm { .. }) {
+                        if let Some(since) = storm_since.take() {
+                            stats.storm_ticks += now - since;
+                        }
+                    } else if let Some(since) = partition_since.take() {
+                        stats.partition_ticks += now - since;
+                        stats.last_heal_at = Some(now);
+                    }
+                }
+            }
+        }
+        if let Some(since) = partition_since {
+            stats.partition_ticks += horizon - since;
+        }
+        if let Some(since) = storm_since {
+            stats.storm_ticks += horizon - since;
+        }
+        stats
+    }
+
+    /// Checks the campaign is well-formed for an `n`-process system.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation: an out-of-range
+    /// process id, overlapping partition groups, an empty interval, or a
+    /// zero storm factor.
+    pub fn validate(&self, n: usize) -> Result<(), String> {
+        for (i, phase) in self.phases.iter().enumerate() {
+            let ctx = |msg: String| format!("campaign phase {i}: {msg}");
+            let check_pid = |pid: ProcessId| {
+                if pid.index() >= n {
+                    Err(ctx(format!("process {pid} out of range for n={n}")))
+                } else {
+                    Ok(())
+                }
+            };
+            match phase {
+                ChaosPhase::Partition {
+                    groups,
+                    from,
+                    until,
+                } => {
+                    if until <= from {
+                        return Err(ctx(format!("empty interval {from}..{until}")));
+                    }
+                    let mut seen = vec![false; n];
+                    for group in groups {
+                        for &pid in group {
+                            check_pid(pid)?;
+                            if std::mem::replace(&mut seen[pid.index()], true) {
+                                return Err(ctx(format!("process {pid} in two groups")));
+                            }
+                        }
+                    }
+                }
+                ChaosPhase::Storm {
+                    factor,
+                    from,
+                    until,
+                    ..
+                } => {
+                    if until <= from {
+                        return Err(ctx(format!("empty interval {from}..{until}")));
+                    }
+                    if *factor == 0 {
+                        return Err(ctx("storm factor must be >= 1".to_string()));
+                    }
+                }
+                ChaosPhase::Wave { crash, recover, .. } => {
+                    for &pid in crash.iter().chain(recover) {
+                        check_pid(pid)?;
+                    }
+                }
+                ChaosPhase::Heal { .. } => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What a campaign did to one run — the counters that make chaos outcomes
+/// comparable (and, via the fingerprint, replay-witnessed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Partitions installed.
+    pub partitions: u32,
+    /// Total ticks some partition was active.
+    pub partition_ticks: u64,
+    /// Total ticks some storm was active.
+    pub storm_ticks: u64,
+    /// Processes crashed by waves.
+    pub wave_crashes: u32,
+    /// Processes resurrected by waves.
+    pub wave_recoveries: u32,
+    /// Tick of the last partition heal, if any partition healed.
+    pub last_heal_at: Option<u64>,
+}
+
+impl ChaosStats {
+    /// Whether the run saw any chaos at all.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        *self != ChaosStats::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn predicates_see_storms_and_recoveries() {
+        let quiet = Campaign::new().phase(ChaosPhase::Partition {
+            groups: vec![vec![p(0)], vec![p(1)]],
+            from: 10,
+            until: 20,
+        });
+        assert!(!quiet.has_storm());
+        assert!(!quiet.has_recovery());
+        let stormy = quiet.clone().phase(ChaosPhase::Storm {
+            factor: 4,
+            jitter: 2,
+            from: 5,
+            until: 9,
+        });
+        assert!(stormy.has_storm());
+        let wavy = quiet.phase(ChaosPhase::Wave {
+            crash: vec![p(0)],
+            recover: vec![p(1)],
+            at: 30,
+        });
+        assert!(wavy.has_recovery());
+        let crash_only = Campaign::new().phase(ChaosPhase::Wave {
+            crash: vec![p(0)],
+            recover: vec![],
+            at: 30,
+        });
+        assert!(!crash_only.has_recovery());
+    }
+
+    #[test]
+    fn validate_catches_malformed_phases() {
+        let n = 3;
+        assert!(Campaign::new().validate(n).is_ok());
+        let oob = Campaign::new().phase(ChaosPhase::Wave {
+            crash: vec![p(7)],
+            recover: vec![],
+            at: 1,
+        });
+        assert!(oob.validate(n).unwrap_err().contains("out of range"));
+        let overlap = Campaign::new().phase(ChaosPhase::Partition {
+            groups: vec![vec![p(0)], vec![p(0)]],
+            from: 1,
+            until: 2,
+        });
+        assert!(overlap.validate(n).unwrap_err().contains("two groups"));
+        let empty = Campaign::new().phase(ChaosPhase::Partition {
+            groups: vec![],
+            from: 5,
+            until: 5,
+        });
+        assert!(empty.validate(n).unwrap_err().contains("empty interval"));
+        let dead_storm = Campaign::new().phase(ChaosPhase::Storm {
+            factor: 0,
+            jitter: 0,
+            from: 1,
+            until: 2,
+        });
+        assert!(dead_storm.validate(n).unwrap_err().contains("factor"));
+    }
+
+    #[test]
+    fn phase_extents() {
+        let part = ChaosPhase::Partition {
+            groups: vec![],
+            from: 3,
+            until: 9,
+        };
+        assert_eq!((part.start(), part.end()), (3, Some(9)));
+        let heal = ChaosPhase::Heal { at: 7 };
+        assert_eq!((heal.start(), heal.end()), (7, None));
+    }
+
+    #[test]
+    fn planned_stats_mirror_the_schedule() {
+        let campaign = Campaign::new()
+            .phase(ChaosPhase::Partition {
+                groups: vec![vec![p(0)], vec![p(1)]],
+                from: 100,
+                until: 700,
+            })
+            .phase(ChaosPhase::Storm {
+                factor: 3,
+                jitter: 0,
+                from: 1_000,
+                until: 4_000,
+            })
+            .phase(ChaosPhase::Wave {
+                crash: vec![p(0)],
+                recover: vec![p(0)],
+                at: 5_000,
+            });
+        let stats = campaign.planned_stats(10_000);
+        assert_eq!(stats.partitions, 1);
+        assert_eq!(stats.partition_ticks, 600);
+        assert_eq!(stats.storm_ticks, 3_000);
+        assert_eq!(stats.wave_crashes, 1);
+        assert_eq!(stats.wave_recoveries, 1);
+        assert_eq!(stats.last_heal_at, Some(700));
+        // Phases still active at the horizon close there, unhealed; later
+        // phases never fire.
+        let cut_short = campaign.planned_stats(2_000);
+        assert_eq!(cut_short.partition_ticks, 600);
+        assert_eq!(cut_short.storm_ticks, 1_000);
+        assert_eq!(cut_short.wave_crashes, 0);
+    }
+
+    #[test]
+    fn stats_any_detects_activity() {
+        assert!(!ChaosStats::default().any());
+        let active = ChaosStats {
+            partitions: 1,
+            ..ChaosStats::default()
+        };
+        assert!(active.any());
+    }
+}

@@ -32,6 +32,12 @@ pub enum EventKind {
     Crash(ProcessId),
     /// The harness samples leader estimates and statistics.
     Sample,
+    /// Chaos-campaign phase `i` begins to act (partition cut, storm onset,
+    /// wave, heal).
+    ChaosStart(u32),
+    /// Chaos-campaign phase `i` stops acting (partition heals, storm
+    /// clears).
+    ChaosEnd(u32),
 }
 
 /// A scheduled event.

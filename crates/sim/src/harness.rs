@@ -4,6 +4,7 @@
 use omega_registers::{FootprintReport, MemorySpace, ProcessId, ProcessSet};
 
 use crate::adversary::{Adversary, RunView, Synchronous};
+use crate::chaos::{Campaign, ChaosPhase, ChaosStats};
 use crate::crash::{CrashDirective, CrashPlan};
 use crate::event::{EventKind, EventQueue};
 use crate::metrics::{LeaderTimeline, StabilizationReport, WindowedStats};
@@ -46,6 +47,7 @@ pub struct SimulationBuilder {
     memory: Option<MemorySpace>,
     trace_capacity: usize,
     record_trace: bool,
+    campaign: Option<Campaign>,
 }
 
 impl SimulationBuilder {
@@ -64,6 +66,7 @@ impl SimulationBuilder {
             memory: None,
             trace_capacity: 0,
             record_trace: false,
+            campaign: None,
         }
     }
 
@@ -134,6 +137,24 @@ impl SimulationBuilder {
     pub fn trace(mut self, capacity: usize) -> Self {
         assert!(capacity > 0, "trace capacity must be positive");
         self.trace_capacity = capacity;
+        self
+    }
+
+    /// Attaches a chaos [`Campaign`]: its phases fire as ordinary simulator
+    /// events at their scheduled ticks (and are therefore recorded in
+    /// traces and replayed byte-identically). Partition and heal phases
+    /// require an attached [`memory`](Self::memory).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the campaign fails [`Campaign::validate`] for the actor
+    /// count.
+    #[must_use]
+    pub fn campaign(mut self, campaign: Campaign) -> Self {
+        if let Err(msg) = campaign.validate(self.actors.len()) {
+            panic!("{msg}");
+        }
+        self.campaign = Some(campaign);
         self
     }
 
@@ -214,6 +235,12 @@ pub struct Simulation {
     crashed: ProcessSet,
     timer_epochs: Vec<u64>,
     pending_leader_crashes: Vec<SimTime>,
+    campaign: Option<Campaign>,
+    /// Active storm envelope `(factor, jitter)`; stretches live-scheduled
+    /// step delays.
+    storm: Option<(u64, u64)>,
+    partition_since: Option<SimTime>,
+    storm_since: Option<SimTime>,
     report: RunReport,
 }
 
@@ -251,6 +278,10 @@ impl Simulation {
             crashed: ProcessSet::new(n),
             timer_epochs: vec![0; n],
             pending_leader_crashes,
+            campaign: b.campaign,
+            storm: None,
+            partition_since: None,
+            storm_since: None,
             report: RunReport::new(n, b.horizon),
             actors: b.actors,
             adversary: b.adversary,
@@ -343,6 +374,20 @@ impl Simulation {
         for (time, pid) in self.crash_plan.fixed_crashes() {
             self.queue.schedule(time, EventKind::Crash(pid));
         }
+        // Chaos-campaign phase boundaries. An `until` beyond the horizon
+        // simply never fires: the phase stays active to the end and
+        // `finish` closes its accounting.
+        if let Some(campaign) = &self.campaign {
+            for (i, phase) in campaign.phases.iter().enumerate() {
+                let i = u32::try_from(i).expect("phase count fits u32");
+                self.queue
+                    .schedule(SimTime::from_ticks(phase.start()), EventKind::ChaosStart(i));
+                if let Some(end) = phase.end() {
+                    self.queue
+                        .schedule(SimTime::from_ticks(end), EventKind::ChaosEnd(i));
+                }
+            }
+        }
         // Sampling cadence.
         let mut t = SimTime::ZERO;
         while t <= self.horizon {
@@ -434,7 +479,17 @@ impl Simulation {
                 self.actors[pid.index()].on_step(ctx);
                 self.report.steps_taken[pid.index()] += 1;
                 if live {
-                    let delay = self.adversary.next_step_delay(pid, now).max(1);
+                    let mut delay = self.adversary.next_step_delay(pid, now).max(1);
+                    if let Some((factor, jitter)) = self.storm {
+                        // Deterministic stretch: the storm multiplies the
+                        // adversary's delay and smears it with a jitter
+                        // derived from the event count, so storms replay
+                        // exactly (replays take times from the trace).
+                        delay = delay.saturating_mul(factor.max(1));
+                        if jitter > 0 {
+                            delay += self.report.events_processed % (jitter + 1);
+                        }
+                    }
                     self.queue.schedule(now + delay, EventKind::Step(pid));
                 }
             }
@@ -459,11 +514,111 @@ impl Simulation {
             EventKind::Sample => {
                 self.sample(now);
             }
+            EventKind::ChaosStart(i) => {
+                self.chaos_start(i as usize, now, live);
+            }
+            EventKind::ChaosEnd(i) => {
+                self.chaos_end(i as usize, now);
+            }
+        }
+    }
+
+    fn chaos_memory(&self) -> &MemorySpace {
+        self.memory
+            .as_ref()
+            .expect("campaign partitions require an attached memory space")
+    }
+
+    /// Begins phase `i` of the campaign. Mutates simulator state the same
+    /// way live and on replay; only the *scheduling* of a recovered
+    /// process's next step/timer is live-only (replay already carries those
+    /// events in the trace).
+    fn chaos_start(&mut self, i: usize, now: SimTime, live: bool) {
+        let phase = self
+            .campaign
+            .as_ref()
+            .expect("chaos event without a campaign")
+            .phases[i]
+            .clone();
+        match phase {
+            ChaosPhase::Partition { groups, .. } => {
+                self.chaos_memory().install_partition(&groups);
+                self.report.chaos.partitions += 1;
+                self.partition_since = Some(now);
+            }
+            ChaosPhase::Storm { factor, jitter, .. } => {
+                self.storm = Some((factor, jitter));
+                self.storm_since = Some(now);
+            }
+            ChaosPhase::Wave { crash, recover, .. } => {
+                for pid in crash {
+                    if !self.crashed.contains(pid) {
+                        self.crash(pid);
+                        self.report.chaos.wave_crashes += 1;
+                    }
+                }
+                for pid in recover {
+                    if !self.crashed.contains(pid) {
+                        continue;
+                    }
+                    self.crashed.remove(pid);
+                    // Invalidate any stale pre-crash timer still in flight.
+                    let epoch = self.timer_epochs[pid.index()] + 1;
+                    self.timer_epochs[pid.index()] = epoch;
+                    self.report.chaos.wave_recoveries += 1;
+                    if live {
+                        let delay = self.adversary.next_step_delay(pid, now).max(1);
+                        self.queue.schedule(now + delay, EventKind::Step(pid));
+                        let x = self.actors[pid.index()].initial_timeout();
+                        let d = self.timers[pid.index()].duration(now, x).max(1);
+                        self.queue
+                            .schedule(now + d, EventKind::TimerExpire(pid, epoch));
+                    }
+                }
+            }
+            ChaosPhase::Heal { .. } => {
+                self.heal_partition(now);
+            }
+        }
+    }
+
+    /// Ends phase `i` (partition heals, storm clears).
+    fn chaos_end(&mut self, i: usize, now: SimTime) {
+        let phase = &self
+            .campaign
+            .as_ref()
+            .expect("chaos event without a campaign")
+            .phases[i];
+        match phase {
+            ChaosPhase::Partition { .. } => self.heal_partition(now),
+            ChaosPhase::Storm { .. } => {
+                self.storm = None;
+                if let Some(since) = self.storm_since.take() {
+                    self.report.chaos.storm_ticks += now.since(since);
+                }
+            }
+            ChaosPhase::Wave { .. } | ChaosPhase::Heal { .. } => {}
+        }
+    }
+
+    fn heal_partition(&mut self, now: SimTime) {
+        if let Some(since) = self.partition_since.take() {
+            self.chaos_memory().heal_partition();
+            self.report.chaos.partition_ticks += now.since(since);
+            self.report.chaos.last_heal_at = Some(now.ticks());
         }
     }
 
     fn finish(mut self, started: std::time::Instant) -> RunReport {
         let n = self.n();
+        // Close the accounting of phases still active at the horizon (the
+        // partition itself stays installed: the run is over).
+        if let Some(since) = self.partition_since.take() {
+            self.report.chaos.partition_ticks += self.horizon.since(since);
+        }
+        if let Some(since) = self.storm_since.take() {
+            self.report.chaos.storm_ticks += self.horizon.since(since);
+        }
         self.checkpoint(self.horizon);
         self.report.wall.elapsed = started.elapsed();
         self.report.trace = self.trace.take();
@@ -522,6 +677,8 @@ pub struct RunReport {
     pub steps_taken: Vec<u64>,
     /// Timer expirations handled, per process.
     pub timer_fires: Vec<u64>,
+    /// What the chaos campaign did (all-zero without a campaign).
+    pub chaos: ChaosStats,
 }
 
 impl RunReport {
@@ -539,6 +696,7 @@ impl RunReport {
             wall: WallClock::default(),
             steps_taken: vec![0; n],
             timer_fires: vec![0; n],
+            chaos: ChaosStats::default(),
         }
     }
 
@@ -588,6 +746,9 @@ impl RunReport {
             "crashed          : {:?}  (correct: {:?})",
             self.crashed, self.correct
         );
+        if self.chaos.any() {
+            let _ = writeln!(out, "chaos            : {:?}", self.chaos);
+        }
         match self.stabilization() {
             Some(s) => {
                 let _ = writeln!(
@@ -837,6 +998,166 @@ mod tests {
         let _ = Simulation::builder(fixed_actors(3, 0))
             .horizon(1_000)
             .run_replay(&trace);
+    }
+
+    #[test]
+    fn storm_stretches_step_service_time() {
+        let run = |campaign: Option<Campaign>| {
+            let mut b = Simulation::builder(fixed_actors(3, 0)).horizon(4_000);
+            if let Some(c) = campaign {
+                b = b.campaign(c);
+            }
+            b.run()
+        };
+        let calm = run(None);
+        let stormy = run(Some(Campaign::new().phase(ChaosPhase::Storm {
+            factor: 8,
+            jitter: 3,
+            from: 500,
+            until: 3_500,
+        })));
+        assert!(
+            stormy.steps_taken[0] < calm.steps_taken[0] / 2,
+            "storm must slow steps: {} vs {}",
+            stormy.steps_taken[0],
+            calm.steps_taken[0]
+        );
+        assert_eq!(stormy.chaos.storm_ticks, 3_000);
+        assert!(!calm.chaos.any());
+    }
+
+    #[test]
+    fn partition_phase_installs_and_heals_the_memory() {
+        use omega_registers::MemorySpace;
+        let space = MemorySpace::new(3);
+        let _reg = space.nat_register("R", ProcessId::new(0), 0);
+        let campaign = Campaign::new().phase(ChaosPhase::Partition {
+            groups: vec![
+                vec![ProcessId::new(0)],
+                vec![ProcessId::new(1), ProcessId::new(2)],
+            ],
+            from: 100,
+            until: 700,
+        });
+        let report = Simulation::builder(fixed_actors(3, 0))
+            .memory(space.clone())
+            .campaign(campaign)
+            .horizon(1_000)
+            .run();
+        assert_eq!(report.chaos.partitions, 1);
+        assert_eq!(report.chaos.partition_ticks, 600);
+        assert_eq!(report.chaos.last_heal_at, Some(700));
+        assert!(!space.partition_active(), "healed by the end");
+    }
+
+    #[test]
+    fn unhealed_partition_accounts_to_the_horizon() {
+        use omega_registers::MemorySpace;
+        let space = MemorySpace::new(2);
+        let campaign = Campaign::new().phase(ChaosPhase::Partition {
+            groups: vec![vec![ProcessId::new(0)], vec![ProcessId::new(1)]],
+            from: 400,
+            until: 5_000, // beyond the horizon: never heals
+        });
+        let report = Simulation::builder(fixed_actors(2, 0))
+            .memory(space.clone())
+            .campaign(campaign)
+            .horizon(1_000)
+            .run();
+        assert_eq!(report.chaos.partition_ticks, 600);
+        assert_eq!(report.chaos.last_heal_at, None);
+        assert!(space.partition_active(), "still cut at the horizon");
+    }
+
+    #[test]
+    fn wave_recovery_resumes_a_crashed_process() {
+        let campaign = Campaign::new()
+            .phase(ChaosPhase::Wave {
+                crash: vec![ProcessId::new(2)],
+                recover: vec![],
+                at: 200,
+            })
+            .phase(ChaosPhase::Wave {
+                crash: vec![],
+                recover: vec![ProcessId::new(2)],
+                at: 600,
+            });
+        let report = Simulation::builder(fixed_actors(3, 0))
+            .campaign(campaign)
+            .horizon(1_000)
+            .run();
+        assert_eq!(report.chaos.wave_crashes, 1);
+        assert_eq!(report.chaos.wave_recoveries, 1);
+        assert!(!report.crashed.contains(ProcessId::new(2)), "recovered");
+        assert_eq!(report.correct.len(), 3);
+        // It missed the middle of the run but stepped before and after.
+        assert!(report.steps_taken[2] > 0);
+        assert!(report.steps_taken[2] < report.steps_taken[0]);
+    }
+
+    #[test]
+    fn campaign_run_replays_identically() {
+        use omega_registers::MemorySpace;
+        let campaign = Campaign::new()
+            .phase(ChaosPhase::Partition {
+                groups: vec![
+                    vec![ProcessId::new(0), ProcessId::new(1)],
+                    vec![ProcessId::new(2), ProcessId::new(3)],
+                ],
+                from: 300,
+                until: 1_200,
+            })
+            .phase(ChaosPhase::Storm {
+                factor: 3,
+                jitter: 2,
+                from: 1_300,
+                until: 1_700,
+            })
+            .phase(ChaosPhase::Wave {
+                crash: vec![ProcessId::new(3)],
+                recover: vec![],
+                at: 1_400,
+            })
+            .phase(ChaosPhase::Wave {
+                crash: vec![],
+                recover: vec![ProcessId::new(3)],
+                at: 1_800,
+            });
+        let config = |space: &MemorySpace| {
+            Simulation::builder(fixed_actors(4, 1))
+                .adversary(SeededRandom::new(11, 1, 6))
+                .memory(space.clone())
+                .campaign(campaign.clone())
+                .horizon(2_500)
+                .sample_every(25)
+                .record_trace()
+        };
+        let live_space = MemorySpace::new(4);
+        let _ = live_space.nat_register("R", ProcessId::new(0), 0);
+        let live = config(&live_space).run();
+        assert!(live.chaos.any());
+        let trace = Trace::decode(&live.recording.as_ref().unwrap().encode()).unwrap();
+
+        let replay_space = MemorySpace::new(4);
+        let _ = replay_space.nat_register("R", ProcessId::new(0), 0);
+        let replayed = config(&replay_space).run_replay(&trace);
+        assert_eq!(replayed.steps_taken, live.steps_taken);
+        assert_eq!(replayed.timer_fires, live.timer_fires);
+        assert_eq!(replayed.timeline.samples(), live.timeline.samples());
+        assert_eq!(replayed.chaos, live.chaos, "chaos counters replay too");
+        let re_recorded = replayed.recording.expect("recording enabled on replay");
+        assert_eq!(re_recorded.encode(), trace.encode());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn campaign_validation_happens_at_build() {
+        let campaign = Campaign::new().phase(ChaosPhase::Wave {
+            crash: vec![ProcessId::new(9)],
+            recover: vec![],
+            at: 1,
+        });
+        let _ = Simulation::builder(fixed_actors(2, 0)).campaign(campaign);
     }
 
     #[test]

@@ -49,6 +49,7 @@
 
 pub mod adversary;
 pub mod arrivals;
+pub mod chaos;
 pub mod crash;
 pub mod event;
 pub mod metrics;
@@ -61,6 +62,7 @@ mod harness;
 mod process;
 mod time;
 
+pub use chaos::{Campaign, ChaosPhase, ChaosStats};
 pub use harness::{RunReport, Simulation, SimulationBuilder, WallClock};
 pub use process::{Actor, StepCtx};
 pub use time::SimTime;

@@ -147,6 +147,8 @@ impl fmt::Display for EventTrace {
                 }
                 EventKind::Crash(p) => writeln!(f, "  {:>10} CRASH     {p}", e.time)?,
                 EventKind::Sample => writeln!(f, "  {:>10} sample", e.time)?,
+                EventKind::ChaosStart(i) => writeln!(f, "  {:>10} chaos+    phase {i}", e.time)?,
+                EventKind::ChaosEnd(i) => writeln!(f, "  {:>10} chaos-    phase {i}", e.time)?,
             }
         }
         Ok(())
@@ -163,6 +165,8 @@ const TAG_STEP: u8 = 0;
 const TAG_TIMER: u8 = 1;
 const TAG_CRASH: u8 = 2;
 const TAG_SAMPLE: u8 = 3;
+const TAG_CHAOS_START: u8 = 4;
+const TAG_CHAOS_END: u8 = 5;
 
 /// A decoding failure: the bytes are not a well-formed trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -312,6 +316,16 @@ impl Trace {
                     out.push(TAG_SAMPLE);
                     push_varint(&mut out, delta);
                 }
+                EventKind::ChaosStart(phase) => {
+                    out.push(TAG_CHAOS_START);
+                    push_varint(&mut out, delta);
+                    push_varint(&mut out, u64::from(phase));
+                }
+                EventKind::ChaosEnd(phase) => {
+                    out.push(TAG_CHAOS_END);
+                    push_varint(&mut out, delta);
+                    push_varint(&mut out, u64::from(phase));
+                }
             }
         }
         out
@@ -366,6 +380,16 @@ impl Trace {
                     EventKind::Crash(ProcessId::new(read_varint(bytes, &mut pos)? as usize))
                 }
                 TAG_SAMPLE => EventKind::Sample,
+                TAG_CHAOS_START => {
+                    let phase = u32::try_from(read_varint(bytes, &mut pos)?)
+                        .map_err(|_| err("chaos phase index overflows u32"))?;
+                    EventKind::ChaosStart(phase)
+                }
+                TAG_CHAOS_END => {
+                    let phase = u32::try_from(read_varint(bytes, &mut pos)?)
+                        .map_err(|_| err("chaos phase index overflows u32"))?;
+                    EventKind::ChaosEnd(phase)
+                }
                 other => return Err(err(format!("unknown event tag {other}"))),
             };
             events.push(TraceEntry {
@@ -502,6 +526,22 @@ mod tests {
         assert_eq!(decoded, trace);
         assert_eq!(decoded.len(), 4);
         assert_eq!(decoded.meta, trace.meta);
+    }
+
+    #[test]
+    fn chaos_events_round_trip() {
+        let mut trace = Trace::new(5, 50_000);
+        trace.record(at(10), EventKind::ChaosStart(0));
+        trace.record(at(10), EventKind::Step(p(3)));
+        trace.record(at(400), EventKind::ChaosEnd(0));
+        trace.record(at(500), EventKind::ChaosStart(300));
+        let decoded = Trace::decode(&trace.encode()).unwrap();
+        assert_eq!(decoded, trace);
+        let mut ring = EventTrace::new(4);
+        ring.record(at(10), EventKind::ChaosStart(2));
+        ring.record(at(20), EventKind::ChaosEnd(2));
+        let out = ring.to_string();
+        assert!(out.contains("chaos+") && out.contains("chaos-"));
     }
 
     #[test]

@@ -27,10 +27,19 @@ use omega_shm::scenario::{
 
 /// The registry scenarios every wall-clock backend can realize:
 /// stabilization promised (no literal adversary needed) at
-/// thread-friendly system sizes. (Coop alone also runs n > 16; that
-/// headroom is covered in `tests/coop_driver.rs`.)
+/// thread-friendly system sizes, and admitted by the whole backend matrix
+/// — chaos campaigns with storms or recovery waves are refused by some
+/// wall backends and parity over a refused realization is meaningless.
+/// (Coop alone also runs n > 16; that headroom is covered in
+/// `tests/coop_driver.rs`.)
 fn eligible(scenario: &Scenario) -> bool {
-    scenario.expect_stabilization && scenario.n <= 16
+    let admitted = scenario.eligible_drivers();
+    scenario.expect_stabilization
+        && scenario.n <= 16
+        && admitted.sim
+        && admitted.threads
+        && admitted.san
+        && admitted.coop
 }
 
 fn assert_four_way(
@@ -77,11 +86,21 @@ fn assert_four_way(
     let footprint = san.san.expect("SAN backend reports block footprint");
     assert_eq!(footprint.blocks_mapped, san.register_count as u64);
     assert!(footprint.blocks_touched <= footprint.blocks_mapped);
-    assert!(
-        footprint.block_accesses >= san.total_reads() + san.total_writes(),
-        "{}: disk cannot serve fewer accesses than the registers counted",
-        scenario.name
-    );
+    if scenario.campaign.is_none() {
+        assert!(
+            footprint.block_accesses >= san.total_reads() + san.total_writes(),
+            "{}: disk cannot serve fewer accesses than the registers counted",
+            scenario.name
+        );
+    } else {
+        // A severed read is served from the frozen snapshot without a disk
+        // round trip (the far side of a split fabric sees its stale view,
+        // not the medium), so mid-partition the register counters run
+        // ahead of the disk's.
+        assert!(footprint.block_accesses > 0, "{}: disk saw no traffic", {
+            &scenario.name
+        });
+    }
 }
 
 fn run_four_way(filter: impl Fn(&Scenario) -> bool) {

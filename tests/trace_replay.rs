@@ -56,6 +56,14 @@ fn crash_failover_trace_replays_byte_identically() {
 }
 
 #[test]
+fn partition_heal_trace_replays_byte_identically() {
+    // A chaos campaign in the spec: the trace carries the phase-boundary
+    // events and the campaign stanzas in its meta, and the replayed
+    // ChaosOutcome (in the fingerprint) must match the live one.
+    assert_replay_is_byte_identical("chaos/partition-heal");
+}
+
+#[test]
 fn planted_violation_shrinks_to_a_minimal_spec() {
     // A deliberately baroque starting point: six processes, a five-crash
     // storm, a non-default AWB envelope and horizon.
