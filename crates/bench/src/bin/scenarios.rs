@@ -31,15 +31,21 @@
 //!   latency, so CI can exercise the backend without inflating
 //!   wall-clock; `san-latency/…` sweep scenarios pin their own latency
 //!   and pay real simulated service time); `coop` multiplexes all node
-//!   loops on the cooperative deadline-wheel runtime — one worker thread
-//!   regardless of `n`. Every wall-clock backend skips scenarios that
-//!   need a literal adversary (`expect_stabilization = false`); the
+//!   loops on the cooperative deadline-wheel runtime, sharded over a
+//!   `--workers`-sized pool. Every wall-clock backend skips scenarios
+//!   that need a literal adversary (`expect_stabilization = false`); the
 //!   per-node-thread backends additionally skip `n > 16` (OS threads at
-//!   `n ≥ 32` thrash instead of measuring), while `coop` runs up to
-//!   `n = 128` — `n-scaling-64`/`-128` and the `contention/32x…` sweep
-//!   are realizable on a real-time backend only there. A full non-sim
+//!   `n ≥ 32` thrash instead of measuring), while `coop` runs up to its
+//!   worker-dependent cap `coop_max_n(workers)` — 128 single-worker,
+//!   `n-scaling-256` at `--workers 4`, 512/1024 at 8/16. A full non-sim
 //!   record run writes `BENCH_scenarios.<driver>.json`, never the
 //!   committed sim baseline.
+//! * **`--workers N`** — sizes the coop worker pool (default 1; the
+//!   other backends ignore it). Every coop record carries a `workers`
+//!   field, and a full (unfiltered) coop run additionally records the
+//!   `coop/workers=1,2,4,8` sweep — `n-scaling-128` at each pool size,
+//!   named by the convention `coop/workers=<w>` — so the committed coop
+//!   baseline shows where the scaling knee sits.
 //! * **`--only <substring>`** — restricts the run (and the gate) to the
 //!   scenarios whose name contains the substring, so one scenario, e.g.
 //!   `n-scaling-256`, can be run and timed in isolation. A filtered run
@@ -99,12 +105,16 @@ impl Backend {
         }
     }
 
-    fn run(self, scenario: &Scenario) -> Outcome {
+    fn run(self, scenario: &Scenario, workers: usize) -> Outcome {
         match self {
             Backend::Sim => SimDriver.run(scenario),
             Backend::Threads => ThreadDriver::default().run(scenario),
             Backend::San => SanDriver::instant().run(scenario),
-            Backend::Coop => CoopDriver::default().run(scenario),
+            Backend::Coop => CoopDriver {
+                workers,
+                ..CoopDriver::default()
+            }
+            .run(scenario),
         }
     }
 
@@ -117,10 +127,12 @@ impl Backend {
 
     /// Whether this backend can honor the scenario's contract — a
     /// straight read of the scenario crate's
-    /// [`eligible_drivers`](Scenario::eligible_drivers), the single
-    /// source of truth for the driver axis (see ROADMAP.md's table).
-    fn admits(self, scenario: &Scenario) -> bool {
-        let eligible = scenario.eligible_drivers();
+    /// [`eligible_drivers_at`](Scenario::eligible_drivers_at), the single
+    /// source of truth for the driver axis (see ROADMAP.md's table). The
+    /// pool size only moves the coop column: its cap is
+    /// `coop_max_n(workers)`.
+    fn admits(self, scenario: &Scenario, workers: usize) -> bool {
+        let eligible = scenario.eligible_drivers_at(workers);
         match self {
             Backend::Sim => eligible.sim,
             Backend::Threads => eligible.threads,
@@ -158,6 +170,9 @@ fn json_record(outcome: &Outcome) -> String {
         outcome.n,
         outcome.stabilized,
     );
+    if let Some(workers) = outcome.workers {
+        let _ = write!(o, "\"workers\":{workers},");
+    }
     let _ = match outcome.stabilization_ticks {
         Some(t) => write!(o, "\"stabilization_ticks\":{t},"),
         None => write!(o, "\"stabilization_ticks\":null,"),
@@ -476,27 +491,47 @@ fn should_write_artifact(checking: bool, filtered: bool, explicit_out: bool) -> 
 /// Why `backend` refuses `scenario` — the loud half of the admission
 /// matrix. Campaign clauses a wall clock cannot honor are named
 /// explicitly (a silent drop would record an outcome for a scenario the
-/// driver never actually realized).
-fn refusal_rule(backend: Backend, scenario: &Scenario) -> &'static str {
-    debug_assert!(!backend.admits(scenario));
+/// driver never actually realized), and the coop size cap states the
+/// worker-dependent rule it actually enforces, including the pool that
+/// would admit the scenario.
+fn refusal_rule(backend: Backend, scenario: &Scenario, workers: usize) -> String {
+    debug_assert!(!backend.admits(scenario, workers));
     if let Some(campaign) = &scenario.campaign {
         if campaign.has_recovery() && backend != Backend::Sim {
-            return "campaign recovery waves are sim-only: a parked wall-clock thread cannot be resurrected";
+            return "campaign recovery waves are sim-only: a parked wall-clock thread cannot be resurrected".into();
         }
         if campaign.has_storm() && matches!(backend, Backend::Threads | Backend::Coop) {
-            return "campaign latency storms need a simulated medium (sim, or the SAN block device)";
+            return "campaign latency storms need a simulated medium (sim, or the SAN block device)"
+                .into();
         }
     }
     match backend {
-        Backend::Sim => unreachable!("sim admits everything"),
+        Backend::Sim => format!(
+            "the simulator's literal realization is memory-cubic in n, so it runs n <= {}; \
+             larger systems belong on the sharded coop pool",
+            omega_scenario::SIM_MAX_N,
+        ),
         Backend::Threads | Backend::San => {
-            "per-node-thread backends run stabilizing scenarios at n <= 16"
+            "per-node-thread backends run stabilizing scenarios at n <= 16".into()
         }
-        Backend::Coop => "coop runs stabilizing scenarios at n <= 128",
+        Backend::Coop => {
+            let needed = scenario.n.div_ceil(omega_scenario::COOP_NODES_PER_WORKER);
+            format!(
+                "coop at {workers} worker(s) runs stabilizing scenarios at n <= {}; \
+                 --workers {needed} would admit n = {}",
+                omega_scenario::coop_max_n(workers),
+                scenario.n,
+            )
+        }
     }
 }
 
-fn run_suite(backend: Backend, only: Option<&str>) -> (Table, Vec<Outcome>) {
+/// The pool sizes of the `coop/workers=` sweep: `n-scaling-128` once per
+/// size, recorded under the sweep's own scenario names so the committed
+/// coop baseline shows the scaling knee.
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn run_suite(backend: Backend, only: Option<&str>, workers: usize) -> (Table, Vec<Outcome>) {
     let mut table = Table::new(&[
         "scenario",
         "variant",
@@ -512,20 +547,38 @@ fn run_suite(backend: Backend, only: Option<&str>) -> (Table, Vec<Outcome>) {
         "disk ms",
     ]);
     let mut outcomes = Vec::new();
-    for scenario in registry::all() {
+    let mut suite = registry::all();
+    // The worker sweep rides along on every full coop run (record *and*
+    // check, so the nightly gate diffs it too): the same n = 128 probe at
+    // each pool size, under the sweep's own scenario names. A `--only`
+    // run skips it — the sweep is a suite-level artifact, not a scenario.
+    if backend == Backend::Coop && only.is_none() {
+        suite.extend(WORKER_SWEEP.iter().map(|&w| {
+            registry::n_scaling(&[128])
+                .pop()
+                .expect("n-scaling family builds")
+                .named(format!("coop/workers={w}"))
+        }));
+    }
+    for scenario in suite {
+        let sweep_workers = scenario
+            .name
+            .strip_prefix("coop/workers=")
+            .and_then(|w| w.parse().ok());
+        let workers = sweep_workers.unwrap_or(workers);
         if !admits(only, &scenario.name) {
             continue;
         }
-        if !backend.admits(&scenario) {
+        if !backend.admits(&scenario, workers) {
             println!(
                 "skipping {} on {} ({})",
                 scenario.name,
                 backend.name(),
-                refusal_rule(backend, &scenario)
+                refusal_rule(backend, &scenario, workers)
             );
             continue;
         }
-        let outcome = backend.run(&scenario);
+        let outcome = backend.run(&scenario, workers);
         if scenario.expect_stabilization {
             outcome.assert_election();
         } else {
@@ -566,7 +619,14 @@ fn run_suite(backend: Backend, only: Option<&str>) -> (Table, Vec<Outcome>) {
 /// fast the engine retired events — the numbers the tentpole optimizations
 /// are judged by.
 fn throughput_table(outcomes: &[Outcome]) -> Table {
-    let mut table = Table::new(&["scenario", "n", "elapsed ms", "events/sec", "reads/sec"]);
+    let mut table = Table::new(&[
+        "scenario",
+        "n",
+        "workers",
+        "elapsed ms",
+        "events/sec",
+        "reads/sec",
+    ]);
     for outcome in outcomes {
         let secs = outcome.elapsed_ms / 1e3;
         let reads_per_sec = if secs > 0.0 {
@@ -577,6 +637,7 @@ fn throughput_table(outcomes: &[Outcome]) -> Table {
         table.row(&[
             outcome.scenario.clone(),
             outcome.n.to_string(),
+            outcome.workers.map_or("-".into(), |w| w.to_string()),
             format!("{:.1}", outcome.elapsed_ms),
             format!("{:.0}", outcome.events_per_sec),
             format!("{reads_per_sec:.0}"),
@@ -587,7 +648,7 @@ fn throughput_table(outcomes: &[Outcome]) -> Table {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scenarios [--driver sim|threads|san|coop] [--check BASELINE.json] [--strict-timing] [--only SUBSTRING] [--list]"
+        "usage: scenarios [--driver sim|threads|san|coop] [--workers N] [--check BASELINE.json] [--strict-timing] [--only SUBSTRING] [--list]"
     );
     std::process::exit(2);
 }
@@ -598,6 +659,7 @@ fn main() {
     let mut only: Option<String> = None;
     let mut backend = Backend::Sim;
     let mut strict_timing = false;
+    let mut workers = 1usize;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--check" => match args.next() {
@@ -612,23 +674,44 @@ fn main() {
                 Some(parsed) => backend = parsed,
                 None => usage(),
             },
+            "--workers" => match args.next().and_then(|w| w.parse().ok()) {
+                Some(parsed) if parsed > 0 => workers = parsed,
+                _ => usage(),
+            },
             "--strict-timing" => strict_timing = true,
             "--list" => {
                 // Name + the drivers that admit the scenario, so the
-                // driver-axis table is discoverable from the CLI.
+                // driver-axis table is discoverable from the CLI. Coop's
+                // cap is worker-dependent: a scenario refused at the
+                // single-worker default but admitted by a larger pool is
+                // listed with the pool that admits it.
                 let scenarios = registry::all();
                 let width = scenarios.iter().map(|s| s.name.len()).max().unwrap_or(0);
                 for scenario in &scenarios {
-                    println!(
-                        "{:width$}  [{}]",
-                        scenario.name,
-                        scenario.eligible_drivers().names().join(" "),
-                    );
+                    let mut names: Vec<String> = scenario
+                        .eligible_drivers()
+                        .names()
+                        .into_iter()
+                        .map(String::from)
+                        .collect();
+                    if !scenario.eligible_drivers().coop {
+                        let needed = scenario.n.div_ceil(omega_scenario::COOP_NODES_PER_WORKER);
+                        if scenario.eligible_drivers_at(needed).coop {
+                            names.push(format!("coop(--workers {needed})"));
+                        }
+                    }
+                    println!("{:width$}  [{}]", scenario.name, names.join(" "));
                 }
                 return;
             }
             _ => usage(),
         }
+    }
+    if workers > 1 && backend != Backend::Coop {
+        println!(
+            "note: --workers sizes the coop pool; the {} backend ignores it",
+            backend.name()
+        );
     }
     if check_path.is_some() && !backend.gates_model_counters() {
         println!(
@@ -638,7 +721,7 @@ fn main() {
         );
     }
 
-    let (table, outcomes) = run_suite(backend, only.as_deref());
+    let (table, outcomes) = run_suite(backend, only.as_deref(), workers);
     if outcomes.is_empty() {
         eprintln!(
             "no scenario matches --only {:?} on the {} backend; see --list",
@@ -847,36 +930,70 @@ mod tests {
         let big = omega_scenario::registry::n_scaling(&[32]).pop().unwrap();
         let staller = omega_scenario::registry::no_awb_staller();
         for backend in [Backend::Threads, Backend::San] {
-            assert!(backend.admits(&small));
+            assert!(backend.admits(&small, 1));
             assert!(
-                !backend.admits(&big),
+                !backend.admits(&big, 1),
                 "n > 16 stays off per-node-thread backends"
             );
-            assert!(!backend.admits(&staller), "no literal adversary on threads");
+            assert!(
+                !backend.admits(&big, 16),
+                "the pool size only moves the coop column"
+            );
+            assert!(
+                !backend.admits(&staller, 1),
+                "no literal adversary on threads"
+            );
         }
-        assert!(Backend::Sim.admits(&big) && Backend::Sim.admits(&staller));
+        assert!(Backend::Sim.admits(&big, 1) && Backend::Sim.admits(&staller, 1));
 
         // The cooperative backend is the whole point of the scaling
-        // probes on a wall clock: it admits everything up to COOP_MAX_N.
-        assert!(Backend::Coop.admits(&small));
-        assert!(Backend::Coop.admits(&big), "coop runs n = 32 for real");
+        // probes on a wall clock: it admits everything up to the
+        // worker-dependent cap coop_max_n(workers).
+        assert!(Backend::Coop.admits(&small, 1));
+        assert!(Backend::Coop.admits(&big, 1), "coop runs n = 32 for real");
         let n64 = omega_scenario::registry::n_scaling(&[64]).pop().unwrap();
         let n128 = omega_scenario::registry::n_scaling(&[128]).pop().unwrap();
         let n256 = omega_scenario::registry::n_scaling(&[256]).pop().unwrap();
-        assert!(Backend::Coop.admits(&n64) && Backend::Coop.admits(&n128));
+        assert!(Backend::Coop.admits(&n64, 1) && Backend::Coop.admits(&n128, 1));
         assert!(
-            !Backend::Coop.admits(&n256),
-            "n = 256 stays sim-only: one worker cannot retire its load inside a 100 µs-tick horizon"
+            !Backend::Coop.admits(&n256, 1),
+            "n = 256 needs a sharded pool: one worker cannot retire its load inside a 100 µs-tick horizon"
         );
         assert!(
-            !Backend::Coop.admits(&staller),
-            "coop is still a wall clock"
+            Backend::Coop.admits(&n256, 4),
+            "four sharded workers admit n = 256"
+        );
+        let refusal = refusal_rule(Backend::Coop, &n256, 1);
+        assert!(
+            refusal.contains("1 worker(s)") && refusal.contains("n <= 128"),
+            "the skip line states the worker-dependent cap: {refusal}"
+        );
+        assert!(
+            refusal.contains("--workers 4"),
+            "…and the pool that would lift it: {refusal}"
+        );
+        let n512 = omega_scenario::registry::n_scaling(&[512]).pop().unwrap();
+        let n1024 = omega_scenario::registry::n_scaling(&[1024]).pop().unwrap();
+        assert!(!Backend::Coop.admits(&n512, 4) && Backend::Coop.admits(&n512, 8));
+        assert!(!Backend::Coop.admits(&n1024, 8) && Backend::Coop.admits(&n1024, 16));
+        // Past SIM_MAX_N the coop pool is the only backend: the sim's
+        // literal realization is memory-cubic in n and refuses loudly.
+        assert!(Backend::Sim.admits(&n256, 1));
+        assert!(!Backend::Sim.admits(&n512, 1) && !Backend::Sim.admits(&n1024, 16));
+        let sim_refusal = refusal_rule(Backend::Sim, &n512, 1);
+        assert!(
+            sim_refusal.contains("n <= 256") && sim_refusal.contains("coop"),
+            "the sim skip line names its cap and the backend that scales: {sim_refusal}"
+        );
+        assert!(
+            !Backend::Coop.admits(&staller, 16),
+            "coop is still a wall clock at any pool size"
         );
         let contended = omega_scenario::registry::contention_sweep(&[(32, 4)])
             .pop()
             .unwrap();
         assert!(
-            Backend::Coop.admits(&contended) && !Backend::Threads.admits(&contended),
+            Backend::Coop.admits(&contended, 1) && !Backend::Threads.admits(&contended, 1),
             "the contention sweep's large members are coop-only among wall clocks"
         );
     }
@@ -900,18 +1017,18 @@ mod tests {
             ["sim", "threads", "san", "coop"]
         );
         for backend in [Backend::Sim, Backend::Threads, Backend::San, Backend::Coop] {
-            assert!(backend.admits(&partition));
+            assert!(backend.admits(&partition, 1));
         }
 
         // Latency storms: only media with a stretchable clock — the
         // simulator, and the SAN's simulated block device.
         let storm = by_name("chaos/latency-storm");
         assert_eq!(storm.eligible_drivers().names(), ["sim", "san"]);
-        assert!(Backend::San.admits(&storm));
+        assert!(Backend::San.admits(&storm, 1));
         for backend in [Backend::Threads, Backend::Coop] {
-            assert!(!backend.admits(&storm));
+            assert!(!backend.admits(&storm, 1));
             assert!(
-                refusal_rule(backend, &storm).contains("storm"),
+                refusal_rule(backend, &storm, 1).contains("storm"),
                 "the refusal must name the clause"
             );
         }
@@ -920,9 +1037,9 @@ mod tests {
         let wave = by_name("chaos/wave-recover");
         assert_eq!(wave.eligible_drivers().names(), ["sim"]);
         for backend in [Backend::Threads, Backend::San, Backend::Coop] {
-            assert!(!backend.admits(&wave));
+            assert!(!backend.admits(&wave, 1));
             assert!(
-                refusal_rule(backend, &wave).contains("recovery"),
+                refusal_rule(backend, &wave, 1).contains("recovery"),
                 "the refusal must name the clause"
             );
         }
@@ -955,13 +1072,40 @@ mod tests {
             .horizon(60_000);
         let outcome = omega_scenario::CoopDriver::default().run(&scenario);
         assert_eq!(outcome.backend, "coop");
+        assert_eq!(outcome.workers, Some(1), "coop outcomes report the pool");
         let record = json_record(&outcome);
+        assert!(
+            record.contains("\"workers\":1,"),
+            "every coop record carries the workers field: {record}"
+        );
         let parsed = parse_baseline(&format!("[\n  {record}\n]\n")).unwrap();
         assert_eq!(parsed[0].backend.as_deref(), Some("coop"));
         assert_eq!(parsed[0].scenario, "coop-sample");
         assert_eq!(parsed[0].total_writes, outcome.total_writes());
         assert!(parsed[0].elapsed_ms.is_some(), "coop records carry timing");
         assert_eq!(parsed[0].san_block_accesses, None, "no disk on coop");
+
+        // Sim records never grow a workers field — the committed sim
+        // baseline must stay byte-identical across this refactor.
+        let sim_record = json_record(&sample_outcome());
+        assert!(!sim_record.contains("\"workers\""), "{sim_record}");
+    }
+
+    #[test]
+    fn worker_sweep_names_encode_their_pool_size() {
+        // The suite loop recovers each sweep member's pool from its name;
+        // pin the convention the committed coop baseline is keyed by.
+        for w in WORKER_SWEEP {
+            let name = format!("coop/workers={w}");
+            let parsed: Option<usize> = name
+                .strip_prefix("coop/workers=")
+                .and_then(|v| v.parse().ok());
+            assert_eq!(parsed, Some(w));
+        }
+        assert!(
+            WORKER_SWEEP.windows(2).all(|p| p[0] < p[1]),
+            "sweep records stay in ascending pool order"
+        );
     }
 
     #[test]

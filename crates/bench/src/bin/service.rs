@@ -74,10 +74,14 @@ impl Backend {
         }
     }
 
-    fn run(self, scenario: &omega_service::ServiceScenario) -> ServiceOutcome {
+    fn run(self, scenario: &omega_service::ServiceScenario, workers: usize) -> ServiceOutcome {
         match self {
             Backend::Sim => ServiceSimDriver.run(scenario),
-            Backend::Coop => ServiceCoopDriver::default().run(scenario),
+            Backend::Coop => ServiceCoopDriver {
+                workers,
+                ..ServiceCoopDriver::default()
+            }
+            .run(scenario),
             Backend::Threads => ServiceThreadDriver::default().run(scenario),
         }
     }
@@ -340,7 +344,7 @@ fn should_write_artifact(checking: bool, filtered: bool, explicit_out: bool) -> 
     explicit_out || (!checking && !filtered)
 }
 
-fn run_suite(backend: Backend, only: Option<&str>) -> (Table, Vec<ServiceOutcome>) {
+fn run_suite(backend: Backend, only: Option<&str>, workers: usize) -> (Table, Vec<ServiceOutcome>) {
     let mut table = Table::new(&[
         "scenario",
         "variant",
@@ -365,7 +369,7 @@ fn run_suite(backend: Backend, only: Option<&str>) -> (Table, Vec<ServiceOutcome
             println!("skipping {} on {}", scenario.name, backend.name());
             continue;
         }
-        let outcome = backend.run(&scenario);
+        let outcome = backend.run(&scenario, workers);
         table.row(&[
             outcome.scenario.clone(),
             outcome.variant.name().to_string(),
@@ -388,7 +392,7 @@ fn run_suite(backend: Backend, only: Option<&str>) -> (Table, Vec<ServiceOutcome
 
 fn usage() -> ! {
     eprintln!(
-        "usage: service [--driver sim|coop|threads] [--check BASELINE.json] [--strict-timing] [--only SUBSTRING] [--list]"
+        "usage: service [--driver sim|coop|threads] [--workers N] [--check BASELINE.json] [--strict-timing] [--only SUBSTRING] [--list]"
     );
     std::process::exit(2);
 }
@@ -398,6 +402,7 @@ fn main() {
     let mut check_path: Option<String> = None;
     let mut only: Option<String> = None;
     let mut backend = Backend::Sim;
+    let mut workers = 1usize;
     let mut strict_timing = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -412,6 +417,10 @@ fn main() {
             "--driver" => match args.next().as_deref().and_then(Backend::parse) {
                 Some(parsed) => backend = parsed,
                 None => usage(),
+            },
+            "--workers" => match args.next().and_then(|raw| raw.parse::<usize>().ok()) {
+                Some(parsed) if parsed > 0 => workers = parsed,
+                _ => usage(),
             },
             "--strict-timing" => strict_timing = true,
             "--list" => {
@@ -451,7 +460,14 @@ fn main() {
         );
     }
 
-    let (table, outcomes) = run_suite(backend, only.as_deref());
+    if workers > 1 && backend != Backend::Coop {
+        println!(
+            "note: --workers only affects the coop backend; {} ignores it",
+            backend.name()
+        );
+    }
+
+    let (table, outcomes) = run_suite(backend, only.as_deref(), workers);
     if outcomes.is_empty() {
         eprintln!(
             "no service scenario matches --only {:?} on the {} backend; see --list",

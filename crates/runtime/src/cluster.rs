@@ -58,9 +58,11 @@ impl Cluster {
     /// Builds the shared memory for `variant` and hosts `n` nodes on the
     /// cooperative scheduler ([`coop`](crate::coop)): all `2n` task loops
     /// multiplexed over `config.workers` threads instead of `2n` dedicated
-    /// ones. Everything else — queries, crash injection, statistics,
-    /// [`await_stable_leader`](Self::await_stable_leader) — behaves
-    /// identically, which is what makes thread-vs-coop outcomes
+    /// ones, each worker owning one deadline-wheel shard (node `i`'s two
+    /// loops live on shard `i % workers`) with overdue-task stealing
+    /// between them. Everything else — queries, crash injection,
+    /// statistics, [`await_stable_leader`](Self::await_stable_leader) —
+    /// behaves identically, which is what makes thread-vs-coop outcomes
     /// comparable.
     ///
     /// # Panics
@@ -436,6 +438,29 @@ mod tests {
         assert!(
             cluster.steps().iter().all(|&s| s > 0),
             "every multiplexed node stepped"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn coop_worker_pool_shards_the_cluster_and_still_elects() {
+        // Same size class, but on a four-worker pool: the 48 task loops
+        // shard twelve-per-wheel, and the election must settle exactly as
+        // it does single-worker — sharding is a scheduling change, not an
+        // algorithm change.
+        let n = 24;
+        let config = CoopConfig {
+            node: fast(),
+            workers: 4,
+        };
+        let cluster = Cluster::start_coop(OmegaVariant::Alg1, n, config);
+        let leader = cluster
+            .await_stable_leader(Duration::from_millis(60), Duration::from_secs(30))
+            .expect("coop elects on a sharded worker pool");
+        assert!(cluster.correct().contains(leader));
+        assert!(
+            cluster.steps().iter().all(|&s| s > 0),
+            "every node stepped on its shard"
         );
         cluster.shutdown();
     }

@@ -16,13 +16,15 @@ use crate::{Driver, Outcome, Scenario};
 /// This is the fourth backend, and the first *real-time* one that scales:
 /// the thread and SAN drivers refuse every `n > 16` scenario because `2n`
 /// kernel threads thrash a small host, while one coop worker runs
-/// `n-scaling-64` and `n-scaling-128` to stable elections. The scheduling
-/// regime also differs qualitatively from the OS scheduler's: under
-/// overload the deadline wheel degrades into exact round-robin over the
-/// overdue tasks, so fairness (the operational face of AWB₁) comes from
-/// the queue discipline rather than kernel preemption — a genuinely
-/// different realization of the assumption to validate the algorithms
-/// against.
+/// `n-scaling-64` and `n-scaling-128` to stable elections, and a sharded
+/// pool ([`workers`](Self::workers) ≥ 4) runs `n-scaling-256` and beyond —
+/// the admission cap is `omega_scenario::coop_max_n(workers)`. The
+/// scheduling regime also differs qualitatively from the OS scheduler's:
+/// under overload the deadline wheel degrades into round-robin over the
+/// overdue tasks (per-shard exactly, globally up to the steal window), so
+/// fairness (the operational face of AWB₁) comes from the queue discipline
+/// rather than kernel preemption — a genuinely different realization of
+/// the assumption to validate the algorithms against.
 ///
 /// Like the thread driver, the adversary spec and timer spec are
 /// simulator-only (the wheel *is* the schedule; `deadline = x · tick` is a
@@ -97,7 +99,9 @@ impl Driver for CoopDriver {
 
     fn run(&self, scenario: &Scenario) -> Outcome {
         let cluster = self.launch(scenario);
-        let outcome = self.pacing().run(scenario, &cluster, "coop");
+        let outcome = self
+            .pacing()
+            .run(scenario, &cluster, "coop", Some(self.workers));
         cluster.shutdown();
         outcome
     }

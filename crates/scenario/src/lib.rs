@@ -96,7 +96,7 @@ pub use outcome::{ChaosOutcome, Outcome, SanFootprint, TailActivity};
 pub use san_driver::SanDriver;
 pub use sim_driver::SimDriver;
 pub use spec::{
-    AdversarySpec, AwbSpec, CrashSpec, DriverEligibility, Scenario, TimerSpec, COOP_MAX_N,
-    THREAD_MAX_N,
+    coop_max_n, AdversarySpec, AwbSpec, CrashSpec, DriverEligibility, Scenario, TimerSpec,
+    COOP_MAX_N, COOP_NODES_PER_WORKER, SIM_MAX_N, THREAD_MAX_N,
 };
 pub use thread_driver::ThreadDriver;

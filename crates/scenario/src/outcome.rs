@@ -127,6 +127,10 @@ pub struct Outcome {
     /// Chaos-campaign accounting (`None` when the scenario has no
     /// campaign).
     pub chaos: Option<ChaosOutcome>,
+    /// Worker-pool size of the cooperative backend's sharded wheel
+    /// (`None` on every other backend — sim, threads, and SAN have no
+    /// pool to size).
+    pub workers: Option<usize>,
 }
 
 impl Outcome {

@@ -28,7 +28,7 @@ pub fn all() -> Vec<Scenario> {
         mwmr_lean(),
         stepclock(),
     ];
-    suite.extend(n_scaling(&[32, 64, 128, 256]));
+    suite.extend(n_scaling(&[32, 64, 128, 256, 512, 1024]));
     suite.extend(contention_sweep(&[(4, 4), (4, 32), (32, 4), (32, 32)]));
     suite.extend(san_latency_sweep(&[(100, 100), (500, 500), (2_000, 1_000)]));
     suite.extend(chaos_suite());
@@ -264,16 +264,32 @@ pub fn stepclock() -> Scenario {
 /// Scale probes: the standard AWB workload at growing system sizes —
 /// `n-scaling-32` is the historical baseline; 64/128/256 exercise the
 /// sharded `T3` scan and the epoch-gated `leader()` cache, whose savings
-/// the outcome's `reads_skipped`/`shard_passes` counters make visible.
+/// the outcome's `reads_skipped`/`shard_passes` counters make visible;
+/// 512/1024 exist for the sharded coop worker pool (admitted at
+/// `workers ≥ 8` / `≥ 16` — see `coop_max_n`) and are refused by every
+/// other backend, including the sim (`SIM_MAX_N`: its literal realization
+/// is memory-cubic in `n`).
 ///
 /// Statistics checkpoints shrink with `n` because one cumulative snapshot
-/// is `O(n³)` counters; the trend line needs totals, not fine windows.
+/// is `O(n³)` counters; the trend line needs totals, not fine windows. The
+/// giant probes also shorten the horizon: stabilization lands within the
+/// first few hundred ticks, and a wall run's deadline budget scales with
+/// the horizon — a 100 000-tick allowance at `n ≥ 512` buys nothing but a
+/// slower failure when a pool doesn't elect.
 #[must_use]
 pub fn n_scaling(sizes: &[usize]) -> Vec<Scenario> {
     family("n-scaling-", sizes, |n| {
         Scenario::fault_free(OmegaVariant::Alg1, n)
-            .horizon(100_000)
-            .stats_checkpoints(if n >= 128 { 4 } else { 16 })
+            .horizon(match n {
+                n if n >= 1024 => 10_000,
+                n if n >= 512 => 20_000,
+                _ => 100_000,
+            })
+            .stats_checkpoints(match n {
+                n if n >= 512 => 2,
+                n if n >= 128 => 4,
+                _ => 16,
+            })
     })
 }
 
@@ -551,7 +567,7 @@ mod tests {
 
     #[test]
     fn n_scaling_family_keeps_historical_name_and_scales_checkpoints() {
-        let probes = n_scaling(&[32, 64, 128, 256]);
+        let probes = n_scaling(&[32, 64, 128, 256, 512, 1024]);
         assert_eq!(probes[0].name, "n-scaling-32");
         assert_eq!(probes[3].name, "n-scaling-256");
         assert_eq!(probes[3].n, 256);
@@ -561,11 +577,28 @@ mod tests {
             probes[2].stats_checkpoints, 4,
             "O(n³) snapshots: large probes checkpoint coarsely"
         );
+        assert_eq!(probes[4].stats_checkpoints, 2);
+        assert_eq!(
+            (probes[4].horizon, probes[5].horizon),
+            (20_000, 10_000),
+            "giant probes shorten the horizon: stabilization is early"
+        );
+        // The giant probes are exactly the sharded coop pool's territory:
+        // no single-worker backend admits them (nor the sim — memory-cubic
+        // realization), a big enough pool does.
+        assert!(!probes[4].eligible_drivers().coop);
+        assert!(probes[4].eligible_drivers_at(8).coop);
+        assert!(probes[5].eligible_drivers_at(16).coop);
+        assert!(probes[3].eligible_drivers().sim);
+        assert!(!probes[4].eligible_drivers().sim);
+        assert!(!probes[5].eligible_drivers().sim);
         for name in [
             "n-scaling-32",
             "n-scaling-64",
             "n-scaling-128",
             "n-scaling-256",
+            "n-scaling-512",
+            "n-scaling-1024",
         ] {
             assert!(named(name).is_some(), "{name} must be in the registry");
         }

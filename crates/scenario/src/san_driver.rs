@@ -240,7 +240,7 @@ impl Driver for SanDriver {
         let space = disk.memory_space(scenario.n);
         let cluster = Cluster::start_in(scenario.variant, &space, config);
         let storm = StormController::spawn(&disk, scenario, &pacing);
-        let mut outcome = pacing.run(scenario, &cluster, "san");
+        let mut outcome = pacing.run(scenario, &cluster, "san", None);
         if let Some(storm) = storm {
             storm.finish(&disk);
         }

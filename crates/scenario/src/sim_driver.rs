@@ -155,6 +155,7 @@ fn outcome_of(scenario: &Scenario, report: &RunReport, space: &MemorySpace) -> O
         tail,
         san: None,
         chaos,
+        workers: None,
     }
 }
 

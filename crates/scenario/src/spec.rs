@@ -158,19 +158,49 @@ pub enum CrashSpec {
 /// larger scenarios belong on the cooperative backend.
 pub const THREAD_MAX_N: usize = 16;
 
-/// Largest system the cooperative wall-clock backend records: one worker
-/// multiplexes all `2n` loops, so the wall comes from the wall-clock budget
-/// a 100 µs tick leaves a single core, not from thread thrash.
+/// Largest system the deterministic simulator admits. The literal
+/// realization keeps a per-process `SuspicionCache`-style mirror of the
+/// whole `n × n` suspicion matrix — `O(n³)` words across the system — and
+/// pre-stabilization scans cost `O(n²)` per tick, so n = 512 already runs
+/// minutes and tens of gigabytes where n = 256 takes seconds. Larger
+/// systems are exactly what the sharded cooperative pool exists for, so
+/// the sim refuses them loudly instead of thrashing.
+pub const SIM_MAX_N: usize = 256;
+
+/// Largest system the cooperative wall-clock backend records *on a small
+/// pool*: up to two workers the wall comes from the wall-clock budget a
+/// 100 µs tick leaves the multiplexing cores, not from thread thrash.
+/// Larger pools raise the cap — see [`coop_max_n`].
 pub const COOP_MAX_N: usize = 128;
+
+/// How many nodes each additional coop worker is budgeted to carry once
+/// the pool shards the deadline wheel: a worker owns `2 ×` this many task
+/// loops, and the budget is deliberately half a lone worker's 128-node
+/// ceiling because pooled workers also pay for stealing and cross-shard
+/// re-arm traffic.
+pub const COOP_NODES_PER_WORKER: usize = 64;
+
+/// The coop admission cap as a function of pool size: a small pool keeps
+/// the historical [`COOP_MAX_N`] = 128 ceiling, and past that every worker
+/// adds [`COOP_NODES_PER_WORKER`] nodes — 4 workers admit n = 256, 8 admit
+/// n = 512, 16 admit n = 1024.
+#[must_use]
+pub fn coop_max_n(workers: usize) -> usize {
+    COOP_MAX_N.max(COOP_NODES_PER_WORKER * workers)
+}
 
 /// Which drivers can honor a scenario's contract — the driver axis of the
 /// suite, one flag per backend (see the driver-axis table in ROADMAP.md).
 ///
-/// The simulator runs everything. No wall-clock backend can realize an
-/// AWB-violating literal adversary (real time *is* the fair schedule), so
-/// the wall backends admit only scenarios whose spec promises
+/// The simulator runs every *regime* (it is the only backend that can
+/// violate AWB on purpose) but refuses `n >` [`SIM_MAX_N`] — its literal
+/// realization is memory-cubic in `n`. No wall-clock backend can realize
+/// an AWB-violating literal adversary (real time *is* the fair schedule),
+/// so the wall backends admit only scenarios whose spec promises
 /// stabilization; the per-node-thread backends additionally refuse
-/// `n >` [`THREAD_MAX_N`] and the cooperative backend `n >` [`COOP_MAX_N`].
+/// `n >` [`THREAD_MAX_N`] and the cooperative backend refuses `n` beyond
+/// its worker-dependent cap [`coop_max_n`] (128 single-worker) — the only
+/// backend that reaches past the sim's cap, given enough workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DriverEligibility {
     /// The deterministic simulator (`SimDriver`).
@@ -307,10 +337,23 @@ impl Scenario {
         }
     }
 
-    /// Which drivers admit this scenario — the single source of truth the
-    /// bench binaries' `--driver` dispatch and `--list` output both read.
+    /// Which drivers admit this scenario at the default single-worker coop
+    /// pool — the single source of truth the bench binaries' `--driver`
+    /// dispatch and `--list` output both read. Pass a pool size through
+    /// [`eligible_drivers_at`](Self::eligible_drivers_at) to see the
+    /// worker-dependent coop cap.
     #[must_use]
     pub fn eligible_drivers(&self) -> DriverEligibility {
+        self.eligible_drivers_at(1)
+    }
+
+    /// [`eligible_drivers`](Self::eligible_drivers) for a coop pool of
+    /// `workers` threads: the coop cap is [`coop_max_n`]`(workers)`, so a
+    /// scenario refused single-worker may be admitted on a larger pool
+    /// (n = 256 needs workers ≥ 4). The other backends ignore the pool
+    /// size.
+    #[must_use]
+    pub fn eligible_drivers_at(&self, workers: usize) -> DriverEligibility {
         let wall = self.expect_stabilization;
         // Campaign admission: wall-clock clusters can cut/heal the register
         // space and crash nodes at wall due times, but cannot stretch
@@ -323,10 +366,10 @@ impl Scenario {
         let wall_campaign_ok = campaign.is_none_or(|c| !c.has_storm() && !c.has_recovery());
         let san_campaign_ok = campaign.is_none_or(|c| !c.has_recovery());
         DriverEligibility {
-            sim: true,
+            sim: self.n <= SIM_MAX_N,
             threads: wall && self.n <= THREAD_MAX_N && wall_campaign_ok,
             san: wall && self.n <= THREAD_MAX_N && san_campaign_ok,
-            coop: wall && self.n <= COOP_MAX_N && wall_campaign_ok,
+            coop: wall && self.n <= coop_max_n(workers) && wall_campaign_ok,
         }
     }
 
@@ -674,6 +717,46 @@ mod tests {
             at: 2_500,
         }));
         assert_eq!(lazarus.eligible_drivers().names(), vec!["sim"]);
+    }
+
+    #[test]
+    fn coop_admission_cap_scales_with_the_worker_pool() {
+        assert_eq!(coop_max_n(1), 128);
+        assert_eq!(coop_max_n(2), 128, "a small pool keeps the old ceiling");
+        assert_eq!(coop_max_n(4), 256);
+        assert_eq!(coop_max_n(8), 512);
+        assert_eq!(coop_max_n(16), 1024);
+
+        let big = Scenario::fault_free(OmegaVariant::Alg1, 256);
+        assert!(
+            !big.eligible_drivers().coop,
+            "n = 256 stays refused at the single-worker default"
+        );
+        assert!(
+            !big.eligible_drivers_at(2).coop,
+            "two workers do not reach the n = 256 budget"
+        );
+        assert!(
+            big.eligible_drivers_at(4).coop,
+            "four workers admit n = 256"
+        );
+        assert!(
+            !big.eligible_drivers_at(4).threads && !big.eligible_drivers_at(4).san,
+            "the per-node-thread backends ignore the pool size"
+        );
+        let huge = Scenario::fault_free(OmegaVariant::Alg1, 1024);
+        assert!(!huge.eligible_drivers_at(8).coop);
+        assert!(huge.eligible_drivers_at(16).coop);
+        // Past SIM_MAX_N the coop pool is the *only* backend left: the
+        // sim's literal realization is memory-cubic in n.
+        assert!(big.eligible_drivers().sim, "n = 256 is the sim's ceiling");
+        assert!(!huge.eligible_drivers().sim);
+        assert!(
+            !Scenario::fault_free(OmegaVariant::Alg1, 512)
+                .eligible_drivers_at(16)
+                .sim,
+            "the sim cap does not scale with the coop pool"
+        );
     }
 
     #[test]

@@ -100,7 +100,7 @@ impl Driver for ThreadDriver {
 
     fn run(&self, scenario: &Scenario) -> Outcome {
         let cluster = self.launch(scenario);
-        let outcome = self.pacing().run(scenario, &cluster, "threads");
+        let outcome = self.pacing().run(scenario, &cluster, "threads", None);
         cluster.shutdown();
         outcome
     }

@@ -55,13 +55,16 @@ impl WallPacing {
 
     /// Runs `scenario` to completion on an already-started `cluster`,
     /// returning the backend-tagged outcome (with no SAN footprint — the
-    /// caller attaches one if its substrate keeps block accounting). The
-    /// caller owns the cluster and must shut it down afterwards.
+    /// caller attaches one if its substrate keeps block accounting).
+    /// `workers` is the coop pool size, `None` for per-node-thread
+    /// substrates. The caller owns the cluster and must shut it down
+    /// afterwards.
     pub(crate) fn run(
         &self,
         scenario: &Scenario,
         cluster: &Cluster,
         backend: &'static str,
+        workers: Option<usize>,
     ) -> Outcome {
         let start = Instant::now();
 
@@ -303,6 +306,7 @@ impl WallPacing {
             tail,
             san: None,
             chaos,
+            workers,
         }
     }
 }

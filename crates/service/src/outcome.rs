@@ -87,6 +87,9 @@ pub struct ServiceOutcome {
     pub log_slots: u64,
     /// Wall-clock run time in milliseconds (advisory; never gated on sim).
     pub elapsed_ms: f64,
+    /// Worker-pool size of the cooperative backend's sharded wheel
+    /// (`None` on sim and threads, which have no pool to size).
+    pub workers: Option<usize>,
 }
 
 impl ServiceOutcome {
@@ -210,7 +213,16 @@ impl ServiceOutcome {
             total_writes,
             log_slots,
             elapsed_ms,
+            workers: None,
         }
+    }
+
+    /// Tags the outcome with the coop backend's worker-pool size (the
+    /// coop driver calls this; other backends leave it `None`).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
     }
 
     /// Total unavailability across all windows, in ticks.
@@ -246,6 +258,9 @@ impl ServiceOutcome {
             json_str(self.variant.name()),
             self.n,
         );
+        if let Some(workers) = self.workers {
+            let _ = write!(o, "\"workers\":{workers},");
+        }
         let _ = write!(
             o,
             "\"requests\":{},\"committed\":{},\"rejected\":{},\"stalled\":{},\"inflight\":{},",
@@ -393,5 +408,11 @@ mod tests {
             assert!(record.contains(key), "missing {key} in {record}");
         }
         assert!(!record.contains('\n'));
+        assert!(
+            !record.contains("\"workers\":"),
+            "poolless backends emit no workers field"
+        );
+        let pooled = outcome.with_workers(4).json_record();
+        assert!(pooled.contains("\"workers\":4,"));
     }
 }

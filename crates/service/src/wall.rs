@@ -215,7 +215,9 @@ fn run_script(
 
 /// Realizes a [`ServiceScenario`] on the cooperative runtime: election
 /// loops, service loops, and the workload pump all multiplexed over the
-/// same deadline wheel.
+/// same deadline wheel — sharded per worker when `workers > 1`, with the
+/// service tasks distributed round-robin across the shards after the node
+/// loops and stolen like any other task when their shard backs up.
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceCoopDriver {
     /// Tick/step/window pacing.
@@ -298,6 +300,7 @@ impl ServiceCoopDriver {
             shared.allocated_slots() as u64,
             started.elapsed().as_secs_f64() * 1_000.0,
         )
+        .with_workers(self.workers)
     }
 }
 

@@ -51,6 +51,7 @@ fn a_small_worker_pool_still_elects() {
     let outcome = driver.run(&scenario);
     outcome.assert_election();
     assert!(outcome.steps.iter().all(|&s| s > 0));
+    assert_eq!(outcome.workers, Some(2));
 }
 
 #[test]

@@ -116,6 +116,24 @@ fn run_four_way(filter: impl Fn(&Scenario) -> bool) {
         let san = san_driver.run(&scenario);
         let coop = coop_driver.run(&scenario);
         assert_four_way(&scenario, &sim, &threads, &san, &coop);
+        assert_eq!(coop.workers, Some(1));
+        // Sharding the deadline wheel is an implementation detail of the
+        // coop backend: growing the worker pool must not change what the
+        // scenario observes.
+        for workers in [2, 4] {
+            let pooled = CoopDriver {
+                workers,
+                ..CoopDriver::default()
+            }
+            .run(&scenario);
+            assert_eq!(pooled.workers, Some(workers));
+            assert_four_way(&scenario, &sim, &threads, &san, &pooled);
+            assert_eq!(
+                pooled.stabilized, coop.stabilized,
+                "{} [coop x{}]: pool size changed the stabilization verdict",
+                scenario.name, workers
+            );
+        }
     }
 }
 
