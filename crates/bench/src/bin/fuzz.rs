@@ -48,6 +48,7 @@ use omega_sim::Trace;
 #[derive(Debug, Clone, PartialEq)]
 struct Config {
     budget: u64,
+    hostile_budget: u64,
     seed: u64,
     max_secs: Option<u64>,
     out: PathBuf,
@@ -61,6 +62,7 @@ impl Default for Config {
     fn default() -> Self {
         Config {
             budget: 1000,
+            hostile_budget: 0,
             seed: 42,
             max_secs: None,
             out: PathBuf::from("fuzz-regression"),
@@ -87,6 +89,11 @@ impl Config {
                     cfg.budget = next_value("--budget", &mut args)?
                         .parse()
                         .map_err(|e| format!("--budget: {e}"))?;
+                }
+                "--hostile-budget" => {
+                    cfg.hostile_budget = next_value("--hostile-budget", &mut args)?
+                        .parse()
+                        .map_err(|e| format!("--hostile-budget: {e}"))?;
                 }
                 "--seed" => {
                     cfg.seed = next_value("--seed", &mut args)?
@@ -117,7 +124,7 @@ impl Config {
 fn usage(error: &str) -> ! {
     eprintln!("error: {error}");
     eprintln!(
-        "usage: fuzz [--budget N] [--seed S] [--max-secs T] [--out DIR]\n\
+        "usage: fuzz [--budget N] [--hostile-budget N] [--seed S] [--max-secs T] [--out DIR]\n\
          \x20      | --replay FILE.trace | --minimize FILE.spec\n\
          \x20      | --record SCENARIO-NAME [--out DIR] | --corpus DIR"
     );
@@ -169,53 +176,66 @@ fn shrink_and_emit(out: &Path, spec: &Scenario, violation: &fuzz::Violation) -> 
     }
 }
 
-/// The default mode: `budget` random specs (or until the wall budget runs
+/// The default mode: `budget` random specs plus `hostile_budget` draws
+/// taken straight from the hostile pool (or until the wall budget runs
 /// out), every violation shrunk and written. Returns the failure count.
 fn campaign(cfg: &Config) -> usize {
     let started = Instant::now();
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut ran = 0u64;
     let mut checkable = 0u64;
+    let mut hostile_certified = 0u64;
     let mut reports: Vec<String> = Vec::new();
     let mut seen_reproducers: Vec<String> = Vec::new();
-    for i in 0..cfg.budget {
-        if let Some(max) = cfg.max_secs {
-            if started.elapsed().as_secs() >= max {
+    // The dedicated hostile slice runs first: it is small and must not
+    // be starved when --max-secs (not --budget) is the effective limit,
+    // as in the nightly. One RNG stream across both pools, so
+    // (seed, budget, hostile-budget) fully determines every spec drawn.
+    type Pool = (&'static str, u64, fn(&mut SmallRng) -> Scenario);
+    let pools: [Pool; 2] = [
+        ("hostile", cfg.hostile_budget, fuzz::generate_hostile),
+        ("mixed", cfg.budget, fuzz::generate),
+    ];
+    'pools: for (pool, budget, draw) in pools {
+        for i in 0..budget {
+            if let Some(max) = cfg.max_secs {
+                if started.elapsed().as_secs() >= max {
+                    println!("wall budget of {max}s exhausted after {i} of {budget} {pool} specs");
+                    break 'pools;
+                }
+            }
+            let spec = draw(&mut rng);
+            ran += 1;
+            if fuzz::liveness_checkable(&spec) {
+                checkable += 1;
+            }
+            if fuzz::provably_hostile(&spec).is_some() {
+                hostile_certified += 1;
+            }
+            if let Some(violation) = fuzz::run_and_check(&spec) {
+                let report = shrink_and_emit(&cfg.out, &spec, &violation);
+                // One minimal reproducer per distinct hash: the same root
+                // cause found twice must not spam the registry directory.
+                let minimal_name = report.lines().last().unwrap_or_default().to_string();
+                if !seen_reproducers.contains(&minimal_name) {
+                    seen_reproducers.push(minimal_name);
+                    reports.push(report);
+                }
+            }
+            if (i + 1) % 250 == 0 {
                 println!(
-                    "wall budget of {max}s exhausted after {i} of {} specs",
-                    cfg.budget
+                    "  … {} of {budget} {pool} specs in {:.1}s ({} liveness-checkable, {} non-election-certified, {} violation(s))",
+                    i + 1,
+                    started.elapsed().as_secs_f64(),
+                    checkable,
+                    hostile_certified,
+                    reports.len()
                 );
-                break;
             }
-        }
-        let spec = fuzz::generate(&mut rng);
-        ran += 1;
-        if fuzz::liveness_checkable(&spec) {
-            checkable += 1;
-        }
-        if let Some(violation) = fuzz::run_and_check(&spec) {
-            let report = shrink_and_emit(&cfg.out, &spec, &violation);
-            // One minimal reproducer per distinct hash: the same root
-            // cause found twice must not spam the registry directory.
-            let minimal_name = report.lines().last().unwrap_or_default().to_string();
-            if !seen_reproducers.contains(&minimal_name) {
-                seen_reproducers.push(minimal_name);
-                reports.push(report);
-            }
-        }
-        if (i + 1) % 250 == 0 {
-            println!(
-                "  … {} of {} specs in {:.1}s ({} liveness-checkable, {} violation(s))",
-                i + 1,
-                cfg.budget,
-                started.elapsed().as_secs_f64(),
-                checkable,
-                reports.len()
-            );
         }
     }
     println!(
-        "fuzz campaign: {ran} specs from seed {} in {:.1}s — {checkable} liveness-checkable, {} violation(s)",
+        "fuzz campaign: {ran} specs from seed {} in {:.1}s — {checkable} liveness-checkable, {hostile_certified} non-election-certified, {} violation(s)",
         cfg.seed,
         started.elapsed().as_secs_f64(),
         reports.len()
@@ -404,6 +424,8 @@ mod tests {
         let cfg = parse(&[
             "--budget",
             "50",
+            "--hostile-budget",
+            "12",
             "--seed",
             "7",
             "--max-secs",
@@ -413,9 +435,13 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(cfg.budget, 50);
+        assert_eq!(cfg.hostile_budget, 12);
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.max_secs, Some(300));
         assert_eq!(cfg.out, PathBuf::from("x"));
+        assert!(parse(&["--hostile-budget", "some"])
+            .unwrap_err()
+            .contains("--hostile-budget"));
     }
 
     #[test]
@@ -456,6 +482,20 @@ mod tests {
             ..Config::default()
         };
         assert_eq!(campaign(&cfg), 0, "seed 2026 must fuzz clean");
+        assert!(!dir.exists(), "no violations -> no reproducer directory");
+    }
+
+    #[test]
+    fn hostile_slice_runs_the_non_election_oracle_clean() {
+        let dir = std::env::temp_dir().join(format!("omega-fuzz-hostile-{}", std::process::id()));
+        let cfg = Config {
+            budget: 0,
+            hostile_budget: 4,
+            seed: 7,
+            out: dir.clone(),
+            ..Config::default()
+        };
+        assert_eq!(campaign(&cfg), 0, "the hostile pool must fuzz clean");
         assert!(!dir.exists(), "no violations -> no reproducer directory");
     }
 }

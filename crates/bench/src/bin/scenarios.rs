@@ -213,6 +213,17 @@ fn json_record(outcome: &Outcome) -> String {
             None => write!(o, "\"heal_to_stable_ticks\":null,"),
         };
     }
+    if let Some(w) = &outcome.witness {
+        let _ = write!(
+            o,
+            "\"witness_window_from\":{},\"witness_window_until\":{},\"witness_demotions\":{},\"witness_max_stable_streak_ticks\":{},\"witness_false_stable_ticks\":{},",
+            w.window_from,
+            w.window_until,
+            w.demotions,
+            w.max_stable_streak_ticks,
+            w.false_stable_ticks,
+        );
+    }
     let _ = match &outcome.tail {
         Some(tail) => write!(
             o,
@@ -251,6 +262,16 @@ struct BaselineRecord {
     san_block_accesses: Option<u64>,
     /// Distinct SAN blocks touched; `None` as above.
     san_blocks_touched: Option<u64>,
+    /// Non-election witness counters; `None` for electing scenarios and
+    /// baselines predating the hostile suite. On the simulator these are
+    /// exact functions of the spec, so the gate holds them byte-stable.
+    witness_demotions: Option<u64>,
+    /// Longest self-leading streak inside the hostile window; `None` as
+    /// above.
+    witness_max_stable_streak_ticks: Option<u64>,
+    /// Self-leadership held beyond the witness allowance; must be zero
+    /// for every committed non-electing record.
+    witness_false_stable_ticks: Option<u64>,
 }
 
 /// Extracts the value of `"key":` from one flat JSON object, as a raw
@@ -300,6 +321,16 @@ fn parse_baseline(json: &str) -> Result<Vec<BaselineRecord>, String> {
                     san_block_accesses: raw_field(line, "san_block_accesses")
                         .and_then(|raw| raw.parse().ok()),
                     san_blocks_touched: raw_field(line, "san_blocks_touched")
+                        .and_then(|raw| raw.parse().ok()),
+                    // Absent for electing scenarios and pre-hostile baselines.
+                    witness_demotions: raw_field(line, "witness_demotions")
+                        .and_then(|raw| raw.parse().ok()),
+                    witness_max_stable_streak_ticks: raw_field(
+                        line,
+                        "witness_max_stable_streak_ticks",
+                    )
+                    .and_then(|raw| raw.parse().ok()),
+                    witness_false_stable_ticks: raw_field(line, "witness_false_stable_ticks")
                         .and_then(|raw| raw.parse().ok()),
                 })
             })();
@@ -438,6 +469,35 @@ fn check_against_baseline(
                 MAX_WRITE_REGRESSION * 100.0
             ));
         }
+        // Non-election witness: the certificate behind every
+        // expect = false record. Any stable reign fails the gate
+        // outright, and because the simulator replays exactly, the
+        // witness counters must match the committed record byte-for-byte
+        // — drift means the hostile environment changed, not noise.
+        if let Some(w) = &outcome.witness {
+            if w.false_stable_ticks > 0 {
+                violations.push(format!(
+                    "{}: witness shows a stable reign under hostile chaos: \
+                     {} false-stable ticks (max streak {} over {}..{})",
+                    outcome.scenario,
+                    w.false_stable_ticks,
+                    w.max_stable_streak_ticks,
+                    w.window_from,
+                    w.window_until,
+                ));
+            }
+            if let (Some(demotions), Some(streak)) =
+                (base.witness_demotions, base.witness_max_stable_streak_ticks)
+            {
+                if demotions != w.demotions || streak != w.max_stable_streak_ticks {
+                    violations.push(format!(
+                        "{}: witness drifted from the committed record: demotions \
+                         {demotions} -> {}, max streak {streak} -> {} (sim replay is exact)",
+                        outcome.scenario, w.demotions, w.max_stable_streak_ticks,
+                    ));
+                }
+            }
+        }
     }
     if timing_warnings.is_empty() {
         println!(
@@ -496,6 +556,11 @@ fn should_write_artifact(checking: bool, filtered: bool, explicit_out: bool) -> 
 /// would admit the scenario.
 fn refusal_rule(backend: Backend, scenario: &Scenario, workers: usize) -> String {
     debug_assert!(!backend.admits(scenario, workers));
+    if !scenario.expect_stabilization && backend != Backend::Sim {
+        return "non-electing scenarios are certified by the simulator's literal adversary \
+                and witness; a wall clock cannot defend the negative"
+            .into();
+    }
     if let Some(campaign) = &scenario.campaign {
         if campaign.has_recovery() && backend != Backend::Sim {
             return "campaign recovery waves are sim-only: a parked wall-clock thread cannot be resurrected".into();
@@ -680,11 +745,13 @@ fn main() {
             },
             "--strict-timing" => strict_timing = true,
             "--list" => {
-                // Name + the drivers that admit the scenario, so the
-                // driver-axis table is discoverable from the CLI. Coop's
-                // cap is worker-dependent: a scenario refused at the
-                // single-worker default but admitted by a larger pool is
-                // listed with the pool that admits it.
+                // Name + expected outcome + the drivers that admit the
+                // scenario, so both the expectation axis (elect /
+                // no-elect) and the driver-axis table are discoverable
+                // from the CLI. Coop's cap is worker-dependent: a
+                // scenario refused at the single-worker default but
+                // admitted by a larger pool is listed with the pool that
+                // admits it.
                 let scenarios = registry::all();
                 let width = scenarios.iter().map(|s| s.name.len()).max().unwrap_or(0);
                 for scenario in &scenarios {
@@ -700,7 +767,16 @@ fn main() {
                             names.push(format!("coop(--workers {needed})"));
                         }
                     }
-                    println!("{:width$}  [{}]", scenario.name, names.join(" "));
+                    let expect = if scenario.expect_stabilization {
+                        "elect"
+                    } else {
+                        "no-elect"
+                    };
+                    println!(
+                        "{:width$}  {expect:8}  [{}]",
+                        scenario.name,
+                        names.join(" ")
+                    );
                 }
                 return;
             }
@@ -882,6 +958,9 @@ mod tests {
             elapsed_ms: None,
             san_block_accesses: None,
             san_blocks_touched: None,
+            witness_demotions: None,
+            witness_max_stable_streak_ticks: None,
+            witness_false_stable_ticks: None,
         };
         assert_eq!(records[0], outcome_less);
     }
@@ -1066,6 +1145,60 @@ mod tests {
     }
 
     #[test]
+    fn witness_records_round_trip_and_the_gate_holds_them_exact() {
+        // A non-electing hostile record carries its witness; the baseline
+        // parser reads the counters back, and the gate (a) rejects any
+        // false-stable ticks outright and (b) pins demotions / max streak
+        // to the committed values — sim replay is exact, so drift means
+        // the hostile environment changed.
+        let scenario = omega_scenario::registry::all()
+            .into_iter()
+            .find(|s| s.name == "hostile/flap")
+            .expect("hostile suite member");
+        let outcome = SimDriver.run(&scenario);
+        let w = *outcome.witness.as_ref().expect("non-electing runs witness");
+        assert_eq!(w.false_stable_ticks, 0, "the committed record is clean");
+        let record = json_record(&outcome);
+        assert!(
+            record.contains("\"witness_false_stable_ticks\":0"),
+            "{record}"
+        );
+        let parsed = parse_baseline(&format!("[\n  {record}\n]\n")).unwrap();
+        assert_eq!(parsed[0].witness_demotions, Some(w.demotions));
+        assert_eq!(
+            parsed[0].witness_max_stable_streak_ticks,
+            Some(w.max_stable_streak_ticks)
+        );
+        assert_eq!(parsed[0].witness_false_stable_ticks, Some(0));
+
+        let policy = CheckPolicy {
+            gate_model: true,
+            strict_timing: false,
+        };
+        let outcomes = vec![outcome];
+        assert!(
+            check_against_baseline(&parsed, &outcomes, None, policy).is_empty(),
+            "an unchanged run matches its own record"
+        );
+        let mut drifted = parsed.clone();
+        drifted[0].witness_demotions = Some(w.demotions + 1);
+        let violations = check_against_baseline(&drifted, &outcomes, None, policy);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("witness drifted"), "{violations:?}");
+
+        // A witness holding a reign fails even against its own record.
+        let mut reigning = outcomes;
+        reigning[0].witness.as_mut().unwrap().false_stable_ticks = 10;
+        let mut base = parsed;
+        base[0].witness_false_stable_ticks = Some(10);
+        let violations = check_against_baseline(&base, &reigning, None, policy);
+        assert!(
+            violations.iter().any(|v| v.contains("stable reign")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
     fn coop_records_round_trip_through_the_baseline_parser() {
         let scenario = omega_scenario::Scenario::fault_free(omega_core::OmegaVariant::Alg1, 2)
             .named("coop-sample")
@@ -1121,6 +1254,9 @@ mod tests {
             elapsed_ms: Some(100.0),
             san_block_accesses: None,
             san_blocks_touched: None,
+            witness_demotions: None,
+            witness_max_stable_streak_ticks: None,
+            witness_false_stable_ticks: None,
         };
         let outcomes = vec![outcome];
         let lenient = CheckPolicy {
@@ -1155,6 +1291,9 @@ mod tests {
             elapsed_ms: Some(100.0),
             san_block_accesses: None,
             san_blocks_touched: None,
+            witness_demotions: None,
+            witness_max_stable_streak_ticks: None,
+            witness_false_stable_ticks: None,
         };
         let outcomes = vec![outcome];
         let sim_policy = CheckPolicy {
@@ -1190,6 +1329,9 @@ mod tests {
             elapsed_ms: None,
             san_block_accesses: None,
             san_blocks_touched: None,
+            witness_demotions: None,
+            witness_max_stable_streak_ticks: None,
+            witness_false_stable_ticks: None,
         };
         let policy = CheckPolicy {
             gate_model: true,
@@ -1260,6 +1402,9 @@ mod tests {
             elapsed_ms,
             san_block_accesses: None,
             san_blocks_touched: None,
+            witness_demotions: None,
+            witness_max_stable_streak_ticks: None,
+            witness_false_stable_ticks: None,
         };
         let mut outcome = sample_outcome();
         outcome.elapsed_ms = 150.0;

@@ -117,6 +117,10 @@ struct BaselineRecord {
     stalled: u64,
     unavail_ticks: u64,
     total_writes: u64,
+    /// Requests that outlived the workload's fail-fast stall bound;
+    /// `None` for baselines predating the drain SLO. The gate holds the
+    /// *current* run at zero regardless — a breach is never a trend.
+    stall_bound_breaches: Option<u64>,
     wall_ms: Option<f64>,
 }
 
@@ -152,6 +156,8 @@ fn parse_baseline(json: &str) -> Result<Vec<BaselineRecord>, String> {
                     stalled: raw_field(line, "stalled")?.parse().ok()?,
                     unavail_ticks: raw_field(line, "unavail_ticks")?.parse().ok()?,
                     total_writes: raw_field(line, "total_writes")?.parse().ok()?,
+                    stall_bound_breaches: raw_field(line, "stall_bound_breaches")
+                        .and_then(|raw| raw.parse().ok()),
                     wall_ms: raw_field(line, "wall_ms").and_then(|raw| raw.parse().ok()),
                 })
             })();
@@ -299,6 +305,15 @@ fn check_against_baseline(
                 MAX_WRITE_REGRESSION * 100.0
             ));
         }
+        // The drain SLO is absolute, not a trend: with a fail-fast bound
+        // configured every request must terminate by `arrival + bound`,
+        // so any breach fails the gate even if the baseline carried one.
+        if outcome.stall_bound_breaches > 0 {
+            violations.push(format!(
+                "{}: {} request(s) outlived the stall bound (the ledger must drain to zero)",
+                outcome.scenario, outcome.stall_bound_breaches
+            ));
+        }
     }
     if timing_warnings.is_empty() {
         println!(
@@ -358,6 +373,7 @@ fn run_suite(backend: Backend, only: Option<&str>, workers: usize) -> (Table, Ve
         "unavail",
         "failed-in-window",
         "in-part-rej",
+        "bound-breach",
         "stable",
     ]);
     let mut outcomes = Vec::new();
@@ -383,6 +399,7 @@ fn run_suite(backend: Backend, only: Option<&str>, workers: usize) -> (Table, Ve
             outcome.unavail_ticks().to_string(),
             (outcome.unavail_rejected() + outcome.unavail_stalled()).to_string(),
             outcome.in_partition_rejected.to_string(),
+            outcome.stall_bound_breaches.to_string(),
             outcome.stabilized.to_string(),
         ]);
         outcomes.push(outcome);
@@ -641,6 +658,7 @@ mod tests {
         assert_eq!(parsed[0].requests, outcome.requests);
         assert_eq!(parsed[0].committed, outcome.committed);
         assert_eq!(parsed[0].total_writes, outcome.total_writes);
+        assert_eq!(parsed[0].stall_bound_breaches, Some(0));
         assert!(parsed[0].wall_ms.is_some());
     }
 
@@ -679,6 +697,26 @@ mod tests {
         );
         assert!(
             violations[1].contains("unavailability grew"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn a_stall_bound_breach_fails_the_gate_absolutely() {
+        // Pre-bound baselines carry no breach field, and it would not
+        // matter if they did: the drain SLO is zero, not a trend.
+        let record = base();
+        assert_eq!(record.stall_bound_breaches, None);
+        let mut outcome = outcome_like(&record);
+        outcome.stall_bound_breaches = 3;
+        let policy = CheckPolicy {
+            gate_model: true,
+            strict_timing: false,
+        };
+        let violations = check_against_baseline(&[record], &[outcome], None, policy);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(
+            violations[0].contains("outlived the stall bound"),
             "{violations:?}"
         );
     }

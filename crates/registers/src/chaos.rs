@@ -12,16 +12,35 @@
 //!
 //! The mask itself is one relaxed atomic load per read while inactive; the
 //! group table is only consulted mid-partition.
+//!
+//! Beyond symmetric splits, the mask also supports a **directed cut**: a
+//! *blinded* side reads the *hidden* side frozen while the hidden side
+//! still reads the blinded side live. Directed cuts model asymmetric
+//! fabric failures (one switch drops inbound traffic only) and are the
+//! substrate for the López–Rajsbaum–Raynal weak-connectivity scenarios:
+//! election must survive exactly when a strongly-connected timely core
+//! remains visible to everyone.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use crate::sync::RwLock;
 use crate::ProcessId;
 
+/// Group index of the blinded side of a directed cut (its reads of the
+/// hidden side are severed).
+pub(crate) const CUT_BLINDED: i32 = 0;
+/// Group index of the hidden side of a directed cut (it reads everyone
+/// live, but the blinded side reads it frozen).
+pub(crate) const CUT_HIDDEN: i32 = 1;
+
 /// Space-wide partition state shared by every register of a
 /// [`MemorySpace`](crate::MemorySpace).
 pub(crate) struct PartitionMask {
     active: AtomicBool,
+    /// When set, the mask is directed: only reads by group
+    /// [`CUT_BLINDED`] of registers owned by group [`CUT_HIDDEN`] are
+    /// severed; every other pairing stays live.
+    directed: AtomicBool,
     /// Group index per process id; `-1` marks a process outside every
     /// group (it sees, and is seen by, everyone — e.g. a harness-side
     /// actor beyond the election's `n`).
@@ -32,6 +51,7 @@ impl PartitionMask {
     pub(crate) fn new() -> Self {
         PartitionMask {
             active: AtomicBool::new(false),
+            directed: AtomicBool::new(false),
             group_of: RwLock::new(Vec::new()),
         }
     }
@@ -46,11 +66,25 @@ impl PartitionMask {
         let groups = self.group_of.read();
         let group = |p: ProcessId| groups.get(p.index()).copied().unwrap_or(-1);
         let (gr, gw) = (group(reader), group(owner));
-        gr >= 0 && gw >= 0 && gr != gw
+        if self.directed.load(Ordering::Acquire) {
+            gr == CUT_BLINDED && gw == CUT_HIDDEN
+        } else {
+            gr >= 0 && gw >= 0 && gr != gw
+        }
     }
 
     /// Activates the mask with the given per-process group table.
     pub(crate) fn install(&self, group_of: Vec<i32>) {
+        self.directed.store(false, Ordering::Release);
+        *self.group_of.write() = group_of;
+        self.active.store(true, Ordering::Release);
+    }
+
+    /// Activates the mask as a directed cut: the table must map the
+    /// blinded side to [`CUT_BLINDED`] and the hidden side to
+    /// [`CUT_HIDDEN`]; everyone else (`-1`) stays fully connected.
+    pub(crate) fn install_directed(&self, group_of: Vec<i32>) {
+        self.directed.store(true, Ordering::Release);
         *self.group_of.write() = group_of;
         self.active.store(true, Ordering::Release);
     }
@@ -58,6 +92,7 @@ impl PartitionMask {
     /// Deactivates the mask: every read sees live values again.
     pub(crate) fn heal(&self) {
         self.active.store(false, Ordering::Release);
+        self.directed.store(false, Ordering::Release);
     }
 
     pub(crate) fn is_active(&self) -> bool {
@@ -96,5 +131,35 @@ mod tests {
         assert!(!mask.severed(p(9), p(0)));
         mask.heal();
         assert!(!mask.severed(p(0), p(2)), "healed");
+    }
+
+    #[test]
+    fn directed_cut_severs_one_direction_only() {
+        let mask = PartitionMask::new();
+        // Blinded {0, 1} read hidden {2, 3} frozen; everyone else live.
+        mask.install_directed(vec![CUT_BLINDED, CUT_BLINDED, CUT_HIDDEN, CUT_HIDDEN, -1]);
+        assert!(mask.is_active());
+        assert!(mask.severed(p(0), p(2)), "blinded reading hidden");
+        assert!(mask.severed(p(1), p(3)), "blinded reading hidden");
+        assert!(!mask.severed(p(2), p(0)), "hidden reads blinded live");
+        assert!(!mask.severed(p(3), p(1)), "hidden reads blinded live");
+        assert!(!mask.severed(p(0), p(1)), "within the blinded side");
+        assert!(!mask.severed(p(2), p(3)), "within the hidden side");
+        assert!(!mask.severed(p(4), p(2)), "ungrouped sees everyone");
+        assert!(!mask.severed(p(0), p(4)), "ungrouped is seen by everyone");
+        mask.heal();
+        assert!(!mask.severed(p(0), p(2)), "healed");
+    }
+
+    #[test]
+    fn symmetric_install_clears_directedness() {
+        let mask = PartitionMask::new();
+        mask.install_directed(vec![CUT_BLINDED, CUT_HIDDEN]);
+        assert!(mask.severed(p(0), p(1)));
+        assert!(!mask.severed(p(1), p(0)));
+        // Re-installing symmetrically must drop the directed flag.
+        mask.install(vec![0, 1]);
+        assert!(mask.severed(p(0), p(1)));
+        assert!(mask.severed(p(1), p(0)), "symmetric again");
     }
 }

@@ -541,6 +541,49 @@ impl MemorySpace {
         self.invalidate_epoch_caches();
     }
 
+    /// Installs a **directed** cut: processes in `blinded` read the 1WnR
+    /// rows of processes in `hidden` frozen at the cut, while `hidden`
+    /// (and everyone else) keeps reading live values in every direction.
+    /// This is the asymmetric-fabric analogue of
+    /// [`install_partition`](Self::install_partition): one side's inbound
+    /// visibility fails while its own rows stay observable, the regime in
+    /// which the López–Rajsbaum–Raynal weak-connectivity results decide
+    /// whether election is still possible.
+    ///
+    /// Installing over an active partition or cut re-freezes every
+    /// register and replaces the mask; only one mask is active at a time.
+    /// [`heal_partition`](Self::heal_partition) clears cuts and
+    /// partitions alike.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a process id is out of range or appears on both sides.
+    pub fn install_cut(&self, blinded: &[ProcessId], hidden: &[ProcessId]) {
+        let n = self.inner.n_processes;
+        let mut table = vec![-1_i32; n];
+        for (side, members) in [
+            (crate::chaos::CUT_BLINDED, blinded),
+            (crate::chaos::CUT_HIDDEN, hidden),
+        ] {
+            for &pid in members {
+                assert!(pid.index() < n, "cut member {pid} out of range for n={n}");
+                assert_eq!(
+                    table[pid.index()],
+                    -1,
+                    "process {pid} appears on both sides of the cut"
+                );
+                table[pid.index()] = side;
+            }
+        }
+        // Freeze before activating, so severed readers observe a snapshot
+        // no older than the cut.
+        for meta in self.inner.regs.read().iter() {
+            meta.freeze();
+        }
+        self.inner.chaos.install_directed(table);
+        self.invalidate_epoch_caches();
+    }
+
     /// Heals the installed partition: every read sees live values again.
     /// A no-op when no partition is active.
     pub fn heal_partition(&self) {
@@ -780,6 +823,39 @@ mod tests {
         assert_eq!(m.read(p0), 5, "ownerless registers are never severed");
         r.write(p3, 2);
         assert_eq!(r.read(ProcessId::new(1)), 2, "unlisted readers stay live");
+    }
+
+    #[test]
+    fn directed_cut_blinds_one_side_only() {
+        let s = MemorySpace::new(4);
+        let arr = s.nat_array("PROGRESS", |_| 0);
+        let (p0, p1, p2, p3) = (
+            ProcessId::new(0),
+            ProcessId::new(1),
+            ProcessId::new(2),
+            ProcessId::new(3),
+        );
+        arr.get(p2).write(p2, 7);
+        arr.get(p0).write(p0, 3);
+        s.install_cut(&[p0, p1], &[p2, p3]);
+        assert!(s.partition_active());
+        arr.get(p2).write(p2, 9);
+        arr.get(p0).write(p0, 4);
+        assert_eq!(arr.get(p2).read(p0), 7, "blinded reads hidden frozen");
+        assert_eq!(arr.get(p0).read(p2), 4, "hidden reads blinded live");
+        assert_eq!(arr.get(p2).read(p3), 9, "within the hidden side");
+        assert_eq!(arr.get(p0).read(p1), 4, "within the blinded side");
+        s.heal_partition();
+        assert!(!s.partition_active());
+        assert_eq!(arr.get(p2).read(p0), 9, "heal reveals the live value");
+    }
+
+    #[test]
+    #[should_panic(expected = "both sides of the cut")]
+    fn cut_side_overlap_rejected() {
+        let s = MemorySpace::new(2);
+        let p0 = ProcessId::new(0);
+        s.install_cut(&[p0], &[p0]);
     }
 
     #[test]

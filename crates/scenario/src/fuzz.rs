@@ -47,15 +47,23 @@ pub enum Violation {
         /// What was observed, for the report.
         detail: String,
     },
+    /// The spec provably prevents stable self-leadership
+    /// ([`provably_hostile`]) and a process reigned past the witness
+    /// allowance anyway — the dual of `Liveness`.
+    FalseStable {
+        /// What was observed, for the report.
+        detail: String,
+    },
 }
 
 impl Violation {
-    /// `"safety"` or `"liveness"`.
+    /// `"safety"`, `"liveness"`, or `"false-stable"`.
     #[must_use]
     pub fn kind(&self) -> &'static str {
         match self {
             Violation::Safety { .. } => "safety",
             Violation::Liveness { .. } => "liveness",
+            Violation::FalseStable { .. } => "false-stable",
         }
     }
 
@@ -63,7 +71,9 @@ impl Violation {
     #[must_use]
     pub fn detail(&self) -> &str {
         match self {
-            Violation::Safety { detail } | Violation::Liveness { detail } => detail,
+            Violation::Safety { detail }
+            | Violation::Liveness { detail }
+            | Violation::FalseStable { detail } => detail,
         }
     }
 }
@@ -266,7 +276,11 @@ pub fn liveness_checkable(s: &Scenario) -> bool {
                 return false;
             }
             match phase {
-                ChaosPhase::Partition { .. } => false,
+                // Cuts and flaps pump suspicions like partitions do; their
+                // convergence bound is likewise outside this envelope.
+                ChaosPhase::Partition { .. } | ChaosPhase::Cut { .. } | ChaosPhase::Flap { .. } => {
+                    false
+                }
                 ChaosPhase::Wave { crash, .. } => crash.iter().all(|&p| p != timely),
                 ChaosPhase::Storm { factor, jitter, .. } => *factor <= 4 && *jitter <= 64,
                 ChaosPhase::Heal { .. } => true,
@@ -307,7 +321,12 @@ pub fn split_brain_outside_partitions(s: &Scenario, samples: &[TimelineSample]) 
         .iter()
         .flat_map(|c| c.phases.iter())
         .filter_map(|phase| match phase {
-            ChaosPhase::Partition { from, until, .. } => {
+            // A flap's healed half-cycles stay masked too: the grace after
+            // each cut overlaps the next install, so the whole window is
+            // one contiguous regime of spec-sanctioned disagreement.
+            ChaosPhase::Partition { from, until, .. }
+            | ChaosPhase::Cut { from, until, .. }
+            | ChaosPhase::Flap { from, until, .. } => {
                 Some((*from, until.saturating_add(HEAL_GRACE_TICKS)))
             }
             _ => None,
@@ -329,7 +348,71 @@ pub fn split_brain_outside_partitions(s: &Scenario, samples: &[TimelineSample]) 
     split_brain(&samples[segment_start..])
 }
 
-/// Runs the scenario's variant on the simulator and applies both oracles.
+/// Whether the spec provably prevents any stable self-leading reign, and
+/// over which window — the gate in front of the non-election oracle, dual
+/// to [`liveness_checkable`].
+///
+/// Deliberately conservative (a `false` only skips the check; a wrong
+/// `true` files a false regression), and calibrated to the recipe the
+/// registry's `hostile/` members prove out: no AWB envelope, stuck-low
+/// timers, and the leader-stalling schedule, whose plurality target
+/// rotates every effective stall. Every spec-sanctioned reign must sit far
+/// below the witness allowance (a third of the window): continuous
+/// partition/cut spans and flap periods bounded by `window/6`, the
+/// (storm-stretched) stall cadence by `window/8`. Crashes and waves void
+/// the certificate — a lone survivor reigns legitimately — and the
+/// step-clock variant has no timers for `StuckLow` to break.
+#[must_use]
+pub fn provably_hostile(s: &Scenario) -> Option<(u64, u64)> {
+    if s.awb.is_some() || s.variant == OmegaVariant::StepClock || !s.crashes.is_empty() {
+        return None;
+    }
+    let TimerSpec::StuckLow { cap } = s.timers else {
+        return None;
+    };
+    if !(1..=16).contains(&cap) {
+        return None;
+    }
+    let AdversarySpec::LeaderStaller { base, stall } = s.adversary else {
+        return None;
+    };
+    if !(1..=4).contains(&base) {
+        return None;
+    }
+    let campaign = s.campaign.as_ref()?;
+    let (from, until) = campaign.disruption_window(s.horizon)?;
+    let window = until.saturating_sub(from);
+    let mut storm_factor = 1;
+    for phase in &campaign.phases {
+        match phase {
+            ChaosPhase::Wave { .. } => return None,
+            ChaosPhase::Heal { .. } => {}
+            ChaosPhase::Storm { factor, .. } => storm_factor = storm_factor.max(*factor),
+            // A cut sanctions a per-side reign for its whole continuous
+            // span; only spans the heal cadence keeps short are certified.
+            ChaosPhase::Partition { from, until, .. } | ChaosPhase::Cut { from, until, .. } => {
+                if until.saturating_sub(*from).saturating_mul(6) > window {
+                    return None;
+                }
+            }
+            ChaosPhase::Flap { period, .. } => {
+                if period.saturating_mul(6) > window {
+                    return None;
+                }
+            }
+        }
+    }
+    // Stalls must dwarf the stuck timers (so every reigning leader is
+    // actually suspected) and the stretched rotation cadence must still
+    // fit many times into the window.
+    let effective = stall.saturating_mul(storm_factor);
+    if effective <= cap.saturating_mul(4) || effective.saturating_mul(8) > window {
+        return None;
+    }
+    Some((from, until))
+}
+
+/// Runs the scenario's variant on the simulator and applies the oracles.
 #[must_use]
 pub fn run_and_check(s: &Scenario) -> Option<Violation> {
     let sys = s.variant.build(s.n);
@@ -338,7 +421,8 @@ pub fn run_and_check(s: &Scenario) -> Option<Violation> {
     check_report(s, &report)
 }
 
-/// Applies the safety and (when checkable) liveness oracles to a report.
+/// Applies the safety and (when checkable) liveness and non-election
+/// oracles to a report.
 #[must_use]
 pub fn check_report(s: &Scenario, report: &RunReport) -> Option<Violation> {
     if environment_tame(s) {
@@ -356,6 +440,21 @@ pub fn check_report(s: &Scenario, report: &RunReport) -> Option<Violation> {
             ),
         });
     }
+    if let Some((from, until)) = provably_hostile(s) {
+        let witness =
+            crate::NonElectionWitness::from_timeline(from, until, report.timeline.samples());
+        if witness.false_stable_ticks > 0 {
+            return Some(Violation::FalseStable {
+                detail: format!(
+                    "provably-hostile spec held a stable reign: {} false-stable ticks \
+                     (max streak {} over window {from}..{until}, allowance {})",
+                    witness.false_stable_ticks,
+                    witness.max_stable_streak_ticks,
+                    witness.allowance()
+                ),
+            });
+        }
+    }
     None
 }
 
@@ -365,6 +464,12 @@ pub fn check_report(s: &Scenario, report: &RunReport) -> Option<Violation> {
 /// only safety is checked.
 #[must_use]
 pub fn generate(rng: &mut SmallRng) -> Scenario {
+    // One draw in five comes from the hostile pool: specs built to
+    // *prevent* stable self-leadership, where the non-election oracle
+    // ([`provably_hostile`]) takes over from the liveness oracle.
+    if rng.gen_range(0..=99) < 20 {
+        return generate_hostile(rng);
+    }
     let variant = OmegaVariant::all()[rng.gen_range(0..=3) as usize];
     let n = rng.gen_range(2..=10) as usize;
     let horizon = [20_000, 40_000, 60_000][rng.gen_range(0..=2) as usize];
@@ -373,10 +478,12 @@ pub fn generate(rng: &mut SmallRng) -> Scenario {
         .seed(rng.gen_range(0..=999_983))
         .sample_every([50, 100, 200][rng.gen_range(0..=2) as usize])
         .stats_checkpoints(4);
-    let awb = rng.gen_range(0..=99) < 85;
-    // With AWB, mostly stay inside the envelope so liveness gets checked;
-    // sometimes (and always without AWB) go wild for safety-only coverage.
-    let tame = awb && rng.gen_range(0..=99) < 80;
+    // The hostile pool above already covers the no-envelope corner, so
+    // the normal pool leans tamer than it used to: with AWB, mostly stay
+    // inside the envelope so liveness gets checked; sometimes (and always
+    // without AWB) go wild for safety-only coverage.
+    let awb = rng.gen_range(0..=99) < 95;
+    let tame = awb && rng.gen_range(0..=99) < 90;
     if awb {
         let timely = ProcessId::new(rng.gen_range(0..=(n as u64 - 1)) as usize);
         let (tau1, sigma) = if tame {
@@ -425,6 +532,72 @@ pub fn generate(rng: &mut SmallRng) -> Scenario {
         s = s.campaign(random_campaign(rng, n, horizon, timely));
     }
     s
+}
+
+/// Draws from the hostile pool: no AWB envelope, stuck-low timers, the
+/// leader-stalling schedule, and a flap or storm covering most of the run
+/// — exactly the shape [`provably_hostile`] certifies, so (nearly) every
+/// draw gets the non-election oracle applied. Public so the fuzz bin's
+/// `--hostile-budget` slice can concentrate a run on this pool.
+#[must_use]
+pub fn generate_hostile(rng: &mut SmallRng) -> Scenario {
+    // The step-clock variant has no timers for `StuckLow` to break.
+    let variant =
+        [OmegaVariant::Alg1, OmegaVariant::Alg2, OmegaVariant::Mwmr][rng.gen_range(0..=2) as usize];
+    let n = rng.gen_range(3..=8) as usize;
+    let horizon = [60_000, 80_000, 100_000][rng.gen_range(0..=2) as usize];
+    let cap = rng.gen_range(4..=12);
+    let mut s = Scenario::fault_free(variant, n)
+        .horizon(horizon)
+        .seed(rng.gen_range(0..=999_983))
+        .sample_every([50, 100][rng.gen_range(0..=1) as usize])
+        .stats_checkpoints(4)
+        .without_awb()
+        .timers(TimerSpec::StuckLow { cap });
+    let from = rng.gen_range(5_000..=10_000);
+    let until = horizon - rng.gen_range(10_000..=20_000);
+    let window = until - from;
+    let split = rng.gen_range(1..=(n as u64 - 1)) as usize;
+    let side = |range: std::ops::Range<usize>| range.map(ProcessId::new).collect::<Vec<_>>();
+    let storm = rng.gen_range(0..=1) == 1;
+    let mut campaign = Campaign::new();
+    let storm_factor = if storm {
+        let factor = rng.gen_range(2..=16);
+        campaign = campaign.phase(ChaosPhase::Storm {
+            factor,
+            jitter: rng.gen_range(0..=8),
+            from,
+            until,
+        });
+        // Sometimes a short directed cut rides inside the storm window.
+        if rng.gen_range(0..=2) == 0 {
+            let span = window / 8;
+            let cut_from = from + rng.gen_range(0..=(window - span));
+            campaign = campaign.phase(ChaosPhase::Cut {
+                blinded: side(0..split),
+                hidden: side(split..n),
+                from: cut_from,
+                until: cut_from + span,
+            });
+        }
+        factor
+    } else {
+        campaign = campaign.phase(ChaosPhase::Flap {
+            groups: vec![side(0..split), side(split..n)],
+            period: rng.gen_range(500..=window / 8),
+            from,
+            until,
+        });
+        1
+    };
+    // Quote the stall pre-stretch so the *effective* rotation cadence
+    // lands inside the certified band regardless of the storm factor.
+    let stall = (rng.gen_range(2_000..=window / 8) / storm_factor).max(cap * 4 + 1);
+    s.adversary = AdversarySpec::LeaderStaller {
+        base: rng.gen_range(1..=3),
+        stall,
+    };
+    s.campaign(campaign)
 }
 
 fn random_campaign(
@@ -613,6 +786,19 @@ fn shrink_candidates(s: &Scenario) -> Vec<Scenario> {
             }
             out.push(t);
         }
+        // Then structure-preserving trims, for when a whole phase is
+        // load-bearing but its extent is not: halve the active span, drop
+        // a member from the largest group or side.
+        for i in 0..campaign.phases.len() {
+            let mut t = s.clone();
+            if shrink_phase_span(&mut t.campaign.as_mut().expect("cloned Some").phases[i]) {
+                out.push(t);
+            }
+            let mut t = s.clone();
+            if shrink_phase_groups(&mut t.campaign.as_mut().expect("cloned Some").phases[i]) {
+                out.push(t);
+            }
+        }
     }
     for target in [s.n / 2, s.n - 1] {
         if target >= 1 && target < s.n {
@@ -674,6 +860,74 @@ fn shrink_candidates(s: &Scenario) -> Vec<Scenario> {
     out
 }
 
+/// Halves the phase's active span (and clamps a flap's period into the
+/// shrunk window so it still oscillates). Returns whether anything
+/// changed; spans shrink strictly, so the move terminates.
+fn shrink_phase_span(phase: &mut ChaosPhase) -> bool {
+    match phase {
+        ChaosPhase::Partition { from, until, .. }
+        | ChaosPhase::Cut { from, until, .. }
+        | ChaosPhase::Storm { from, until, .. } => {
+            let half = *from + until.saturating_sub(*from) / 2;
+            if half <= *from {
+                return false;
+            }
+            *until = half;
+            true
+        }
+        ChaosPhase::Flap {
+            from,
+            until,
+            period,
+            ..
+        } => {
+            let half = *from + until.saturating_sub(*from) / 2;
+            if half <= *from {
+                return false;
+            }
+            *until = half;
+            *period = (*period).min(half - *from).max(1);
+            true
+        }
+        ChaosPhase::Wave { .. } | ChaosPhase::Heal { .. } => false,
+    }
+}
+
+/// Drops the last member of the phase's largest group or cut side, keeping
+/// every group nonempty. Returns whether anything changed.
+fn shrink_phase_groups(phase: &mut ChaosPhase) -> bool {
+    match phase {
+        ChaosPhase::Partition { groups, .. } | ChaosPhase::Flap { groups, .. } => {
+            match groups
+                .iter_mut()
+                .filter(|g| g.len() > 1)
+                .max_by_key(|g| g.len())
+            {
+                Some(group) => {
+                    group.pop();
+                    true
+                }
+                None => false,
+            }
+        }
+        ChaosPhase::Cut {
+            blinded, hidden, ..
+        } => {
+            let side = if blinded.len() >= hidden.len() {
+                blinded
+            } else {
+                hidden
+            };
+            if side.len() <= 1 {
+                return false;
+            }
+            side.pop();
+            true
+        }
+        ChaosPhase::Storm { .. } | ChaosPhase::Wave { .. } | ChaosPhase::Heal { .. } => false,
+    }
+}
+
 /// `s` at a smaller system size, with out-of-range process references
 /// dropped (crash targets) or clamped to `p0` (AWB witness, stall victim).
 fn with_n(s: &Scenario, m: usize) -> Scenario {
@@ -696,7 +950,7 @@ fn with_n(s: &Scenario, m: usize) -> Scenario {
     if let Some(campaign) = &mut t.campaign {
         for phase in &mut campaign.phases {
             match phase {
-                ChaosPhase::Partition { groups, .. } => {
+                ChaosPhase::Partition { groups, .. } | ChaosPhase::Flap { groups, .. } => {
                     for group in groups.iter_mut() {
                         group.retain(|p| p.index() < m);
                     }
@@ -705,9 +959,20 @@ fn with_n(s: &Scenario, m: usize) -> Scenario {
                     crash.retain(|p| p.index() < m);
                     recover.retain(|p| p.index() < m);
                 }
+                ChaosPhase::Cut {
+                    blinded, hidden, ..
+                } => {
+                    blinded.retain(|p| p.index() < m);
+                    hidden.retain(|p| p.index() < m);
+                }
                 ChaosPhase::Storm { .. } | ChaosPhase::Heal { .. } => {}
             }
         }
+        // A cut that lost a whole side to the clamp no longer validates.
+        campaign.phases.retain(|phase| {
+            !matches!(phase, ChaosPhase::Cut { blinded, hidden, .. }
+                if blinded.is_empty() || hidden.is_empty())
+        });
     }
     t
 }
@@ -816,10 +1081,63 @@ mod tests {
 
     #[test]
     fn registry_scenarios_pass_both_oracles() {
-        for name in ["fault-free", "leader-crash-failover", "no-awb-staller"] {
+        for name in [
+            "fault-free",
+            "leader-crash-failover",
+            "no-awb-staller",
+            "hostile/flap",
+            "hostile/storm",
+        ] {
             let scenario = registry::named(name).unwrap();
             assert_eq!(run_and_check(&scenario), None, "{name}");
         }
+    }
+
+    #[test]
+    fn provably_hostile_classification() {
+        // The calibrated registry recipes are certified, window and all.
+        let named = |n: &str| registry::named(n).unwrap();
+        assert_eq!(
+            provably_hostile(&named("hostile/flap")),
+            Some((10_000, 82_000))
+        );
+        assert_eq!(
+            provably_hostile(&named("hostile/storm")),
+            Some((10_000, 90_000))
+        );
+        // A whole-window cut sanctions a per-side reign for its full span
+        // — conservatively out (the registry's own gate still covers it).
+        assert_eq!(provably_hostile(&named("hostile/asym-cut")), None);
+        // The positive control keeps its AWB envelope.
+        assert_eq!(provably_hostile(&named("hostile/asym-core")), None);
+        assert_eq!(provably_hostile(&registry::fault_free()), None);
+        // No campaign means no hostile window: the plain necessity
+        // experiment stays under the old "did not stabilize" check only.
+        assert_eq!(provably_hostile(&registry::no_awb_staller()), None);
+        // Crashes void the certificate: a lone survivor may reign.
+        let crashed = named("hostile/flap").crash_at(5_000, ProcessId::new(2));
+        assert_eq!(provably_hostile(&crashed), None);
+    }
+
+    #[test]
+    fn hostile_pool_draws_pass_the_non_election_oracle() {
+        // The oracle must be sound over its own pool: a false alarm here
+        // would be committed as a regression by the nightly fuzz run.
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut checked = 0;
+        let mut draws = 0;
+        while checked < 3 && draws < 200 {
+            draws += 1;
+            let s = generate(&mut rng);
+            let Some((from, until)) = provably_hostile(&s) else {
+                continue;
+            };
+            assert!(from < until);
+            assert!(!s.expect_stabilization, "hostile draws expect no-elect");
+            assert_eq!(run_and_check(&s), None, "{}", to_spec_text(&s));
+            checked += 1;
+        }
+        assert_eq!(checked, 3, "the pool must actually produce hostile draws");
     }
 
     #[test]
@@ -857,6 +1175,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2026);
         let mut checkable = 0;
         let mut campaigns = 0;
+        let mut hostile = 0;
         for _ in 0..200 {
             let s = generate(&mut rng);
             assert!((2..=10).contains(&s.n));
@@ -874,6 +1193,9 @@ mod tests {
             if liveness_checkable(&s) {
                 checkable += 1;
             }
+            if provably_hostile(&s).is_some() {
+                hostile += 1;
+            }
         }
         assert!(
             checkable >= 60,
@@ -882,6 +1204,10 @@ mod tests {
         assert!(
             campaigns >= 20,
             "campaigns must actually be generated ({campaigns}/200)"
+        );
+        assert!(
+            hostile >= 20,
+            "the hostile pool must actually be certified ({hostile}/200)"
         );
     }
 
@@ -1017,6 +1343,49 @@ mod tests {
             "reproducer stays readable:\n{}",
             to_spec_text(&minimal)
         );
+    }
+
+    #[test]
+    fn shrinker_trims_phase_spans_and_groups() {
+        let p = ProcessId::new;
+        // Plant a bug that needs a flap with both sides populated: the
+        // duration and the group sizes are not load-bearing, so the
+        // shrinker must halve the span down to its 1-tick floor and trim
+        // both groups to singletons.
+        let wide = Scenario::fault_free(OmegaVariant::Alg1, 6)
+            .named("fuzz/wide-flap")
+            .campaign(Campaign::new().phase(ChaosPhase::Flap {
+                groups: vec![vec![p(0), p(1), p(2)], vec![p(3), p(4), p(5)]],
+                period: 2_000,
+                from: 4_000,
+                until: 36_000,
+            }))
+            .horizon(60_000);
+        let mut oracle = |c: &Scenario| {
+            let live_flap = c.campaign.as_ref().is_some_and(|c| {
+                c.phases.iter().any(|phase| {
+                    matches!(phase, ChaosPhase::Flap { groups, .. }
+                        if groups.iter().all(|g| !g.is_empty()))
+                })
+            });
+            live_flap.then(|| Violation::Safety {
+                detail: "planted".into(),
+            })
+        };
+        let minimal = shrink(&wide, &mut oracle);
+        let campaign = minimal.campaign.as_ref().expect("flap kept");
+        let ChaosPhase::Flap {
+            groups,
+            period,
+            from,
+            until,
+        } = &campaign.phases[0]
+        else {
+            panic!("flap phase survives: {:?}", campaign.phases);
+        };
+        assert!(groups.iter().all(|g| g.len() == 1), "{groups:?}");
+        assert_eq!(until - from, 1, "span halves to the 1-tick floor");
+        assert_eq!(*period, 1, "period follows the span down");
     }
 
     #[test]

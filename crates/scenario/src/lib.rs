@@ -92,7 +92,7 @@ mod wall;
 
 pub use coop_driver::CoopDriver;
 pub use driver::Driver;
-pub use outcome::{ChaosOutcome, Outcome, SanFootprint, TailActivity};
+pub use outcome::{ChaosOutcome, NonElectionWitness, Outcome, SanFootprint, TailActivity};
 pub use san_driver::SanDriver;
 pub use sim_driver::SimDriver;
 pub use spec::{

@@ -2,6 +2,7 @@
 
 use omega_core::OmegaVariant;
 use omega_registers::{ProcessId, ProcessSet};
+use omega_sim::metrics::TimelineSample;
 
 /// Shared-memory activity over the trailing window of a run — the
 /// "post-stabilization" view the paper's write-optimality results are
@@ -58,6 +59,105 @@ pub struct ChaosOutcome {
     /// re-election window the chaos suite gates on. `None` when nothing
     /// healed, the run never stabilized, or it stabilized before the heal.
     pub heal_to_stable_ticks: Option<u64>,
+}
+
+/// Evidence that a hostile window produced **non-election** — the other
+/// half of the Ω contract: when the spec breaks AWB, no process may hold
+/// self-leadership stably; the algorithm must keep demoting.
+///
+/// Computed from the sampled leader timeline over the campaign's
+/// disruption window. A process "stably self-leads" only while it keeps
+/// electing itself **and keeps taking steps** — a stalled process frozen
+/// on a stale self-estimate is not a stable leader (nobody else follows
+/// it, and it isn't executing), exactly the claimant rule the split-brain
+/// oracle uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NonElectionWitness {
+    /// First tick of the hostile window.
+    pub window_from: u64,
+    /// Last tick of the hostile window.
+    pub window_until: u64,
+    /// Times a self-leading process lost its self-estimate between
+    /// consecutive samples — the demotion churn AWB-violation must show.
+    pub demotions: u64,
+    /// Longest run of ticks any one process stayed actively self-leading.
+    pub max_stable_streak_ticks: u64,
+    /// Ticks of self-leadership held *beyond* the allowance, summed over
+    /// every streak — 0 means no process was ever stably self-leading.
+    pub false_stable_ticks: u64,
+}
+
+impl NonElectionWitness {
+    /// A self-leading streak longer than `window / DENOM` counts as false
+    /// stability: transient reigns while counters leapfrog are expected,
+    /// holding a third of the hostile window is an election.
+    pub const ALLOWANCE_DENOM: u64 = 3;
+
+    /// The longest self-leading streak this witness's window tolerates.
+    #[must_use]
+    pub fn allowance(&self) -> u64 {
+        (self.window_until.saturating_sub(self.window_from)) / Self::ALLOWANCE_DENOM
+    }
+
+    /// Scans the sampled timeline over `[window_from, window_until]` and
+    /// builds the witness.
+    ///
+    /// A streak extends across an inter-sample interval only when the
+    /// process self-leads at both ends **and** stepped in between; an
+    /// interval without steps breaks the streak without counting as a
+    /// demotion (a frozen claimant was not demoted — it just stopped).
+    #[must_use]
+    pub fn from_timeline(
+        window_from: u64,
+        window_until: u64,
+        samples: &[TimelineSample],
+    ) -> NonElectionWitness {
+        let mut witness = NonElectionWitness {
+            window_from,
+            window_until,
+            demotions: 0,
+            max_stable_streak_ticks: 0,
+            false_stable_ticks: 0,
+        };
+        let allowance = witness.allowance();
+        let in_window: Vec<&TimelineSample> = samples
+            .iter()
+            .filter(|s| (window_from..=window_until).contains(&s.time.ticks()))
+            .collect();
+        let n = in_window.iter().map(|s| s.leaders.len()).max().unwrap_or(0);
+        for p in 0..n {
+            let pid = ProcessId::new(p);
+            let self_leads = |s: &TimelineSample| s.leaders.get(p).copied().flatten() == Some(pid);
+            let steps_of = |s: &TimelineSample| s.steps.get(p).copied().unwrap_or(0);
+            let mut streak_from: Option<u64> = None;
+            let close = |from: &mut Option<u64>, at: u64, w: &mut NonElectionWitness| {
+                if let Some(start) = from.take() {
+                    let len = at - start;
+                    w.max_stable_streak_ticks = w.max_stable_streak_ticks.max(len);
+                    w.false_stable_ticks += len.saturating_sub(allowance);
+                }
+            };
+            for pair in in_window.windows(2) {
+                let (a, b) = (pair[0], pair[1]);
+                if self_leads(a) && !self_leads(b) {
+                    witness.demotions += 1;
+                }
+                if self_leads(a) && self_leads(b) && steps_of(b) > steps_of(a) {
+                    let start = *streak_from.get_or_insert(a.time.ticks());
+                    // Keep the running streak visible even if the window
+                    // ends mid-reign.
+                    let len = b.time.ticks() - start;
+                    witness.max_stable_streak_ticks = witness.max_stable_streak_ticks.max(len);
+                } else {
+                    close(&mut streak_from, a.time.ticks(), &mut witness);
+                }
+            }
+            if let Some(last) = in_window.last() {
+                close(&mut streak_from, last.time.ticks(), &mut witness);
+            }
+        }
+        witness
+    }
 }
 
 /// What one [`Driver`](crate::Driver) observed running one
@@ -127,6 +227,10 @@ pub struct Outcome {
     /// Chaos-campaign accounting (`None` when the scenario has no
     /// campaign).
     pub chaos: Option<ChaosOutcome>,
+    /// Non-election witness over the hostile window — only computed by
+    /// the simulator for campaigns run with `expect_stabilization =
+    /// false` (wall drivers never admit those).
+    pub witness: Option<NonElectionWitness>,
     /// Worker-pool size of the cooperative backend's sharded wheel
     /// (`None` on every other backend — sim, threads, and SAN have no
     /// pool to size).
@@ -243,6 +347,9 @@ impl Outcome {
         if let Some(chaos) = &self.chaos {
             let _ = write!(out, "|chaos:{chaos:?}");
         }
+        if let Some(witness) = &self.witness {
+            let _ = write!(out, "|witness:{witness:?}");
+        }
         out
     }
 
@@ -325,9 +432,94 @@ impl Outcome {
                 chaos.wave_recoveries
             );
         }
+        if let Some(w) = &self.witness {
+            let _ = writeln!(
+                out,
+                "non-elect  : {} demotions, max streak {} ticks (allowance {}), {} false-stable ticks over {}..{}",
+                w.demotions,
+                w.max_stable_streak_ticks,
+                w.allowance(),
+                w.false_stable_ticks,
+                w.window_from,
+                w.window_until
+            );
+        }
         if !self.grown_in_tail.is_empty() {
             let _ = writeln!(out, "unbounded  : {}", self.grown_in_tail.join(","));
         }
         out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega_sim::SimTime;
+
+    fn sample(at: u64, leaders: &[Option<usize>], steps: &[u64]) -> TimelineSample {
+        TimelineSample {
+            time: SimTime::from_ticks(at),
+            leaders: leaders.iter().map(|l| l.map(ProcessId::new)).collect(),
+            steps: steps.to_vec(),
+        }
+    }
+
+    #[test]
+    fn witness_flags_a_stable_self_leader() {
+        // p0 leads itself, stepping, across the whole 0..=900 window.
+        let samples: Vec<TimelineSample> = (0..10)
+            .map(|i| sample(i * 100, &[Some(0), Some(0)], &[i + 1, i + 1]))
+            .collect();
+        let w = NonElectionWitness::from_timeline(0, 900, &samples);
+        assert_eq!(w.max_stable_streak_ticks, 900);
+        assert_eq!(w.allowance(), 300);
+        assert_eq!(w.false_stable_ticks, 600, "reign beyond the allowance");
+        assert_eq!(w.demotions, 0);
+    }
+
+    #[test]
+    fn witness_accepts_churning_leadership() {
+        // Self-leadership alternates between p0 and p1 every sample: all
+        // churn, no streak longer than one interval.
+        let samples: Vec<TimelineSample> = (0..10)
+            .map(|i| {
+                let boss = (i % 2) as usize;
+                sample(i * 100, &[Some(boss), Some(boss)], &[i + 1, i + 1])
+            })
+            .collect();
+        let w = NonElectionWitness::from_timeline(0, 900, &samples);
+        assert_eq!(w.false_stable_ticks, 0);
+        assert_eq!(w.max_stable_streak_ticks, 0, "no two adjacent self-leads");
+        assert_eq!(
+            w.demotions, 9,
+            "every flip demotes the previous self-leader"
+        );
+    }
+
+    #[test]
+    fn witness_ignores_frozen_claimants() {
+        // p0 claims itself the whole window but its step counter never
+        // moves: a stalled process on a stale estimate is not a stable
+        // leader.
+        let samples: Vec<TimelineSample> = (0..10)
+            .map(|i| sample(i * 100, &[Some(0), Some(0)], &[5, i + 1]))
+            .collect();
+        let w = NonElectionWitness::from_timeline(0, 900, &samples);
+        assert_eq!(w.false_stable_ticks, 0);
+        assert_eq!(w.max_stable_streak_ticks, 0);
+        assert_eq!(w.demotions, 0, "it was never demoted, it just froze");
+    }
+
+    #[test]
+    fn witness_clips_to_the_window() {
+        // A long reign outside the window is invisible; inside it only
+        // 200..=400 qualifies.
+        let samples: Vec<TimelineSample> = (0..10)
+            .map(|i| sample(i * 100, &[Some(0)], &[i + 1]))
+            .collect();
+        let w = NonElectionWitness::from_timeline(200, 400, &samples);
+        assert_eq!(w.max_stable_streak_ticks, 200);
+        assert_eq!(w.allowance(), 66);
+        assert_eq!(w.false_stable_ticks, 134);
     }
 }

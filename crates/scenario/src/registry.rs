@@ -32,6 +32,7 @@ pub fn all() -> Vec<Scenario> {
     suite.extend(contention_sweep(&[(4, 4), (4, 32), (32, 4), (32, 32)]));
     suite.extend(san_latency_sweep(&[(100, 100), (500, 500), (2_000, 1_000)]));
     suite.extend(chaos_suite());
+    suite.extend(hostile_suite());
     suite.push(no_awb_staller());
     suite
 }
@@ -110,6 +111,125 @@ pub fn chaos_wave_recover() -> Scenario {
                 }),
         )
         .horizon(100_000)
+}
+
+/// The hostile campaigns: chaos *outside* the tame envelope, with
+/// non-election as the verified outcome. The expect-false members upgrade
+/// the necessity experiment from "did not stabilize" to a checked
+/// [`NonElectionWitness`](crate::NonElectionWitness): inside the
+/// disruption window no process may ever accumulate a stable self-leading
+/// reign (`false_stable_ticks == 0`). Each pairs its chaos clause with the
+/// AWB₂-violating regime the clause exploits — timers stuck below the
+/// disruption cadence can never outrun it, and the leader-stalling
+/// schedule keeps rotating whichever process the counter argmin would
+/// otherwise settle on (with the id tie-break, symmetric counter growth
+/// alone would let `p0` reign through any symmetric cut). `asym-core` is
+/// the positive control: a *directed* cut is survivable when the side
+/// everyone still reads live is a strongly-connected timely core.
+#[must_use]
+pub fn hostile_suite() -> Vec<Scenario> {
+    vec![
+        hostile_flap(),
+        hostile_asym_cut(),
+        hostile_storm(),
+        hostile_asym_core(),
+    ]
+}
+
+/// A symmetric flapping partition at a cadence the stuck-low timers can
+/// never outrun: the register space splits and heals every 3 000 ticks for
+/// most of the run. With no AWB envelope and the staller demoting every
+/// would-be argmin, the witness must show zero false-stable ticks across
+/// the whole flap window.
+#[must_use]
+pub fn hostile_flap() -> Scenario {
+    Scenario::fault_free(OmegaVariant::Alg1, 4)
+        .named("hostile/flap")
+        .without_awb()
+        .adversary(AdversarySpec::LeaderStaller {
+            base: 2,
+            stall: 4_000,
+        })
+        .timers(TimerSpec::StuckLow { cap: 8 })
+        .campaign(Campaign::new().phase(ChaosPhase::Flap {
+            groups: vec![
+                vec![ProcessId::new(0), ProcessId::new(1)],
+                vec![ProcessId::new(2), ProcessId::new(3)],
+            ],
+            period: 3_000,
+            from: 10_000,
+            until: 82_000,
+        }))
+        .horizon(100_000)
+}
+
+/// An asymmetric majority cut: `{0,1,2}` read `{3,4}` frozen for most of
+/// the run while `{3,4}` still read everyone live. Under the stalling
+/// schedule and stuck timers, the blinded majority's counters pump
+/// one-way — no stable reign may form anywhere inside the cut window.
+#[must_use]
+pub fn hostile_asym_cut() -> Scenario {
+    Scenario::fault_free(OmegaVariant::Alg1, 5)
+        .named("hostile/asym-cut")
+        .without_awb()
+        .adversary(AdversarySpec::LeaderStaller {
+            base: 2,
+            stall: 4_000,
+        })
+        .timers(TimerSpec::StuckLow { cap: 8 })
+        .campaign(Campaign::new().phase(ChaosPhase::Cut {
+            blinded: vec![ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)],
+            hidden: vec![ProcessId::new(3), ProcessId::new(4)],
+            from: 15_000,
+            until: 90_000,
+        }))
+        .horizon(110_000)
+}
+
+/// An envelope-violating latency storm: step service time stretched 16×
+/// while every timer stays stuck at 8 ticks — far below the stretched
+/// inter-write gap, so mutual suspicion never stops and the staller keeps
+/// the argmin rotating for the storm's whole span. The stall is quoted
+/// pre-stretch: the storm multiplies it to the same ~4 000-tick rotation
+/// cadence the other hostile members run at.
+#[must_use]
+pub fn hostile_storm() -> Scenario {
+    Scenario::fault_free(OmegaVariant::Alg1, 4)
+        .named("hostile/storm")
+        .without_awb()
+        .adversary(AdversarySpec::LeaderStaller {
+            base: 2,
+            stall: 250,
+        })
+        .timers(TimerSpec::StuckLow { cap: 8 })
+        .campaign(Campaign::new().phase(ChaosPhase::Storm {
+            factor: 16,
+            jitter: 8,
+            from: 10_000,
+            until: 90_000,
+        }))
+        .horizon(110_000)
+}
+
+/// The positive control (López–Rajsbaum–Raynal's connectivity condition):
+/// a directed cut blinds the majority `{2,3,4}` to the core `{0,1}` — but
+/// the core stays strongly connected, holds the timely `p0`, and is read
+/// live by *everyone*. The hidden side's counters pump unboundedly while
+/// the core's stay flat, so all five processes agree on `p0` straight
+/// through the cut: a hostile asymmetric topology that still elects, on
+/// the simulator and on every wall backend.
+#[must_use]
+pub fn hostile_asym_core() -> Scenario {
+    Scenario::fault_free(OmegaVariant::Alg1, 5)
+        .named("hostile/asym-core")
+        .awb(ProcessId::new(0), 1_000, 4)
+        .campaign(Campaign::new().phase(ChaosPhase::Cut {
+            blinded: vec![ProcessId::new(0), ProcessId::new(1)],
+            hidden: vec![ProcessId::new(2), ProcessId::new(3), ProcessId::new(4)],
+            from: 15_000,
+            until: 90_000,
+        }))
+        .horizon(120_000)
 }
 
 /// Loads the fuzz-regression corpus from a directory of `*.spec` files
@@ -490,6 +610,73 @@ mod tests {
         assert!(fault_free().expect_stabilization);
         assert!(crash_storm().expect_stabilization);
         assert!(!no_awb_staller().expect_stabilization);
+    }
+
+    #[test]
+    fn hostile_suite_spans_expectations_and_admission() {
+        let suite = hostile_suite();
+        assert_eq!(suite.len(), 4);
+        // The expect-false members are sim-only: a wall backend cannot
+        // assert non-election, so admission strips every wall driver.
+        for member in ["hostile/flap", "hostile/asym-cut", "hostile/storm"] {
+            let scenario = named(member).unwrap();
+            assert!(
+                !scenario.expect_stabilization,
+                "{member} must expect no-elect"
+            );
+            assert_eq!(
+                scenario.eligible_drivers().names(),
+                vec!["sim"],
+                "{member} is a non-election experiment"
+            );
+        }
+        // The positive control elects, and its directed cut acts through
+        // the visibility mask — admitted everywhere.
+        let core = named("hostile/asym-core").unwrap();
+        assert!(core.expect_stabilization);
+        assert_eq!(
+            core.eligible_drivers().names(),
+            vec!["sim", "threads", "san", "coop"],
+            "a survivable directed cut runs on every backend"
+        );
+    }
+
+    #[test]
+    fn hostile_members_verify_non_election_on_sim() {
+        use crate::Driver as _;
+        for scenario in hostile_suite() {
+            let outcome = crate::SimDriver.run(&scenario);
+            if scenario.expect_stabilization {
+                // The asym-core control: the cut must not even delay the
+                // election past the core's initial settling.
+                outcome.assert_election();
+                assert!(
+                    outcome.witness.is_none(),
+                    "witness is only computed for non-election specs"
+                );
+            } else {
+                assert!(
+                    !outcome.stabilized_for(0.34),
+                    "{} must not hold a leader: {:?}",
+                    scenario.name,
+                    outcome.stabilization_ticks
+                );
+                let witness = outcome
+                    .witness
+                    .as_ref()
+                    .expect("expect-false campaign computes a witness");
+                assert_eq!(
+                    witness.false_stable_ticks, 0,
+                    "{}: a reign exceeded the allowance: {witness:?}",
+                    scenario.name
+                );
+                assert!(
+                    witness.demotions > 0,
+                    "{}: the window must show observed churn: {witness:?}",
+                    scenario.name
+                );
+            }
+        }
     }
 
     #[test]

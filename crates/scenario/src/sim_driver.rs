@@ -3,7 +3,7 @@
 use omega_registers::MemorySpace;
 use omega_sim::{Actor, RunReport, Trace};
 
-use crate::{ChaosOutcome, Driver, Outcome, Scenario, TailActivity};
+use crate::{ChaosOutcome, Driver, NonElectionWitness, Outcome, Scenario, TailActivity};
 
 /// Realizes a [`Scenario`] on the deterministic discrete-event simulator
 /// (`omega_sim`): ticks are virtual time, the adversary/timer specs are
@@ -113,6 +113,20 @@ fn outcome_of(scenario: &Scenario, report: &RunReport, space: &MemorySpace) -> O
         writes_per_1k: w.stats.total_writes() as f64 * 1000.0 / (w.end - w.start).max(1) as f64,
         span_ticks: w.end - w.start,
     });
+    // The non-election witness: only meaningful (and only gated) when the
+    // spec runs a campaign it expects NOT to stabilize under — the hostile
+    // window is the campaign's disruption span.
+    let witness = if scenario.expect_stabilization {
+        None
+    } else {
+        scenario
+            .campaign
+            .as_ref()
+            .and_then(|c| c.disruption_window(scenario.horizon))
+            .map(|(from, until)| {
+                NonElectionWitness::from_timeline(from, until, report.timeline.samples())
+            })
+    };
     let grown_in_tail = match report.footprints.len() {
         0 | 1 => Vec::new(),
         len => {
@@ -155,6 +169,7 @@ fn outcome_of(scenario: &Scenario, report: &RunReport, space: &MemorySpace) -> O
         tail,
         san: None,
         chaos,
+        witness,
         workers: None,
     }
 }

@@ -355,13 +355,18 @@ impl Scenario {
     #[must_use]
     pub fn eligible_drivers_at(&self, workers: usize) -> DriverEligibility {
         let wall = self.expect_stabilization;
-        // Campaign admission: wall-clock clusters can cut/heal the register
-        // space and crash nodes at wall due times, but cannot stretch
-        // service time (no simulated clock to stretch — except the SAN
-        // block device, which serves a literal storm) and cannot resurrect
-        // a crashed node (parked threads are gone for good). Rather than
-        // silently dropping such clauses, the driver is ruled ineligible
-        // and the suite skips it loudly.
+        // Campaign admission, clause by clause: wall-clock clusters can
+        // cut/heal the register space (symmetric partitions, directed
+        // cuts, and flap oscillations all act through the space's
+        // visibility mask) and crash nodes at wall due times, but cannot
+        // stretch service time (no simulated clock to stretch — except
+        // the SAN block device, which serves a literal storm) and cannot
+        // resurrect a crashed node (parked threads are gone for good).
+        // Rather than silently dropping such clauses, the driver is ruled
+        // ineligible and the suite skips it loudly. Non-electing
+        // (`expect_stabilization = false`) scenarios are sim-only on top
+        // of this: wall clusters detect stability, not its absence, and
+        // the non-election witness needs the sampled timeline.
         let campaign = self.campaign.as_ref();
         let wall_campaign_ok = campaign.is_none_or(|c| !c.has_storm() && !c.has_recovery());
         let san_campaign_ok = campaign.is_none_or(|c| !c.has_recovery());
@@ -711,12 +716,41 @@ mod tests {
             }));
         assert_eq!(stormy.eligible_drivers().names(), vec!["sim", "san"]);
         // Recovery is sim-only: wall clusters cannot resurrect a node.
-        let lazarus = base.campaign(partition.phase(ChaosPhase::Wave {
+        let lazarus = base.clone().campaign(partition.phase(ChaosPhase::Wave {
             crash: vec![],
             recover: vec![ProcessId::new(2)],
             at: 2_500,
         }));
         assert_eq!(lazarus.eligible_drivers().names(), vec!["sim"]);
+        // Directed cuts and flaps act through the space's visibility mask:
+        // every driver realizes them (the positive-control hostile
+        // scenario must still elect on wall backends).
+        let directed = base
+            .clone()
+            .campaign(Campaign::new().phase(ChaosPhase::Cut {
+                blinded: vec![ProcessId::new(3), ProcessId::new(4)],
+                hidden: vec![ProcessId::new(0), ProcessId::new(1)],
+                from: 1_000,
+                until: 40_000,
+            }));
+        assert_eq!(
+            directed.eligible_drivers().names(),
+            vec!["sim", "threads", "san", "coop"]
+        );
+        let flappy = base.campaign(Campaign::new().phase(ChaosPhase::Flap {
+            groups: vec![vec![ProcessId::new(0)], vec![ProcessId::new(1)]],
+            period: 2_000,
+            from: 1_000,
+            until: 9_000,
+        }));
+        assert_eq!(
+            flappy.eligible_drivers().names(),
+            vec!["sim", "threads", "san", "coop"]
+        );
+        // A non-electing expectation strips every wall driver regardless
+        // of the campaign's clauses.
+        let hostile = flappy.expect_stabilization(false);
+        assert_eq!(hostile.eligible_drivers().names(), vec!["sim"]);
     }
 
     #[test]

@@ -121,6 +121,31 @@ pub fn to_spec_text(s: &Scenario) -> String {
                 ChaosPhase::Heal { at } => {
                     let _ = writeln!(out, "campaign heal {at}");
                 }
+                ChaosPhase::Cut {
+                    blinded,
+                    hidden,
+                    from,
+                    until,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "campaign cut {}>{} {from} {until}",
+                        pids_text(blinded),
+                        pids_text(hidden)
+                    );
+                }
+                ChaosPhase::Flap {
+                    groups,
+                    period,
+                    from,
+                    until,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "campaign flap {} {period} {from} {until}",
+                        groups_text(groups)
+                    );
+                }
             }
         }
     }
@@ -497,6 +522,27 @@ fn parse_campaign_phase(rest: &str) -> Result<ChaosPhase, SpecError> {
         "heal" => ChaosPhase::Heal {
             at: parse_num(rest, "heal at")?,
         },
+        "cut" => {
+            let f = fields(rest, 3, "campaign cut")?;
+            let (blinded, hidden) = f[0]
+                .split_once('>')
+                .ok_or_else(|| err("cut sides must be `blinded>hidden`".to_string()))?;
+            ChaosPhase::Cut {
+                blinded: parse_pid_list(blinded)?,
+                hidden: parse_pid_list(hidden)?,
+                from: parse_num(f[1], "cut from")?,
+                until: parse_num(f[2], "cut until")?,
+            }
+        }
+        "flap" => {
+            let f = fields(rest, 4, "campaign flap")?;
+            ChaosPhase::Flap {
+                groups: parse_groups(f[0])?,
+                period: parse_num(f[1], "flap period")?,
+                from: parse_num(f[2], "flap from")?,
+                until: parse_num(f[3], "flap until")?,
+            }
+        }
         other => return Err(err(format!("unknown campaign phase `{other}`"))),
     })
 }
@@ -617,7 +663,19 @@ mod tests {
                 recover: vec![p(1)],
                 at: 7_000,
             })
-            .phase(ChaosPhase::Heal { at: 7_500 });
+            .phase(ChaosPhase::Heal { at: 7_500 })
+            .phase(ChaosPhase::Cut {
+                blinded: vec![p(0), p(1)],
+                hidden: vec![p(2), p(3)],
+                from: 8_000,
+                until: 9_000,
+            })
+            .phase(ChaosPhase::Flap {
+                groups: vec![vec![p(0), p(1)], vec![p(2), p(3), p(4)]],
+                period: 400,
+                from: 10_000,
+                until: 14_000,
+            });
         let s = Scenario::fault_free(OmegaVariant::Alg1, 5)
             .campaign(campaign)
             .horizon(20_000);
@@ -630,6 +688,11 @@ mod tests {
         assert!(text.contains("campaign wave 1 - 6500"), "{text}");
         assert!(text.contains("campaign wave - 1 7000"), "{text}");
         assert!(text.contains("campaign heal 7500"), "{text}");
+        assert!(text.contains("campaign cut 0,1>2,3 8000 9000"), "{text}");
+        assert!(
+            text.contains("campaign flap 0,1|2,3,4 400 10000 14000"),
+            "{text}"
+        );
         let parsed = from_spec_text(&text).unwrap();
         assert_same(&s, &parsed);
         assert_eq!(to_spec_text(&parsed), text);
@@ -645,6 +708,15 @@ mod tests {
         let oob = "variant alg1-fig2\nn 3\ncampaign wave 7 - 100\n";
         let e = from_spec_text(oob).unwrap_err().to_string();
         assert!(e.contains("out of range"), "{e}");
+        // Hostile stanzas carry line numbers like every other key.
+        let cut = "variant alg1-fig2\nn 3\n# hostile\ncampaign cut 0,1 100 900\n";
+        let e = from_spec_text(cut).unwrap_err().to_string();
+        assert!(e.contains("line 4"), "{e}");
+        assert!(e.contains("blinded>hidden"), "{e}");
+        let flap = "variant alg1-fig2\nn 3\n\ncampaign flap 0|1 x 100 900\n";
+        let e = from_spec_text(flap).unwrap_err().to_string();
+        assert!(e.contains("line 4"), "{e}");
+        assert!(e.contains("bad flap period"), "{e}");
     }
 
     #[test]
@@ -667,6 +739,19 @@ mod tests {
             (
                 "variant alg1-fig2\nn 3\ncampaign partition 0|0 5 9\n",
                 "two groups",
+            ),
+            (
+                "variant alg1-fig2\nn 3\ncampaign cut 0>0 5 9\n",
+                "both sides",
+            ),
+            ("variant alg1-fig2\nn 3\ncampaign cut 0>1 5\n", "3 fields"),
+            (
+                "variant alg1-fig2\nn 3\ncampaign flap 0|1 0 5 9\n",
+                "period",
+            ),
+            (
+                "variant alg1-fig2\nn 3\ncampaign flap 0|7 4 5 9\n",
+                "out of range",
             ),
         ] {
             let e = from_spec_text(text).unwrap_err();

@@ -25,6 +25,7 @@ use crate::{ChaosOutcome, CrashSpec, Outcome, Scenario, TailActivity};
 /// the cluster like scripted crashes do.
 enum ChaosAction {
     Partition(Vec<Vec<ProcessId>>),
+    Cut(Vec<ProcessId>, Vec<ProcessId>),
     Heal,
     Crash(ProcessId),
 }
@@ -99,6 +100,29 @@ impl WallPacing {
                     }
                     ChaosPhase::Heal { at } => chaos_actions.push((*at, ChaosAction::Heal)),
                     ChaosPhase::Storm { .. } => {}
+                    ChaosPhase::Cut {
+                        blinded,
+                        hidden,
+                        from,
+                        until,
+                    } => {
+                        chaos_actions
+                            .push((*from, ChaosAction::Cut(blinded.clone(), hidden.clone())));
+                        chaos_actions.push((*until, ChaosAction::Heal));
+                    }
+                    ChaosPhase::Flap {
+                        groups,
+                        period,
+                        from,
+                        until,
+                    } => {
+                        // Same install/heal boundaries as the simulator.
+                        for (install, heal) in omega_sim::chaos::flap_spans(*period, *from, *until)
+                        {
+                            chaos_actions.push((install, ChaosAction::Partition(groups.clone())));
+                            chaos_actions.push((heal, ChaosAction::Heal));
+                        }
+                    }
                 }
             }
             chaos_actions.retain(|(tick, _)| *tick < scenario.horizon);
@@ -170,6 +194,9 @@ impl WallPacing {
                         match action {
                             ChaosAction::Partition(groups) => {
                                 cluster.space().install_partition(groups);
+                            }
+                            ChaosAction::Cut(blinded, hidden) => {
+                                cluster.space().install_cut(blinded, hidden);
                             }
                             ChaosAction::Heal => cluster.space().heal_partition(),
                             ChaosAction::Crash(pid) => cluster.crash(*pid),
@@ -306,6 +333,9 @@ impl WallPacing {
             tail,
             san: None,
             chaos,
+            // Wall drivers never admit non-electing scenarios, so there is
+            // no hostile window to witness.
+            witness: None,
             workers,
         }
     }

@@ -57,6 +57,9 @@ struct LedgerInner {
     /// deadline-sorted (constant deadline offset over a time-sorted
     /// schedule), so the sweep is amortized O(1) per request.
     sweep_cursor: usize,
+    /// First request whose fail-fast bound has not been swept yet; the
+    /// same constant-offset argument keeps bound ticks sorted.
+    bound_cursor: usize,
 }
 
 /// Shared request state: metadata, lifecycle states, per-node inboxes,
@@ -80,6 +83,7 @@ impl Ledger {
             inner: Mutex::new(LedgerInner {
                 states,
                 sweep_cursor: 0,
+                bound_cursor: 0,
             }),
             inboxes: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
             estimates: (0..n).map(|_| AtomicI64::new(-1)).collect(),
@@ -173,11 +177,30 @@ impl Ledger {
     }
 
     /// Stalls every still-pending request whose deadline is at or before
-    /// `now`. The stall tick recorded is the request's *deadline* (the
-    /// moment the client actually gave up), not the sweep time, so
-    /// outcomes are independent of sweep cadence.
+    /// `now`, and fail-fast-rejects every still-pending request whose
+    /// stall bound passed first. The ticks recorded are the request's own
+    /// *deadline* / *bound* (the moment the client gave up, or the router
+    /// gave up on its behalf), not the sweep time, so outcomes are
+    /// independent of sweep cadence.
     pub fn sweep(&self, now: u64) {
         let mut inner = self.inner.lock();
+        // Fail-fast pass first: when one sweep covers both ticks, the
+        // rejection wins wherever the bound is at or under the client's
+        // patience. A bound looser than the deadline is moot for that
+        // request — the stall sweep owns it.
+        while inner.bound_cursor < self.meta.len() {
+            let id = inner.bound_cursor;
+            match self.meta[id].fail_fast {
+                Some(at) if at <= now => {
+                    if inner.states[id] == RequestState::Pending && at <= self.meta[id].deadline {
+                        inner.states[id] = RequestState::Rejected { at };
+                    }
+                    inner.bound_cursor += 1;
+                }
+                Some(_) => break,
+                None => inner.bound_cursor += 1,
+            }
+        }
         while inner.sweep_cursor < self.meta.len() {
             let id = inner.sweep_cursor;
             let deadline = self.meta[id].deadline;
@@ -219,6 +242,7 @@ mod tests {
             .map(|&arrival| RequestMeta {
                 arrival,
                 deadline: arrival + deadline,
+                fail_fast: None,
                 client: 0,
                 kind: RequestKind::Get { key: 0 },
             })
@@ -281,6 +305,34 @@ mod tests {
         assert_eq!(states[0], RequestState::Stalled { at: 50 });
         assert_eq!(states[1], RequestState::Committed { at: 120 });
         assert_eq!(states[2], RequestState::Stalled { at: 250 });
+    }
+
+    #[test]
+    fn fail_fast_rejects_at_the_bound_not_the_sweep() {
+        let mut meta = meta(&[0, 100, 200], 1_000);
+        for m in &mut meta {
+            m.fail_fast = Some(m.arrival + 300);
+        }
+        let ledger = Ledger::new(meta, 1);
+        ledger.complete(1, 150);
+        ledger.sweep(5_000);
+        let states = ledger.states();
+        assert_eq!(states[0], RequestState::Rejected { at: 300 });
+        assert_eq!(states[1], RequestState::Committed { at: 150 });
+        assert_eq!(states[2], RequestState::Rejected { at: 500 });
+    }
+
+    #[test]
+    fn a_bound_looser_than_the_deadline_is_moot() {
+        let mut meta = meta(&[0], 50);
+        meta[0].fail_fast = Some(200);
+        let ledger = Ledger::new(meta, 1);
+        ledger.sweep(1_000);
+        assert_eq!(
+            ledger.states()[0],
+            RequestState::Stalled { at: 50 },
+            "the client's patience ran out before the router's"
+        );
     }
 
     #[test]

@@ -151,6 +151,7 @@ mod tests {
         RequestMeta {
             arrival,
             deadline: arrival + 10_000,
+            fail_fast: None,
             client: 0,
             kind: RequestKind::Put { key },
         }
@@ -160,6 +161,7 @@ mod tests {
         RequestMeta {
             arrival,
             deadline: arrival + 10_000,
+            fail_fast: None,
             client: 0,
             kind: RequestKind::Get { key },
         }

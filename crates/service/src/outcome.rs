@@ -74,11 +74,18 @@ pub struct ServiceOutcome {
     pub commit_max: u64,
     /// One window per scripted crash, in crash order.
     pub windows: Vec<UnavailWindow>,
-    /// Requests refused while a campaign partition was installed (their
-    /// rejection tick fell inside a partition's `[from, until)` span) —
+    /// Requests refused while a campaign split was installed — their
+    /// rejection tick fell inside the `[from, until)` span of a
+    /// partition, a directed cut, or one of a flap's install windows —
     /// the service-layer attribution of chaos-induced unavailability.
     /// Zero when the scenario has no campaign.
     pub in_partition_rejected: u64,
+    /// Requests that outlived the workload's fail-fast stall bound: ended
+    /// `Stalled`, or resolved after `arrival + stall_bound`. Always zero
+    /// when the workload sets no bound; gating this at zero in
+    /// `BENCH_service.json` is the drain SLO — under hostile chaos the
+    /// ledger must terminate every request promptly, not park it.
+    pub stall_bound_breaches: u64,
     /// Whether the election (re-)stabilized by the end of the run.
     pub stabilized: bool,
     /// Space-wide shared-register writes (election + replication).
@@ -167,19 +174,28 @@ impl ServiceOutcome {
         }
 
         // Campaign attribution: a rejection whose tick fell inside an
-        // installed partition is chaos-induced, not crash-induced — split
+        // installed split is chaos-induced, not crash-induced — split
         // leader estimates across the cut misroute requests even though
-        // every node is alive.
+        // every node is alive. Partitions and directed cuts contribute
+        // their whole span; a flap contributes only its install windows
+        // (the healed half-cycles are the service's to recover in).
         let partition_spans: Vec<(u64, u64)> = scenario
             .election
             .campaign
             .iter()
             .flat_map(|c| &c.phases)
-            .filter_map(|phase| match phase {
-                omega_sim::chaos::ChaosPhase::Partition { from, until, .. } => {
-                    Some((*from, *until))
+            .flat_map(|phase| match phase {
+                omega_sim::chaos::ChaosPhase::Partition { from, until, .. }
+                | omega_sim::chaos::ChaosPhase::Cut { from, until, .. } => {
+                    vec![(*from, *until)]
                 }
-                _ => None,
+                omega_sim::chaos::ChaosPhase::Flap {
+                    period,
+                    from,
+                    until,
+                    ..
+                } => omega_sim::chaos::flap_spans(*period, *from, *until),
+                _ => Vec::new(),
             })
             .collect();
         let in_partition_rejected = states
@@ -189,6 +205,26 @@ impl ServiceOutcome {
                     .iter()
                     .any(|&(from, until)| at >= from && at < until),
                 _ => false,
+            })
+            .count() as u64;
+
+        // Drain accounting: with a fail-fast bound configured, every
+        // request must terminate by `arrival + stall_bound` — a stall, or
+        // any resolution after the bound tick, is a breach. Pending
+        // requests are excluded like the rest of the SLO (their bound may
+        // sit beyond the horizon).
+        let stall_bound_breaches = meta
+            .iter()
+            .zip(&states)
+            .filter(|(m, state)| {
+                let Some(bound_at) = m.fail_fast else {
+                    return false;
+                };
+                match **state {
+                    RequestState::Pending => false,
+                    RequestState::Stalled { .. } => true,
+                    RequestState::Committed { at } | RequestState::Rejected { at } => at > bound_at,
+                }
             })
             .count() as u64;
 
@@ -209,6 +245,7 @@ impl ServiceOutcome {
             commit_max: latencies.max(),
             windows,
             in_partition_rejected,
+            stall_bound_breaches,
             stabilized,
             total_writes,
             log_slots,
@@ -281,8 +318,8 @@ impl ServiceOutcome {
         );
         let _ = write!(
             o,
-            "\"in_partition_rejected\":{},",
-            self.in_partition_rejected,
+            "\"in_partition_rejected\":{},\"stall_bound_breaches\":{},",
+            self.in_partition_rejected, self.stall_bound_breaches,
         );
         let _ = write!(
             o,
@@ -329,6 +366,7 @@ mod tests {
         RequestMeta {
             arrival,
             deadline: arrival + 1_000,
+            fail_fast: None,
             client: 0,
             kind: RequestKind::Get { key: 0 },
         }
@@ -379,6 +417,27 @@ mod tests {
     }
 
     #[test]
+    fn stall_bound_breaches_count_stalls_and_late_resolutions() {
+        let sc = scenario();
+        let mut meta = vec![request(100), request(200), request(300), request(400)];
+        for m in &mut meta[..3] {
+            m.fail_fast = Some(m.arrival + 500);
+        }
+        // Request 3's bound is looser than its deadline, so the sweep
+        // stalls it — a breach all the same.
+        meta[3].fail_fast = Some(meta[3].arrival + 2_000);
+        let ledger = Ledger::new(meta, sc.election.n);
+        ledger.complete(0, 400); // inside the bound: clean
+        ledger.complete(1, 900); // committed past arrival + 500: breach
+        ledger.reject(2, 800); // rejected exactly at the bound tick: clean
+        ledger.sweep(10_000); // request 3 stalls at its deadline: breach
+        let outcome = ServiceOutcome::assemble("sim", &sc, &ledger, &[], true, 0, 0, 1.0);
+        assert_eq!(outcome.stalled, 1);
+        assert_eq!(outcome.stall_bound_breaches, 2);
+        assert!(outcome.json_record().contains("\"stall_bound_breaches\":2"));
+    }
+
+    #[test]
     fn json_record_is_flat_and_complete() {
         let sc = scenario();
         let ledger = Ledger::new(vec![request(100)], sc.election.n);
@@ -400,6 +459,7 @@ mod tests {
             "\"crashes\":0",
             "\"unavail_ticks\":0",
             "\"in_partition_rejected\":0",
+            "\"stall_bound_breaches\":0",
             "\"stabilized\":true",
             "\"total_writes\":42",
             "\"log_slots\":7",

@@ -31,6 +31,7 @@ fn base_workload() -> WorkloadSpec {
         put_pct: 10,
         key_space: 64,
         deadline: 6_000,
+        stall_bound: None,
         start: 2_000,
         stop: 50_000,
     }
@@ -111,6 +112,34 @@ pub fn all() -> Vec<ServiceScenario> {
             .horizon(100_000),
         base_workload(),
     ));
+    // The hostile flap: the same split as chaos/partition-heal, but
+    // oscillating — installed for 3 000 ticks, healed for 3 000, four
+    // cycles across [20 000, 44 000) — with the workload's fail-fast
+    // stall bound switched on. Every install misroutes requests; the
+    // bound turns each would-be stall into a prompt rejection at
+    // `arrival + 3 000`, so the record must end with zero stalled
+    // requests and zero bound breaches: the ledger drains even while the
+    // membership view flaps, which is the drain SLO `BENCH_service.json`
+    // gates.
+    suite.push(ServiceScenario::new(
+        "hostile/flap-service",
+        Scenario::fault_free(OmegaVariant::Alg1, N)
+            .awb(ProcessId::new(4), 1_000, 4)
+            .campaign(Campaign::new().phase(ChaosPhase::Flap {
+                groups: vec![
+                    vec![ProcessId::new(3), ProcessId::new(4)],
+                    vec![ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)],
+                ],
+                period: 3_000,
+                from: 20_000,
+                until: 44_000,
+            }))
+            .horizon(100_000),
+        WorkloadSpec {
+            stall_bound: Some(3_000),
+            ..base_workload()
+        },
+    ));
     suite
 }
 
@@ -142,6 +171,7 @@ mod tests {
         );
         assert!(names.contains(&"failover/alg1".to_string()));
         assert!(names.contains(&"chaos/partition-heal".to_string()));
+        assert!(names.contains(&"hostile/flap-service".to_string()));
         for sc in &suite {
             assert_eq!(sc.election.n, N);
             assert!(sc.election.expect_stabilization);
@@ -160,7 +190,7 @@ mod tests {
         for sc in all() {
             let expected = match sc.name.split('/').next().unwrap() {
                 "steady" => 0,
-                "chaos" => 0, // campaigns partition, they don't crash
+                "chaos" | "hostile" => 0, // campaigns partition, they don't crash
                 "double-failover" => 2,
                 _ => 1,
             };

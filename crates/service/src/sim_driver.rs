@@ -208,6 +208,33 @@ mod tests {
     }
 
     #[test]
+    fn flap_service_drains_under_the_stall_bound() {
+        // hostile/flap-service: four install/heal cycles churn the
+        // routing view, but the workload's fail-fast bound terminates
+        // every would-be stall as a prompt rejection — the ledger ends
+        // the run drained, with the drain SLO's counter at zero.
+        let sc = registry::by_name("hostile/flap-service").unwrap();
+        assert_eq!(sc.workload.stall_bound, Some(3_000));
+        let outcome = ServiceSimDriver.run(&sc);
+        assert!(outcome.stabilized, "the last heal leaves time to re-elect");
+        assert_eq!(outcome.stalled, 0, "every would-be stall fails fast");
+        assert_eq!(outcome.inflight, 0, "deadlines resolve inside the horizon");
+        assert_eq!(
+            outcome.stall_bound_breaches, 0,
+            "nothing outlives arrival + bound: {outcome:?}"
+        );
+        assert!(
+            outcome.committed > 0 && outcome.rejected > 0,
+            "the flap misroutes some requests while the heals keep serving"
+        );
+        assert!(
+            outcome.in_partition_rejected > 0,
+            "install-window rejections are attributed to the flap"
+        );
+        assert!(outcome.json_record().contains("\"stall_bound_breaches\":0"));
+    }
+
+    #[test]
     fn identical_runs_yield_identical_records() {
         let sc = registry::by_name("failover/alg2").unwrap();
         let mut a = ServiceSimDriver.run(&sc);

@@ -76,6 +76,7 @@ mod tests {
                 put_pct: 10,
                 key_space: 4,
                 deadline: 500,
+                stall_bound: None,
                 start: 100,
                 stop: 5_000,
             },

@@ -131,6 +131,7 @@ impl WallPacing {
 /// are absent — no service wall backend is admitted with one.
 enum ChaosAction {
     Partition(Vec<Vec<ProcessId>>),
+    Cut(Vec<ProcessId>, Vec<ProcessId>),
     Heal,
     Crash(ProcessId),
 }
@@ -168,6 +169,26 @@ fn run_script(
                 }
                 ChaosPhase::Heal { at } => chaos_actions.push((*at, ChaosAction::Heal)),
                 ChaosPhase::Storm { .. } => {}
+                ChaosPhase::Cut {
+                    blinded,
+                    hidden,
+                    from,
+                    until,
+                } => {
+                    chaos_actions.push((*from, ChaosAction::Cut(blinded.clone(), hidden.clone())));
+                    chaos_actions.push((*until, ChaosAction::Heal));
+                }
+                ChaosPhase::Flap {
+                    groups,
+                    period,
+                    from,
+                    until,
+                } => {
+                    for (install, heal) in omega_sim::chaos::flap_spans(*period, *from, *until) {
+                        chaos_actions.push((install, ChaosAction::Partition(groups.clone())));
+                        chaos_actions.push((heal, ChaosAction::Heal));
+                    }
+                }
             }
         }
         chaos_actions.retain(|(tick, _)| *tick < election.horizon);
@@ -197,6 +218,7 @@ fn run_script(
         while next_action < chaos_actions.len() && chaos_actions[next_action].0 <= now {
             match &chaos_actions[next_action].1 {
                 ChaosAction::Partition(groups) => cluster.space().install_partition(groups),
+                ChaosAction::Cut(blinded, hidden) => cluster.space().install_cut(blinded, hidden),
                 ChaosAction::Heal => cluster.space().heal_partition(),
                 ChaosAction::Crash(pid) => cluster.crash(*pid),
             }
@@ -404,6 +426,7 @@ mod tests {
                 put_pct: 20,
                 key_space: 8,
                 deadline: 2_000,
+                stall_bound: None,
                 start: 500,
                 stop: 7_500,
             },
@@ -454,6 +477,7 @@ mod tests {
                 put_pct: 20,
                 key_space: 8,
                 deadline: 2_000,
+                stall_bound: None,
                 start: 500,
                 stop: 9_000,
             },

@@ -33,6 +33,9 @@ pub struct RequestMeta {
     pub arrival: u64,
     /// Tick at which the issuing client gives up waiting.
     pub deadline: u64,
+    /// Tick at which the router fails the request fast
+    /// (`arrival + stall_bound`), when the workload sets a bound.
+    pub fail_fast: Option<u64>,
     /// Index of the issuing client.
     pub client: u64,
     /// The operation.
@@ -54,6 +57,7 @@ pub struct RequestMeta {
 ///     put_pct: 10,
 ///     key_space: 16,
 ///     deadline: 2_000,
+///     stall_bound: None,
 ///     start: 1_000,
 ///     stop: 10_000,
 /// };
@@ -76,6 +80,12 @@ pub struct WorkloadSpec {
     /// arrival counts as stalled. Constant per workload, so requests stay
     /// deadline-sorted and the stall sweep is a single cursor.
     pub deadline: u64,
+    /// Router-side fail-fast bound: a request still unresolved
+    /// `stall_bound` ticks after its arrival is terminated `Rejected` by
+    /// the sweep instead of hanging to the client deadline. `None`
+    /// disables the bound. Constant per workload (like `deadline`), so
+    /// bound ticks stay sorted and the fail-fast sweep is a single cursor.
+    pub stall_bound: Option<u64>,
     /// First tick of the arrival window.
     pub start: u64,
     /// End of the arrival window (exclusive).
@@ -107,6 +117,7 @@ impl WorkloadSpec {
         .map(|a| RequestMeta {
             arrival: a.at,
             deadline: a.at.saturating_add(self.deadline),
+            fail_fast: self.stall_bound.map(|b| a.at.saturating_add(b)),
             client: a.client,
             kind: a.payload,
         })
@@ -132,6 +143,7 @@ mod tests {
             put_pct: 20,
             key_space: 8,
             deadline: 3_000,
+            stall_bound: None,
             start: 500,
             stop: 20_000,
         }
@@ -156,6 +168,23 @@ mod tests {
         assert!(
             requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
             "schedule is time-sorted (hence deadline-sorted)"
+        );
+    }
+
+    #[test]
+    fn stall_bound_stamps_fail_fast_ticks() {
+        let bounded = WorkloadSpec {
+            stall_bound: Some(1_500),
+            ..spec()
+        };
+        let requests = bounded.generate(11);
+        assert!(!requests.is_empty());
+        for r in &requests {
+            assert_eq!(r.fail_fast, Some(r.arrival + 1_500));
+        }
+        assert!(
+            spec().generate(11).iter().all(|r| r.fail_fast.is_none()),
+            "no bound, no fail-fast tick"
         );
     }
 

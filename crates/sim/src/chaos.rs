@@ -68,6 +68,67 @@ pub enum ChaosPhase {
         /// The tick the heal fires.
         at: u64,
     },
+    /// Sever register visibility **one way** over `[from, until)`: the
+    /// `blinded` processes read the `hidden` processes' rows frozen at
+    /// `from`, while the hidden side (and everyone else) keeps reading
+    /// live in every direction.
+    ///
+    /// This is the asymmetric-fabric regime of the López–Rajsbaum–Raynal
+    /// weak-connectivity results: election survives a directed cut exactly
+    /// when a strongly-connected timely core stays visible to everyone.
+    Cut {
+        /// Processes whose reads of `hidden` are severed.
+        blinded: Vec<ProcessId>,
+        /// Processes the blinded side stops seeing (their own view stays
+        /// live).
+        hidden: Vec<ProcessId>,
+        /// First tick of the cut.
+        from: u64,
+        /// Tick the cut heals (exclusive).
+        until: u64,
+    },
+    /// Oscillate a partition over `[from, until)`: installed for `period`
+    /// ticks, healed for `period` ticks, and so on — always healed by
+    /// `until`.
+    ///
+    /// A flap whose period outpaces the AWB timeout growth keeps every
+    /// cross-group suspicion alive for the whole window: the membrane
+    /// never stays quiet long enough for timeouts to catch up.
+    Flap {
+        /// Disjoint groups of processes; ids absent from every group are
+        /// unaffected.
+        groups: Vec<Vec<ProcessId>>,
+        /// Ticks per half-cycle: partitioned for `period`, healed for
+        /// `period`.
+        period: u64,
+        /// First tick of the first cut.
+        from: u64,
+        /// Tick the oscillation stops, healed (exclusive).
+        until: u64,
+    },
+}
+
+/// The `(install, heal)` tick pairs a flap phase with the given `period`
+/// over `[from, until)` produces: partitioned during even half-cycles,
+/// healed during odd ones, with the final cut clamped to heal at `until`.
+///
+/// This is the single source of truth for flap boundaries — the simulator
+/// schedules its [`ChaosStart`](crate::event::EventKind::ChaosStart) /
+/// [`ChaosEnd`](crate::event::EventKind::ChaosEnd) events from it,
+/// [`Campaign::planned_stats`] mirrors it, and wall-clock drivers expand
+/// their install/heal actions from it, so all three stay consistent.
+#[must_use]
+pub fn flap_spans(period: u64, from: u64, until: u64) -> Vec<(u64, u64)> {
+    let mut spans = Vec::new();
+    if period == 0 {
+        return spans;
+    }
+    let mut install = from;
+    while install < until {
+        spans.push((install, (install + period).min(until)));
+        install += 2 * period;
+    }
+    spans
 }
 
 impl ChaosPhase {
@@ -75,7 +136,10 @@ impl ChaosPhase {
     #[must_use]
     pub fn start(&self) -> u64 {
         match *self {
-            ChaosPhase::Partition { from, .. } | ChaosPhase::Storm { from, .. } => from,
+            ChaosPhase::Partition { from, .. }
+            | ChaosPhase::Storm { from, .. }
+            | ChaosPhase::Cut { from, .. }
+            | ChaosPhase::Flap { from, .. } => from,
             ChaosPhase::Wave { at, .. } | ChaosPhase::Heal { at } => at,
         }
     }
@@ -85,7 +149,10 @@ impl ChaosPhase {
     #[must_use]
     pub fn end(&self) -> Option<u64> {
         match *self {
-            ChaosPhase::Partition { until, .. } | ChaosPhase::Storm { until, .. } => Some(until),
+            ChaosPhase::Partition { until, .. }
+            | ChaosPhase::Storm { until, .. }
+            | ChaosPhase::Cut { until, .. }
+            | ChaosPhase::Flap { until, .. } => Some(until),
             ChaosPhase::Wave { .. } | ChaosPhase::Heal { .. } => None,
         }
     }
@@ -136,6 +203,42 @@ impl Campaign {
             .any(|p| matches!(p, ChaosPhase::Wave { recover, .. } if !recover.is_empty()))
     }
 
+    /// Whether any phase is a directed cut (every driver realizes it via
+    /// the memory space's directed mask).
+    #[must_use]
+    pub fn has_cut(&self) -> bool {
+        self.phases
+            .iter()
+            .any(|p| matches!(p, ChaosPhase::Cut { .. }))
+    }
+
+    /// Whether any phase is a flap (realized everywhere as a schedule of
+    /// install/heal pairs from [`flap_spans`]).
+    #[must_use]
+    pub fn has_flap(&self) -> bool {
+        self.phases
+            .iter()
+            .any(|p| matches!(p, ChaosPhase::Flap { .. }))
+    }
+
+    /// The tick window the campaign disrupts, clamped to `horizon`:
+    /// earliest phase start to latest phase end (instantaneous phases
+    /// count their firing tick; unhealed phases extend to the horizon).
+    /// `None` for an empty campaign.
+    #[must_use]
+    pub fn disruption_window(&self, horizon: u64) -> Option<(u64, u64)> {
+        let mut window: Option<(u64, u64)> = None;
+        for phase in &self.phases {
+            let start = phase.start().min(horizon);
+            let end = phase.end().unwrap_or(phase.start()).min(horizon);
+            window = Some(match window {
+                None => (start, end),
+                Some((from, until)) => (from.min(start), until.max(end)),
+            });
+        }
+        window
+    }
+
     /// The stats this schedule yields by construction on a run of `horizon`
     /// ticks, mirroring the simulator's accounting exactly (phase events
     /// fire at `tick <= horizon`, in `(tick, declaration order)`; phases
@@ -154,14 +257,33 @@ impl Campaign {
         }
         let mut actions: Vec<(u64, usize, Action)> = Vec::new();
         for (seq, phase) in self.phases.iter().enumerate() {
+            // A flap is a schedule of install/heal pairs, not one span.
+            if let ChaosPhase::Flap {
+                period,
+                from,
+                until,
+                ..
+            } = *phase
+            {
+                for (install, heal) in flap_spans(period, from, until) {
+                    if install <= horizon {
+                        actions.push((install, seq, Action::PartitionStart));
+                    }
+                    if heal <= horizon {
+                        actions.push((heal, seq, Action::Heal));
+                    }
+                }
+                continue;
+            }
             let (start, end) = (phase.start(), phase.end());
             let act = match phase {
-                ChaosPhase::Partition { .. } => Action::PartitionStart,
+                ChaosPhase::Partition { .. } | ChaosPhase::Cut { .. } => Action::PartitionStart,
                 ChaosPhase::Storm { .. } => Action::StormStart,
                 ChaosPhase::Wave { crash, recover, .. } => {
                     Action::Wave(crash.len() as u32, recover.len() as u32)
                 }
                 ChaosPhase::Heal { .. } => Action::Heal,
+                ChaosPhase::Flap { .. } => unreachable!("handled above"),
             };
             if start <= horizon {
                 actions.push((start, seq, act));
@@ -266,6 +388,48 @@ impl Campaign {
                     }
                 }
                 ChaosPhase::Heal { .. } => {}
+                ChaosPhase::Cut {
+                    blinded,
+                    hidden,
+                    from,
+                    until,
+                } => {
+                    if until <= from {
+                        return Err(ctx(format!("empty interval {from}..{until}")));
+                    }
+                    if blinded.is_empty() || hidden.is_empty() {
+                        return Err(ctx("cut needs both a blinded and a hidden side".to_string()));
+                    }
+                    let mut seen = vec![false; n];
+                    for &pid in blinded.iter().chain(hidden) {
+                        check_pid(pid)?;
+                        if std::mem::replace(&mut seen[pid.index()], true) {
+                            return Err(ctx(format!("process {pid} on both sides of the cut")));
+                        }
+                    }
+                }
+                ChaosPhase::Flap {
+                    groups,
+                    period,
+                    from,
+                    until,
+                } => {
+                    if until <= from {
+                        return Err(ctx(format!("empty interval {from}..{until}")));
+                    }
+                    if *period == 0 {
+                        return Err(ctx("flap period must be >= 1".to_string()));
+                    }
+                    let mut seen = vec![false; n];
+                    for group in groups {
+                        for &pid in group {
+                            check_pid(pid)?;
+                            if std::mem::replace(&mut seen[pid.index()], true) {
+                                return Err(ctx(format!("process {pid} in two groups")));
+                            }
+                        }
+                    }
+                }
             }
         }
         Ok(())
@@ -411,6 +575,110 @@ mod tests {
         assert_eq!(cut_short.partition_ticks, 600);
         assert_eq!(cut_short.storm_ticks, 1_000);
         assert_eq!(cut_short.wave_crashes, 0);
+    }
+
+    #[test]
+    fn flap_spans_cover_the_window_and_clamp_the_tail() {
+        // 100..700 with period 150: cut 100..250, healed 250..400,
+        // cut 400..550, healed 550..700.
+        assert_eq!(flap_spans(150, 100, 700), vec![(100, 250), (400, 550)]);
+        // The final cut clamps to heal at `until`.
+        assert_eq!(flap_spans(300, 0, 500), vec![(0, 300)]);
+        assert_eq!(flap_spans(200, 0, 700), vec![(0, 200), (400, 600)]);
+        assert!(flap_spans(0, 0, 100).is_empty(), "degenerate period");
+        assert!(flap_spans(10, 50, 50).is_empty(), "empty window");
+    }
+
+    #[test]
+    fn validate_rejects_zero_period_and_overlapping_flap_groups() {
+        let zero_period = Campaign::new().phase(ChaosPhase::Flap {
+            groups: vec![vec![p(0)], vec![p(1)]],
+            period: 0,
+            from: 10,
+            until: 100,
+        });
+        assert!(zero_period.validate(3).unwrap_err().contains("period"));
+        let overlap = Campaign::new().phase(ChaosPhase::Flap {
+            groups: vec![vec![p(0), p(1)], vec![p(1)]],
+            period: 10,
+            from: 10,
+            until: 100,
+        });
+        assert!(overlap.validate(3).unwrap_err().contains("two groups"));
+        let ok = Campaign::new().phase(ChaosPhase::Flap {
+            groups: vec![vec![p(0)], vec![p(1), p(2)]],
+            period: 10,
+            from: 10,
+            until: 100,
+        });
+        assert!(ok.validate(3).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_malformed_cuts() {
+        let both_sides = Campaign::new().phase(ChaosPhase::Cut {
+            blinded: vec![p(0)],
+            hidden: vec![p(0)],
+            from: 1,
+            until: 9,
+        });
+        assert!(both_sides.validate(2).unwrap_err().contains("both sides"));
+        let one_sided = Campaign::new().phase(ChaosPhase::Cut {
+            blinded: vec![p(0)],
+            hidden: vec![],
+            from: 1,
+            until: 9,
+        });
+        assert!(one_sided.validate(2).unwrap_err().contains("hidden"));
+        let empty = Campaign::new().phase(ChaosPhase::Cut {
+            blinded: vec![p(0)],
+            hidden: vec![p(1)],
+            from: 9,
+            until: 9,
+        });
+        assert!(empty.validate(2).unwrap_err().contains("empty interval"));
+    }
+
+    #[test]
+    fn flap_planned_stats_count_every_half_cycle() {
+        let campaign = Campaign::new().phase(ChaosPhase::Flap {
+            groups: vec![vec![p(0)], vec![p(1)]],
+            period: 150,
+            from: 100,
+            until: 700,
+        });
+        let stats = campaign.planned_stats(10_000);
+        assert_eq!(stats.partitions, 2, "one install per cut half-cycle");
+        assert_eq!(stats.partition_ticks, 300);
+        assert_eq!(stats.last_heal_at, Some(550));
+        // A horizon inside a cut half-cycle leaves it open, unhealed.
+        let cut_short = campaign.planned_stats(450);
+        assert_eq!(cut_short.partitions, 2);
+        assert_eq!(cut_short.partition_ticks, 150 + 50);
+        assert_eq!(cut_short.last_heal_at, Some(250));
+    }
+
+    #[test]
+    fn cut_predicates_and_window() {
+        let campaign = Campaign::new()
+            .phase(ChaosPhase::Cut {
+                blinded: vec![p(0)],
+                hidden: vec![p(1)],
+                from: 2_000,
+                until: 8_000,
+            })
+            .phase(ChaosPhase::Flap {
+                groups: vec![vec![p(0)], vec![p(1)]],
+                period: 500,
+                from: 9_000,
+                until: 12_000,
+            });
+        assert!(campaign.has_cut());
+        assert!(campaign.has_flap());
+        assert!(!campaign.has_storm());
+        assert_eq!(campaign.disruption_window(60_000), Some((2_000, 12_000)));
+        assert_eq!(campaign.disruption_window(10_000), Some((2_000, 10_000)));
+        assert_eq!(Campaign::new().disruption_window(10_000), None);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use omega_registers::{FootprintReport, MemorySpace, ProcessId, ProcessSet};
 
 use crate::adversary::{Adversary, RunView, Synchronous};
-use crate::chaos::{Campaign, ChaosPhase, ChaosStats};
+use crate::chaos::{flap_spans, Campaign, ChaosPhase, ChaosStats};
 use crate::crash::{CrashDirective, CrashPlan};
 use crate::event::{EventKind, EventQueue};
 use crate::metrics::{LeaderTimeline, StabilizationReport, WindowedStats};
@@ -380,6 +380,24 @@ impl Simulation {
         if let Some(campaign) = &self.campaign {
             for (i, phase) in campaign.phases.iter().enumerate() {
                 let i = u32::try_from(i).expect("phase count fits u32");
+                // A flap is one phase realized as many install/heal pairs:
+                // the same ChaosStart/ChaosEnd events fire once per
+                // half-cycle, so traces record and replay it natively.
+                if let ChaosPhase::Flap {
+                    period,
+                    from,
+                    until,
+                    ..
+                } = *phase
+                {
+                    for (install, heal) in flap_spans(period, from, until) {
+                        self.queue
+                            .schedule(SimTime::from_ticks(install), EventKind::ChaosStart(i));
+                        self.queue
+                            .schedule(SimTime::from_ticks(heal), EventKind::ChaosEnd(i));
+                    }
+                    continue;
+                }
                 self.queue
                     .schedule(SimTime::from_ticks(phase.start()), EventKind::ChaosStart(i));
                 if let Some(end) = phase.end() {
@@ -579,6 +597,19 @@ impl Simulation {
             ChaosPhase::Heal { .. } => {
                 self.heal_partition(now);
             }
+            ChaosPhase::Cut {
+                blinded, hidden, ..
+            } => {
+                self.chaos_memory().install_cut(&blinded, &hidden);
+                self.report.chaos.partitions += 1;
+                self.partition_since = Some(now);
+            }
+            ChaosPhase::Flap { groups, .. } => {
+                // Fires once per cut half-cycle (see `run_to_horizon`).
+                self.chaos_memory().install_partition(&groups);
+                self.report.chaos.partitions += 1;
+                self.partition_since = Some(now);
+            }
         }
     }
 
@@ -590,7 +621,9 @@ impl Simulation {
             .expect("chaos event without a campaign")
             .phases[i];
         match phase {
-            ChaosPhase::Partition { .. } => self.heal_partition(now),
+            ChaosPhase::Partition { .. } | ChaosPhase::Cut { .. } | ChaosPhase::Flap { .. } => {
+                self.heal_partition(now);
+            }
             ChaosPhase::Storm { .. } => {
                 self.storm = None;
                 if let Some(since) = self.storm_since.take() {
@@ -1067,6 +1100,96 @@ mod tests {
         assert_eq!(report.chaos.partition_ticks, 600);
         assert_eq!(report.chaos.last_heal_at, None);
         assert!(space.partition_active(), "still cut at the horizon");
+    }
+
+    #[test]
+    fn flap_phase_oscillates_and_matches_planned_stats() {
+        use omega_registers::MemorySpace;
+        let space = MemorySpace::new(2);
+        let campaign = Campaign::new().phase(ChaosPhase::Flap {
+            groups: vec![vec![ProcessId::new(0)], vec![ProcessId::new(1)]],
+            period: 150,
+            from: 100,
+            until: 700,
+        });
+        let report = Simulation::builder(fixed_actors(2, 0))
+            .memory(space.clone())
+            .campaign(campaign.clone())
+            .horizon(1_000)
+            .run();
+        assert_eq!(report.chaos.partitions, 2, "one install per half-cycle");
+        assert_eq!(report.chaos.partition_ticks, 300);
+        assert_eq!(report.chaos.last_heal_at, Some(550));
+        assert!(!space.partition_active(), "flaps end healed");
+        assert_eq!(
+            report.chaos,
+            campaign.planned_stats(1_000),
+            "sim accounting and the planned mirror agree"
+        );
+    }
+
+    #[test]
+    fn cut_phase_blinds_one_side_and_heals() {
+        use omega_registers::MemorySpace;
+        let space = MemorySpace::new(2);
+        let campaign = Campaign::new().phase(ChaosPhase::Cut {
+            blinded: vec![ProcessId::new(0)],
+            hidden: vec![ProcessId::new(1)],
+            from: 100,
+            until: 700,
+        });
+        let report = Simulation::builder(fixed_actors(2, 0))
+            .memory(space.clone())
+            .campaign(campaign.clone())
+            .horizon(1_000)
+            .run();
+        assert_eq!(report.chaos.partitions, 1);
+        assert_eq!(report.chaos.partition_ticks, 600);
+        assert_eq!(report.chaos.last_heal_at, Some(700));
+        assert!(!space.partition_active(), "healed by the end");
+        assert_eq!(report.chaos, campaign.planned_stats(1_000));
+    }
+
+    #[test]
+    fn hostile_campaign_run_replays_identically() {
+        use omega_registers::MemorySpace;
+        let campaign = Campaign::new()
+            .phase(ChaosPhase::Cut {
+                blinded: vec![ProcessId::new(0), ProcessId::new(1)],
+                hidden: vec![ProcessId::new(2), ProcessId::new(3)],
+                from: 200,
+                until: 800,
+            })
+            .phase(ChaosPhase::Flap {
+                groups: vec![
+                    vec![ProcessId::new(0), ProcessId::new(2)],
+                    vec![ProcessId::new(1), ProcessId::new(3)],
+                ],
+                period: 250,
+                from: 1_000,
+                until: 2_300,
+            });
+        let config = |space: &MemorySpace| {
+            Simulation::builder(fixed_actors(4, 1))
+                .adversary(SeededRandom::new(13, 1, 6))
+                .memory(space.clone())
+                .campaign(campaign.clone())
+                .horizon(2_500)
+                .sample_every(25)
+                .record_trace()
+        };
+        let live_space = MemorySpace::new(4);
+        let live = config(&live_space).run();
+        assert_eq!(live.chaos, campaign.planned_stats(2_500));
+        let trace = Trace::decode(&live.recording.as_ref().unwrap().encode()).unwrap();
+
+        let replay_space = MemorySpace::new(4);
+        let replayed = config(&replay_space).run_replay(&trace);
+        assert_eq!(replayed.steps_taken, live.steps_taken);
+        assert_eq!(replayed.timeline.samples(), live.timeline.samples());
+        assert_eq!(replayed.chaos, live.chaos, "chaos counters replay too");
+        let re_recorded = replayed.recording.expect("recording enabled on replay");
+        assert_eq!(re_recorded.encode(), trace.encode());
     }
 
     #[test]

@@ -50,6 +50,7 @@ fn mini_cluster() {
         .map(|(id, &kind)| RequestMeta {
             arrival: id as u64,
             deadline: id as u64 + 10_000,
+            fail_fast: None,
             client: id as u64,
             kind,
         })

@@ -40,6 +40,22 @@ fn coop_contention_sweep_spans_the_sigma_axis() {
 }
 
 #[test]
+fn coop_survives_a_directed_cut_with_a_timely_core() {
+    // hostile/asym-core: a directed cut blinds the majority {2,3,4} to the
+    // core {0,1}, but everyone still reads the core live and the core holds
+    // the timely process — the election must hold straight through the cut
+    // on the cooperative backend, not just on the simulator.
+    let scenario = registry::named("hostile/asym-core").expect("registry member");
+    assert!(
+        scenario.eligible_drivers().coop,
+        "a directed cut acts through the visibility mask"
+    );
+    let outcome = CoopDriver::default().run(&scenario);
+    outcome.assert_election();
+    assert_eq!(outcome.chaos.expect("campaign ran").partitions, 1);
+}
+
+#[test]
 fn a_small_worker_pool_still_elects() {
     // workers = 2: the pool variant exercises the cross-worker dispatch
     // path (tasks mid-execution while a sibling sleeps on the condvar).
